@@ -1,0 +1,85 @@
+//! Synchronization backends for STMBench7.
+//!
+//! The paper ships two lock strategies (coarse- and medium-grained) that
+//! are "merged with the core STMBench7 code at compile time", and runs the
+//! same core over ASTM. This crate is the Rust equivalent: every backend
+//! implements [`Backend`], executing operations written once against
+//! [`stmbench7_data::Sb7Tx`]:
+//!
+//! * [`locks::SequentialBackend`] — one mutex; the determinism oracle and
+//!   single-thread floor,
+//! * [`locks::CoarseBackend`] — one read-write lock over everything
+//!   (the paper's "coarse-grained" strategy),
+//! * [`locks::MediumBackend`] — the paper's Figure 5 strategy: a
+//!   structure-modification gate plus one read-write lock per assembly
+//!   level, composite parts, atomic parts, documents and the manual,
+//! * [`stm::StmBackend`] — the STM adapter, generic over the runtimes of
+//!   `stmbench7-stm` (ASTM-like and TL2-like), with monolithic or sharded
+//!   representation of the indexes and the manual
+//!   ([`stm::Granularity`]).
+
+pub mod fine;
+pub mod locks;
+pub mod stm;
+
+use stmbench7_data::{AccessSpec, Sb7Tx, TxR, Workspace};
+use stmbench7_stm::StatsSnapshot;
+
+/// An operation that can run under any backend.
+///
+/// This is the rank-2 trick that lets each backend choose its own
+/// transaction type: implementors must be generic over *every* `Sb7Tx`.
+/// Backends may call [`TxOperation::run`] multiple times (STM retries), so
+/// implementations must tolerate re-execution — all STMBench7 operations
+/// do, by construction.
+pub trait TxOperation<R> {
+    /// Executes the operation body inside transaction `tx`.
+    fn run<T: Sb7Tx>(&mut self, tx: &mut T) -> TxR<R>;
+
+    /// Called by the backend immediately before every execution attempt.
+    ///
+    /// Implementations reset any per-attempt state — in practice the
+    /// operation's random number generator — so that all attempts of one
+    /// logical operation replay *identical* choices. This mirrors the
+    /// original Java benchmark, where random parameters are drawn before
+    /// the transaction begins, and it is what allows the fine-grained
+    /// backend to pre-discover an operation's exact lock set.
+    fn begin_attempt(&mut self) {}
+}
+
+/// A synchronization strategy executing STMBench7 operations.
+pub trait Backend: Send + Sync {
+    /// Executes `op` atomically under this strategy. `spec` declares the
+    /// lock groups the operation touches (ignored by optimistic
+    /// backends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operation violates its own `spec` (e.g. writes a
+    /// group it declared read-only) — that is a bug in the benchmark, not
+    /// a runtime condition.
+    fn execute<R, O: TxOperation<R>>(&self, spec: &AccessSpec, op: &mut O) -> R;
+
+    /// Strategy name for reports ("coarse", "medium", "astm", …).
+    fn name(&self) -> &'static str;
+
+    /// Materializes the current structure as a plain workspace for
+    /// validation. Callers must guarantee quiescence.
+    fn export(&self) -> Workspace;
+
+    /// STM statistics, if this backend is transactional.
+    fn stm_stats(&self) -> Option<StatsSnapshot> {
+        None
+    }
+}
+
+pub use fine::{FineBackend, FineStats};
+pub use locks::{CoarseBackend, MediumBackend, SequentialBackend};
+pub use stm::{Granularity, StmBackend};
+
+/// Convenience alias: the ASTM-like backend the paper evaluates.
+pub type AstmBackend = StmBackend<stmbench7_stm::AstmRuntime>;
+/// Convenience alias: the TL2-like remedy backend.
+pub type Tl2Backend = StmBackend<stmbench7_stm::Tl2Runtime>;
+/// Convenience alias: the NOrec-style remedy backend.
+pub type NorecBackend = StmBackend<stmbench7_stm::NorecRuntime>;

@@ -1,0 +1,685 @@
+//! The lock-based synchronization strategies.
+//!
+//! * **Sequential** — a single mutex; every operation is exclusive. Used
+//!   as the determinism oracle in tests and the single-thread floor in
+//!   benches.
+//! * **Coarse-grained** — the paper's baseline: one read-write lock
+//!   protects the whole structure; read-only operations share it,
+//!   updating ones take it exclusively.
+//! * **Medium-grained** — the paper's Figure 5: one read-write lock per
+//!   assembly level, one for all composite parts, one for all atomic
+//!   parts, one for all documents, one for the manual, plus a
+//!   structure-modification gate (write mode for SM1–SM8, read mode for
+//!   everything else). Locks are always acquired in one canonical order —
+//!   gate, levels top-down, composites, atomics, documents, manual — so
+//!   deadlock is impossible by construction.
+
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use stmbench7_data::access::PoolKind;
+use stmbench7_data::spec::{AccessSpec, Mode};
+use stmbench7_data::workspace::{
+    AtomicGroup, BaseGroup, ComplexLevelGroup, CompositeGroup, DirectTx, DocGroup, SmState,
+    Workspace,
+};
+use stmbench7_data::{
+    AtomicPart, AtomicPartId, BaseAssembly, BaseAssemblyId, ComplexAssembly, ComplexAssemblyId,
+    CompositePart, CompositePartId, Document, DocumentId, Manual, Module, Sb7Tx, StructureParams,
+    TxErr, TxR,
+};
+
+use crate::{Backend, TxOperation};
+
+/// Single-mutex backend: fully serialized execution.
+pub struct SequentialBackend {
+    ws: Mutex<Workspace>,
+}
+
+impl SequentialBackend {
+    /// Wraps a built workspace.
+    pub fn new(ws: Workspace) -> Self {
+        SequentialBackend { ws: Mutex::new(ws) }
+    }
+}
+
+impl Backend for SequentialBackend {
+    fn execute<R, O: TxOperation<R>>(&self, _spec: &AccessSpec, op: &mut O) -> R {
+        let mut ws = self.ws.lock();
+        let mut tx = DirectTx::writing(&mut ws);
+        op.begin_attempt();
+        unwrap_lock_result(op.run(&mut tx))
+    }
+
+    fn name(&self) -> &'static str {
+        "sequential"
+    }
+
+    fn export(&self) -> Workspace {
+        self.ws.lock().clone()
+    }
+}
+
+/// The paper's coarse-grained strategy: one read-write lock.
+pub struct CoarseBackend {
+    ws: RwLock<Workspace>,
+}
+
+impl CoarseBackend {
+    /// Wraps a built workspace.
+    pub fn new(ws: Workspace) -> Self {
+        CoarseBackend {
+            ws: RwLock::new(ws),
+        }
+    }
+}
+
+impl Backend for CoarseBackend {
+    fn execute<R, O: TxOperation<R>>(&self, spec: &AccessSpec, op: &mut O) -> R {
+        if spec.any_write() {
+            let mut ws = self.ws.write();
+            let mut tx = DirectTx::writing(&mut ws);
+            op.begin_attempt();
+            unwrap_lock_result(op.run(&mut tx))
+        } else {
+            let ws = self.ws.read();
+            let mut tx = DirectTx::reading(&ws);
+            op.begin_attempt();
+            unwrap_lock_result(op.run(&mut tx))
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "coarse"
+    }
+
+    fn export(&self) -> Workspace {
+        self.ws.read().clone()
+    }
+}
+
+fn unwrap_lock_result<R>(r: TxR<R>) -> R {
+    match r {
+        Ok(v) => v,
+        Err(TxErr::Abort) => unreachable!("lock-based transactions cannot abort"),
+        Err(TxErr::Invariant(msg)) => panic!("operation violated its access spec: {msg}"),
+    }
+}
+
+/// The paper's medium-grained strategy (Figure 5).
+pub struct MediumBackend {
+    params: StructureParams,
+    module: Module,
+    sm: RwLock<SmState>,
+    bases: RwLock<BaseGroup>,
+    complexes: Vec<RwLock<ComplexLevelGroup>>,
+    composites: RwLock<CompositeGroup>,
+    atomics: RwLock<AtomicGroup>,
+    documents: RwLock<DocGroup>,
+    manual: RwLock<Manual>,
+}
+
+impl MediumBackend {
+    /// Partitions a built workspace along the Figure 5 lock groups.
+    pub fn new(ws: Workspace) -> Self {
+        MediumBackend {
+            params: ws.params,
+            module: ws.module,
+            sm: RwLock::new(ws.sm),
+            bases: RwLock::new(ws.bases),
+            complexes: ws.complexes.into_iter().map(RwLock::new).collect(),
+            composites: RwLock::new(ws.composites),
+            atomics: RwLock::new(ws.atomics),
+            documents: RwLock::new(ws.documents),
+            manual: RwLock::new(ws.manual),
+        }
+    }
+
+    /// Number of assembly levels configured.
+    fn levels(&self) -> usize {
+        self.complexes.len() + 1
+    }
+}
+
+impl Backend for MediumBackend {
+    fn execute<R, O: TxOperation<R>>(&self, spec: &AccessSpec, op: &mut O) -> R {
+        // Canonical acquisition order (see module docs): the SM gate, then
+        // assembly levels top-down, then composites, atomics, documents,
+        // manual. All operations declare the gate, so it always comes
+        // first, which is what isolates SM operations from everything.
+        let sm = Guard::acquire(&self.sm, spec.sm);
+        let mut complexes: Vec<Guard<'_, ComplexLevelGroup>> =
+            (0..self.complexes.len()).map(|_| Guard::None).collect();
+        let mut bases = Guard::None;
+        for level in (1..=self.levels()).rev() {
+            let mode = spec.levels[level - 1];
+            if level == 1 {
+                bases = Guard::acquire(&self.bases, mode);
+            } else {
+                complexes[level - 2] = Guard::acquire(&self.complexes[level - 2], mode);
+            }
+        }
+        let composites = Guard::acquire(&self.composites, spec.composites);
+        let atomics = Guard::acquire(&self.atomics, spec.atomics);
+        let documents = Guard::acquire(&self.documents, spec.documents);
+        let manual = Guard::acquire(&self.manual, spec.manual);
+
+        let mut tx = MediumTx {
+            module: &self.module,
+            sm,
+            bases,
+            complexes,
+            composites,
+            atomics,
+            documents,
+            manual,
+        };
+        op.begin_attempt();
+        unwrap_lock_result(op.run(&mut tx))
+    }
+
+    fn name(&self) -> &'static str {
+        "medium"
+    }
+
+    fn export(&self) -> Workspace {
+        Workspace {
+            params: self.params.clone(),
+            module: self.module.clone(),
+            manual: self.manual.read().clone(),
+            sm: self.sm.read().clone(),
+            bases: self.bases.read().clone(),
+            complexes: self.complexes.iter().map(|g| g.read().clone()).collect(),
+            composites: self.composites.read().clone(),
+            atomics: self.atomics.read().clone(),
+            documents: self.documents.read().clone(),
+        }
+    }
+}
+
+/// A possibly-held read-write lock guard.
+enum Guard<'a, T> {
+    None,
+    Read(RwLockReadGuard<'a, T>),
+    Write(RwLockWriteGuard<'a, T>),
+}
+
+impl<'a, T> Guard<'a, T> {
+    fn acquire(lock: &'a RwLock<T>, mode: Mode) -> Self {
+        match mode {
+            Mode::None => Guard::None,
+            Mode::Read => Guard::Read(lock.read()),
+            Mode::Write => Guard::Write(lock.write()),
+        }
+    }
+
+    fn get(&self) -> TxR<&T> {
+        match self {
+            Guard::None => Err(TxErr::Invariant("group accessed without its lock")),
+            Guard::Read(g) => Ok(g),
+            Guard::Write(g) => Ok(g),
+        }
+    }
+
+    fn get_mut(&mut self) -> TxR<&mut T> {
+        match self {
+            Guard::None => Err(TxErr::Invariant("group accessed without its lock")),
+            Guard::Read(_) => Err(TxErr::Invariant("group written under a read lock")),
+            Guard::Write(g) => Ok(g),
+        }
+    }
+}
+
+/// The medium-grained transaction: a set of held guards.
+pub struct MediumTx<'a> {
+    module: &'a Module,
+    sm: Guard<'a, SmState>,
+    bases: Guard<'a, BaseGroup>,
+    complexes: Vec<Guard<'a, ComplexLevelGroup>>,
+    composites: Guard<'a, CompositeGroup>,
+    atomics: Guard<'a, AtomicGroup>,
+    documents: Guard<'a, DocGroup>,
+    manual: Guard<'a, Manual>,
+}
+
+const MISSING: TxErr = TxErr::Invariant("object not found");
+
+impl MediumTx<'_> {
+    fn complex_group(&self, level: u8) -> TxR<&ComplexLevelGroup> {
+        self.complexes
+            .get(usize::from(level) - 2)
+            .ok_or(TxErr::Invariant("assembly level out of range"))?
+            .get()
+    }
+
+    fn complex_group_mut(&mut self, level: u8) -> TxR<&mut ComplexLevelGroup> {
+        self.complexes
+            .get_mut(usize::from(level) - 2)
+            .ok_or(TxErr::Invariant("assembly level out of range"))?
+            .get_mut()
+    }
+
+    fn complex_level_of(&self, raw: u32) -> TxR<u8> {
+        self.sm
+            .get()?
+            .complex_index
+            .get(&raw)
+            .copied()
+            .ok_or(MISSING)
+    }
+}
+
+impl Sb7Tx for MediumTx<'_> {
+    fn module<R>(&mut self, f: impl FnOnce(&Module) -> R) -> TxR<R> {
+        Ok(f(self.module))
+    }
+
+    fn manual_text_len(&mut self) -> TxR<usize> {
+        Ok(self.manual.get()?.text.len())
+    }
+
+    fn manual_count_char(&mut self, c: char) -> TxR<usize> {
+        Ok(stmbench7_data::text::count_char(
+            &self.manual.get()?.text,
+            c,
+        ))
+    }
+
+    fn manual_first_last_equal(&mut self) -> TxR<bool> {
+        Ok(stmbench7_data::text::first_last_equal(
+            &self.manual.get()?.text,
+        ))
+    }
+
+    fn manual_swap_case(&mut self) -> TxR<usize> {
+        Ok(stmbench7_data::text::swap_manual_case(
+            &mut self.manual.get_mut()?.text,
+        ))
+    }
+
+    fn set_design_root(&mut self, _root: ComplexAssemblyId) -> TxR<()> {
+        Err(TxErr::Invariant(
+            "the module is immutable once a backend is constructed",
+        ))
+    }
+
+    fn atomic<R>(&mut self, id: AtomicPartId, f: impl FnOnce(&AtomicPart) -> R) -> TxR<R> {
+        self.atomics
+            .get()?
+            .store
+            .get(id.raw())
+            .map(f)
+            .ok_or(MISSING)
+    }
+
+    fn composite<R>(&mut self, id: CompositePartId, f: impl FnOnce(&CompositePart) -> R) -> TxR<R> {
+        self.composites
+            .get()?
+            .store
+            .get(id.raw())
+            .map(f)
+            .ok_or(MISSING)
+    }
+
+    fn base<R>(&mut self, id: BaseAssemblyId, f: impl FnOnce(&BaseAssembly) -> R) -> TxR<R> {
+        self.bases.get()?.store.get(id.raw()).map(f).ok_or(MISSING)
+    }
+
+    fn complex<R>(
+        &mut self,
+        id: ComplexAssemblyId,
+        f: impl FnOnce(&ComplexAssembly) -> R,
+    ) -> TxR<R> {
+        let level = self.complex_level_of(id.raw())?;
+        self.complex_group(level)?
+            .store
+            .get(id.raw())
+            .map(f)
+            .ok_or(MISSING)
+    }
+
+    fn document<R>(&mut self, id: DocumentId, f: impl FnOnce(&Document) -> R) -> TxR<R> {
+        self.documents
+            .get()?
+            .store
+            .get(id.raw())
+            .map(f)
+            .ok_or(MISSING)
+    }
+
+    fn atomic_mut<R>(&mut self, id: AtomicPartId, f: impl FnOnce(&mut AtomicPart) -> R) -> TxR<R> {
+        self.atomics
+            .get_mut()?
+            .store
+            .get_mut(id.raw())
+            .map(f)
+            .ok_or(MISSING)
+    }
+
+    fn composite_mut<R>(
+        &mut self,
+        id: CompositePartId,
+        f: impl FnOnce(&mut CompositePart) -> R,
+    ) -> TxR<R> {
+        self.composites
+            .get_mut()?
+            .store
+            .get_mut(id.raw())
+            .map(f)
+            .ok_or(MISSING)
+    }
+
+    fn base_mut<R>(
+        &mut self,
+        id: BaseAssemblyId,
+        f: impl FnOnce(&mut BaseAssembly) -> R,
+    ) -> TxR<R> {
+        self.bases
+            .get_mut()?
+            .store
+            .get_mut(id.raw())
+            .map(f)
+            .ok_or(MISSING)
+    }
+
+    fn complex_mut<R>(
+        &mut self,
+        id: ComplexAssemblyId,
+        f: impl FnOnce(&mut ComplexAssembly) -> R,
+    ) -> TxR<R> {
+        let level = self.complex_level_of(id.raw())?;
+        self.complex_group_mut(level)?
+            .store
+            .get_mut(id.raw())
+            .map(f)
+            .ok_or(MISSING)
+    }
+
+    fn document_mut<R>(&mut self, id: DocumentId, f: impl FnOnce(&mut Document) -> R) -> TxR<R> {
+        self.documents
+            .get_mut()?
+            .store
+            .get_mut(id.raw())
+            .map(f)
+            .ok_or(MISSING)
+    }
+
+    fn set_atomic_build_date(&mut self, id: AtomicPartId, date: i32) -> TxR<()> {
+        if self.atomics.get_mut()?.set_date(id.raw(), date) {
+            Ok(())
+        } else {
+            Err(MISSING)
+        }
+    }
+
+    fn lookup_atomic(&mut self, raw: u32) -> TxR<Option<AtomicPartId>> {
+        Ok(self
+            .atomics
+            .get()?
+            .by_id
+            .get(&raw)
+            .map(|_| AtomicPartId(raw)))
+    }
+
+    fn lookup_composite(&mut self, raw: u32) -> TxR<Option<CompositePartId>> {
+        Ok(self
+            .composites
+            .get()?
+            .by_id
+            .get(&raw)
+            .map(|_| CompositePartId(raw)))
+    }
+
+    fn lookup_base(&mut self, raw: u32) -> TxR<Option<BaseAssemblyId>> {
+        Ok(self
+            .bases
+            .get()?
+            .by_id
+            .get(&raw)
+            .map(|_| BaseAssemblyId(raw)))
+    }
+
+    fn lookup_complex(&mut self, raw: u32) -> TxR<Option<ComplexAssemblyId>> {
+        Ok(self
+            .sm
+            .get()?
+            .complex_index
+            .get(&raw)
+            .map(|_| ComplexAssemblyId(raw)))
+    }
+
+    fn lookup_document(&mut self, title: &str) -> TxR<Option<DocumentId>> {
+        Ok(self
+            .documents
+            .get()?
+            .by_title
+            .get(&title.to_string())
+            .map(|raw| DocumentId(*raw)))
+    }
+
+    fn atomics_in_date_range(&mut self, lo: i32, hi: i32) -> TxR<Vec<AtomicPartId>> {
+        Ok(self.atomics.get()?.in_date_range(lo, hi))
+    }
+
+    fn all_atomic_ids(&mut self) -> TxR<Vec<AtomicPartId>> {
+        let group = self.atomics.get()?;
+        let mut out = Vec::with_capacity(group.store.live());
+        group.by_id.for_each(|raw, _| out.push(AtomicPartId(*raw)));
+        Ok(out)
+    }
+
+    fn all_base_ids(&mut self) -> TxR<Vec<BaseAssemblyId>> {
+        let group = self.bases.get()?;
+        let mut out = Vec::with_capacity(group.store.live());
+        group
+            .by_id
+            .for_each(|raw, _| out.push(BaseAssemblyId(*raw)));
+        Ok(out)
+    }
+
+    fn pool_capacity(&mut self, kind: PoolKind) -> TxR<usize> {
+        let pools = &self.sm.get()?.pools;
+        let pool = match kind {
+            PoolKind::Atomic => &pools.atomic,
+            PoolKind::Composite => &pools.composite,
+            PoolKind::Document => &pools.document,
+            PoolKind::Base => &pools.base,
+            PoolKind::Complex => &pools.complex,
+        };
+        Ok(pool.capacity() as usize - pool.live())
+    }
+
+    fn create_atomic(
+        &mut self,
+        make: impl FnOnce(AtomicPartId) -> AtomicPart,
+    ) -> TxR<Option<AtomicPartId>> {
+        let Some(raw) = self.sm.get_mut()?.pools.atomic.alloc() else {
+            return Ok(None);
+        };
+        let id = AtomicPartId(raw);
+        self.atomics.get_mut()?.create(make(id));
+        Ok(Some(id))
+    }
+
+    fn create_composite(
+        &mut self,
+        make: impl FnOnce(CompositePartId) -> CompositePart,
+    ) -> TxR<Option<CompositePartId>> {
+        let Some(raw) = self.sm.get_mut()?.pools.composite.alloc() else {
+            return Ok(None);
+        };
+        let id = CompositePartId(raw);
+        self.composites.get_mut()?.create(make(id));
+        Ok(Some(id))
+    }
+
+    fn create_document(
+        &mut self,
+        make: impl FnOnce(DocumentId) -> Document,
+    ) -> TxR<Option<DocumentId>> {
+        let Some(raw) = self.sm.get_mut()?.pools.document.alloc() else {
+            return Ok(None);
+        };
+        let id = DocumentId(raw);
+        self.documents.get_mut()?.create(make(id));
+        Ok(Some(id))
+    }
+
+    fn create_base(
+        &mut self,
+        make: impl FnOnce(BaseAssemblyId) -> BaseAssembly,
+    ) -> TxR<Option<BaseAssemblyId>> {
+        let Some(raw) = self.sm.get_mut()?.pools.base.alloc() else {
+            return Ok(None);
+        };
+        let id = BaseAssemblyId(raw);
+        self.bases.get_mut()?.create(make(id));
+        Ok(Some(id))
+    }
+
+    fn create_complex(
+        &mut self,
+        level: u8,
+        make: impl FnOnce(ComplexAssemblyId) -> ComplexAssembly,
+    ) -> TxR<Option<ComplexAssemblyId>> {
+        let Some(raw) = self.sm.get_mut()?.pools.complex.alloc() else {
+            return Ok(None);
+        };
+        let id = ComplexAssemblyId(raw);
+        self.sm.get_mut()?.complex_index.insert(raw, level);
+        self.complex_group_mut(level)?.store.insert(raw, make(id));
+        Ok(Some(id))
+    }
+
+    fn delete_atomic(&mut self, id: AtomicPartId) -> TxR<AtomicPart> {
+        let p = self.atomics.get_mut()?.delete(id.raw()).ok_or(MISSING)?;
+        assert!(self.sm.get_mut()?.pools.atomic.free(id.raw()), "pool drift");
+        Ok(p)
+    }
+
+    fn delete_composite(&mut self, id: CompositePartId) -> TxR<CompositePart> {
+        let c = self.composites.get_mut()?.delete(id.raw()).ok_or(MISSING)?;
+        assert!(
+            self.sm.get_mut()?.pools.composite.free(id.raw()),
+            "pool drift"
+        );
+        Ok(c)
+    }
+
+    fn delete_document(&mut self, id: DocumentId) -> TxR<Document> {
+        let d = self.documents.get_mut()?.delete(id.raw()).ok_or(MISSING)?;
+        assert!(
+            self.sm.get_mut()?.pools.document.free(id.raw()),
+            "pool drift"
+        );
+        Ok(d)
+    }
+
+    fn delete_base(&mut self, id: BaseAssemblyId) -> TxR<BaseAssembly> {
+        let b = self.bases.get_mut()?.delete(id.raw()).ok_or(MISSING)?;
+        assert!(self.sm.get_mut()?.pools.base.free(id.raw()), "pool drift");
+        Ok(b)
+    }
+
+    fn delete_complex(&mut self, id: ComplexAssemblyId) -> TxR<ComplexAssembly> {
+        let level = self.complex_level_of(id.raw())?;
+        let c = self
+            .complex_group_mut(level)?
+            .store
+            .remove(id.raw())
+            .ok_or(MISSING)?;
+        let sm = self.sm.get_mut()?;
+        sm.complex_index.remove(&id.raw());
+        assert!(sm.pools.complex.free(id.raw()), "pool drift");
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmbench7_data::Mode;
+
+    struct ReadRoot;
+    impl TxOperation<u32> for ReadRoot {
+        fn run<T: Sb7Tx>(&mut self, tx: &mut T) -> TxR<u32> {
+            tx.module(|m| m.design_root.raw())
+        }
+    }
+
+    struct SwapManual;
+    impl TxOperation<usize> for SwapManual {
+        fn run<T: Sb7Tx>(&mut self, tx: &mut T) -> TxR<usize> {
+            tx.manual_swap_case()
+        }
+    }
+
+    fn read_spec() -> AccessSpec {
+        AccessSpec::new().regular()
+    }
+
+    fn manual_write_spec() -> AccessSpec {
+        AccessSpec::new().regular().manual(Mode::Write)
+    }
+
+    #[test]
+    fn all_lock_backends_run_simple_ops() {
+        let ws = Workspace::build(StructureParams::tiny(), 5);
+        let root = ws.module.design_root.raw();
+        let seq = SequentialBackend::new(ws.clone());
+        let coarse = CoarseBackend::new(ws.clone());
+        let medium = MediumBackend::new(ws);
+        assert_eq!(seq.execute(&read_spec(), &mut ReadRoot), root);
+        assert_eq!(coarse.execute(&read_spec(), &mut ReadRoot), root);
+        assert_eq!(medium.execute(&read_spec(), &mut ReadRoot), root);
+        assert!(seq.execute(&manual_write_spec(), &mut SwapManual) > 0);
+        assert!(coarse.execute(&manual_write_spec(), &mut SwapManual) > 0);
+        assert!(medium.execute(&manual_write_spec(), &mut SwapManual) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "access spec")]
+    fn medium_catches_undeclared_writes() {
+        let ws = Workspace::build(StructureParams::tiny(), 5);
+        let medium = MediumBackend::new(ws);
+        // SwapManual writes the manual but declares nothing.
+        medium.execute(&read_spec(), &mut SwapManual);
+    }
+
+    #[test]
+    #[should_panic(expected = "access spec")]
+    fn coarse_catches_writes_under_read_mode() {
+        let ws = Workspace::build(StructureParams::tiny(), 5);
+        let coarse = CoarseBackend::new(ws);
+        // The spec requests no writes, so coarse takes a read lock and the
+        // DirectTx is read-only.
+        coarse.execute(&read_spec(), &mut SwapManual);
+    }
+
+    #[test]
+    fn export_round_trips() {
+        let ws = Workspace::build(StructureParams::tiny(), 9);
+        let medium = MediumBackend::new(ws.clone());
+        let out = medium.export();
+        stmbench7_data::validate(&out).unwrap();
+        assert_eq!(out.module.design_root, ws.module.design_root);
+        assert_eq!(out.atomics.store.live(), ws.atomics.store.live());
+    }
+
+    #[test]
+    fn medium_parallel_readers_and_writers() {
+        let ws = Workspace::build(StructureParams::tiny(), 11);
+        let medium = std::sync::Arc::new(MediumBackend::new(ws));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = std::sync::Arc::clone(&medium);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        m.execute(&read_spec(), &mut ReadRoot);
+                        m.execute(&manual_write_spec(), &mut SwapManual);
+                    }
+                });
+            }
+        });
+        stmbench7_data::validate(&medium.export()).unwrap();
+    }
+}

@@ -1,0 +1,68 @@
+//! Contention-manager ablation.
+//!
+//! The paper runs ASTM with the Polka manager; this sweep compares all
+//! six classic managers on a contended write-dominated workload (4
+//! threads, ASTM-friendly filter so the STM is in its competitive
+//! regime) and reports throughput, abort ratio and enemy kills.
+
+use std::time::Duration;
+
+use stmbench7::backend::Granularity;
+use stmbench7::core::{run_benchmark, BenchConfig, OpFilter, RunMode, WorkloadType};
+use stmbench7::data::Workspace;
+use stmbench7::stm::ContentionManager;
+use stmbench7::{AnyBackend, BackendChoice};
+use stmbench7_bench::{print_row, write_csv, SweepOpts};
+
+fn main() {
+    let opts = SweepOpts::from_args();
+    println!("Contention-manager ablation: ASTM, write-dominated, 4 threads, ASTM-friendly ops");
+    print_row(&[
+        "manager".into(),
+        "ops/s".into(),
+        "aborts/commit".into(),
+        "enemy kills".into(),
+    ]);
+    let mut rows = Vec::new();
+    for cm in ContentionManager::all() {
+        let ws = Workspace::build(opts.params.clone(), opts.seed);
+        let backend = AnyBackend::build(
+            BackendChoice::Astm {
+                granularity: Granularity::Sharded,
+                cm,
+                visible: false,
+            },
+            ws,
+        );
+        let cfg = BenchConfig {
+            threads: 4,
+            mode: RunMode::Timed(Duration::from_secs_f64(opts.secs_per_cell)),
+            workload: WorkloadType::WriteDominated,
+            long_traversals: false,
+            structure_mods: true,
+            filter: OpFilter::astm_friendly(),
+            seed: opts.seed,
+            histograms: false,
+        };
+        let report = run_benchmark(&backend, &opts.params, &cfg);
+        let stm = report.stm.unwrap_or_default();
+        print_row(&[
+            cm.name().into(),
+            format!("{:.0}", report.throughput()),
+            format!("{:.3}", stm.abort_ratio()),
+            stm.enemy_aborts.to_string(),
+        ]);
+        rows.push(format!(
+            "{},{:.1},{:.4},{}",
+            cm.name(),
+            report.throughput(),
+            stm.abort_ratio(),
+            stm.enemy_aborts
+        ));
+    }
+    write_csv(
+        "ablation_cm",
+        "manager,throughput,abort_ratio,enemy_kills",
+        &rows,
+    );
+}

@@ -1,0 +1,103 @@
+//! Logging-granularity ablation (the §5 remedy, quantified).
+//!
+//! Measures the operations that update large objects — OP11 (the manual)
+//! and OP15/SM1 (the atomic-part indexes) — under monolithic vs sharded
+//! representation on both STM runtimes. The paper's remedy ("split the
+//! manual into chunks … implement the indexes with B-trees, each node
+//! synchronized separately") should cut these latencies by orders of
+//! magnitude while leaving small-object operations (ST1) unchanged.
+
+use std::time::Instant;
+
+use stmbench7::backend::{Backend, Granularity, StmBackend, TxOperation};
+use stmbench7::core::ops::{run_op, OpCtx, OpKind};
+use stmbench7::data::OpOutcome;
+use stmbench7::data::{Sb7Tx, TxR, Workspace};
+use stmbench7::stm::{AstmRuntime, Tl2Runtime};
+use stmbench7_bench::{print_row, write_csv, SweepOpts};
+
+struct Runner<'c> {
+    op: OpKind,
+    ctx: &'c mut OpCtx,
+}
+
+impl TxOperation<OpOutcome> for Runner<'_> {
+    fn run<T: Sb7Tx>(&mut self, tx: &mut T) -> TxR<OpOutcome> {
+        run_op(self.op, tx, self.ctx)
+    }
+}
+
+fn mean_latency_us<B: Backend>(
+    backend: &B,
+    params: &stmbench7::data::StructureParams,
+    op: OpKind,
+    iters: u32,
+) -> f64 {
+    let spec = stmbench7::core::access_spec(op, params.assembly_levels);
+    let mut ctx = OpCtx::new(params.clone(), 7);
+    let t0 = Instant::now();
+    let mut completed = 0u32;
+    for _ in 0..iters {
+        let outcome = backend.execute(&spec, &mut Runner { op, ctx: &mut ctx });
+        if outcome.is_done() {
+            completed += 1;
+        }
+    }
+    t0.elapsed().as_secs_f64() * 1e6 / f64::from(completed.max(1))
+}
+
+fn main() {
+    let opts = SweepOpts::from_args();
+    let params = opts.params.clone();
+    let ws = Workspace::build(params.clone(), opts.seed);
+    println!("Granularity ablation: mean latency [us] per completed operation");
+    print_row(&[
+        "runtime".into(),
+        "granularity".into(),
+        "OP11".into(),
+        "OP15".into(),
+        "SM1".into(),
+        "ST1".into(),
+    ]);
+    let mut rows = Vec::new();
+    for granularity in [Granularity::Monolithic, Granularity::Sharded] {
+        {
+            let backend = StmBackend::from_workspace(&ws, AstmRuntime::default(), granularity);
+            report("astm", granularity, &backend, &params, &mut rows);
+        }
+        {
+            let backend = StmBackend::from_workspace(&ws, Tl2Runtime::default(), granularity);
+            report("tl2", granularity, &backend, &params, &mut rows);
+        }
+    }
+    write_csv(
+        "ablation_granularity",
+        "runtime,granularity,op11_us,op15_us,sm1_us,st1_us",
+        &rows,
+    );
+
+    fn report<B: Backend>(
+        name: &str,
+        granularity: Granularity,
+        backend: &B,
+        params: &stmbench7::data::StructureParams,
+        rows: &mut Vec<String>,
+    ) {
+        let op11 = mean_latency_us(backend, params, OpKind::Op11, 8);
+        let op15 = mean_latency_us(backend, params, OpKind::Op15, 40);
+        let sm1 = mean_latency_us(backend, params, OpKind::Sm1, 20);
+        let st1 = mean_latency_us(backend, params, OpKind::St1, 200);
+        print_row(&[
+            name.into(),
+            granularity.name().into(),
+            format!("{op11:.1}"),
+            format!("{op15:.1}"),
+            format!("{sm1:.1}"),
+            format!("{st1:.1}"),
+        ]);
+        rows.push(format!(
+            "{name},{},{op11:.2},{op15:.2},{sm1:.2},{st1:.2}",
+            granularity.name()
+        ));
+    }
+}

@@ -1,0 +1,128 @@
+//! Validation-strategy ablation (the §5 diagnosis, quantified).
+//!
+//! Runs the long traversals T1 and T2b once, single-threaded, under:
+//!
+//! * sequential (no synchronization — the floor),
+//! * ASTM with incremental validation (the paper's configuration:
+//!   O(k²) total validation work),
+//! * ASTM with commit-time-only validation (same clone-on-write costs,
+//!   O(k) validation),
+//! * ASTM with DSTM-style visible reads (no validation at all; the cost
+//!   moves into reader registration on every locator),
+//! * TL2 (global clock: per-read O(1), the §5 remedy class).
+//!
+//! The printed `validation steps` column makes the quadratic blow-up
+//! directly visible; wall-clock follows it.
+
+use std::time::Instant;
+
+use stmbench7::backend::{Backend, Granularity, SequentialBackend, StmBackend, TxOperation};
+use stmbench7::core::ops::{run_op, OpCtx, OpKind};
+use stmbench7::data::{OpOutcome, Sb7Tx, StructureParams, TxR, Workspace};
+use stmbench7::stm::astm::AstmConfig;
+use stmbench7::stm::tl2::Tl2Config;
+use stmbench7::stm::{AstmRuntime, Tl2Runtime};
+use stmbench7_bench::{print_row, write_csv, SweepOpts};
+
+struct Runner<'c> {
+    op: OpKind,
+    ctx: &'c mut OpCtx,
+}
+
+impl TxOperation<OpOutcome> for Runner<'_> {
+    fn run<T: Sb7Tx>(&mut self, tx: &mut T) -> TxR<OpOutcome> {
+        run_op(self.op, tx, self.ctx)
+    }
+}
+
+fn measure<B: Backend>(backend: &B, params: &StructureParams, op: OpKind) -> (f64, u64, u64) {
+    let before = backend.stm_stats().unwrap_or_default();
+    let mut ctx = OpCtx::new(params.clone(), 42);
+    let spec = stmbench7::core::access_spec(op, params.assembly_levels);
+    let t0 = Instant::now();
+    let outcome = backend.execute(&spec, &mut Runner { op, ctx: &mut ctx });
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert!(outcome.is_done(), "long traversals cannot fail");
+    let after = backend.stm_stats().unwrap_or_default();
+    (
+        ms,
+        after.validation_steps - before.validation_steps,
+        after.clones - before.clones,
+    )
+}
+
+fn main() {
+    let opts = SweepOpts::from_args();
+    let params = opts.params.clone();
+    println!(
+        "Validation ablation: single execution of T1/T2b, {} atomic parts",
+        params.initial_atomics()
+    );
+    print_row(&[
+        "op".into(),
+        "runtime".into(),
+        "wall ms".into(),
+        "valid.steps".into(),
+        "clones".into(),
+    ]);
+    let ws = Workspace::build(params.clone(), opts.seed);
+    let mut rows = Vec::new();
+
+    for op in [OpKind::T1, OpKind::T2b] {
+        let seq = SequentialBackend::new(ws.clone());
+        let (ms, _, _) = measure(&seq, &params, op);
+        print_row(&[
+            op.name().into(),
+            "sequential".into(),
+            format!("{ms:.2}"),
+            "-".into(),
+            "-".into(),
+        ]);
+        rows.push(format!("{},sequential,{ms:.3},0,0", op.name()));
+
+        for (name, incremental, visible) in [
+            ("astm-incremental", true, false),
+            ("astm-commit-only", false, false),
+            ("astm-visible", false, true),
+        ] {
+            let backend = StmBackend::from_workspace(
+                &ws,
+                AstmRuntime::new(AstmConfig {
+                    incremental_validation: incremental,
+                    visible_reads: visible,
+                    ..AstmConfig::default()
+                }),
+                Granularity::Monolithic,
+            );
+            let (ms, steps, clones) = measure(&backend, &params, op);
+            print_row(&[
+                op.name().into(),
+                name.into(),
+                format!("{ms:.2}"),
+                steps.to_string(),
+                clones.to_string(),
+            ]);
+            rows.push(format!("{},{name},{ms:.3},{steps},{clones}", op.name()));
+        }
+
+        let tl2 = StmBackend::from_workspace(
+            &ws,
+            Tl2Runtime::new(Tl2Config::default()),
+            Granularity::Monolithic,
+        );
+        let (ms, steps, clones) = measure(&tl2, &params, op);
+        print_row(&[
+            op.name().into(),
+            "tl2".into(),
+            format!("{ms:.2}"),
+            steps.to_string(),
+            clones.to_string(),
+        ]);
+        rows.push(format!("{},tl2,{ms:.3},{steps},{clones}", op.name()));
+    }
+    write_csv(
+        "ablation_validation",
+        "op,runtime,wall_ms,validation_steps,clones",
+        &rows,
+    );
+}

@@ -1,0 +1,69 @@
+//! Figure 3: maximum latency of long traversals under the two locking
+//! strategies, all operations enabled.
+//!
+//! The paper plots, against thread count, the maximum latency of T1 in
+//! the read-dominated workload and of T2b in the write-dominated
+//! workload, for coarse- vs medium-grained locking. The paper's reported
+//! shape: medium-grained latency sits *above* coarse for these long
+//! traversals (9 lock acquisitions and more queueing vs 1), and both grow
+//! with threads.
+
+use stmbench7::core::{OpKind, WorkloadType};
+use stmbench7_bench::{lock_backends, print_row, run_cell, write_csv, Cell, SweepOpts};
+
+fn main() {
+    let opts = SweepOpts::from_args();
+    println!("Figure 3: max latency [ms] of T1 (read-dom.) / T2b (write-dom.), all ops enabled");
+    print_row(&[
+        "workload".into(),
+        "op".into(),
+        "strategy".into(),
+        "threads".into(),
+        "max-lat ms".into(),
+        "ops/s".into(),
+    ]);
+    let mut rows = Vec::new();
+    for (workload, op) in [
+        (WorkloadType::ReadDominated, OpKind::T1),
+        (WorkloadType::WriteDominated, OpKind::T2b),
+    ] {
+        for (name, backend) in lock_backends() {
+            for &threads in &opts.threads {
+                let report = run_cell(
+                    &opts,
+                    &Cell {
+                        backend,
+                        workload,
+                        threads,
+                        long_traversals: true,
+                        structure_mods: true,
+                        astm_friendly: false,
+                    },
+                );
+                let lat = report.max_latency_ms(op);
+                print_row(&[
+                    workload.name().into(),
+                    op.name().into(),
+                    name.into(),
+                    threads.to_string(),
+                    format!("{lat:.2}"),
+                    format!("{:.0}", report.throughput()),
+                ]);
+                rows.push(format!(
+                    "{},{},{},{},{:.3},{:.1}",
+                    workload.name(),
+                    op.name(),
+                    name,
+                    threads,
+                    lat,
+                    report.throughput()
+                ));
+            }
+        }
+    }
+    write_csv(
+        "fig3",
+        "workload,op,strategy,threads,max_latency_ms,throughput",
+        &rows,
+    );
+}

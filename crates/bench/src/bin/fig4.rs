@@ -1,0 +1,60 @@
+//! Figure 4: total throughput of the two locking strategies, long
+//! traversals disabled, for the three workload types.
+//!
+//! Paper shape: medium-grained beats coarse-grained once ≥ 2 threads run
+//! (it "exploits the power of the multi-processor architecture better"),
+//! with the advantage shrinking as the update ratio grows, because most
+//! update operations take the same group locks in write mode.
+
+use stmbench7::core::WorkloadType;
+use stmbench7_bench::{lock_backends, print_row, run_cell, write_csv, Cell, SweepOpts};
+
+fn main() {
+    let opts = SweepOpts::from_args();
+    println!("Figure 4: total throughput [op/s], long traversals disabled");
+    print_row(&[
+        "workload".into(),
+        "strategy".into(),
+        "threads".into(),
+        "ops/s".into(),
+        "attempted/s".into(),
+    ]);
+    let mut rows = Vec::new();
+    for workload in WorkloadType::all() {
+        for (name, backend) in lock_backends() {
+            for &threads in &opts.threads {
+                let report = run_cell(
+                    &opts,
+                    &Cell {
+                        backend,
+                        workload,
+                        threads,
+                        long_traversals: false,
+                        structure_mods: true,
+                        astm_friendly: false,
+                    },
+                );
+                print_row(&[
+                    workload.name().into(),
+                    name.into(),
+                    threads.to_string(),
+                    format!("{:.0}", report.throughput()),
+                    format!("{:.0}", report.throughput_attempted()),
+                ]);
+                rows.push(format!(
+                    "{},{},{},{:.1},{:.1}",
+                    workload.name(),
+                    name,
+                    threads,
+                    report.throughput(),
+                    report.throughput_attempted()
+                ));
+            }
+        }
+    }
+    write_csv(
+        "fig4",
+        "workload,strategy,threads,throughput,attempted",
+        &rows,
+    );
+}

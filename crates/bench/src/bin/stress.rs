@@ -1,0 +1,156 @@
+//! Stress harness: hammer every synchronization backend with concurrent
+//! write-dominated rounds (all operations enabled, structure
+//! modifications included) and re-validate every structural invariant of
+//! the graph between rounds.
+//!
+//! This is the long-running integrity companion to the test suite's
+//! `concurrent_integrity.rs`: run it for minutes or hours to soak a
+//! backend. Any invariant violation aborts with a diagnostic.
+//!
+//! ```sh
+//! cargo run --release -p stmbench7-bench --bin stress -- \
+//!     --preset small --secs 2 --rounds 5 --threads 4
+//! ```
+
+use std::time::Duration;
+
+use stmbench7::backend::{Backend, Granularity};
+use stmbench7::core::{run_benchmark, BenchConfig, OpFilter, RunMode, WorkloadType};
+use stmbench7::data::{validate, StructureParams, Workspace};
+use stmbench7::stm::ContentionManager;
+use stmbench7::{AnyBackend, BackendChoice};
+
+struct Opts {
+    params: StructureParams,
+    secs_per_round: f64,
+    rounds: u32,
+    threads: usize,
+    seed: u64,
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts {
+        params: StructureParams::small(),
+        secs_per_round: 1.0,
+        rounds: 3,
+        threads: 4,
+        seed: 1,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let val = |i: &mut usize| -> String {
+            *i += 1;
+            argv.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {}", argv[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--preset" => {
+                let v = val(&mut i);
+                opts.params = stmbench7::parse_preset(&v).unwrap_or_else(|| {
+                    eprintln!("unknown preset '{v}'");
+                    std::process::exit(2);
+                });
+            }
+            "--secs" => opts.secs_per_round = val(&mut i).parse().expect("--secs"),
+            "--rounds" => opts.rounds = val(&mut i).parse().expect("--rounds"),
+            "--threads" => opts.threads = val(&mut i).parse().expect("--threads"),
+            "--seed" => opts.seed = val(&mut i).parse().expect("--seed"),
+            other => {
+                eprintln!("unknown argument '{other}'");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    opts
+}
+
+fn backends() -> Vec<(&'static str, BackendChoice)> {
+    vec![
+        ("coarse", BackendChoice::Coarse),
+        ("medium", BackendChoice::Medium),
+        ("fine", BackendChoice::Fine),
+        (
+            "astm",
+            BackendChoice::Astm {
+                granularity: Granularity::Monolithic,
+                cm: ContentionManager::Polka,
+                visible: false,
+            },
+        ),
+        (
+            "astm-visible",
+            BackendChoice::Astm {
+                granularity: Granularity::Monolithic,
+                cm: ContentionManager::Polka,
+                visible: true,
+            },
+        ),
+        (
+            "tl2-sharded",
+            BackendChoice::Tl2 {
+                granularity: Granularity::Sharded,
+            },
+        ),
+        (
+            "norec-sharded",
+            BackendChoice::Norec {
+                granularity: Granularity::Sharded,
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let opts = parse_opts();
+    println!(
+        "Stress: {} rounds x {:.1} s per backend, {} threads, write-dominated,",
+        opts.rounds, opts.secs_per_round, opts.threads
+    );
+    println!("all operations enabled, full validation between rounds.\n");
+
+    let mut violations = 0u32;
+    for (name, choice) in backends() {
+        let ws = Workspace::build(opts.params.clone(), opts.seed);
+        let backend = AnyBackend::build(choice, ws);
+        let mut total_ops = 0u64;
+        for round in 1..=opts.rounds {
+            let cfg = BenchConfig {
+                threads: opts.threads,
+                mode: RunMode::Timed(Duration::from_secs_f64(opts.secs_per_round)),
+                workload: WorkloadType::WriteDominated,
+                long_traversals: true,
+                structure_mods: true,
+                filter: OpFilter::none(),
+                seed: opts.seed.wrapping_add(u64::from(round)),
+                histograms: false,
+            };
+            let report = run_benchmark(&backend, &opts.params, &cfg);
+            total_ops += report.total_started();
+            match validate(&backend.export()) {
+                Ok(census) => println!(
+                    "  {name:<14} round {round}/{}: {:>9} ops, census ok ({} atomics, {} assemblies)",
+                    opts.rounds,
+                    report.total_started(),
+                    census.atomic_parts,
+                    census.base_assemblies + census.complex_assemblies,
+                ),
+                Err(msg) => {
+                    violations += 1;
+                    println!("  {name:<14} round {round}: INVARIANT VIOLATION: {msg}");
+                    break;
+                }
+            }
+        }
+        println!("  {name:<14} total {total_ops} operations\n");
+    }
+
+    if violations > 0 {
+        eprintln!("{violations} backend(s) corrupted the structure");
+        std::process::exit(1);
+    }
+    println!("All backends survived with every invariant intact.");
+}

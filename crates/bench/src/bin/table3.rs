@@ -1,0 +1,71 @@
+//! Table 3: total throughput of coarse-grained locking vs ASTM, long
+//! traversals disabled, threads 1–8.
+//!
+//! This is the paper's headline result: the straightforward ASTM port is
+//! 2–4 orders of magnitude slower than the lock-based versions, because
+//! of O(k²) incremental validation and whole-object copy-on-write on the
+//! manual and the (monolithic) indexes.
+
+use stmbench7::core::WorkloadType;
+use stmbench7::BackendChoice;
+use stmbench7_bench::{astm_backend, print_row, run_cell, write_csv, Cell, SweepOpts};
+
+fn main() {
+    let mut opts = SweepOpts::from_args();
+    if opts.threads == vec![1, 2, 3, 4, 6, 8] {
+        opts.threads = vec![1, 2, 4, 8]; // The table's thread counts.
+    }
+    println!("Table 3: throughput [op/s], coarse locking vs ASTM, long traversals disabled");
+    print_row(&[
+        "workload".into(),
+        "threads".into(),
+        "lock".into(),
+        "astm".into(),
+        "lock/astm".into(),
+    ]);
+    let mut rows = Vec::new();
+    for workload in WorkloadType::all() {
+        for &threads in &opts.threads {
+            let mut cell = Cell {
+                backend: BackendChoice::Coarse,
+                workload,
+                threads,
+                long_traversals: false,
+                structure_mods: true,
+                astm_friendly: false,
+            };
+            let lock = run_cell(&opts, &cell).throughput();
+            cell.backend = astm_backend();
+            let astm_report = run_cell(&opts, &cell);
+            let astm = astm_report.throughput();
+            let ratio = if astm > 0.0 {
+                lock / astm
+            } else {
+                f64::INFINITY
+            };
+            print_row(&[
+                workload.name().into(),
+                threads.to_string(),
+                format!("{lock:.0}"),
+                format!("{astm:.1}"),
+                format!("{ratio:.0}x"),
+            ]);
+            let stm = astm_report.stm.unwrap_or_default();
+            rows.push(format!(
+                "{},{},{:.1},{:.2},{:.1},{},{}",
+                workload.name(),
+                threads,
+                lock,
+                astm,
+                ratio,
+                stm.aborts,
+                stm.validation_steps
+            ));
+        }
+    }
+    write_csv(
+        "table3",
+        "workload,threads,lock_throughput,astm_throughput,ratio,astm_aborts,astm_validation_steps",
+        &rows,
+    );
+}

@@ -1,0 +1,89 @@
+//! Extension: the "ultimate baseline" sweep the paper's §6 calls for.
+//!
+//! "Adding a fine-grained, highly-optimized locking strategy would help
+//! define the 'ultimate' baseline test of STMs." This binary compares all
+//! four lock granularities (sequential, coarse, medium, fine) and the
+//! sharded TL2 remedy across the three workloads, long traversals
+//! disabled (the Figure 4 configuration, extended with the new
+//! strategies).
+//!
+//! Expected shape: fine-grained pays the paper's predicted
+//! discover/sort/acquire overhead at one thread (it runs every operation
+//! twice), and repays it with the least write-write serialization as
+//! threads and the update ratio grow.
+
+use stmbench7::core::WorkloadType;
+use stmbench7::BackendChoice;
+use stmbench7_bench::{print_row, run_cell, write_csv, Cell, SweepOpts};
+
+fn backends() -> Vec<(&'static str, BackendChoice)> {
+    vec![
+        ("sequential", BackendChoice::Sequential),
+        ("coarse", BackendChoice::Coarse),
+        ("medium", BackendChoice::Medium),
+        ("fine", BackendChoice::Fine),
+        (
+            "tl2-sharded",
+            BackendChoice::Tl2 {
+                granularity: stmbench7::backend::Granularity::Sharded,
+            },
+        ),
+        (
+            "norec-sharded",
+            BackendChoice::Norec {
+                granularity: stmbench7::backend::Granularity::Sharded,
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let opts = SweepOpts::from_args();
+    println!("Ultimate baseline (paper §6 future work): throughput [op/s],");
+    println!("long traversals disabled, all lock granularities + sharded TL2");
+    print_row(&[
+        "workload".into(),
+        "strategy".into(),
+        "threads".into(),
+        "ops/s".into(),
+        "attempted/s".into(),
+    ]);
+    let mut rows = Vec::new();
+    for workload in WorkloadType::all() {
+        for (name, backend) in backends() {
+            for &threads in &opts.threads {
+                let report = run_cell(
+                    &opts,
+                    &Cell {
+                        backend,
+                        workload,
+                        threads,
+                        long_traversals: false,
+                        structure_mods: true,
+                        astm_friendly: false,
+                    },
+                );
+                print_row(&[
+                    workload.name().into(),
+                    name.into(),
+                    threads.to_string(),
+                    format!("{:.0}", report.throughput()),
+                    format!("{:.0}", report.throughput_attempted()),
+                ]);
+                rows.push(format!(
+                    "{},{},{},{:.1},{:.1}",
+                    workload.name(),
+                    name,
+                    threads,
+                    report.throughput(),
+                    report.throughput_attempted()
+                ));
+            }
+        }
+    }
+    write_csv(
+        "ultimate_baseline",
+        "workload,strategy,threads,throughput,attempted",
+        &rows,
+    );
+}

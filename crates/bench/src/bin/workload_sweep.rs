@@ -1,0 +1,79 @@
+//! Extension (§6): "more workloads need to be explored" — sweep the
+//! update percentage continuously from read-only to write-only using the
+//! custom workload type, and chart each strategy's throughput across it.
+//!
+//! The paper's three named workloads are the 10 / 40 / 90 points of this
+//! curve; the sweep shows what happens between and beyond them (where
+//! medium-grained locking loses its edge, where ASTM's invisible-read
+//! costs bite, where NOrec's single-writer commit saturates).
+
+use stmbench7::core::WorkloadType;
+use stmbench7::BackendChoice;
+use stmbench7_bench::{print_row, run_cell, write_csv, Cell, SweepOpts};
+
+fn backends() -> Vec<(&'static str, BackendChoice)> {
+    vec![
+        ("coarse", BackendChoice::Coarse),
+        ("medium", BackendChoice::Medium),
+        ("fine", BackendChoice::Fine),
+        (
+            "tl2-sharded",
+            BackendChoice::Tl2 {
+                granularity: stmbench7::backend::Granularity::Sharded,
+            },
+        ),
+        (
+            "norec-sharded",
+            BackendChoice::Norec {
+                granularity: stmbench7::backend::Granularity::Sharded,
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let opts = SweepOpts::from_args();
+    let threads = *opts.threads.first().unwrap_or(&4);
+    println!("Workload sweep (§6 extension): throughput [op/s] vs update %");
+    println!("long traversals disabled, {threads} threads");
+    print_row(&[
+        "update %".into(),
+        "strategy".into(),
+        "ops/s".into(),
+        "attempted/s".into(),
+    ]);
+    let mut rows = Vec::new();
+    for update_pct in [0u8, 10, 25, 40, 60, 75, 90, 100] {
+        for (name, backend) in backends() {
+            let report = run_cell(
+                &opts,
+                &Cell {
+                    backend,
+                    workload: WorkloadType::Custom { update_pct },
+                    threads,
+                    long_traversals: false,
+                    structure_mods: true,
+                    astm_friendly: false,
+                },
+            );
+            print_row(&[
+                update_pct.to_string(),
+                name.into(),
+                format!("{:.0}", report.throughput()),
+                format!("{:.0}", report.throughput_attempted()),
+            ]);
+            rows.push(format!(
+                "{},{},{:.1},{:.1}",
+                update_pct,
+                name,
+                report.throughput(),
+                report.throughput_attempted()
+            ));
+        }
+    }
+    write_csv(
+        "workload_sweep",
+        "update_pct,strategy,throughput,attempted",
+        &rows,
+    );
+}

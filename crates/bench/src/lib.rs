@@ -1,0 +1,178 @@
+//! Shared infrastructure for the figure/table regeneration binaries.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's experiment index): it sweeps the same parameter
+//! grid, prints an aligned table of the series the paper plots, and
+//! appends CSV rows under `results/`.
+//!
+//! Absolute numbers are not expected to match 2006 hardware; the *shapes*
+//! (who wins, by roughly what factor, where the crossovers sit) are the
+//! reproduction target. EXPERIMENTS.md records both.
+
+use std::io::Write as _;
+use std::time::Duration;
+
+use stmbench7::core::{run_benchmark, BenchConfig, OpFilter, Report, RunMode, WorkloadType};
+use stmbench7::data::{StructureParams, Workspace};
+use stmbench7::{AnyBackend, BackendChoice};
+
+/// One sweep cell: a backend × workload × thread-count configuration.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    pub backend: BackendChoice,
+    pub workload: WorkloadType,
+    pub threads: usize,
+    pub long_traversals: bool,
+    pub structure_mods: bool,
+    pub astm_friendly: bool,
+}
+
+/// Sweep-wide options parsed from the command line.
+#[derive(Clone, Debug)]
+pub struct SweepOpts {
+    pub params: StructureParams,
+    pub secs_per_cell: f64,
+    pub threads: Vec<usize>,
+    pub seed: u64,
+}
+
+impl SweepOpts {
+    /// Parses the common flags of every binary:
+    /// `--preset tiny|small|standard`, `--secs F`, `--threads a,b,c`,
+    /// `--seed N`.
+    pub fn from_args() -> SweepOpts {
+        let mut opts = SweepOpts {
+            params: StructureParams::small(),
+            secs_per_cell: 1.0,
+            threads: vec![1, 2, 3, 4, 6, 8],
+            seed: 1,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let val = |i: &mut usize| -> String {
+                *i += 1;
+                argv.get(*i).cloned().unwrap_or_else(|| {
+                    eprintln!("missing value for {}", argv[*i - 1]);
+                    std::process::exit(2);
+                })
+            };
+            match argv[i].as_str() {
+                "--preset" => {
+                    let v = val(&mut i);
+                    opts.params = stmbench7::parse_preset(&v).unwrap_or_else(|| {
+                        eprintln!("unknown preset '{v}'");
+                        std::process::exit(2);
+                    });
+                }
+                "--secs" => opts.secs_per_cell = val(&mut i).parse().expect("--secs"),
+                "--threads" => {
+                    opts.threads = val(&mut i)
+                        .split(',')
+                        .map(|t| t.parse().expect("--threads"))
+                        .collect();
+                }
+                "--seed" => opts.seed = val(&mut i).parse().expect("--seed"),
+                other => {
+                    eprintln!("unknown argument '{other}'");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// Runs one cell on a freshly built structure and returns its report.
+pub fn run_cell(opts: &SweepOpts, cell: &Cell) -> Report {
+    let ws = Workspace::build(opts.params.clone(), opts.seed);
+    let backend = AnyBackend::build(cell.backend, ws);
+    let cfg = BenchConfig {
+        threads: cell.threads,
+        mode: RunMode::Timed(Duration::from_secs_f64(opts.secs_per_cell)),
+        workload: cell.workload,
+        long_traversals: cell.long_traversals,
+        structure_mods: cell.structure_mods,
+        filter: if cell.astm_friendly {
+            OpFilter::astm_friendly()
+        } else {
+            OpFilter::none()
+        },
+        seed: opts.seed,
+        histograms: false,
+    };
+    run_benchmark(&backend, &opts.params, &cfg)
+}
+
+/// Appends rows to `results/<name>.csv`, writing the header when the file
+/// is new.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    std::fs::create_dir_all("results").expect("create results dir");
+    let path = format!("results/{name}.csv");
+    let fresh = !std::path::Path::new(&path).exists();
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .expect("open results csv");
+    if fresh {
+        writeln!(file, "{header}").expect("write header");
+    }
+    for row in rows {
+        writeln!(file, "{row}").expect("write row");
+    }
+    eprintln!("wrote {} rows to {path}", rows.len());
+}
+
+/// Pretty-prints one line of a result table.
+pub fn print_row(cols: &[String]) {
+    let line = cols
+        .iter()
+        .map(|c| format!("{c:>14}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    println!("{line}");
+}
+
+/// The backend set of the lock-strategy figures (3 and 4).
+pub fn lock_backends() -> Vec<(&'static str, BackendChoice)> {
+    vec![
+        ("coarse", BackendChoice::Coarse),
+        ("medium", BackendChoice::Medium),
+    ]
+}
+
+/// The paper's ASTM backend (monolithic granularity, Polka).
+pub fn astm_backend() -> BackendChoice {
+    BackendChoice::Astm {
+        granularity: stmbench7::backend::Granularity::Monolithic,
+        cm: stmbench7::stm::ContentionManager::Polka,
+        visible: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_cell_smoke() {
+        let opts = SweepOpts {
+            params: StructureParams::tiny(),
+            secs_per_cell: 0.05,
+            threads: vec![1],
+            seed: 1,
+        };
+        let cell = Cell {
+            backend: BackendChoice::Coarse,
+            workload: WorkloadType::ReadWrite,
+            threads: 1,
+            long_traversals: false,
+            structure_mods: true,
+            astm_friendly: false,
+        };
+        let report = run_cell(&opts, &cell);
+        assert!(report.total_started() > 0);
+    }
+}

@@ -1,0 +1,295 @@
+//! The multi-threaded benchmark engine (paper §4).
+//!
+//! "STMBench7 runs a user-specified number of concurrent threads, all
+//! performing operations on the shared data structure. The threads are
+//! uniform in a sense that each picks its next operation randomly from
+//! the whole pool of 45 STMBench7 operations. Each thread registers
+//! locally its performance measurements. These are combined at the end of
+//! the benchmark."
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use stmbench7_backend::{Backend, TxOperation};
+use stmbench7_data::{OpOutcome, Sb7Tx, StructureParams, TxR};
+
+use crate::histogram::Histogram;
+use crate::ops::{access_spec, run_op, OpCtx, OpKind};
+use crate::report::{OpReport, Report};
+use crate::workload::{OpFilter, WorkloadMix, WorkloadType};
+
+/// How long the benchmark runs.
+#[derive(Clone, Copy, Debug)]
+pub enum RunMode {
+    /// Wall-clock duration (the paper's `-l length`).
+    Timed(Duration),
+    /// A fixed number of operations per thread — deterministic with one
+    /// thread; used by tests and benches.
+    FixedOps(u64),
+}
+
+/// Full benchmark configuration.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    pub threads: usize,
+    pub mode: RunMode,
+    pub workload: WorkloadType,
+    /// The paper's `--no-traversals` switch, inverted.
+    pub long_traversals: bool,
+    /// The paper's `--no-sms` switch, inverted.
+    pub structure_mods: bool,
+    pub filter: OpFilter,
+    pub seed: u64,
+    /// Collect TTC histograms (`--ttc-histograms`).
+    pub histograms: bool,
+}
+
+impl BenchConfig {
+    /// A deterministic single-thread configuration used by tests.
+    pub fn deterministic(workload: WorkloadType, ops: u64, seed: u64) -> Self {
+        BenchConfig {
+            threads: 1,
+            mode: RunMode::FixedOps(ops),
+            workload,
+            long_traversals: true,
+            structure_mods: true,
+            filter: OpFilter::none(),
+            seed,
+            histograms: true,
+        }
+    }
+}
+
+/// Per-thread, per-operation measurements.
+#[derive(Clone, Debug, Default)]
+struct ThreadOpStats {
+    completed: u64,
+    failed: u64,
+    max_ns: u64,
+    sum_ns: u64,
+    hist: Histogram,
+}
+
+struct Runner<'c> {
+    op: OpKind,
+    ctx: &'c mut OpCtx,
+    /// RNG state at the start of this operation; every attempt restarts
+    /// from here so retries (STM) and re-executions (fine-grained
+    /// discovery + execution) replay identical random choices.
+    attempt_rng: rand::rngs::SmallRng,
+}
+
+impl<'c> Runner<'c> {
+    fn new(op: OpKind, ctx: &'c mut OpCtx) -> Self {
+        Runner {
+            op,
+            attempt_rng: ctx.rng.clone(),
+            ctx,
+        }
+    }
+}
+
+impl TxOperation<OpOutcome> for Runner<'_> {
+    fn run<T: Sb7Tx>(&mut self, tx: &mut T) -> TxR<OpOutcome> {
+        run_op(self.op, tx, self.ctx)
+    }
+
+    fn begin_attempt(&mut self) {
+        self.ctx.rng = self.attempt_rng.clone();
+    }
+}
+
+/// Runs the benchmark over a backend and merges all measurements.
+pub fn run_benchmark<B: Backend>(
+    backend: &B,
+    params: &StructureParams,
+    cfg: &BenchConfig,
+) -> Report {
+    assert!(cfg.threads >= 1, "at least one thread required");
+    let mix = WorkloadMix::compute(
+        cfg.workload,
+        cfg.long_traversals,
+        cfg.structure_mods,
+        &cfg.filter,
+    );
+    let specs: Vec<_> = OpKind::ALL
+        .iter()
+        .map(|op| access_spec(*op, params.assembly_levels))
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    let started_at = Instant::now();
+    let stm_before = backend.stm_stats();
+
+    let all_stats: Vec<Vec<ThreadOpStats>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.threads);
+        for thread_id in 0..cfg.threads {
+            let mix = &mix;
+            let specs = &specs;
+            let stop = &stop;
+            handles.push(scope.spawn(move || {
+                let mut ctx = OpCtx::new(
+                    params.clone(),
+                    cfg.seed ^ (thread_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let mut stats: Vec<ThreadOpStats> =
+                    (0..45).map(|_| ThreadOpStats::default()).collect();
+                let deadline = match cfg.mode {
+                    RunMode::Timed(d) => Some(Instant::now() + d),
+                    RunMode::FixedOps(_) => None,
+                };
+                let budget = match cfg.mode {
+                    RunMode::FixedOps(n) => n,
+                    RunMode::Timed(_) => u64::MAX,
+                };
+                let mut executed = 0u64;
+                while executed < budget {
+                    if let Some(deadline) = deadline {
+                        if Instant::now() >= deadline || stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    let op = mix.pick(&mut ctx.rng);
+                    let t0 = Instant::now();
+                    let outcome =
+                        backend.execute(&specs[op.index()], &mut Runner::new(op, &mut ctx));
+                    let dt = t0.elapsed().as_nanos() as u64;
+                    let s = &mut stats[op.index()];
+                    match outcome {
+                        OpOutcome::Done(_) => {
+                            s.completed += 1;
+                            s.max_ns = s.max_ns.max(dt);
+                            s.sum_ns += dt;
+                            if cfg.histograms {
+                                s.hist.record(dt);
+                            }
+                        }
+                        OpOutcome::Fail(_) => s.failed += 1,
+                    }
+                    executed += 1;
+                }
+                stop.store(true, Ordering::Relaxed);
+                stats
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("benchmark thread panicked"))
+            .collect()
+    });
+
+    let elapsed = started_at.elapsed();
+    let stm_after = backend.stm_stats();
+    let stm = match (stm_before, stm_after) {
+        (Some(before), Some(after)) => Some(after.delta(&before)),
+        _ => None,
+    };
+
+    let mut per_op: Vec<OpReport> = OpKind::ALL
+        .iter()
+        .map(|op| OpReport::empty(*op, mix.expected(*op)))
+        .collect();
+    for thread_stats in &all_stats {
+        for (i, s) in thread_stats.iter().enumerate() {
+            let r = &mut per_op[i];
+            r.completed += s.completed;
+            r.failed += s.failed;
+            r.max_ns = r.max_ns.max(s.max_ns);
+            r.sum_ns += s.sum_ns;
+            r.hist.merge(&s.hist);
+        }
+    }
+
+    Report {
+        backend: backend.name().to_string(),
+        threads: cfg.threads,
+        workload: cfg.workload,
+        long_traversals: cfg.long_traversals,
+        structure_mods: cfg.structure_mods,
+        seed: cfg.seed,
+        elapsed,
+        per_op,
+        stm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmbench7_backend::SequentialBackend;
+    use stmbench7_data::Workspace;
+
+    #[test]
+    fn deterministic_single_thread_runs_are_identical() {
+        let params = StructureParams::tiny();
+        let cfg = BenchConfig::deterministic(WorkloadType::ReadWrite, 300, 42);
+        let run = || {
+            let ws = Workspace::build(params.clone(), 7);
+            let backend = SequentialBackend::new(ws);
+            run_benchmark(&backend, &params, &cfg)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.total_completed(), b.total_completed());
+        assert_eq!(a.total_failed(), b.total_failed());
+        for (x, y) in a.per_op.iter().zip(&b.per_op) {
+            assert_eq!(x.completed, y.completed, "{}", x.op.name());
+            assert_eq!(x.failed, y.failed, "{}", x.op.name());
+        }
+    }
+
+    #[test]
+    fn fixed_ops_budget_is_respected() {
+        let params = StructureParams::tiny();
+        let ws = Workspace::build(params.clone(), 7);
+        let backend = SequentialBackend::new(ws);
+        let cfg = BenchConfig::deterministic(WorkloadType::ReadDominated, 200, 1);
+        let report = run_benchmark(&backend, &params, &cfg);
+        assert_eq!(report.total_started(), 200);
+        // The structure must still be valid afterwards.
+        stmbench7_data::validate(&backend.export()).unwrap();
+    }
+
+    #[test]
+    fn histograms_account_for_every_completed_operation() {
+        let params = StructureParams::tiny();
+        let ws = Workspace::build(params.clone(), 7);
+        let backend = SequentialBackend::new(ws);
+        let cfg = BenchConfig::deterministic(WorkloadType::ReadWrite, 400, 9);
+        let report = run_benchmark(&backend, &params, &cfg);
+        for o in &report.per_op {
+            assert_eq!(
+                o.hist.samples(),
+                o.completed,
+                "{}: histogram samples must equal completions",
+                o.op.name()
+            );
+        }
+        // And without the flag, nothing is recorded.
+        let mut cfg = BenchConfig::deterministic(WorkloadType::ReadWrite, 100, 9);
+        cfg.histograms = false;
+        let ws = Workspace::build(params.clone(), 7);
+        let report = run_benchmark(&SequentialBackend::new(ws), &params, &cfg);
+        assert!(report.per_op.iter().all(|o| o.hist.samples() == 0));
+    }
+
+    #[test]
+    fn timed_mode_stops() {
+        let params = StructureParams::tiny();
+        let ws = Workspace::build(params.clone(), 7);
+        let backend = SequentialBackend::new(ws);
+        let cfg = BenchConfig {
+            threads: 2,
+            mode: RunMode::Timed(Duration::from_millis(200)),
+            workload: WorkloadType::ReadWrite,
+            long_traversals: false,
+            structure_mods: true,
+            filter: OpFilter::none(),
+            seed: 3,
+            histograms: false,
+        };
+        let report = run_benchmark(&backend, &params, &cfg);
+        assert!(report.total_started() > 0);
+        assert!(report.elapsed < Duration::from_secs(10));
+    }
+}

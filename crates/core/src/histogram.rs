@@ -1,0 +1,181 @@
+//! TTC (time-to-completion) histograms, as printed by the paper's
+//! `--ttc-histograms` option: one count per whole millisecond.
+
+/// A latency histogram with 1 ms buckets and an overflow bucket.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    buckets: Vec<u32>,
+    overflow: u32,
+    samples: u64,
+}
+
+/// Largest tracked latency, in milliseconds; beyond this, samples land in
+/// the overflow bucket.
+pub const MAX_TRACKED_MS: u64 = 60_000;
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, nanos: u64) {
+        let ms = nanos / 1_000_000;
+        self.samples += 1;
+        if ms >= MAX_TRACKED_MS {
+            self.overflow += 1;
+            return;
+        }
+        let idx = ms as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Samples beyond [`MAX_TRACKED_MS`].
+    pub fn overflow(&self) -> u32 {
+        self.overflow
+    }
+
+    /// Folds another histogram in (thread merge).
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.overflow += other.overflow;
+        self.samples += other.samples;
+    }
+
+    /// Non-empty `(ms, count)` pairs, the format of the paper's output
+    /// ("a space-delimited list of pairs ttc, count").
+    pub fn pairs(&self) -> Vec<(u64, u32)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(ms, c)| (ms as u64, *c))
+            .collect()
+    }
+
+    /// The p-th percentile (0..=100) in milliseconds, if any samples
+    /// were tracked.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.samples == 0 {
+            return None;
+        }
+        let target = ((self.samples as f64) * (p / 100.0)).ceil().max(1.0) as u64;
+        let mut acc = 0u64;
+        for (ms, c) in self.buckets.iter().enumerate() {
+            acc += u64::from(*c);
+            if acc >= target {
+                return Some(ms as u64);
+            }
+        }
+        Some(MAX_TRACKED_MS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn records_into_millisecond_buckets() {
+        let mut h = Histogram::new();
+        h.record(100_000); // 0.1 ms → bucket 0
+        h.record(MS); // bucket 1
+        h.record(MS + 999_999); // still bucket 1
+        h.record(5 * MS);
+        assert_eq!(h.pairs(), vec![(0, 1), (1, 2), (5, 1)]);
+        assert_eq!(h.samples(), 4);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn overflow_is_tracked() {
+        let mut h = Histogram::new();
+        h.record(MAX_TRACKED_MS * MS + 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.samples(), 1);
+        assert!(h.pairs().is_empty());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(MS);
+        b.record(MS);
+        b.record(3 * MS);
+        a.merge(&b);
+        assert_eq!(a.pairs(), vec![(1, 2), (3, 1)]);
+        assert_eq!(a.samples(), 3);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Sample accounting: tracked pairs plus overflow equals the
+            /// total, and merge is addition.
+            #[test]
+            fn merge_is_addition(
+                a in proptest::collection::vec(0u64..200_000, 0..60),
+                b in proptest::collection::vec(0u64..200_000, 0..60),
+            ) {
+                let mut ha = Histogram::new();
+                let mut hb = Histogram::new();
+                for ms in &a { ha.record(ms * 1_000_000); }
+                for ms in &b { hb.record(ms * 1_000_000); }
+                let mut merged = ha.clone();
+                merged.merge(&hb);
+                prop_assert_eq!(merged.samples(), (a.len() + b.len()) as u64);
+                let tracked: u64 = merged.pairs().iter().map(|(_, c)| u64::from(*c)).sum();
+                prop_assert_eq!(tracked + u64::from(merged.overflow()), merged.samples());
+            }
+
+            /// Percentiles are monotone in p and bounded by the extremes.
+            #[test]
+            fn percentiles_are_monotone(
+                samples in proptest::collection::vec(0u64..50_000, 1..80),
+            ) {
+                let mut h = Histogram::new();
+                for ms in &samples { h.record(ms * 1_000_000); }
+                let lo = *samples.iter().min().unwrap();
+                let hi = *samples.iter().max().unwrap();
+                let mut last = 0;
+                for p in [1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0] {
+                    let v = h.percentile(p).unwrap();
+                    prop_assert!(v >= last, "p{p} went backwards");
+                    prop_assert!((lo..=hi).contains(&v));
+                    last = v;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut h = Histogram::new();
+        for ms in 1..=100u64 {
+            h.record(ms * MS);
+        }
+        assert_eq!(h.percentile(50.0), Some(50));
+        assert_eq!(h.percentile(99.0), Some(99));
+        assert_eq!(h.percentile(100.0), Some(100));
+        assert_eq!(Histogram::new().percentile(50.0), None);
+    }
+}

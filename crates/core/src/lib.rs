@@ -1,0 +1,24 @@
+//! STMBench7 core: operations, workloads, engine and reporting.
+//!
+//! This crate contains the benchmark logic of the paper:
+//!
+//! * [`ops`] — the 45 operations of Appendix B, written once against
+//!   `stmbench7_data::Sb7Tx`, plus each operation's lock declaration;
+//! * [`workload`] — the ratio solver implementing Table 2 semantics and
+//!   the operation filter used by the §5 experiments;
+//! * [`engine`] — the multi-threaded driver (duration- or count-bounded);
+//! * [`histogram`] — TTC histograms;
+//! * [`report`] — Appendix-A-format output plus CSV for the bench
+//!   harness.
+
+pub mod engine;
+pub mod histogram;
+pub mod ops;
+pub mod report;
+pub mod workload;
+
+pub use engine::{run_benchmark, BenchConfig, RunMode};
+pub use histogram::Histogram;
+pub use ops::{access_spec, run_op, Category, OpCtx, OpKind};
+pub use report::{OpReport, Report, SampleError};
+pub use workload::{OpFilter, WorkloadMix, WorkloadType};

@@ -1,0 +1,199 @@
+//! Short operations OP1–OP15 (paper Appendix B.2.3).
+//!
+//! These pick one or a few objects — mostly through an index — and work on
+//! the object or its immediate neighborhood. They are the "large number of
+//! very short operations the performance of which is crucial" that OO7
+//! lacked and STMBench7 adds.
+
+use stmbench7_data::objects::AssemblyChildren;
+use stmbench7_data::{AtomicPart, OpOutcome, Sb7Tx, TxR};
+
+use super::short_traversals::toggle_date;
+use super::OpCtx;
+
+/// OP1 (Q1 in OO7): look up ten random atomic-part ids; read each match.
+/// Returns the number processed (lookups may miss).
+pub fn op1<T: Sb7Tx>(tx: &mut T, ctx: &mut OpCtx) -> TxR<OpOutcome> {
+    op1_impl(tx, ctx, Update::No)
+}
+
+/// OP9: as OP1, updating non-indexed attributes of each match.
+pub fn op9<T: Sb7Tx>(tx: &mut T, ctx: &mut OpCtx) -> TxR<OpOutcome> {
+    op1_impl(tx, ctx, Update::Xy)
+}
+
+/// OP15: as OP1, updating the *indexed* build date of each match.
+pub fn op15<T: Sb7Tx>(tx: &mut T, ctx: &mut OpCtx) -> TxR<OpOutcome> {
+    op1_impl(tx, ctx, Update::Date)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Update {
+    No,
+    Xy,
+    Date,
+}
+
+fn op1_impl<T: Sb7Tx>(tx: &mut T, ctx: &mut OpCtx, update: Update) -> TxR<OpOutcome> {
+    let mut processed = 0i64;
+    let mut checksum = 0i64;
+    for _ in 0..10 {
+        let raw = ctx.random_atomic_raw();
+        let Some(id) = tx.lookup_atomic(raw)? else {
+            continue;
+        };
+        checksum += tx.atomic(id, |p| i64::from(p.x) + i64::from(p.y))?;
+        match update {
+            Update::No => {}
+            Update::Xy => tx.atomic_mut(id, |p| p.swap_xy())?,
+            Update::Date => {
+                let date = tx.atomic(id, |p| p.build_date)?;
+                tx.set_atomic_build_date(id, AtomicPart::next_build_date(date))?;
+            }
+        }
+        processed += 1;
+    }
+    std::hint::black_box(checksum);
+    Ok(OpOutcome::Done(processed))
+}
+
+/// OP2 (Q2 in OO7): read all atomic parts with build date in the "young"
+/// range `[1990, 1999]` via the build-date index.
+pub fn op2<T: Sb7Tx>(tx: &mut T, ctx: &mut OpCtx) -> TxR<OpOutcome> {
+    let (lo, hi) = ctx.params.young_range();
+    range_impl(tx, lo, hi, false)
+}
+
+/// OP3 (Q3 in OO7): as OP2 over the wider range `[1900, 1999]`.
+pub fn op3<T: Sb7Tx>(tx: &mut T, ctx: &mut OpCtx) -> TxR<OpOutcome> {
+    let (lo, hi) = ctx.params.old_range();
+    range_impl(tx, lo, hi, false)
+}
+
+/// OP10: as OP2, updating non-indexed attributes of every part found.
+pub fn op10<T: Sb7Tx>(tx: &mut T, ctx: &mut OpCtx) -> TxR<OpOutcome> {
+    let (lo, hi) = ctx.params.young_range();
+    range_impl(tx, lo, hi, true)
+}
+
+fn range_impl<T: Sb7Tx>(tx: &mut T, lo: i32, hi: i32, update: bool) -> TxR<OpOutcome> {
+    let ids = tx.atomics_in_date_range(lo, hi)?;
+    let mut checksum = 0i64;
+    for id in &ids {
+        checksum += tx.atomic(*id, |p| i64::from(p.x) + i64::from(p.y))?;
+        if update {
+            tx.atomic_mut(*id, |p| p.swap_xy())?;
+        }
+    }
+    std::hint::black_box(checksum);
+    Ok(OpOutcome::Done(ids.len() as i64))
+}
+
+/// OP4 (T8 in OO7): count `'I'` characters in the manual.
+pub fn op4<T: Sb7Tx>(tx: &mut T) -> TxR<OpOutcome> {
+    Ok(OpOutcome::Done(tx.manual_count_char('I')? as i64))
+}
+
+/// OP5 (T9 in OO7): 1 if the manual's first and last characters match.
+pub fn op5<T: Sb7Tx>(tx: &mut T) -> TxR<OpOutcome> {
+    Ok(OpOutcome::Done(i64::from(tx.manual_first_last_equal()?)))
+}
+
+/// OP11: swap `'I'` ↔ `'i'` in the manual; returns characters changed.
+/// The operation that makes object-granularity STM logging copy a
+/// megabyte per character set.
+pub fn op11<T: Sb7Tx>(tx: &mut T) -> TxR<OpOutcome> {
+    Ok(OpOutcome::Done(tx.manual_swap_case()? as i64))
+}
+
+/// OP6: read all siblings of a random complex assembly (fails when the
+/// random id misses the index; the root has no siblings).
+pub fn op6<T: Sb7Tx>(tx: &mut T, ctx: &mut OpCtx) -> TxR<OpOutcome> {
+    op6_impl(tx, ctx, false)
+}
+
+/// OP12: as OP6, updating each sibling's build date.
+pub fn op12<T: Sb7Tx>(tx: &mut T, ctx: &mut OpCtx) -> TxR<OpOutcome> {
+    op6_impl(tx, ctx, true)
+}
+
+fn op6_impl<T: Sb7Tx>(tx: &mut T, ctx: &mut OpCtx, update: bool) -> TxR<OpOutcome> {
+    let raw = ctx.random_complex_raw();
+    let Some(ca) = tx.lookup_complex(raw)? else {
+        return Ok(OpOutcome::Fail("complex assembly id not found in index"));
+    };
+    let Some(parent) = tx.complex(ca, |c| c.parent)? else {
+        return Ok(OpOutcome::Done(0)); // The root has no siblings.
+    };
+    let siblings = tx.complex(parent, |p| match &p.children {
+        AssemblyChildren::Complex(v) => v.clone(),
+        AssemblyChildren::Base(_) => Vec::new(),
+    })?;
+    let mut checksum = 0i64;
+    for sib in &siblings {
+        checksum += tx.complex(*sib, |c| i64::from(c.build_date))?;
+        if update {
+            tx.complex_mut(*sib, |c| c.build_date = toggle_date(c.build_date))?;
+        }
+    }
+    std::hint::black_box(checksum);
+    Ok(OpOutcome::Done(siblings.len() as i64))
+}
+
+/// OP7: read all siblings of a random base assembly.
+pub fn op7<T: Sb7Tx>(tx: &mut T, ctx: &mut OpCtx) -> TxR<OpOutcome> {
+    op7_impl(tx, ctx, false)
+}
+
+/// OP13: as OP7, updating each sibling's build date.
+pub fn op13<T: Sb7Tx>(tx: &mut T, ctx: &mut OpCtx) -> TxR<OpOutcome> {
+    op7_impl(tx, ctx, true)
+}
+
+fn op7_impl<T: Sb7Tx>(tx: &mut T, ctx: &mut OpCtx, update: bool) -> TxR<OpOutcome> {
+    let raw = ctx.random_base_raw();
+    let Some(base) = tx.lookup_base(raw)? else {
+        return Ok(OpOutcome::Fail("base assembly id not found in index"));
+    };
+    let parent = tx.base(base, |b| b.parent)?;
+    let siblings = tx.complex(parent, |p| match &p.children {
+        AssemblyChildren::Base(v) => v.clone(),
+        AssemblyChildren::Complex(_) => Vec::new(),
+    })?;
+    let mut checksum = 0i64;
+    for sib in &siblings {
+        checksum += tx.base(*sib, |b| i64::from(b.build_date))?;
+        if update {
+            tx.base_mut(*sib, |b| b.build_date = toggle_date(b.build_date))?;
+        }
+    }
+    std::hint::black_box(checksum);
+    Ok(OpOutcome::Done(siblings.len() as i64))
+}
+
+/// OP8: read all composite parts of a random base assembly.
+pub fn op8<T: Sb7Tx>(tx: &mut T, ctx: &mut OpCtx) -> TxR<OpOutcome> {
+    op8_impl(tx, ctx, false)
+}
+
+/// OP14: as OP8, updating each composite part's build date.
+pub fn op14<T: Sb7Tx>(tx: &mut T, ctx: &mut OpCtx) -> TxR<OpOutcome> {
+    op8_impl(tx, ctx, true)
+}
+
+fn op8_impl<T: Sb7Tx>(tx: &mut T, ctx: &mut OpCtx, update: bool) -> TxR<OpOutcome> {
+    let raw = ctx.random_base_raw();
+    let Some(base) = tx.lookup_base(raw)? else {
+        return Ok(OpOutcome::Fail("base assembly id not found in index"));
+    };
+    let comps = tx.base(base, |b| b.components.clone())?;
+    let mut checksum = 0i64;
+    for comp in &comps {
+        checksum += tx.composite(*comp, |c| i64::from(c.build_date))?;
+        if update {
+            tx.composite_mut(*comp, |c| c.build_date = toggle_date(c.build_date))?;
+        }
+    }
+    std::hint::black_box(checksum);
+    Ok(OpOutcome::Done(comps.len() as i64))
+}

@@ -1,0 +1,313 @@
+//! Long traversals T1–T6 and queries Q6, Q7 (paper Appendix B.2.1).
+//!
+//! All originate from OO7 and never fail. They are the operations that
+//! make STMBench7 a "crash test" for STMs: T1 alone opens every assembly,
+//! every composite part and every atomic part reachable from the module.
+
+use std::collections::HashSet;
+
+use stmbench7_data::objects::AssemblyChildren;
+use stmbench7_data::{
+    AtomicPart, AtomicPartId, BaseAssemblyId, ComplexAssemblyId, OpOutcome, Sb7Tx, TxR,
+};
+
+/// What a T-family traversal does to the atomic parts it reaches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PartAction {
+    /// T1: read-only visit of every part.
+    Read,
+    /// T6: visit only each graph's root part.
+    ReadRootOnly,
+    /// T2a / T3a: update only root parts (`times` applications).
+    UpdateRoot { indexed: bool, times: u32 },
+    /// T2b, T2c / T3b, T3c: update every part.
+    UpdateAll { indexed: bool, times: u32 },
+}
+
+/// Collects all base assemblies by a depth-first walk of the assembly
+/// tree, reading every complex assembly on the way (shared by the long
+/// traversals).
+pub(crate) fn collect_bases_depth_first<T: Sb7Tx>(tx: &mut T) -> TxR<Vec<BaseAssemblyId>> {
+    let root = tx.module(|m| m.design_root)?;
+    let mut bases = Vec::new();
+    let mut stack = vec![root];
+    while let Some(ca) = stack.pop() {
+        let children = tx.complex(ca, |c| c.children.clone())?;
+        match children {
+            AssemblyChildren::Complex(v) => stack.extend(v),
+            AssemblyChildren::Base(v) => bases.extend(v),
+        }
+    }
+    Ok(bases)
+}
+
+/// Depth-first search over one composite part's atomic graph, applying
+/// `action`. Returns the number of parts visited.
+fn traverse_graph<T: Sb7Tx>(
+    tx: &mut T,
+    root: AtomicPartId,
+    action: PartAction,
+    checksum: &mut i64,
+) -> TxR<i64> {
+    if matches!(action, PartAction::ReadRootOnly) {
+        *checksum += tx.atomic(root, |p| i64::from(p.x) + i64::from(p.y))?;
+        return Ok(1);
+    }
+    let mut visited: HashSet<AtomicPartId> = HashSet::new();
+    let mut stack = vec![root];
+    while let Some(id) = stack.pop() {
+        if !visited.insert(id) {
+            continue;
+        }
+        let targets = tx.atomic(id, |p| {
+            *checksum += i64::from(p.x) + i64::from(p.y);
+            p.to.iter().map(|c| c.to).collect::<Vec<_>>()
+        })?;
+        let do_update = match action {
+            PartAction::Read | PartAction::ReadRootOnly => None,
+            PartAction::UpdateRoot { indexed, times } => (id == root).then_some((indexed, times)),
+            PartAction::UpdateAll { indexed, times } => Some((indexed, times)),
+        };
+        if let Some((indexed, times)) = do_update {
+            for _ in 0..times {
+                if indexed {
+                    let date = tx.atomic(id, |p| p.build_date)?;
+                    tx.set_atomic_build_date(id, AtomicPart::next_build_date(date))?;
+                } else {
+                    tx.atomic_mut(id, |p| p.swap_xy())?;
+                }
+            }
+        }
+        stack.extend(targets);
+    }
+    Ok(visited.len() as i64)
+}
+
+/// The common T1/T2/T3 skeleton: full tree walk, then every composite
+/// part of every base assembly, then its atomic graph.
+fn t_family<T: Sb7Tx>(tx: &mut T, action: PartAction) -> TxR<OpOutcome> {
+    let bases = collect_bases_depth_first(tx)?;
+    let mut count = 0i64;
+    let mut checksum = 0i64;
+    for base in bases {
+        let comps = tx.base(base, |b| b.components.clone())?;
+        for comp in comps {
+            let root_part = tx.composite(comp, |c| c.root_part)?;
+            count += traverse_graph(tx, root_part, action, &mut checksum)?;
+        }
+    }
+    std::hint::black_box(checksum);
+    Ok(OpOutcome::Done(count))
+}
+
+/// T1: read-only traversal of the entire structure; returns the number of
+/// atomic parts visited.
+pub fn t1<T: Sb7Tx>(tx: &mut T) -> TxR<OpOutcome> {
+    t_family(tx, PartAction::Read)
+}
+
+/// T2a: as T1, updating non-indexed attributes of each root atomic part.
+pub fn t2a<T: Sb7Tx>(tx: &mut T) -> TxR<OpOutcome> {
+    t_family(
+        tx,
+        PartAction::UpdateRoot {
+            indexed: false,
+            times: 1,
+        },
+    )
+}
+
+/// T2b: as T1, updating non-indexed attributes of every atomic part.
+pub fn t2b<T: Sb7Tx>(tx: &mut T) -> TxR<OpOutcome> {
+    t_family(
+        tx,
+        PartAction::UpdateAll {
+            indexed: false,
+            times: 1,
+        },
+    )
+}
+
+/// T2c: as T2b, with each update performed four times, one by one.
+pub fn t2c<T: Sb7Tx>(tx: &mut T) -> TxR<OpOutcome> {
+    t_family(
+        tx,
+        PartAction::UpdateAll {
+            indexed: false,
+            times: 4,
+        },
+    )
+}
+
+/// T3a: as T2a on the indexed `buildDate` attribute.
+pub fn t3a<T: Sb7Tx>(tx: &mut T) -> TxR<OpOutcome> {
+    t_family(
+        tx,
+        PartAction::UpdateRoot {
+            indexed: true,
+            times: 1,
+        },
+    )
+}
+
+/// T3b: as T2b on the indexed `buildDate` attribute.
+pub fn t3b<T: Sb7Tx>(tx: &mut T) -> TxR<OpOutcome> {
+    t_family(
+        tx,
+        PartAction::UpdateAll {
+            indexed: true,
+            times: 1,
+        },
+    )
+}
+
+/// T3c: as T3b, four updates per part.
+pub fn t3c<T: Sb7Tx>(tx: &mut T) -> TxR<OpOutcome> {
+    t_family(
+        tx,
+        PartAction::UpdateAll {
+            indexed: true,
+            times: 4,
+        },
+    )
+}
+
+/// T4: traversal down to documents, counting `'I'` characters.
+pub fn t4<T: Sb7Tx>(tx: &mut T) -> TxR<OpOutcome> {
+    let bases = collect_bases_depth_first(tx)?;
+    let mut total = 0i64;
+    for base in bases {
+        let comps = tx.base(base, |b| b.components.clone())?;
+        for comp in comps {
+            let doc = tx.composite(comp, |c| c.doc)?;
+            total += tx.document(doc, |d| {
+                stmbench7_data::text::count_char(&d.text, 'I') as i64
+            })?;
+        }
+    }
+    Ok(OpOutcome::Done(total))
+}
+
+/// T5: as T4, swapping `"I am"` ↔ `"This is"` in every document; returns
+/// the number of substrings replaced.
+pub fn t5<T: Sb7Tx>(tx: &mut T) -> TxR<OpOutcome> {
+    let bases = collect_bases_depth_first(tx)?;
+    let mut total = 0i64;
+    for base in bases {
+        let comps = tx.base(base, |b| b.components.clone())?;
+        for comp in comps {
+            let doc = tx.composite(comp, |c| c.doc)?;
+            total +=
+                tx.document_mut(doc, |d| stmbench7_data::text::swap_text(&mut d.text) as i64)?;
+        }
+    }
+    Ok(OpOutcome::Done(total))
+}
+
+/// T6: as T1 but visiting only each graph's root atomic part.
+pub fn t6<T: Sb7Tx>(tx: &mut T) -> TxR<OpOutcome> {
+    t_family(tx, PartAction::ReadRootOnly)
+}
+
+/// Q6: count complex assemblies that are ancestors of a base assembly
+/// whose build date is lower than that of one of its composite parts.
+pub fn q6<T: Sb7Tx>(tx: &mut T) -> TxR<OpOutcome> {
+    fn rec<T: Sb7Tx>(tx: &mut T, ca: ComplexAssemblyId, matched: &mut i64) -> TxR<bool> {
+        let children = tx.complex(ca, |c| c.children.clone())?;
+        let mut any = false;
+        match children {
+            AssemblyChildren::Complex(v) => {
+                for child in v {
+                    any |= rec(tx, child, matched)?;
+                }
+            }
+            AssemblyChildren::Base(v) => {
+                for base in v {
+                    let (date, comps) = tx.base(base, |b| (b.build_date, b.components.clone()))?;
+                    for comp in comps {
+                        // Iterate "until one with a larger buildDate is
+                        // found", per the spec.
+                        if tx.composite(comp, |c| c.build_date)? > date {
+                            any = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        if any {
+            *matched += 1;
+        }
+        Ok(any)
+    }
+
+    let root = tx.module(|m| m.design_root)?;
+    let mut matched = 0i64;
+    rec(tx, root, &mut matched)?;
+    Ok(OpOutcome::Done(matched))
+}
+
+/// Q7: iterate over all atomic parts via the id index.
+pub fn q7<T: Sb7Tx>(tx: &mut T) -> TxR<OpOutcome> {
+    let ids = tx.all_atomic_ids()?;
+    let mut checksum = 0i64;
+    for id in &ids {
+        checksum += tx.atomic(*id, |p| i64::from(p.x) + i64::from(p.y))?;
+    }
+    std::hint::black_box(checksum);
+    Ok(OpOutcome::Done(ids.len() as i64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmbench7_data::{DirectTx, StructureParams, Workspace};
+
+    #[test]
+    fn collect_bases_visits_every_base_exactly_once() {
+        let p = StructureParams::tiny();
+        let mut ws = Workspace::build(p.clone(), 3);
+        let mut tx = DirectTx::writing(&mut ws);
+        let bases = collect_bases_depth_first(&mut tx).unwrap();
+        assert_eq!(bases.len(), p.initial_bases());
+        let mut unique: Vec<_> = bases.clone();
+        unique.sort_unstable_by_key(|b| b.raw());
+        unique.dedup();
+        assert_eq!(unique.len(), bases.len(), "no base visited twice");
+    }
+
+    #[test]
+    fn traverse_graph_read_visits_connected_component() {
+        let p = StructureParams::tiny();
+        let mut ws = Workspace::build(p.clone(), 3);
+        let root = ws.composites.store.get(1).unwrap().root_part;
+        let mut tx = DirectTx::writing(&mut ws);
+        let mut checksum = 0;
+        let n = traverse_graph(&mut tx, root, PartAction::Read, &mut checksum).unwrap();
+        // Graphs are ring-connected, so the DFS covers the whole graph.
+        assert_eq!(n, p.atomics_per_comp as i64);
+        let one = traverse_graph(&mut tx, root, PartAction::ReadRootOnly, &mut checksum).unwrap();
+        assert_eq!(one, 1);
+    }
+
+    #[test]
+    fn update_actions_report_the_same_counts_as_read() {
+        let p = StructureParams::tiny();
+        let mut ws = Workspace::build(p.clone(), 3);
+        let root = ws.composites.store.get(2).unwrap().root_part;
+        let mut tx = DirectTx::writing(&mut ws);
+        let mut checksum = 0;
+        let read = traverse_graph(&mut tx, root, PartAction::Read, &mut checksum).unwrap();
+        let updated = traverse_graph(
+            &mut tx,
+            root,
+            PartAction::UpdateAll {
+                indexed: false,
+                times: 2,
+            },
+            &mut checksum,
+        )
+        .unwrap();
+        assert_eq!(read, updated, "visit counts are action-independent");
+    }
+}

@@ -1,0 +1,418 @@
+//! Benchmark output, mirroring the paper's Appendix A.1 sections:
+//! benchmark parameters, optional TTC histograms, detailed per-operation
+//! results, sample errors, and summary results (per-category rollups,
+//! total errors, throughput, elapsed time).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use stmbench7_stm::StatsSnapshot;
+
+use crate::histogram::Histogram;
+use crate::ops::{Category, OpKind};
+use crate::workload::WorkloadType;
+
+/// Merged measurements for one operation.
+#[derive(Clone, Debug)]
+pub struct OpReport {
+    pub op: OpKind,
+    /// The configured ratio `C_T`.
+    pub expected_ratio: f64,
+    pub completed: u64,
+    pub failed: u64,
+    pub max_ns: u64,
+    pub sum_ns: u64,
+    pub hist: Histogram,
+}
+
+impl OpReport {
+    pub(crate) fn empty(op: OpKind, expected_ratio: f64) -> Self {
+        OpReport {
+            op,
+            expected_ratio,
+            completed: 0,
+            failed: 0,
+            max_ns: 0,
+            sum_ns: 0,
+            hist: Histogram::new(),
+        }
+    }
+
+    /// Operations started (completed or failed).
+    pub fn started(&self) -> u64 {
+        self.completed + self.failed
+    }
+
+    /// Maximum observed latency in milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.max_ns as f64 / 1e6
+    }
+
+    /// Mean latency over completed executions, in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.completed as f64 / 1e6
+        }
+    }
+
+    /// The p-th latency percentile in milliseconds, from the TTC
+    /// histogram (1 ms resolution; `None` without histogram samples).
+    pub fn percentile_ms(&self, p: f64) -> Option<u64> {
+        self.hist.percentile(p)
+    }
+}
+
+/// Per-operation sample errors (Appendix A.1, "Sample errors").
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SampleError {
+    /// Ratio computed from the input parameters.
+    pub c: f64,
+    /// Ratio of successful executions to all successful operations.
+    pub r: f64,
+    /// `E_T = |C_T - R_T|`.
+    pub e: f64,
+    /// Ratio of successful *and failed* executions to all successful
+    /// operations.
+    pub a: f64,
+    /// `F_T = |A_T - R_T|`.
+    pub f: f64,
+}
+
+/// A complete benchmark result.
+#[derive(Clone, Debug)]
+pub struct Report {
+    pub backend: String,
+    pub threads: usize,
+    pub workload: WorkloadType,
+    pub long_traversals: bool,
+    pub structure_mods: bool,
+    pub seed: u64,
+    pub elapsed: Duration,
+    pub per_op: Vec<OpReport>,
+    pub stm: Option<StatsSnapshot>,
+}
+
+impl Report {
+    /// Total successfully completed operations.
+    pub fn total_completed(&self) -> u64 {
+        self.per_op.iter().map(|o| o.completed).sum()
+    }
+
+    /// Total benignly failed operations.
+    pub fn total_failed(&self) -> u64 {
+        self.per_op.iter().map(|o| o.failed).sum()
+    }
+
+    /// Total operations started.
+    pub fn total_started(&self) -> u64 {
+        self.total_completed() + self.total_failed()
+    }
+
+    /// Successful operations per second — the paper's headline
+    /// throughput number.
+    pub fn throughput(&self) -> f64 {
+        self.total_completed() as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Started (completed or failed) operations per second.
+    pub fn throughput_attempted(&self) -> f64 {
+        self.total_started() as f64 / self.elapsed.as_secs_f64()
+    }
+
+    /// Maximum latency over an operation subset, in milliseconds (the
+    /// quantity Figure 3 plots for T1 and T2b).
+    pub fn max_latency_ms(&self, op: OpKind) -> f64 {
+        self.per_op[op.index()].max_ms()
+    }
+
+    /// The p-th latency percentile of one operation, in milliseconds
+    /// (extension beyond the paper's max/mean; needs `histograms`).
+    pub fn percentile_ms(&self, op: OpKind, p: f64) -> Option<u64> {
+        self.per_op[op.index()].percentile_ms(p)
+    }
+
+    /// Merged report rows for one category.
+    pub fn category_rollup(&self, cat: Category) -> (u64, u64, f64) {
+        let mut completed = 0;
+        let mut failed = 0;
+        let mut max_ms = 0.0f64;
+        for o in self.per_op.iter().filter(|o| o.op.category() == cat) {
+            completed += o.completed;
+            failed += o.failed;
+            max_ms = max_ms.max(o.max_ms());
+        }
+        (completed, failed, max_ms)
+    }
+
+    /// Sample errors per operation, per Appendix A.1.
+    pub fn sample_errors(&self) -> Vec<SampleError> {
+        let total = self.total_completed().max(1) as f64;
+        self.per_op
+            .iter()
+            .map(|o| {
+                let c = o.expected_ratio;
+                let r = o.completed as f64 / total;
+                let a = o.started() as f64 / total;
+                SampleError {
+                    c,
+                    r,
+                    e: (c - r).abs(),
+                    a,
+                    f: (a - r).abs(),
+                }
+            })
+            .collect()
+    }
+
+    /// Total sample errors `E` and `F`.
+    pub fn total_errors(&self) -> (f64, f64) {
+        let errs = self.sample_errors();
+        (
+            errs.iter().map(|s| s.e).sum(),
+            errs.iter().map(|s| s.f).sum(),
+        )
+    }
+
+    /// Renders the Appendix-A-style text report.
+    pub fn render(&self, ttc_histograms: bool) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== Benchmark parameters ==");
+        let _ = writeln!(out, "  backend:             {}", self.backend);
+        let _ = writeln!(out, "  threads:             {}", self.threads);
+        let _ = writeln!(out, "  workload:            {}", self.workload.label());
+        let _ = writeln!(out, "  long traversals:     {}", self.long_traversals);
+        let _ = writeln!(out, "  structure mods:      {}", self.structure_mods);
+        let _ = writeln!(out, "  seed:                {}", self.seed);
+
+        if ttc_histograms {
+            let _ = writeln!(out, "\n== TTC histograms ==");
+            for o in &self.per_op {
+                if o.hist.samples() == 0 {
+                    continue;
+                }
+                let pairs = o
+                    .hist
+                    .pairs()
+                    .iter()
+                    .map(|(ms, c)| format!("{ms},{c}"))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let _ = writeln!(out, "TTC histogram for {}: {}", o.op.name(), pairs);
+            }
+        }
+
+        let _ = writeln!(out, "\n== Detailed results ==");
+        for o in &self.per_op {
+            if o.started() == 0 {
+                continue;
+            }
+            // Percentiles (an extension over the paper's max/mean) are
+            // shown when TTC histograms were collected.
+            let tail = match (o.percentile_ms(50.0), o.percentile_ms(95.0)) {
+                (Some(p50), Some(p95)) if ttc_histograms => {
+                    format!("   p50 {p50:>5} ms   p95 {p95:>5} ms")
+                }
+                _ => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "  {:<5} completed {:>9}   max {:>10.3} ms   mean {:>9.3} ms   failed {:>7}{}",
+                o.op.name(),
+                o.completed,
+                o.max_ms(),
+                o.mean_ms(),
+                o.failed,
+                tail,
+            );
+        }
+
+        let _ = writeln!(out, "\n== Sample errors ==");
+        let errors = self.sample_errors();
+        for (o, s) in self.per_op.iter().zip(&errors) {
+            if o.started() == 0 && s.c == 0.0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<5} C={:.4}  R={:.4}  E={:.4}  A={:.4}  F={:.4}",
+                o.op.name(),
+                s.c,
+                s.r,
+                s.e,
+                s.a,
+                s.f,
+            );
+        }
+
+        let _ = writeln!(out, "\n== Summary ==");
+        for cat in Category::all() {
+            let (completed, failed, max_ms) = self.category_rollup(cat);
+            let _ = writeln!(
+                out,
+                "  {:<24} completed {:>9}   max {:>10.3} ms   failed {:>7}   started {:>9}",
+                cat.name(),
+                completed,
+                max_ms,
+                failed,
+                completed + failed,
+            );
+        }
+        let (e, f) = self.total_errors();
+        let _ = writeln!(out, "  total sample errors: E={e:.4} F={f:.4}");
+        let _ = writeln!(
+            out,
+            "  total throughput:    {:.1} op/s successful, {:.1} op/s attempted",
+            self.throughput(),
+            self.throughput_attempted(),
+        );
+        let _ = writeln!(
+            out,
+            "  elapsed time:        {:.3} s",
+            self.elapsed.as_secs_f64()
+        );
+
+        if let Some(stm) = &self.stm {
+            let _ = writeln!(out, "\n== STM statistics ==");
+            let _ = writeln!(
+                out,
+                "  commits {}  aborts {}  abort-ratio {:.3}  reads {}  writes {}",
+                stm.commits,
+                stm.aborts,
+                stm.abort_ratio(),
+                stm.reads,
+                stm.writes,
+            );
+            let _ = writeln!(
+                out,
+                "  validation steps {}  clones {}  extensions {}  enemy aborts {}",
+                stm.validation_steps, stm.clones, stm.extensions, stm.enemy_aborts,
+            );
+        }
+        out
+    }
+
+    /// One CSV row per operation:
+    /// `backend,threads,workload,op,completed,failed,max_ms,mean_ms`.
+    pub fn csv_rows(&self) -> Vec<String> {
+        self.per_op
+            .iter()
+            .filter(|o| o.started() > 0)
+            .map(|o| {
+                format!(
+                    "{},{},{},{},{},{},{:.3},{:.3}",
+                    self.backend,
+                    self.threads,
+                    self.workload.name(),
+                    o.op.name(),
+                    o.completed,
+                    o.failed,
+                    o.max_ms(),
+                    o.mean_ms(),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> Report {
+        let mut per_op: Vec<OpReport> = OpKind::ALL
+            .iter()
+            .map(|op| OpReport::empty(*op, 1.0 / 45.0))
+            .collect();
+        per_op[OpKind::T1.index()].completed = 8;
+        per_op[OpKind::T1.index()].max_ns = 2_000_000;
+        per_op[OpKind::T1.index()].sum_ns = 8_000_000;
+        per_op[OpKind::St1.index()].completed = 90;
+        per_op[OpKind::St1.index()].failed = 10;
+        Report {
+            backend: "test".into(),
+            threads: 2,
+            workload: WorkloadType::ReadWrite,
+            long_traversals: true,
+            structure_mods: true,
+            seed: 0,
+            elapsed: Duration::from_secs(2),
+            per_op,
+            stm: None,
+        }
+    }
+
+    #[test]
+    fn totals_and_throughput() {
+        let r = sample_report();
+        assert_eq!(r.total_completed(), 98);
+        assert_eq!(r.total_failed(), 10);
+        assert_eq!(r.total_started(), 108);
+        assert!((r.throughput() - 49.0).abs() < 1e-9);
+        assert!((r.throughput_attempted() - 54.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_error_arithmetic() {
+        let r = sample_report();
+        let errs = r.sample_errors();
+        let st1 = errs[OpKind::St1.index()];
+        assert!((st1.r - 90.0 / 98.0).abs() < 1e-9);
+        assert!((st1.a - 100.0 / 98.0).abs() < 1e-9);
+        assert!((st1.f - 10.0 / 98.0).abs() < 1e-9);
+        let (e, f) = r.total_errors();
+        assert!(e > 0.0);
+        assert!(f > 0.0);
+    }
+
+    #[test]
+    fn render_contains_all_sections() {
+        let r = sample_report();
+        let text = r.render(true);
+        for section in [
+            "== Benchmark parameters ==",
+            "== Detailed results ==",
+            "== Sample errors ==",
+            "== Summary ==",
+        ] {
+            assert!(text.contains(section), "missing {section}");
+        }
+        assert!(text.contains("T1"));
+        assert!(text.contains("total throughput"));
+    }
+
+    #[test]
+    fn csv_rows_only_for_started_ops() {
+        let r = sample_report();
+        let rows = r.csv_rows();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].starts_with("test,2,rw,T1,8,0,"));
+    }
+
+    #[test]
+    fn percentiles_render_with_histograms() {
+        let mut r = sample_report();
+        let op = &mut r.per_op[OpKind::T1.index()];
+        for ms in [1u64, 2, 3, 40] {
+            op.hist.record(ms * 1_000_000);
+        }
+        assert_eq!(r.percentile_ms(OpKind::T1, 50.0), Some(2));
+        assert_eq!(r.percentile_ms(OpKind::T1, 100.0), Some(40));
+        assert_eq!(r.percentile_ms(OpKind::St1, 50.0), None);
+        let text = r.render(true);
+        assert!(text.contains("p50"), "percentile column rendered");
+        let plain = r.render(false);
+        assert!(!plain.contains("p50"), "no percentiles without histograms");
+    }
+
+    #[test]
+    fn category_rollup_sums() {
+        let r = sample_report();
+        let (completed, failed, max_ms) = r.category_rollup(Category::LongTraversal);
+        assert_eq!((completed, failed), (8, 0));
+        assert!((max_ms - 2.0).abs() < 1e-9);
+        let (c2, f2, _) = r.category_rollup(Category::ShortTraversal);
+        assert_eq!((c2, f2), (90, 10));
+    }
+}

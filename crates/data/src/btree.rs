@@ -1,0 +1,526 @@
+//! A B+tree used for all six STMBench7 indexes (Table 1).
+//!
+//! The paper's Java implementation uses `java.util` maps; we build the
+//! index structure ourselves so the STM backends can wrap it either as one
+//! monolithic transactional object (the configuration whose cost §5 of the
+//! paper diagnoses — every insert copies the whole index) or sharded into
+//! small cells (the remedy §5 sketches). Values live in the leaves;
+//! internal nodes hold routing separators which may outlive the keys they
+//! were copied from.
+//!
+//! Duplicate-key indexes (the atomic-part build-date index) are expressed
+//! with composite `(date, id)` keys and range scans.
+
+/// Maximum keys per node; nodes split above this.
+const MAX_KEYS: usize = 15;
+/// Minimum keys per non-root node; nodes rebalance below this.
+const MIN_KEYS: usize = MAX_KEYS / 2;
+
+#[derive(Clone, Debug)]
+enum Node<K, V> {
+    Leaf {
+        entries: Vec<(K, V)>,
+    },
+    Internal {
+        keys: Vec<K>,
+        children: Vec<Node<K, V>>,
+    },
+}
+
+impl<K: Ord + Clone, V: Clone> Node<K, V> {
+    fn overflowed(&self) -> bool {
+        match self {
+            Node::Leaf { entries } => entries.len() > MAX_KEYS,
+            Node::Internal { keys, .. } => keys.len() > MAX_KEYS,
+        }
+    }
+
+    fn underflowed(&self) -> bool {
+        match self {
+            Node::Leaf { entries } => entries.len() < MIN_KEYS,
+            Node::Internal { keys, .. } => keys.len() < MIN_KEYS,
+        }
+    }
+
+    fn route(keys: &[K], k: &K) -> usize {
+        keys.partition_point(|sep| sep <= k)
+    }
+
+    fn get(&self, k: &K) -> Option<&V> {
+        match self {
+            Node::Leaf { entries } => entries
+                .binary_search_by(|(ek, _)| ek.cmp(k))
+                .ok()
+                .map(|i| &entries[i].1),
+            Node::Internal { keys, children } => children[Self::route(keys, k)].get(k),
+        }
+    }
+
+    /// Inserts and returns the previous value if the key existed.
+    fn insert(&mut self, k: K, v: V) -> Option<V> {
+        match self {
+            Node::Leaf { entries } => match entries.binary_search_by(|(ek, _)| ek.cmp(&k)) {
+                Ok(i) => Some(std::mem::replace(&mut entries[i].1, v)),
+                Err(i) => {
+                    entries.insert(i, (k, v));
+                    None
+                }
+            },
+            Node::Internal { keys, children } => {
+                let i = Self::route(keys, &k);
+                let old = children[i].insert(k, v);
+                if children[i].overflowed() {
+                    let (sep, right) = children[i].split();
+                    keys.insert(i, sep);
+                    children.insert(i + 1, right);
+                }
+                old
+            }
+        }
+    }
+
+    /// Splits an overflowed node, returning the separator and right half.
+    fn split(&mut self) -> (K, Node<K, V>) {
+        match self {
+            Node::Leaf { entries } => {
+                let right = entries.split_off(entries.len() / 2);
+                let sep = right[0].0.clone();
+                (sep, Node::Leaf { entries: right })
+            }
+            Node::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid + 1);
+                let sep = keys.pop().expect("split of non-empty internal node");
+                let right_children = children.split_off(mid + 1);
+                (
+                    sep,
+                    Node::Internal {
+                        keys: right_keys,
+                        children: right_children,
+                    },
+                )
+            }
+        }
+    }
+
+    fn remove(&mut self, k: &K) -> Option<V> {
+        match self {
+            Node::Leaf { entries } => entries
+                .binary_search_by(|(ek, _)| ek.cmp(k))
+                .ok()
+                .map(|i| entries.remove(i).1),
+            Node::Internal { keys, children } => {
+                let i = Self::route(keys, k);
+                let removed = children[i].remove(k);
+                if removed.is_some() && children[i].underflowed() {
+                    Self::rebalance(keys, children, i);
+                }
+                removed
+            }
+        }
+    }
+
+    /// Restores the size invariant of `children[i]` by borrowing from or
+    /// merging with an adjacent sibling.
+    fn rebalance(keys: &mut Vec<K>, children: &mut Vec<Node<K, V>>, i: usize) {
+        // Try borrowing from the left sibling.
+        if i > 0 && children[i - 1].can_lend() {
+            let (left, rest) = children.split_at_mut(i);
+            let left = &mut left[i - 1];
+            let child = &mut rest[0];
+            match (left, child) {
+                (Node::Leaf { entries: le }, Node::Leaf { entries: ce }) => {
+                    let moved = le.pop().expect("lender is non-empty");
+                    keys[i - 1] = moved.0.clone();
+                    ce.insert(0, moved);
+                }
+                (
+                    Node::Internal {
+                        keys: lk,
+                        children: lc,
+                    },
+                    Node::Internal {
+                        keys: ck,
+                        children: cc,
+                    },
+                ) => {
+                    let sep = std::mem::replace(&mut keys[i - 1], lk.pop().expect("lender"));
+                    ck.insert(0, sep);
+                    cc.insert(0, lc.pop().expect("lender"));
+                }
+                _ => unreachable!("siblings are at the same depth"),
+            }
+            return;
+        }
+        // Try borrowing from the right sibling.
+        if i + 1 < children.len() && children[i + 1].can_lend() {
+            let (rest, right) = children.split_at_mut(i + 1);
+            let child = &mut rest[i];
+            let right = &mut right[0];
+            match (child, right) {
+                (Node::Leaf { entries: ce }, Node::Leaf { entries: re }) => {
+                    ce.push(re.remove(0));
+                    keys[i] = re[0].0.clone();
+                }
+                (
+                    Node::Internal {
+                        keys: ck,
+                        children: cc,
+                    },
+                    Node::Internal {
+                        keys: rk,
+                        children: rc,
+                    },
+                ) => {
+                    let sep = std::mem::replace(&mut keys[i], rk.remove(0));
+                    ck.push(sep);
+                    cc.push(rc.remove(0));
+                }
+                _ => unreachable!("siblings are at the same depth"),
+            }
+            return;
+        }
+        // Merge with a sibling (the one to the left if it exists).
+        let (li, ri) = if i > 0 { (i - 1, i) } else { (i, i + 1) };
+        let right = children.remove(ri);
+        let sep = keys.remove(li);
+        match (&mut children[li], right) {
+            (Node::Leaf { entries: le }, Node::Leaf { entries: re }) => {
+                le.extend(re);
+            }
+            (
+                Node::Internal {
+                    keys: lk,
+                    children: lc,
+                },
+                Node::Internal {
+                    keys: rk,
+                    children: rc,
+                },
+            ) => {
+                lk.push(sep);
+                lk.extend(rk);
+                lc.extend(rc);
+            }
+            _ => unreachable!("siblings are at the same depth"),
+        }
+    }
+
+    fn can_lend(&self) -> bool {
+        match self {
+            Node::Leaf { entries } => entries.len() > MIN_KEYS,
+            Node::Internal { keys, .. } => keys.len() > MIN_KEYS,
+        }
+    }
+
+    fn for_each(&self, f: &mut impl FnMut(&K, &V)) {
+        match self {
+            Node::Leaf { entries } => {
+                for (k, v) in entries {
+                    f(k, v);
+                }
+            }
+            Node::Internal { children, .. } => {
+                for c in children {
+                    c.for_each(f);
+                }
+            }
+        }
+    }
+
+    fn for_range(&self, lo: &K, hi: &K, f: &mut impl FnMut(&K, &V)) {
+        match self {
+            Node::Leaf { entries } => {
+                let start = entries.partition_point(|(k, _)| k < lo);
+                for (k, v) in &entries[start..] {
+                    if k > hi {
+                        break;
+                    }
+                    f(k, v);
+                }
+            }
+            Node::Internal { keys, children } => {
+                let first = Self::route(keys, lo);
+                let last = Self::route(keys, hi);
+                for c in &children[first..=last] {
+                    c.for_range(lo, hi, f);
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { children, .. } => 1 + children[0].depth(),
+        }
+    }
+}
+
+/// An ordered map with B+tree structure.
+///
+/// # Examples
+///
+/// ```
+/// use stmbench7_data::btree::BTree;
+///
+/// let mut t = BTree::new();
+/// for i in 0..100u32 {
+///     t.insert(i, i * 2);
+/// }
+/// assert_eq!(t.get(&40), Some(&80));
+/// assert_eq!(t.remove(&40), Some(80));
+/// assert_eq!(t.len(), 99);
+/// let mut seen = Vec::new();
+/// t.for_range(&10, &12, |k, _| seen.push(*k));
+/// assert_eq!(seen, vec![10, 11, 12]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BTree<K, V> {
+    root: Node<K, V>,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V: Clone> BTree<K, V> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        BTree {
+            root: Node::Leaf {
+                entries: Vec::new(),
+            },
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, k: &K) -> Option<&V> {
+        self.root.get(k)
+    }
+
+    /// True when the key is present.
+    pub fn contains(&self, k: &K) -> bool {
+        self.get(k).is_some()
+    }
+
+    /// Inserts a key/value pair, returning the previous value if any.
+    pub fn insert(&mut self, k: K, v: V) -> Option<V> {
+        let old = self.root.insert(k, v);
+        if old.is_none() {
+            self.len += 1;
+        }
+        if self.root.overflowed() {
+            let (sep, right) = self.root.split();
+            let left = std::mem::replace(
+                &mut self.root,
+                Node::Leaf {
+                    entries: Vec::new(),
+                },
+            );
+            self.root = Node::Internal {
+                keys: vec![sep],
+                children: vec![left, right],
+            };
+        }
+        old
+    }
+
+    /// Removes a key, returning its value if it was present.
+    pub fn remove(&mut self, k: &K) -> Option<V> {
+        let removed = self.root.remove(k);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        if let Node::Internal { keys, children } = &mut self.root {
+            if keys.is_empty() {
+                self.root = children.pop().expect("internal root has a child");
+            }
+        }
+        removed
+    }
+
+    /// In-order visit of every entry.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        self.root.for_each(&mut f);
+    }
+
+    /// In-order visit of entries with keys in `[lo, hi]` (inclusive).
+    pub fn for_range(&self, lo: &K, hi: &K, mut f: impl FnMut(&K, &V)) {
+        if lo > hi {
+            return;
+        }
+        self.root.for_range(lo, hi, &mut f);
+    }
+
+    /// Tree depth (for diagnostics and tests).
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+}
+
+impl<K: Ord + Clone, V: Clone> Default for BTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn empty_tree() {
+        let t: BTree<u32, u32> = BTree::new();
+        assert_eq!(t.len(), 0);
+        assert!(t.is_empty());
+        assert_eq!(t.get(&1), None);
+    }
+
+    #[test]
+    fn insert_get_replace() {
+        let mut t = BTree::new();
+        assert_eq!(t.insert(1u32, "a"), None);
+        assert_eq!(t.insert(1, "b"), Some("a"));
+        assert_eq!(t.get(&1), Some(&"b"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn many_inserts_then_ordered_iteration() {
+        let mut t = BTree::new();
+        // Insert in a scrambled order.
+        for i in 0..1000u32 {
+            t.insert(i.wrapping_mul(2_654_435_761) % 1000, ());
+        }
+        let mut keys = Vec::new();
+        t.for_each(|k, _| keys.push(*k));
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted);
+        assert!(t.depth() > 1, "1000 keys must split the root");
+    }
+
+    #[test]
+    fn remove_all_in_random_order() {
+        let mut t = BTree::new();
+        let n = 500u32;
+        for i in 0..n {
+            t.insert(i, i);
+        }
+        let mut order: Vec<u32> = (0..n).collect();
+        // Deterministic shuffle.
+        for i in (1..order.len()).rev() {
+            let j = (i * 7919 + 13) % (i + 1);
+            order.swap(i, j);
+        }
+        for (removed, k) in order.iter().enumerate() {
+            assert_eq!(t.remove(k), Some(*k));
+            assert_eq!(t.len(), n as usize - removed - 1);
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.depth(), 1);
+    }
+
+    #[test]
+    fn range_scan_inclusive_bounds() {
+        let mut t = BTree::new();
+        for i in (0..200u32).step_by(2) {
+            t.insert(i, ());
+        }
+        let mut seen = Vec::new();
+        t.for_range(&50, &60, |k, _| seen.push(*k));
+        assert_eq!(seen, vec![50, 52, 54, 56, 58, 60]);
+        // Bounds not present as keys.
+        seen.clear();
+        t.for_range(&51, &59, |k, _| seen.push(*k));
+        assert_eq!(seen, vec![52, 54, 56, 58]);
+        // Inverted range is empty.
+        seen.clear();
+        t.for_range(&60, &50, |k, _| seen.push(*k));
+        assert!(seen.is_empty());
+    }
+
+    #[test]
+    fn composite_keys_model_duplicate_dates() {
+        // The build-date index stores (date, id) pairs.
+        let mut t = BTree::new();
+        for id in 0..50u32 {
+            t.insert((1990 + (id % 10) as i32, id), ());
+        }
+        let mut hits = Vec::new();
+        t.for_range(&(1992, 0), &(1992, u32::MAX), |k, _| hits.push(k.1));
+        assert_eq!(hits, vec![2, 12, 22, 32, 42]);
+    }
+
+    #[test]
+    fn string_keys() {
+        let mut t = BTree::new();
+        for i in 0..100u32 {
+            t.insert(format!("Composite Part #{i}"), i);
+        }
+        assert_eq!(t.get(&"Composite Part #42".to_string()), Some(&42));
+        assert_eq!(t.remove(&"Composite Part #42".to_string()), Some(42));
+        assert_eq!(t.get(&"Composite Part #42".to_string()), None);
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_btreemap(ops in proptest::collection::vec(
+            (0u8..4, 0u16..300), 1..400,
+        )) {
+            let mut ours: BTree<u16, u16> = BTree::new();
+            let mut model: BTreeMap<u16, u16> = BTreeMap::new();
+            for (op, k) in ops {
+                match op {
+                    0 | 1 => {
+                        prop_assert_eq!(ours.insert(k, k.wrapping_mul(3)),
+                                        model.insert(k, k.wrapping_mul(3)));
+                    }
+                    2 => {
+                        prop_assert_eq!(ours.remove(&k), model.remove(&k));
+                    }
+                    _ => {
+                        prop_assert_eq!(ours.get(&k), model.get(&k));
+                    }
+                }
+                prop_assert_eq!(ours.len(), model.len());
+            }
+            // Final full iteration must match the model exactly.
+            let mut flat = Vec::new();
+            ours.for_each(|k, v| flat.push((*k, *v)));
+            let expect: Vec<(u16, u16)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+            prop_assert_eq!(flat, expect);
+        }
+
+        #[test]
+        fn range_matches_btreemap(
+            keys in proptest::collection::btree_set(0u16..500, 0..200),
+            lo in 0u16..500,
+            span in 0u16..100,
+        ) {
+            let hi = lo.saturating_add(span);
+            let mut ours = BTree::new();
+            let mut model = BTreeMap::new();
+            for k in keys {
+                ours.insert(k, ());
+                model.insert(k, ());
+            }
+            let mut got = Vec::new();
+            ours.for_range(&lo, &hi, |k, _| got.push(*k));
+            let expect: Vec<u16> = model.range(lo..=hi).map(|(k, _)| *k).collect();
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The seven object kinds of the OO7/STMBench7 graph (paper Figure 1).
+//!
+//! Per the paper's specification (Appendix B.1) only the module and
+//! connection objects are immutable; everything else — including indexes,
+//! sets and bags — may be updated by operations. Connections are embedded
+//! in their source atomic part (see DESIGN.md): because they are immutable
+//! and live/die with their part graph, embedding preserves both locking and
+//! STM granularity while removing an arena.
+
+use crate::ids::{AtomicPartId, BaseAssemblyId, ComplexAssemblyId, CompositePartId, DocumentId};
+
+/// Connection types, mirroring OO7's small set of type strings.
+pub const CONNECTION_TYPES: &[&str] = &["type A", "type B", "type C"];
+
+/// Part/assembly types, mirroring OO7's ten type strings.
+pub const DESIGN_TYPES: &[&str] = &[
+    "type #0", "type #1", "type #2", "type #3", "type #4", "type #5", "type #6", "type #7",
+    "type #8", "type #9",
+];
+
+/// An immutable connection between two atomic parts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Connection {
+    /// Index into [`CONNECTION_TYPES`].
+    pub kind: u8,
+    /// OO7 "length" attribute.
+    pub length: i32,
+    /// Destination atomic part (always within the same composite part's
+    /// graph).
+    pub to: AtomicPartId,
+}
+
+/// An atomic part: the leaves of the design library graphs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AtomicPart {
+    pub id: AtomicPartId,
+    /// Index into [`DESIGN_TYPES`].
+    pub kind: u8,
+    /// Indexed attribute (index 2 of Table 1). Must only be changed through
+    /// [`crate::Sb7Tx::set_atomic_build_date`] so the index stays coherent.
+    pub build_date: i32,
+    /// Non-indexed attribute updated by T2/ST6/ST10/OP9/OP10.
+    pub x: i32,
+    /// Non-indexed attribute updated together with `x`.
+    pub y: i32,
+    /// Outgoing connections (immutable once built).
+    pub to: Vec<Connection>,
+    /// The composite part owning this part's graph.
+    pub owner: CompositePartId,
+}
+
+impl AtomicPart {
+    /// The non-indexed update the paper's operations perform: swap `x`/`y`.
+    pub fn swap_xy(&mut self) {
+        std::mem::swap(&mut self.x, &mut self.y);
+    }
+
+    /// The indexed update: nudge the build date within its range
+    /// (even dates move down, odd dates move up, as in the Java release).
+    pub fn next_build_date(date: i32) -> i32 {
+        if date % 2 == 0 {
+            date - 1
+        } else {
+            date + 1
+        }
+    }
+}
+
+/// A document attached to a composite part.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Document {
+    pub id: DocumentId,
+    /// Indexed attribute (index 4 of Table 1); never changes after build.
+    pub title: String,
+    /// Free text searched/updated by T4/T5/ST2/ST7.
+    pub text: String,
+    /// Back link to the owning composite part.
+    pub part: CompositePartId,
+}
+
+/// A composite part in the design library, shared between base assemblies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompositePart {
+    pub id: CompositePartId,
+    pub kind: u8,
+    pub build_date: i32,
+    /// The associated documentation object.
+    pub doc: DocumentId,
+    /// Entry point of the atomic-part graph.
+    pub root_part: AtomicPartId,
+    /// All atomic parts of this composite's graph (OO7 keeps this set so
+    /// ST1 can pick a random descendant without traversing the graph).
+    pub parts: Vec<AtomicPartId>,
+    /// Bag of base assemblies using this composite part (the reverse side
+    /// of the many-to-many association; duplicates allowed, it is a bag).
+    pub used_in: Vec<BaseAssemblyId>,
+}
+
+/// A leaf of the assembly tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaseAssembly {
+    pub id: BaseAssemblyId,
+    pub kind: u8,
+    pub build_date: i32,
+    /// Parent complex assembly (level 2).
+    pub parent: ComplexAssemblyId,
+    /// Bag of composite parts this assembly uses (duplicates allowed).
+    pub components: Vec<CompositePartId>,
+}
+
+/// Children of a complex assembly: complex assemblies above level 2, base
+/// assemblies at level 2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AssemblyChildren {
+    Complex(Vec<ComplexAssemblyId>),
+    Base(Vec<BaseAssemblyId>),
+}
+
+impl AssemblyChildren {
+    /// Number of children.
+    pub fn len(&self) -> usize {
+        match self {
+            AssemblyChildren::Complex(v) => v.len(),
+            AssemblyChildren::Base(v) => v.len(),
+        }
+    }
+
+    /// True when there are no children (a transient state during structure
+    /// modifications; `validate` rejects it in quiescent structures).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An internal node of the assembly tree.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComplexAssembly {
+    pub id: ComplexAssemblyId,
+    pub kind: u8,
+    pub build_date: i32,
+    /// `None` only for the root complex assembly.
+    pub parent: Option<ComplexAssemblyId>,
+    /// Level in the tree; base assemblies are level 1, so complex
+    /// assemblies occupy `2..=assembly_levels`.
+    pub level: u8,
+    pub children: AssemblyChildren,
+}
+
+/// The module manual: a single large text object. Updating it under an
+/// object-granularity STM copies the whole text — one of the two
+/// pathologies §5 of the paper diagnoses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Manual {
+    pub title: String,
+    pub text: String,
+}
+
+/// The single module (the paper confines STMBench7 to one). Immutable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Module {
+    pub id: u32,
+    pub kind: u8,
+    pub build_date: i32,
+    /// Root of the assembly tree; set once by the builder.
+    pub design_root: ComplexAssemblyId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn swap_xy_swaps() {
+        let mut p = AtomicPart {
+            id: AtomicPartId(1),
+            kind: 0,
+            build_date: 1000,
+            x: 3,
+            y: 9,
+            to: vec![],
+            owner: CompositePartId(1),
+        };
+        p.swap_xy();
+        assert_eq!((p.x, p.y), (9, 3));
+        p.swap_xy();
+        assert_eq!((p.x, p.y), (3, 9));
+    }
+
+    #[test]
+    fn next_build_date_toggles_and_stays_close() {
+        assert_eq!(AtomicPart::next_build_date(1000), 999);
+        assert_eq!(AtomicPart::next_build_date(999), 1000);
+        // Toggling twice returns to the start.
+        let d = 1990;
+        assert_eq!(
+            AtomicPart::next_build_date(AtomicPart::next_build_date(d)),
+            d
+        );
+    }
+
+    #[test]
+    fn children_len_and_empty() {
+        let c = AssemblyChildren::Complex(vec![ComplexAssemblyId(1)]);
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+        let b = AssemblyChildren::Base(vec![]);
+        assert!(b.is_empty());
+    }
+}

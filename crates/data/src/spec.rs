@@ -1,0 +1,182 @@
+//! Per-operation access declarations for the locking strategies.
+//!
+//! The medium-grained strategy of the paper (Figure 5) protects each
+//! assembly level, all composite parts, all atomic parts, all documents and
+//! the manual with one read-write lock each, plus a structure-modification
+//! gate acquired in write mode by SM operations and read mode by everything
+//! else. An [`AccessSpec`] states, per operation, which of those locks are
+//! needed and in which mode; the coarse strategy derives its single lock's
+//! mode from the same declaration.
+//!
+//! Locks are always acquired in one canonical order (the field order of
+//! this struct: gate, assembly levels top-down, composites, atomics,
+//! documents, manual), which rules out deadlock by construction.
+
+/// Lock mode for one group.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// The group is not touched.
+    #[default]
+    None,
+    /// Shared access.
+    Read,
+    /// Exclusive access.
+    Write,
+}
+
+impl Mode {
+    /// True for `Read` or `Write`.
+    pub fn touched(self) -> bool {
+        !matches!(self, Mode::None)
+    }
+
+    /// True for `Write`.
+    pub fn is_write(self) -> bool {
+        matches!(self, Mode::Write)
+    }
+}
+
+/// Maximum number of assembly levels supported by the lock tables.
+pub const MAX_LEVELS: usize = 7;
+
+/// Which lock groups an operation touches, and how.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct AccessSpec {
+    /// The structure-modification gate: `Write` for SM1–SM8, `Read` for
+    /// every other operation.
+    pub sm: Mode,
+    /// Assembly levels; slot 0 is level 1 (base assemblies), slots 1..7
+    /// are complex-assembly levels 2..=7. Levels beyond the configured
+    /// tree height are simply never populated.
+    pub levels: [Mode; MAX_LEVELS],
+    /// All composite parts (their stores, bags and index).
+    pub composites: Mode,
+    /// All atomic parts (stores, connections, both indexes).
+    pub atomics: Mode,
+    /// All documents (store and title index).
+    pub documents: Mode,
+    /// The manual.
+    pub manual: Mode,
+}
+
+impl AccessSpec {
+    /// A builder-style constructor starting from "touch nothing".
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks this operation as a structure modification (gate in write
+    /// mode).
+    pub fn sm_op(mut self) -> Self {
+        self.sm = Mode::Write;
+        self
+    }
+
+    /// Marks a regular operation (gate in read mode).
+    pub fn regular(mut self) -> Self {
+        self.sm = Mode::Read;
+        self
+    }
+
+    /// Sets the mode of a single assembly level (1-based).
+    pub fn level(mut self, level: u8, mode: Mode) -> Self {
+        self.levels[usize::from(level) - 1] = mode;
+        self
+    }
+
+    /// Sets the mode of an inclusive range of assembly levels (1-based).
+    pub fn levels(mut self, from: u8, to: u8, mode: Mode) -> Self {
+        for l in from..=to {
+            self.levels[usize::from(l) - 1] = mode;
+        }
+        self
+    }
+
+    /// Sets the composite-part group mode.
+    pub fn composites(mut self, mode: Mode) -> Self {
+        self.composites = mode;
+        self
+    }
+
+    /// Sets the atomic-part group mode.
+    pub fn atomics(mut self, mode: Mode) -> Self {
+        self.atomics = mode;
+        self
+    }
+
+    /// Sets the document group mode.
+    pub fn documents(mut self, mode: Mode) -> Self {
+        self.documents = mode;
+        self
+    }
+
+    /// Sets the manual group mode.
+    pub fn manual(mut self, mode: Mode) -> Self {
+        self.manual = mode;
+        self
+    }
+
+    /// Whether any group (or the gate) is requested in write mode; the
+    /// coarse strategy takes its single lock in write mode iff this holds.
+    pub fn any_write(&self) -> bool {
+        self.sm.is_write()
+            || self.levels.iter().any(|m| m.is_write())
+            || self.composites.is_write()
+            || self.atomics.is_write()
+            || self.documents.is_write()
+            || self.manual.is_write()
+    }
+
+    /// Number of read-write locks this operation acquires under the
+    /// medium-grained strategy (the paper counts 9 for T1: seven assembly
+    /// levels plus composite parts plus atomic parts; the SM gate is the
+    /// strategy-internal extra).
+    pub fn lock_count(&self) -> usize {
+        self.levels.iter().filter(|m| m.touched()).count()
+            + usize::from(self.composites.touched())
+            + usize::from(self.atomics.touched())
+            + usize::from(self.documents.touched())
+            + usize::from(self.manual.touched())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_shape_has_nine_locks() {
+        // T1 reads all assembly levels, composites and atomics.
+        let spec = AccessSpec::new()
+            .regular()
+            .levels(1, 7, Mode::Read)
+            .composites(Mode::Read)
+            .atomics(Mode::Read);
+        assert_eq!(spec.lock_count(), 9);
+        assert!(!spec.any_write());
+    }
+
+    #[test]
+    fn sm_spec_is_write() {
+        let spec = AccessSpec::new().sm_op().composites(Mode::Write);
+        assert!(spec.any_write());
+        assert_eq!(spec.sm, Mode::Write);
+    }
+
+    #[test]
+    fn level_indexing_is_one_based() {
+        let spec = AccessSpec::new().level(1, Mode::Write).level(7, Mode::Read);
+        assert_eq!(spec.levels[0], Mode::Write);
+        assert_eq!(spec.levels[6], Mode::Read);
+        assert_eq!(spec.levels[3], Mode::None);
+    }
+
+    #[test]
+    fn mode_predicates() {
+        assert!(Mode::Read.touched());
+        assert!(Mode::Write.touched());
+        assert!(!Mode::None.touched());
+        assert!(Mode::Write.is_write());
+        assert!(!Mode::Read.is_write());
+    }
+}

@@ -1,0 +1,142 @@
+//! Text generation and the text operations the paper specifies.
+//!
+//! Documents and the manual are built from a repeated sentence seeded with
+//! the owning object's id, exactly like the Java release: the text contains
+//! the substring `"I am"` and plenty of `'I'` characters so that T4/OP4
+//! (count `'I'`), T5/ST7 (swap `"I am"` ↔ `"This is"`) and OP11 (swap
+//! `'I'` ↔ `'i'`) always have work to do.
+
+/// Builds document text of exactly `size` characters for composite part
+/// `comp_id`.
+pub fn document_text(comp_id: u32, size: usize) -> String {
+    fill(
+        &format!("I am the documentation of composite part #{comp_id}. "),
+        size,
+    )
+}
+
+/// Builds the manual text of exactly `size` characters for module
+/// `module_id`.
+pub fn manual_text(module_id: u32, size: usize) -> String {
+    fill(&format!("I am the manual of module #{module_id}. "), size)
+}
+
+/// Builds a document title; titles are unique per composite part and are
+/// the keys of index 4 (Table 1).
+pub fn document_title(comp_id: u32) -> String {
+    format!("Composite Part #{comp_id}")
+}
+
+fn fill(pattern: &str, size: usize) -> String {
+    assert!(!pattern.is_empty());
+    let mut s = String::with_capacity(size + pattern.len());
+    while s.len() < size {
+        s.push_str(pattern);
+    }
+    s.truncate(size);
+    s
+}
+
+/// Counts occurrences of `needle` (T4, OP4 use `'I'`; ST2 too).
+pub fn count_char(text: &str, needle: char) -> usize {
+    text.chars().filter(|&c| c == needle).count()
+}
+
+/// Returns whether the first and last characters are equal (OP5).
+pub fn first_last_equal(text: &str) -> bool {
+    match (text.chars().next(), text.chars().next_back()) {
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    }
+}
+
+/// The T5/ST7 update: replace every `"I am"` with `"This is"`, or, if no
+/// `"I am"` is present, every `"This is"` with `"I am"`. Returns the number
+/// of substrings replaced.
+pub fn swap_text(text: &mut String) -> usize {
+    swap_pair(text, "I am", "This is")
+}
+
+/// The OP11 update on the manual: replace every `'I'` with `'i'`, or vice
+/// versa. Returns the number of characters changed.
+pub fn swap_manual_case(text: &mut String) -> usize {
+    if text.contains('I') {
+        swap_pair(text, "I", "i")
+    } else {
+        swap_pair(text, "i", "I")
+    }
+}
+
+fn swap_pair(text: &mut String, a: &str, b: &str) -> usize {
+    let (from, to) = if text.contains(a) { (a, b) } else { (b, a) };
+    let count = text.matches(from).count();
+    if count > 0 {
+        *text = text.replace(from, to);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_is_exact_and_repeats() {
+        let t = document_text(42, 100);
+        assert_eq!(t.len(), 100);
+        assert!(t.starts_with("I am the documentation of composite part #42. "));
+    }
+
+    #[test]
+    fn titles_are_unique_per_id() {
+        assert_ne!(document_title(1), document_title(2));
+    }
+
+    #[test]
+    fn count_char_counts() {
+        assert_eq!(count_char("III", 'I'), 3);
+        assert_eq!(count_char("", 'I'), 0);
+        let t = manual_text(1, 500);
+        assert!(count_char(&t, 'I') > 0);
+    }
+
+    #[test]
+    fn first_last_equal_cases() {
+        assert!(first_last_equal("aba"));
+        assert!(!first_last_equal("ab"));
+        assert!(first_last_equal("x"));
+        assert!(!first_last_equal(""));
+    }
+
+    #[test]
+    fn swap_text_roundtrips() {
+        let mut t = document_text(7, 200);
+        let n1 = swap_text(&mut t);
+        assert!(n1 > 0);
+        assert!(t.contains("This is"));
+        assert!(!t.contains("I am"));
+        let n2 = swap_text(&mut t);
+        assert_eq!(n1, n2);
+        assert_eq!(t, document_text(7, 200));
+    }
+
+    #[test]
+    fn swap_manual_case_roundtrips_count() {
+        let mut t = manual_text(1, 300);
+        let upper = count_char(&t, 'I');
+        let n1 = swap_manual_case(&mut t);
+        assert_eq!(n1, upper);
+        assert_eq!(count_char(&t, 'I'), 0);
+        // Swapping back changes every 'i' (original ones plus the converted).
+        let n2 = swap_manual_case(&mut t);
+        assert!(n2 >= n1);
+        assert_eq!(count_char(&t, 'i'), 0);
+    }
+
+    #[test]
+    fn swap_text_on_neutral_text_is_noop() {
+        let mut t = String::from("nothing to see here");
+        assert_eq!(swap_text(&mut t), 0);
+        assert_eq!(t, "nothing to see here");
+    }
+}

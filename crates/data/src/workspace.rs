@@ -1,0 +1,828 @@
+//! The plain, synchronization-free workspace and its lock groups.
+//!
+//! Data is partitioned exactly along the paper's medium-grained lock
+//! boundaries (Figure 5): one group per assembly level, one for all
+//! composite parts, one for all atomic parts, one for all documents, one
+//! for the manual, plus the structure-modification state (id pools and the
+//! complex-assembly id index) that only gate-exclusive operations mutate.
+//! Lock-based backends wrap these groups in read-write locks; the
+//! [`DirectTx`] defined here accesses them directly and backs both the
+//! sequential baseline and the coarse-grained strategy.
+
+use crate::access::{PoolKind, Sb7Tx, TxErr, TxR};
+use crate::btree::BTree;
+use crate::ids::{
+    AtomicPartId, BaseAssemblyId, ComplexAssemblyId, CompositePartId, DocumentId, IdPool,
+};
+use crate::objects::{
+    AtomicPart, BaseAssembly, ComplexAssembly, CompositePart, Document, Manual, Module,
+};
+use crate::params::StructureParams;
+use crate::text;
+
+/// A dense slot store keyed directly by raw object id.
+///
+/// Id pools bound the largest id that can ever exist, so a dense vector is
+/// both the fastest and the simplest representation.
+#[derive(Clone, Debug)]
+pub struct Store<T> {
+    slots: Vec<Option<T>>,
+    live: usize,
+}
+
+impl<T> Store<T> {
+    /// Creates a store able to hold raw ids `1..=max_raw`.
+    pub fn new(max_raw: u32) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(max_raw as usize + 1, || None);
+        Store { slots, live: 0 }
+    }
+
+    /// Returns the object with the given raw id.
+    pub fn get(&self, raw: u32) -> Option<&T> {
+        self.slots.get(raw as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Returns the object mutably.
+    pub fn get_mut(&mut self, raw: u32) -> Option<&mut T> {
+        self.slots.get_mut(raw as usize).and_then(|s| s.as_mut())
+    }
+
+    /// Inserts an object at a fresh slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is occupied or out of range — ids come from
+    /// bounded pools, so either indicates a backend bug.
+    pub fn insert(&mut self, raw: u32, value: T) {
+        let slot = self
+            .slots
+            .get_mut(raw as usize)
+            .unwrap_or_else(|| panic!("store: raw id {raw} out of range"));
+        assert!(slot.is_none(), "store: slot {raw} already occupied");
+        *slot = Some(value);
+        self.live += 1;
+    }
+
+    /// Removes and returns the object at `raw`.
+    pub fn remove(&mut self, raw: u32) -> Option<T> {
+        let removed = self.slots.get_mut(raw as usize).and_then(|s| s.take());
+        if removed.is_some() {
+            self.live -= 1;
+        }
+        removed
+    }
+
+    /// Number of live objects.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Iterates `(raw_id, object)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|t| (i as u32, t)))
+    }
+}
+
+/// Group 1 of Figure 5: base assemblies (assembly level 1) and their id
+/// index (index 5 of Table 1).
+#[derive(Clone, Debug)]
+pub struct BaseGroup {
+    pub store: Store<BaseAssembly>,
+    pub by_id: BTree<u32, ()>,
+}
+
+impl BaseGroup {
+    fn new(max_raw: u32) -> Self {
+        BaseGroup {
+            store: Store::new(max_raw),
+            by_id: BTree::new(),
+        }
+    }
+
+    /// Inserts a freshly created base assembly.
+    pub fn create(&mut self, b: BaseAssembly) {
+        self.by_id.insert(b.id.raw(), ());
+        self.store.insert(b.id.raw(), b);
+    }
+
+    /// Removes a base assembly and its index entry.
+    pub fn delete(&mut self, raw: u32) -> Option<BaseAssembly> {
+        let b = self.store.remove(raw)?;
+        self.by_id.remove(&raw);
+        Some(b)
+    }
+}
+
+/// One complex-assembly level (levels 2..=7 of Figure 5). Lookup by id
+/// goes through the shared complex-assembly index in [`SmState`].
+#[derive(Clone, Debug)]
+pub struct ComplexLevelGroup {
+    pub store: Store<ComplexAssembly>,
+}
+
+/// The composite-part group: stores, bags and index 3.
+#[derive(Clone, Debug)]
+pub struct CompositeGroup {
+    pub store: Store<CompositePart>,
+    pub by_id: BTree<u32, ()>,
+}
+
+impl CompositeGroup {
+    fn new(max_raw: u32) -> Self {
+        CompositeGroup {
+            store: Store::new(max_raw),
+            by_id: BTree::new(),
+        }
+    }
+
+    /// Inserts a freshly created composite part.
+    pub fn create(&mut self, c: CompositePart) {
+        self.by_id.insert(c.id.raw(), ());
+        self.store.insert(c.id.raw(), c);
+    }
+
+    /// Removes a composite part and its index entry.
+    pub fn delete(&mut self, raw: u32) -> Option<CompositePart> {
+        let c = self.store.remove(raw)?;
+        self.by_id.remove(&raw);
+        Some(c)
+    }
+}
+
+/// The atomic-part group: store plus indexes 1 (id) and 2 (build date).
+#[derive(Clone, Debug)]
+pub struct AtomicGroup {
+    pub store: Store<AtomicPart>,
+    pub by_id: BTree<u32, ()>,
+    /// Duplicate dates are modeled with composite `(date, id)` keys.
+    pub by_date: BTree<(i32, u32), ()>,
+}
+
+impl AtomicGroup {
+    fn new(max_raw: u32) -> Self {
+        AtomicGroup {
+            store: Store::new(max_raw),
+            by_id: BTree::new(),
+            by_date: BTree::new(),
+        }
+    }
+
+    /// Inserts a freshly created atomic part into the store and both
+    /// indexes.
+    pub fn create(&mut self, p: AtomicPart) {
+        self.by_id.insert(p.id.raw(), ());
+        self.by_date.insert((p.build_date, p.id.raw()), ());
+        self.store.insert(p.id.raw(), p);
+    }
+
+    /// Removes an atomic part from the store and both indexes.
+    pub fn delete(&mut self, raw: u32) -> Option<AtomicPart> {
+        let p = self.store.remove(raw)?;
+        self.by_id.remove(&raw);
+        self.by_date.remove(&(p.build_date, raw));
+        Some(p)
+    }
+
+    /// Changes a part's build date, keeping index 2 coherent.
+    pub fn set_date(&mut self, raw: u32, date: i32) -> bool {
+        let Some(p) = self.store.get_mut(raw) else {
+            return false;
+        };
+        let old = p.build_date;
+        p.build_date = date;
+        self.by_date.remove(&(old, raw));
+        self.by_date.insert((date, raw), ());
+        true
+    }
+
+    /// Ids of parts with build date in `[lo, hi]`, in index order.
+    pub fn in_date_range(&self, lo: i32, hi: i32) -> Vec<AtomicPartId> {
+        let mut out = Vec::new();
+        self.by_date.for_range(&(lo, 0), &(hi, u32::MAX), |k, _| {
+            out.push(AtomicPartId(k.1))
+        });
+        out
+    }
+}
+
+/// The document group: store plus the title index (index 4).
+#[derive(Clone, Debug)]
+pub struct DocGroup {
+    pub store: Store<Document>,
+    pub by_title: BTree<String, u32>,
+}
+
+impl DocGroup {
+    fn new(max_raw: u32) -> Self {
+        DocGroup {
+            store: Store::new(max_raw),
+            by_title: BTree::new(),
+        }
+    }
+
+    /// Inserts a freshly created document.
+    pub fn create(&mut self, d: Document) {
+        self.by_title.insert(d.title.clone(), d.id.raw());
+        self.store.insert(d.id.raw(), d);
+    }
+
+    /// Removes a document and its title-index entry.
+    pub fn delete(&mut self, raw: u32) -> Option<Document> {
+        let d = self.store.remove(raw)?;
+        self.by_title.remove(&d.title);
+        Some(d)
+    }
+}
+
+/// All five id pools. Only touched during the build and by SM operations
+/// (which hold the gate exclusively).
+#[derive(Clone, Debug)]
+pub struct Pools {
+    pub atomic: IdPool,
+    pub composite: IdPool,
+    pub document: IdPool,
+    pub base: IdPool,
+    pub complex: IdPool,
+}
+
+/// State protected by the structure-modification gate: the pools and the
+/// complex-assembly id index (index 6), which doubles as the directory
+/// mapping a complex assembly's id to its level. Non-SM operations hold
+/// the gate in read mode and may therefore read it freely; only SM
+/// operations (gate in write mode) mutate it.
+#[derive(Clone, Debug)]
+pub struct SmState {
+    pub pools: Pools,
+    /// Complex-assembly raw id → level.
+    pub complex_index: BTree<u32, u8>,
+}
+
+/// The entire STMBench7 structure, partitioned along Figure 5's lock
+/// groups, with no synchronization of its own.
+#[derive(Clone, Debug)]
+pub struct Workspace {
+    pub params: StructureParams,
+    pub module: Module,
+    pub manual: Manual,
+    pub sm: SmState,
+    pub bases: BaseGroup,
+    /// Complex levels 2..=assembly_levels; slot `l - 2` holds level `l`.
+    pub complexes: Vec<ComplexLevelGroup>,
+    pub composites: CompositeGroup,
+    pub atomics: AtomicGroup,
+    pub documents: DocGroup,
+}
+
+impl Workspace {
+    /// Creates an empty workspace (module and manual in place, no
+    /// assemblies or parts). Use [`crate::builder::build`] to populate it.
+    pub fn new(params: StructureParams) -> Self {
+        params.check().expect("invalid structure parameters");
+        let levels = usize::from(params.assembly_levels);
+        let manual = Manual {
+            title: "Manual for module #1".to_string(),
+            text: text::manual_text(1, params.manual_size),
+        };
+        let module = Module {
+            id: 1,
+            kind: 0,
+            build_date: params.min_date,
+            design_root: ComplexAssemblyId(0),
+        };
+        Workspace {
+            module,
+            manual,
+            sm: SmState {
+                pools: Pools {
+                    atomic: IdPool::new(params.max_atomics()),
+                    composite: IdPool::new(params.max_comps()),
+                    document: IdPool::new(params.max_comps()),
+                    base: IdPool::new(params.max_bases()),
+                    complex: IdPool::new(params.max_complexes()),
+                },
+                complex_index: BTree::new(),
+            },
+            bases: BaseGroup::new(params.max_bases()),
+            complexes: (2..=levels)
+                .map(|_| ComplexLevelGroup {
+                    store: Store::new(params.max_complexes()),
+                })
+                .collect(),
+            composites: CompositeGroup::new(params.max_comps()),
+            atomics: AtomicGroup::new(params.max_atomics()),
+            documents: DocGroup::new(params.max_comps()),
+            params,
+        }
+    }
+
+    /// Builds a fully populated workspace deterministically from a seed.
+    pub fn build(params: StructureParams, seed: u64) -> Self {
+        let mut ws = Workspace::new(params.clone());
+        let mut tx = DirectTx::writing(&mut ws);
+        crate::builder::build(&mut tx, &params, seed).expect("direct build cannot abort");
+        ws
+    }
+
+    /// Group holding complex assemblies of `level` (2-based).
+    pub fn complex_level(&self, level: u8) -> &ComplexLevelGroup {
+        &self.complexes[usize::from(level) - 2]
+    }
+
+    /// Mutable variant of [`Workspace::complex_level`].
+    pub fn complex_level_mut(&mut self, level: u8) -> &mut ComplexLevelGroup {
+        &mut self.complexes[usize::from(level) - 2]
+    }
+
+    /// Looks up a complex assembly across levels via index 6.
+    pub fn complex_ref(&self, raw: u32) -> Option<&ComplexAssembly> {
+        let level = *self.sm.complex_index.get(&raw)?;
+        self.complex_level(level).store.get(raw)
+    }
+}
+
+/// How a [`DirectTx`] borrows the workspace.
+enum WsRef<'a> {
+    Read(&'a Workspace),
+    Write(&'a mut Workspace),
+}
+
+/// Direct (uninstrumented) implementation of [`Sb7Tx`] over a borrowed
+/// workspace. The sequential backend always uses the writing form; the
+/// coarse-grained backend uses the reading form for operations whose
+/// [`crate::AccessSpec`] requests no writes.
+pub struct DirectTx<'a> {
+    ws: WsRef<'a>,
+}
+
+impl<'a> DirectTx<'a> {
+    /// A transaction that may read and write.
+    pub fn writing(ws: &'a mut Workspace) -> Self {
+        DirectTx {
+            ws: WsRef::Write(ws),
+        }
+    }
+
+    /// A read-only transaction; write accessors return
+    /// `TxErr::Invariant`.
+    pub fn reading(ws: &'a Workspace) -> Self {
+        DirectTx {
+            ws: WsRef::Read(ws),
+        }
+    }
+
+    fn ws(&self) -> &Workspace {
+        match &self.ws {
+            WsRef::Read(w) => w,
+            WsRef::Write(w) => w,
+        }
+    }
+
+    fn ws_mut(&mut self) -> TxR<&mut Workspace> {
+        match &mut self.ws {
+            WsRef::Read(_) => Err(TxErr::Invariant(
+                "write accessor used in a read-only transaction",
+            )),
+            WsRef::Write(w) => Ok(w),
+        }
+    }
+}
+
+const MISSING: TxErr = TxErr::Invariant("object not found");
+
+impl Sb7Tx for DirectTx<'_> {
+    fn module<R>(&mut self, f: impl FnOnce(&Module) -> R) -> TxR<R> {
+        Ok(f(&self.ws().module))
+    }
+
+    fn manual_text_len(&mut self) -> TxR<usize> {
+        Ok(self.ws().manual.text.len())
+    }
+
+    fn manual_count_char(&mut self, c: char) -> TxR<usize> {
+        Ok(crate::text::count_char(&self.ws().manual.text, c))
+    }
+
+    fn manual_first_last_equal(&mut self) -> TxR<bool> {
+        Ok(crate::text::first_last_equal(&self.ws().manual.text))
+    }
+
+    fn manual_swap_case(&mut self) -> TxR<usize> {
+        Ok(crate::text::swap_manual_case(
+            &mut self.ws_mut()?.manual.text,
+        ))
+    }
+
+    fn set_design_root(&mut self, root: ComplexAssemblyId) -> TxR<()> {
+        self.ws_mut()?.module.design_root = root;
+        Ok(())
+    }
+
+    fn atomic<R>(&mut self, id: AtomicPartId, f: impl FnOnce(&AtomicPart) -> R) -> TxR<R> {
+        self.ws().atomics.store.get(id.raw()).map(f).ok_or(MISSING)
+    }
+
+    fn composite<R>(&mut self, id: CompositePartId, f: impl FnOnce(&CompositePart) -> R) -> TxR<R> {
+        self.ws()
+            .composites
+            .store
+            .get(id.raw())
+            .map(f)
+            .ok_or(MISSING)
+    }
+
+    fn base<R>(&mut self, id: BaseAssemblyId, f: impl FnOnce(&BaseAssembly) -> R) -> TxR<R> {
+        self.ws().bases.store.get(id.raw()).map(f).ok_or(MISSING)
+    }
+
+    fn complex<R>(
+        &mut self,
+        id: ComplexAssemblyId,
+        f: impl FnOnce(&ComplexAssembly) -> R,
+    ) -> TxR<R> {
+        self.ws().complex_ref(id.raw()).map(f).ok_or(MISSING)
+    }
+
+    fn document<R>(&mut self, id: DocumentId, f: impl FnOnce(&Document) -> R) -> TxR<R> {
+        self.ws()
+            .documents
+            .store
+            .get(id.raw())
+            .map(f)
+            .ok_or(MISSING)
+    }
+
+    fn atomic_mut<R>(&mut self, id: AtomicPartId, f: impl FnOnce(&mut AtomicPart) -> R) -> TxR<R> {
+        self.ws_mut()?
+            .atomics
+            .store
+            .get_mut(id.raw())
+            .map(f)
+            .ok_or(MISSING)
+    }
+
+    fn composite_mut<R>(
+        &mut self,
+        id: CompositePartId,
+        f: impl FnOnce(&mut CompositePart) -> R,
+    ) -> TxR<R> {
+        self.ws_mut()?
+            .composites
+            .store
+            .get_mut(id.raw())
+            .map(f)
+            .ok_or(MISSING)
+    }
+
+    fn base_mut<R>(
+        &mut self,
+        id: BaseAssemblyId,
+        f: impl FnOnce(&mut BaseAssembly) -> R,
+    ) -> TxR<R> {
+        self.ws_mut()?
+            .bases
+            .store
+            .get_mut(id.raw())
+            .map(f)
+            .ok_or(MISSING)
+    }
+
+    fn complex_mut<R>(
+        &mut self,
+        id: ComplexAssemblyId,
+        f: impl FnOnce(&mut ComplexAssembly) -> R,
+    ) -> TxR<R> {
+        let ws = self.ws_mut()?;
+        let level = *ws.sm.complex_index.get(&id.raw()).ok_or(MISSING)?;
+        ws.complex_level_mut(level)
+            .store
+            .get_mut(id.raw())
+            .map(f)
+            .ok_or(MISSING)
+    }
+
+    fn document_mut<R>(&mut self, id: DocumentId, f: impl FnOnce(&mut Document) -> R) -> TxR<R> {
+        self.ws_mut()?
+            .documents
+            .store
+            .get_mut(id.raw())
+            .map(f)
+            .ok_or(MISSING)
+    }
+
+    fn set_atomic_build_date(&mut self, id: AtomicPartId, date: i32) -> TxR<()> {
+        if self.ws_mut()?.atomics.set_date(id.raw(), date) {
+            Ok(())
+        } else {
+            Err(MISSING)
+        }
+    }
+
+    fn lookup_atomic(&mut self, raw: u32) -> TxR<Option<AtomicPartId>> {
+        Ok(self.ws().atomics.by_id.get(&raw).map(|_| AtomicPartId(raw)))
+    }
+
+    fn lookup_composite(&mut self, raw: u32) -> TxR<Option<CompositePartId>> {
+        Ok(self
+            .ws()
+            .composites
+            .by_id
+            .get(&raw)
+            .map(|_| CompositePartId(raw)))
+    }
+
+    fn lookup_base(&mut self, raw: u32) -> TxR<Option<BaseAssemblyId>> {
+        Ok(self.ws().bases.by_id.get(&raw).map(|_| BaseAssemblyId(raw)))
+    }
+
+    fn lookup_complex(&mut self, raw: u32) -> TxR<Option<ComplexAssemblyId>> {
+        Ok(self
+            .ws()
+            .sm
+            .complex_index
+            .get(&raw)
+            .map(|_| ComplexAssemblyId(raw)))
+    }
+
+    fn lookup_document(&mut self, title: &str) -> TxR<Option<DocumentId>> {
+        Ok(self
+            .ws()
+            .documents
+            .by_title
+            .get(&title.to_string())
+            .map(|raw| DocumentId(*raw)))
+    }
+
+    fn atomics_in_date_range(&mut self, lo: i32, hi: i32) -> TxR<Vec<AtomicPartId>> {
+        Ok(self.ws().atomics.in_date_range(lo, hi))
+    }
+
+    fn all_atomic_ids(&mut self) -> TxR<Vec<AtomicPartId>> {
+        let mut out = Vec::with_capacity(self.ws().atomics.store.live());
+        self.ws()
+            .atomics
+            .by_id
+            .for_each(|raw, _| out.push(AtomicPartId(*raw)));
+        Ok(out)
+    }
+
+    fn all_base_ids(&mut self) -> TxR<Vec<BaseAssemblyId>> {
+        let mut out = Vec::with_capacity(self.ws().bases.store.live());
+        self.ws()
+            .bases
+            .by_id
+            .for_each(|raw, _| out.push(BaseAssemblyId(*raw)));
+        Ok(out)
+    }
+
+    fn pool_capacity(&mut self, kind: PoolKind) -> TxR<usize> {
+        let pools = &self.ws().sm.pools;
+        let pool = match kind {
+            PoolKind::Atomic => &pools.atomic,
+            PoolKind::Composite => &pools.composite,
+            PoolKind::Document => &pools.document,
+            PoolKind::Base => &pools.base,
+            PoolKind::Complex => &pools.complex,
+        };
+        Ok(pool.capacity() as usize - pool.live())
+    }
+
+    fn create_atomic(
+        &mut self,
+        make: impl FnOnce(AtomicPartId) -> AtomicPart,
+    ) -> TxR<Option<AtomicPartId>> {
+        let ws = self.ws_mut()?;
+        let Some(raw) = ws.sm.pools.atomic.alloc() else {
+            return Ok(None);
+        };
+        let id = AtomicPartId(raw);
+        let part = make(id);
+        debug_assert_eq!(part.id, id);
+        ws.atomics.create(part);
+        Ok(Some(id))
+    }
+
+    fn create_composite(
+        &mut self,
+        make: impl FnOnce(CompositePartId) -> CompositePart,
+    ) -> TxR<Option<CompositePartId>> {
+        let ws = self.ws_mut()?;
+        let Some(raw) = ws.sm.pools.composite.alloc() else {
+            return Ok(None);
+        };
+        let id = CompositePartId(raw);
+        let part = make(id);
+        debug_assert_eq!(part.id, id);
+        ws.composites.create(part);
+        Ok(Some(id))
+    }
+
+    fn create_document(
+        &mut self,
+        make: impl FnOnce(DocumentId) -> Document,
+    ) -> TxR<Option<DocumentId>> {
+        let ws = self.ws_mut()?;
+        let Some(raw) = ws.sm.pools.document.alloc() else {
+            return Ok(None);
+        };
+        let id = DocumentId(raw);
+        let doc = make(id);
+        debug_assert_eq!(doc.id, id);
+        ws.documents.create(doc);
+        Ok(Some(id))
+    }
+
+    fn create_base(
+        &mut self,
+        make: impl FnOnce(BaseAssemblyId) -> BaseAssembly,
+    ) -> TxR<Option<BaseAssemblyId>> {
+        let ws = self.ws_mut()?;
+        let Some(raw) = ws.sm.pools.base.alloc() else {
+            return Ok(None);
+        };
+        let id = BaseAssemblyId(raw);
+        let b = make(id);
+        debug_assert_eq!(b.id, id);
+        ws.bases.create(b);
+        Ok(Some(id))
+    }
+
+    fn create_complex(
+        &mut self,
+        level: u8,
+        make: impl FnOnce(ComplexAssemblyId) -> ComplexAssembly,
+    ) -> TxR<Option<ComplexAssemblyId>> {
+        let ws = self.ws_mut()?;
+        let Some(raw) = ws.sm.pools.complex.alloc() else {
+            return Ok(None);
+        };
+        let id = ComplexAssemblyId(raw);
+        let c = make(id);
+        debug_assert_eq!(c.id, id);
+        debug_assert_eq!(c.level, level);
+        ws.sm.complex_index.insert(raw, level);
+        ws.complex_level_mut(level).store.insert(raw, c);
+        Ok(Some(id))
+    }
+
+    fn delete_atomic(&mut self, id: AtomicPartId) -> TxR<AtomicPart> {
+        let ws = self.ws_mut()?;
+        let p = ws.atomics.delete(id.raw()).ok_or(MISSING)?;
+        assert!(ws.sm.pools.atomic.free(id.raw()), "pool drift");
+        Ok(p)
+    }
+
+    fn delete_composite(&mut self, id: CompositePartId) -> TxR<CompositePart> {
+        let ws = self.ws_mut()?;
+        let c = ws.composites.delete(id.raw()).ok_or(MISSING)?;
+        assert!(ws.sm.pools.composite.free(id.raw()), "pool drift");
+        Ok(c)
+    }
+
+    fn delete_document(&mut self, id: DocumentId) -> TxR<Document> {
+        let ws = self.ws_mut()?;
+        let d = ws.documents.delete(id.raw()).ok_or(MISSING)?;
+        assert!(ws.sm.pools.document.free(id.raw()), "pool drift");
+        Ok(d)
+    }
+
+    fn delete_base(&mut self, id: BaseAssemblyId) -> TxR<BaseAssembly> {
+        let ws = self.ws_mut()?;
+        let b = ws.bases.delete(id.raw()).ok_or(MISSING)?;
+        assert!(ws.sm.pools.base.free(id.raw()), "pool drift");
+        Ok(b)
+    }
+
+    fn delete_complex(&mut self, id: ComplexAssemblyId) -> TxR<ComplexAssembly> {
+        let ws = self.ws_mut()?;
+        let level = *ws.sm.complex_index.get(&id.raw()).ok_or(MISSING)?;
+        let c = ws
+            .complex_level_mut(level)
+            .store
+            .remove(id.raw())
+            .ok_or(MISSING)?;
+        ws.sm.complex_index.remove(&id.raw());
+        assert!(ws.sm.pools.complex.free(id.raw()), "pool drift");
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::AssemblyChildren;
+
+    #[test]
+    fn store_insert_get_remove() {
+        let mut s: Store<u32> = Store::new(10);
+        s.insert(3, 30);
+        assert_eq!(s.get(3), Some(&30));
+        assert_eq!(s.live(), 1);
+        assert_eq!(s.remove(3), Some(30));
+        assert_eq!(s.get(3), None);
+        assert_eq!(s.live(), 0);
+        assert_eq!(s.remove(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn store_double_insert_panics() {
+        let mut s: Store<u32> = Store::new(10);
+        s.insert(3, 30);
+        s.insert(3, 31);
+    }
+
+    #[test]
+    fn atomic_group_indexes_follow_dates() {
+        let mut g = AtomicGroup::new(100);
+        for i in 1..=10u32 {
+            g.create(AtomicPart {
+                id: AtomicPartId(i),
+                kind: 0,
+                build_date: 1990 + (i as i32 % 3),
+                x: 0,
+                y: 0,
+                to: vec![],
+                owner: CompositePartId(1),
+            });
+        }
+        assert_eq!(g.in_date_range(1990, 1990).len(), 3); // ids 3, 6, 9
+        assert!(g.set_date(3, 1995));
+        assert_eq!(g.in_date_range(1990, 1990).len(), 2);
+        assert_eq!(g.in_date_range(1995, 1995), vec![AtomicPartId(3)]);
+        let p = g.delete(3).unwrap();
+        assert_eq!(p.build_date, 1995);
+        assert_eq!(g.in_date_range(1995, 1995).len(), 0);
+        assert!(!g.by_id.contains(&3));
+    }
+
+    #[test]
+    fn read_only_direct_tx_rejects_writes() {
+        let ws = Workspace::new(StructureParams::tiny());
+        let mut roms = ws.clone();
+        let mut tx = DirectTx::reading(&ws);
+        assert!(tx.manual_text_len().unwrap() > 0);
+        assert!(tx.manual_count_char('I').unwrap() > 0);
+        assert!(matches!(tx.manual_swap_case(), Err(TxErr::Invariant(_))));
+        // Writing transactions accept both.
+        let mut wtx = DirectTx::writing(&mut roms);
+        assert!(wtx.manual_swap_case().unwrap() > 0);
+    }
+
+    #[test]
+    fn create_and_delete_complex_keeps_index_coherent() {
+        let mut ws = Workspace::new(StructureParams::tiny());
+        let mut tx = DirectTx::writing(&mut ws);
+        let id = tx
+            .create_complex(2, |id| ComplexAssembly {
+                id,
+                kind: 0,
+                build_date: 1500,
+                parent: None,
+                level: 2,
+                children: AssemblyChildren::Base(vec![]),
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(tx.lookup_complex(id.raw()).unwrap(), Some(id));
+        let c = tx.delete_complex(id).unwrap();
+        assert_eq!(c.id, id);
+        assert_eq!(tx.lookup_complex(id.raw()).unwrap(), None);
+        // The freed id is recycled.
+        let id2 = tx
+            .create_complex(2, |id| ComplexAssembly {
+                id,
+                kind: 0,
+                build_date: 1500,
+                parent: None,
+                level: 2,
+                children: AssemblyChildren::Base(vec![]),
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(id2, id);
+    }
+
+    #[test]
+    fn pool_capacity_reflects_allocations() {
+        let mut ws = Workspace::new(StructureParams::tiny());
+        let max = ws.params.max_atomics() as usize;
+        let mut tx = DirectTx::writing(&mut ws);
+        assert_eq!(tx.pool_capacity(PoolKind::Atomic).unwrap(), max);
+        tx.create_atomic(|id| AtomicPart {
+            id,
+            kind: 0,
+            build_date: 1000,
+            x: 0,
+            y: 0,
+            to: vec![],
+            owner: CompositePartId(1),
+        })
+        .unwrap()
+        .unwrap();
+        assert_eq!(tx.pool_capacity(PoolKind::Atomic).unwrap(), max - 1);
+    }
+}

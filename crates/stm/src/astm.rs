@@ -1,0 +1,825 @@
+//! The ASTM-like object STM.
+//!
+//! This runtime reproduces the design properties the paper identifies as
+//! the source of ASTM's STMBench7 results (§5):
+//!
+//! * **Invisible reads** — a transaction's read list is private. Nobody
+//!   can see that an object is being read, so a writer can always acquire
+//!   it; readers protect themselves by re-validating their *entire* read
+//!   list on every new open. For a transaction that opens k objects this
+//!   is O(k²) validation work — the long-traversal pathology.
+//! * **Object-granularity logging** — opening an object for writing
+//!   clones the whole object (DSTM-style locators with old/new versions).
+//!   Updating one character of the manual copies the manual.
+//! * **Eager write acquisition with contention management** — conflicting
+//!   writers are arbitrated by a pluggable [`ContentionManager`]
+//!   (Polka by default, as in the paper's experiments).
+//!
+//! Two ablation switches isolate the invisible-read cost the paper
+//! diagnoses: [`AstmConfig::incremental_validation`] moves validation to
+//! commit time (O(k) per transaction instead of O(k²)), and
+//! [`AstmConfig::visible_reads`] switches to DSTM-style *visible* reads —
+//! readers register in the locator and writers arbitrate them away
+//! eagerly, removing validation entirely at the price of read-side
+//! registration traffic on every object.
+//!
+//! Structure: each variable is a *locator* `(owner, old, new)` behind a
+//! short mutex. The committed value is `old` unless the owner committed,
+//! in which case it is `new`; commit is therefore a single status CAS in
+//! the owner's descriptor — atomic for all owned objects at once — and
+//! locators are lazily cleaned by later accessors. This is the DSTM/ASTM
+//! commit protocol, which is what makes the runtime opaque without any
+//! global lock.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::cm::{CmDecision, ContentionManager, TxDesc, ACTIVE, COMMITTED};
+use crate::runtime::{backoff, downcast, Abort, ErasedVal, StmResult, StmRuntime, TxVal};
+use crate::stats::{Counters, LocalCounts, StatsSnapshot};
+
+/// The locator: who is writing, the last committed value, and the
+/// writer's tentative value.
+struct CellState {
+    owner: Option<Arc<TxDesc>>,
+    /// Registered visible readers (used only when
+    /// [`AstmConfig::visible_reads`] is set; empty otherwise).
+    readers: Vec<Arc<TxDesc>>,
+    old: ErasedVal,
+    new: Option<ErasedVal>,
+}
+
+struct Cell {
+    state: Mutex<CellState>,
+}
+
+impl Cell {
+    /// Resolves the currently committed value, lazily folding a finished
+    /// owner's outcome into `old`. Must be called with the state lock held.
+    fn resolve_committed(state: &mut CellState) -> ErasedVal {
+        if let Some(owner) = &state.owner {
+            match owner.status() {
+                ACTIVE => state.old.clone(),
+                COMMITTED => {
+                    let newv = state.new.take().expect("committed owner left no value");
+                    state.old = newv;
+                    state.owner = None;
+                    state.old.clone()
+                }
+                _ => {
+                    state.new = None;
+                    state.owner = None;
+                    state.old.clone()
+                }
+            }
+        } else {
+            state.old.clone()
+        }
+    }
+
+    /// Pointer identity of the value a validator should compare against:
+    /// for the validating transaction itself, owned cells still validate
+    /// against `old` (its writes take effect only at commit).
+    fn committed_ptr(state: &mut CellState, me: &Arc<TxDesc>) -> usize {
+        if let Some(owner) = &state.owner {
+            match owner.status() {
+                ACTIVE => erased_ptr(&state.old),
+                COMMITTED => {
+                    if Arc::ptr_eq(owner, me) {
+                        // We cannot be validating after our own commit.
+                        unreachable!("validation after own commit")
+                    }
+                    let newv = state.new.take().expect("committed owner left no value");
+                    state.old = newv;
+                    state.owner = None;
+                    erased_ptr(&state.old)
+                }
+                _ => {
+                    state.new = None;
+                    state.owner = None;
+                    erased_ptr(&state.old)
+                }
+            }
+        } else {
+            erased_ptr(&state.old)
+        }
+    }
+}
+
+fn erased_ptr(v: &ErasedVal) -> usize {
+    Arc::as_ptr(v) as *const () as usize
+}
+
+/// A transactional variable managed by [`AstmRuntime`].
+pub struct AstmVar<T> {
+    cell: Arc<Cell>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for AstmVar<T> {
+    fn clone(&self) -> Self {
+        AstmVar {
+            cell: Arc::clone(&self.cell),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Configuration of the ASTM-like runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct AstmConfig {
+    /// Contention manager for write-write conflicts.
+    pub cm: ContentionManager,
+    /// Validate the whole read list on every open (ASTM behaviour).
+    /// Disabling moves all validation to commit time — the ablation for
+    /// quantifying the O(k²) cost. Commit-time validation still prevents
+    /// inconsistent commits.
+    pub incremental_validation: bool,
+    /// DSTM-style visible reads: readers register in the locator and
+    /// writers arbitrate them away before acquiring, so no read-set
+    /// validation is ever needed (`incremental_validation` is then
+    /// ignored). The price is mutation of every read locator — the exact
+    /// trade ASTM's adaptive design navigates.
+    pub visible_reads: bool,
+}
+
+impl Default for AstmConfig {
+    fn default() -> Self {
+        AstmConfig {
+            cm: ContentionManager::Polka,
+            incremental_validation: true,
+            visible_reads: false,
+        }
+    }
+}
+
+/// The ASTM-like runtime (see module docs).
+pub struct AstmRuntime {
+    config: AstmConfig,
+    counters: Counters,
+    ticket: AtomicU64,
+    /// Serializes the validate-and-commit step of *writing* transactions.
+    ///
+    /// With invisible reads, "validate read list, then CAS status" is racy:
+    /// two writers that each read an object the other wrote can both pass
+    /// validation before either commit CAS lands, committing a
+    /// non-serializable pair. Taking a short global lock around that window
+    /// (writers only — read-only transactions are serialized by their last
+    /// validation) closes the race; the O(k²) incremental-validation and
+    /// clone-granularity costs the paper measures are unaffected.
+    commit_lock: Mutex<()>,
+}
+
+impl AstmRuntime {
+    /// Creates a runtime with the given configuration.
+    pub fn new(config: AstmConfig) -> Self {
+        AstmRuntime {
+            config,
+            counters: Counters::default(),
+            ticket: AtomicU64::new(1),
+            commit_lock: Mutex::new(()),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> AstmConfig {
+        self.config
+    }
+}
+
+impl Default for AstmRuntime {
+    fn default() -> Self {
+        Self::new(AstmConfig::default())
+    }
+}
+
+/// One transaction attempt.
+pub struct AstmTx<'rt> {
+    rt: &'rt AstmRuntime,
+    desc: Arc<TxDesc>,
+    /// Invisible read list: the cell and the exact value handle
+    /// observed. Keeping the handle alive pins its allocation, so the
+    /// pointer comparison in [`AstmTx::validate`] cannot be fooled by an
+    /// ABA re-allocation at the same address.
+    reads: Vec<(Arc<Cell>, ErasedVal)>,
+    /// Cell pointer → index into `reads`, to keep re-opens cheap.
+    read_index: HashMap<usize, usize>,
+    /// Cells this transaction owns for writing.
+    writes: HashMap<usize, Arc<Cell>>,
+    local: LocalCounts,
+}
+
+impl AstmTx<'_> {
+    fn check_alive(&self) -> StmResult<()> {
+        if self.desc.status() == ACTIVE {
+            Ok(())
+        } else {
+            Err(Abort)
+        }
+    }
+
+    /// Validates the entire read list (the ASTM invisible-read tax).
+    fn validate(&mut self) -> StmResult<()> {
+        self.local.validation_steps += self.reads.len() as u64;
+        for (cell, seen) in &self.reads {
+            let mut state = cell.state.lock();
+            if Cell::committed_ptr(&mut state, &self.desc) != erased_ptr(seen) {
+                return Err(Abort);
+            }
+        }
+        Ok(())
+    }
+
+    fn commit(&mut self) -> StmResult<()> {
+        if self.rt.config.visible_reads {
+            // Visible readers need no validation: any conflicting writer
+            // had to arbitrate us away first, so being ACTIVE here means
+            // every read is still current. Commit is the status CAS alone.
+            return match self.desc.status.compare_exchange(
+                ACTIVE,
+                COMMITTED,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => Ok(()),
+                Err(_) => Err(Abort),
+            };
+        }
+        // See `AstmRuntime::commit_lock` for why writers serialize here.
+        let _guard = if self.writes.is_empty() {
+            None
+        } else {
+            Some(self.rt.commit_lock.lock())
+        };
+        self.validate()?;
+        if self
+            .desc
+            .status
+            .compare_exchange(ACTIVE, COMMITTED, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(Abort);
+        }
+        Ok(())
+    }
+}
+
+/// The visible-read protocol: arbitrate away any active owner, then
+/// register in the locator's reader list. Registered reads need no
+/// validation — a conflicting writer must arbitrate (usually kill) the
+/// reader before it can acquire the cell.
+fn read_visible<T: TxVal>(tx: &mut AstmTx<'_>, var: &AstmVar<T>, key: usize) -> StmResult<Arc<T>> {
+    let mut attempt = 0u32;
+    loop {
+        tx.check_alive()?;
+        let mut state = var.cell.state.lock();
+        let value = Cell::resolve_committed(&mut state);
+        match &state.owner {
+            // An active writer holds the cell: readers conflict eagerly
+            // (registering under an active owner would let the owner
+            // commit without ever seeing us).
+            Some(enemy) => {
+                let enemy = Arc::clone(enemy);
+                drop(state);
+                match tx.rt.config.cm.resolve(&tx.desc, &enemy, attempt) {
+                    CmDecision::AbortEnemy => {
+                        if enemy.kill() {
+                            tx.rt.counters.enemy_aborts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    CmDecision::AbortSelf => return Err(Abort),
+                    CmDecision::Wait => {
+                        if tx.rt.config.cm.exponential_wait() {
+                            backoff(attempt, tx.desc.id);
+                        } else {
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                attempt += 1;
+            }
+            None => {
+                let ptr = erased_ptr(&value);
+                if let Some(&idx) = tx.read_index.get(&key) {
+                    drop(state);
+                    // Re-read: registration protects the value, but a
+                    // kill-then-commit racing this call could still have
+                    // swapped it; a changed pointer means we are doomed.
+                    if erased_ptr(&tx.reads[idx].1) != ptr {
+                        return Err(Abort);
+                    }
+                    return Ok(downcast(value));
+                }
+                state.readers.push(Arc::clone(&tx.desc));
+                drop(state);
+                tx.local.reads += 1;
+                tx.desc.karma.fetch_add(1, Ordering::Relaxed);
+                tx.read_index.insert(key, tx.reads.len());
+                tx.reads.push((Arc::clone(&var.cell), value.clone()));
+                return Ok(downcast(value));
+            }
+        }
+    }
+}
+
+impl StmRuntime for AstmRuntime {
+    type Var<T: TxVal> = AstmVar<T>;
+    type Tx<'rt> = AstmTx<'rt>;
+
+    fn new_var<T: TxVal>(&self, value: T) -> AstmVar<T> {
+        AstmVar {
+            cell: Arc::new(Cell {
+                state: Mutex::new(CellState {
+                    owner: None,
+                    readers: Vec::new(),
+                    old: Arc::new(value),
+                    new: None,
+                }),
+            }),
+            _marker: PhantomData,
+        }
+    }
+
+    fn read<T: TxVal>(tx: &mut AstmTx<'_>, var: &AstmVar<T>) -> StmResult<Arc<T>> {
+        tx.check_alive()?;
+        let key = Arc::as_ptr(&var.cell) as usize;
+        // Read-own-write: owned cells resolve to the tentative value and
+        // need no tracking (ownership shields them). Ownership must be
+        // re-verified: an enemy may have killed us and evicted our
+        // locator since we acquired the cell.
+        if tx.writes.contains_key(&key) {
+            let state = var.cell.state.lock();
+            match &state.owner {
+                Some(owner) if Arc::ptr_eq(owner, &tx.desc) => {
+                    let newv = state.new.clone().expect("owner keeps a tentative value");
+                    return Ok(downcast(newv));
+                }
+                _ => return Err(Abort),
+            }
+        }
+        if tx.rt.config.visible_reads {
+            return read_visible(tx, var, key);
+        }
+        let mut state = var.cell.state.lock();
+        let value = Cell::resolve_committed(&mut state);
+        let ptr = erased_ptr(&value);
+        drop(state);
+
+        if let Some(&idx) = tx.read_index.get(&key) {
+            // Already in the read list; a changed pointer means our
+            // earlier read is stale.
+            if erased_ptr(&tx.reads[idx].1) != ptr {
+                return Err(Abort);
+            }
+            return Ok(downcast(value));
+        }
+
+        tx.local.reads += 1;
+        tx.desc.karma.fetch_add(1, Ordering::Relaxed);
+        tx.read_index.insert(key, tx.reads.len());
+        tx.reads.push((Arc::clone(&var.cell), value.clone()));
+        if tx.rt.config.incremental_validation {
+            tx.validate()?;
+        }
+        Ok(downcast(value))
+    }
+
+    fn update<T: TxVal>(
+        tx: &mut AstmTx<'_>,
+        var: &AstmVar<T>,
+        f: impl FnOnce(&mut T),
+    ) -> StmResult<()> {
+        tx.check_alive()?;
+        let key = Arc::as_ptr(&var.cell) as usize;
+
+        // Re-open of an owned cell: mutate the tentative value in place —
+        // unless an enemy killed us and evicted our locator in the
+        // meantime, in which case the only option is to abort.
+        if tx.writes.contains_key(&key) {
+            let mut state = var.cell.state.lock();
+            let still_ours = matches!(&state.owner, Some(owner) if Arc::ptr_eq(owner, &tx.desc));
+            if !still_ours {
+                return Err(Abort);
+            }
+            let erased = state.new.take().expect("owner keeps a tentative value");
+            let mut arc_t: Arc<T> = downcast(erased);
+            f(Arc::make_mut(&mut arc_t));
+            state.new = Some(arc_t);
+            return Ok(());
+        }
+
+        // Eager acquisition with contention management.
+        let mut attempt = 0u32;
+        loop {
+            tx.check_alive()?;
+            let mut state = var.cell.state.lock();
+            // Fold finished owners into `old` first.
+            let _ = Cell::resolve_committed(&mut state);
+            // Under visible reads, registered readers must be arbitrated
+            // away before acquisition — that is what exempts them from
+            // validation.
+            if tx.rt.config.visible_reads && state.owner.is_none() {
+                state.readers.retain(|r| r.status() == ACTIVE);
+                let enemy = state
+                    .readers
+                    .iter()
+                    .find(|r| !Arc::ptr_eq(r, &tx.desc))
+                    .cloned();
+                if let Some(enemy) = enemy {
+                    drop(state);
+                    match tx.rt.config.cm.resolve(&tx.desc, &enemy, attempt) {
+                        CmDecision::AbortEnemy => {
+                            if enemy.kill() {
+                                tx.rt.counters.enemy_aborts.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        CmDecision::AbortSelf => return Err(Abort),
+                        CmDecision::Wait => {
+                            if tx.rt.config.cm.exponential_wait() {
+                                backoff(attempt, tx.desc.id);
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    attempt += 1;
+                    continue;
+                }
+            }
+            match &state.owner {
+                None => {
+                    let current: Arc<T> = downcast(state.old.clone());
+                    let mut fresh = (*current).clone();
+                    tx.local.clones += 1;
+                    f(&mut fresh);
+                    state.new = Some(Arc::new(fresh));
+                    state.owner = Some(Arc::clone(&tx.desc));
+                    drop(state);
+                    tx.local.writes += 1;
+                    tx.desc.karma.fetch_add(1, Ordering::Relaxed);
+                    tx.writes.insert(key, Arc::clone(&var.cell));
+                    if tx.rt.config.incremental_validation && !tx.rt.config.visible_reads {
+                        tx.validate()?;
+                    }
+                    return Ok(());
+                }
+                Some(enemy) => {
+                    let enemy = Arc::clone(enemy);
+                    drop(state);
+                    match tx.rt.config.cm.resolve(&tx.desc, &enemy, attempt) {
+                        CmDecision::AbortEnemy => {
+                            if enemy.kill() {
+                                tx.rt.counters.enemy_aborts.fetch_add(1, Ordering::Relaxed);
+                            }
+                            // Loop back; the locator now folds to `old`.
+                        }
+                        CmDecision::AbortSelf => return Err(Abort),
+                        CmDecision::Wait => {
+                            if tx.rt.config.cm.exponential_wait() {
+                                backoff(attempt, tx.desc.id);
+                            } else {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                    attempt += 1;
+                }
+            }
+        }
+    }
+
+    fn atomic<R>(&self, mut f: impl FnMut(&mut AstmTx<'_>) -> StmResult<R>) -> R {
+        let mut karma_carry = 0u64;
+        let mut attempt = 0u32;
+        loop {
+            let desc = Arc::new(TxDesc::new(
+                self.ticket.fetch_add(1, Ordering::Relaxed),
+                karma_carry,
+            ));
+            self.counters.starts.fetch_add(1, Ordering::Relaxed);
+            let mut tx = AstmTx {
+                rt: self,
+                desc: Arc::clone(&desc),
+                reads: Vec::new(),
+                read_index: HashMap::new(),
+                writes: HashMap::new(),
+                local: LocalCounts::default(),
+            };
+            let result = match f(&mut tx) {
+                Ok(r) => tx.commit().map(|()| r),
+                Err(Abort) => Err(Abort),
+            };
+            if self.config.visible_reads {
+                // Deregister from every locator we were visible in, win or
+                // lose; writers also clean lists lazily, so this is purely
+                // to keep them short.
+                for (cell, _) in &tx.reads {
+                    let mut state = cell.state.lock();
+                    state.readers.retain(|r| !Arc::ptr_eq(r, &desc));
+                }
+            }
+            tx.local.flush(&self.counters);
+            match result {
+                Ok(r) => {
+                    self.counters.commits.fetch_add(1, Ordering::Relaxed);
+                    return r;
+                }
+                Err(Abort) => {
+                    // Make sure the descriptor is dead so owned locators
+                    // fold back to their old values.
+                    desc.kill();
+                    self.counters.aborts.fetch_add(1, Ordering::Relaxed);
+                    karma_carry = desc.karma.load(Ordering::Relaxed);
+                    backoff(attempt, desc.id);
+                    attempt = attempt.saturating_add(1);
+                }
+            }
+        }
+    }
+
+    fn read_quiesced<T: TxVal>(&self, var: &AstmVar<T>) -> Arc<T> {
+        let mut state = var.cell.state.lock();
+        downcast(Cell::resolve_committed(&mut state))
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    type Rt = AstmRuntime;
+
+    #[test]
+    fn read_your_own_write() {
+        let rt = Rt::default();
+        let v = rt.new_var(1u32);
+        let out = rt.atomic(|tx| {
+            Rt::update(tx, &v, |n| *n = 5)?;
+            Rt::update(tx, &v, |n| *n += 1)?;
+            Ok(*Rt::read(tx, &v)?)
+        });
+        assert_eq!(out, 6);
+        assert_eq!(rt.atomic(|tx| Ok(*Rt::read(tx, &v)?)), 6);
+    }
+
+    #[test]
+    fn aborted_attempt_leaves_no_trace() {
+        let rt = Rt::default();
+        let v = rt.new_var(0u32);
+        let tried = AtomicBool::new(false);
+        let out = rt.atomic(|tx| {
+            Rt::update(tx, &v, |n| *n += 1)?;
+            if !tried.swap(true, Ordering::Relaxed) {
+                // First attempt bails; its tentative write must fold away.
+                return Err(Abort);
+            }
+            Ok(*Rt::read(tx, &v)?)
+        });
+        assert_eq!(out, 1);
+        let s = rt.snapshot();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.aborts, 1);
+        assert_eq!(s.starts, 2);
+    }
+
+    #[test]
+    fn validation_steps_grow_quadratically() {
+        let rt = Rt::default();
+        let vars: Vec<_> = (0..50u64).map(|i| rt.new_var(i)).collect();
+        rt.atomic(|tx| {
+            for v in &vars {
+                let _ = Rt::read(tx, v)?;
+            }
+            Ok(())
+        });
+        let s = rt.snapshot();
+        // Per-open validation over a growing list: 1 + 2 + … + 50 steps,
+        // plus one commit validation of 50.
+        assert_eq!(s.validation_steps, 50 * 51 / 2 + 50);
+        assert_eq!(s.reads, 50);
+    }
+
+    #[test]
+    fn commit_time_only_validation_is_linear() {
+        let rt = Rt::new(AstmConfig {
+            incremental_validation: false,
+            ..AstmConfig::default()
+        });
+        let vars: Vec<_> = (0..50u64).map(|i| rt.new_var(i)).collect();
+        rt.atomic(|tx| {
+            for v in &vars {
+                let _ = Rt::read(tx, v)?;
+            }
+            Ok(())
+        });
+        assert_eq!(rt.snapshot().validation_steps, 50);
+    }
+
+    #[test]
+    fn update_clones_object_level() {
+        let rt = Rt::default();
+        let v = rt.new_var(vec![0u8; 1024]);
+        rt.atomic(|tx| Rt::update(tx, &v, |b| b[0] = 1));
+        assert_eq!(rt.snapshot().clones, 1);
+        let got = rt.atomic(|tx| Ok(Rt::read(tx, &v)?[0]));
+        assert_eq!(got, 1);
+    }
+
+    #[test]
+    fn concurrent_counter_is_exact() {
+        let rt = Arc::new(Rt::default());
+        let v = rt.new_var(0u64);
+        let threads = 4;
+        let per = 500;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let rt = Arc::clone(&rt);
+                let v = v.clone();
+                s.spawn(move || {
+                    for _ in 0..per {
+                        rt.atomic(|tx| Rt::update(tx, &v, |n| *n += 1));
+                    }
+                });
+            }
+        });
+        let total = rt.atomic(|tx| Ok(*Rt::read(tx, &v)?));
+        assert_eq!(total, threads * per);
+    }
+
+    #[test]
+    fn opacity_invariant_under_contention() {
+        // Writers keep x == y; readers must never observe x != y inside a
+        // transaction (even transiently), or opacity is broken.
+        let rt = Arc::new(Rt::default());
+        let x = rt.new_var(0i64);
+        let y = rt.new_var(0i64);
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let rt = Arc::clone(&rt);
+                let (x, y) = (x.clone(), y.clone());
+                s.spawn(move || {
+                    for i in 0..300 {
+                        rt.atomic(|tx| {
+                            Rt::update(tx, &x, |v| *v += t * 10 + i)?;
+                            Rt::update(tx, &y, |v| *v += t * 10 + i)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let rt = Arc::clone(&rt);
+                let (x, y) = (x.clone(), y.clone());
+                s.spawn(move || {
+                    for _ in 0..600 {
+                        let (a, b) = rt.atomic(|tx| {
+                            let a = *Rt::read(tx, &x)?;
+                            let b = *Rt::read(tx, &y)?;
+                            Ok((a, b))
+                        });
+                        assert_eq!(a, b, "opacity violation: observed x != y");
+                    }
+                });
+            }
+        });
+    }
+
+    fn visible() -> AstmConfig {
+        AstmConfig {
+            visible_reads: true,
+            ..AstmConfig::default()
+        }
+    }
+
+    #[test]
+    fn visible_reads_need_no_validation() {
+        let rt = Rt::new(visible());
+        let vars: Vec<_> = (0..50u64).map(|i| rt.new_var(i)).collect();
+        let sum = rt.atomic(|tx| {
+            let mut sum = 0;
+            for v in &vars {
+                sum += *Rt::read(tx, v)?;
+            }
+            Ok(sum)
+        });
+        assert_eq!(sum, (0..50).sum::<u64>());
+        let s = rt.snapshot();
+        assert_eq!(s.validation_steps, 0, "visible reads must never validate");
+        assert_eq!(s.reads, 50);
+    }
+
+    #[test]
+    fn visible_readers_deregister_after_commit() {
+        let rt = Rt::new(visible());
+        let v = rt.new_var(7u32);
+        rt.atomic(|tx| Ok(*Rt::read(tx, &v)?));
+        rt.atomic(|tx| Ok(*Rt::read(tx, &v)?));
+        assert!(v.cell.state.lock().readers.is_empty());
+    }
+
+    #[test]
+    fn visible_read_your_own_write() {
+        let rt = Rt::new(visible());
+        let v = rt.new_var(1u32);
+        let out = rt.atomic(|tx| {
+            let before = *Rt::read(tx, &v)?;
+            Rt::update(tx, &v, |n| *n = before + 4)?;
+            Ok(*Rt::read(tx, &v)?)
+        });
+        assert_eq!(out, 5);
+    }
+
+    #[test]
+    fn visible_concurrent_counter_is_exact() {
+        let rt = Arc::new(Rt::new(visible()));
+        let v = rt.new_var(0u64);
+        let threads = 4;
+        let per = 500;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let rt = Arc::clone(&rt);
+                let v = v.clone();
+                s.spawn(move || {
+                    for _ in 0..per {
+                        rt.atomic(|tx| {
+                            let n = *Rt::read(tx, &v)?;
+                            Rt::update(tx, &v, |slot| *slot = n + 1)
+                        });
+                    }
+                });
+            }
+        });
+        let total = rt.atomic(|tx| Ok(*Rt::read(tx, &v)?));
+        assert_eq!(total, threads * per);
+        assert_eq!(rt.snapshot().validation_steps, 0);
+    }
+
+    #[test]
+    fn visible_opacity_invariant_under_contention() {
+        let rt = Arc::new(Rt::new(visible()));
+        let x = rt.new_var(0i64);
+        let y = rt.new_var(0i64);
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let rt = Arc::clone(&rt);
+                let (x, y) = (x.clone(), y.clone());
+                s.spawn(move || {
+                    for i in 0..300 {
+                        rt.atomic(|tx| {
+                            Rt::update(tx, &x, |v| *v += t * 10 + i)?;
+                            Rt::update(tx, &y, |v| *v += t * 10 + i)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let rt = Arc::clone(&rt);
+                let (x, y) = (x.clone(), y.clone());
+                s.spawn(move || {
+                    for _ in 0..600 {
+                        let (a, b) = rt.atomic(|tx| {
+                            let a = *Rt::read(tx, &x)?;
+                            let b = *Rt::read(tx, &y)?;
+                            Ok((a, b))
+                        });
+                        assert_eq!(a, b, "opacity violation: observed x != y");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn every_contention_manager_makes_progress() {
+        for cm in ContentionManager::all() {
+            let rt = Arc::new(Rt::new(AstmConfig {
+                cm,
+                ..AstmConfig::default()
+            }));
+            let v = rt.new_var(0u64);
+            std::thread::scope(|s| {
+                for _ in 0..3 {
+                    let rt = Arc::clone(&rt);
+                    let v = v.clone();
+                    s.spawn(move || {
+                        for _ in 0..200 {
+                            rt.atomic(|tx| Rt::update(tx, &v, |n| *n += 1));
+                        }
+                    });
+                }
+            });
+            let total = rt.atomic(|tx| Ok(*Rt::read(tx, &v)?));
+            assert_eq!(total, 600, "cm {} lost updates", cm.name());
+        }
+    }
+}

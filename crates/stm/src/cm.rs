@@ -1,0 +1,238 @@
+//! Contention managers for the ASTM-like runtime.
+//!
+//! With eager write acquisition, two transactions wanting the same object
+//! in write mode must be arbitrated. The paper runs ASTM with the *Polka*
+//! manager; the classic alternatives are provided for the
+//! contention-manager ablation bench.
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// Transaction status values.
+pub const ACTIVE: u8 = 0;
+/// See [`ACTIVE`].
+pub const COMMITTED: u8 = 1;
+/// See [`ACTIVE`].
+pub const ABORTED: u8 = 2;
+
+/// Shared descriptor of a running transaction. Cells point at the
+/// descriptor of their current writer; aborting a transaction is a single
+/// status CAS that every other party observes.
+#[derive(Debug)]
+pub struct TxDesc {
+    /// Unique, monotonically increasing ticket (doubles as the timestamp
+    /// for age-based managers).
+    pub id: u64,
+    pub status: AtomicU8,
+    /// Accumulated "work" (objects opened), carried across retries of the
+    /// same operation — the currency of Karma and Polka.
+    pub karma: AtomicU64,
+}
+
+impl TxDesc {
+    /// Creates an active descriptor with karma carried over from aborted
+    /// attempts.
+    pub fn new(id: u64, karma_carry: u64) -> Self {
+        TxDesc {
+            id,
+            status: AtomicU8::new(ACTIVE),
+            karma: AtomicU64::new(karma_carry),
+        }
+    }
+
+    /// Current status.
+    pub fn status(&self) -> u8 {
+        self.status.load(Ordering::Acquire)
+    }
+
+    /// Attempts to abort this transaction; returns true if this call
+    /// performed the kill (false if it already committed or aborted).
+    pub fn kill(&self) -> bool {
+        self.status
+            .compare_exchange(ACTIVE, ABORTED, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+}
+
+/// What to do about an active enemy holding an object we want.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmDecision {
+    /// Kill the enemy and take the object.
+    AbortEnemy,
+    /// Abort ourselves.
+    AbortSelf,
+    /// Back off and re-attempt the acquisition.
+    Wait,
+}
+
+/// The contention-management policies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ContentionManager {
+    /// Always kill the enemy. Maximum progress for me, livelock-prone.
+    Aggressive,
+    /// Always abort myself (a.k.a. Timid).
+    Suicide,
+    /// Exponential backoff a bounded number of times, then kill the enemy.
+    Backoff,
+    /// Compare accumulated work; waiting accrues patience, so the poorer
+    /// transaction eventually wins.
+    Karma,
+    /// Older transactions win; younger ones wait a little, then abort
+    /// themselves.
+    Timestamp,
+    /// Karma with exponential backoff between attempts — the manager the
+    /// paper uses (default).
+    #[default]
+    Polka,
+}
+
+impl ContentionManager {
+    /// Decides what the acquiring transaction (`me`) should do about an
+    /// active `enemy`, on its `attempt`-th try for this object.
+    pub fn resolve(&self, me: &TxDesc, enemy: &TxDesc, attempt: u32) -> CmDecision {
+        match self {
+            ContentionManager::Aggressive => CmDecision::AbortEnemy,
+            ContentionManager::Suicide => CmDecision::AbortSelf,
+            ContentionManager::Backoff => {
+                if attempt >= 8 {
+                    CmDecision::AbortEnemy
+                } else {
+                    CmDecision::Wait
+                }
+            }
+            ContentionManager::Karma | ContentionManager::Polka => {
+                // Each failed attempt adds patience; once patience plus our
+                // own work exceeds the enemy's investment, we take over.
+                let mine = me.karma.load(Ordering::Relaxed) + u64::from(attempt);
+                let theirs = enemy.karma.load(Ordering::Relaxed);
+                if mine >= theirs {
+                    CmDecision::AbortEnemy
+                } else {
+                    CmDecision::Wait
+                }
+            }
+            ContentionManager::Timestamp => {
+                if me.id < enemy.id {
+                    CmDecision::AbortEnemy
+                } else if attempt >= 8 {
+                    CmDecision::AbortSelf
+                } else {
+                    CmDecision::Wait
+                }
+            }
+        }
+    }
+
+    /// Whether the manager wants exponential backoff while waiting
+    /// (Polka's distinguishing feature over Karma).
+    pub fn exponential_wait(&self) -> bool {
+        matches!(
+            self,
+            ContentionManager::Polka | ContentionManager::Backoff | ContentionManager::Timestamp
+        )
+    }
+
+    /// All managers, for sweeps.
+    pub fn all() -> [ContentionManager; 6] {
+        [
+            ContentionManager::Aggressive,
+            ContentionManager::Suicide,
+            ContentionManager::Backoff,
+            ContentionManager::Karma,
+            ContentionManager::Timestamp,
+            ContentionManager::Polka,
+        ]
+    }
+
+    /// Stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ContentionManager::Aggressive => "aggressive",
+            ContentionManager::Suicide => "suicide",
+            ContentionManager::Backoff => "backoff",
+            ContentionManager::Karma => "karma",
+            ContentionManager::Timestamp => "timestamp",
+            ContentionManager::Polka => "polka",
+        }
+    }
+
+    /// Parses a name produced by [`ContentionManager::name`].
+    pub fn parse(s: &str) -> Option<ContentionManager> {
+        Self::all().into_iter().find(|cm| cm.name() == s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(id: u64, karma: u64) -> TxDesc {
+        TxDesc::new(id, karma)
+    }
+
+    #[test]
+    fn kill_is_single_shot() {
+        let d = desc(1, 0);
+        assert!(d.kill());
+        assert!(!d.kill());
+        assert_eq!(d.status(), ABORTED);
+    }
+
+    #[test]
+    fn kill_fails_after_commit() {
+        let d = desc(1, 0);
+        d.status.store(COMMITTED, Ordering::Release);
+        assert!(!d.kill());
+        assert_eq!(d.status(), COMMITTED);
+    }
+
+    #[test]
+    fn aggressive_and_suicide() {
+        let me = desc(2, 0);
+        let enemy = desc(1, 100);
+        assert_eq!(
+            ContentionManager::Aggressive.resolve(&me, &enemy, 0),
+            CmDecision::AbortEnemy
+        );
+        assert_eq!(
+            ContentionManager::Suicide.resolve(&me, &enemy, 0),
+            CmDecision::AbortSelf
+        );
+    }
+
+    #[test]
+    fn backoff_eventually_kills() {
+        let me = desc(2, 0);
+        let enemy = desc(1, 0);
+        let cm = ContentionManager::Backoff;
+        assert_eq!(cm.resolve(&me, &enemy, 0), CmDecision::Wait);
+        assert_eq!(cm.resolve(&me, &enemy, 8), CmDecision::AbortEnemy);
+    }
+
+    #[test]
+    fn karma_respects_investment_but_patience_wins() {
+        let me = desc(2, 1);
+        let enemy = desc(1, 10);
+        let cm = ContentionManager::Karma;
+        assert_eq!(cm.resolve(&me, &enemy, 0), CmDecision::Wait);
+        // Attempts accrue patience until we pass the enemy's karma.
+        assert_eq!(cm.resolve(&me, &enemy, 9), CmDecision::AbortEnemy);
+    }
+
+    #[test]
+    fn timestamp_prefers_elders() {
+        let old = desc(1, 0);
+        let young = desc(2, 0);
+        let cm = ContentionManager::Timestamp;
+        assert_eq!(cm.resolve(&old, &young, 0), CmDecision::AbortEnemy);
+        assert_eq!(cm.resolve(&young, &old, 0), CmDecision::Wait);
+        assert_eq!(cm.resolve(&young, &old, 8), CmDecision::AbortSelf);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for cm in ContentionManager::all() {
+            assert_eq!(ContentionManager::parse(cm.name()), Some(cm));
+        }
+        assert_eq!(ContentionManager::parse("nope"), None);
+    }
+}

@@ -1,0 +1,647 @@
+//! The TL2/LSA-style STM.
+//!
+//! This is the remedy class the paper's §5 points to (ref. 5 Dice/Shalev/
+//! Shavit TL2, ref. 11 Riegel/Felber/Fetzer LSA, ref. 13 Spear et al.): a global
+//! version clock makes every read *self-validating* — O(1) per read
+//! instead of re-validating the whole read list — so a transaction with k
+//! reads does O(k) total validation work instead of O(k²).
+//!
+//! Protocol summary:
+//!
+//! * every variable carries a versioned lock word (`version << 1 | locked`);
+//! * a transaction samples the clock at start (`rv`) and aborts (or
+//!   *extends*, LSA-style, when enabled) upon meeting a newer version;
+//! * writes are buffered privately (lazy acquisition);
+//! * commit locks the write set in address order (bounded trylock),
+//!   increments the clock, validates the read set once, writes back and
+//!   releases with the new version.
+//!
+//! Values are still `Arc`-boxed whole objects, so *logging granularity*
+//! is identical to the ASTM runtime — the two runtimes differ only in the
+//! validation/acquisition strategy, which is exactly what the validation
+//! ablation bench isolates.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::runtime::{backoff, downcast, Abort, ErasedVal, StmResult, StmRuntime, TxVal};
+use crate::stats::{Counters, LocalCounts, StatsSnapshot};
+
+const LOCKED: u64 = 1;
+
+#[inline]
+fn is_locked(vlock: u64) -> bool {
+    vlock & LOCKED != 0
+}
+
+#[inline]
+fn version_of(vlock: u64) -> u64 {
+    vlock >> 1
+}
+
+struct Cell {
+    /// `version << 1 | locked`.
+    vlock: AtomicU64,
+    value: RwLock<ErasedVal>,
+}
+
+impl Cell {
+    /// Reads a consistent `(version, value)` pair, spinning through
+    /// in-flight commits a few times before giving up.
+    fn sample(&self) -> StmResult<(u64, ErasedVal)> {
+        for _ in 0..64 {
+            let v1 = self.vlock.load(Ordering::Acquire);
+            if is_locked(v1) {
+                std::hint::spin_loop();
+                continue;
+            }
+            let value = self.value.read().clone();
+            let v2 = self.vlock.load(Ordering::Acquire);
+            if v1 == v2 {
+                return Ok((version_of(v1), value));
+            }
+        }
+        Err(Abort)
+    }
+}
+
+/// A transactional variable managed by [`Tl2Runtime`].
+pub struct Tl2Var<T> {
+    cell: Arc<Cell>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Tl2Var<T> {
+    fn clone(&self) -> Self {
+        Tl2Var {
+            cell: Arc::clone(&self.cell),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Configuration of the TL2-like runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct Tl2Config {
+    /// Attempt LSA-style read-timestamp extension instead of aborting when
+    /// a version newer than `rv` is met (paper ref. 11, LSA).
+    pub timestamp_extension: bool,
+    /// Honor [`crate::StmRuntime::atomic_read_only`] with TL2's classic
+    /// read-only mode: no read set is recorded at all (every read is
+    /// self-validating against `rv`; a newer version aborts, since
+    /// extension is impossible without a read set). Disable to measure
+    /// the bookkeeping the fast path saves.
+    pub read_only_fast_path: bool,
+}
+
+impl Default for Tl2Config {
+    fn default() -> Self {
+        Tl2Config {
+            timestamp_extension: true,
+            read_only_fast_path: true,
+        }
+    }
+}
+
+/// The TL2-like runtime (see module docs).
+pub struct Tl2Runtime {
+    config: Tl2Config,
+    clock: AtomicU64,
+    counters: Counters,
+}
+
+impl Tl2Runtime {
+    /// Creates a runtime with the given configuration.
+    pub fn new(config: Tl2Config) -> Self {
+        Tl2Runtime {
+            config,
+            clock: AtomicU64::new(0),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> Tl2Config {
+        self.config
+    }
+
+    /// The shared retry loop behind [`StmRuntime::atomic`] and
+    /// [`StmRuntime::atomic_read_only`].
+    fn run_retrying<R>(
+        &self,
+        read_only: bool,
+        mut f: impl FnMut(&mut Tl2Tx<'_>) -> StmResult<R>,
+    ) -> R {
+        let mut attempt = 0u32;
+        loop {
+            self.counters.starts.fetch_add(1, Ordering::Relaxed);
+            let mut tx = Tl2Tx {
+                rt: self,
+                rv: self.clock.load(Ordering::SeqCst),
+                reads: HashMap::new(),
+                writes: HashMap::new(),
+                read_only,
+                local: LocalCounts::default(),
+            };
+            let result = match f(&mut tx) {
+                Ok(r) => tx.commit().map(|()| r),
+                Err(Abort) => Err(Abort),
+            };
+            tx.local.flush(&self.counters);
+            match result {
+                Ok(r) => {
+                    self.counters.commits.fetch_add(1, Ordering::Relaxed);
+                    return r;
+                }
+                Err(Abort) => {
+                    self.counters.aborts.fetch_add(1, Ordering::Relaxed);
+                    backoff(attempt, attempt as u64 + 1);
+                    attempt = attempt.saturating_add(1);
+                }
+            }
+        }
+    }
+}
+
+impl Default for Tl2Runtime {
+    fn default() -> Self {
+        Self::new(Tl2Config::default())
+    }
+}
+
+/// One transaction attempt.
+pub struct Tl2Tx<'rt> {
+    rt: &'rt Tl2Runtime,
+    /// Read validity horizon.
+    rv: u64,
+    /// Cell pointer → (cell, version at first read).
+    reads: HashMap<usize, (Arc<Cell>, u64)>,
+    /// Cell pointer → (cell, buffered value); order is irrelevant because
+    /// commit sorts by address.
+    writes: HashMap<usize, (Arc<Cell>, ErasedVal)>,
+    /// The classic TL2 read-only mode: no read set, no extension,
+    /// updates forbidden.
+    read_only: bool,
+    local: LocalCounts,
+}
+
+impl Tl2Tx<'_> {
+    /// Revalidates the read set against the current clock and, on success,
+    /// advances `rv` (LSA-style extension).
+    fn extend(&mut self) -> StmResult<()> {
+        let now = self.rt.clock.load(Ordering::SeqCst);
+        self.local.validation_steps += self.reads.len() as u64;
+        for (cell, seen) in self.reads.values() {
+            let vl = cell.vlock.load(Ordering::Acquire);
+            if is_locked(vl) || version_of(vl) != *seen {
+                return Err(Abort);
+            }
+        }
+        self.rv = now;
+        self.local.extensions += 1;
+        Ok(())
+    }
+
+    fn commit(&mut self) -> StmResult<()> {
+        if self.writes.is_empty() {
+            return Ok(());
+        }
+        // Lock the write set in address order with a bounded trylock.
+        let mut targets: Vec<&(Arc<Cell>, ErasedVal)> = self.writes.values().collect();
+        targets.sort_by_key(|(cell, _)| Arc::as_ptr(cell) as usize);
+        let mut held: Vec<&Arc<Cell>> = Vec::with_capacity(targets.len());
+        for (cell, _) in &targets {
+            let mut acquired = false;
+            for _ in 0..128 {
+                let vl = cell.vlock.load(Ordering::Acquire);
+                if is_locked(vl) {
+                    std::hint::spin_loop();
+                    continue;
+                }
+                if version_of(vl) > self.rv {
+                    break; // Someone committed past us; abort.
+                }
+                if cell
+                    .vlock
+                    .compare_exchange(vl, vl | LOCKED, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    acquired = true;
+                    break;
+                }
+            }
+            if !acquired {
+                for c in &held {
+                    let vl = c.vlock.load(Ordering::Relaxed);
+                    c.vlock.store(vl & !LOCKED, Ordering::Release);
+                }
+                return Err(Abort);
+            }
+            held.push(cell);
+        }
+
+        let wv = self.rt.clock.fetch_add(1, Ordering::SeqCst) + 1;
+
+        // Validate the read set once (skippable when nothing committed in
+        // between).
+        if wv != self.rv + 1 {
+            self.local.validation_steps += self.reads.len() as u64;
+            for (key, (cell, seen)) in &self.reads {
+                if self.writes.contains_key(key) {
+                    // Locked by us; version check below still applies.
+                    if version_of(cell.vlock.load(Ordering::Acquire)) != *seen {
+                        self.release(&held);
+                        return Err(Abort);
+                    }
+                    continue;
+                }
+                let vl = cell.vlock.load(Ordering::Acquire);
+                if is_locked(vl) || version_of(vl) != *seen {
+                    self.release(&held);
+                    return Err(Abort);
+                }
+            }
+        }
+
+        // Write back and release with the new version.
+        for (cell, value) in &targets {
+            *cell.value.write() = value.clone();
+            cell.vlock.store(wv << 1, Ordering::Release);
+        }
+        Ok(())
+    }
+
+    fn release(&self, held: &[&Arc<Cell>]) {
+        for c in held {
+            let vl = c.vlock.load(Ordering::Relaxed);
+            c.vlock.store(vl & !LOCKED, Ordering::Release);
+        }
+    }
+
+    /// Samples a cell within the `rv` horizon, extending when allowed.
+    fn consistent_sample(&mut self, cell: &Arc<Cell>) -> StmResult<(u64, ErasedVal)> {
+        loop {
+            let (ver, value) = cell.sample()?;
+            if ver <= self.rv {
+                return Ok((ver, value));
+            }
+            if !self.rt.config.timestamp_extension {
+                return Err(Abort);
+            }
+            self.extend()?;
+            // `rv` advanced; re-sample (the cell may be mid-commit).
+        }
+    }
+}
+
+impl StmRuntime for Tl2Runtime {
+    type Var<T: TxVal> = Tl2Var<T>;
+    type Tx<'rt> = Tl2Tx<'rt>;
+
+    fn new_var<T: TxVal>(&self, value: T) -> Tl2Var<T> {
+        Tl2Var {
+            cell: Arc::new(Cell {
+                vlock: AtomicU64::new(0),
+                value: RwLock::new(Arc::new(value)),
+            }),
+            _marker: PhantomData,
+        }
+    }
+
+    fn read<T: TxVal>(tx: &mut Tl2Tx<'_>, var: &Tl2Var<T>) -> StmResult<Arc<T>> {
+        if tx.read_only {
+            // The fast path: a sample within the horizon is proof enough;
+            // nothing is recorded. Any version past `rv` aborts (a
+            // repeat read that changed underneath necessarily carries a
+            // newer version, so repeat consistency is covered too).
+            let (ver, value) = var.cell.sample()?;
+            if ver > tx.rv {
+                return Err(Abort);
+            }
+            tx.local.reads += 1;
+            return Ok(downcast(value));
+        }
+        let key = Arc::as_ptr(&var.cell) as usize;
+        if let Some((_, buffered)) = tx.writes.get(&key) {
+            return Ok(downcast(buffered.clone()));
+        }
+        if let Some((cell, seen)) = tx.reads.get(&key) {
+            // Already read; the version cannot have changed without commit,
+            // which validation will catch — return the committed value.
+            let (ver, value) = cell.sample()?;
+            if ver != *seen {
+                return Err(Abort);
+            }
+            return Ok(downcast(value));
+        }
+        let (ver, value) = tx.consistent_sample(&var.cell)?;
+        tx.local.reads += 1;
+        tx.reads.insert(key, (Arc::clone(&var.cell), ver));
+        Ok(downcast(value))
+    }
+
+    fn update<T: TxVal>(
+        tx: &mut Tl2Tx<'_>,
+        var: &Tl2Var<T>,
+        f: impl FnOnce(&mut T),
+    ) -> StmResult<()> {
+        assert!(
+            !tx.read_only,
+            "update inside a transaction declared read-only"
+        );
+        let key = Arc::as_ptr(&var.cell) as usize;
+        if let Some(entry) = tx.writes.get_mut(&key) {
+            // Take the buffered Arc out so its refcount is 1 and
+            // `make_mut` mutates in place instead of deep-cloning on
+            // every re-open.
+            let placeholder: ErasedVal = Arc::new(());
+            let buffered = std::mem::replace(&mut entry.1, placeholder);
+            let mut arc_t: Arc<T> = downcast(buffered);
+            f(Arc::make_mut(&mut arc_t));
+            entry.1 = arc_t;
+            return Ok(());
+        }
+        // Base the clone on a consistent snapshot; commit re-verifies the
+        // version under the write lock.
+        let current: Arc<T> = if let Some((cell, seen)) = tx.reads.get(&key) {
+            let (ver, value) = cell.sample()?;
+            if ver != *seen {
+                return Err(Abort);
+            }
+            downcast(value)
+        } else {
+            let (ver, value) = tx.consistent_sample(&var.cell)?;
+            tx.reads.insert(key, (Arc::clone(&var.cell), ver));
+            downcast(value)
+        };
+        let mut fresh = (*current).clone();
+        tx.local.clones += 1;
+        f(&mut fresh);
+        tx.local.writes += 1;
+        tx.writes
+            .insert(key, (Arc::clone(&var.cell), Arc::new(fresh) as ErasedVal));
+        Ok(())
+    }
+
+    fn atomic<R>(&self, f: impl FnMut(&mut Tl2Tx<'_>) -> StmResult<R>) -> R {
+        self.run_retrying(false, f)
+    }
+
+    fn atomic_read_only<R>(&self, f: impl FnMut(&mut Tl2Tx<'_>) -> StmResult<R>) -> R {
+        self.run_retrying(self.config.read_only_fast_path, f)
+    }
+
+    fn read_quiesced<T: TxVal>(&self, var: &Tl2Var<T>) -> Arc<T> {
+        downcast(var.cell.value.read().clone())
+    }
+
+    fn snapshot(&self) -> StatsSnapshot {
+        self.counters.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    type Rt = Tl2Runtime;
+
+    #[test]
+    fn read_your_own_write() {
+        let rt = Rt::default();
+        let v = rt.new_var(1u32);
+        let out = rt.atomic(|tx| {
+            Rt::update(tx, &v, |n| *n = 5)?;
+            Rt::update(tx, &v, |n| *n += 1)?;
+            Ok(*Rt::read(tx, &v)?)
+        });
+        assert_eq!(out, 6);
+        assert_eq!(rt.atomic(|tx| Ok(*Rt::read(tx, &v)?)), 6);
+    }
+
+    #[test]
+    fn aborted_attempt_leaves_no_trace() {
+        let rt = Rt::default();
+        let v = rt.new_var(0u32);
+        let tried = AtomicBool::new(false);
+        let out = rt.atomic(|tx| {
+            Rt::update(tx, &v, |n| *n += 1)?;
+            if !tried.swap(true, Ordering::Relaxed) {
+                return Err(Abort);
+            }
+            Ok(*Rt::read(tx, &v)?)
+        });
+        assert_eq!(out, 1);
+        let s = rt.snapshot();
+        assert_eq!(s.commits, 1);
+        assert_eq!(s.aborts, 1);
+    }
+
+    #[test]
+    fn validation_work_is_linear_not_quadratic() {
+        let rt = Rt::default();
+        let vars: Vec<_> = (0..50u64).map(|i| rt.new_var(i)).collect();
+        rt.atomic(|tx| {
+            for v in &vars {
+                let _ = Rt::read(tx, v)?;
+            }
+            Ok(())
+        });
+        let s = rt.snapshot();
+        // Read-only at a stable clock: no validation at all.
+        assert_eq!(s.validation_steps, 0);
+        assert_eq!(s.reads, 50);
+    }
+
+    #[test]
+    fn concurrent_counter_is_exact() {
+        let rt = Arc::new(Rt::default());
+        let v = rt.new_var(0u64);
+        let threads = 4;
+        let per = 500;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let rt = Arc::clone(&rt);
+                let v = v.clone();
+                s.spawn(move || {
+                    for _ in 0..per {
+                        rt.atomic(|tx| Rt::update(tx, &v, |n| *n += 1));
+                    }
+                });
+            }
+        });
+        let total = rt.atomic(|tx| Ok(*Rt::read(tx, &v)?));
+        assert_eq!(total, threads * per);
+    }
+
+    #[test]
+    fn opacity_invariant_under_contention() {
+        let rt = Arc::new(Rt::default());
+        let x = rt.new_var(0i64);
+        let y = rt.new_var(0i64);
+        std::thread::scope(|s| {
+            for t in 0..2i64 {
+                let rt = Arc::clone(&rt);
+                let (x, y) = (x.clone(), y.clone());
+                s.spawn(move || {
+                    for i in 0..300 {
+                        rt.atomic(|tx| {
+                            Rt::update(tx, &x, |v| *v += t * 10 + i)?;
+                            Rt::update(tx, &y, |v| *v += t * 10 + i)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let rt = Arc::clone(&rt);
+                let (x, y) = (x.clone(), y.clone());
+                s.spawn(move || {
+                    for _ in 0..600 {
+                        let (a, b) = rt.atomic(|tx| {
+                            let a = *Rt::read(tx, &x)?;
+                            let b = *Rt::read(tx, &y)?;
+                            Ok((a, b))
+                        });
+                        assert_eq!(a, b, "opacity violation: observed x != y");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn bank_transfer_conserves_total() {
+        let rt = Arc::new(Rt::default());
+        let accounts: Vec<_> = (0..8).map(|_| rt.new_var(100i64)).collect();
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let rt = Arc::clone(&rt);
+                let accounts = accounts.clone();
+                s.spawn(move || {
+                    let n = accounts.len();
+                    for i in 0..400 {
+                        let from = (t + i) % n;
+                        let to = (t + i * 7 + 1) % n;
+                        if from == to {
+                            continue;
+                        }
+                        rt.atomic(|tx| {
+                            let amount = (*Rt::read(tx, &accounts[from])?).min(10);
+                            Rt::update(tx, &accounts[from], |b| *b -= amount)?;
+                            Rt::update(tx, &accounts[to], |b| *b += amount)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        let total: i64 = rt.atomic(|tx| {
+            let mut sum = 0;
+            for a in &accounts {
+                sum += *Rt::read(tx, a)?;
+            }
+            Ok(sum)
+        });
+        assert_eq!(total, 800);
+    }
+
+    #[test]
+    fn read_only_fast_path_reads_without_bookkeeping() {
+        let rt = Rt::default();
+        let vars: Vec<_> = (0..50u64).map(|i| rt.new_var(i)).collect();
+        let sum = rt.atomic_read_only(|tx| {
+            let mut sum = 0;
+            for v in &vars {
+                sum += *Rt::read(tx, v)?;
+            }
+            Ok(sum)
+        });
+        assert_eq!(sum, (0..50).sum::<u64>());
+        let s = rt.snapshot();
+        assert_eq!(s.reads, 50);
+        assert_eq!(s.validation_steps, 0);
+        assert_eq!(s.extensions, 0, "no extension without a read set");
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn read_only_transactions_reject_updates() {
+        let rt = Rt::default();
+        let v = rt.new_var(0u32);
+        rt.atomic_read_only(|tx| Rt::update(tx, &v, |n| *n += 1));
+    }
+
+    #[test]
+    fn read_only_scans_stay_consistent_under_transfers() {
+        // Concurrent RO scans of a bank must always see the conserved
+        // total — the fast path may abort and retry but never return a
+        // torn snapshot.
+        let rt = Arc::new(Rt::default());
+        let accounts: Vec<_> = (0..6).map(|_| rt.new_var(100i64)).collect();
+        std::thread::scope(|s| {
+            for t in 0..2usize {
+                let rt = Arc::clone(&rt);
+                let accounts = accounts.clone();
+                s.spawn(move || {
+                    let n = accounts.len();
+                    for i in 0..400 {
+                        let from = (t + i) % n;
+                        let to = (t * 5 + i * 3 + 1) % n;
+                        if from == to {
+                            continue;
+                        }
+                        rt.atomic(|tx| {
+                            let amount = (*Rt::read(tx, &accounts[from])?).min(7);
+                            Rt::update(tx, &accounts[from], |b| *b -= amount)?;
+                            Rt::update(tx, &accounts[to], |b| *b += amount)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let rt = Arc::clone(&rt);
+                let accounts = accounts.clone();
+                s.spawn(move || {
+                    for _ in 0..400 {
+                        let total = rt.atomic_read_only(|tx| {
+                            let mut sum = 0;
+                            for a in &accounts {
+                                sum += *Rt::read(tx, a)?;
+                            }
+                            Ok(sum)
+                        });
+                        assert_eq!(total, 600, "torn read-only snapshot");
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn extension_disabled_still_correct() {
+        let rt = Arc::new(Rt::new(Tl2Config {
+            timestamp_extension: false,
+            ..Tl2Config::default()
+        }));
+        let v = rt.new_var(0u64);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let rt = Arc::clone(&rt);
+                let v = v.clone();
+                s.spawn(move || {
+                    for _ in 0..300 {
+                        rt.atomic(|tx| Rt::update(tx, &v, |n| *n += 1));
+                    }
+                });
+            }
+        });
+        assert_eq!(rt.atomic(|tx| Ok(*Rt::read(tx, &v)?)), 900);
+    }
+}

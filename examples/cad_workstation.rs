@@ -1,0 +1,85 @@
+//! A CAD-workstation scenario — the application class the paper's
+//! introduction motivates (CAD/CAM/CASE tools over a large design
+//! library).
+//!
+//! Designers mostly *read*: they inspect assemblies, search documents and
+//! follow part graphs; occasionally they edit attributes, and a build
+//! daemon periodically rewrites documentation. That is exactly the
+//! read-dominated workload with long traversals enabled. We run it under
+//! the medium-grained strategy (Figure 5) and report what a workstation
+//! operator would care about: interactive-operation latency percentiles
+//! next to the batch traversal cost.
+//!
+//! ```sh
+//! cargo run --release --example cad_workstation
+//! ```
+
+use std::time::Duration;
+
+use stmbench7::core::{run_benchmark, BenchConfig, Category, OpFilter, RunMode, WorkloadType};
+use stmbench7::data::{StructureParams, Workspace};
+use stmbench7::{AnyBackend, BackendChoice};
+
+fn main() {
+    let params = StructureParams::small();
+    let ws = Workspace::build(params.clone(), 2026);
+    let backend = AnyBackend::build(BackendChoice::Medium, ws);
+
+    let cfg = BenchConfig {
+        threads: 4, // Four designers sharing the model.
+        mode: RunMode::Timed(Duration::from_secs(3)),
+        workload: WorkloadType::ReadDominated,
+        long_traversals: true, // The nightly consistency sweep runs too.
+        structure_mods: true,  // Parts get added/retired during the day.
+        filter: OpFilter::none(),
+        seed: 9,
+        histograms: true,
+    };
+    let report = run_benchmark(&backend, &params, &cfg);
+
+    println!(
+        "CAD session over {} atomic parts, 4 designers, 3 s:",
+        params.initial_atomics()
+    );
+    println!(
+        "  sustained rate: {:.0} operations/s\n",
+        report.throughput()
+    );
+    println!("  interactive operations (latency percentiles):");
+    for op in report
+        .per_op
+        .iter()
+        .filter(|o| o.op.category() == Category::ShortOperation && o.completed > 0)
+    {
+        let p50 = op.hist.percentile(50.0).unwrap_or(0);
+        let p99 = op.hist.percentile(99.0).unwrap_or(0);
+        println!(
+            "    {:<5} p50 {:>4} ms   p99 {:>4} ms   max {:>8.2} ms   ({} runs)",
+            op.op.name(),
+            p50,
+            p99,
+            op.max_ms(),
+            op.completed
+        );
+    }
+    println!("\n  batch sweeps (long traversals):");
+    for op in report
+        .per_op
+        .iter()
+        .filter(|o| o.op.category() == Category::LongTraversal && o.completed > 0)
+    {
+        println!(
+            "    {:<5} mean {:>9.2} ms   max {:>9.2} ms   ({} runs)",
+            op.op.name(),
+            op.mean_ms(),
+            op.max_ms(),
+            op.completed
+        );
+    }
+    let (_, failed, _) = report.category_rollup(Category::StructureModification);
+    println!(
+        "\n  structure modifications: {} applied, {} failed benignly",
+        report.category_rollup(Category::StructureModification).0,
+        failed
+    );
+}

@@ -1,0 +1,81 @@
+//! Building a custom workload: operation filters, expected-ratio
+//! introspection and TTC histograms.
+//!
+//! The paper deliberately outputs *many* numbers instead of one; this
+//! example shows how to drive the same machinery programmatically — here
+//! for a "document server" profile that disables the structure-heavy
+//! operations and watches document-operation latency histograms.
+//!
+//! ```sh
+//! cargo run --release --example custom_workload
+//! ```
+
+use stmbench7::core::ops::OpKind;
+use stmbench7::core::{run_benchmark, BenchConfig, OpFilter, WorkloadMix, WorkloadType};
+use stmbench7::data::{StructureParams, Workspace};
+use stmbench7::{AnyBackend, BackendChoice};
+
+fn main() {
+    let params = StructureParams::small();
+
+    // A document-server profile: no whole-structure sweeps, no part
+    // creation/deletion — just index lookups, path traversals and text
+    // work. Everything else follows Table 2 semantics automatically.
+    let filter = OpFilter::none()
+        .disable(OpKind::Q7)
+        .disable(OpKind::Sm1)
+        .disable(OpKind::Sm2)
+        .disable(OpKind::Sm7)
+        .disable(OpKind::Sm8);
+
+    // Inspect the ratios the solver derives before running anything.
+    let mix = WorkloadMix::compute(WorkloadType::ReadWrite, false, true, &filter);
+    println!("derived operation ratios (non-zero):");
+    for &op in OpKind::ALL {
+        let p = mix.expected(op);
+        if p > 0.0 {
+            print!("  {}={:.3}", op.name(), p);
+        }
+    }
+    println!("\n");
+
+    let ws = Workspace::build(params.clone(), 3);
+    let backend = AnyBackend::build(
+        BackendChoice::Tl2 {
+            granularity: stmbench7::backend::Granularity::Sharded,
+        },
+        ws,
+    );
+    let mut cfg = BenchConfig::deterministic(WorkloadType::ReadWrite, 1500, 17);
+    cfg.threads = 2;
+    cfg.long_traversals = false;
+    cfg.filter = filter;
+    let report = run_benchmark(&backend, &params, &cfg);
+
+    println!("document operations, TTC histograms (ms,count …):");
+    for op in [OpKind::St2, OpKind::St7, OpKind::St4] {
+        let r = &report.per_op[op.index()];
+        let pairs = r
+            .hist
+            .pairs()
+            .iter()
+            .map(|(ms, c)| format!("{ms},{c}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("  TTC histogram for {}: {}", op.name(), pairs);
+    }
+    let (e, f) = report.total_errors();
+    println!(
+        "\nthroughput {:.0} op/s, sample errors E={e:.3} F={f:.3} (small E = the mix \
+         matches the request)",
+        report.throughput()
+    );
+    if let Some(stm) = &report.stm {
+        println!(
+            "tl2: {} commits, {} aborts (ratio {:.4})",
+            stm.commits,
+            stm.aborts,
+            stm.abort_ratio()
+        );
+    }
+}

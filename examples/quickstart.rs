@@ -1,0 +1,36 @@
+//! Quickstart: build the STMBench7 structure, run a short read-write
+//! benchmark under coarse-grained locking, and print the Appendix-A
+//! report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use stmbench7::core::{run_benchmark, BenchConfig, WorkloadType};
+use stmbench7::data::{validate, StructureParams, Workspace};
+use stmbench7::{AnyBackend, BackendChoice};
+
+fn main() {
+    // 1. Pick a structure size. `small` preserves every ratio of the
+    //    paper's "medium OO7" sizing at laptop scale; use
+    //    `StructureParams::standard()` for the authors' released sizing
+    //    (100 000 atomic parts).
+    let params = StructureParams::small();
+
+    // 2. Build the shared structure deterministically and show what we
+    //    got (Figure 1 of the paper).
+    let ws = Workspace::build(params.clone(), 42);
+    let census = validate(&ws).expect("fresh build is valid");
+    println!("built: {census:?}");
+
+    // 3. Wrap it in a synchronization strategy (coarse = one RwLock).
+    let backend = AnyBackend::build(BackendChoice::Coarse, ws);
+
+    // 4. Run 2 000 operations of the read-write workload on two threads.
+    let mut cfg = BenchConfig::deterministic(WorkloadType::ReadWrite, 1000, 7);
+    cfg.threads = 2;
+    let report = run_benchmark(&backend, &params, &cfg);
+
+    // 5. The report mirrors the paper's output sections.
+    print!("{}", report.render(false));
+}

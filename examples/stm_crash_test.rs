@@ -1,0 +1,109 @@
+//! The §5 "crash test": why a straightforward STM port of STMBench7 is
+//! orders of magnitude slower than locking, and what fixes it.
+//!
+//! Reproduces, at example scale, the paper's diagnosis:
+//!
+//! 1. T1 under the ASTM-like runtime does O(k²) validation work for its
+//!    k-object read set (invisible reads + incremental validation) —
+//!    watch the `validation steps` counter;
+//! 2. OP11 under monolithic granularity clones the entire manual to
+//!    change one character class;
+//! 3. a TL2-style runtime (global clock) and sharding (the §5 remedy)
+//!    remove both costs.
+//!
+//! ```sh
+//! cargo run --release --example stm_crash_test
+//! ```
+
+use std::time::Instant;
+
+use stmbench7::backend::{Backend, Granularity, SequentialBackend, StmBackend, TxOperation};
+use stmbench7::core::access_spec;
+use stmbench7::core::ops::{run_op, OpCtx, OpKind};
+use stmbench7::data::{OpOutcome, Sb7Tx, StructureParams, TxR, Workspace};
+use stmbench7::stm::{AstmRuntime, Tl2Runtime};
+
+struct Runner<'c> {
+    op: OpKind,
+    ctx: &'c mut OpCtx,
+}
+
+impl TxOperation<OpOutcome> for Runner<'_> {
+    fn run<T: Sb7Tx>(&mut self, tx: &mut T) -> TxR<OpOutcome> {
+        run_op(self.op, tx, self.ctx)
+    }
+}
+
+fn time_op<B: Backend>(backend: &B, params: &StructureParams, op: OpKind) -> (f64, u64, u64) {
+    let before = backend.stm_stats().unwrap_or_default();
+    let spec = access_spec(op, params.assembly_levels);
+    let mut ctx = OpCtx::new(params.clone(), 5);
+    let t0 = Instant::now();
+    backend.execute(&spec, &mut Runner { op, ctx: &mut ctx });
+    let after = backend.stm_stats().unwrap_or_default();
+    (
+        t0.elapsed().as_secs_f64() * 1e3,
+        after.validation_steps - before.validation_steps,
+        after.clones - before.clones,
+    )
+}
+
+fn main() {
+    let params = StructureParams::small();
+    let ws = Workspace::build(params.clone(), 1);
+    println!(
+        "crash test over {} atomic parts (manual: {} KiB)\n",
+        params.initial_atomics(),
+        params.manual_size / 1024
+    );
+
+    println!(
+        "{:<28} {:>10} {:>14} {:>8}",
+        "configuration", "T1 [ms]", "valid. steps", "clones"
+    );
+    let seq = SequentialBackend::new(ws.clone());
+    let (ms, _, _) = time_op(&seq, &params, OpKind::T1);
+    println!(
+        "{:<28} {ms:>10.2} {:>14} {:>8}",
+        "no synchronization", "-", "-"
+    );
+
+    let astm = StmBackend::from_workspace(&ws, AstmRuntime::default(), Granularity::Monolithic);
+    let (ms, steps, clones) = time_op(&astm, &params, OpKind::T1);
+    println!(
+        "{:<28} {ms:>10.2} {steps:>14} {clones:>8}",
+        "astm (paper config)"
+    );
+
+    let tl2 = StmBackend::from_workspace(&ws, Tl2Runtime::default(), Granularity::Monolithic);
+    let (ms, steps, clones) = time_op(&tl2, &params, OpKind::T1);
+    println!(
+        "{:<28} {ms:>10.2} {steps:>14} {clones:>8}",
+        "tl2 (the §5 remedy)"
+    );
+
+    println!(
+        "\n{:<28} {:>10} {:>14} {:>8}",
+        "configuration", "OP11 [ms]", "valid. steps", "clones"
+    );
+    let astm_mono =
+        StmBackend::from_workspace(&ws, AstmRuntime::default(), Granularity::Monolithic);
+    let (ms, steps, clones) = time_op(&astm_mono, &params, OpKind::Op11);
+    println!(
+        "{:<28} {ms:>10.3} {steps:>14} {clones:>8}",
+        "astm + monolithic manual"
+    );
+    let astm_shard = StmBackend::from_workspace(&ws, AstmRuntime::default(), Granularity::Sharded);
+    let (ms, steps, clones) = time_op(&astm_shard, &params, OpKind::Op11);
+    println!(
+        "{:<28} {ms:>10.3} {steps:>14} {clones:>8}",
+        "astm + chunked manual"
+    );
+
+    println!(
+        "\nReading the numbers: ASTM's T1 validation steps grow quadratically with the\n\
+         read set (the paper's half-hour traversals); TL2 validates in O(k). One OP11\n\
+         under a monolithic manual clones the whole text; chunking touches only the\n\
+         chunks that contain the character being swapped."
+    );
+}

@@ -1,0 +1,255 @@
+//! The STMBench7 command-line interface, mirroring Appendix A.1 of the
+//! paper:
+//!
+//! ```text
+//! stmbench7 -t numThreads -l length -w r|rw|w -g coarse|medium|...
+//!           [--no-traversals] [--no-sms] [--ttc-histograms]
+//! ```
+//!
+//! Extensions beyond the paper's flags: `-s` structure preset, `--seed`,
+//! `--ops` (deterministic fixed-operation runs), `--astm-friendly` (the
+//! §5 operation filter), `--cm` (contention manager) and `--csv`.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use stmbench7::backend::Backend;
+use stmbench7::core::{run_benchmark, BenchConfig, OpFilter, RunMode, WorkloadType};
+use stmbench7::data::{validate, StructureParams, Workspace};
+use stmbench7::stm::ContentionManager;
+use stmbench7::{parse_preset, AnyBackend, BackendChoice};
+
+const USAGE: &str = "\
+stmbench7 — the EuroSys 2007 STM benchmark, in Rust
+
+USAGE:
+    stmbench7 [OPTIONS]
+
+OPTIONS (paper Appendix A.1):
+    -t <num>            number of threads                  [default: 1]
+    -l <seconds>        benchmark length                   [default: 10]
+    -w r|rw|w|uNN       workload type; uNN = custom NN%
+                        updates (extension)                [default: r]
+    -g <strategy>       synchronization strategy           [default: coarse]
+                        one of: sequential, coarse, medium, fine,
+                        astm, astm-sharded, astm-visible,
+                        tl2, tl2-sharded, norec, norec-sharded
+    --no-traversals     disable long traversals
+    --no-sms            disable structure modification operations
+    --ttc-histograms    print TTC (latency) histograms
+
+EXTENSIONS:
+    -s <preset>         structure size: tiny, small, standard, paper-full
+                                                           [default: small]
+    --ops <num>         run a fixed number of operations per thread
+                        instead of a timed run
+    --seed <num>        RNG seed                           [default: 1]
+    --cm <name>         ASTM contention manager: aggressive, suicide,
+                        backoff, karma, timestamp, polka   [default: polka]
+    --astm-friendly     apply the paper's §5 operation filter
+    --validate          validate the structure after the run
+    --csv <file>        append per-operation CSV rows to <file>
+    --describe          print the structure census and indexes, then exit
+    -h, --help          this text
+";
+
+struct Args {
+    threads: usize,
+    length: u64,
+    ops: Option<u64>,
+    workload: WorkloadType,
+    backend: BackendChoice,
+    params: StructureParams,
+    no_traversals: bool,
+    no_sms: bool,
+    histograms: bool,
+    astm_friendly: bool,
+    validate: bool,
+    seed: u64,
+    csv: Option<String>,
+    describe: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        threads: 1,
+        length: 10,
+        ops: None,
+        workload: WorkloadType::ReadDominated,
+        backend: BackendChoice::Coarse,
+        params: StructureParams::small(),
+        no_traversals: false,
+        no_sms: false,
+        histograms: false,
+        astm_friendly: false,
+        validate: false,
+        seed: 1,
+        csv: None,
+        describe: false,
+    };
+    let mut cm = ContentionManager::Polka;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "-t" => args.threads = value(&mut i)?.parse().map_err(|e| format!("-t: {e}"))?,
+            "-l" => args.length = value(&mut i)?.parse().map_err(|e| format!("-l: {e}"))?,
+            "--ops" => args.ops = Some(value(&mut i)?.parse().map_err(|e| format!("--ops: {e}"))?),
+            "-w" => {
+                let v = value(&mut i)?;
+                args.workload = WorkloadType::parse(&v).ok_or(format!("unknown workload '{v}'"))?;
+            }
+            "-g" => {
+                let v = value(&mut i)?;
+                args.backend = BackendChoice::parse(&v).ok_or(format!("unknown strategy '{v}'"))?;
+            }
+            "-s" => {
+                let v = value(&mut i)?;
+                args.params = parse_preset(&v).ok_or(format!("unknown preset '{v}'"))?;
+            }
+            "--cm" => {
+                let v = value(&mut i)?;
+                cm = ContentionManager::parse(&v)
+                    .ok_or(format!("unknown contention manager '{v}'"))?;
+            }
+            "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--csv" => args.csv = Some(value(&mut i)?),
+            "--no-traversals" => args.no_traversals = true,
+            "--no-sms" => args.no_sms = true,
+            "--ttc-histograms" => args.histograms = true,
+            "--astm-friendly" => args.astm_friendly = true,
+            "--validate" => args.validate = true,
+            "--describe" => args.describe = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    if let BackendChoice::Astm {
+        granularity,
+        visible,
+        ..
+    } = args.backend
+    {
+        args.backend = BackendChoice::Astm {
+            granularity,
+            cm,
+            visible,
+        };
+    }
+    Ok(args)
+}
+
+fn describe(params: &StructureParams, ws: &Workspace) {
+    let census = validate(ws).expect("fresh build must validate");
+    println!(
+        "STMBench7 structure ({} levels, fan-out {}):",
+        params.assembly_levels, params.assembly_fanout
+    );
+    println!("  complex assemblies: {}", census.complex_assemblies);
+    println!("  base assemblies:    {}", census.base_assemblies);
+    println!("  composite parts:    {}", census.composite_parts);
+    println!("  atomic parts:       {}", census.atomic_parts);
+    println!("  documents:          {}", census.documents);
+    println!("  manual size:        {} chars", ws.manual.text.len());
+    println!("Indexes (paper Table 1):");
+    println!("  1. atomic part id         -> atomic part");
+    println!(
+        "  2. atomic part build date -> atomic part   ({} entries)",
+        ws.atomics.by_date.len()
+    );
+    println!("  3. composite part id      -> composite part");
+    println!(
+        "  4. document title         -> document      ({} entries)",
+        ws.documents.by_title.len()
+    );
+    println!("  5. base assembly id       -> base assembly");
+    println!(
+        "  6. complex assembly id    -> complex assembly ({} entries)",
+        ws.sm.complex_index.len()
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "building structure (preset with {} atomic parts)...",
+        args.params.initial_atomics()
+    );
+    let ws = Workspace::build(args.params.clone(), args.seed);
+    if args.describe {
+        describe(&args.params, &ws);
+        return ExitCode::SUCCESS;
+    }
+    let backend = AnyBackend::build(args.backend, ws);
+
+    let cfg = BenchConfig {
+        threads: args.threads,
+        mode: match args.ops {
+            Some(n) => RunMode::FixedOps(n),
+            None => RunMode::Timed(Duration::from_secs(args.length)),
+        },
+        workload: args.workload,
+        long_traversals: !args.no_traversals,
+        structure_mods: !args.no_sms,
+        filter: if args.astm_friendly {
+            OpFilter::astm_friendly()
+        } else {
+            OpFilter::none()
+        },
+        seed: args.seed,
+        histograms: args.histograms,
+    };
+    eprintln!(
+        "running: backend={} threads={} workload={} ...",
+        backend.name(),
+        cfg.threads,
+        cfg.workload.name()
+    );
+    let report = run_benchmark(&backend, &args.params, &cfg);
+    print!("{}", report.render(args.histograms));
+
+    if let Some(path) = &args.csv {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .expect("cannot open CSV file");
+        for row in report.csv_rows() {
+            writeln!(file, "{row}").expect("cannot write CSV row");
+        }
+        eprintln!("appended {} rows to {path}", report.csv_rows().len());
+    }
+
+    if args.validate {
+        match validate(&backend.export()) {
+            Ok(census) => eprintln!(
+                "structure valid: {} atomic parts, {} assemblies",
+                census.atomic_parts,
+                census.base_assemblies + census.complex_assemblies
+            ),
+            Err(msg) => {
+                eprintln!("STRUCTURE CORRUPTED: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

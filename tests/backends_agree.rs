@@ -1,0 +1,127 @@
+//! Cross-backend equivalence and integrity.
+//!
+//! With one thread and a fixed seed, every backend executes the exact same
+//! operation sequence with the exact same random choices — so every
+//! synchronization strategy must produce identical per-operation
+//! outcome counts and identical final structures. This is the strongest
+//! end-to-end correctness check in the suite: it exercises all 45
+//! operations over every `Sb7Tx` implementation at once (for the
+//! fine-grained strategy that includes discovery, execution and the
+//! exclusive path).
+
+use stmbench7::backend::Backend;
+use stmbench7::core::{run_benchmark, BenchConfig, WorkloadType};
+use stmbench7::data::{validate, StructureParams, Workspace};
+use stmbench7::{AnyBackend, BackendChoice};
+use stmbench7_stm::ContentionManager;
+
+fn all_choices() -> Vec<(&'static str, BackendChoice)> {
+    use stmbench7::backend::Granularity;
+    vec![
+        ("sequential", BackendChoice::Sequential),
+        ("coarse", BackendChoice::Coarse),
+        ("medium", BackendChoice::Medium),
+        ("fine", BackendChoice::Fine),
+        (
+            "astm",
+            BackendChoice::Astm {
+                granularity: Granularity::Monolithic,
+                cm: ContentionManager::Polka,
+                visible: false,
+            },
+        ),
+        (
+            "astm-sharded",
+            BackendChoice::Astm {
+                granularity: Granularity::Sharded,
+                cm: ContentionManager::Polka,
+                visible: false,
+            },
+        ),
+        (
+            "astm-visible",
+            BackendChoice::Astm {
+                granularity: Granularity::Monolithic,
+                cm: ContentionManager::Polka,
+                visible: true,
+            },
+        ),
+        (
+            "tl2",
+            BackendChoice::Tl2 {
+                granularity: Granularity::Monolithic,
+            },
+        ),
+        (
+            "tl2-sharded",
+            BackendChoice::Tl2 {
+                granularity: Granularity::Sharded,
+            },
+        ),
+        (
+            "norec",
+            BackendChoice::Norec {
+                granularity: Granularity::Monolithic,
+            },
+        ),
+        (
+            "norec-sharded",
+            BackendChoice::Norec {
+                granularity: Granularity::Sharded,
+            },
+        ),
+    ]
+}
+
+/// The reference profile of one run: backend name, per-op (completed,
+/// failed) counts, and the final structure census.
+type Profile = (String, Vec<(u64, u64)>, stmbench7::data::Census);
+
+/// Runs the same deterministic workload on every backend and compares.
+fn check_equivalence(workload: WorkloadType, ops: u64, seed: u64) {
+    let params = StructureParams::tiny();
+    let cfg = BenchConfig::deterministic(workload, ops, seed);
+
+    let mut reference: Option<Profile> = None;
+    for (name, choice) in all_choices() {
+        let ws = Workspace::build(params.clone(), 99);
+        let backend = AnyBackend::build(choice, ws);
+        let report = run_benchmark(&backend, &params, &cfg);
+        let counts: Vec<(u64, u64)> = report
+            .per_op
+            .iter()
+            .map(|o| (o.completed, o.failed))
+            .collect();
+        let exported = backend.export();
+        let census = validate(&exported)
+            .unwrap_or_else(|e| panic!("{name}: structure corrupted after run: {e}"));
+        match &reference {
+            None => reference = Some((name.to_string(), counts, census)),
+            Some((ref_name, ref_counts, ref_census)) => {
+                assert_eq!(
+                    &counts, ref_counts,
+                    "{name} and {ref_name} disagree on per-op outcomes"
+                );
+                assert_eq!(
+                    &census, ref_census,
+                    "{name} and {ref_name} disagree on the final census"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn backends_agree_read_dominated() {
+    check_equivalence(WorkloadType::ReadDominated, 400, 11);
+}
+
+#[test]
+fn backends_agree_read_write() {
+    check_equivalence(WorkloadType::ReadWrite, 400, 22);
+}
+
+#[test]
+fn backends_agree_write_dominated() {
+    check_equivalence(WorkloadType::WriteDominated, 400, 33);
+}

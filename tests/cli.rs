@@ -1,0 +1,154 @@
+//! End-to-end tests of the `stmbench7` command-line interface (paper
+//! Appendix A.1): flag parsing, the report sections, `--describe`, and
+//! post-run validation, exercised through the real binary.
+
+use std::process::Command;
+
+fn stmbench7() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_stmbench7"))
+}
+
+fn run_ok(args: &[&str]) -> (String, String) {
+    let out = stmbench7().args(args).output().expect("binary must launch");
+    assert!(
+        out.status.success(),
+        "stmbench7 {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (
+        String::from_utf8(out.stdout).expect("stdout is UTF-8"),
+        String::from_utf8(out.stderr).expect("stderr is UTF-8"),
+    )
+}
+
+#[test]
+fn describe_prints_census_and_indexes() {
+    let (stdout, _) = run_ok(&["-s", "tiny", "--describe"]);
+    assert!(stdout.contains("complex assemblies: 4"));
+    assert!(stdout.contains("base assemblies:    9"));
+    assert!(stdout.contains("atomic parts:       120"));
+    // All six indexes of Table 1.
+    for needle in [
+        "atomic part id",
+        "atomic part build date",
+        "composite part id",
+        "document title",
+        "base assembly id",
+        "complex assembly id",
+    ] {
+        assert!(stdout.contains(needle), "missing index line: {needle}");
+    }
+}
+
+#[test]
+fn fixed_ops_run_emits_all_report_sections() {
+    let (stdout, _) = run_ok(&[
+        "-s",
+        "tiny",
+        "-g",
+        "medium",
+        "-w",
+        "rw",
+        "--ops",
+        "200",
+        "--ttc-histograms",
+        "--validate",
+    ]);
+    for section in [
+        "== Benchmark parameters ==",
+        "== TTC histograms ==",
+        "== Detailed results ==",
+        "== Sample errors ==",
+        "== Summary ==",
+    ] {
+        assert!(stdout.contains(section), "missing section: {section}");
+    }
+    assert!(stdout.contains("total throughput"));
+    assert!(stdout.contains("TTC histogram for"));
+}
+
+#[test]
+fn every_strategy_flag_runs_and_validates() {
+    for strategy in [
+        "sequential",
+        "coarse",
+        "medium",
+        "fine",
+        "astm",
+        "astm-sharded",
+        "astm-visible",
+        "tl2",
+        "tl2-sharded",
+        "norec",
+        "norec-sharded",
+    ] {
+        let (stdout, stderr) = run_ok(&[
+            "-s",
+            "tiny",
+            "-g",
+            strategy,
+            "-w",
+            "w",
+            "--ops",
+            "100",
+            "--validate",
+        ]);
+        assert!(
+            stdout.contains("total throughput"),
+            "{strategy}: no throughput line"
+        );
+        assert!(
+            stderr.contains("structure valid"),
+            "{strategy}: structure not validated:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn custom_workload_flag_runs() {
+    let (stdout, _) = run_ok(&["-s", "tiny", "-w", "u25", "--ops", "150", "--validate"]);
+    assert!(stdout.contains("workload:            custom (25% updates)"));
+    assert!(stdout.contains("total throughput"));
+}
+
+#[test]
+fn stm_strategies_report_stm_statistics() {
+    let (stdout, _) = run_ok(&["-s", "tiny", "-g", "tl2", "--ops", "100"]);
+    assert!(stdout.contains("== STM statistics =="));
+    assert!(stdout.contains("commits"));
+}
+
+#[test]
+fn unknown_flags_fail_with_usage() {
+    let out = stmbench7()
+        .arg("--bogus")
+        .output()
+        .expect("binary must launch");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown argument"));
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn unknown_strategy_fails_cleanly() {
+    let out = stmbench7()
+        .args(["-g", "nonsense"])
+        .output()
+        .expect("binary must launch");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown strategy"));
+}
+
+#[test]
+fn csv_flag_appends_rows() {
+    let dir = std::env::temp_dir().join(format!("sb7-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let csv = dir.join("out.csv");
+    let csv_path = csv.to_str().unwrap();
+    run_ok(&["-s", "tiny", "--ops", "150", "--csv", csv_path]);
+    let content = std::fs::read_to_string(&csv).expect("CSV written");
+    assert!(content.lines().count() > 5, "per-op rows expected");
+    assert!(content.lines().all(|l| l.split(',').count() == 8));
+    std::fs::remove_dir_all(&dir).ok();
+}

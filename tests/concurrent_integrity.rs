@@ -1,0 +1,139 @@
+//! Concurrent integrity: hammer every backend with a multi-threaded
+//! write-dominated workload (structure modifications included) and check
+//! that the structure afterwards still satisfies every invariant.
+
+use std::time::Duration;
+
+use stmbench7::backend::Backend;
+use stmbench7::core::{run_benchmark, BenchConfig, OpFilter, RunMode, WorkloadType};
+use stmbench7::data::{validate, StructureParams, Workspace};
+use stmbench7::{AnyBackend, BackendChoice};
+use stmbench7_stm::ContentionManager;
+
+fn hammer(choice: BackendChoice, name: &str) {
+    let params = StructureParams::tiny();
+    let ws = Workspace::build(params.clone(), 7);
+    let backend = AnyBackend::build(choice, ws);
+    let cfg = BenchConfig {
+        threads: 4,
+        mode: RunMode::Timed(Duration::from_millis(400)),
+        workload: WorkloadType::WriteDominated,
+        long_traversals: true,
+        structure_mods: true,
+        filter: OpFilter::none(),
+        seed: 1234,
+        histograms: false,
+    };
+    let report = run_benchmark(&backend, &params, &cfg);
+    assert!(report.total_started() > 0, "{name}: nothing ran");
+    let census = validate(&backend.export())
+        .unwrap_or_else(|e| panic!("{name}: structure corrupted after concurrent run: {e}"));
+    assert!(census.atomic_parts > 0);
+    if let Some(stm) = backend.stm_stats() {
+        assert_eq!(
+            stm.commits,
+            // Every started operation (completed or benignly failed)
+            // commits exactly one transaction.
+            report.total_started(),
+            "{name}: commits must equal started operations"
+        );
+    }
+}
+
+#[test]
+fn coarse_concurrent_integrity() {
+    hammer(BackendChoice::Coarse, "coarse");
+}
+
+#[test]
+fn medium_concurrent_integrity() {
+    hammer(BackendChoice::Medium, "medium");
+}
+
+#[test]
+fn fine_concurrent_integrity() {
+    hammer(BackendChoice::Fine, "fine");
+}
+
+#[test]
+fn astm_concurrent_integrity() {
+    use stmbench7::backend::Granularity;
+    hammer(
+        BackendChoice::Astm {
+            granularity: Granularity::Monolithic,
+            cm: ContentionManager::Polka,
+            visible: false,
+        },
+        "astm",
+    );
+}
+
+#[test]
+fn astm_sharded_aggressive_cm_integrity() {
+    use stmbench7::backend::Granularity;
+    hammer(
+        BackendChoice::Astm {
+            granularity: Granularity::Sharded,
+            cm: ContentionManager::Aggressive,
+            visible: false,
+        },
+        "astm-sharded/aggressive",
+    );
+}
+
+#[test]
+fn astm_visible_reads_integrity() {
+    use stmbench7::backend::Granularity;
+    hammer(
+        BackendChoice::Astm {
+            granularity: Granularity::Monolithic,
+            cm: ContentionManager::Polka,
+            visible: true,
+        },
+        "astm-visible",
+    );
+}
+
+#[test]
+fn tl2_concurrent_integrity() {
+    use stmbench7::backend::Granularity;
+    hammer(
+        BackendChoice::Tl2 {
+            granularity: Granularity::Monolithic,
+        },
+        "tl2",
+    );
+}
+
+#[test]
+fn tl2_sharded_concurrent_integrity() {
+    use stmbench7::backend::Granularity;
+    hammer(
+        BackendChoice::Tl2 {
+            granularity: Granularity::Sharded,
+        },
+        "tl2-sharded",
+    );
+}
+
+#[test]
+fn norec_concurrent_integrity() {
+    use stmbench7::backend::Granularity;
+    hammer(
+        BackendChoice::Norec {
+            granularity: Granularity::Monolithic,
+        },
+        "norec",
+    );
+}
+
+#[test]
+fn norec_sharded_concurrent_integrity() {
+    use stmbench7::backend::Granularity;
+    hammer(
+        BackendChoice::Norec {
+            granularity: Granularity::Sharded,
+        },
+        "norec-sharded",
+    );
+}

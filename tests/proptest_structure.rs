@@ -1,0 +1,91 @@
+//! Property tests over the whole benchmark: arbitrary operation
+//! sequences, from arbitrary seeds, must never corrupt the structure and
+//! must behave identically across backends.
+
+use proptest::prelude::*;
+
+use stmbench7::core::ops::{run_op, OpCtx, OpKind};
+use stmbench7::data::{validate, DirectTx, OpOutcome, StructureParams, Workspace};
+
+fn arb_op() -> impl Strategy<Value = OpKind> {
+    (0..OpKind::ALL.len()).prop_map(|i| OpKind::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // Each case runs a full op sequence with validation.
+        ..ProptestConfig::default()
+    })]
+
+    /// Any sequence of operations leaves a structurally valid workspace.
+    #[test]
+    fn random_sequences_preserve_invariants(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+        seed in 0u64..1_000_000,
+        build_seed in 0u64..1_000,
+    ) {
+        let params = StructureParams::tiny();
+        let mut ws = Workspace::build(params.clone(), build_seed);
+        for (i, op) in ops.iter().enumerate() {
+            let mut ctx = OpCtx::new(params.clone(), seed.wrapping_add(i as u64));
+            let mut tx = DirectTx::writing(&mut ws);
+            let outcome = run_op(*op, &mut tx, &mut ctx).expect("direct runs cannot abort");
+            // Both outcomes are legal; corruption is not.
+            let _ = outcome;
+        }
+        validate(&ws).map_err(|e| TestCaseError::fail(format!("invariant broken: {e}")))?;
+    }
+
+    /// Operation return values are deterministic in (structure seed,
+    /// op seed) — the contract the cross-backend tests rely on.
+    #[test]
+    fn operations_are_deterministic(
+        op in arb_op(),
+        seed in 0u64..1_000_000,
+    ) {
+        let params = StructureParams::tiny();
+        let run = || {
+            let mut ws = Workspace::build(params.clone(), 5);
+            let mut ctx = OpCtx::new(params.clone(), seed);
+            let mut tx = DirectTx::writing(&mut ws);
+            run_op(op, &mut tx, &mut ctx).unwrap()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Read-only operations must not change the structure at all.
+    #[test]
+    fn read_only_ops_do_not_mutate(
+        op in arb_op().prop_filter("read-only", |o| o.is_read_only()),
+        seed in 0u64..1_000_000,
+    ) {
+        let params = StructureParams::tiny();
+        let mut ws = Workspace::build(params.clone(), 5);
+        let census_before = validate(&ws).unwrap();
+        let manual_before = ws.manual.text.clone();
+        let part_before = ws.atomics.store.get(1).cloned();
+        let mut ctx = OpCtx::new(params.clone(), seed);
+        let mut tx = DirectTx::writing(&mut ws);
+        let _ = run_op(op, &mut tx, &mut ctx).unwrap();
+        prop_assert_eq!(validate(&ws).unwrap(), census_before);
+        prop_assert_eq!(ws.manual.text, manual_before);
+        prop_assert_eq!(ws.atomics.store.get(1).cloned(), part_before);
+    }
+
+    /// Benign failures must also leave the structure untouched (the
+    /// "check capacity before creating anything" rule for SM ops).
+    #[test]
+    fn failed_ops_leave_no_trace(
+        op in arb_op(),
+        seed in 0u64..1_000_000,
+    ) {
+        let params = StructureParams::tiny();
+        let mut ws = Workspace::build(params.clone(), 5);
+        let census_before = validate(&ws).unwrap();
+        let mut ctx = OpCtx::new(params.clone(), seed);
+        let mut tx = DirectTx::writing(&mut ws);
+        if let OpOutcome::Fail(_) = run_op(op, &mut tx, &mut ctx).unwrap() {
+            prop_assert_eq!(validate(&ws).unwrap(), census_before);
+        }
+    }
+}

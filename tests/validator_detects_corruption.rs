@@ -1,0 +1,222 @@
+//! Failure injection against the structural validator.
+//!
+//! Every concurrency test in this suite trusts `validate()` to catch a
+//! corrupted structure — so the validator itself must be shown to detect
+//! each class of corruption a buggy backend could produce. Each test
+//! takes a valid workspace, breaks exactly one invariant by hand, and
+//! asserts the validator rejects it with the right diagnostic.
+
+use stmbench7::data::objects::AssemblyChildren;
+use stmbench7::data::{validate, StructureParams, Workspace};
+
+fn fresh() -> Workspace {
+    Workspace::build(StructureParams::tiny(), 17)
+}
+
+/// Runs the validator and asserts it fails mentioning `needle`.
+fn assert_rejects(ws: &Workspace, needle: &str) {
+    match validate(ws) {
+        Ok(_) => panic!("validator accepted a structure corrupted via: {needle}"),
+        Err(msg) => assert!(
+            msg.contains(needle),
+            "wrong diagnostic: got {msg:?}, expected it to contain {needle:?}"
+        ),
+    }
+}
+
+#[test]
+fn fresh_builds_validate() {
+    validate(&fresh()).unwrap();
+}
+
+#[test]
+fn detects_missing_design_root() {
+    let mut ws = fresh();
+    let root = ws.module.design_root.raw();
+    let level = *ws.sm.complex_index.get(&root).unwrap();
+    ws.complex_level_mut(level).store.remove(root);
+    ws.sm.complex_index.remove(&root);
+    assert_rejects(&ws, "design root does not exist");
+}
+
+#[test]
+fn detects_stale_complex_level_index_for_the_root() {
+    let mut ws = fresh();
+    let root = ws.module.design_root.raw();
+    // Claim the root lives at the wrong level: lookups that resolve the
+    // level through index 6 can no longer find the object.
+    ws.sm.complex_index.insert(root, 2);
+    assert_rejects(&ws, "design root does not exist");
+}
+
+#[test]
+fn detects_orphaned_subtree() {
+    let mut ws = fresh();
+    // Detach the root's first child without deleting the subtree: the
+    // subtree becomes unreachable, breaking "the root complex assembly
+    // is always connected to all base assemblies".
+    let root = ws.module.design_root;
+    let level = ws.params.assembly_levels;
+    let ca = ws
+        .complex_level_mut(level)
+        .store
+        .get_mut(root.raw())
+        .unwrap();
+    match &mut ca.children {
+        AssemblyChildren::Complex(v) => {
+            v.remove(0);
+        }
+        AssemblyChildren::Base(v) => {
+            v.remove(0);
+        }
+    }
+    assert_rejects(&ws, "unreachable");
+}
+
+#[test]
+fn detects_parent_link_mismatch() {
+    let mut ws = fresh();
+    // Rewire some level-2 assembly's parent to itself.
+    let victim = {
+        let (raw, _) = ws.complex_level(2).store.iter().next().unwrap();
+        raw
+    };
+    let ca = ws.complex_level_mut(2).store.get_mut(victim).unwrap();
+    ca.parent = Some(ca.id);
+    assert_rejects(&ws, "parent mismatch");
+}
+
+#[test]
+fn detects_bag_multiplicity_mismatch() {
+    let mut ws = fresh();
+    // Add a forward link without the reverse entry.
+    let comp = {
+        let (raw, _) = ws.composites.store.iter().next().unwrap();
+        stmbench7::data::CompositePartId(raw)
+    };
+    let (_, base) = ws.bases.store.iter().next().unwrap();
+    let base_raw = base.id.raw();
+    ws.bases
+        .store
+        .get_mut(base_raw)
+        .unwrap()
+        .components
+        .push(comp);
+    assert_rejects(&ws, "bag multiplicity mismatch");
+}
+
+#[test]
+fn detects_dangling_used_in_entry() {
+    let mut ws = fresh();
+    let (_, base) = ws.bases.store.iter().next().unwrap();
+    let base_id = base.id;
+    let comp_raw = {
+        let (raw, _) = ws.composites.store.iter().next().unwrap();
+        raw
+    };
+    // A reverse entry with no matching forward link.
+    ws.composites
+        .store
+        .get_mut(comp_raw)
+        .unwrap()
+        .used_in
+        .push(base_id);
+    assert_rejects(&ws, "forward link");
+}
+
+#[test]
+fn detects_date_index_drift() {
+    let mut ws = fresh();
+    // Mutate an indexed attribute directly, bypassing the index — the
+    // bug `Sb7Tx::set_atomic_build_date` exists to prevent.
+    let raw = {
+        let (raw, _) = ws.atomics.store.iter().next().unwrap();
+        raw
+    };
+    ws.atomics.store.get_mut(raw).unwrap().build_date += 1;
+    assert_rejects(&ws, "missing from date index");
+}
+
+#[test]
+fn detects_title_index_drift() {
+    let mut ws = fresh();
+    let title = {
+        let (_, doc) = ws.documents.store.iter().next().unwrap();
+        doc.title.clone()
+    };
+    ws.documents.by_title.remove(&title);
+    assert_rejects(&ws, "title index wrong");
+}
+
+#[test]
+fn detects_document_back_link_corruption() {
+    let mut ws = fresh();
+    // Point a document at the wrong composite.
+    let (first, second) = {
+        let mut it = ws.composites.store.iter();
+        let a = it.next().unwrap().1.clone();
+        let b = it.next().unwrap().1.clone();
+        (a, b)
+    };
+    ws.documents.store.get_mut(first.doc.raw()).unwrap().part = second.id;
+    assert_rejects(&ws, "document back link wrong");
+}
+
+#[test]
+fn detects_atomic_owner_corruption() {
+    let mut ws = fresh();
+    let (first, second) = {
+        let mut it = ws.composites.store.iter();
+        let a = it.next().unwrap().1.clone();
+        let b = it.next().unwrap().1.clone();
+        (a, b)
+    };
+    ws.atomics
+        .store
+        .get_mut(first.root_part.raw())
+        .unwrap()
+        .owner = second.id;
+    assert_rejects(&ws, "owner mismatch");
+}
+
+#[test]
+fn detects_disconnected_part_graph() {
+    let mut ws = fresh();
+    // Cut every outgoing connection of a root part: the rest of its
+    // graph becomes unreachable from the root.
+    let root_part = {
+        let (_, comp) = ws.composites.store.iter().next().unwrap();
+        comp.root_part
+    };
+    ws.atomics
+        .store
+        .get_mut(root_part.raw())
+        .unwrap()
+        .to
+        .clear();
+    assert_rejects(&ws, "parts reachable from root");
+}
+
+#[test]
+fn detects_pool_drift() {
+    let mut ws = fresh();
+    // Allocate an id without creating the object.
+    ws.sm.pools.atomic.alloc().unwrap();
+    assert_rejects(&ws, "atomic pool count mismatch");
+}
+
+#[test]
+fn detects_duplicate_parts_entry() {
+    let mut ws = fresh();
+    let (comp_raw, part) = {
+        let (raw, comp) = ws.composites.store.iter().next().unwrap();
+        (raw, comp.parts[0])
+    };
+    ws.composites
+        .store
+        .get_mut(comp_raw)
+        .unwrap()
+        .parts
+        .push(part);
+    assert_rejects(&ws, "duplicates");
+}
