@@ -209,6 +209,32 @@ impl Backend for AnyBackend {
     }
 }
 
+/// Every `-g` strategy name the CLI accepts, paired with its parsed
+/// [`BackendChoice`] — the single source the cross-backend test suites
+/// draw from, so a newly added strategy cannot silently miss coverage.
+pub fn strategy_catalog() -> Vec<(&'static str, BackendChoice)> {
+    [
+        "sequential",
+        "coarse",
+        "medium",
+        "fine",
+        "astm",
+        "astm-sharded",
+        "astm-visible",
+        "tl2",
+        "tl2-sharded",
+        "norec",
+        "norec-sharded",
+    ]
+    .into_iter()
+    .map(|name| {
+        let choice = BackendChoice::parse(name)
+            .unwrap_or_else(|| panic!("catalog entry '{name}' must parse"));
+        (name, choice)
+    })
+    .collect()
+}
+
 /// Parses a structure-size preset name.
 pub fn parse_preset(s: &str) -> Option<stmbench7_data::StructureParams> {
     use stmbench7_data::StructureParams;
@@ -254,6 +280,15 @@ mod tests {
         ] {
             let b = AnyBackend::build(choice, ws.clone());
             assert_eq!(b.name(), name);
+        }
+    }
+
+    #[test]
+    fn strategy_catalog_is_complete_and_distinct() {
+        let catalog = strategy_catalog();
+        assert_eq!(catalog.len(), 11);
+        for window in catalog.windows(2) {
+            assert_ne!(window[0].1, window[1].1, "duplicate catalog entries");
         }
     }
 

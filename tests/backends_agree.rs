@@ -12,65 +12,10 @@
 use stmbench7::backend::Backend;
 use stmbench7::core::{run_benchmark, BenchConfig, WorkloadType};
 use stmbench7::data::{validate, StructureParams, Workspace};
-use stmbench7::{AnyBackend, BackendChoice};
-use stmbench7_stm::ContentionManager;
+use stmbench7::{strategy_catalog, AnyBackend, BackendChoice};
 
 fn all_choices() -> Vec<(&'static str, BackendChoice)> {
-    use stmbench7::backend::Granularity;
-    vec![
-        ("sequential", BackendChoice::Sequential),
-        ("coarse", BackendChoice::Coarse),
-        ("medium", BackendChoice::Medium),
-        ("fine", BackendChoice::Fine),
-        (
-            "astm",
-            BackendChoice::Astm {
-                granularity: Granularity::Monolithic,
-                cm: ContentionManager::Polka,
-                visible: false,
-            },
-        ),
-        (
-            "astm-sharded",
-            BackendChoice::Astm {
-                granularity: Granularity::Sharded,
-                cm: ContentionManager::Polka,
-                visible: false,
-            },
-        ),
-        (
-            "astm-visible",
-            BackendChoice::Astm {
-                granularity: Granularity::Monolithic,
-                cm: ContentionManager::Polka,
-                visible: true,
-            },
-        ),
-        (
-            "tl2",
-            BackendChoice::Tl2 {
-                granularity: Granularity::Monolithic,
-            },
-        ),
-        (
-            "tl2-sharded",
-            BackendChoice::Tl2 {
-                granularity: Granularity::Sharded,
-            },
-        ),
-        (
-            "norec",
-            BackendChoice::Norec {
-                granularity: Granularity::Monolithic,
-            },
-        ),
-        (
-            "norec-sharded",
-            BackendChoice::Norec {
-                granularity: Granularity::Sharded,
-            },
-        ),
-    ]
+    strategy_catalog()
 }
 
 /// The reference profile of one run: backend name, per-op (completed,

@@ -11,12 +11,16 @@ use stmbench7::{AnyBackend, BackendChoice};
 use stmbench7_stm::ContentionManager;
 
 fn hammer(choice: BackendChoice, name: &str) {
+    hammer_for(choice, name, Duration::from_millis(400));
+}
+
+fn hammer_for(choice: BackendChoice, name: &str, duration: Duration) {
     let params = StructureParams::tiny();
     let ws = Workspace::build(params.clone(), 7);
     let backend = AnyBackend::build(choice, ws);
     let cfg = BenchConfig {
         threads: 4,
-        mode: RunMode::Timed(Duration::from_millis(400)),
+        mode: RunMode::Timed(duration),
         workload: WorkloadType::WriteDominated,
         long_traversals: true,
         structure_mods: true,
@@ -136,4 +140,25 @@ fn norec_sharded_concurrent_integrity() {
         },
         "norec-sharded",
     );
+}
+
+/// Long soak over every backend — minutes, not milliseconds — for
+/// chasing rare interleavings. Excluded from the default suite; run it
+/// with `cargo test --test concurrent_integrity -- --ignored` (optionally
+/// `SOAK_SECS=N` to change the per-backend duration, default 20s).
+#[test]
+#[ignore = "long soak; run explicitly with -- --ignored"]
+fn long_soak_all_backends() {
+    let secs: u64 = std::env::var("SOAK_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
+    let duration = Duration::from_secs(secs);
+    for (name, choice) in stmbench7::strategy_catalog() {
+        if choice == BackendChoice::Sequential {
+            continue; // one thread at a time by construction — nothing to soak
+        }
+        eprintln!("soaking {name} for {secs}s…");
+        hammer_for(choice, name, duration);
+    }
 }

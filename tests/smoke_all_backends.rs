@@ -1,0 +1,103 @@
+//! Deterministic cross-backend smoke test: one small single-thread
+//! `FixedOps` run per strategy, checked against the sequential oracle.
+//!
+//! This is the fast confidence check (`cargo test --test
+//! smoke_all_backends` finishes in well under a second) that every
+//! synchronization strategy still boots, executes the full operation
+//! mix, passes the structure validator, and leaves a final structure
+//! identical to the sequential oracle's. The heavyweight equivalence
+//! sweep lives in `backends_agree.rs`.
+
+use stmbench7::backend::Backend;
+use stmbench7::core::{run_benchmark, BenchConfig, WorkloadType};
+use stmbench7::data::{validate, Census, StructureParams, Workspace};
+use stmbench7::{strategy_catalog, AnyBackend, BackendChoice};
+
+const OPS: u64 = 120;
+const OP_SEED: u64 = 2026;
+const BUILD_SEED: u64 = 7;
+
+/// The seven headline strategies: every lock backend and every STM
+/// runtime, one configuration each, drawn from the canonical catalog
+/// with `sequential` (the oracle) guaranteed first.
+fn smoke_choices() -> Vec<(&'static str, BackendChoice)> {
+    let headline = [
+        "sequential",
+        "coarse",
+        "medium",
+        "fine",
+        "astm",
+        "tl2",
+        "norec",
+    ];
+    let choices: Vec<_> = strategy_catalog()
+        .into_iter()
+        .filter(|(name, _)| headline.contains(name))
+        .collect();
+    assert_eq!(choices.len(), headline.len(), "catalog lost a strategy");
+    assert_eq!(choices[0].0, "sequential", "oracle must run first");
+    choices
+}
+
+/// Runs one strategy and returns its per-op outcome counts plus the
+/// census of the exported (validated) structure.
+fn run_smoke(
+    choice: BackendChoice,
+    name: &str,
+    workload: WorkloadType,
+) -> (Vec<(u64, u64)>, Census) {
+    let params = StructureParams::tiny();
+    let ws = Workspace::build(params.clone(), BUILD_SEED);
+    let backend = AnyBackend::build(choice, ws);
+    let cfg = BenchConfig::deterministic(workload, OPS, OP_SEED);
+    let report = run_benchmark(&backend, &params, &cfg);
+    assert_eq!(
+        report.total_started(),
+        OPS,
+        "{name}: expected exactly {OPS} operations to start"
+    );
+    let counts = report
+        .per_op
+        .iter()
+        .map(|o| (o.completed, o.failed))
+        .collect();
+    let census = validate(&backend.export())
+        .unwrap_or_else(|e| panic!("{name}: exported structure fails validation: {e}"));
+    (counts, census)
+}
+
+fn smoke(workload: WorkloadType) {
+    let mut oracle: Option<(Vec<(u64, u64)>, Census)> = None;
+    for (name, choice) in smoke_choices() {
+        let (counts, census) = run_smoke(choice, name, workload);
+        match &oracle {
+            None => {
+                assert!(
+                    counts.iter().any(|(completed, _)| *completed > 0),
+                    "{name}: oracle completed nothing"
+                );
+                oracle = Some((counts, census));
+            }
+            Some((oracle_counts, oracle_census)) => {
+                assert_eq!(
+                    &counts, oracle_counts,
+                    "{name} disagrees with the sequential oracle on per-op outcomes"
+                );
+                assert_eq!(
+                    &census, oracle_census,
+                    "{name} disagrees with the sequential oracle on the final census"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn smoke_read_write() {
+    smoke(WorkloadType::ReadWrite);
+}
+
+#[test]
+fn smoke_write_dominated() {
+    smoke(WorkloadType::WriteDominated);
+}

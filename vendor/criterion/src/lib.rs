@@ -1,0 +1,242 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface `benches/paper.rs` uses — groups,
+//! `bench_function`, `iter`, `iter_batched`, the `criterion_group!` /
+//! `criterion_main!` macros — over a deliberately simple harness: warm
+//! up briefly, then time batches until the measurement budget is spent,
+//! and print mean ns/iteration. No statistics, plots, or baselines;
+//! those arrive when the real crate can be fetched. Honors a
+//! substring filter argument like the real CLI (`cargo bench -- tl2`).
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup; only a hint here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Debug)]
+struct Settings {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Settings {
+    fn default() -> Settings {
+        Settings {
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(100),
+            sample_size: 20,
+            filter: None,
+        }
+    }
+}
+
+/// The top-level harness handle.
+#[derive(Clone, Debug, Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    /// Reads the benchmark-name filter from `cargo bench -- <filter>`
+    /// style arguments. Flags are ignored; a flag that is not a known
+    /// boolean consumes the following token as its value, so e.g.
+    /// `--save-baseline main` is never misread as the filter `main`.
+    pub fn configure_from_args(mut self) -> Criterion {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut filter = None;
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if let Some(flag) = arg.strip_prefix('-') {
+                let flag = flag.trim_start_matches('-');
+                let boolean = matches!(
+                    flag,
+                    "" | "bench" | "test" | "nocapture" | "quiet" | "verbose" | "list" | "exact"
+                );
+                if !boolean && !flag.contains('=') {
+                    i += 1; // skip the flag's value token
+                }
+            } else {
+                filter = Some(arg.clone());
+            }
+            i += 1;
+        }
+        self.settings.filter = filter;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let settings = self.settings.clone();
+        run_one(&settings, &id.into(), f);
+        self
+    }
+
+    pub fn final_summary(self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&self.settings, &full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(settings: &Settings, id: &str, mut f: F) {
+    if let Some(filter) = &settings.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut bencher = Bencher {
+        budget: settings.measurement_time,
+        warm_up: settings.warm_up_time,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{id:<60} (no iterations recorded)");
+        return;
+    }
+    let ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
+    println!("{id:<60} {ns:>14.1} ns/iter ({} iters)", bencher.iters);
+}
+
+/// Passed to the closure given to `bench_function`.
+pub struct Bencher {
+    budget: Duration,
+    warm_up: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a group runner function compatible with `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the `main` of a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

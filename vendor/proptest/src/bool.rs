@@ -1,0 +1,17 @@
+//! `proptest::bool::ANY`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Copy, Debug)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Either boolean, with equal probability.
+pub const ANY: BoolAny = BoolAny;

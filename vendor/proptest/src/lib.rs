@@ -1,0 +1,143 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so this workspace
+//! vendors the subset of proptest STMBench7's test suites use: the
+//! [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_filter`, range/tuple/`Just`/union/vec strategies, `any::<T>()`
+//! for primitives, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs via
+//!   `Debug` in the panic message instead of minimizing them.
+//! * **Deterministic seeding.** Case `i` of test `t` derives its RNG
+//!   from `(hash(t), i)`, so failures reproduce exactly across runs.
+//! * **`PROPTEST_CASES` caps.** When the env var is set it *clamps*
+//!   every suite's case count (CI uses this to bound runtime); a
+//!   file-level `ProptestConfig { cases, .. }` otherwise applies as-is.
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that generates `cases` random inputs and runs the
+/// body, which may use `prop_assert*` and `?` with [`test_runner::TestCaseError`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let cases = $crate::test_runner::resolve_cases(config.cases);
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            let mut rejects: u32 = 0;
+            for case in 0..cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(test_name, case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                match result {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(r)) => {
+                        rejects += 1;
+                        assert!(
+                            rejects <= config.max_global_rejects,
+                            "{test_name}: too many rejected cases ({rejects}); last: {r}"
+                        );
+                    }
+                    ::core::result::Result::Err(e) => panic!(
+                        "proptest case {case}/{cases} of {test_name} failed \
+                         (deterministic; rerun reproduces it): {e}"
+                    ),
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts inside a proptest body, failing the case (not panicking) so
+/// the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "{}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)*),
+            left,
+            right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
