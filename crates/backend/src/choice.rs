@@ -1,0 +1,320 @@
+//! Runtime backend selection: [`BackendChoice`] names a strategy the way
+//! the CLI's `-g` flag does, and [`AnyBackend`] dispatches over every
+//! implementation so harnesses can hold "some backend" without generics.
+//!
+//! This lives in the backend crate (not the facade) so that the lab
+//! harness, the sweep binaries and the CLI all share one strategy
+//! vocabulary without depending on each other.
+
+use stmbench7_data::{AccessSpec, Workspace};
+use stmbench7_stm::astm::AstmConfig;
+use stmbench7_stm::tl2::Tl2Config;
+use stmbench7_stm::{ContentionManager, StatsSnapshot};
+
+use crate::stm::Granularity;
+use crate::{
+    AstmBackend, Backend, CoarseBackend, FineBackend, MediumBackend, NorecBackend,
+    SequentialBackend, StmBackend, Tl2Backend, TxOperation,
+};
+
+/// Which synchronization strategy to construct.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackendChoice {
+    Sequential,
+    Coarse,
+    Medium,
+    /// Per-object locking with the discover/sort/acquire cycle — the
+    /// "ultimate baseline" the paper names as future work.
+    Fine,
+    /// The paper's system under test.
+    Astm {
+        granularity: Granularity,
+        cm: ContentionManager,
+        /// DSTM-style visible reads (ablation of the invisible-read
+        /// pathology); the paper's configuration is `false`.
+        visible: bool,
+    },
+    /// The §5 remedy class (TL2/LSA-style).
+    Tl2 {
+        granularity: Granularity,
+    },
+    /// The metadata-free remedy class (NOrec-style: global sequence
+    /// lock, value-based validation).
+    Norec {
+        granularity: Granularity,
+    },
+}
+
+impl BackendChoice {
+    /// Parses a `-g` argument (`coarse`, `medium`, `sequential`, `astm`,
+    /// `tl2`, plus `-sharded` suffixes).
+    pub fn parse(s: &str) -> Option<BackendChoice> {
+        Some(match s {
+            "sequential" | "seq" => BackendChoice::Sequential,
+            "coarse" => BackendChoice::Coarse,
+            "medium" => BackendChoice::Medium,
+            "fine" => BackendChoice::Fine,
+            "astm" => BackendChoice::Astm {
+                granularity: Granularity::Monolithic,
+                cm: ContentionManager::Polka,
+                visible: false,
+            },
+            "astm-sharded" => BackendChoice::Astm {
+                granularity: Granularity::Sharded,
+                cm: ContentionManager::Polka,
+                visible: false,
+            },
+            "astm-visible" => BackendChoice::Astm {
+                granularity: Granularity::Monolithic,
+                cm: ContentionManager::Polka,
+                visible: true,
+            },
+            // Not in the CLI catalog, but needed so every constructible
+            // ASTM variant has a distinct, round-tripping key.
+            "astm-sharded-visible" => BackendChoice::Astm {
+                granularity: Granularity::Sharded,
+                cm: ContentionManager::Polka,
+                visible: true,
+            },
+            "tl2" => BackendChoice::Tl2 {
+                granularity: Granularity::Monolithic,
+            },
+            "tl2-sharded" => BackendChoice::Tl2 {
+                granularity: Granularity::Sharded,
+            },
+            "norec" => BackendChoice::Norec {
+                granularity: Granularity::Monolithic,
+            },
+            "norec-sharded" => BackendChoice::Norec {
+                granularity: Granularity::Sharded,
+            },
+            _ => return None,
+        })
+    }
+
+    /// The canonical `-g` spelling of this choice — stable across runs,
+    /// used as the cell key in lab results. Non-default contention
+    /// managers keep the base name (the CLI composes them via `--cm`).
+    pub fn key(&self) -> &'static str {
+        match self {
+            BackendChoice::Sequential => "sequential",
+            BackendChoice::Coarse => "coarse",
+            BackendChoice::Medium => "medium",
+            BackendChoice::Fine => "fine",
+            BackendChoice::Astm {
+                granularity,
+                visible,
+                ..
+            } => match (granularity, visible) {
+                (Granularity::Monolithic, false) => "astm",
+                (Granularity::Sharded, false) => "astm-sharded",
+                (Granularity::Monolithic, true) => "astm-visible",
+                (Granularity::Sharded, true) => "astm-sharded-visible",
+            },
+            BackendChoice::Tl2 { granularity } => match granularity {
+                Granularity::Monolithic => "tl2",
+                Granularity::Sharded => "tl2-sharded",
+            },
+            BackendChoice::Norec { granularity } => match granularity {
+                Granularity::Monolithic => "norec",
+                Granularity::Sharded => "norec-sharded",
+            },
+        }
+    }
+}
+
+/// A backend chosen at runtime (the CLI's `-g` flag).
+pub enum AnyBackend {
+    Sequential(SequentialBackend),
+    Coarse(CoarseBackend),
+    Medium(MediumBackend),
+    Fine(FineBackend),
+    Astm(AstmBackend),
+    Tl2(Tl2Backend),
+    Norec(NorecBackend),
+}
+
+impl AnyBackend {
+    /// Builds the chosen strategy around a freshly built workspace.
+    pub fn build(choice: BackendChoice, ws: Workspace) -> AnyBackend {
+        match choice {
+            BackendChoice::Sequential => AnyBackend::Sequential(SequentialBackend::new(ws)),
+            BackendChoice::Coarse => AnyBackend::Coarse(CoarseBackend::new(ws)),
+            BackendChoice::Medium => AnyBackend::Medium(MediumBackend::new(ws)),
+            BackendChoice::Fine => AnyBackend::Fine(FineBackend::new(ws)),
+            BackendChoice::Astm {
+                granularity,
+                cm,
+                visible,
+            } => AnyBackend::Astm(StmBackend::from_workspace(
+                &ws,
+                stmbench7_stm::AstmRuntime::new(AstmConfig {
+                    cm,
+                    incremental_validation: true,
+                    visible_reads: visible,
+                }),
+                granularity,
+            )),
+            BackendChoice::Tl2 { granularity } => AnyBackend::Tl2(StmBackend::from_workspace(
+                &ws,
+                stmbench7_stm::Tl2Runtime::new(Tl2Config::default()),
+                granularity,
+            )),
+            BackendChoice::Norec { granularity } => AnyBackend::Norec(StmBackend::from_workspace(
+                &ws,
+                stmbench7_stm::NorecRuntime::new(),
+                granularity,
+            )),
+        }
+    }
+
+    /// Fine-grained strategy counters, when this is the fine backend.
+    pub fn fine_stats(&self) -> Option<crate::FineStats> {
+        match self {
+            AnyBackend::Fine(b) => Some(b.fine_stats()),
+            _ => None,
+        }
+    }
+}
+
+impl Backend for AnyBackend {
+    fn execute<R, O: TxOperation<R>>(&self, spec: &AccessSpec, op: &mut O) -> R {
+        match self {
+            AnyBackend::Sequential(b) => b.execute(spec, op),
+            AnyBackend::Coarse(b) => b.execute(spec, op),
+            AnyBackend::Medium(b) => b.execute(spec, op),
+            AnyBackend::Fine(b) => b.execute(spec, op),
+            AnyBackend::Astm(b) => b.execute(spec, op),
+            AnyBackend::Tl2(b) => b.execute(spec, op),
+            AnyBackend::Norec(b) => b.execute(spec, op),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyBackend::Sequential(b) => b.name(),
+            AnyBackend::Coarse(b) => b.name(),
+            AnyBackend::Medium(b) => b.name(),
+            AnyBackend::Fine(b) => b.name(),
+            AnyBackend::Astm(b) => b.name(),
+            AnyBackend::Tl2(b) => b.name(),
+            AnyBackend::Norec(b) => b.name(),
+        }
+    }
+
+    fn export(&self) -> Workspace {
+        match self {
+            AnyBackend::Sequential(b) => b.export(),
+            AnyBackend::Coarse(b) => b.export(),
+            AnyBackend::Medium(b) => b.export(),
+            AnyBackend::Fine(b) => b.export(),
+            AnyBackend::Astm(b) => b.export(),
+            AnyBackend::Tl2(b) => b.export(),
+            AnyBackend::Norec(b) => b.export(),
+        }
+    }
+
+    fn stm_stats(&self) -> Option<StatsSnapshot> {
+        match self {
+            AnyBackend::Sequential(b) => b.stm_stats(),
+            AnyBackend::Coarse(b) => b.stm_stats(),
+            AnyBackend::Medium(b) => b.stm_stats(),
+            AnyBackend::Fine(b) => b.stm_stats(),
+            AnyBackend::Astm(b) => b.stm_stats(),
+            AnyBackend::Tl2(b) => b.stm_stats(),
+            AnyBackend::Norec(b) => b.stm_stats(),
+        }
+    }
+}
+
+/// Every `-g` strategy name the CLI accepts, paired with its parsed
+/// [`BackendChoice`] — the single source the cross-backend test suites
+/// draw from, so a newly added strategy cannot silently miss coverage.
+pub fn strategy_catalog() -> Vec<(&'static str, BackendChoice)> {
+    [
+        "sequential",
+        "coarse",
+        "medium",
+        "fine",
+        "astm",
+        "astm-sharded",
+        "astm-visible",
+        "tl2",
+        "tl2-sharded",
+        "norec",
+        "norec-sharded",
+    ]
+    .into_iter()
+    .map(|name| {
+        let choice = BackendChoice::parse(name)
+            .unwrap_or_else(|| panic!("catalog entry '{name}' must parse"));
+        (name, choice)
+    })
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmbench7_data::StructureParams;
+
+    #[test]
+    fn backend_choice_parsing() {
+        assert_eq!(BackendChoice::parse("coarse"), Some(BackendChoice::Coarse));
+        assert_eq!(BackendChoice::parse("medium"), Some(BackendChoice::Medium));
+        assert_eq!(BackendChoice::parse("fine"), Some(BackendChoice::Fine));
+        assert!(matches!(
+            BackendChoice::parse("astm"),
+            Some(BackendChoice::Astm { .. })
+        ));
+        assert!(matches!(
+            BackendChoice::parse("tl2-sharded"),
+            Some(BackendChoice::Tl2 {
+                granularity: Granularity::Sharded
+            })
+        ));
+        assert_eq!(BackendChoice::parse("nope"), None);
+    }
+
+    #[test]
+    fn any_backend_names() {
+        let ws = Workspace::build(StructureParams::tiny(), 1);
+        for (choice, name) in [
+            (BackendChoice::Coarse, "coarse"),
+            (BackendChoice::Medium, "medium"),
+            (BackendChoice::Fine, "fine"),
+        ] {
+            let b = AnyBackend::build(choice, ws.clone());
+            assert_eq!(b.name(), name);
+        }
+    }
+
+    #[test]
+    fn strategy_catalog_is_complete_and_distinct() {
+        let catalog = strategy_catalog();
+        assert_eq!(catalog.len(), 11);
+        for window in catalog.windows(2) {
+            assert_ne!(window[0].1, window[1].1, "duplicate catalog entries");
+        }
+    }
+
+    #[test]
+    fn keys_round_trip_through_parse() {
+        for (name, choice) in strategy_catalog() {
+            assert_eq!(choice.key(), name, "key must be the canonical spelling");
+            assert_eq!(BackendChoice::parse(choice.key()), Some(choice));
+        }
+        // The one constructible variant outside the CLI catalog still
+        // has a distinct, round-tripping key (compare matches by key).
+        let sharded_visible = BackendChoice::Astm {
+            granularity: Granularity::Sharded,
+            cm: ContentionManager::Polka,
+            visible: true,
+        };
+        assert_eq!(sharded_visible.key(), "astm-sharded-visible");
+        assert_eq!(
+            BackendChoice::parse(sharded_visible.key()),
+            Some(sharded_visible)
+        );
+    }
+}

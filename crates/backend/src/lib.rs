@@ -18,6 +18,7 @@
 //!   representation of the indexes and the manual
 //!   ([`stm::Granularity`]).
 
+pub mod choice;
 pub mod fine;
 pub mod locks;
 pub mod stm;
@@ -73,6 +74,7 @@ pub trait Backend: Send + Sync {
     }
 }
 
+pub use choice::{strategy_catalog, AnyBackend, BackendChoice};
 pub use fine::{FineBackend, FineStats};
 pub use locks::{CoarseBackend, MediumBackend, SequentialBackend};
 pub use stm::{Granularity, StmBackend};

@@ -5,105 +5,21 @@
 //! grid, prints an aligned table of the series the paper plots, and
 //! appends CSV rows under `results/`.
 //!
+//! The sweep engine itself — [`Cell`], [`SweepOpts`], [`run_cell`] —
+//! lives in `stmbench7-lab` and is re-exported here, so the binaries,
+//! the `stmbench7 lab` subcommand and the lab runner all drive the exact
+//! same grid types. This crate only keeps the presentation helpers
+//! (aligned tables, CSV appending) and the paper's backend shorthands.
+//!
 //! Absolute numbers are not expected to match 2006 hardware; the *shapes*
 //! (who wins, by roughly what factor, where the crossovers sit) are the
 //! reproduction target. EXPERIMENTS.md records both.
 
 use std::io::Write as _;
-use std::time::Duration;
 
-use stmbench7::core::{run_benchmark, BenchConfig, OpFilter, Report, RunMode, WorkloadType};
-use stmbench7::data::{StructureParams, Workspace};
-use stmbench7::{AnyBackend, BackendChoice};
+use stmbench7::BackendChoice;
 
-/// One sweep cell: a backend × workload × thread-count configuration.
-#[derive(Clone, Debug)]
-pub struct Cell {
-    pub backend: BackendChoice,
-    pub workload: WorkloadType,
-    pub threads: usize,
-    pub long_traversals: bool,
-    pub structure_mods: bool,
-    pub astm_friendly: bool,
-}
-
-/// Sweep-wide options parsed from the command line.
-#[derive(Clone, Debug)]
-pub struct SweepOpts {
-    pub params: StructureParams,
-    pub secs_per_cell: f64,
-    pub threads: Vec<usize>,
-    pub seed: u64,
-}
-
-impl SweepOpts {
-    /// Parses the common flags of every binary:
-    /// `--preset tiny|small|standard`, `--secs F`, `--threads a,b,c`,
-    /// `--seed N`.
-    pub fn from_args() -> SweepOpts {
-        let mut opts = SweepOpts {
-            params: StructureParams::small(),
-            secs_per_cell: 1.0,
-            threads: vec![1, 2, 3, 4, 6, 8],
-            seed: 1,
-        };
-        let argv: Vec<String> = std::env::args().skip(1).collect();
-        let mut i = 0;
-        while i < argv.len() {
-            let val = |i: &mut usize| -> String {
-                *i += 1;
-                argv.get(*i).cloned().unwrap_or_else(|| {
-                    eprintln!("missing value for {}", argv[*i - 1]);
-                    std::process::exit(2);
-                })
-            };
-            match argv[i].as_str() {
-                "--preset" => {
-                    let v = val(&mut i);
-                    opts.params = stmbench7::parse_preset(&v).unwrap_or_else(|| {
-                        eprintln!("unknown preset '{v}'");
-                        std::process::exit(2);
-                    });
-                }
-                "--secs" => opts.secs_per_cell = val(&mut i).parse().expect("--secs"),
-                "--threads" => {
-                    opts.threads = val(&mut i)
-                        .split(',')
-                        .map(|t| t.parse().expect("--threads"))
-                        .collect();
-                }
-                "--seed" => opts.seed = val(&mut i).parse().expect("--seed"),
-                other => {
-                    eprintln!("unknown argument '{other}'");
-                    std::process::exit(2);
-                }
-            }
-            i += 1;
-        }
-        opts
-    }
-}
-
-/// Runs one cell on a freshly built structure and returns its report.
-pub fn run_cell(opts: &SweepOpts, cell: &Cell) -> Report {
-    let ws = Workspace::build(opts.params.clone(), opts.seed);
-    let backend = AnyBackend::build(cell.backend, ws);
-    let cfg = BenchConfig {
-        threads: cell.threads,
-        mode: RunMode::Timed(Duration::from_secs_f64(opts.secs_per_cell)),
-        workload: cell.workload,
-        long_traversals: cell.long_traversals,
-        structure_mods: cell.structure_mods,
-        filter: if cell.astm_friendly {
-            OpFilter::astm_friendly()
-        } else {
-            OpFilter::none()
-        },
-        seed: opts.seed,
-        histograms: false,
-    };
-    run_benchmark(&backend, &opts.params, &cfg)
-}
+pub use stmbench7_lab::{run_cell, Cell, SweepOpts};
 
 /// Appends rows to `results/<name>.csv`, writing the header when the file
 /// is new.
@@ -155,6 +71,8 @@ pub fn astm_backend() -> BackendChoice {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stmbench7::core::WorkloadType;
+    use stmbench7::data::StructureParams;
 
     #[test]
     fn run_cell_smoke() {

@@ -178,4 +178,71 @@ mod tests {
         assert_eq!(h.percentile(100.0), Some(100));
         assert_eq!(Histogram::new().percentile(50.0), None);
     }
+
+    #[test]
+    fn empty_histogram_has_no_percentiles() {
+        let h = Histogram::new();
+        for p in [0.0, 50.0, 95.0, 100.0] {
+            assert_eq!(h.percentile(p), None, "p{p} of empty histogram");
+        }
+        assert_eq!(h.samples(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert!(h.pairs().is_empty());
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(7 * MS);
+        for p in [0.0, 1.0, 50.0, 95.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(7), "p{p} of single sample");
+        }
+    }
+
+    #[test]
+    fn overflow_only_samples_report_the_cap() {
+        let mut h = Histogram::new();
+        h.record((MAX_TRACKED_MS + 5) * MS);
+        h.record(u64::MAX);
+        assert_eq!(h.overflow(), 2);
+        // Every percentile saturates at the largest tracked latency.
+        for p in [1.0, 50.0, 100.0] {
+            assert_eq!(h.percentile(p), Some(MAX_TRACKED_MS), "p{p} overflow-only");
+        }
+    }
+
+    #[test]
+    fn percentiles_straddling_the_overflow_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..9 {
+            h.record(2 * MS);
+        }
+        h.record(MAX_TRACKED_MS * MS); // exactly the cap → overflow
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.percentile(50.0), Some(2));
+        assert_eq!(
+            h.percentile(90.0),
+            Some(2),
+            "p90 is the last tracked sample"
+        );
+        assert_eq!(
+            h.percentile(91.0),
+            Some(MAX_TRACKED_MS),
+            "p91 falls into overflow"
+        );
+        assert_eq!(h.percentile(100.0), Some(MAX_TRACKED_MS));
+    }
+
+    #[test]
+    fn merge_carries_overflow_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(MS);
+        b.record((MAX_TRACKED_MS + 1) * MS);
+        a.merge(&b);
+        assert_eq!(a.samples(), 2);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.percentile(50.0), Some(1));
+        assert_eq!(a.percentile(100.0), Some(MAX_TRACKED_MS));
+    }
 }

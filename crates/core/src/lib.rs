@@ -9,16 +9,20 @@
 //! * [`engine`] — the multi-threaded driver (duration- or count-bounded);
 //! * [`histogram`] — TTC histograms;
 //! * [`report`] — Appendix-A-format output plus CSV for the bench
-//!   harness.
+//!   harness;
+//! * [`json`] — the hand-rolled JSON document model backing the lab
+//!   harness's machine-readable results (the build is offline, no serde).
 
 pub mod engine;
 pub mod histogram;
+pub mod json;
 pub mod ops;
 pub mod report;
 pub mod workload;
 
 pub use engine::{run_benchmark, BenchConfig, RunMode};
 pub use histogram::Histogram;
+pub use json::JsonValue;
 pub use ops::{access_spec, run_op, Category, OpCtx, OpKind};
 pub use report::{OpReport, Report, SampleError};
 pub use workload::{OpFilter, WorkloadMix, WorkloadType};

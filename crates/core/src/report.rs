@@ -9,6 +9,7 @@ use std::time::Duration;
 use stmbench7_stm::StatsSnapshot;
 
 use crate::histogram::Histogram;
+use crate::json::JsonValue;
 use crate::ops::{Category, OpKind};
 use crate::workload::WorkloadType;
 
@@ -293,6 +294,79 @@ impl Report {
         out
     }
 
+    /// The machine-readable form of this report — one JSON object with
+    /// the run parameters, totals, per-operation rows (started ops only)
+    /// and STM statistics. Consumed by the lab harness, which embeds it
+    /// per repetition and aggregates across repetitions.
+    pub fn to_json_value(&self) -> JsonValue {
+        let per_op = self
+            .per_op
+            .iter()
+            .filter(|o| o.started() > 0)
+            .map(|o| {
+                JsonValue::obj(vec![
+                    ("op", JsonValue::str(o.op.name())),
+                    ("completed", JsonValue::num(o.completed as f64)),
+                    ("failed", JsonValue::num(o.failed as f64)),
+                    ("max_ms", JsonValue::num(o.max_ms())),
+                    ("mean_ms", JsonValue::num(o.mean_ms())),
+                ])
+            })
+            .collect();
+        let categories = Category::all()
+            .into_iter()
+            .map(|cat| {
+                let (completed, failed, max_ms) = self.category_rollup(cat);
+                (
+                    cat.name().to_string(),
+                    JsonValue::obj(vec![
+                        ("completed", JsonValue::num(completed as f64)),
+                        ("failed", JsonValue::num(failed as f64)),
+                        ("max_ms", JsonValue::num(max_ms)),
+                    ]),
+                )
+            })
+            .collect();
+        let stm = match &self.stm {
+            None => JsonValue::Null,
+            Some(s) => JsonValue::obj(vec![
+                ("commits", JsonValue::num(s.commits as f64)),
+                ("aborts", JsonValue::num(s.aborts as f64)),
+                ("abort_ratio", JsonValue::num(s.abort_ratio())),
+                ("reads", JsonValue::num(s.reads as f64)),
+                ("writes", JsonValue::num(s.writes as f64)),
+                (
+                    "validation_steps",
+                    JsonValue::num(s.validation_steps as f64),
+                ),
+                ("clones", JsonValue::num(s.clones as f64)),
+                ("extensions", JsonValue::num(s.extensions as f64)),
+                ("enemy_aborts", JsonValue::num(s.enemy_aborts as f64)),
+            ]),
+        };
+        JsonValue::obj(vec![
+            ("backend", JsonValue::str(&self.backend)),
+            ("threads", JsonValue::num(self.threads as f64)),
+            ("workload", JsonValue::str(self.workload.label())),
+            ("long_traversals", JsonValue::Bool(self.long_traversals)),
+            ("structure_mods", JsonValue::Bool(self.structure_mods)),
+            // Seeds are 64-bit identifiers, not quantities: a decimal
+            // string survives the f64 number path exactly.
+            ("seed", JsonValue::str(self.seed.to_string())),
+            ("elapsed_s", JsonValue::num(self.elapsed.as_secs_f64())),
+            ("completed", JsonValue::num(self.total_completed() as f64)),
+            ("failed", JsonValue::num(self.total_failed() as f64)),
+            ("throughput", JsonValue::num(self.throughput())),
+            (
+                "throughput_attempted",
+                JsonValue::num(self.throughput_attempted()),
+            ),
+            ("per_op", JsonValue::Arr(per_op)),
+            ("categories", JsonValue::Obj(categories)),
+            ("stm", stm),
+        ])
+    }
+
     /// One CSV row per operation:
     /// `backend,threads,workload,op,completed,failed,max_ms,mean_ms`.
     pub fn csv_rows(&self) -> Vec<String> {
@@ -404,6 +478,39 @@ mod tests {
         assert!(text.contains("p50"), "percentile column rendered");
         let plain = r.render(false);
         assert!(!plain.contains("p50"), "no percentiles without histograms");
+    }
+
+    #[test]
+    fn json_value_carries_totals() {
+        let r = sample_report();
+        let doc = r.to_json_value();
+        assert_eq!(doc.get("backend").and_then(JsonValue::as_str), Some("test"));
+        assert_eq!(doc.get("completed").and_then(JsonValue::as_u64), Some(98));
+        assert_eq!(doc.get("failed").and_then(JsonValue::as_u64), Some(10));
+        assert_eq!(
+            doc.get("throughput").and_then(JsonValue::as_f64),
+            Some(r.throughput())
+        );
+        // Only started operations appear.
+        assert_eq!(
+            doc.get("per_op")
+                .and_then(JsonValue::as_array)
+                .map(<[_]>::len),
+            Some(2)
+        );
+        assert_eq!(doc.get("stm"), Some(&JsonValue::Null));
+        assert!(doc.render().contains("\"workload\": \"rw\""));
+    }
+
+    #[test]
+    fn seeds_above_2_53_survive_exactly() {
+        let mut r = sample_report();
+        r.seed = u64::MAX; // not representable as f64
+        let doc = r.to_json_value();
+        assert_eq!(
+            doc.get("seed").and_then(JsonValue::as_str),
+            Some("18446744073709551615")
+        );
     }
 
     #[test]

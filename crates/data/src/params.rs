@@ -75,6 +75,26 @@ impl StructureParams {
         Self::base(3, 3, 2, 12, 10, 3, 120, 1 << 12)
     }
 
+    /// Parses a preset name (`tiny`, `small`, `standard`/`medium-oo7`,
+    /// `paper-full`) — the `-s`/`--preset` vocabulary of the CLI, the
+    /// sweep binaries and the lab harness.
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "tiny" => StructureParams::tiny(),
+            "small" => StructureParams::small(),
+            "standard" | "medium-oo7" => StructureParams::standard(),
+            "paper-full" => StructureParams::paper_full(),
+            _ => return None,
+        })
+    }
+
+    /// The preset name whose sizing equals `self`, if any.
+    pub fn preset_name(&self) -> Option<&'static str> {
+        ["tiny", "small", "standard", "paper-full"]
+            .into_iter()
+            .find(|name| Self::parse(name).as_ref() == Some(self))
+    }
+
     #[allow(clippy::too_many_arguments)] // Private constructor mirroring the preset table's columns.
     fn base(
         levels: u8,

@@ -1,0 +1,34 @@
+//! `stmbench7-lab` — the declarative experiment harness.
+//!
+//! STMBench7's contribution is a *measurement methodology*; this crate
+//! turns the reproduction into a living benchmark by making experiments
+//! first-class values:
+//!
+//! * [`spec`] — [`spec::ExperimentSpec`]: a named grid of backend ×
+//!   workload × threads cells with structure preset, duration, warmup,
+//!   repetition count and pinned seeds; plus [`spec::SweepOpts`] /
+//!   [`spec::run_cell`], the single sweep engine shared with the
+//!   figure/table binaries;
+//! * [`registry`] — the built-in specs (`smoke`, `paper_fig3`,
+//!   `paper_fig6`, `scaling`, `write_storm`, `mixed_custom`);
+//! * [`run`] — executes a spec, aggregating repetitions into
+//!   median/min/max/p95 with abort rates and per-category rollups;
+//! * [`json`] — the parser matching `stmbench7_core::JsonValue::render`
+//!   (the build is offline; no serde);
+//! * [`compare`] — baseline regression gating over two results
+//!   documents with a configurable tolerance.
+//!
+//! The CLI front door is `stmbench7 lab <spec> [--compare baseline.json]`;
+//! results land in versioned `results/BENCH_<spec>.json` documents.
+
+pub mod compare;
+pub mod json;
+pub mod registry;
+pub mod run;
+pub mod spec;
+pub mod stats;
+
+pub use compare::{compare_documents, Comparison, Tolerance};
+pub use run::{run_spec, CellResult, RepResult, SpecResult, FORMAT};
+pub use spec::{grid, run_cell, Cell, ExperimentSpec, SweepOpts};
+pub use stats::Summary;

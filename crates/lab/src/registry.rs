@@ -1,0 +1,242 @@
+//! The built-in spec registry: the named experiments `stmbench7 lab`
+//! knows how to run. Each returns a fully pinned [`ExperimentSpec`];
+//! CLI flags (`--secs`, `--reps`, `--threads`, `--preset`, `--seed`)
+//! override the protocol without touching the grid definition.
+
+use stmbench7_backend::{BackendChoice, Granularity};
+use stmbench7_core::WorkloadType;
+use stmbench7_data::StructureParams;
+use stmbench7_stm::ContentionManager;
+
+use crate::spec::{grid, ExperimentSpec};
+
+/// `(name, one-line description)` of every built-in spec, in display
+/// order.
+pub fn catalog() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "smoke",
+            "CI gate: coarse/medium/tl2-sharded, rw, 1-2 threads, tiny structure",
+        ),
+        (
+            "paper_fig3",
+            "Figure 3 grid: coarse vs medium, r and w workloads, all ops on",
+        ),
+        (
+            "paper_fig6",
+            "Figure 6 grid: locks vs ASTM under the astm-friendly filter",
+        ),
+        (
+            "scaling",
+            "thread-scaling of every serious strategy, rw, no long traversals",
+        ),
+        (
+            "write_storm",
+            "4-thread write-dominated contention shootout across strategies",
+        ),
+        (
+            "mixed_custom",
+            "update-ratio sweep (u10..u90) on medium locking vs sharded TL2",
+        ),
+    ]
+}
+
+fn astm_paper() -> BackendChoice {
+    BackendChoice::Astm {
+        granularity: Granularity::Monolithic,
+        cm: ContentionManager::Polka,
+        visible: false,
+    }
+}
+
+fn spec(
+    name: &str,
+    params: StructureParams,
+    secs_per_cell: f64,
+    warmup_secs: f64,
+    repetitions: u32,
+    cells: Vec<crate::spec::Cell>,
+) -> ExperimentSpec {
+    let description = catalog()
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, d)| (*d).to_string())
+        .expect("spec must be in the catalog");
+    ExperimentSpec {
+        name: name.to_string(),
+        description,
+        params,
+        secs_per_cell,
+        warmup_secs,
+        repetitions,
+        seed: 1,
+        cells,
+    }
+}
+
+/// Builds a built-in spec by name.
+pub fn build(name: &str) -> Option<ExperimentSpec> {
+    Some(match name {
+        "smoke" => spec(
+            "smoke",
+            StructureParams::tiny(),
+            0.2,
+            0.05,
+            3,
+            grid(
+                &[
+                    BackendChoice::Coarse,
+                    BackendChoice::Medium,
+                    BackendChoice::Tl2 {
+                        granularity: Granularity::Sharded,
+                    },
+                ],
+                &[WorkloadType::ReadWrite],
+                &[1, 2],
+                true,
+                true,
+                false,
+            ),
+        ),
+        "paper_fig3" => spec(
+            "paper_fig3",
+            StructureParams::small(),
+            1.0,
+            0.1,
+            3,
+            grid(
+                &[BackendChoice::Coarse, BackendChoice::Medium],
+                &[WorkloadType::ReadDominated, WorkloadType::WriteDominated],
+                &[1, 2, 4, 8],
+                true,
+                true,
+                false,
+            ),
+        ),
+        "paper_fig6" => spec(
+            "paper_fig6",
+            StructureParams::small(),
+            1.0,
+            0.1,
+            3,
+            grid(
+                &[BackendChoice::Coarse, BackendChoice::Medium, astm_paper()],
+                &WorkloadType::all(),
+                &[1, 2, 4, 8],
+                false,
+                true,
+                true,
+            ),
+        ),
+        "scaling" => spec(
+            "scaling",
+            StructureParams::small(),
+            0.5,
+            0.1,
+            2,
+            grid(
+                &[
+                    BackendChoice::Coarse,
+                    BackendChoice::Medium,
+                    BackendChoice::Fine,
+                    BackendChoice::Tl2 {
+                        granularity: Granularity::Sharded,
+                    },
+                    BackendChoice::Norec {
+                        granularity: Granularity::Sharded,
+                    },
+                ],
+                &[WorkloadType::ReadWrite],
+                &[1, 2, 4, 8],
+                false,
+                true,
+                false,
+            ),
+        ),
+        "write_storm" => spec(
+            "write_storm",
+            StructureParams::small(),
+            0.5,
+            0.1,
+            3,
+            grid(
+                &[
+                    BackendChoice::Coarse,
+                    BackendChoice::Medium,
+                    BackendChoice::Fine,
+                    BackendChoice::Astm {
+                        granularity: Granularity::Sharded,
+                        cm: ContentionManager::Polka,
+                        visible: false,
+                    },
+                    BackendChoice::Tl2 {
+                        granularity: Granularity::Sharded,
+                    },
+                    BackendChoice::Norec {
+                        granularity: Granularity::Sharded,
+                    },
+                ],
+                &[WorkloadType::WriteDominated],
+                &[4],
+                false,
+                true,
+                false,
+            ),
+        ),
+        "mixed_custom" => spec(
+            "mixed_custom",
+            StructureParams::small(),
+            0.5,
+            0.1,
+            2,
+            grid(
+                &[
+                    BackendChoice::Medium,
+                    BackendChoice::Tl2 {
+                        granularity: Granularity::Sharded,
+                    },
+                ],
+                &[10u8, 25, 50, 75, 90].map(|update_pct| WorkloadType::Custom { update_pct }),
+                &[4],
+                false,
+                true,
+                false,
+            ),
+        ),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_catalog_entry_builds() {
+        for (name, _) in catalog() {
+            let spec = build(name).unwrap_or_else(|| panic!("{name} must build"));
+            assert_eq!(spec.name, name);
+            assert!(!spec.cells.is_empty(), "{name} has cells");
+            assert!(spec.repetitions >= 1);
+            assert!(spec.secs_per_cell > 0.0);
+            // Cell keys are unique within a spec (compare relies on it).
+            let mut keys: Vec<String> = spec.cells.iter().map(|c| c.key()).collect();
+            let before = keys.len();
+            keys.sort();
+            keys.dedup();
+            assert_eq!(keys.len(), before, "{name} has duplicate cell keys");
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert!(build("nope").is_none());
+    }
+
+    #[test]
+    fn smoke_is_ci_sized() {
+        let spec = build("smoke").unwrap();
+        assert_eq!(spec.cells.len(), 6);
+        assert!(spec.measured_secs() < 10.0, "smoke must stay CI-sized");
+    }
+}

@@ -1,0 +1,314 @@
+//! The spec runner: executes every cell of an [`ExperimentSpec`] —
+//! warmup, then `repetitions` measured runs, each on a freshly built
+//! structure — and aggregates the repetitions into a [`SpecResult`] that
+//! serializes to the versioned `results/BENCH_<spec>.json` document.
+
+use stmbench7_backend::AnyBackend;
+use stmbench7_core::{run_benchmark, JsonValue, Report};
+use stmbench7_data::Workspace;
+
+use crate::spec::{Cell, ExperimentSpec};
+use crate::stats::Summary;
+
+/// The version tag every results document leads with; bump on any
+/// incompatible schema change.
+pub const FORMAT: &str = "stmbench7-lab/1";
+
+/// One measured repetition, condensed.
+#[derive(Clone, Copy, Debug)]
+pub struct RepResult {
+    pub elapsed_s: f64,
+    pub completed: u64,
+    pub failed: u64,
+    pub throughput: f64,
+    pub attempted: f64,
+    pub abort_ratio: f64,
+}
+
+impl RepResult {
+    fn from_report(report: &Report) -> RepResult {
+        RepResult {
+            elapsed_s: report.elapsed.as_secs_f64(),
+            completed: report.total_completed(),
+            failed: report.total_failed(),
+            throughput: report.throughput(),
+            attempted: report.throughput_attempted(),
+            abort_ratio: report.stm.as_ref().map_or(0.0, |s| s.abort_ratio()),
+        }
+    }
+}
+
+/// Aggregated measurements of one cell across its repetitions.
+#[derive(Clone, Debug)]
+pub struct CellResult {
+    pub cell: Cell,
+    /// The backend's self-reported name (may be finer-grained than the
+    /// cell key, e.g. contention-manager variants).
+    pub backend_label: String,
+    /// Successful / benignly failed operations, summed over repetitions.
+    pub completed: u64,
+    pub failed: u64,
+    /// STM commits and aborts summed over repetitions (0 for locks).
+    pub commits: u64,
+    pub aborts: u64,
+    pub throughput: Summary,
+    pub attempted: Summary,
+    /// `(category name, completed, failed, max_ms)` rollups, summed over
+    /// repetitions (max_ms is the max across them).
+    pub categories: Vec<(String, u64, u64, f64)>,
+    pub reps: Vec<RepResult>,
+}
+
+impl CellResult {
+    /// Aborts per commit over all repetitions.
+    pub fn abort_ratio(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / self.commits as f64
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        let categories = self
+            .categories
+            .iter()
+            .map(|(name, completed, failed, max_ms)| {
+                (
+                    name.clone(),
+                    JsonValue::obj(vec![
+                        ("completed", JsonValue::num(*completed as f64)),
+                        ("failed", JsonValue::num(*failed as f64)),
+                        ("max_ms", JsonValue::num(*max_ms)),
+                    ]),
+                )
+            })
+            .collect();
+        let reps = self
+            .reps
+            .iter()
+            .map(|r| {
+                JsonValue::obj(vec![
+                    ("elapsed_s", JsonValue::num(r.elapsed_s)),
+                    ("completed", JsonValue::num(r.completed as f64)),
+                    ("failed", JsonValue::num(r.failed as f64)),
+                    ("throughput", JsonValue::num(r.throughput)),
+                    ("attempted", JsonValue::num(r.attempted)),
+                    ("abort_ratio", JsonValue::num(r.abort_ratio)),
+                ])
+            })
+            .collect();
+        JsonValue::obj(vec![
+            ("key", JsonValue::str(self.cell.key())),
+            ("backend", JsonValue::str(self.cell.backend.key())),
+            ("backend_label", JsonValue::str(&self.backend_label)),
+            ("workload", JsonValue::str(self.cell.workload_key())),
+            ("threads", JsonValue::num(self.cell.threads as f64)),
+            (
+                "long_traversals",
+                JsonValue::Bool(self.cell.long_traversals),
+            ),
+            ("structure_mods", JsonValue::Bool(self.cell.structure_mods)),
+            ("astm_friendly", JsonValue::Bool(self.cell.astm_friendly)),
+            ("completed", JsonValue::num(self.completed as f64)),
+            ("failed", JsonValue::num(self.failed as f64)),
+            ("commits", JsonValue::num(self.commits as f64)),
+            ("aborts", JsonValue::num(self.aborts as f64)),
+            ("abort_ratio", JsonValue::num(self.abort_ratio())),
+            ("throughput", self.throughput.to_json()),
+            ("attempted", self.attempted.to_json()),
+            ("categories", JsonValue::Obj(categories)),
+            ("reps", JsonValue::Arr(reps)),
+        ])
+    }
+}
+
+/// A completed spec run: protocol echo plus one [`CellResult`] per cell.
+#[derive(Clone, Debug)]
+pub struct SpecResult {
+    pub spec_name: String,
+    pub description: String,
+    pub preset: String,
+    pub secs_per_cell: f64,
+    pub warmup_secs: f64,
+    pub repetitions: u32,
+    pub seed: u64,
+    pub cells: Vec<CellResult>,
+}
+
+impl SpecResult {
+    /// The versioned results document written to `results/BENCH_*.json`.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("format", JsonValue::str(FORMAT)),
+            ("spec", JsonValue::str(&self.spec_name)),
+            ("description", JsonValue::str(&self.description)),
+            ("preset", JsonValue::str(&self.preset)),
+            ("secs_per_cell", JsonValue::num(self.secs_per_cell)),
+            ("warmup_secs", JsonValue::num(self.warmup_secs)),
+            ("repetitions", JsonValue::num(f64::from(self.repetitions))),
+            // Seeds are 64-bit identifiers, not quantities: a decimal
+            // string survives the f64 number path exactly.
+            ("seed", JsonValue::str(self.seed.to_string())),
+            (
+                "cells",
+                JsonValue::Arr(self.cells.iter().map(CellResult::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Runs every cell of the spec. `progress` receives one line per
+/// completed cell (empty closure to run silently).
+pub fn run_spec(spec: &ExperimentSpec, mut progress: impl FnMut(&str)) -> SpecResult {
+    let mut cells = Vec::with_capacity(spec.cells.len());
+    for (i, cell) in spec.cells.iter().enumerate() {
+        let result = run_one_cell(spec, cell);
+        progress(&format!(
+            "[{}/{}] {:<32} median {:>9.1} op/s  (min {:.1}, max {:.1}, aborts/commit {:.3})",
+            i + 1,
+            spec.cells.len(),
+            result.cell.key(),
+            result.throughput.median,
+            result.throughput.min,
+            result.throughput.max,
+            result.abort_ratio(),
+        ));
+        cells.push(result);
+    }
+    SpecResult {
+        spec_name: spec.name.clone(),
+        description: spec.description.clone(),
+        preset: spec.params.preset_name().unwrap_or("custom").to_string(),
+        secs_per_cell: spec.secs_per_cell,
+        warmup_secs: spec.warmup_secs,
+        repetitions: spec.repetitions,
+        seed: spec.seed,
+        cells,
+    }
+}
+
+fn run_one_cell(spec: &ExperimentSpec, cell: &Cell) -> CellResult {
+    let mut reports: Vec<Report> = Vec::with_capacity(spec.repetitions as usize);
+    for rep in 0..spec.repetitions.max(1) {
+        let ws = Workspace::build(spec.params.clone(), spec.seed);
+        let backend = AnyBackend::build(cell.backend, ws);
+        if spec.warmup_secs > 0.0 {
+            // Discarded warmup on this repetition's fresh structure:
+            // fills caches and pre-faults the heap before measurement.
+            let cfg = spec.bench_config(cell, spec.warmup_secs, u32::MAX);
+            let _ = run_benchmark(&backend, &spec.params, &cfg);
+        }
+        let cfg = spec.bench_config(cell, spec.secs_per_cell, rep);
+        reports.push(run_benchmark(&backend, &spec.params, &cfg));
+    }
+    aggregate(cell, &reports)
+}
+
+fn aggregate(cell: &Cell, reports: &[Report]) -> CellResult {
+    let throughputs: Vec<f64> = reports.iter().map(Report::throughput).collect();
+    let attempted: Vec<f64> = reports.iter().map(Report::throughput_attempted).collect();
+    let mut categories: Vec<(String, u64, u64, f64)> = Vec::new();
+    for cat in stmbench7_core::Category::all() {
+        let mut completed = 0;
+        let mut failed = 0;
+        let mut max_ms = 0.0f64;
+        for r in reports {
+            let (c, f, m) = r.category_rollup(cat);
+            completed += c;
+            failed += f;
+            max_ms = max_ms.max(m);
+        }
+        categories.push((cat.name().to_string(), completed, failed, max_ms));
+    }
+    CellResult {
+        cell: cell.clone(),
+        backend_label: reports
+            .first()
+            .map_or_else(String::new, |r| r.backend.clone()),
+        completed: reports.iter().map(Report::total_completed).sum(),
+        failed: reports.iter().map(Report::total_failed).sum(),
+        commits: reports
+            .iter()
+            .filter_map(|r| r.stm.as_ref())
+            .map(|s| s.commits)
+            .sum(),
+        aborts: reports
+            .iter()
+            .filter_map(|r| r.stm.as_ref())
+            .map(|s| s.aborts)
+            .sum(),
+        throughput: Summary::from_samples(&throughputs).expect("at least one repetition"),
+        attempted: Summary::from_samples(&attempted).expect("at least one repetition"),
+        categories,
+        reps: reports.iter().map(RepResult::from_report).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::grid;
+    use stmbench7_backend::BackendChoice;
+    use stmbench7_core::WorkloadType;
+    use stmbench7_data::StructureParams;
+
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "unit".into(),
+            description: "unit-test spec".into(),
+            params: StructureParams::tiny(),
+            secs_per_cell: 0.03,
+            warmup_secs: 0.01,
+            repetitions: 2,
+            seed: 7,
+            cells: grid(
+                &[BackendChoice::Coarse],
+                &[WorkloadType::ReadWrite],
+                &[1],
+                true,
+                true,
+                false,
+            ),
+        }
+    }
+
+    #[test]
+    fn run_spec_aggregates_repetitions() {
+        let spec = tiny_spec();
+        let mut lines = Vec::new();
+        let result = run_spec(&spec, |l| lines.push(l.to_string()));
+        assert_eq!(result.cells.len(), 1);
+        assert_eq!(lines.len(), 1);
+        let cell = &result.cells[0];
+        assert_eq!(cell.reps.len(), 2);
+        assert!(cell.completed > 0);
+        assert!(cell.throughput.min <= cell.throughput.median);
+        assert!(cell.throughput.median <= cell.throughput.max);
+        assert_eq!(cell.backend_label, "coarse");
+        // Category rollups sum to the cell totals.
+        let cat_completed: u64 = cell.categories.iter().map(|(_, c, _, _)| c).sum();
+        assert_eq!(cat_completed, cell.completed);
+    }
+
+    #[test]
+    fn results_document_is_versioned_and_parseable() {
+        let spec = tiny_spec();
+        let result = run_spec(&spec, |_| {});
+        let doc = result.to_json();
+        assert_eq!(doc.get("format").and_then(JsonValue::as_str), Some(FORMAT));
+        assert_eq!(doc.get("preset").and_then(JsonValue::as_str), Some("tiny"));
+        let text = doc.render();
+        let back = crate::json::parse(&text).expect("own output must parse");
+        let cells = back.get("cells").unwrap().as_array().unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(
+            cells[0].get("key").and_then(JsonValue::as_str),
+            Some("coarse/rw/1t")
+        );
+        assert_eq!(
+            cells[0].get("completed").and_then(JsonValue::as_u64),
+            Some(result.cells[0].completed)
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! The experiment vocabulary: one [`Cell`] is a single benchmark
+//! configuration, an [`ExperimentSpec`] is a named grid of cells plus the
+//! measurement protocol (structure preset, duration, warmup, repetition
+//! count, seed). [`SweepOpts`]/[`run_cell`] are the command-line face the
+//! figure/table binaries share.
+
+use std::time::Duration;
+
+use stmbench7_backend::{AnyBackend, BackendChoice};
+use stmbench7_core::{run_benchmark, BenchConfig, OpFilter, Report, RunMode, WorkloadType};
+use stmbench7_data::{StructureParams, Workspace};
+
+/// One sweep cell: a backend × workload × thread-count configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cell {
+    pub backend: BackendChoice,
+    pub workload: WorkloadType,
+    pub threads: usize,
+    pub long_traversals: bool,
+    pub structure_mods: bool,
+    pub astm_friendly: bool,
+}
+
+impl Cell {
+    /// A cell with the paper's default switches (long traversals and
+    /// structure modifications on, no operation filter).
+    pub fn new(backend: BackendChoice, workload: WorkloadType, threads: usize) -> Cell {
+        Cell {
+            backend,
+            workload,
+            threads,
+            long_traversals: true,
+            structure_mods: true,
+            astm_friendly: false,
+        }
+    }
+
+    /// Stable short key for the workload axis (`r`, `rw`, `w`, `uNN`).
+    pub fn workload_key(&self) -> String {
+        match self.workload {
+            WorkloadType::Custom { update_pct } => format!("u{update_pct}"),
+            other => other.name().to_string(),
+        }
+    }
+
+    /// The engine configuration for running this cell for `secs`
+    /// seconds with the given seed — the single cell-to-config mapping
+    /// behind both [`run_cell`] and the spec runner.
+    pub fn bench_config(&self, secs: f64, seed: u64) -> BenchConfig {
+        BenchConfig {
+            threads: self.threads,
+            mode: RunMode::Timed(Duration::from_secs_f64(secs)),
+            workload: self.workload,
+            long_traversals: self.long_traversals,
+            structure_mods: self.structure_mods,
+            filter: if self.astm_friendly {
+                OpFilter::astm_friendly()
+            } else {
+                OpFilter::none()
+            },
+            seed,
+            histograms: false,
+        }
+    }
+
+    /// Stable identity of this cell inside a results document; baseline
+    /// comparison matches cells by this key.
+    pub fn key(&self) -> String {
+        let mut key = format!(
+            "{}/{}/{}t",
+            self.backend.key(),
+            self.workload_key(),
+            self.threads
+        );
+        if !self.long_traversals {
+            key.push_str("/no-lt");
+        }
+        if !self.structure_mods {
+            key.push_str("/no-sm");
+        }
+        if self.astm_friendly {
+            key.push_str("/astm-friendly");
+        }
+        key
+    }
+}
+
+/// The full cross product of backends × workloads × thread counts with
+/// shared switches — the grid constructor every built-in spec uses.
+pub fn grid(
+    backends: &[BackendChoice],
+    workloads: &[WorkloadType],
+    threads: &[usize],
+    long_traversals: bool,
+    structure_mods: bool,
+    astm_friendly: bool,
+) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(backends.len() * workloads.len() * threads.len());
+    for &workload in workloads {
+        for &backend in backends {
+            for &t in threads {
+                cells.push(Cell {
+                    backend,
+                    workload,
+                    threads: t,
+                    long_traversals,
+                    structure_mods,
+                    astm_friendly,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// A named, fully pinned experiment: the grid plus the measurement
+/// protocol. Everything needed to reproduce a results document.
+#[derive(Clone, Debug)]
+pub struct ExperimentSpec {
+    pub name: String,
+    pub description: String,
+    pub params: StructureParams,
+    /// Measured duration of every cell repetition, in seconds.
+    pub secs_per_cell: f64,
+    /// Discarded warmup run before the measured repetitions (0 = none).
+    pub warmup_secs: f64,
+    /// Measured repetitions per cell; aggregates are computed across
+    /// them. Each repetition runs on a freshly built structure.
+    pub repetitions: u32,
+    pub seed: u64,
+    pub cells: Vec<Cell>,
+}
+
+impl ExperimentSpec {
+    /// Replaces the thread axis: every unique cell modulo thread count is
+    /// re-crossed with `threads` (deduplicated, order preserved — cell
+    /// keys must stay unique for baseline comparison).
+    pub fn with_threads(mut self, threads: &[usize]) -> Self {
+        let mut threads_axis: Vec<usize> = Vec::new();
+        for &t in threads {
+            if !threads_axis.contains(&t) {
+                threads_axis.push(t);
+            }
+        }
+        let mut base: Vec<Cell> = Vec::new();
+        for cell in &self.cells {
+            let mut c = cell.clone();
+            c.threads = 0;
+            if !base.contains(&c) {
+                base.push(c);
+            }
+        }
+        self.cells = base
+            .into_iter()
+            .flat_map(|c| {
+                threads_axis.iter().map(move |&t| {
+                    let mut cell = c.clone();
+                    cell.threads = t;
+                    cell
+                })
+            })
+            .collect();
+        self
+    }
+
+    /// The engine configuration for one cell under this spec's protocol.
+    pub fn bench_config(&self, cell: &Cell, secs: f64, rep: u32) -> BenchConfig {
+        cell.bench_config(secs, self.seed.wrapping_add(u64::from(rep)))
+    }
+
+    /// Total measured benchmark seconds (excluding warmup and builds) —
+    /// printed up front so the user knows what they signed up for.
+    pub fn measured_secs(&self) -> f64 {
+        self.cells.len() as f64 * self.secs_per_cell * f64::from(self.repetitions)
+    }
+}
+
+/// Sweep-wide options parsed from the command line — the shared flag
+/// vocabulary of every figure/table binary (`--preset`, `--secs`,
+/// `--threads`, `--seed`).
+#[derive(Clone, Debug)]
+pub struct SweepOpts {
+    pub params: StructureParams,
+    pub secs_per_cell: f64,
+    pub threads: Vec<usize>,
+    pub seed: u64,
+}
+
+impl SweepOpts {
+    /// Parses the common flags of every binary:
+    /// `--preset tiny|small|standard`, `--secs F`, `--threads a,b,c`,
+    /// `--seed N`.
+    pub fn from_args() -> SweepOpts {
+        let mut opts = SweepOpts {
+            params: StructureParams::small(),
+            secs_per_cell: 1.0,
+            threads: vec![1, 2, 3, 4, 6, 8],
+            seed: 1,
+        };
+        let argv: Vec<String> = std::env::args().skip(1).collect();
+        let mut i = 0;
+        while i < argv.len() {
+            let val = |i: &mut usize| -> String {
+                *i += 1;
+                argv.get(*i).cloned().unwrap_or_else(|| {
+                    eprintln!("missing value for {}", argv[*i - 1]);
+                    std::process::exit(2);
+                })
+            };
+            match argv[i].as_str() {
+                "--preset" => {
+                    let v = val(&mut i);
+                    opts.params = StructureParams::parse(&v).unwrap_or_else(|| {
+                        eprintln!("unknown preset '{v}'");
+                        std::process::exit(2);
+                    });
+                }
+                "--secs" => opts.secs_per_cell = val(&mut i).parse().expect("--secs"),
+                "--threads" => {
+                    opts.threads = val(&mut i)
+                        .split(',')
+                        .map(|t| t.parse().expect("--threads"))
+                        .collect();
+                }
+                "--seed" => opts.seed = val(&mut i).parse().expect("--seed"),
+                other => {
+                    eprintln!("unknown argument '{other}'");
+                    std::process::exit(2);
+                }
+            }
+            i += 1;
+        }
+        opts
+    }
+}
+
+/// Runs one cell on a freshly built structure and returns its report —
+/// the single sweep engine behind both the lab runner and every
+/// figure/table binary.
+pub fn run_cell(opts: &SweepOpts, cell: &Cell) -> Report {
+    let ws = Workspace::build(opts.params.clone(), opts.seed);
+    let backend = AnyBackend::build(cell.backend, ws);
+    let cfg = cell.bench_config(opts.secs_per_cell, opts.seed);
+    run_benchmark(&backend, &opts.params, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_is_a_full_cross_product() {
+        let cells = grid(
+            &[BackendChoice::Coarse, BackendChoice::Medium],
+            &[WorkloadType::ReadDominated, WorkloadType::WriteDominated],
+            &[1, 2, 4],
+            false,
+            true,
+            false,
+        );
+        assert_eq!(cells.len(), 12);
+        assert!(cells.iter().all(|c| !c.long_traversals && c.structure_mods));
+    }
+
+    #[test]
+    fn cell_keys_are_distinct_and_stable() {
+        let a = Cell::new(BackendChoice::Coarse, WorkloadType::ReadWrite, 2);
+        assert_eq!(a.key(), "coarse/rw/2t");
+        let mut b = a.clone();
+        b.long_traversals = false;
+        b.astm_friendly = true;
+        assert_eq!(b.key(), "coarse/rw/2t/no-lt/astm-friendly");
+        let custom = Cell::new(
+            BackendChoice::Medium,
+            WorkloadType::Custom { update_pct: 25 },
+            4,
+        );
+        assert_eq!(custom.key(), "medium/u25/4t");
+    }
+
+    #[test]
+    fn with_threads_regrids_preserving_other_axes() {
+        let spec = ExperimentSpec {
+            name: "t".into(),
+            description: String::new(),
+            params: StructureParams::tiny(),
+            secs_per_cell: 0.1,
+            warmup_secs: 0.0,
+            repetitions: 1,
+            seed: 1,
+            cells: grid(
+                &[BackendChoice::Coarse, BackendChoice::Medium],
+                &[WorkloadType::ReadWrite],
+                &[1, 2],
+                true,
+                true,
+                false,
+            ),
+        };
+        let re = spec.with_threads(&[8]);
+        assert_eq!(re.cells.len(), 2);
+        assert!(re.cells.iter().all(|c| c.threads == 8));
+    }
+
+    #[test]
+    fn with_threads_dedups_the_axis() {
+        let spec = ExperimentSpec {
+            name: "t".into(),
+            description: String::new(),
+            params: StructureParams::tiny(),
+            secs_per_cell: 0.1,
+            warmup_secs: 0.0,
+            repetitions: 1,
+            seed: 1,
+            cells: grid(
+                &[BackendChoice::Coarse],
+                &[WorkloadType::ReadWrite],
+                &[1],
+                true,
+                true,
+                false,
+            ),
+        };
+        let re = spec.with_threads(&[2, 1, 2, 2]);
+        let keys: Vec<String> = re.cells.iter().map(|c| c.key()).collect();
+        assert_eq!(keys, vec!["coarse/rw/2t", "coarse/rw/1t"]);
+    }
+
+    #[test]
+    fn run_cell_smoke() {
+        let opts = SweepOpts {
+            params: StructureParams::tiny(),
+            secs_per_cell: 0.05,
+            threads: vec![1],
+            seed: 1,
+        };
+        let cell = Cell::new(BackendChoice::Coarse, WorkloadType::ReadWrite, 1);
+        let report = run_cell(&opts, &cell);
+        assert!(report.total_started() > 0);
+    }
+}

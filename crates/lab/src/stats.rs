@@ -1,0 +1,114 @@
+//! Repetition aggregation: a [`Summary`] condenses the per-repetition
+//! samples of one metric into median/min/max/p95 plus mean and standard
+//! deviation.
+
+use stmbench7_core::JsonValue;
+
+/// Order statistics over one metric's repetition samples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    pub median: f64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p95: f64,
+    /// Population standard deviation (0 for a single sample).
+    pub stddev: f64,
+}
+
+impl Summary {
+    /// Aggregates the samples; `None` when empty.
+    pub fn from_samples(samples: &[f64]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        let n = sorted.len() as f64;
+        let mean = sorted.iter().sum::<f64>() / n;
+        let variance = sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        Some(Summary {
+            median: percentile(&sorted, 50.0),
+            mean,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p95: percentile(&sorted, 95.0),
+            stddev: variance.sqrt(),
+        })
+    }
+
+    /// The JSON object embedded in results documents.
+    pub fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("median", JsonValue::num(self.median)),
+            ("mean", JsonValue::num(self.mean)),
+            ("min", JsonValue::num(self.min)),
+            ("max", JsonValue::num(self.max)),
+            ("p95", JsonValue::num(self.p95)),
+            ("stddev", JsonValue::num(self.stddev)),
+        ])
+    }
+
+    /// Reads a summary object back (the inverse of [`Summary::to_json`]).
+    pub fn from_json(v: &JsonValue) -> Option<Summary> {
+        Some(Summary {
+            median: v.get("median")?.as_f64()?,
+            mean: v.get("mean")?.as_f64()?,
+            min: v.get("min")?.as_f64()?,
+            max: v.get("max")?.as_f64()?,
+            p95: v.get("p95")?.as_f64()?,
+            stddev: v.get("stddev")?.as_f64()?,
+        })
+    }
+}
+
+/// Linear-interpolation percentile over an already sorted slice.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_has_no_summary() {
+        assert_eq!(Summary::from_samples(&[]), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_statistic() {
+        let s = Summary::from_samples(&[7.0]).unwrap();
+        assert_eq!(
+            (s.median, s.mean, s.min, s.max, s.p95),
+            (7.0, 7.0, 7.0, 7.0, 7.0)
+        );
+        assert_eq!(s.stddev, 0.0);
+    }
+
+    #[test]
+    fn order_statistics() {
+        let s = Summary::from_samples(&[4.0, 1.0, 3.0, 2.0, 5.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert!((s.p95 - 4.8).abs() < 1e-9);
+        assert!((s.stddev - 2.0f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let s = Summary::from_samples(&[1.5, 2.5, 10.0]).unwrap();
+        let back = Summary::from_json(&s.to_json()).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -8,7 +8,10 @@
 //!
 //! Extensions beyond the paper's flags: `-s` structure preset, `--seed`,
 //! `--ops` (deterministic fixed-operation runs), `--astm-friendly` (the
-//! §5 operation filter), `--cm` (contention manager) and `--csv`.
+//! §5 operation filter), `--cm` (contention manager) and `--csv`; plus
+//! the `lab` subcommand (`stmbench7 lab <spec>`), which runs a named
+//! experiment grid, writes versioned JSON results, and can gate against
+//! a committed baseline.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -16,6 +19,7 @@ use std::time::Duration;
 use stmbench7::backend::Backend;
 use stmbench7::core::{run_benchmark, BenchConfig, OpFilter, RunMode, WorkloadType};
 use stmbench7::data::{validate, StructureParams, Workspace};
+use stmbench7::lab::{compare_documents, registry, run_spec, Tolerance};
 use stmbench7::stm::ContentionManager;
 use stmbench7::{parse_preset, AnyBackend, BackendChoice};
 
@@ -50,6 +54,37 @@ EXTENSIONS:
     --validate          validate the structure after the run
     --csv <file>        append per-operation CSV rows to <file>
     --describe          print the structure census and indexes, then exit
+    -h, --help          this text
+
+SUBCOMMANDS:
+    lab <spec>          run a named experiment grid and write JSON results
+                        (see `stmbench7 lab --help`)
+";
+
+const LAB_USAGE: &str = "\
+stmbench7 lab — declarative experiment harness
+
+USAGE:
+    stmbench7 lab <spec> [OPTIONS]
+    stmbench7 lab --list
+
+Runs every cell of the named spec (warmup + repetitions, each on a fresh
+structure), aggregates repetitions into median/min/max/p95, writes a
+versioned JSON results document, and optionally gates against a baseline.
+
+OPTIONS:
+    --list              list the built-in specs and exit
+    --preset <name>     override the spec's structure preset
+    --secs <f>          override seconds per measured repetition
+    --warmup <f>        override discarded warmup seconds per repetition
+    --reps <n>          override the repetition count
+    --threads <a,b,c>   override the thread axis (re-grids the cells)
+    --seed <n>          override the RNG seed
+    --out <path>        results path    [default: results/BENCH_<spec>.json]
+    --compare <path>    compare against a baseline results document;
+                        exit nonzero on regression
+    --tolerance <t>     allowed slowdown vs baseline: NN% or NNx
+                        [default: 25%]
     -h, --help          this text
 ";
 
@@ -179,7 +214,249 @@ fn describe(params: &StructureParams, ws: &Workspace) {
     );
 }
 
+struct LabArgs {
+    spec: Option<String>,
+    list: bool,
+    preset: Option<StructureParams>,
+    secs: Option<f64>,
+    warmup: Option<f64>,
+    reps: Option<u32>,
+    threads: Option<Vec<usize>>,
+    seed: Option<u64>,
+    out: Option<String>,
+    compare: Option<String>,
+    tolerance: Tolerance,
+}
+
+fn parse_lab_args(argv: &[String]) -> Result<LabArgs, String> {
+    let mut args = LabArgs {
+        spec: None,
+        list: false,
+        preset: None,
+        secs: None,
+        warmup: None,
+        reps: None,
+        threads: None,
+        seed: None,
+        out: None,
+        compare: None,
+        tolerance: Tolerance(1.25),
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--list" => args.list = true,
+            "--preset" => {
+                let v = value(&mut i)?;
+                args.preset = Some(parse_preset(&v).ok_or(format!("unknown preset '{v}'"))?);
+            }
+            "--secs" => {
+                let secs: f64 = value(&mut i)?.parse().map_err(|e| format!("--secs: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("--secs must be a positive duration, got {secs}"));
+                }
+                args.secs = Some(secs);
+            }
+            "--warmup" => {
+                let warmup: f64 = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--warmup: {e}"))?;
+                if !warmup.is_finite() || warmup < 0.0 {
+                    return Err(format!("--warmup must be ≥ 0 seconds, got {warmup}"));
+                }
+                args.warmup = Some(warmup);
+            }
+            "--reps" => {
+                let n: u32 = value(&mut i)?.parse().map_err(|e| format!("--reps: {e}"))?;
+                if n == 0 {
+                    return Err("--reps must be ≥ 1".into());
+                }
+                args.reps = Some(n);
+            }
+            "--threads" => {
+                let list = value(&mut i)?
+                    .split(',')
+                    .map(|t| t.parse().map_err(|e| format!("--threads: {e}")))
+                    .collect::<Result<Vec<usize>, String>>()?;
+                if list.is_empty() || list.contains(&0) {
+                    return Err("--threads needs positive thread counts".into());
+                }
+                args.threads = Some(list);
+            }
+            "--seed" => {
+                args.seed = Some(value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?)
+            }
+            "--out" => args.out = Some(value(&mut i)?),
+            "--compare" => args.compare = Some(value(&mut i)?),
+            "--tolerance" => {
+                let v = value(&mut i)?;
+                args.tolerance =
+                    Tolerance::parse(&v).ok_or(format!("bad tolerance '{v}' (use NN% or NNx)"))?;
+            }
+            "-h" | "--help" => {
+                print!("{LAB_USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && args.spec.is_none() => {
+                args.spec = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn lab_main(argv: &[String]) -> ExitCode {
+    let args = match parse_lab_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{LAB_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list {
+        println!("built-in lab specs:");
+        for (name, description) in registry::catalog() {
+            println!("  {name:<14} {description}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let Some(name) = &args.spec else {
+        eprintln!("error: no spec named\n\n{LAB_USAGE}");
+        return ExitCode::from(2);
+    };
+    let Some(mut spec) = registry::build(name) else {
+        eprintln!("error: unknown spec '{name}'; available:");
+        for (name, _) in registry::catalog() {
+            eprintln!("  {name}");
+        }
+        return ExitCode::from(2);
+    };
+    if let Some(params) = args.preset {
+        spec.params = params;
+    }
+    if let Some(secs) = args.secs {
+        spec.secs_per_cell = secs;
+    }
+    if let Some(warmup) = args.warmup {
+        spec.warmup_secs = warmup;
+    }
+    if let Some(reps) = args.reps {
+        spec.repetitions = reps;
+    }
+    if let Some(seed) = args.seed {
+        spec.seed = seed;
+    }
+    if let Some(threads) = &args.threads {
+        spec = spec.with_threads(threads);
+    }
+
+    // Load the baseline before running anything: a mistyped path or a
+    // malformed document must not waste a multi-minute grid run.
+    let baseline = match &args.compare {
+        None => None,
+        Some(baseline_path) => {
+            let text = match std::fs::read_to_string(baseline_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read baseline {baseline_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match stmbench7::lab::json::parse(&text) {
+                Ok(doc) => {
+                    let format = doc.get("format").and_then(|f| f.as_str());
+                    if format != Some(stmbench7::lab::FORMAT) {
+                        eprintln!(
+                            "error: baseline {baseline_path} has format {format:?}, expected {:?}",
+                            stmbench7::lab::FORMAT
+                        );
+                        return ExitCode::FAILURE;
+                    }
+                    Some(doc)
+                }
+                Err(e) => {
+                    eprintln!("error: baseline {baseline_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    eprintln!(
+        "lab spec '{}': {} cells × {} reps × {:.2} s (+{:.2} s warmup each) — ~{:.0} s measured",
+        spec.name,
+        spec.cells.len(),
+        spec.repetitions,
+        spec.secs_per_cell,
+        spec.warmup_secs,
+        spec.measured_secs(),
+    );
+    let result = run_spec(&spec, |line| eprintln!("{line}"));
+
+    println!(
+        "{:<40} {:>12} {:>12} {:>12} {:>10}",
+        "cell", "median op/s", "p95 op/s", "completed", "aborts/c"
+    );
+    for cell in &result.cells {
+        println!(
+            "{:<40} {:>12.1} {:>12.1} {:>12} {:>10.3}",
+            cell.cell.key(),
+            cell.throughput.median,
+            cell.throughput.p95,
+            cell.completed,
+            cell.abort_ratio(),
+        );
+    }
+
+    let out_path = args
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("results/BENCH_{}.json", spec.name));
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let document = result.to_json();
+    if let Err(e) = std::fs::write(&out_path, document.render()) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {out_path}");
+
+    if let Some(baseline) = &baseline {
+        match compare_documents(baseline, &document, args.tolerance) {
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            Ok(comparison) => {
+                print!("{}", comparison.render());
+                if !comparison.ok() {
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("lab") {
+        return lab_main(&argv[1..]);
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {

@@ -2,9 +2,11 @@
 //! *"STMBench7: A Benchmark for Software Transactional Memory"*
 //! (EuroSys 2007).
 //!
-//! This facade crate re-exports the whole workspace and provides
-//! [`AnyBackend`], a single dispatchable type over every synchronization
-//! strategy, used by the CLI and the bench harness.
+//! This facade crate re-exports the whole workspace: the data structure,
+//! the STM runtimes, the synchronization backends (including
+//! [`AnyBackend`], the single dispatchable type over every strategy), the
+//! benchmark core, and the [`lab`] experiment harness used by the
+//! `stmbench7 lab` subcommand and the sweep binaries.
 //!
 //! # Quickstart
 //!
@@ -24,273 +26,20 @@
 pub use stmbench7_backend as backend;
 pub use stmbench7_core as core;
 pub use stmbench7_data as data;
+pub use stmbench7_lab as lab;
 pub use stmbench7_stm as stm;
 
-use stmbench7_backend::stm::Granularity;
-use stmbench7_backend::{
-    AstmBackend, Backend, CoarseBackend, FineBackend, MediumBackend, NorecBackend,
-    SequentialBackend, StmBackend, Tl2Backend, TxOperation,
-};
-use stmbench7_data::{AccessSpec, Workspace};
-use stmbench7_stm::astm::AstmConfig;
-use stmbench7_stm::tl2::Tl2Config;
-use stmbench7_stm::{ContentionManager, StatsSnapshot};
+pub use stmbench7_backend::{strategy_catalog, AnyBackend, BackendChoice};
 
-/// Which synchronization strategy to construct.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum BackendChoice {
-    Sequential,
-    Coarse,
-    Medium,
-    /// Per-object locking with the discover/sort/acquire cycle — the
-    /// "ultimate baseline" the paper names as future work.
-    Fine,
-    /// The paper's system under test.
-    Astm {
-        granularity: Granularity,
-        cm: ContentionManager,
-        /// DSTM-style visible reads (ablation of the invisible-read
-        /// pathology); the paper's configuration is `false`.
-        visible: bool,
-    },
-    /// The §5 remedy class (TL2/LSA-style).
-    Tl2 {
-        granularity: Granularity,
-    },
-    /// The metadata-free remedy class (NOrec-style: global sequence
-    /// lock, value-based validation).
-    Norec {
-        granularity: Granularity,
-    },
-}
-
-impl BackendChoice {
-    /// Parses a `-g` argument (`coarse`, `medium`, `sequential`, `astm`,
-    /// `tl2`, plus `-sharded` suffixes).
-    pub fn parse(s: &str) -> Option<BackendChoice> {
-        Some(match s {
-            "sequential" | "seq" => BackendChoice::Sequential,
-            "coarse" => BackendChoice::Coarse,
-            "medium" => BackendChoice::Medium,
-            "fine" => BackendChoice::Fine,
-            "astm" => BackendChoice::Astm {
-                granularity: Granularity::Monolithic,
-                cm: ContentionManager::Polka,
-                visible: false,
-            },
-            "astm-sharded" => BackendChoice::Astm {
-                granularity: Granularity::Sharded,
-                cm: ContentionManager::Polka,
-                visible: false,
-            },
-            "astm-visible" => BackendChoice::Astm {
-                granularity: Granularity::Monolithic,
-                cm: ContentionManager::Polka,
-                visible: true,
-            },
-            "tl2" => BackendChoice::Tl2 {
-                granularity: Granularity::Monolithic,
-            },
-            "tl2-sharded" => BackendChoice::Tl2 {
-                granularity: Granularity::Sharded,
-            },
-            "norec" => BackendChoice::Norec {
-                granularity: Granularity::Monolithic,
-            },
-            "norec-sharded" => BackendChoice::Norec {
-                granularity: Granularity::Sharded,
-            },
-            _ => return None,
-        })
-    }
-}
-
-/// A backend chosen at runtime (the CLI's `-g` flag).
-pub enum AnyBackend {
-    Sequential(SequentialBackend),
-    Coarse(CoarseBackend),
-    Medium(MediumBackend),
-    Fine(FineBackend),
-    Astm(AstmBackend),
-    Tl2(Tl2Backend),
-    Norec(NorecBackend),
-}
-
-impl AnyBackend {
-    /// Builds the chosen strategy around a freshly built workspace.
-    pub fn build(choice: BackendChoice, ws: Workspace) -> AnyBackend {
-        match choice {
-            BackendChoice::Sequential => AnyBackend::Sequential(SequentialBackend::new(ws)),
-            BackendChoice::Coarse => AnyBackend::Coarse(CoarseBackend::new(ws)),
-            BackendChoice::Medium => AnyBackend::Medium(MediumBackend::new(ws)),
-            BackendChoice::Fine => AnyBackend::Fine(FineBackend::new(ws)),
-            BackendChoice::Astm {
-                granularity,
-                cm,
-                visible,
-            } => AnyBackend::Astm(StmBackend::from_workspace(
-                &ws,
-                stmbench7_stm::AstmRuntime::new(AstmConfig {
-                    cm,
-                    incremental_validation: true,
-                    visible_reads: visible,
-                }),
-                granularity,
-            )),
-            BackendChoice::Tl2 { granularity } => AnyBackend::Tl2(StmBackend::from_workspace(
-                &ws,
-                stmbench7_stm::Tl2Runtime::new(Tl2Config::default()),
-                granularity,
-            )),
-            BackendChoice::Norec { granularity } => AnyBackend::Norec(StmBackend::from_workspace(
-                &ws,
-                stmbench7_stm::NorecRuntime::new(),
-                granularity,
-            )),
-        }
-    }
-
-    /// Fine-grained strategy counters, when this is the fine backend.
-    pub fn fine_stats(&self) -> Option<stmbench7_backend::FineStats> {
-        match self {
-            AnyBackend::Fine(b) => Some(b.fine_stats()),
-            _ => None,
-        }
-    }
-}
-
-impl Backend for AnyBackend {
-    fn execute<R, O: TxOperation<R>>(&self, spec: &AccessSpec, op: &mut O) -> R {
-        match self {
-            AnyBackend::Sequential(b) => b.execute(spec, op),
-            AnyBackend::Coarse(b) => b.execute(spec, op),
-            AnyBackend::Medium(b) => b.execute(spec, op),
-            AnyBackend::Fine(b) => b.execute(spec, op),
-            AnyBackend::Astm(b) => b.execute(spec, op),
-            AnyBackend::Tl2(b) => b.execute(spec, op),
-            AnyBackend::Norec(b) => b.execute(spec, op),
-        }
-    }
-
-    fn name(&self) -> &'static str {
-        match self {
-            AnyBackend::Sequential(b) => b.name(),
-            AnyBackend::Coarse(b) => b.name(),
-            AnyBackend::Medium(b) => b.name(),
-            AnyBackend::Fine(b) => b.name(),
-            AnyBackend::Astm(b) => b.name(),
-            AnyBackend::Tl2(b) => b.name(),
-            AnyBackend::Norec(b) => b.name(),
-        }
-    }
-
-    fn export(&self) -> Workspace {
-        match self {
-            AnyBackend::Sequential(b) => b.export(),
-            AnyBackend::Coarse(b) => b.export(),
-            AnyBackend::Medium(b) => b.export(),
-            AnyBackend::Fine(b) => b.export(),
-            AnyBackend::Astm(b) => b.export(),
-            AnyBackend::Tl2(b) => b.export(),
-            AnyBackend::Norec(b) => b.export(),
-        }
-    }
-
-    fn stm_stats(&self) -> Option<StatsSnapshot> {
-        match self {
-            AnyBackend::Sequential(b) => b.stm_stats(),
-            AnyBackend::Coarse(b) => b.stm_stats(),
-            AnyBackend::Medium(b) => b.stm_stats(),
-            AnyBackend::Fine(b) => b.stm_stats(),
-            AnyBackend::Astm(b) => b.stm_stats(),
-            AnyBackend::Tl2(b) => b.stm_stats(),
-            AnyBackend::Norec(b) => b.stm_stats(),
-        }
-    }
-}
-
-/// Every `-g` strategy name the CLI accepts, paired with its parsed
-/// [`BackendChoice`] — the single source the cross-backend test suites
-/// draw from, so a newly added strategy cannot silently miss coverage.
-pub fn strategy_catalog() -> Vec<(&'static str, BackendChoice)> {
-    [
-        "sequential",
-        "coarse",
-        "medium",
-        "fine",
-        "astm",
-        "astm-sharded",
-        "astm-visible",
-        "tl2",
-        "tl2-sharded",
-        "norec",
-        "norec-sharded",
-    ]
-    .into_iter()
-    .map(|name| {
-        let choice = BackendChoice::parse(name)
-            .unwrap_or_else(|| panic!("catalog entry '{name}' must parse"));
-        (name, choice)
-    })
-    .collect()
-}
-
-/// Parses a structure-size preset name.
+/// Parses a structure-size preset name (`tiny`, `small`, `standard`,
+/// `paper-full`).
 pub fn parse_preset(s: &str) -> Option<stmbench7_data::StructureParams> {
-    use stmbench7_data::StructureParams;
-    Some(match s {
-        "tiny" => StructureParams::tiny(),
-        "small" => StructureParams::small(),
-        "standard" | "medium-oo7" => StructureParams::standard(),
-        "paper-full" => StructureParams::paper_full(),
-        _ => return None,
-    })
+    stmbench7_data::StructureParams::parse(s)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stmbench7_data::StructureParams;
-
-    #[test]
-    fn backend_choice_parsing() {
-        assert_eq!(BackendChoice::parse("coarse"), Some(BackendChoice::Coarse));
-        assert_eq!(BackendChoice::parse("medium"), Some(BackendChoice::Medium));
-        assert_eq!(BackendChoice::parse("fine"), Some(BackendChoice::Fine));
-        assert!(matches!(
-            BackendChoice::parse("astm"),
-            Some(BackendChoice::Astm { .. })
-        ));
-        assert!(matches!(
-            BackendChoice::parse("tl2-sharded"),
-            Some(BackendChoice::Tl2 {
-                granularity: Granularity::Sharded
-            })
-        ));
-        assert_eq!(BackendChoice::parse("nope"), None);
-    }
-
-    #[test]
-    fn any_backend_names() {
-        let ws = Workspace::build(StructureParams::tiny(), 1);
-        for (choice, name) in [
-            (BackendChoice::Coarse, "coarse"),
-            (BackendChoice::Medium, "medium"),
-            (BackendChoice::Fine, "fine"),
-        ] {
-            let b = AnyBackend::build(choice, ws.clone());
-            assert_eq!(b.name(), name);
-        }
-    }
-
-    #[test]
-    fn strategy_catalog_is_complete_and_distinct() {
-        let catalog = strategy_catalog();
-        assert_eq!(catalog.len(), 11);
-        for window in catalog.windows(2) {
-            assert_ne!(window[0].1, window[1].1, "duplicate catalog entries");
-        }
-    }
 
     #[test]
     fn presets_parse() {
@@ -298,5 +47,19 @@ mod tests {
         assert!(parse_preset("small").is_some());
         assert!(parse_preset("standard").is_some());
         assert!(parse_preset("bogus").is_none());
+    }
+
+    #[test]
+    fn preset_names_round_trip() {
+        for name in ["tiny", "small", "standard", "paper-full"] {
+            let params = parse_preset(name).unwrap();
+            assert_eq!(params.preset_name(), Some(name));
+        }
+    }
+
+    #[test]
+    fn facade_reexports_choice_types() {
+        assert_eq!(BackendChoice::parse("coarse"), Some(BackendChoice::Coarse));
+        assert_eq!(strategy_catalog().len(), 11);
     }
 }

@@ -140,6 +140,181 @@ fn unknown_strategy_fails_cleanly() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown strategy"));
 }
 
+mod lab {
+    use super::*;
+    use stmbench7::core::JsonValue;
+    use stmbench7::lab::json::parse;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sb7-lab-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn run_smoke(out: &std::path::Path, extra: &[&str]) -> std::process::Output {
+        stmbench7()
+            .args([
+                "lab", "smoke", "--secs", "0.03", "--warmup", "0", "--reps", "2", "--out",
+            ])
+            .arg(out)
+            .args(extra)
+            .output()
+            .expect("binary must launch")
+    }
+
+    #[test]
+    fn list_names_every_builtin_spec() {
+        let (stdout, _) = run_ok(&["lab", "--list"]);
+        for name in [
+            "smoke",
+            "paper_fig3",
+            "paper_fig6",
+            "scaling",
+            "write_storm",
+            "mixed_custom",
+        ] {
+            assert!(stdout.contains(name), "missing spec {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_spec_fails_cleanly() {
+        let out = stmbench7()
+            .args(["lab", "nonsense"])
+            .output()
+            .expect("binary must launch");
+        assert!(!out.status.success());
+        assert!(String::from_utf8_lossy(&out.stderr).contains("unknown spec"));
+    }
+
+    #[test]
+    fn smoke_writes_a_versioned_parseable_document() {
+        let dir = tmp_dir("write");
+        let out_path = dir.join("BENCH_smoke.json");
+        let out = run_smoke(&out_path, &[]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = std::fs::read_to_string(&out_path).expect("results written");
+        let doc = parse(&text).expect("results must be valid JSON");
+        assert_eq!(
+            doc.get("format").and_then(JsonValue::as_str),
+            Some("stmbench7-lab/1")
+        );
+        assert_eq!(doc.get("spec").and_then(JsonValue::as_str), Some("smoke"));
+        let cells = doc.get("cells").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(cells.len(), 6, "smoke grid is 3 backends × 2 thread counts");
+        for cell in cells {
+            assert!(cell.get("key").and_then(JsonValue::as_str).is_some());
+            let median = cell
+                .get("throughput")
+                .and_then(|t| t.get("median"))
+                .and_then(JsonValue::as_f64)
+                .unwrap();
+            assert!(median > 0.0);
+            assert_eq!(
+                cell.get("reps")
+                    .and_then(JsonValue::as_array)
+                    .map(<[_]>::len),
+                Some(2)
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Scales every cell's median throughput in a results document —
+    /// fabricating a baseline from better (or worse) hardware.
+    fn doctor_medians(doc: &JsonValue, factor: f64) -> JsonValue {
+        match doc {
+            JsonValue::Obj(pairs) => JsonValue::Obj(
+                pairs
+                    .iter()
+                    .map(|(k, v)| {
+                        let v = if k == "throughput" {
+                            match v {
+                                JsonValue::Obj(stats) => JsonValue::Obj(
+                                    stats
+                                        .iter()
+                                        .map(|(sk, sv)| {
+                                            let sv = match (sk.as_str(), sv) {
+                                                ("median", JsonValue::Num(x)) => {
+                                                    JsonValue::Num(x * factor)
+                                                }
+                                                _ => sv.clone(),
+                                            };
+                                            (sk.clone(), sv)
+                                        })
+                                        .collect(),
+                                ),
+                                other => other.clone(),
+                            }
+                        } else {
+                            doctor_medians(v, factor)
+                        };
+                        (k.clone(), v)
+                    })
+                    .collect(),
+            ),
+            JsonValue::Arr(items) => {
+                JsonValue::Arr(items.iter().map(|v| doctor_medians(v, factor)).collect())
+            }
+            other => other.clone(),
+        }
+    }
+
+    #[test]
+    fn compare_gates_against_a_doctored_worse_baseline() {
+        let dir = tmp_dir("compare");
+        let honest = dir.join("honest.json");
+        let out = run_smoke(&honest, &[]);
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let doc = parse(&std::fs::read_to_string(&honest).unwrap()).unwrap();
+
+        // A baseline 1000x faster than this machine: the fresh run must
+        // regress and the gate must fail with a readable report.
+        let fast_baseline = dir.join("fast.json");
+        std::fs::write(&fast_baseline, doctor_medians(&doc, 1000.0).render()).unwrap();
+        let out = run_smoke(
+            &dir.join("second.json"),
+            &[
+                "--compare",
+                fast_baseline.to_str().unwrap(),
+                "--tolerance",
+                "10x",
+            ],
+        );
+        assert!(!out.status.success(), "regression must exit nonzero");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("REGRESSED"),
+            "report names the cells:\n{stdout}"
+        );
+        assert!(
+            stdout.contains("REGRESSION"),
+            "report has a verdict:\n{stdout}"
+        );
+
+        // Against its own numbers with a loose tolerance, the gate holds.
+        let out = run_smoke(
+            &dir.join("third.json"),
+            &["--compare", honest.to_str().unwrap(), "--tolerance", "10x"],
+        );
+        assert!(
+            out.status.success(),
+            "self-comparison within 10x must pass:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        assert!(String::from_utf8_lossy(&out.stdout).contains("verdict: OK"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 #[test]
 fn csv_flag_appends_rows() {
     let dir = std::env::temp_dir().join(format!("sb7-cli-test-{}", std::process::id()));

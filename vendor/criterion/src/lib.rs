@@ -3,10 +3,13 @@
 //! Implements the API surface `benches/paper.rs` uses — groups,
 //! `bench_function`, `iter`, `iter_batched`, the `criterion_group!` /
 //! `criterion_main!` macros — over a deliberately simple harness: warm
-//! up briefly, then time batches until the measurement budget is spent,
-//! and print mean ns/iteration. No statistics, plots, or baselines;
-//! those arrive when the real crate can be fetched. Honors a
-//! substring filter argument like the real CLI (`cargo bench -- tl2`).
+//! up briefly, then split the measurement budget into `sample_size`
+//! timed samples and print mean, median and standard deviation of
+//! ns/iteration across them. No outlier rejection, plots, or saved
+//! baselines; those arrive when the real crate can be fetched (the
+//! lab harness's `--compare` covers regression gating meanwhile).
+//! Honors a substring filter argument like the real CLI
+//! (`cargo bench -- tl2`).
 
 use std::time::{Duration, Instant};
 
@@ -156,24 +159,61 @@ fn run_one<F: FnMut(&mut Bencher)>(settings: &Settings, id: &str, mut f: F) {
     let mut bencher = Bencher {
         budget: settings.measurement_time,
         warm_up: settings.warm_up_time,
+        sample_size: settings.sample_size,
         iters: 0,
-        elapsed: Duration::ZERO,
+        samples: Vec::new(),
     };
     f(&mut bencher);
-    if bencher.iters == 0 {
+    if bencher.iters == 0 || bencher.samples.is_empty() {
         println!("{id:<60} (no iterations recorded)");
         return;
     }
-    let ns = bencher.elapsed.as_nanos() as f64 / bencher.iters as f64;
-    println!("{id:<60} {ns:>14.1} ns/iter ({} iters)", bencher.iters);
+    let stats = SampleStats::from(&mut bencher.samples);
+    println!(
+        "{id:<60} {:>12.1} ns/iter   median {:>12.1}   σ {:>10.1}   ({} samples, {} iters)",
+        stats.mean,
+        stats.median,
+        stats.stddev,
+        bencher.samples.len(),
+        bencher.iters,
+    );
+}
+
+/// Mean, median and population standard deviation of per-iteration
+/// nanosecond samples.
+struct SampleStats {
+    mean: f64,
+    median: f64,
+    stddev: f64,
+}
+
+impl SampleStats {
+    fn from(samples: &mut [f64]) -> SampleStats {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            samples[n / 2]
+        } else {
+            (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+        };
+        let variance = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        SampleStats {
+            mean,
+            median,
+            stddev: variance.sqrt(),
+        }
+    }
 }
 
 /// Passed to the closure given to `bench_function`.
 pub struct Bencher {
     budget: Duration,
     warm_up: Duration,
+    sample_size: usize,
     iters: u64,
-    elapsed: Duration,
+    /// Mean ns/iteration of each timed sample.
+    samples: Vec<f64>,
 }
 
 impl Bencher {
@@ -182,14 +222,30 @@ impl Bencher {
         while warm_start.elapsed() < self.warm_up {
             black_box(routine());
         }
-        let start = Instant::now();
-        let mut iters = 0u64;
-        while start.elapsed() < self.budget {
-            black_box(routine());
-            iters += 1;
+        // Split the measurement budget into `sample_size` slices, each
+        // timing a batch of iterations, so the printed statistics are
+        // over per-slice means rather than one long aggregate. The
+        // deadline, not the sample count, bounds the run: a routine
+        // slower than one slice yields fewer samples, never a budget
+        // overrun.
+        let slice = self.budget / self.sample_size.max(1) as u32;
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline || self.samples.is_empty() {
+            let start = Instant::now();
+            let mut iters = 0u64;
+            // At least one iteration per sample, so a slice that
+            // rounds to zero still produces a finite timing.
+            loop {
+                black_box(routine());
+                iters += 1;
+                if start.elapsed() >= slice {
+                    break;
+                }
+            }
+            let elapsed = start.elapsed();
+            self.iters += iters;
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
         }
-        self.elapsed += start.elapsed();
-        self.iters += iters;
     }
 
     pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
@@ -202,13 +258,31 @@ impl Bencher {
             let input = setup();
             black_box(routine(input));
         }
+        // Each sample times a batch of routine calls (setup excluded).
+        // The batch starts at one call; whenever the sample vector hits
+        // its cap it is compacted by pairwise averaging and the batch
+        // doubles, so memory stays bounded however fast the routine is.
+        const SAMPLE_CAP: usize = 1024;
         let deadline = Instant::now() + self.budget;
-        while Instant::now() < deadline {
-            let input = setup();
-            let start = Instant::now();
-            black_box(routine(input));
-            self.elapsed += start.elapsed();
-            self.iters += 1;
+        let mut batch = 1u64;
+        while Instant::now() < deadline || self.samples.is_empty() {
+            let mut elapsed = Duration::ZERO;
+            for _ in 0..batch {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                elapsed += start.elapsed();
+            }
+            self.iters += batch;
+            self.samples.push(elapsed.as_nanos() as f64 / batch as f64);
+            if self.samples.len() >= SAMPLE_CAP {
+                self.samples = self
+                    .samples
+                    .chunks(2)
+                    .map(|pair| pair.iter().sum::<f64>() / pair.len() as f64)
+                    .collect();
+                batch = batch.saturating_mul(2);
+            }
         }
     }
 }
@@ -239,4 +313,90 @@ macro_rules! criterion_main {
             $($group();)+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_stats_median_and_stddev() {
+        let mut odd = vec![3.0, 1.0, 2.0];
+        let s = SampleStats::from(&mut odd);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.mean, 2.0);
+        assert!((s.stddev - (2.0f64 / 3.0).sqrt()).abs() < 1e-9);
+
+        let mut even = vec![1.0, 2.0, 3.0, 4.0];
+        let s = SampleStats::from(&mut even);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.mean, 2.5);
+
+        let mut constant = vec![5.0; 8];
+        let s = SampleStats::from(&mut constant);
+        assert_eq!((s.mean, s.median, s.stddev), (5.0, 5.0, 0.0));
+    }
+
+    #[test]
+    fn bencher_iter_collects_samples_within_budget() {
+        let budget = Duration::from_millis(20);
+        let mut b = Bencher {
+            budget,
+            warm_up: Duration::from_millis(1),
+            sample_size: 5,
+            iters: 0,
+            samples: Vec::new(),
+        };
+        let start = Instant::now();
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.iters > 0);
+        assert!(b.samples.len() >= 2, "fast routine fills several slices");
+        assert!(
+            start.elapsed() < budget * 4,
+            "measurement must stay near its budget"
+        );
+        assert!(b.samples.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn bencher_iter_batched_bounds_sample_memory() {
+        let mut b = Bencher {
+            budget: Duration::from_millis(60),
+            warm_up: Duration::ZERO,
+            sample_size: 20,
+            iters: 0,
+            samples: Vec::new(),
+        };
+        // A ~free routine would previously record one sample per call
+        // (millions); the adaptive batch must keep the vector capped.
+        b.iter_batched(
+            || 1u64,
+            |x| std::hint::black_box(x + 1),
+            BatchSize::SmallInput,
+        );
+        assert!(b.iters > 0);
+        assert!(!b.samples.is_empty());
+        assert!(
+            b.samples.len() < 2048,
+            "sample memory must stay bounded, got {}",
+            b.samples.len()
+        );
+        assert!(b.samples.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn bencher_iter_survives_a_degenerate_budget() {
+        // Budget below one routine call: one sample, one iteration, no
+        // NaN from a zero-length slice.
+        let mut b = Bencher {
+            budget: Duration::from_nanos(1),
+            warm_up: Duration::ZERO,
+            sample_size: 20,
+            iters: 0,
+            samples: Vec::new(),
+        };
+        b.iter(|| std::thread::sleep(Duration::from_micros(50)));
+        assert_eq!(b.samples.len(), 1);
+        assert!(b.samples[0].is_finite() && b.samples[0] > 0.0);
+    }
 }
