@@ -38,6 +38,7 @@ fn main() {
                         long_traversals: true,
                         structure_mods: true,
                         astm_friendly: false,
+                        service: None,
                     },
                 );
                 let lat = report.max_latency_ms(op);

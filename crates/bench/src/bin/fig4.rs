@@ -32,6 +32,7 @@ fn main() {
                         long_traversals: false,
                         structure_mods: true,
                         astm_friendly: false,
+                        service: None,
                     },
                 );
                 print_row(&[

@@ -41,6 +41,7 @@ fn main() {
                         long_traversals: false,
                         structure_mods: true,
                         astm_friendly: true,
+                        service: None,
                     },
                 );
                 let abort_ratio = report.stm.map(|s| s.abort_ratio()).unwrap_or(0.0);

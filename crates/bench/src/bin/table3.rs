@@ -33,6 +33,7 @@ fn main() {
                 long_traversals: false,
                 structure_mods: true,
                 astm_friendly: false,
+                service: None,
             };
             let lock = run_cell(&opts, &cell).throughput();
             cell.backend = astm_backend();

@@ -89,6 +89,7 @@ mod tests {
             long_traversals: false,
             structure_mods: true,
             astm_friendly: false,
+            service: None,
         };
         let report = run_cell(&opts, &cell);
         assert!(report.total_started() > 0);

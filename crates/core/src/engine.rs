@@ -210,6 +210,7 @@ pub fn run_benchmark<B: Backend>(
         elapsed,
         per_op,
         stm,
+        service: None,
     }
 }
 

@@ -1,33 +1,99 @@
 //! TTC (time-to-completion) histograms, as printed by the paper's
-//! `--ttc-histograms` option: one count per whole millisecond.
+//! `--ttc-histograms` option: one count per whole millisecond — plus a
+//! log2-scaled microsecond resolution for the service layer, whose
+//! queue-wait distributions live far below one millisecond.
 
-/// A latency histogram with 1 ms buckets and an overflow bucket.
+/// Bucket scale of a [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Resolution {
+    /// One linear bucket per whole millisecond (the paper's TTC format).
+    #[default]
+    Millis,
+    /// One bucket per power of two of microseconds: bucket `k` covers
+    /// `[2^(k-1), 2^k)` µs (bucket 0 is `< 1` µs). Sub-millisecond
+    /// latencies keep ~2x relative resolution instead of flattening to
+    /// zero.
+    LogMicros,
+}
+
+/// A latency histogram with an overflow bucket, in one of two scales
+/// ([`Resolution`]).
 #[derive(Clone, Debug, Default)]
 pub struct Histogram {
     buckets: Vec<u32>,
     overflow: u32,
     samples: u64,
+    resolution: Resolution,
 }
 
 /// Largest tracked latency, in milliseconds; beyond this, samples land in
 /// the overflow bucket.
 pub const MAX_TRACKED_MS: u64 = 60_000;
 
+/// Number of log2 microsecond buckets; bucket 32 covers up to 2^32 µs
+/// (~71 min), beyond which samples land in the overflow bucket.
+const MICRO_BUCKETS: usize = 33;
+
+/// The saturated value reported for microsecond overflow samples.
+pub const MAX_TRACKED_US: u64 = (1 << 32) - 1;
+
+fn micro_bucket(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        64 - us.leading_zeros() as usize
+    }
+}
+
+/// The upper bound (inclusive) of a log2 microsecond bucket.
+fn micro_bucket_upper(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else {
+        (1u64 << idx) - 1
+    }
+}
+
 impl Histogram {
-    /// An empty histogram.
+    /// An empty millisecond-resolution histogram.
     pub fn new() -> Self {
         Histogram::default()
     }
 
+    /// An empty log2-microsecond-resolution histogram.
+    pub fn micros() -> Self {
+        Histogram {
+            resolution: Resolution::LogMicros,
+            ..Histogram::default()
+        }
+    }
+
+    /// This histogram's bucket scale.
+    pub fn resolution(&self) -> Resolution {
+        self.resolution
+    }
+
     /// Records one sample.
     pub fn record(&mut self, nanos: u64) {
-        let ms = nanos / 1_000_000;
         self.samples += 1;
-        if ms >= MAX_TRACKED_MS {
-            self.overflow += 1;
-            return;
-        }
-        let idx = ms as usize;
+        let idx = match self.resolution {
+            Resolution::Millis => {
+                let ms = nanos / 1_000_000;
+                if ms >= MAX_TRACKED_MS {
+                    self.overflow += 1;
+                    return;
+                }
+                ms as usize
+            }
+            Resolution::LogMicros => {
+                let idx = micro_bucket(nanos / 1_000);
+                if idx >= MICRO_BUCKETS {
+                    self.overflow += 1;
+                    return;
+                }
+                idx
+            }
+        };
         if self.buckets.len() <= idx {
             self.buckets.resize(idx + 1, 0);
         }
@@ -44,8 +110,24 @@ impl Histogram {
         self.overflow
     }
 
-    /// Folds another histogram in (thread merge).
+    /// Folds another histogram in (thread merge). An empty histogram
+    /// adopts the other's resolution; merging two non-empty histograms of
+    /// different resolutions is a bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics when both histograms hold samples at different resolutions.
     pub fn merge(&mut self, other: &Histogram) {
+        if self.resolution != other.resolution {
+            if other.samples == 0 {
+                return;
+            }
+            assert!(
+                self.samples == 0,
+                "cannot merge histograms of different resolutions"
+            );
+            self.resolution = other.resolution;
+        }
         if self.buckets.len() < other.buckets.len() {
             self.buckets.resize(other.buckets.len(), 0);
         }
@@ -56,32 +138,63 @@ impl Histogram {
         self.samples += other.samples;
     }
 
-    /// Non-empty `(ms, count)` pairs, the format of the paper's output
-    /// ("a space-delimited list of pairs ttc, count").
+    /// Non-empty `(value, count)` pairs in the histogram's native unit:
+    /// `(ms, count)` at millisecond resolution (the format of the paper's
+    /// output, "a space-delimited list of pairs ttc, count"),
+    /// `(bucket upper bound in µs, count)` at microsecond resolution.
     pub fn pairs(&self) -> Vec<(u64, u32)> {
         self.buckets
             .iter()
             .enumerate()
             .filter(|(_, c)| **c > 0)
-            .map(|(ms, c)| (ms as u64, *c))
+            .map(|(idx, c)| {
+                let value = match self.resolution {
+                    Resolution::Millis => idx as u64,
+                    Resolution::LogMicros => micro_bucket_upper(idx),
+                };
+                (value, *c)
+            })
             .collect()
     }
 
-    /// The p-th percentile (0..=100) in milliseconds, if any samples
-    /// were tracked.
-    pub fn percentile(&self, p: f64) -> Option<u64> {
+    /// The bucket index holding the p-th percentile, if any samples were
+    /// tracked; `None` in the bucket slot means overflow.
+    fn percentile_bucket(&self, p: f64) -> Option<Option<usize>> {
         if self.samples == 0 {
             return None;
         }
         let target = ((self.samples as f64) * (p / 100.0)).ceil().max(1.0) as u64;
         let mut acc = 0u64;
-        for (ms, c) in self.buckets.iter().enumerate() {
+        for (idx, c) in self.buckets.iter().enumerate() {
             acc += u64::from(*c);
             if acc >= target {
-                return Some(ms as u64);
+                return Some(Some(idx));
             }
         }
-        Some(MAX_TRACKED_MS)
+        Some(None)
+    }
+
+    /// The p-th percentile (0..=100) in milliseconds, if any samples
+    /// were tracked. At microsecond resolution the bucket's upper bound
+    /// is converted (rounded down) to milliseconds.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let bucket = self.percentile_bucket(p)?;
+        Some(match self.resolution {
+            Resolution::Millis => bucket.map_or(MAX_TRACKED_MS, |idx| idx as u64),
+            Resolution::LogMicros => bucket.map_or(MAX_TRACKED_US, micro_bucket_upper) / 1_000,
+        })
+    }
+
+    /// The p-th percentile (0..=100) in microseconds, if any samples were
+    /// tracked. At microsecond resolution this is the bucket's upper
+    /// bound (≤ 2x the true value); at millisecond resolution it is the
+    /// millisecond percentile scaled up.
+    pub fn percentile_us(&self, p: f64) -> Option<u64> {
+        let bucket = self.percentile_bucket(p)?;
+        Some(match self.resolution {
+            Resolution::Millis => bucket.map_or(MAX_TRACKED_MS, |idx| idx as u64) * 1_000,
+            Resolution::LogMicros => bucket.map_or(MAX_TRACKED_US, micro_bucket_upper),
+        })
     }
 }
 
@@ -231,6 +344,90 @@ mod tests {
             "p91 falls into overflow"
         );
         assert_eq!(h.percentile(100.0), Some(MAX_TRACKED_MS));
+    }
+
+    #[test]
+    fn micros_resolution_distinguishes_sub_millisecond_samples() {
+        // These three samples all flatten to the 0 ms bucket at
+        // millisecond resolution — the motivating case.
+        let mut flat = Histogram::new();
+        let mut h = Histogram::micros();
+        for us in [5u64, 80, 900] {
+            flat.record(us * 1_000);
+            h.record(us * 1_000);
+        }
+        assert_eq!(flat.percentile(100.0), Some(0), "ms buckets flatten");
+        // 5 µs → bucket (4,8], 80 µs → (64,128], 900 µs → (512,1024].
+        assert_eq!(h.pairs(), vec![(7, 1), (127, 1), (1023, 1)]);
+        assert_eq!(h.percentile_us(1.0), Some(7));
+        assert_eq!(h.percentile_us(50.0), Some(127));
+        assert_eq!(h.percentile_us(100.0), Some(1023));
+        // The millisecond view of a microsecond histogram rounds down.
+        assert_eq!(h.percentile(100.0), Some(1));
+        assert_eq!(h.resolution(), Resolution::LogMicros);
+    }
+
+    #[test]
+    fn micros_edge_cases() {
+        let mut h = Histogram::micros();
+        h.record(0); // 0 ns → bucket 0
+        h.record(999); // sub-µs → bucket 0
+        h.record(1_000); // exactly 1 µs → bucket 1
+        h.record(1_024 * 1_000); // exactly 2^10 µs → bucket 11
+        assert_eq!(h.pairs(), vec![(0, 2), (1, 1), (2047, 1)]);
+        assert_eq!(h.samples(), 4);
+        assert_eq!(h.overflow(), 0);
+        // Saturation: beyond 2^32 µs lands in overflow.
+        h.record(u64::MAX);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.percentile_us(100.0), Some(MAX_TRACKED_US));
+    }
+
+    #[test]
+    fn micros_percentiles_are_monotone_and_bounded() {
+        let mut h = Histogram::micros();
+        for us in [3u64, 12, 12, 200, 4_000, 65_000] {
+            h.record(us * 1_000);
+        }
+        let mut last = 0;
+        for p in [1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0] {
+            let v = h.percentile_us(p).unwrap();
+            assert!(v >= last, "p{p} went backwards");
+            // Upper bucket bound is within 2x of the largest sample.
+            assert!(v <= 2 * 65_000);
+            last = v;
+        }
+        assert_eq!(Histogram::micros().percentile_us(50.0), None);
+    }
+
+    #[test]
+    fn millis_percentile_us_scales_up() {
+        let mut h = Histogram::new();
+        h.record(7 * MS);
+        assert_eq!(h.percentile_us(50.0), Some(7_000));
+    }
+
+    #[test]
+    fn empty_histogram_adopts_resolution_on_merge() {
+        let mut h = Histogram::new(); // default Millis, empty
+        let mut m = Histogram::micros();
+        m.record(5_000);
+        h.merge(&m);
+        assert_eq!(h.resolution(), Resolution::LogMicros);
+        assert_eq!(h.samples(), 1);
+        // Merging an empty histogram of the other resolution is a no-op.
+        h.merge(&Histogram::new());
+        assert_eq!(h.samples(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different resolutions")]
+    fn merging_mixed_resolutions_panics() {
+        let mut a = Histogram::new();
+        a.record(MS);
+        let mut b = Histogram::micros();
+        b.record(MS);
+        a.merge(&b);
     }
 
     #[test]

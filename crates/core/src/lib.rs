@@ -21,8 +21,8 @@ pub mod report;
 pub mod workload;
 
 pub use engine::{run_benchmark, BenchConfig, RunMode};
-pub use histogram::Histogram;
+pub use histogram::{Histogram, Resolution};
 pub use json::JsonValue;
 pub use ops::{access_spec, run_op, Category, OpCtx, OpKind};
-pub use report::{OpReport, Report, SampleError};
+pub use report::{OpReport, Report, SampleError, ServiceStats};
 pub use workload::{OpFilter, WorkloadMix, WorkloadType};

@@ -27,7 +27,9 @@ pub struct OpReport {
 }
 
 impl OpReport {
-    pub(crate) fn empty(op: OpKind, expected_ratio: f64) -> Self {
+    /// A zeroed row for one operation; harnesses (the engine, the service
+    /// layer) fill it by merging per-thread measurements.
+    pub fn empty(op: OpKind, expected_ratio: f64) -> Self {
         OpReport {
             op,
             expected_ratio,
@@ -81,6 +83,76 @@ pub struct SampleError {
     pub f: f64,
 }
 
+/// Measurements specific to a service-layer run (`stmbench7 serve`):
+/// the offered-load accounting and the per-request latency decomposition
+/// the closed-loop engine cannot express.
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// The arrival schedule's stable key (e.g. `open2000`).
+    pub schedule: String,
+    /// Worker threads draining the request queue.
+    pub workers: usize,
+    /// Bound of the request queue.
+    pub queue_cap: usize,
+    /// Maximum read-only batch size (1 = batching off).
+    pub batch_max: usize,
+    /// Requests offered by the arrival schedule.
+    pub offered: u64,
+    /// Requests dropped by reject-on-full admission control.
+    pub rejected: u64,
+    /// Backend executions (batching folds several requests into one).
+    pub batches: u64,
+    /// Scheduled arrival → execution start, per admitted request
+    /// (microsecond resolution).
+    pub queue_wait: Histogram,
+    /// Execution start → completion, per admitted request (microsecond
+    /// resolution; batched requests share their batch's service time).
+    pub service_time: Histogram,
+    /// Scheduled arrival → completion, per admitted request (microsecond
+    /// resolution).
+    pub e2e: Histogram,
+}
+
+impl ServiceStats {
+    /// `(p50, p95, p99)` of a latency histogram, in microseconds.
+    pub fn percentiles_us(hist: &Histogram) -> (u64, u64, u64) {
+        (
+            hist.percentile_us(50.0).unwrap_or(0),
+            hist.percentile_us(95.0).unwrap_or(0),
+            hist.percentile_us(99.0).unwrap_or(0),
+        )
+    }
+
+    /// The `{p50, p95, p99, samples}` JSON object every latency
+    /// histogram serializes to — shared by report-level and lab
+    /// cell-level service objects so the schema cannot diverge.
+    pub fn latency_json(hist: &Histogram) -> JsonValue {
+        let (p50, p95, p99) = Self::percentiles_us(hist);
+        JsonValue::obj(vec![
+            ("p50", JsonValue::num(p50 as f64)),
+            ("p95", JsonValue::num(p95 as f64)),
+            ("p99", JsonValue::num(p99 as f64)),
+            ("samples", JsonValue::num(hist.samples() as f64)),
+        ])
+    }
+
+    /// The `service` object embedded in the report's JSON form.
+    pub fn to_json_value(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("schedule", JsonValue::str(&self.schedule)),
+            ("workers", JsonValue::num(self.workers as f64)),
+            ("queue_cap", JsonValue::num(self.queue_cap as f64)),
+            ("batch_max", JsonValue::num(self.batch_max as f64)),
+            ("offered", JsonValue::num(self.offered as f64)),
+            ("rejected", JsonValue::num(self.rejected as f64)),
+            ("batches", JsonValue::num(self.batches as f64)),
+            ("queue_wait_us", Self::latency_json(&self.queue_wait)),
+            ("service_time_us", Self::latency_json(&self.service_time)),
+            ("e2e_us", Self::latency_json(&self.e2e)),
+        ])
+    }
+}
+
 /// A complete benchmark result.
 #[derive(Clone, Debug)]
 pub struct Report {
@@ -93,6 +165,8 @@ pub struct Report {
     pub elapsed: Duration,
     pub per_op: Vec<OpReport>,
     pub stm: Option<StatsSnapshot>,
+    /// Present when the run went through the service layer.
+    pub service: Option<ServiceStats>,
 }
 
 impl Report {
@@ -274,6 +348,31 @@ impl Report {
             self.elapsed.as_secs_f64()
         );
 
+        if let Some(svc) = &self.service {
+            let _ = writeln!(out, "\n== Service ==");
+            let _ = writeln!(
+                out,
+                "  schedule:            {}   workers {}   queue cap {}   batch {}",
+                svc.schedule, svc.workers, svc.queue_cap, svc.batch_max,
+            );
+            let _ = writeln!(
+                out,
+                "  offered {}   rejected {}   batches {}",
+                svc.offered, svc.rejected, svc.batches,
+            );
+            for (label, hist) in [
+                ("queue wait", &svc.queue_wait),
+                ("service time", &svc.service_time),
+                ("end-to-end", &svc.e2e),
+            ] {
+                let (p50, p95, p99) = ServiceStats::percentiles_us(hist);
+                let _ = writeln!(
+                    out,
+                    "  {label:<12} p50 {p50:>9} us   p95 {p95:>9} us   p99 {p99:>9} us",
+                );
+            }
+        }
+
         if let Some(stm) = &self.stm {
             let _ = writeln!(out, "\n== STM statistics ==");
             let _ = writeln!(
@@ -344,6 +443,10 @@ impl Report {
                 ("enemy_aborts", JsonValue::num(s.enemy_aborts as f64)),
             ]),
         };
+        let service = match &self.service {
+            None => JsonValue::Null,
+            Some(svc) => svc.to_json_value(),
+        };
         JsonValue::obj(vec![
             ("backend", JsonValue::str(&self.backend)),
             ("threads", JsonValue::num(self.threads as f64)),
@@ -364,6 +467,7 @@ impl Report {
             ("per_op", JsonValue::Arr(per_op)),
             ("categories", JsonValue::Obj(categories)),
             ("stm", stm),
+            ("service", service),
         ])
     }
 
@@ -414,6 +518,30 @@ mod tests {
             elapsed: Duration::from_secs(2),
             per_op,
             stm: None,
+            service: None,
+        }
+    }
+
+    fn sample_service_stats() -> ServiceStats {
+        let mut queue_wait = Histogram::micros();
+        let mut service_time = Histogram::micros();
+        let mut e2e = Histogram::micros();
+        for us in [3u64, 40, 700] {
+            queue_wait.record(us * 1_000);
+            service_time.record(2 * us * 1_000);
+            e2e.record(3 * us * 1_000);
+        }
+        ServiceStats {
+            schedule: "open2000".into(),
+            workers: 2,
+            queue_cap: 64,
+            batch_max: 8,
+            offered: 100,
+            rejected: 2,
+            batches: 40,
+            queue_wait,
+            service_time,
+            e2e,
         }
     }
 
@@ -500,6 +628,39 @@ mod tests {
         );
         assert_eq!(doc.get("stm"), Some(&JsonValue::Null));
         assert!(doc.render().contains("\"workload\": \"rw\""));
+    }
+
+    #[test]
+    fn service_section_renders_and_serializes() {
+        let mut r = sample_report();
+        assert_eq!(
+            r.to_json_value().get("service"),
+            Some(&JsonValue::Null),
+            "closed-loop reports carry no service object"
+        );
+        r.service = Some(sample_service_stats());
+        let text = r.render(false);
+        assert!(text.contains("== Service =="));
+        assert!(text.contains("queue wait"));
+        assert!(text.contains("service time"));
+        assert!(text.contains("rejected 2"));
+
+        let doc = r.to_json_value();
+        let svc = doc.get("service").expect("service object");
+        assert_eq!(
+            svc.get("schedule").and_then(JsonValue::as_str),
+            Some("open2000")
+        );
+        assert_eq!(svc.get("offered").and_then(JsonValue::as_u64), Some(100));
+        assert_eq!(svc.get("rejected").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(svc.get("batches").and_then(JsonValue::as_u64), Some(40));
+        for key in ["queue_wait_us", "service_time_us", "e2e_us"] {
+            let lat = svc.get(key).unwrap_or_else(|| panic!("missing {key}"));
+            let p50 = lat.get("p50").and_then(JsonValue::as_u64).unwrap();
+            let p99 = lat.get("p99").and_then(JsonValue::as_u64).unwrap();
+            assert!(p50 <= p99, "{key}: p50 {p50} > p99 {p99}");
+            assert_eq!(lat.get("samples").and_then(JsonValue::as_u64), Some(3));
+        }
     }
 
     #[test]

@@ -34,6 +34,15 @@ impl Mode {
     pub fn is_write(self) -> bool {
         matches!(self, Mode::Write)
     }
+
+    /// The stronger of two modes (`None < Read < Write`).
+    pub fn max(self, other: Mode) -> Mode {
+        match (self, other) {
+            (Mode::Write, _) | (_, Mode::Write) => Mode::Write,
+            (Mode::Read, _) | (_, Mode::Read) => Mode::Read,
+            (Mode::None, Mode::None) => Mode::None,
+        }
+    }
 }
 
 /// Maximum number of assembly levels supported by the lock tables.
@@ -116,6 +125,26 @@ impl AccessSpec {
         self
     }
 
+    /// The union of two declarations: every group in the stronger of the
+    /// two modes. A batch of operations executed inside one critical
+    /// section (the service layer's read-only batching) needs exactly the
+    /// union of its members' lock sets; canonical acquisition order makes
+    /// the union as deadlock-free as its parts.
+    pub fn union(&self, other: &AccessSpec) -> AccessSpec {
+        let mut levels = [Mode::None; MAX_LEVELS];
+        for (i, slot) in levels.iter_mut().enumerate() {
+            *slot = self.levels[i].max(other.levels[i]);
+        }
+        AccessSpec {
+            sm: self.sm.max(other.sm),
+            levels,
+            composites: self.composites.max(other.composites),
+            atomics: self.atomics.max(other.atomics),
+            documents: self.documents.max(other.documents),
+            manual: self.manual.max(other.manual),
+        }
+    }
+
     /// Whether any group (or the gate) is requested in write mode; the
     /// coarse strategy takes its single lock in write mode iff this holds.
     pub fn any_write(&self) -> bool {
@@ -169,6 +198,35 @@ mod tests {
         assert_eq!(spec.levels[0], Mode::Write);
         assert_eq!(spec.levels[6], Mode::Read);
         assert_eq!(spec.levels[3], Mode::None);
+    }
+
+    #[test]
+    fn union_takes_the_stronger_mode_per_group() {
+        let a = AccessSpec::new()
+            .regular()
+            .level(1, Mode::Read)
+            .composites(Mode::Read);
+        let b = AccessSpec::new()
+            .regular()
+            .level(1, Mode::Write)
+            .atomics(Mode::Read);
+        let u = a.union(&b);
+        assert_eq!(u.sm, Mode::Read);
+        assert_eq!(u.levels[0], Mode::Write);
+        assert_eq!(u.composites, Mode::Read);
+        assert_eq!(u.atomics, Mode::Read);
+        assert_eq!(u.documents, Mode::None);
+        // Union is commutative and idempotent.
+        assert_eq!(u, b.union(&a));
+        assert_eq!(u, u.union(&u));
+    }
+
+    #[test]
+    fn mode_max_is_a_total_order() {
+        assert_eq!(Mode::None.max(Mode::Read), Mode::Read);
+        assert_eq!(Mode::Read.max(Mode::Write), Mode::Write);
+        assert_eq!(Mode::Write.max(Mode::None), Mode::Write);
+        assert_eq!(Mode::None.max(Mode::None), Mode::None);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::fmt::Write as _;
 
 use stmbench7_core::JsonValue;
 
-use crate::run::FORMAT;
+use crate::run::{format_supported, FORMAT};
 
 /// The allowed slowdown factor. `1.25` means a cell may be up to 25%
 /// slower than baseline before it counts as a regression.
@@ -105,9 +105,9 @@ fn cell_map(doc: &JsonValue) -> Result<Vec<(&str, f64)>, String> {
         .get("format")
         .and_then(JsonValue::as_str)
         .ok_or("document has no \"format\" field")?;
-    if format != FORMAT {
+    if !format_supported(format) {
         return Err(format!(
-            "unsupported results format {format:?} (expected {FORMAT:?})"
+            "unsupported results format {format:?} (expected {FORMAT:?} or older)"
         ));
     }
     let cells = doc
@@ -244,6 +244,22 @@ mod tests {
         // Extra current-only cells don't fail the gate.
         let cmp2 = compare_documents(&doc(&[]), &current, Tolerance(2.0)).unwrap();
         assert!(cmp2.ok());
+    }
+
+    #[test]
+    fn v1_baselines_gate_v2_runs() {
+        // A committed baseline from before the service layer (format v1)
+        // must still gate fresh v2 documents.
+        let mut baseline = doc(&[("a/rw/1t", 1000.0)]);
+        if let JsonValue::Obj(pairs) = &mut baseline {
+            pairs[0].1 = JsonValue::str(crate::run::FORMAT_V1);
+        }
+        let current = doc(&[("a/rw/1t", 900.0)]);
+        let cmp = compare_documents(&baseline, &current, Tolerance(1.25)).unwrap();
+        assert!(cmp.ok());
+        // And the other direction (old binary's document as current).
+        let cmp = compare_documents(&current, &baseline, Tolerance(1.25)).unwrap();
+        assert!(cmp.ok());
     }
 
     #[test]

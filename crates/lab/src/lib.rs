@@ -29,6 +29,8 @@ pub mod spec;
 pub mod stats;
 
 pub use compare::{compare_documents, Comparison, Tolerance};
-pub use run::{run_spec, CellResult, RepResult, SpecResult, FORMAT};
-pub use spec::{grid, run_cell, Cell, ExperimentSpec, SweepOpts};
+pub use run::{
+    format_supported, run_spec, CellResult, RepResult, ServiceAgg, SpecResult, FORMAT, FORMAT_V1,
+};
+pub use spec::{grid, run_cell, service_grid, Cell, ExperimentSpec, ServicePlan, SweepOpts};
 pub use stats::Summary;

@@ -6,9 +6,10 @@
 use stmbench7_backend::{BackendChoice, Granularity};
 use stmbench7_core::WorkloadType;
 use stmbench7_data::StructureParams;
+use stmbench7_service::{Admission, Schedule};
 use stmbench7_stm::ContentionManager;
 
-use crate::spec::{grid, ExperimentSpec};
+use crate::spec::{grid, service_grid, ExperimentSpec, ServicePlan};
 
 /// `(name, one-line description)` of every built-in spec, in display
 /// order.
@@ -37,6 +38,18 @@ pub fn catalog() -> Vec<(&'static str, &'static str)> {
         (
             "mixed_custom",
             "update-ratio sweep (u10..u90) on medium locking vs sharded TL2",
+        ),
+        (
+            "latency_open",
+            "open-loop latency: medium vs sharded TL2 under fixed-rate arrivals, queue-wait/service split",
+        ),
+        (
+            "latency_bursty",
+            "burst absorption: medium vs sharded TL2 under clumped arrivals, same average rate",
+        ),
+        (
+            "saturation",
+            "offered-load sweep over the knee on medium locking, reject-on-full",
         ),
     ]
 }
@@ -203,8 +216,82 @@ pub fn build(name: &str) -> Option<ExperimentSpec> {
                 false,
             ),
         ),
+        "latency_open" => spec(
+            "latency_open",
+            StructureParams::tiny(),
+            0.2,
+            0.05,
+            2,
+            service_grid(
+                &latency_backends(),
+                WorkloadType::ReadWrite,
+                2,
+                // ~1/10 of the tiny-structure single-thread capacity:
+                // queue wait reflects arrival jitter, not saturation.
+                &[Schedule::Open { rate: 20_000.0 }],
+                false,
+                |schedule| ServicePlan::open_loop(schedule, 256, 4_000),
+            ),
+        ),
+        "latency_bursty" => spec(
+            "latency_bursty",
+            StructureParams::tiny(),
+            0.2,
+            0.05,
+            2,
+            service_grid(
+                &latency_backends(),
+                WorkloadType::ReadWrite,
+                2,
+                // Same 20k average rate as latency_open, but clumped:
+                // each 10 ms period opens with a 100-request burst.
+                &[Schedule::Bursty {
+                    rate: 20_000.0,
+                    burst: 100,
+                    period_ms: 10,
+                }],
+                false,
+                |schedule| ServicePlan::open_loop(schedule, 256, 4_000),
+            ),
+        ),
+        "saturation" => spec(
+            "saturation",
+            StructureParams::tiny(),
+            0.2,
+            0.05,
+            2,
+            service_grid(
+                &[BackendChoice::Medium],
+                WorkloadType::ReadWrite,
+                2,
+                // Below, near and beyond the tiny-structure capacity; the
+                // queue-wait knee and the reject counts locate the cliff.
+                &[
+                    Schedule::Open { rate: 50_000.0 },
+                    Schedule::Open { rate: 200_000.0 },
+                    Schedule::Open { rate: 800_000.0 },
+                ],
+                false,
+                |schedule| ServicePlan {
+                    schedule,
+                    queue_cap: 128,
+                    admission: Admission::Reject,
+                    batch_max: 8,
+                    requests: 10_000,
+                },
+            ),
+        ),
         _ => return None,
     })
+}
+
+fn latency_backends() -> Vec<BackendChoice> {
+    vec![
+        BackendChoice::Medium,
+        BackendChoice::Tl2 {
+            granularity: Granularity::Sharded,
+        },
+    ]
 }
 
 #[cfg(test)]
@@ -231,6 +318,36 @@ mod tests {
     #[test]
     fn unknown_names_are_rejected() {
         assert!(build("nope").is_none());
+    }
+
+    #[test]
+    fn latency_specs_are_service_cells() {
+        for name in ["latency_open", "latency_bursty", "saturation"] {
+            let spec = build(name).unwrap();
+            assert!(
+                spec.cells.iter().all(|c| c.service.is_some()),
+                "{name}: every cell must run through the service layer"
+            );
+            let offered: u64 = spec
+                .cells
+                .iter()
+                .map(|c| c.service.as_ref().unwrap().requests * u64::from(spec.repetitions))
+                .sum();
+            assert!(offered <= 100_000, "{name} must stay CI-sized: {offered}");
+        }
+        // The saturation sweep rejects on overflow; the latency pair
+        // blocks (no lost requests below the knee).
+        let sat = build("saturation").unwrap();
+        assert!(sat
+            .cells
+            .iter()
+            .all(|c| c.service.as_ref().unwrap().admission == Admission::Reject));
+        let open = build("latency_open").unwrap();
+        assert!(open
+            .cells
+            .iter()
+            .all(|c| c.service.as_ref().unwrap().admission == Admission::Block));
+        assert_eq!(open.cells[0].key(), "medium/rw/2t/no-lt/open20000/q256");
     }
 
     #[test]

@@ -4,15 +4,26 @@
 //! serializes to the versioned `results/BENCH_<spec>.json` document.
 
 use stmbench7_backend::AnyBackend;
-use stmbench7_core::{run_benchmark, JsonValue, Report};
+use stmbench7_core::{run_benchmark, Histogram, JsonValue, Report, ServiceStats};
 use stmbench7_data::Workspace;
 
 use crate::spec::{Cell, ExperimentSpec};
 use crate::stats::Summary;
 
 /// The version tag every results document leads with; bump on any
-/// incompatible schema change.
-pub const FORMAT: &str = "stmbench7-lab/1";
+/// incompatible schema change. Version 2 adds the optional per-cell
+/// `service` object (queue-wait / service-time percentiles, reject
+/// counts); readers accept [`FORMAT_V1`] documents unchanged.
+pub const FORMAT: &str = "stmbench7-lab/2";
+
+/// The previous document version, still accepted by every reader
+/// (version 1 documents simply have no `service` objects).
+pub const FORMAT_V1: &str = "stmbench7-lab/1";
+
+/// True for every document version this crate can read.
+pub fn format_supported(format: &str) -> bool {
+    format == FORMAT || format == FORMAT_V1
+}
 
 /// One measured repetition, condensed.
 #[derive(Clone, Copy, Debug)]
@@ -57,6 +68,39 @@ pub struct CellResult {
     /// repetitions (max_ms is the max across them).
     pub categories: Vec<(String, u64, u64, f64)>,
     pub reps: Vec<RepResult>,
+    /// Latency decomposition, present for service cells: histograms
+    /// merged across repetitions, counters summed.
+    pub service: Option<ServiceAgg>,
+}
+
+/// Service-cell measurements aggregated across repetitions.
+#[derive(Clone, Debug)]
+pub struct ServiceAgg {
+    pub offered: u64,
+    pub rejected: u64,
+    pub batches: u64,
+    pub queue_wait: Histogram,
+    pub service_time: Histogram,
+    pub e2e: Histogram,
+}
+
+impl ServiceAgg {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("offered", JsonValue::num(self.offered as f64)),
+            ("rejected", JsonValue::num(self.rejected as f64)),
+            ("batches", JsonValue::num(self.batches as f64)),
+            (
+                "queue_wait_us",
+                ServiceStats::latency_json(&self.queue_wait),
+            ),
+            (
+                "service_time_us",
+                ServiceStats::latency_json(&self.service_time),
+            ),
+            ("e2e_us", ServiceStats::latency_json(&self.e2e)),
+        ])
+    }
 }
 
 impl CellResult {
@@ -119,6 +163,13 @@ impl CellResult {
             ("attempted", self.attempted.to_json()),
             ("categories", JsonValue::Obj(categories)),
             ("reps", JsonValue::Arr(reps)),
+            (
+                "service",
+                match &self.service {
+                    None => JsonValue::Null,
+                    Some(agg) => agg.to_json(),
+                },
+            ),
         ])
     }
 }
@@ -196,11 +247,25 @@ fn run_one_cell(spec: &ExperimentSpec, cell: &Cell) -> CellResult {
         if spec.warmup_secs > 0.0 {
             // Discarded warmup on this repetition's fresh structure:
             // fills caches and pre-faults the heap before measurement.
+            // Service cells warm up closed-loop too — the structure and
+            // code paths are shared; only the driving differs.
             let cfg = spec.bench_config(cell, spec.warmup_secs, u32::MAX);
             let _ = run_benchmark(&backend, &spec.params, &cfg);
         }
-        let cfg = spec.bench_config(cell, spec.secs_per_cell, rep);
-        reports.push(run_benchmark(&backend, &spec.params, &cfg));
+        let seed = spec.seed.wrapping_add(u64::from(rep));
+        match cell.serve_config(seed) {
+            Some(serve_cfg) => {
+                let plan = cell.service.as_ref().expect("serve_config implies plan");
+                let requests = serve_cfg.generate(plan.requests);
+                let result =
+                    stmbench7_service::serve(&backend, &spec.params, &serve_cfg, &requests);
+                reports.push(result.report);
+            }
+            None => {
+                let cfg = spec.bench_config(cell, spec.secs_per_cell, rep);
+                reports.push(run_benchmark(&backend, &spec.params, &cfg));
+            }
+        }
     }
     aggregate(cell, &reports)
 }
@@ -221,6 +286,27 @@ fn aggregate(cell: &Cell, reports: &[Report]) -> CellResult {
         }
         categories.push((cat.name().to_string(), completed, failed, max_ms));
     }
+    let per_rep_service: Vec<&stmbench7_core::ServiceStats> =
+        reports.iter().filter_map(|r| r.service.as_ref()).collect();
+    let service = (per_rep_service.len() == reports.len() && !reports.is_empty()).then(|| {
+        let mut agg = ServiceAgg {
+            offered: 0,
+            rejected: 0,
+            batches: 0,
+            queue_wait: Histogram::micros(),
+            service_time: Histogram::micros(),
+            e2e: Histogram::micros(),
+        };
+        for svc in per_rep_service {
+            agg.offered += svc.offered;
+            agg.rejected += svc.rejected;
+            agg.batches += svc.batches;
+            agg.queue_wait.merge(&svc.queue_wait);
+            agg.service_time.merge(&svc.service_time);
+            agg.e2e.merge(&svc.e2e);
+        }
+        agg
+    });
     CellResult {
         cell: cell.clone(),
         backend_label: reports
@@ -242,6 +328,7 @@ fn aggregate(cell: &Cell, reports: &[Report]) -> CellResult {
         attempted: Summary::from_samples(&attempted).expect("at least one repetition"),
         categories,
         reps: reports.iter().map(RepResult::from_report).collect(),
+        service,
     }
 }
 
@@ -289,6 +376,59 @@ mod tests {
         // Category rollups sum to the cell totals.
         let cat_completed: u64 = cell.categories.iter().map(|(_, c, _, _)| c).sum();
         assert_eq!(cat_completed, cell.completed);
+    }
+
+    #[test]
+    fn service_cells_run_and_serialize_their_latency_split() {
+        use crate::spec::ServicePlan;
+        use stmbench7_service::Schedule;
+
+        let mut spec = tiny_spec();
+        spec.cells[0].service = Some(ServicePlan::open_loop(
+            Schedule::Open { rate: 100_000.0 },
+            64,
+            300,
+        ));
+        let result = run_spec(&spec, |_| {});
+        let cell = &result.cells[0];
+        let agg = cell.service.as_ref().expect("service aggregation");
+        assert_eq!(agg.offered, 600, "300 requests × 2 repetitions");
+        assert_eq!(agg.rejected, 0, "blocking admission loses nothing");
+        assert_eq!(agg.queue_wait.samples(), 600);
+        assert_eq!(agg.service_time.samples(), 600);
+        assert_eq!(cell.completed + cell.failed, 600);
+
+        let doc = result.to_json();
+        let json_cell = &doc.get("cells").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            json_cell.get("key").and_then(JsonValue::as_str),
+            Some("coarse/rw/1t/open100000/q64")
+        );
+        let svc = json_cell.get("service").expect("service object");
+        assert_eq!(svc.get("offered").and_then(JsonValue::as_u64), Some(600));
+        for key in ["queue_wait_us", "service_time_us", "e2e_us"] {
+            assert!(
+                svc.get(key).and_then(|l| l.get("p99")).is_some(),
+                "missing {key}.p99"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_loop_cells_serialize_a_null_service() {
+        let result = run_spec(&tiny_spec(), |_| {});
+        assert!(result.cells[0].service.is_none());
+        let doc = result.to_json();
+        let json_cell = &doc.get("cells").unwrap().as_array().unwrap()[0];
+        assert_eq!(json_cell.get("service"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn both_format_versions_are_supported() {
+        assert!(format_supported(FORMAT));
+        assert!(format_supported(FORMAT_V1));
+        assert!(!format_supported("stmbench7-lab/3"));
+        assert!(!format_supported("other/1"));
     }
 
     #[test]

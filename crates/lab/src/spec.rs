@@ -9,8 +9,52 @@ use std::time::Duration;
 use stmbench7_backend::{AnyBackend, BackendChoice};
 use stmbench7_core::{run_benchmark, BenchConfig, OpFilter, Report, RunMode, WorkloadType};
 use stmbench7_data::{StructureParams, Workspace};
+use stmbench7_service::{Admission, Schedule};
 
-/// One sweep cell: a backend × workload × thread-count configuration.
+/// Service-layer protocol of one cell: run through `stmbench7-service`'s
+/// open-loop queue instead of the closed-loop engine. `threads` on the
+/// owning [`Cell`] becomes the worker-pool size.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServicePlan {
+    pub schedule: Schedule,
+    /// Bound of the request queue.
+    pub queue_cap: usize,
+    pub admission: Admission,
+    /// Maximum read-only batch size (1 = batching off).
+    pub batch_max: usize,
+    /// Length of the request stream; duration follows from the schedule
+    /// (`requests / rate` for open arrivals), keeping lab runs
+    /// deterministic in work rather than wall time.
+    pub requests: u64,
+}
+
+impl ServicePlan {
+    /// An open-loop plan with blocking admission and no batching.
+    pub fn open_loop(schedule: Schedule, queue_cap: usize, requests: u64) -> ServicePlan {
+        ServicePlan {
+            schedule,
+            queue_cap,
+            admission: Admission::Block,
+            batch_max: 1,
+            requests,
+        }
+    }
+
+    /// The key suffix identifying this plan inside a cell key.
+    fn key_suffix(&self) -> String {
+        let mut key = format!("/{}/q{}", self.schedule.key(), self.queue_cap);
+        if self.admission == Admission::Reject {
+            key.push_str("/reject");
+        }
+        if self.batch_max > 1 {
+            key.push_str(&format!("/b{}", self.batch_max));
+        }
+        key
+    }
+}
+
+/// One sweep cell: a backend × workload × thread-count configuration,
+/// optionally run through the service layer ([`ServicePlan`]).
 #[derive(Clone, Debug, PartialEq)]
 pub struct Cell {
     pub backend: BackendChoice,
@@ -19,6 +63,9 @@ pub struct Cell {
     pub long_traversals: bool,
     pub structure_mods: bool,
     pub astm_friendly: bool,
+    /// When set, the cell runs open-loop through `stmbench7-service`
+    /// (`threads` = worker-pool size) instead of the closed-loop engine.
+    pub service: Option<ServicePlan>,
 }
 
 impl Cell {
@@ -32,6 +79,7 @@ impl Cell {
             long_traversals: true,
             structure_mods: true,
             astm_friendly: false,
+            service: None,
         }
     }
 
@@ -81,7 +129,32 @@ impl Cell {
         if self.astm_friendly {
             key.push_str("/astm-friendly");
         }
+        if let Some(plan) = &self.service {
+            key.push_str(&plan.key_suffix());
+        }
         key
+    }
+
+    /// The service configuration for running this cell's plan with the
+    /// given seed; `None` for closed-loop cells.
+    pub fn serve_config(&self, seed: u64) -> Option<stmbench7_service::ServeConfig> {
+        let plan = self.service.as_ref()?;
+        Some(stmbench7_service::ServeConfig {
+            schedule: plan.schedule,
+            workers: self.threads,
+            queue_cap: plan.queue_cap,
+            admission: plan.admission,
+            batch_max: plan.batch_max,
+            workload: self.workload,
+            long_traversals: self.long_traversals,
+            structure_mods: self.structure_mods,
+            filter: if self.astm_friendly {
+                OpFilter::astm_friendly()
+            } else {
+                OpFilter::none()
+            },
+            seed,
+        })
     }
 }
 
@@ -106,8 +179,37 @@ pub fn grid(
                     long_traversals,
                     structure_mods,
                     astm_friendly,
+                    service: None,
                 });
             }
+        }
+    }
+    cells
+}
+
+/// A grid of *service* cells: backends × arrival schedules × one worker
+/// count, each running `plan_of(schedule)` open-loop — the constructor
+/// behind the latency specs.
+pub fn service_grid(
+    backends: &[BackendChoice],
+    workload: WorkloadType,
+    workers: usize,
+    schedules: &[Schedule],
+    long_traversals: bool,
+    plan_of: impl Fn(Schedule) -> ServicePlan,
+) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(backends.len() * schedules.len());
+    for &schedule in schedules {
+        for &backend in backends {
+            cells.push(Cell {
+                backend,
+                workload,
+                threads: workers,
+                long_traversals,
+                structure_mods: true,
+                astm_friendly: false,
+                service: Some(plan_of(schedule)),
+            });
         }
     }
     cells

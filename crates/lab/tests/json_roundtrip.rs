@@ -80,6 +80,93 @@ fn stm_report_round_trips_abort_counts() {
 }
 
 #[test]
+fn service_report_round_trips_the_latency_split() {
+    use stmbench7_service::{serve, Schedule, ServeConfig};
+
+    let params = StructureParams::tiny();
+    let ws = Workspace::build(params.clone(), 7);
+    let backend = AnyBackend::build(BackendChoice::Coarse, ws);
+    let cfg = ServeConfig::new(
+        Schedule::Open { rate: 200_000.0 },
+        WorkloadType::ReadWrite,
+        42,
+    );
+    let requests = cfg.generate(300);
+    let report = serve(&backend, &params, &cfg, &requests).report;
+
+    let doc = roundtrip(&report);
+    let svc_doc = doc.get("service").expect("service object present");
+    let svc = report.service.as_ref().unwrap();
+    assert_eq!(
+        svc_doc.get("schedule").and_then(JsonValue::as_str),
+        Some("open200000")
+    );
+    assert_eq!(
+        svc_doc.get("offered").and_then(JsonValue::as_u64),
+        Some(svc.offered)
+    );
+    assert_eq!(
+        svc_doc.get("rejected").and_then(JsonValue::as_u64),
+        Some(svc.rejected)
+    );
+    for (key, hist) in [
+        ("queue_wait_us", &svc.queue_wait),
+        ("service_time_us", &svc.service_time),
+        ("e2e_us", &svc.e2e),
+    ] {
+        let lat = svc_doc.get(key).unwrap_or_else(|| panic!("missing {key}"));
+        assert_eq!(
+            lat.get("p95").and_then(JsonValue::as_u64),
+            hist.percentile_us(95.0),
+            "{key}.p95"
+        );
+        assert_eq!(
+            lat.get("samples").and_then(JsonValue::as_u64),
+            Some(hist.samples()),
+            "{key}.samples"
+        );
+    }
+}
+
+#[test]
+fn version_1_documents_still_read_and_gate() {
+    use stmbench7_lab::{compare_documents, format_supported, Tolerance, FORMAT_V1};
+
+    // A hand-written v1 document, exactly as the pre-service binary
+    // emitted it: no `service` keys anywhere.
+    let v1_text = r#"{
+  "format": "stmbench7-lab/1",
+  "spec": "smoke",
+  "cells": [
+    {
+      "key": "coarse/rw/1t",
+      "completed": 1000,
+      "throughput": {
+        "median": 5000.0
+      }
+    }
+  ]
+}"#;
+    let v1 = parse(v1_text).expect("v1 documents must parse");
+    assert_eq!(
+        v1.get("format").and_then(JsonValue::as_str),
+        Some(FORMAT_V1)
+    );
+    assert!(format_supported(FORMAT_V1));
+
+    // v1 as baseline against a v2 current document.
+    let current = parse(
+        &v1_text
+            .replace("stmbench7-lab/1", "stmbench7-lab/2")
+            .replace("5000.0", "4800.0"),
+    )
+    .unwrap();
+    let cmp = compare_documents(&v1, &current, Tolerance(1.25)).unwrap();
+    assert!(cmp.ok(), "4% slowdown is within 25% tolerance");
+    assert_eq!(cmp.cells.len(), 1);
+}
+
+#[test]
 fn rendering_is_stable_through_a_parse_cycle() {
     let report = real_report(BackendChoice::Medium);
     let first = report.to_json_value().render();

@@ -1,0 +1,36 @@
+//! `stmbench7-service` — an open-loop, request-driven service layer in
+//! front of the STMBench7 backends.
+//!
+//! The paper's engine (§4) is closed-loop: N uniform threads issue
+//! operations back-to-back, which measures peak throughput but says
+//! nothing about behavior under *offered load* — the regime where
+//! queueing delay, tail latency and backpressure dominate. This crate
+//! gives the reproduction both views over one shared operation pool:
+//!
+//! * [`schedule`] — [`Schedule`]: deterministic, seedable arrival
+//!   processes (`closed(N)`, `open(rate)` with slot jitter,
+//!   `bursty(rate, burst, period)`), each materializing a reproducible
+//!   stream of timestamped [`Request`]s drawn from the engine's
+//!   [`stmbench7_core::WorkloadMix`];
+//! * [`queue`] — [`BoundedQueue`]: a bounded MPMC request queue with
+//!   blocking or reject-on-full [`Admission`] control and head-of-line
+//!   batch draining;
+//! * [`server`] — [`serve`]: dispatcher + worker pool executing requests
+//!   through any [`stmbench7_backend::Backend`], with opt-in read-only
+//!   batching (lock sets merged via `AccessSpec::union`) and per-request
+//!   latency decomposition (queue wait vs service time, microsecond
+//!   histograms) surfaced as [`stmbench7_core::ServiceStats`];
+//!   [`run_stream_closed`] runs the identical stream closed-loop — the
+//!   sequential-oracle counterpart.
+//!
+//! The CLI front door is `stmbench7 serve <schedule>`; the lab specs
+//! `latency_open`, `latency_bursty` and `saturation` drive the same path
+//! with gated JSON results.
+
+pub mod queue;
+pub mod schedule;
+pub mod server;
+
+pub use queue::{Admission, BoundedQueue};
+pub use schedule::{Request, Schedule};
+pub use server::{run_stream_closed, serve, ServeConfig, ServeResult};

@@ -1,0 +1,223 @@
+//! A bounded MPMC request queue with two admission-control policies and
+//! head-of-line batch draining.
+//!
+//! Built on `std::sync::{Mutex, Condvar}` — the vendored `parking_lot`
+//! stand-in has no condition variables, and the queue is not the hot path
+//! (operations are; the queue hands them out).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// What to do with an arrival when the queue is full.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Apply backpressure: the producer waits for space (no request is
+    /// ever lost, but the arrival process stalls).
+    Block,
+    /// Reject-on-full: the request is dropped and counted; the arrival
+    /// process never stalls (the paper-realistic overload behavior).
+    Reject,
+}
+
+impl Admission {
+    /// Parses the CLI spelling (`block` / `reject`).
+    pub fn parse(s: &str) -> Option<Admission> {
+        match s {
+            "block" => Some(Admission::Block),
+            "reject" => Some(Admission::Reject),
+            _ => None,
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn key(&self) -> &'static str {
+        match self {
+            Admission::Block => "block",
+            Admission::Reject => "reject",
+        }
+    }
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO shared between one producer (the dispatcher) and many
+/// consumers (the workers).
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An open queue holding at most `cap` items.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "queue capacity must be at least 1");
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Enqueues, waiting while the queue is full ([`Admission::Block`]).
+    pub fn push_blocking(&self, item: T) {
+        let mut state = self.state.lock().expect("queue poisoned");
+        while state.items.len() >= self.cap {
+            state = self.not_full.wait(state).expect("queue poisoned");
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+    }
+
+    /// Enqueues unless the queue is full ([`Admission::Reject`]); returns
+    /// the rejected item on overflow.
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        if state.items.len() >= self.cap {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues a batch: blocks for the first item, then greedily drains
+    /// up to `max - 1` more items from the head while `compatible(first,
+    /// next)` holds (never blocking for them). Returns an empty vector
+    /// once the queue is closed and drained — the consumers' shutdown
+    /// signal.
+    pub fn pop_batch(&self, max: usize, compatible: impl Fn(&T, &T) -> bool) -> Vec<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(first) = state.items.pop_front() {
+                let mut batch = vec![first];
+                while batch.len() < max {
+                    match state.items.front() {
+                        Some(next) if compatible(&batch[0], next) => {
+                            let next = state.items.pop_front().expect("peeked");
+                            batch.push(next);
+                        }
+                        _ => break,
+                    }
+                }
+                drop(state);
+                // Space opened up for a blocked producer; batch drains can
+                // free more than one slot.
+                self.not_full.notify_all();
+                return batch;
+            }
+            if state.closed {
+                return Vec::new();
+            }
+            state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// Closes the queue: consumers drain the remaining items and then
+    /// observe the end of the stream.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Items currently queued (racy by nature; for observation only).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// True when nothing is queued (racy by nature; for observation only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order_and_close() {
+        let q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push_blocking(i);
+        }
+        q.close();
+        let a = q.pop_batch(1, |_, _| true);
+        assert_eq!(a, vec![0]);
+        let rest = q.pop_batch(10, |_, _| true);
+        assert_eq!(rest, vec![1, 2, 3, 4]);
+        assert!(q.pop_batch(1, |_, _| true).is_empty(), "closed and drained");
+    }
+
+    #[test]
+    fn try_push_rejects_on_full() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.len(), 2);
+        q.pop_batch(1, |_, _| true);
+        assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn batch_stops_at_the_first_incompatible_item() {
+        let q = BoundedQueue::new(8);
+        for x in [2, 4, 6, 7, 8] {
+            q.push_blocking(x);
+        }
+        // Compatible = same parity as the batch head.
+        let batch = q.pop_batch(5, |a, b| a % 2 == b % 2);
+        assert_eq!(batch, vec![2, 4, 6]);
+        q.close();
+        assert_eq!(q.pop_batch(5, |a, b| a % 2 == b % 2), vec![7]);
+        assert_eq!(q.pop_batch(5, |a, b| a % 2 == b % 2), vec![8]);
+    }
+
+    #[test]
+    fn batch_respects_max() {
+        let q = BoundedQueue::new(8);
+        for x in 0..6 {
+            q.push_blocking(x);
+        }
+        assert_eq!(q.pop_batch(4, |_, _| true).len(), 4);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn blocking_producer_resumes_after_consumption() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push_blocking(0u32);
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_blocking(1))
+        };
+        // The producer is blocked on a full queue until we drain it.
+        assert_eq!(q.pop_batch(1, |_, _| true), vec![0]);
+        producer.join().expect("producer must finish");
+        q.close();
+        assert_eq!(q.pop_batch(1, |_, _| true), vec![1]);
+    }
+
+    #[test]
+    fn consumers_wake_on_close() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_batch(1, |_, _| true))
+        };
+        q.close();
+        assert!(consumer.join().expect("consumer must finish").is_empty());
+    }
+}

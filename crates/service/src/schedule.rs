@@ -1,0 +1,305 @@
+//! Arrival schedules: deterministic, seedable generators of timestamped
+//! operation requests.
+//!
+//! The paper's engine is closed-loop — N threads issue operations
+//! back-to-back, measuring peak throughput. A service behaves differently
+//! under *offered load*: requests arrive whether or not the system keeps
+//! up, and queueing delay dominates the latency a client sees. A
+//! [`Schedule`] describes the arrival process; [`Schedule::generate`]
+//! materializes it as a reproducible stream of [`Request`]s drawn from the
+//! same [`WorkloadMix`] the closed-loop engine uses, so both views share
+//! one operation pool.
+
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use stmbench7_core::{OpKind, WorkloadMix};
+
+/// One timestamped operation request.
+///
+/// `rng_seed` pins the operation's random parameters to the request — not
+/// to the worker that happens to execute it — so a served stream is
+/// replayable: the same stream produces the same per-operation choices no
+/// matter how it is scheduled onto workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Position in the stream (0-based).
+    pub id: u64,
+    /// Scheduled arrival, in nanoseconds after the stream's epoch.
+    pub arrival_ns: u64,
+    pub op: OpKind,
+    /// Seed of the operation's private random number generator.
+    pub rng_seed: u64,
+}
+
+/// An arrival process. All three variants generate byte-identical request
+/// streams for the same `(schedule, seed)` pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Schedule {
+    /// Everything arrives at t=0: the queue is permanently backlogged and
+    /// the worker pool runs flat out — the request-driven rendering of
+    /// the paper's closed loop. `clients` is the suggested worker count.
+    Closed { clients: usize },
+    /// Fixed-rate arrivals (requests per second) with deterministic
+    /// jitter: request `i` lands uniformly inside its own interval slot
+    /// `[i/rate, (i+1)/rate)`, so offered load is exact per slot but not
+    /// metronomic.
+    Open { rate: f64 },
+    /// Bursty arrivals averaging `rate` requests per second: each period
+    /// of `period_ms` opens with a back-to-back burst of up to `burst`
+    /// requests, and the period's remaining requests spread evenly over
+    /// the rest of it.
+    Bursty {
+        rate: f64,
+        burst: u64,
+        period_ms: u64,
+    },
+}
+
+impl Schedule {
+    /// Parses the CLI spelling: `closed:N`, `open:RATE`, or
+    /// `bursty:RATE:BURST:PERIOD_MS`.
+    pub fn parse(s: &str) -> Option<Schedule> {
+        let (kind, rest) = s.split_once(':')?;
+        match kind {
+            "closed" => {
+                let clients: usize = rest.parse().ok()?;
+                (clients >= 1).then_some(Schedule::Closed { clients })
+            }
+            "open" => {
+                let rate: f64 = rest.parse().ok()?;
+                (rate.is_finite() && rate > 0.0).then_some(Schedule::Open { rate })
+            }
+            "bursty" => {
+                let mut parts = rest.split(':');
+                let rate: f64 = parts.next()?.parse().ok()?;
+                let burst: u64 = parts.next()?.parse().ok()?;
+                let period_ms: u64 = parts.next()?.parse().ok()?;
+                if parts.next().is_some() {
+                    return None;
+                }
+                (rate.is_finite() && rate > 0.0 && burst >= 1 && period_ms >= 1).then_some(
+                    Schedule::Bursty {
+                        rate,
+                        burst,
+                        period_ms,
+                    },
+                )
+            }
+            _ => None,
+        }
+    }
+
+    /// Stable short key for cell identities and report labels
+    /// (`closed4`, `open2000`, `bursty2000x50@100`).
+    pub fn key(&self) -> String {
+        let rate_key = |rate: f64| {
+            if rate.fract() == 0.0 {
+                format!("{}", rate as u64)
+            } else {
+                format!("{rate}")
+            }
+        };
+        match self {
+            Schedule::Closed { clients } => format!("closed{clients}"),
+            Schedule::Open { rate } => format!("open{}", rate_key(*rate)),
+            Schedule::Bursty {
+                rate,
+                burst,
+                period_ms,
+            } => format!("bursty{}x{burst}@{period_ms}", rate_key(*rate)),
+        }
+    }
+
+    /// The arrival offset of request `i`, given that request's jitter
+    /// draw in `[0, 1)`.
+    fn arrival_ns(&self, i: u64, jitter: f64) -> u64 {
+        match self {
+            Schedule::Closed { .. } => 0,
+            Schedule::Open { rate } => {
+                let interval_ns = 1e9 / rate;
+                ((i as f64 + jitter) * interval_ns) as u64
+            }
+            Schedule::Bursty {
+                rate,
+                burst,
+                period_ms,
+            } => {
+                let period_ns = period_ms * 1_000_000;
+                let per_period = ((rate * *period_ms as f64 / 1_000.0).round() as u64).max(1);
+                let period = i / per_period;
+                let slot = i % per_period;
+                let base = period * period_ns;
+                if slot < *burst {
+                    base // the burst: back-to-back at the period opening
+                } else {
+                    // Spread the rest evenly over the remaining period.
+                    let rest = per_period - (*burst).min(per_period);
+                    let step = period_ns / (rest + 1);
+                    base + (slot - burst + 1) * step
+                }
+            }
+        }
+    }
+
+    /// The single per-request draw: fixed order — operation, op-rng
+    /// seed, arrival jitter — so streams are byte-identical across
+    /// [`Self::generate`] and [`Self::generate_for`] for the same
+    /// `(schedule, mix, seed)`, and different schedules share the same
+    /// operation sequence for the same seed.
+    fn draw(&self, mix: &WorkloadMix, rng: &mut SmallRng, id: u64) -> Request {
+        let op = mix.pick(rng);
+        let rng_seed: u64 = rng.gen();
+        let jitter: f64 = rng.gen();
+        Request {
+            id,
+            arrival_ns: self.arrival_ns(id, jitter),
+            op,
+            rng_seed,
+        }
+    }
+
+    /// Materializes the first `n` requests of this schedule. Identical
+    /// `(schedule, mix, seed)` triples yield identical streams.
+    pub fn generate(&self, mix: &WorkloadMix, seed: u64, n: u64) -> Vec<Request> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|id| self.draw(mix, &mut rng, id)).collect()
+    }
+
+    /// Materializes every request arriving strictly before `horizon`.
+    /// `None` for [`Schedule::Closed`], whose request count is not
+    /// duration-bounded (everything arrives at t=0).
+    pub fn generate_for(
+        &self,
+        mix: &WorkloadMix,
+        seed: u64,
+        horizon: Duration,
+    ) -> Option<Vec<Request>> {
+        if matches!(self, Schedule::Closed { .. }) {
+            return None;
+        }
+        let horizon_ns = horizon.as_nanos() as u64;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut requests = Vec::new();
+        for id in 0.. {
+            let req = self.draw(mix, &mut rng, id);
+            if req.arrival_ns >= horizon_ns {
+                break;
+            }
+            requests.push(req);
+        }
+        Some(requests)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmbench7_core::{OpFilter, WorkloadType};
+
+    fn mix() -> WorkloadMix {
+        WorkloadMix::compute(WorkloadType::ReadWrite, true, true, &OpFilter::none())
+    }
+
+    #[test]
+    fn parse_round_trips_the_key() {
+        for (text, key) in [
+            ("closed:4", "closed4"),
+            ("open:2000", "open2000"),
+            ("open:2500.5", "open2500.5"),
+            ("bursty:2000:50:100", "bursty2000x50@100"),
+        ] {
+            let sched = Schedule::parse(text).unwrap_or_else(|| panic!("{text} must parse"));
+            assert_eq!(sched.key(), key);
+        }
+        for bad in [
+            "open",
+            "open:",
+            "open:0",
+            "open:-5",
+            "open:nan",
+            "closed:0",
+            "closed:x",
+            "bursty:100:0:10",
+            "bursty:100:5",
+            "bursty:100:5:0",
+            "bursty:1:2:3:4",
+            "poisson:9",
+        ] {
+            assert!(Schedule::parse(bad).is_none(), "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn closed_arrivals_are_all_zero() {
+        let reqs = Schedule::Closed { clients: 3 }.generate(&mix(), 9, 50);
+        assert_eq!(reqs.len(), 50);
+        assert!(reqs.iter().all(|r| r.arrival_ns == 0));
+        assert_eq!(reqs.last().unwrap().id, 49);
+    }
+
+    #[test]
+    fn open_arrivals_stay_in_their_slots_and_are_monotone() {
+        let rate = 1000.0; // 1 ms interval
+        let reqs = Schedule::Open { rate }.generate(&mix(), 4, 200);
+        let interval = 1_000_000u64;
+        for r in &reqs {
+            let slot = r.id * interval;
+            assert!(
+                (slot..slot + interval).contains(&r.arrival_ns),
+                "request {} left its slot: {}",
+                r.id,
+                r.arrival_ns
+            );
+        }
+        assert!(reqs.windows(2).all(|w| w[0].arrival_ns < w[1].arrival_ns));
+    }
+
+    #[test]
+    fn bursty_opens_each_period_with_a_burst() {
+        let sched = Schedule::Bursty {
+            rate: 1000.0,
+            burst: 4,
+            period_ms: 10,
+        }; // 10 requests per 10 ms period
+        let reqs = sched.generate(&mix(), 4, 30);
+        let period_ns = 10_000_000u64;
+        for p in 0..3u64 {
+            let period: Vec<_> = reqs[(p * 10) as usize..((p + 1) * 10) as usize].to_vec();
+            // First 4 at the period opening, the remaining 6 strictly
+            // inside it, all within the period.
+            assert!(period[..4].iter().all(|r| r.arrival_ns == p * period_ns));
+            assert!(period[4..]
+                .iter()
+                .all(|r| r.arrival_ns > p * period_ns && r.arrival_ns < (p + 1) * period_ns));
+        }
+    }
+
+    #[test]
+    fn generate_for_respects_the_horizon() {
+        let m = mix();
+        let sched = Schedule::Open { rate: 500.0 };
+        let reqs = sched
+            .generate_for(&m, 11, Duration::from_millis(100))
+            .unwrap();
+        // 500 req/s over 0.1 s → 50 ± 1.
+        assert!((49..=51).contains(&reqs.len()), "got {}", reqs.len());
+        assert!(reqs.iter().all(|r| r.arrival_ns < 100_000_000));
+        assert!(Schedule::Closed { clients: 1 }
+            .generate_for(&m, 11, Duration::from_secs(1))
+            .is_none());
+    }
+
+    #[test]
+    fn streams_share_the_operation_sequence_across_schedules() {
+        let m = mix();
+        let open = Schedule::Open { rate: 100.0 }.generate(&m, 7, 64);
+        let closed = Schedule::Closed { clients: 2 }.generate(&m, 7, 64);
+        for (a, b) in open.iter().zip(&closed) {
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.rng_seed, b.rng_seed);
+        }
+    }
+}

@@ -1,0 +1,509 @@
+//! The service core: a dispatcher replaying an arrival schedule into a
+//! bounded queue, a worker pool executing requests through a [`Backend`],
+//! and per-request latency decomposition (queue wait vs service time).
+//!
+//! The same request stream can also be run *closed-loop*
+//! ([`run_stream_closed`]): one thread, no queue, operations
+//! back-to-back. Both paths execute identical operations with identical
+//! per-request random choices, which is what the sequential-oracle test
+//! leans on: serving a stream must not change any operation's outcome.
+
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use stmbench7_backend::{Backend, TxOperation};
+use stmbench7_core::{
+    access_spec, run_op, Histogram, OpCtx, OpFilter, OpKind, OpReport, Report, ServiceStats,
+    WorkloadMix, WorkloadType,
+};
+use stmbench7_data::{AccessSpec, OpOutcome, Sb7Tx, StructureParams, TxR};
+
+use crate::queue::{Admission, BoundedQueue};
+use crate::schedule::{Request, Schedule};
+
+/// Full configuration of a service run.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    pub schedule: Schedule,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Bound of the request queue.
+    pub queue_cap: usize,
+    pub admission: Admission,
+    /// Maximum number of read-only requests folded into one backend
+    /// execution (1 = batching off).
+    pub batch_max: usize,
+    pub workload: WorkloadType,
+    pub long_traversals: bool,
+    pub structure_mods: bool,
+    pub filter: OpFilter,
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// A deterministic single-purpose configuration: 2 workers, blocking
+    /// admission, no batching, all operations on.
+    pub fn new(schedule: Schedule, workload: WorkloadType, seed: u64) -> Self {
+        ServeConfig {
+            schedule,
+            workers: 2,
+            queue_cap: 1024,
+            admission: Admission::Block,
+            batch_max: 1,
+            workload,
+            long_traversals: true,
+            structure_mods: true,
+            filter: OpFilter::none(),
+            seed,
+        }
+    }
+
+    /// The operation mix this configuration draws requests from — the
+    /// same pool the closed-loop engine uses.
+    pub fn mix(&self) -> WorkloadMix {
+        WorkloadMix::compute(
+            self.workload,
+            self.long_traversals,
+            self.structure_mods,
+            &self.filter,
+        )
+    }
+
+    /// The first `n` requests of this configuration's schedule.
+    pub fn generate(&self, n: u64) -> Vec<Request> {
+        self.schedule.generate(&self.mix(), self.seed, n)
+    }
+
+    /// Every request of this configuration's schedule arriving before
+    /// `horizon` (`None` for closed schedules; use [`Self::generate`]).
+    pub fn generate_for(&self, horizon: Duration) -> Option<Vec<Request>> {
+        self.schedule.generate_for(&self.mix(), self.seed, horizon)
+    }
+}
+
+/// A completed service run: the merged [`Report`] (with
+/// [`ServiceStats`] attached) plus the per-request outcomes, indexed by
+/// request id (`None` = rejected by admission control).
+pub struct ServeResult {
+    pub report: Report,
+    pub outcomes: Vec<Option<OpOutcome>>,
+}
+
+/// Executes a batch of requests inside one transaction. Every request
+/// re-seeds the context RNG from its own `rng_seed`, so retries (STM) and
+/// re-executions (fine-grained discovery) replay identical choices, and
+/// outcomes are independent of which worker runs the batch.
+struct BatchRunner<'a> {
+    batch: &'a [Request],
+    ctx: &'a mut OpCtx,
+}
+
+impl TxOperation<Vec<OpOutcome>> for BatchRunner<'_> {
+    fn run<T: Sb7Tx>(&mut self, tx: &mut T) -> TxR<Vec<OpOutcome>> {
+        let mut outcomes = Vec::with_capacity(self.batch.len());
+        for req in self.batch {
+            self.ctx.rng = SmallRng::seed_from_u64(req.rng_seed);
+            outcomes.push(run_op(req.op, tx, self.ctx)?);
+        }
+        Ok(outcomes)
+    }
+}
+
+/// Per-worker, per-operation measurements (mirrors the engine's thread
+/// stats, plus the latency decomposition).
+struct WorkerStats {
+    completed: Vec<u64>,
+    failed: Vec<u64>,
+    max_ns: Vec<u64>,
+    sum_ns: Vec<u64>,
+    hist: Vec<Histogram>,
+    queue_wait: Histogram,
+    service_time: Histogram,
+    e2e: Histogram,
+    batches: u64,
+    outcomes: Vec<(u64, OpOutcome)>,
+}
+
+impl WorkerStats {
+    fn new() -> Self {
+        WorkerStats {
+            completed: vec![0; 45],
+            failed: vec![0; 45],
+            max_ns: vec![0; 45],
+            sum_ns: vec![0; 45],
+            hist: (0..45).map(|_| Histogram::new()).collect(),
+            queue_wait: Histogram::micros(),
+            service_time: Histogram::micros(),
+            e2e: Histogram::micros(),
+            batches: 0,
+            outcomes: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, req: &Request, outcome: OpOutcome, start_ns: u64, end_ns: u64) {
+        let service_ns = end_ns - start_ns;
+        let i = req.op.index();
+        match outcome {
+            OpOutcome::Done(_) => {
+                self.completed[i] += 1;
+                self.max_ns[i] = self.max_ns[i].max(service_ns);
+                self.sum_ns[i] += service_ns;
+                self.hist[i].record(service_ns);
+            }
+            OpOutcome::Fail(_) => self.failed[i] += 1,
+        }
+        self.queue_wait
+            .record(start_ns.saturating_sub(req.arrival_ns));
+        self.service_time.record(service_ns);
+        self.e2e.record(end_ns.saturating_sub(req.arrival_ns));
+        self.outcomes.push((req.id, outcome));
+    }
+}
+
+fn op_specs(params: &StructureParams) -> Vec<AccessSpec> {
+    OpKind::ALL
+        .iter()
+        .map(|op| access_spec(*op, params.assembly_levels))
+        .collect()
+}
+
+fn batch_spec(specs: &[AccessSpec], batch: &[Request]) -> AccessSpec {
+    let mut spec = specs[batch[0].op.index()];
+    for req in &batch[1..] {
+        spec = spec.union(&specs[req.op.index()]);
+    }
+    spec
+}
+
+fn execute_batch<B: Backend>(
+    backend: &B,
+    specs: &[AccessSpec],
+    batch: &[Request],
+    ctx: &mut OpCtx,
+    epoch: Instant,
+    stats: &mut WorkerStats,
+) {
+    let spec = batch_spec(specs, batch);
+    let t0 = Instant::now();
+    let outcomes = backend.execute(&spec, &mut BatchRunner { batch, ctx });
+    let end_ns = epoch.elapsed().as_nanos() as u64;
+    let start_ns = (t0 - epoch).as_nanos() as u64;
+    stats.batches += 1;
+    for (req, outcome) in batch.iter().zip(outcomes) {
+        stats.record(req, outcome, start_ns, end_ns);
+    }
+}
+
+/// End-of-run accounting that travels alongside the worker stats.
+struct RunTotals {
+    elapsed: Duration,
+    offered: u64,
+    rejected: u64,
+    stm: Option<stmbench7_stm::StatsSnapshot>,
+}
+
+fn merge_into_report<B: Backend>(
+    backend: &B,
+    cfg: &ServeConfig,
+    mix: &WorkloadMix,
+    all_stats: Vec<WorkerStats>,
+    totals: RunTotals,
+) -> ServeResult {
+    let RunTotals {
+        elapsed,
+        offered,
+        rejected,
+        stm,
+    } = totals;
+    let mut per_op: Vec<OpReport> = OpKind::ALL
+        .iter()
+        .map(|op| OpReport::empty(*op, mix.expected(*op)))
+        .collect();
+    let mut queue_wait = Histogram::micros();
+    let mut service_time = Histogram::micros();
+    let mut e2e = Histogram::micros();
+    let mut batches = 0;
+    let mut outcomes: Vec<Option<OpOutcome>> = vec![None; offered as usize];
+    for stats in &all_stats {
+        for (i, r) in per_op.iter_mut().enumerate() {
+            r.completed += stats.completed[i];
+            r.failed += stats.failed[i];
+            r.max_ns = r.max_ns.max(stats.max_ns[i]);
+            r.sum_ns += stats.sum_ns[i];
+            r.hist.merge(&stats.hist[i]);
+        }
+        queue_wait.merge(&stats.queue_wait);
+        service_time.merge(&stats.service_time);
+        e2e.merge(&stats.e2e);
+        batches += stats.batches;
+        for (id, outcome) in &stats.outcomes {
+            outcomes[*id as usize] = Some(*outcome);
+        }
+    }
+    let report = Report {
+        backend: backend.name().to_string(),
+        threads: cfg.workers,
+        workload: cfg.workload,
+        long_traversals: cfg.long_traversals,
+        structure_mods: cfg.structure_mods,
+        seed: cfg.seed,
+        elapsed,
+        per_op,
+        stm,
+        service: Some(ServiceStats {
+            schedule: cfg.schedule.key(),
+            workers: cfg.workers,
+            queue_cap: cfg.queue_cap,
+            batch_max: cfg.batch_max,
+            offered,
+            rejected,
+            batches,
+            queue_wait,
+            service_time,
+            e2e,
+        }),
+    };
+    ServeResult { report, outcomes }
+}
+
+/// Serves a request stream: replays the arrival schedule into the queue
+/// (open-loop; time is honored — the dispatcher sleeps until each
+/// scheduled arrival) and drains it with `cfg.workers` worker threads.
+///
+/// Queue wait is measured from the *scheduled* arrival, not the enqueue
+/// instant, so dispatcher lag and admission backpressure count as
+/// queueing delay rather than being silently omitted.
+pub fn serve<B: Backend>(
+    backend: &B,
+    params: &StructureParams,
+    cfg: &ServeConfig,
+    requests: &[Request],
+) -> ServeResult {
+    assert!(cfg.workers >= 1, "at least one worker required");
+    assert!(cfg.batch_max >= 1, "batch_max must be at least 1");
+    let mix = cfg.mix();
+    let specs = op_specs(params);
+    let queue: BoundedQueue<Request> = BoundedQueue::new(cfg.queue_cap);
+    let batch_max = cfg.batch_max;
+    let compatible =
+        move |a: &Request, b: &Request| batch_max > 1 && a.op.is_read_only() && b.op.is_read_only();
+
+    let stm_before = backend.stm_stats();
+    let epoch = Instant::now();
+    let mut rejected = 0u64;
+
+    let all_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for worker_id in 0..cfg.workers {
+            let queue = &queue;
+            let specs = &specs;
+            let compatible = &compatible;
+            handles.push(scope.spawn(move || {
+                // The context RNG is re-seeded per request from the
+                // request itself; the worker seed only covers the (never
+                // drawn) idle state.
+                let mut ctx = OpCtx::new(
+                    params.clone(),
+                    cfg.seed ^ (worker_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let mut stats = WorkerStats::new();
+                loop {
+                    let batch = queue.pop_batch(cfg.batch_max, compatible);
+                    if batch.is_empty() {
+                        break; // closed and drained
+                    }
+                    execute_batch(backend, specs, &batch, &mut ctx, epoch, &mut stats);
+                }
+                stats
+            }));
+        }
+
+        // This thread is the dispatcher: replay the arrival schedule.
+        for req in requests {
+            let target = epoch + Duration::from_nanos(req.arrival_ns);
+            let now = Instant::now();
+            if now < target {
+                std::thread::sleep(target - now);
+            }
+            match cfg.admission {
+                Admission::Block => queue.push_blocking(*req),
+                Admission::Reject => {
+                    if queue.try_push(*req).is_err() {
+                        rejected += 1;
+                    }
+                }
+            }
+        }
+        queue.close();
+
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("service worker panicked"))
+            .collect()
+    });
+
+    let elapsed = epoch.elapsed();
+    let stm = match (stm_before, backend.stm_stats()) {
+        (Some(before), Some(after)) => Some(after.delta(&before)),
+        _ => None,
+    };
+    merge_into_report(
+        backend,
+        cfg,
+        &mix,
+        all_stats,
+        RunTotals {
+            elapsed,
+            offered: requests.len() as u64,
+            rejected,
+            stm,
+        },
+    )
+}
+
+/// Runs the same request stream closed-loop: one thread, no queue, no
+/// arrival times — operations back-to-back in stream order, exactly as
+/// the paper's engine would issue them. The sequential oracle: for a
+/// deterministic backend, [`serve`] with one worker must produce the
+/// same outcome for every request.
+pub fn run_stream_closed<B: Backend>(
+    backend: &B,
+    params: &StructureParams,
+    cfg: &ServeConfig,
+    requests: &[Request],
+) -> ServeResult {
+    let mix = cfg.mix();
+    let specs = op_specs(params);
+    let stm_before = backend.stm_stats();
+    let epoch = Instant::now();
+    let mut ctx = OpCtx::new(params.clone(), cfg.seed);
+    let mut stats = WorkerStats::new();
+    for req in requests {
+        execute_batch(
+            backend,
+            &specs,
+            std::slice::from_ref(req),
+            &mut ctx,
+            epoch,
+            &mut stats,
+        );
+    }
+    let elapsed = epoch.elapsed();
+    let stm = match (stm_before, backend.stm_stats()) {
+        (Some(before), Some(after)) => Some(after.delta(&before)),
+        _ => None,
+    };
+    let mut result = merge_into_report(
+        backend,
+        cfg,
+        &mix,
+        vec![stats],
+        RunTotals {
+            elapsed,
+            offered: requests.len() as u64,
+            rejected: 0,
+            stm,
+        },
+    );
+    // Closed-loop runs are not service runs: threads reflect the single
+    // driving thread and no service stats are attached.
+    result.report.threads = 1;
+    result.report.service = None;
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmbench7_backend::{CoarseBackend, SequentialBackend};
+    use stmbench7_data::{validate, Workspace};
+
+    fn tiny() -> (StructureParams, Workspace) {
+        let params = StructureParams::tiny();
+        let ws = Workspace::build(params.clone(), 7);
+        (params, ws)
+    }
+
+    #[test]
+    fn serve_accounts_for_every_request() {
+        let (params, ws) = tiny();
+        let backend = SequentialBackend::new(ws);
+        let cfg = ServeConfig::new(Schedule::Closed { clients: 2 }, WorkloadType::ReadWrite, 42);
+        let requests = cfg.generate(300);
+        let result = serve(&backend, &params, &cfg, &requests);
+        let report = &result.report;
+        assert_eq!(report.total_started(), 300);
+        let svc = report.service.as_ref().expect("service stats");
+        assert_eq!(svc.offered, 300);
+        assert_eq!(svc.rejected, 0);
+        assert_eq!(svc.queue_wait.samples(), 300);
+        assert_eq!(svc.service_time.samples(), 300);
+        assert_eq!(svc.e2e.samples(), 300);
+        assert!(result.outcomes.iter().all(Option::is_some));
+        validate(&backend.export()).expect("structure intact");
+    }
+
+    #[test]
+    fn reject_admission_drops_excess_load() {
+        let (params, ws) = tiny();
+        let backend = SequentialBackend::new(ws);
+        let mut cfg = ServeConfig::new(Schedule::Closed { clients: 1 }, WorkloadType::ReadWrite, 1);
+        // One worker, a 1-slot queue and a burst of simultaneous
+        // arrivals: most of the stream must be rejected.
+        cfg.workers = 1;
+        cfg.queue_cap = 1;
+        cfg.admission = Admission::Reject;
+        let requests = cfg.generate(200);
+        let result = serve(&backend, &params, &cfg, &requests);
+        let svc = result.report.service.as_ref().unwrap();
+        assert!(svc.rejected > 0, "a 1-slot queue must reject under burst");
+        assert_eq!(
+            result.report.total_started() + svc.rejected,
+            200,
+            "every request is either executed or rejected"
+        );
+        let n_none = result.outcomes.iter().filter(|o| o.is_none()).count();
+        assert_eq!(n_none as u64, svc.rejected);
+    }
+
+    #[test]
+    fn batching_folds_read_only_runs_into_fewer_executions() {
+        let (params, ws) = tiny();
+        let backend = SequentialBackend::new(ws);
+        let mut cfg = ServeConfig::new(
+            Schedule::Closed { clients: 1 },
+            WorkloadType::ReadDominated,
+            3,
+        );
+        cfg.workers = 1;
+        cfg.batch_max = 8;
+        let requests = cfg.generate(250);
+        let result = serve(&backend, &params, &cfg, &requests);
+        let svc = result.report.service.as_ref().unwrap();
+        assert!(
+            svc.batches < 250,
+            "read-dominated stream must batch: {} executions",
+            svc.batches
+        );
+        assert_eq!(result.report.total_started(), 250);
+    }
+
+    #[test]
+    fn multi_worker_serve_keeps_the_structure_valid() {
+        let (params, ws) = tiny();
+        let backend = CoarseBackend::new(ws);
+        let mut cfg = ServeConfig::new(
+            Schedule::Open { rate: 100_000.0 },
+            WorkloadType::WriteDominated,
+            11,
+        );
+        cfg.workers = 4;
+        cfg.queue_cap = 64;
+        let requests = cfg.generate(400);
+        let result = serve(&backend, &params, &cfg, &requests);
+        assert_eq!(result.report.total_started(), 400);
+        validate(&backend.export()).expect("structure intact after writes");
+    }
+}

@@ -1,0 +1,102 @@
+//! The served-stream-vs-closed-loop sequential oracle: executing an
+//! operation stream through the service layer (queue + worker) must
+//! produce exactly the same outcome for every request as running the
+//! identical stream closed-loop — serving changes *when* operations run,
+//! never *what* they compute.
+
+use stmbench7_backend::{AnyBackend, Backend, BackendChoice};
+use stmbench7_core::WorkloadType;
+use stmbench7_data::{validate, StructureParams, Workspace};
+use stmbench7_service::{run_stream_closed, serve, Admission, Schedule, ServeConfig};
+
+fn oracle_cfg(schedule: Schedule) -> ServeConfig {
+    let mut cfg = ServeConfig::new(schedule, WorkloadType::ReadWrite, 42);
+    cfg.workers = 1; // single worker ⇒ stream order ⇒ deterministic
+    cfg.queue_cap = 32;
+    cfg.admission = Admission::Block;
+    cfg
+}
+
+fn build(choice: BackendChoice) -> (StructureParams, AnyBackend) {
+    let params = StructureParams::tiny();
+    let ws = Workspace::build(params.clone(), 7);
+    (params.clone(), AnyBackend::build(choice, ws))
+}
+
+/// Runs the oracle for one backend choice and one service configuration.
+fn assert_served_equals_closed(choice: BackendChoice, cfg: &ServeConfig, n: u64) {
+    let requests = cfg.generate(n);
+
+    let (params, served_backend) = build(choice);
+    let served = serve(&served_backend, &params, cfg, &requests);
+
+    let (params, closed_backend) = build(choice);
+    let closed = run_stream_closed(&closed_backend, &params, cfg, &requests);
+
+    assert_eq!(served.outcomes.len(), closed.outcomes.len());
+    for (i, (s, c)) in served.outcomes.iter().zip(&closed.outcomes).enumerate() {
+        assert_eq!(
+            s, c,
+            "request {i} ({:?}) diverged between served and closed-loop",
+            requests[i].op
+        );
+    }
+    for (s, c) in served.report.per_op.iter().zip(&closed.report.per_op) {
+        assert_eq!(s.completed, c.completed, "{} completions", s.op.name());
+        assert_eq!(s.failed, c.failed, "{} failures", s.op.name());
+    }
+    // Both final structures are valid and census-identical.
+    let census_served = validate(&served_backend.export()).expect("served structure valid");
+    let census_closed = validate(&closed_backend.export()).expect("closed structure valid");
+    assert_eq!(census_served, census_closed);
+}
+
+#[test]
+fn sequential_served_stream_matches_closed_loop() {
+    assert_served_equals_closed(
+        BackendChoice::Sequential,
+        &oracle_cfg(Schedule::Open { rate: 500_000.0 }),
+        400,
+    );
+}
+
+#[test]
+fn sequential_oracle_holds_under_batching() {
+    let mut cfg = oracle_cfg(Schedule::Closed { clients: 1 });
+    cfg.batch_max = 8; // read-only batches fold into one transaction each
+    assert_served_equals_closed(BackendChoice::Sequential, &cfg, 400);
+}
+
+#[test]
+fn lock_and_stm_backends_agree_with_the_served_sequential_oracle() {
+    // One worker makes every backend deterministic in stream order, so
+    // the oracle extends across strategies: coarse locking and TL2 must
+    // compute exactly what sequential computes for the same stream.
+    let cfg = oracle_cfg(Schedule::Bursty {
+        rate: 400_000.0,
+        burst: 32,
+        period_ms: 1,
+    });
+    let requests = cfg.generate(300);
+
+    let (params, seq) = build(BackendChoice::Sequential);
+    let oracle = serve(&seq, &params, &cfg, &requests);
+
+    for choice in [
+        BackendChoice::Coarse,
+        BackendChoice::Tl2 {
+            granularity: stmbench7_backend::Granularity::Monolithic,
+        },
+    ] {
+        let (params, backend) = build(choice);
+        let result = serve(&backend, &params, &cfg, &requests);
+        for (i, (a, b)) in oracle.outcomes.iter().zip(&result.outcomes).enumerate() {
+            assert_eq!(
+                a,
+                b,
+                "request {i} diverged between sequential and {}",
+                backend.name()
+            );
+        }
+    }
+}

@@ -20,6 +20,7 @@ use stmbench7::backend::Backend;
 use stmbench7::core::{run_benchmark, BenchConfig, OpFilter, RunMode, WorkloadType};
 use stmbench7::data::{validate, StructureParams, Workspace};
 use stmbench7::lab::{compare_documents, registry, run_spec, Tolerance};
+use stmbench7::service::{serve, Admission, Schedule, ServeConfig};
 use stmbench7::stm::ContentionManager;
 use stmbench7::{parse_preset, AnyBackend, BackendChoice};
 
@@ -59,6 +60,48 @@ EXTENSIONS:
 SUBCOMMANDS:
     lab <spec>          run a named experiment grid and write JSON results
                         (see `stmbench7 lab --help`)
+    serve <schedule>    serve an open-loop request stream through a backend
+                        (see `stmbench7 serve --help`)
+";
+
+const SERVE_USAGE: &str = "\
+stmbench7 serve — open-loop, request-driven service mode
+
+USAGE:
+    stmbench7 serve <schedule> [OPTIONS]
+
+Replays a deterministic arrival schedule into a bounded request queue
+drained by a worker pool, and reports per-request latency decomposed
+into queue wait vs service time (p50/p95/p99) plus reject counts.
+
+SCHEDULES:
+    closed:N            everything arrives at t=0 (N suggests --workers);
+                        requires --requests
+    open:RATE           fixed-rate arrivals (req/s) with deterministic
+                        slot jitter
+    bursty:RATE:BURST:PERIOD_MS
+                        average RATE req/s, clumped: each period opens
+                        with a BURST of back-to-back arrivals
+
+OPTIONS:
+    -g, --backend <s>   synchronization strategy           [default: coarse]
+    -s <preset>         structure size                     [default: small]
+    -w r|rw|w|uNN       workload type                      [default: r]
+    --workers <n>       worker threads                     [default: 2, or N
+                        for closed:N]
+    --queue-cap <n>     request queue bound                [default: 1024]
+    --admission <p>     block | reject (drop-on-full)      [default: block]
+    --batch <k>         fold up to K read-only requests into one
+                        execution                          [default: 1]
+    --requests <n>      length of the request stream
+    -l <seconds>        stream horizon (open/bursty): offer rate x seconds
+                        requests                           [default: 5]
+    --seed <num>        RNG seed                           [default: 1]
+    --no-traversals     disable long traversals
+    --no-sms            disable structure modification operations
+    --astm-friendly     apply the paper's §5 operation filter
+    --validate          validate the structure after the run
+    -h, --help          this text
 ";
 
 const LAB_USAGE: &str = "\
@@ -373,9 +416,9 @@ fn lab_main(argv: &[String]) -> ExitCode {
             match stmbench7::lab::json::parse(&text) {
                 Ok(doc) => {
                     let format = doc.get("format").and_then(|f| f.as_str());
-                    if format != Some(stmbench7::lab::FORMAT) {
+                    if !format.is_some_and(stmbench7::lab::format_supported) {
                         eprintln!(
-                            "error: baseline {baseline_path} has format {format:?}, expected {:?}",
+                            "error: baseline {baseline_path} has format {format:?}, expected {:?} or older",
                             stmbench7::lab::FORMAT
                         );
                         return ExitCode::FAILURE;
@@ -452,10 +495,221 @@ fn lab_main(argv: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+struct ServeArgs {
+    schedule: Option<Schedule>,
+    backend: BackendChoice,
+    params: StructureParams,
+    workload: WorkloadType,
+    workers: Option<usize>,
+    queue_cap: usize,
+    admission: Admission,
+    batch: usize,
+    requests: Option<u64>,
+    length: f64,
+    seed: u64,
+    no_traversals: bool,
+    no_sms: bool,
+    astm_friendly: bool,
+    validate: bool,
+}
+
+fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        schedule: None,
+        backend: BackendChoice::Coarse,
+        params: StructureParams::small(),
+        workload: WorkloadType::ReadDominated,
+        workers: None,
+        queue_cap: 1024,
+        admission: Admission::Block,
+        batch: 1,
+        requests: None,
+        length: 5.0,
+        seed: 1,
+        no_traversals: false,
+        no_sms: false,
+        astm_friendly: false,
+        validate: false,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "-g" | "--backend" => {
+                let v = value(&mut i)?;
+                args.backend = BackendChoice::parse(&v).ok_or(format!("unknown strategy '{v}'"))?;
+            }
+            "-s" => {
+                let v = value(&mut i)?;
+                args.params = parse_preset(&v).ok_or(format!("unknown preset '{v}'"))?;
+            }
+            "-w" => {
+                let v = value(&mut i)?;
+                args.workload = WorkloadType::parse(&v).ok_or(format!("unknown workload '{v}'"))?;
+            }
+            "--workers" => {
+                let n: usize = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if n == 0 {
+                    return Err("--workers must be ≥ 1".into());
+                }
+                args.workers = Some(n);
+            }
+            "--queue-cap" => {
+                let n: usize = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+                if n == 0 {
+                    return Err("--queue-cap must be ≥ 1".into());
+                }
+                args.queue_cap = n;
+            }
+            "--admission" => {
+                let v = value(&mut i)?;
+                args.admission = Admission::parse(&v)
+                    .ok_or(format!("unknown admission policy '{v}' (block|reject)"))?;
+            }
+            "--batch" => {
+                let k: usize = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+                if k == 0 {
+                    return Err("--batch must be ≥ 1".into());
+                }
+                args.batch = k;
+            }
+            "--requests" => {
+                args.requests = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--requests: {e}"))?,
+                )
+            }
+            "-l" => {
+                let secs: f64 = value(&mut i)?.parse().map_err(|e| format!("-l: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("-l must be a positive duration, got {secs}"));
+                }
+                args.length = secs;
+            }
+            "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--no-traversals" => args.no_traversals = true,
+            "--no-sms" => args.no_sms = true,
+            "--astm-friendly" => args.astm_friendly = true,
+            "--validate" => args.validate = true,
+            "-h" | "--help" => {
+                print!("{SERVE_USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && args.schedule.is_none() => {
+                args.schedule = Some(Schedule::parse(other).ok_or(format!(
+                    "bad schedule '{other}' (closed:N | open:RATE | bursty:RATE:BURST:PERIOD_MS)"
+                ))?);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn serve_main(argv: &[String]) -> ExitCode {
+    let args = match parse_serve_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{SERVE_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(schedule) = args.schedule else {
+        eprintln!("error: no schedule named\n\n{SERVE_USAGE}");
+        return ExitCode::from(2);
+    };
+    let workers = args.workers.unwrap_or(match schedule {
+        Schedule::Closed { clients } => clients,
+        _ => 2,
+    });
+    let cfg = ServeConfig {
+        schedule,
+        workers,
+        queue_cap: args.queue_cap,
+        admission: args.admission,
+        batch_max: args.batch,
+        workload: args.workload,
+        long_traversals: !args.no_traversals,
+        structure_mods: !args.no_sms,
+        filter: if args.astm_friendly {
+            OpFilter::astm_friendly()
+        } else {
+            OpFilter::none()
+        },
+        seed: args.seed,
+    };
+    let requests = match args.requests {
+        Some(n) => cfg.generate(n),
+        None => match cfg.generate_for(Duration::from_secs_f64(args.length)) {
+            Some(reqs) => reqs,
+            None => {
+                eprintln!("error: closed schedules need --requests\n\n{SERVE_USAGE}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if requests.is_empty() {
+        eprintln!(
+            "error: the schedule offers no requests before the horizon; raise -l or the rate"
+        );
+        return ExitCode::from(2);
+    }
+
+    eprintln!(
+        "building structure (preset with {} atomic parts)...",
+        args.params.initial_atomics()
+    );
+    let ws = Workspace::build(args.params.clone(), args.seed);
+    let backend = AnyBackend::build(args.backend, ws);
+    eprintln!(
+        "serving: schedule={} backend={} workers={} queue={} admission={} batch={} requests={}",
+        schedule.key(),
+        backend.name(),
+        cfg.workers,
+        cfg.queue_cap,
+        cfg.admission.key(),
+        cfg.batch_max,
+        requests.len(),
+    );
+    let result = serve(&backend, &args.params, &cfg, &requests);
+    print!("{}", result.report.render(false));
+
+    if args.validate {
+        match validate(&backend.export()) {
+            Ok(census) => eprintln!(
+                "structure valid: {} atomic parts, {} assemblies",
+                census.atomic_parts,
+                census.base_assemblies + census.complex_assemblies
+            ),
+            Err(msg) => {
+                eprintln!("STRUCTURE CORRUPTED: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("lab") {
         return lab_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        return serve_main(&argv[1..]);
     }
     let args = match parse_args() {
         Ok(a) => a,

@@ -201,7 +201,7 @@ mod lab {
         let doc = parse(&text).expect("results must be valid JSON");
         assert_eq!(
             doc.get("format").and_then(JsonValue::as_str),
-            Some("stmbench7-lab/1")
+            Some("stmbench7-lab/2")
         );
         assert_eq!(doc.get("spec").and_then(JsonValue::as_str), Some("smoke"));
         let cells = doc.get("cells").and_then(JsonValue::as_array).unwrap();
@@ -311,6 +311,137 @@ mod lab {
             String::from_utf8_lossy(&out.stdout)
         );
         assert!(String::from_utf8_lossy(&out.stdout).contains("verdict: OK"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+mod serve {
+    use super::*;
+
+    #[test]
+    fn serve_reports_the_latency_decomposition() {
+        let (stdout, stderr) = run_ok(&[
+            "serve",
+            "open:50000",
+            "-s",
+            "tiny",
+            "--backend",
+            "tl2",
+            "-w",
+            "rw",
+            "-l",
+            "0.05",
+            "--workers",
+            "2",
+            "--validate",
+        ]);
+        assert!(
+            stdout.contains("== Service =="),
+            "service section:\n{stdout}"
+        );
+        // Queue-wait and service-time percentiles, separately.
+        assert!(stdout.contains("queue wait"), "queue-wait row:\n{stdout}");
+        assert!(
+            stdout.contains("service time"),
+            "service-time row:\n{stdout}"
+        );
+        assert!(stdout.contains("end-to-end"));
+        assert!(stdout.contains("p50") && stdout.contains("p95") && stdout.contains("p99"));
+        assert!(stdout.contains("schedule:            open50000"));
+        assert!(stdout.contains("total throughput"));
+        assert!(stderr.contains("structure valid"), "{stderr}");
+    }
+
+    #[test]
+    fn closed_schedule_with_batching_and_rejection_runs() {
+        let (stdout, _) = run_ok(&[
+            "serve",
+            "closed:2",
+            "-s",
+            "tiny",
+            "--requests",
+            "400",
+            "--queue-cap",
+            "16",
+            "--admission",
+            "reject",
+            "--batch",
+            "8",
+            "-w",
+            "r",
+            "--validate",
+        ]);
+        assert!(stdout.contains("== Service =="));
+        assert!(stdout.contains("rejected"), "reject counter:\n{stdout}");
+        assert!(stdout.contains("batch 8"));
+    }
+
+    #[test]
+    fn bad_schedule_fails_with_usage() {
+        for bad in ["open:0", "open:x", "warble:3", "closed"] {
+            let out = stmbench7()
+                .args(["serve", bad, "-s", "tiny"])
+                .output()
+                .expect("binary must launch");
+            assert!(!out.status.success(), "'{bad}' must be rejected");
+            let stderr = String::from_utf8_lossy(&out.stderr);
+            assert!(
+                stderr.contains("USAGE"),
+                "'{bad}' must print usage:\n{stderr}"
+            );
+        }
+    }
+
+    #[test]
+    fn closed_schedule_without_requests_fails_cleanly() {
+        let out = stmbench7()
+            .args(["serve", "closed:2", "-s", "tiny"])
+            .output()
+            .expect("binary must launch");
+        assert!(!out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--requests"), "{stderr}");
+    }
+
+    #[test]
+    fn lab_latency_open_writes_service_results() {
+        let dir = std::env::temp_dir().join(format!("sb7-serve-lab-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("BENCH_latency.json");
+        let out = stmbench7()
+            .args([
+                "lab",
+                "latency_open",
+                "--reps",
+                "1",
+                "--warmup",
+                "0",
+                "--out",
+            ])
+            .arg(&out_path)
+            .output()
+            .expect("binary must launch");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let doc = stmbench7::lab::json::parse(&std::fs::read_to_string(&out_path).unwrap())
+            .expect("valid JSON");
+        let cells = doc
+            .get("cells")
+            .and_then(stmbench7::core::JsonValue::as_array)
+            .unwrap();
+        assert_eq!(cells.len(), 2, "medium + tl2-sharded");
+        for cell in cells {
+            let svc = cell.get("service").expect("service object");
+            assert!(
+                svc.get("queue_wait_us")
+                    .and_then(|l| l.get("p99"))
+                    .is_some(),
+                "queue-wait percentiles in results"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }
