@@ -66,6 +66,7 @@ use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use stmbench7_data::access::PoolKind;
 use stmbench7_data::btree::BTree;
+use stmbench7_data::sharded::ShardedIndex;
 use stmbench7_data::spec::AccessSpec;
 use stmbench7_data::workspace::{
     AtomicGroup, BaseGroup, ComplexLevelGroup, CompositeGroup, DocGroup, SmState, Store, Workspace,
@@ -96,14 +97,19 @@ const UNPLANNED: TxErr = TxErr::Abort;
 
 /// Identity of one fine-grained lock.
 ///
-/// The derived `Ord` *is* the canonical acquisition order: the date index
-/// first (it gates plan stability), then base assemblies, complex
-/// assemblies and composite cells by raw id, then the manual. The SM gate
-/// is not part of the plan — it is always acquired first, before
-/// discovery.
+/// The derived `Ord` *is* the canonical acquisition order: the date-index
+/// shards first in shard order (they gate plan stability), then base
+/// assemblies, complex assemblies and composite cells by raw id, then the
+/// manual. The SM gate is not part of the plan — it is always acquired
+/// first, before discovery.
+///
+/// The date index is sharded `index_shards` ways, routed by part id (the
+/// same routing as [`ShardedIndex`]): an OP15-style date update plans
+/// exactly the shards of the parts it touches, so updates on different
+/// shards no longer serialize on one index lock.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 enum LockKey {
-    DateIndex,
+    DateShard(u32),
     Base(u32),
     Complex(u32),
     Composite(u32),
@@ -190,18 +196,27 @@ struct FineWorld {
     sm: SmState,
     manual: RwLock<Manual>,
     bases: Store<RwLock<BaseAssembly>>,
-    base_ids: BTree<u32, ()>,
+    base_ids: ShardedIndex<u32, ()>,
     complexes: Store<RwLock<ComplexAssembly>>,
     cells: Store<RwLock<CompositeCell>>,
-    composite_ids: BTree<u32, ()>,
+    composite_ids: ShardedIndex<u32, ()>,
     /// Atomic part raw id → owning composite raw id (doubles as index 1).
     atomic_owner: BTree<u32, u32>,
     /// Document raw id → owning composite raw id.
     doc_owner: BTree<u32, u32>,
     /// Index 4: document title → document raw id.
-    by_title: BTree<String, u32>,
-    /// Index 2, the only index regular operations mutate.
-    by_date: RwLock<BTree<(i32, u32), ()>>,
+    by_title: ShardedIndex<String, u32>,
+    /// Index 2 — the only index regular operations mutate — split into
+    /// per-shard locks, routed by part id (shard `s` holds the entries of
+    /// parts with `id % shards == s`).
+    by_date: Vec<RwLock<BTree<(i32, u32), ()>>>,
+}
+
+impl FineWorld {
+    /// The date-index shard a part id routes to.
+    fn date_shard_of(&self, raw: u32) -> usize {
+        raw as usize % self.by_date.len()
+    }
 }
 
 /// Counters describing how the fine-grained strategy behaved.
@@ -314,7 +329,13 @@ impl FineBackend {
                 atomic_owner,
                 doc_owner,
                 by_title: ws.documents.by_title,
-                by_date: RwLock::new(ws.atomics.by_date),
+                by_date: ws
+                    .atomics
+                    .by_date
+                    .into_shards()
+                    .into_iter()
+                    .map(RwLock::new)
+                    .collect(),
             }),
             params: ws.params,
             counters: FineCounters::default(),
@@ -442,8 +463,14 @@ impl Backend for FineBackend {
         };
         let mut atomics = AtomicGroup {
             store: Store::new(self.params.max_atomics()),
-            by_id: BTree::new(),
-            by_date: world.by_date.get_mut().clone(),
+            by_id: ShardedIndex::new(self.params.effective_shards()),
+            by_date: ShardedIndex::from_shards(
+                world
+                    .by_date
+                    .iter_mut()
+                    .map(|lock| lock.get_mut().clone())
+                    .collect(),
+            ),
         };
         let mut documents = DocGroup {
             store: Store::new(self.params.max_comps()),
@@ -717,7 +744,8 @@ impl Sb7Tx for DiscoverTx<'_> {
     }
 
     fn set_atomic_build_date(&mut self, id: AtomicPartId, date: i32) -> TxR<()> {
-        self.plan.need(LockKey::DateIndex, true);
+        let shard = self.world.date_shard_of(id.raw()) as u32;
+        self.plan.need(LockKey::DateShard(shard), true);
         self.atomic_mut(id, |p| p.build_date = date)
     }
 
@@ -755,15 +783,16 @@ impl Sb7Tx for DiscoverTx<'_> {
     }
 
     fn atomics_in_date_range(&mut self, lo: i32, hi: i32) -> TxR<Vec<AtomicPartId>> {
-        self.plan.need(LockKey::DateIndex, false);
-        let mut out = Vec::new();
-        self.world
-            .by_date
-            .read()
-            .for_range(&(lo, 0), &(hi, u32::MAX), |k, _| {
-                out.push(AtomicPartId(k.1))
-            });
-        Ok(out)
+        // A range spans every date shard; plan them all (read mode), read
+        // each momentarily, and restore the global (date, id) order.
+        let mut entries: Vec<(i32, u32)> = Vec::new();
+        for (s, shard) in self.world.by_date.iter().enumerate() {
+            self.plan.need(LockKey::DateShard(s as u32), false);
+            shard
+                .read()
+                .for_range(&(lo, 0), &(hi, u32::MAX), |k, _| entries.push(*k));
+        }
+        Ok(stmbench7_data::sharded::merge_date_entries(entries))
     }
 
     fn all_atomic_ids(&mut self) -> TxR<Vec<AtomicPartId>> {
@@ -858,13 +887,17 @@ fn pool_capacity_of(sm: &SmState, kind: PoolKind) -> usize {
 // Execution
 // ---------------------------------------------------------------------------
 
+/// A possibly-held guard over one date-index shard.
+type HeldDateShard<'a> = Option<Held<'a, BTree<(i32, u32), ()>>>;
+
 /// Phase-3 transaction: every access resolves against a guard acquired in
 /// canonical order from the discovered plan. Accesses outside the plan
 /// return [`UNPLANNED`] (an `Abort`), making the backend re-discover.
 struct ExecTx<'a> {
     module: &'a Module,
     world: &'a FineWorld,
-    date: Option<Held<'a, BTree<(i32, u32), ()>>>,
+    /// Held date-index shards, slot `s` for shard `s`.
+    date: Vec<HeldDateShard<'a>>,
     bases: HashMap<u32, Held<'a, BaseAssembly>>,
     complexes: HashMap<u32, Held<'a, ComplexAssembly>>,
     cells: HashMap<u32, Held<'a, CompositeCell>>,
@@ -877,7 +910,7 @@ impl<'a> ExecTx<'a> {
         let mut tx = ExecTx {
             module,
             world,
-            date: None,
+            date: (0..world.by_date.len()).map(|_| None).collect(),
             bases: HashMap::new(),
             complexes: HashMap::new(),
             cells: HashMap::new(),
@@ -885,8 +918,8 @@ impl<'a> ExecTx<'a> {
         };
         for (&key, &write) in &plan.locks {
             match key {
-                LockKey::DateIndex => {
-                    tx.date = Some(held(&world.by_date, write));
+                LockKey::DateShard(s) => {
+                    tx.date[s as usize] = Some(held(&world.by_date[s as usize], write));
                 }
                 LockKey::Base(raw) => {
                     // Planned objects can only vanish through SM
@@ -1054,7 +1087,8 @@ impl Sb7Tx for ExecTx<'_> {
             part.build_date = date;
             old
         };
-        let index = self.date.as_mut().ok_or(UNPLANNED)?.get_mut()?;
+        let shard = self.world.date_shard_of(id.raw());
+        let index = self.date[shard].as_mut().ok_or(UNPLANNED)?.get_mut()?;
         index.remove(&(old, id.raw()));
         index.insert((date, id.raw()), ());
         Ok(())
@@ -1094,12 +1128,14 @@ impl Sb7Tx for ExecTx<'_> {
     }
 
     fn atomics_in_date_range(&mut self, lo: i32, hi: i32) -> TxR<Vec<AtomicPartId>> {
-        let index = self.date.as_ref().ok_or(UNPLANNED)?.get();
-        let mut out = Vec::new();
-        index.for_range(&(lo, 0), &(hi, u32::MAX), |k, _| {
-            out.push(AtomicPartId(k.1))
-        });
-        Ok(out)
+        // Every shard must be in the plan (discovery plans them all for
+        // range scans); merge the sorted slices back into global order.
+        let mut entries: Vec<(i32, u32)> = Vec::new();
+        for slot in &self.date {
+            let index = slot.as_ref().ok_or(UNPLANNED)?.get();
+            index.for_range(&(lo, 0), &(hi, u32::MAX), |k, _| entries.push(*k));
+        }
+        Ok(stmbench7_data::sharded::merge_date_entries(entries))
     }
 
     fn all_atomic_ids(&mut self) -> TxR<Vec<AtomicPartId>> {
@@ -1348,7 +1384,8 @@ impl Sb7Tx for FullTx<'_> {
             .ok_or(MISSING)?;
         let old = part.build_date;
         part.build_date = date;
-        let index = self.world.by_date.get_mut();
+        let shard = self.world.date_shard_of(id.raw());
+        let index = self.world.by_date[shard].get_mut();
         index.remove(&(old, id.raw()));
         index.insert((date, id.raw()), ());
         Ok(())
@@ -1388,14 +1425,12 @@ impl Sb7Tx for FullTx<'_> {
     }
 
     fn atomics_in_date_range(&mut self, lo: i32, hi: i32) -> TxR<Vec<AtomicPartId>> {
-        let mut out = Vec::new();
-        self.world
-            .by_date
-            .get_mut()
-            .for_range(&(lo, 0), &(hi, u32::MAX), |k, _| {
-                out.push(AtomicPartId(k.1))
-            });
-        Ok(out)
+        let mut entries: Vec<(i32, u32)> = Vec::new();
+        for lock in &mut self.world.by_date {
+            lock.get_mut()
+                .for_range(&(lo, 0), &(hi, u32::MAX), |k, _| entries.push(*k));
+        }
+        Ok(stmbench7_data::sharded::merge_date_entries(entries))
     }
 
     fn all_atomic_ids(&mut self) -> TxR<Vec<AtomicPartId>> {
@@ -1429,8 +1464,8 @@ impl Sb7Tx for FullTx<'_> {
         let part = make(id);
         debug_assert_eq!(part.id, id);
         let owner = part.owner.raw();
-        self.world
-            .by_date
+        let shard = self.world.date_shard_of(raw);
+        self.world.by_date[shard]
             .get_mut()
             .insert((part.build_date, raw), ());
         self.world.atomic_owner.insert(raw, owner);
@@ -1534,7 +1569,10 @@ impl Sb7Tx for FullTx<'_> {
             .parts
             .remove(&raw)
             .expect("owner table and cell agree");
-        self.world.by_date.get_mut().remove(&(part.build_date, raw));
+        let shard = self.world.date_shard_of(raw);
+        self.world.by_date[shard]
+            .get_mut()
+            .remove(&(part.build_date, raw));
         assert!(self.world.sm.pools.atomic.free(raw), "pool drift");
         self.gc_cell(owner);
         Ok(part)
@@ -1675,14 +1713,16 @@ mod tests {
             LockKey::Composite(1),
             LockKey::Complex(9),
             LockKey::Base(500),
-            LockKey::DateIndex,
+            LockKey::DateShard(3),
+            LockKey::DateShard(0),
             LockKey::Complex(2),
         ];
         keys.sort();
         assert_eq!(
             keys,
             vec![
-                LockKey::DateIndex,
+                LockKey::DateShard(0),
+                LockKey::DateShard(3),
                 LockKey::Base(500),
                 LockKey::Complex(2),
                 LockKey::Complex(9),

@@ -7,19 +7,26 @@
 //!   protects the whole structure; read-only operations share it,
 //!   updating ones take it exclusively.
 //! * **Medium-grained** — the paper's Figure 5: one read-write lock per
-//!   assembly level, one for all composite parts, one for all atomic
-//!   parts, one for all documents, one for the manual, plus a
-//!   structure-modification gate (write mode for SM1–SM8, read mode for
-//!   everything else). Locks are always acquired in one canonical order —
-//!   gate, levels top-down, composites, atomics, documents, manual — so
-//!   deadlock is impossible by construction.
+//!   assembly level, one for all composite parts, one for all documents,
+//!   one for the manual, plus a structure-modification gate (write mode
+//!   for SM1–SM8, read mode for everything else). The atomic-part group —
+//!   the contention hot spot §5 diagnoses — is split into
+//!   `StructureParams::index_shards` lock shards ([`AtomicLockShard`]):
+//!   each shard owns the parts whose raw id routes to it *and* that
+//!   shard's slices of indexes 1 and 2, so an operation whose
+//!   [`AccessSpec::atomic_shards`] is narrowed (the OP1/OP9/OP15 family)
+//!   locks only the shards it touches. Locks are always acquired in one
+//!   canonical order — gate, levels top-down, composites, atomic shards
+//!   ascending, documents, manual — so deadlock is impossible by
+//!   construction.
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use stmbench7_data::access::PoolKind;
+use stmbench7_data::btree::BTree;
 use stmbench7_data::spec::{AccessSpec, Mode};
 use stmbench7_data::workspace::{
-    AtomicGroup, BaseGroup, ComplexLevelGroup, CompositeGroup, DirectTx, DocGroup, SmState,
+    AtomicGroup, BaseGroup, ComplexLevelGroup, CompositeGroup, DirectTx, DocGroup, SmState, Store,
     Workspace,
 };
 use stmbench7_data::{
@@ -105,7 +112,69 @@ fn unwrap_lock_result<R>(r: TxR<R>) -> R {
     }
 }
 
-/// The paper's medium-grained strategy (Figure 5).
+/// One lock shard of the atomic-part group: the parts whose raw id routes
+/// here (stored densely at `raw / shards`) plus this shard's slices of
+/// index 1 (id) and index 2 (build date — whose `(date, id)` entries
+/// route by id, so a date update touches exactly one shard).
+pub struct AtomicLockShard {
+    shards: usize,
+    store: Store<AtomicPart>,
+    by_id: BTree<u32, ()>,
+    by_date: BTree<(i32, u32), ()>,
+}
+
+impl AtomicLockShard {
+    fn local(&self, raw: u32) -> u32 {
+        raw / self.shards as u32
+    }
+
+    fn get(&self, raw: u32) -> Option<&AtomicPart> {
+        self.store.get(self.local(raw))
+    }
+
+    fn get_mut(&mut self, raw: u32) -> Option<&mut AtomicPart> {
+        let local = self.local(raw);
+        self.store.get_mut(local)
+    }
+
+    fn create(&mut self, p: AtomicPart) {
+        let raw = p.id.raw();
+        self.by_id.insert(raw, ());
+        self.by_date.insert((p.build_date, raw), ());
+        let local = self.local(raw);
+        self.store.insert(local, p);
+    }
+
+    fn delete(&mut self, raw: u32) -> Option<AtomicPart> {
+        let local = self.local(raw);
+        let p = self.store.remove(local)?;
+        self.by_id.remove(&raw);
+        self.by_date.remove(&(p.build_date, raw));
+        Some(p)
+    }
+
+    /// Fills the store during construction, when the index slices are
+    /// already populated (they arrive pre-split from the workspace).
+    fn create_store_only(&mut self, raw: u32, p: AtomicPart) {
+        let local = self.local(raw);
+        self.store.insert(local, p);
+    }
+
+    fn set_date(&mut self, raw: u32, date: i32) -> bool {
+        let local = self.local(raw);
+        let Some(p) = self.store.get_mut(local) else {
+            return false;
+        };
+        let old = p.build_date;
+        p.build_date = date;
+        self.by_date.remove(&(old, raw));
+        self.by_date.insert((date, raw), ());
+        true
+    }
+}
+
+/// The paper's medium-grained strategy (Figure 5), with the atomic-part
+/// group split into per-shard locks (see module docs).
 pub struct MediumBackend {
     params: StructureParams,
     module: Module,
@@ -113,14 +182,32 @@ pub struct MediumBackend {
     bases: RwLock<BaseGroup>,
     complexes: Vec<RwLock<ComplexLevelGroup>>,
     composites: RwLock<CompositeGroup>,
-    atomics: RwLock<AtomicGroup>,
+    atomics: Vec<RwLock<AtomicLockShard>>,
     documents: RwLock<DocGroup>,
     manual: RwLock<Manual>,
 }
 
 impl MediumBackend {
-    /// Partitions a built workspace along the Figure 5 lock groups.
+    /// Partitions a built workspace along the Figure 5 lock groups,
+    /// splitting the atomic-part group `params.index_shards` ways.
     pub fn new(ws: Workspace) -> Self {
+        let shards = ws.params.effective_shards();
+        let local_max = ws.params.max_atomics() / shards as u32;
+        let by_id_shards = ws.atomics.by_id.into_shards();
+        let by_date_shards = ws.atomics.by_date.into_shards();
+        let mut atomics: Vec<AtomicLockShard> = by_id_shards
+            .into_iter()
+            .zip(by_date_shards)
+            .map(|(by_id, by_date)| AtomicLockShard {
+                shards,
+                store: Store::new(local_max),
+                by_id,
+                by_date,
+            })
+            .collect();
+        for (raw, part) in ws.atomics.store.into_entries() {
+            atomics[raw as usize % shards].create_store_only(raw, part);
+        }
         MediumBackend {
             params: ws.params,
             module: ws.module,
@@ -128,7 +215,7 @@ impl MediumBackend {
             bases: RwLock::new(ws.bases),
             complexes: ws.complexes.into_iter().map(RwLock::new).collect(),
             composites: RwLock::new(ws.composites),
-            atomics: RwLock::new(ws.atomics),
+            atomics: atomics.into_iter().map(RwLock::new).collect(),
             documents: RwLock::new(ws.documents),
             manual: RwLock::new(ws.manual),
         }
@@ -143,9 +230,10 @@ impl MediumBackend {
 impl Backend for MediumBackend {
     fn execute<R, O: TxOperation<R>>(&self, spec: &AccessSpec, op: &mut O) -> R {
         // Canonical acquisition order (see module docs): the SM gate, then
-        // assembly levels top-down, then composites, atomics, documents,
-        // manual. All operations declare the gate, so it always comes
-        // first, which is what isolates SM operations from everything.
+        // assembly levels top-down, then composites, atomic shards
+        // ascending, documents, manual. All operations declare the gate,
+        // so it always comes first, which is what isolates SM operations
+        // from everything.
         let sm = Guard::acquire(&self.sm, spec.sm);
         let mut complexes: Vec<Guard<'_, ComplexLevelGroup>> =
             (0..self.complexes.len()).map(|_| Guard::None).collect();
@@ -159,7 +247,20 @@ impl Backend for MediumBackend {
             }
         }
         let composites = Guard::acquire(&self.composites, spec.composites);
-        let atomics = Guard::acquire(&self.atomics, spec.atomics);
+        // Per-shard atomic locks: only the declared shards are taken, so
+        // narrowed operations on different shards run concurrently.
+        let atomics: Vec<Guard<'_, AtomicLockShard>> = self
+            .atomics
+            .iter()
+            .enumerate()
+            .map(|(s, lock)| {
+                if spec.atomic_shards.contains(s) {
+                    Guard::acquire(lock, spec.atomics)
+                } else {
+                    Guard::None
+                }
+            })
+            .collect();
         let documents = Guard::acquire(&self.documents, spec.documents);
         let manual = Guard::acquire(&self.manual, spec.manual);
 
@@ -182,6 +283,14 @@ impl Backend for MediumBackend {
     }
 
     fn export(&self) -> Workspace {
+        let mut atomics =
+            AtomicGroup::new(self.params.max_atomics(), self.params.effective_shards());
+        for shard in &self.atomics {
+            let shard = shard.read();
+            for (_, part) in shard.store.iter() {
+                atomics.create(part.clone());
+            }
+        }
         Workspace {
             params: self.params.clone(),
             module: self.module.clone(),
@@ -190,7 +299,7 @@ impl Backend for MediumBackend {
             bases: self.bases.read().clone(),
             complexes: self.complexes.iter().map(|g| g.read().clone()).collect(),
             composites: self.composites.read().clone(),
-            atomics: self.atomics.read().clone(),
+            atomics,
             documents: self.documents.read().clone(),
         }
     }
@@ -229,14 +338,15 @@ impl<'a, T> Guard<'a, T> {
     }
 }
 
-/// The medium-grained transaction: a set of held guards.
+/// The medium-grained transaction: a set of held guards (one per atomic
+/// shard for the atomic-part group).
 pub struct MediumTx<'a> {
     module: &'a Module,
     sm: Guard<'a, SmState>,
     bases: Guard<'a, BaseGroup>,
     complexes: Vec<Guard<'a, ComplexLevelGroup>>,
     composites: Guard<'a, CompositeGroup>,
-    atomics: Guard<'a, AtomicGroup>,
+    atomics: Vec<Guard<'a, AtomicLockShard>>,
     documents: Guard<'a, DocGroup>,
     manual: Guard<'a, Manual>,
 }
@@ -244,6 +354,19 @@ pub struct MediumTx<'a> {
 const MISSING: TxErr = TxErr::Invariant("object not found");
 
 impl MediumTx<'_> {
+    /// The held shard an atomic raw id routes to; `Invariant` when the
+    /// operation did not declare that shard (a narrowing bug — the
+    /// backend panics on it, exactly as for undeclared groups).
+    fn atomic_shard(&self, raw: u32) -> TxR<&AtomicLockShard> {
+        self.atomics[raw as usize % self.atomics.len()].get()
+    }
+
+    /// Mutable variant of [`MediumTx::atomic_shard`].
+    fn atomic_shard_mut(&mut self, raw: u32) -> TxR<&mut AtomicLockShard> {
+        let shard = raw as usize % self.atomics.len();
+        self.atomics[shard].get_mut()
+    }
+
     fn complex_group(&self, level: u8) -> TxR<&ComplexLevelGroup> {
         self.complexes
             .get(usize::from(level) - 2)
@@ -303,9 +426,7 @@ impl Sb7Tx for MediumTx<'_> {
     }
 
     fn atomic<R>(&mut self, id: AtomicPartId, f: impl FnOnce(&AtomicPart) -> R) -> TxR<R> {
-        self.atomics
-            .get()?
-            .store
+        self.atomic_shard(id.raw())?
             .get(id.raw())
             .map(f)
             .ok_or(MISSING)
@@ -347,9 +468,7 @@ impl Sb7Tx for MediumTx<'_> {
     }
 
     fn atomic_mut<R>(&mut self, id: AtomicPartId, f: impl FnOnce(&mut AtomicPart) -> R) -> TxR<R> {
-        self.atomics
-            .get_mut()?
-            .store
+        self.atomic_shard_mut(id.raw())?
             .get_mut(id.raw())
             .map(f)
             .ok_or(MISSING)
@@ -404,7 +523,7 @@ impl Sb7Tx for MediumTx<'_> {
     }
 
     fn set_atomic_build_date(&mut self, id: AtomicPartId, date: i32) -> TxR<()> {
-        if self.atomics.get_mut()?.set_date(id.raw(), date) {
+        if self.atomic_shard_mut(id.raw())?.set_date(id.raw(), date) {
             Ok(())
         } else {
             Err(MISSING)
@@ -413,8 +532,7 @@ impl Sb7Tx for MediumTx<'_> {
 
     fn lookup_atomic(&mut self, raw: u32) -> TxR<Option<AtomicPartId>> {
         Ok(self
-            .atomics
-            .get()?
+            .atomic_shard(raw)?
             .by_id
             .get(&raw)
             .map(|_| AtomicPartId(raw)))
@@ -457,14 +575,25 @@ impl Sb7Tx for MediumTx<'_> {
     }
 
     fn atomics_in_date_range(&mut self, lo: i32, hi: i32) -> TxR<Vec<AtomicPartId>> {
-        Ok(self.atomics.get()?.in_date_range(lo, hi))
+        // Range scans span all shards; each per-shard slice is sorted, so
+        // one global sort restores the monolithic `(date, id)` order.
+        let mut entries: Vec<(i32, u32)> = Vec::new();
+        for shard in &self.atomics {
+            shard
+                .get()?
+                .by_date
+                .for_range(&(lo, 0), &(hi, u32::MAX), |k, _| entries.push(*k));
+        }
+        Ok(stmbench7_data::sharded::merge_date_entries(entries))
     }
 
     fn all_atomic_ids(&mut self) -> TxR<Vec<AtomicPartId>> {
-        let group = self.atomics.get()?;
-        let mut out = Vec::with_capacity(group.store.live());
-        group.by_id.for_each(|raw, _| out.push(AtomicPartId(*raw)));
-        Ok(out)
+        let mut out = Vec::new();
+        for shard in &self.atomics {
+            shard.get()?.by_id.for_each(|raw, _| out.push(*raw));
+        }
+        out.sort_unstable();
+        Ok(out.into_iter().map(AtomicPartId).collect())
     }
 
     fn all_base_ids(&mut self) -> TxR<Vec<BaseAssemblyId>> {
@@ -496,7 +625,8 @@ impl Sb7Tx for MediumTx<'_> {
             return Ok(None);
         };
         let id = AtomicPartId(raw);
-        self.atomics.get_mut()?.create(make(id));
+        let part = make(id);
+        self.atomic_shard_mut(raw)?.create(part);
         Ok(Some(id))
     }
 
@@ -551,7 +681,10 @@ impl Sb7Tx for MediumTx<'_> {
     }
 
     fn delete_atomic(&mut self, id: AtomicPartId) -> TxR<AtomicPart> {
-        let p = self.atomics.get_mut()?.delete(id.raw()).ok_or(MISSING)?;
+        let p = self
+            .atomic_shard_mut(id.raw())?
+            .delete(id.raw())
+            .ok_or(MISSING)?;
         assert!(self.sm.get_mut()?.pools.atomic.free(id.raw()), "pool drift");
         Ok(p)
     }
@@ -655,6 +788,47 @@ mod tests {
         coarse.execute(&read_spec(), &mut SwapManual);
     }
 
+    /// Reads atomic part `raw` through index 1.
+    struct ReadAtomic(u32);
+    impl TxOperation<i64> for ReadAtomic {
+        fn run<T: Sb7Tx>(&mut self, tx: &mut T) -> TxR<i64> {
+            let id = tx.lookup_atomic(self.0)?.expect("part exists");
+            tx.atomic(id, |p| i64::from(p.x) + i64::from(p.y))
+        }
+    }
+
+    #[test]
+    fn medium_narrowed_shard_spec_suffices() {
+        use stmbench7_data::ShardSet;
+        let shards = 8usize;
+        let ws = Workspace::build(StructureParams::tiny().with_shards(shards), 5);
+        let medium = MediumBackend::new(ws);
+        for raw in 1..=16u32 {
+            let spec = AccessSpec::new()
+                .regular()
+                .atomics(Mode::Read)
+                .atomics_shards(ShardSet::of(raw as usize % shards));
+            medium.execute(&spec, &mut ReadAtomic(raw));
+        }
+        stmbench7_data::validate(&medium.export()).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "access spec")]
+    fn medium_catches_access_outside_the_declared_shard() {
+        use stmbench7_data::ShardSet;
+        let shards = 8usize;
+        let ws = Workspace::build(StructureParams::tiny().with_shards(shards), 5);
+        let medium = MediumBackend::new(ws);
+        // Part 1 routes to shard 1; declaring only shard 2 must trip the
+        // same undeclared-access panic as an undeclared group.
+        let spec = AccessSpec::new()
+            .regular()
+            .atomics(Mode::Read)
+            .atomics_shards(ShardSet::of(2));
+        medium.execute(&spec, &mut ReadAtomic(1));
+    }
+
     #[test]
     fn export_round_trips() {
         let ws = Workspace::build(StructureParams::tiny(), 9);
@@ -666,8 +840,26 @@ mod tests {
     }
 
     #[test]
+    fn medium_sharded_export_equals_unsharded() {
+        // The shard split is pure representation: building at 8 shards
+        // and exporting must reproduce the monolithic structure.
+        let mono = Workspace::build(StructureParams::tiny(), 9);
+        let ws = Workspace::build(StructureParams::tiny().with_shards(8), 9);
+        let out = MediumBackend::new(ws).export();
+        stmbench7_data::validate(&out).unwrap();
+        assert_eq!(out.atomics.store.live(), mono.atomics.store.live());
+        assert_eq!(out.atomics.by_id.len(), mono.atomics.by_id.len());
+        let collect = |ws: &Workspace| {
+            let mut v = Vec::new();
+            ws.atomics.by_date.for_each(|k, _| v.push(*k));
+            v
+        };
+        assert_eq!(collect(&out), collect(&mono));
+    }
+
+    #[test]
     fn medium_parallel_readers_and_writers() {
-        let ws = Workspace::build(StructureParams::tiny(), 11);
+        let ws = Workspace::build(StructureParams::tiny().with_shards(4), 11);
         let medium = std::sync::Arc::new(MediumBackend::new(ws));
         std::thread::scope(|s| {
             for _ in 0..4 {

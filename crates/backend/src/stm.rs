@@ -17,10 +17,10 @@
 //!   the large ones" remedy sketched at the end of §5.
 
 use std::cell::Cell as StdCell;
-use std::hash::{Hash, Hasher};
 
 use stmbench7_data::access::PoolKind;
 use stmbench7_data::btree::BTree;
+use stmbench7_data::sharded::{shard_of_str, ShardedIndex};
 use stmbench7_data::spec::AccessSpec;
 use stmbench7_data::workspace::{
     AtomicGroup, BaseGroup, ComplexLevelGroup, CompositeGroup, DocGroup, Pools, SmState, Store,
@@ -57,19 +57,42 @@ impl Granularity {
     }
 }
 
-const SHARDS: usize = 256;
+/// Bucket count of sharded STM indexes when `--shards` is unset: the
+/// historical default, sized so that id-index buckets rarely collide.
+const DEFAULT_STM_BUCKETS: usize = 256;
 /// Build dates can drift one step below/above their initial range via
 /// `AtomicPart::next_build_date`, so date buckets get a small margin.
 const DATE_MARGIN: i32 = 4;
 
-fn shard_of(raw: u32) -> usize {
-    raw as usize % SHARDS
+/// How many buckets `Granularity::Sharded` splits each index into: the
+/// first-class `--shards` axis when set — an explicit `--shards 1`
+/// really measures one bucket — else the historical default
+/// (`index_shards == 0` means unset). Routing matches
+/// [`stmbench7_data::sharded`] exactly, so STM variable granularity and
+/// lock-shard granularity move together.
+fn stm_buckets(params: &StructureParams) -> usize {
+    if params.index_shards == 0 {
+        DEFAULT_STM_BUCKETS
+    } else {
+        params.index_shards
+    }
 }
 
-fn title_shard(title: &str) -> usize {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
-    title.hash(&mut h);
-    (h.finish() as usize) % SHARDS
+fn shard_of(raw: u32, buckets: usize) -> usize {
+    raw as usize % buckets
+}
+
+/// Collapses a (possibly sharded) workspace index into one tree — the
+/// monolithic transactional representation whose copy-on-write cost the
+/// paper measures.
+fn to_btree<K: Ord + Clone + stmbench7_data::ShardKey, V: Clone>(
+    idx: &ShardedIndex<K, V>,
+) -> BTree<K, V> {
+    let mut t = BTree::new();
+    idx.for_each(|k, v| {
+        t.insert(k.clone(), v.clone());
+    });
+    t
 }
 
 const MISSING: TxErr = TxErr::Invariant("object not found");
@@ -90,13 +113,18 @@ enum MapIndex<RT: StmRuntime, V: TxVal + Copy + Ord> {
 }
 
 impl<RT: StmRuntime, V: TxVal + Copy + Ord> MapIndex<RT, V> {
-    fn build(rt: &RT, granularity: Granularity, entries: &BTree<u32, V>) -> Self {
+    fn build(
+        rt: &RT,
+        granularity: Granularity,
+        buckets: usize,
+        entries: &ShardedIndex<u32, V>,
+    ) -> Self {
         match granularity {
-            Granularity::Monolithic => MapIndex::Mono(rt.new_var(entries.clone())),
+            Granularity::Monolithic => MapIndex::Mono(rt.new_var(to_btree(entries))),
             Granularity::Sharded => {
-                let mut buckets: Vec<Vec<(u32, V)>> = vec![Vec::new(); SHARDS];
-                entries.for_each(|k, v| buckets[shard_of(*k)].push((*k, *v)));
-                MapIndex::Sharded(buckets.into_iter().map(|b| rt.new_var(b)).collect())
+                let mut split: Vec<Vec<(u32, V)>> = vec![Vec::new(); buckets];
+                entries.for_each(|k, v| split[shard_of(*k, buckets)].push((*k, *v)));
+                MapIndex::Sharded(split.into_iter().map(|b| rt.new_var(b)).collect())
             }
         }
     }
@@ -105,7 +133,7 @@ impl<RT: StmRuntime, V: TxVal + Copy + Ord> MapIndex<RT, V> {
         match self {
             MapIndex::Mono(var) => Ok(RT::read(tx, var)?.get(&raw).copied()),
             MapIndex::Sharded(buckets) => {
-                let bucket = RT::read(tx, &buckets[shard_of(raw)])?;
+                let bucket = RT::read(tx, &buckets[shard_of(raw, buckets.len())])?;
                 Ok(bucket
                     .binary_search_by_key(&raw, |(k, _)| *k)
                     .ok()
@@ -119,11 +147,13 @@ impl<RT: StmRuntime, V: TxVal + Copy + Ord> MapIndex<RT, V> {
             MapIndex::Mono(var) => RT::update(tx, var, |t| {
                 t.insert(raw, value);
             }),
-            MapIndex::Sharded(buckets) => RT::update(tx, &buckets[shard_of(raw)], |b| {
-                if let Err(i) = b.binary_search_by_key(&raw, |(k, _)| *k) {
-                    b.insert(i, (raw, value));
-                }
-            }),
+            MapIndex::Sharded(buckets) => {
+                RT::update(tx, &buckets[shard_of(raw, buckets.len())], |b| {
+                    if let Err(i) = b.binary_search_by_key(&raw, |(k, _)| *k) {
+                        b.insert(i, (raw, value));
+                    }
+                })
+            }
         }
     }
 
@@ -132,11 +162,13 @@ impl<RT: StmRuntime, V: TxVal + Copy + Ord> MapIndex<RT, V> {
             MapIndex::Mono(var) => RT::update(tx, var, |t| {
                 t.remove(&raw);
             }),
-            MapIndex::Sharded(buckets) => RT::update(tx, &buckets[shard_of(raw)], |b| {
-                if let Ok(i) = b.binary_search_by_key(&raw, |(k, _)| *k) {
-                    b.remove(i);
-                }
-            }),
+            MapIndex::Sharded(buckets) => {
+                RT::update(tx, &buckets[shard_of(raw, buckets.len())], |b| {
+                    if let Ok(i) = b.binary_search_by_key(&raw, |(k, _)| *k) {
+                        b.remove(i);
+                    }
+                })
+            }
         }
     }
 
@@ -196,10 +228,10 @@ impl<RT: StmRuntime> DateIndex<RT> {
         rt: &RT,
         granularity: Granularity,
         params: &StructureParams,
-        entries: &BTree<(i32, u32), ()>,
+        entries: &ShardedIndex<(i32, u32), ()>,
     ) -> Self {
         match granularity {
-            Granularity::Monolithic => DateIndex::Mono(rt.new_var(entries.clone())),
+            Granularity::Monolithic => DateIndex::Mono(rt.new_var(to_btree(entries))),
             Granularity::Sharded => {
                 let lo = params.min_date - DATE_MARGIN;
                 let hi = params.max_date + DATE_MARGIN;
@@ -278,8 +310,8 @@ impl<RT: StmRuntime> DateIndex<RT> {
         }
     }
 
-    fn all_quiesced(&self, rt: &RT) -> BTree<(i32, u32), ()> {
-        let mut tree = BTree::new();
+    fn all_quiesced(&self, rt: &RT, shards: usize) -> ShardedIndex<(i32, u32), ()> {
+        let mut tree = ShardedIndex::new(shards);
         match self {
             DateIndex::Mono(var) => {
                 rt.read_quiesced(var).for_each(|k, _| {
@@ -305,16 +337,21 @@ enum TitleIndex<RT: StmRuntime> {
 }
 
 impl<RT: StmRuntime> TitleIndex<RT> {
-    fn build(rt: &RT, granularity: Granularity, entries: &BTree<String, u32>) -> Self {
+    fn build(
+        rt: &RT,
+        granularity: Granularity,
+        buckets: usize,
+        entries: &ShardedIndex<String, u32>,
+    ) -> Self {
         match granularity {
-            Granularity::Monolithic => TitleIndex::Mono(rt.new_var(entries.clone())),
+            Granularity::Monolithic => TitleIndex::Mono(rt.new_var(to_btree(entries))),
             Granularity::Sharded => {
-                let mut buckets: Vec<Vec<(String, u32)>> = vec![Vec::new(); SHARDS];
-                entries.for_each(|k, v| buckets[title_shard(k)].push((k.clone(), *v)));
-                for b in &mut buckets {
+                let mut split: Vec<Vec<(String, u32)>> = vec![Vec::new(); buckets];
+                entries.for_each(|k, v| split[shard_of_str(k, buckets)].push((k.clone(), *v)));
+                for b in &mut split {
                     b.sort();
                 }
-                TitleIndex::Sharded(buckets.into_iter().map(|b| rt.new_var(b)).collect())
+                TitleIndex::Sharded(split.into_iter().map(|b| rt.new_var(b)).collect())
             }
         }
     }
@@ -323,7 +360,7 @@ impl<RT: StmRuntime> TitleIndex<RT> {
         match self {
             TitleIndex::Mono(var) => Ok(RT::read(tx, var)?.get(&title.to_string()).copied()),
             TitleIndex::Sharded(buckets) => {
-                let bucket = RT::read(tx, &buckets[title_shard(title)])?;
+                let bucket = RT::read(tx, &buckets[shard_of_str(title, buckets.len())])?;
                 Ok(bucket
                     .binary_search_by(|(t, _)| t.as_str().cmp(title))
                     .ok()
@@ -338,7 +375,7 @@ impl<RT: StmRuntime> TitleIndex<RT> {
                 t.insert(title, raw);
             }),
             TitleIndex::Sharded(buckets) => {
-                let shard = title_shard(&title);
+                let shard = shard_of_str(&title, buckets.len());
                 RT::update(tx, &buckets[shard], |b| {
                     match b.binary_search_by(|(t, _)| t.cmp(&title)) {
                         Ok(i) => b[i].1 = raw,
@@ -354,16 +391,18 @@ impl<RT: StmRuntime> TitleIndex<RT> {
             TitleIndex::Mono(var) => RT::update(tx, var, |t| {
                 t.remove(&title.to_string());
             }),
-            TitleIndex::Sharded(buckets) => RT::update(tx, &buckets[title_shard(title)], |b| {
-                if let Ok(i) = b.binary_search_by(|(t, _)| t.as_str().cmp(title)) {
-                    b.remove(i);
-                }
-            }),
+            TitleIndex::Sharded(buckets) => {
+                RT::update(tx, &buckets[shard_of_str(title, buckets.len())], |b| {
+                    if let Ok(i) = b.binary_search_by(|(t, _)| t.as_str().cmp(title)) {
+                        b.remove(i);
+                    }
+                })
+            }
         }
     }
 
-    fn all_quiesced(&self, rt: &RT) -> BTree<String, u32> {
-        let mut tree = BTree::new();
+    fn all_quiesced(&self, rt: &RT, shards: usize) -> ShardedIndex<String, u32> {
+        let mut tree = ShardedIndex::new(shards);
         match self {
             TitleIndex::Mono(var) => {
                 rt.read_quiesced(var).for_each(|k, v| {
@@ -516,12 +555,27 @@ impl<RT: StmRuntime + RtName> StmBackend<RT> {
             bases: store_to_vars(&rt, &ws.bases.store, params.max_bases()),
             complexes: store_to_vars(&rt, &complex_store, params.max_complexes()),
             documents: store_to_vars(&rt, &ws.documents.store, params.max_comps()),
-            atomic_ids: MapIndex::build(&rt, granularity, &ws.atomics.by_id),
+            atomic_ids: MapIndex::build(&rt, granularity, stm_buckets(&params), &ws.atomics.by_id),
             atomic_dates: DateIndex::build(&rt, granularity, &params, &ws.atomics.by_date),
-            composite_ids: MapIndex::build(&rt, granularity, &ws.composites.by_id),
-            doc_titles: TitleIndex::build(&rt, granularity, &ws.documents.by_title),
-            base_ids: MapIndex::build(&rt, granularity, &ws.bases.by_id),
-            complex_levels: MapIndex::build(&rt, granularity, &ws.sm.complex_index),
+            composite_ids: MapIndex::build(
+                &rt,
+                granularity,
+                stm_buckets(&params),
+                &ws.composites.by_id,
+            ),
+            doc_titles: TitleIndex::build(
+                &rt,
+                granularity,
+                stm_buckets(&params),
+                &ws.documents.by_title,
+            ),
+            base_ids: MapIndex::build(&rt, granularity, stm_buckets(&params), &ws.bases.by_id),
+            complex_levels: MapIndex::build(
+                &rt,
+                granularity,
+                stm_buckets(&params),
+                &ws.sm.complex_index,
+            ),
             rt,
         }
     }
@@ -588,10 +642,11 @@ impl<RT: StmRuntime + RtName> Backend for StmBackend<RT> {
                 }
             }
         };
+        let shards = self.params.effective_shards();
         ws.sm = SmState {
             pools: (*rt.read_quiesced(&self.pools)).clone(),
             complex_index: {
-                let mut t = BTree::new();
+                let mut t = ShardedIndex::new(shards);
                 for (k, v) in self.complex_levels.all_quiesced(rt) {
                     t.insert(k, v);
                 }
@@ -600,7 +655,7 @@ impl<RT: StmRuntime + RtName> Backend for StmBackend<RT> {
         };
         ws.bases = BaseGroup {
             store: vars_to_store(rt, &self.bases),
-            by_id: presence_tree(self.base_ids.all_quiesced(rt)),
+            by_id: presence_index(self.base_ids.all_quiesced(rt), shards),
         };
         let complex_store: Store<ComplexAssembly> = vars_to_store(rt, &self.complexes);
         let levels = usize::from(self.params.assembly_levels);
@@ -616,16 +671,16 @@ impl<RT: StmRuntime + RtName> Backend for StmBackend<RT> {
             .collect();
         ws.composites = CompositeGroup {
             store: vars_to_store(rt, &self.composites),
-            by_id: presence_tree(self.composite_ids.all_quiesced(rt)),
+            by_id: presence_index(self.composite_ids.all_quiesced(rt), shards),
         };
         ws.atomics = AtomicGroup {
             store: vars_to_store(rt, &self.atomics),
-            by_id: presence_tree(self.atomic_ids.all_quiesced(rt)),
-            by_date: self.atomic_dates.all_quiesced(rt),
+            by_id: presence_index(self.atomic_ids.all_quiesced(rt), shards),
+            by_date: self.atomic_dates.all_quiesced(rt, shards),
         };
         ws.documents = DocGroup {
             store: vars_to_store(rt, &self.documents),
-            by_title: self.doc_titles.all_quiesced(rt),
+            by_title: self.doc_titles.all_quiesced(rt, shards),
         };
         ws
     }
@@ -645,8 +700,8 @@ fn vars_to_store<RT: StmRuntime, T: TxVal>(rt: &RT, vars: &[RT::Var<Slot<T>>]) -
     store
 }
 
-fn presence_tree(keys: Vec<(u32, ())>) -> BTree<u32, ()> {
-    let mut t = BTree::new();
+fn presence_index(keys: Vec<(u32, ())>, shards: usize) -> ShardedIndex<u32, ()> {
+    let mut t = ShardedIndex::new(shards);
     for (k, ()) in keys {
         t.insert(k, ());
     }

@@ -35,6 +35,7 @@ fn main() {
                         backend,
                         workload,
                         threads,
+                        shards: None,
                         long_traversals: true,
                         structure_mods: true,
                         astm_friendly: false,

@@ -38,6 +38,7 @@ fn main() {
                         backend,
                         workload,
                         threads,
+                        shards: None,
                         long_traversals: false,
                         structure_mods: true,
                         astm_friendly: true,

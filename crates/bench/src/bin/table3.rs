@@ -30,6 +30,7 @@ fn main() {
                 backend: BackendChoice::Coarse,
                 workload,
                 threads,
+                shards: None,
                 long_traversals: false,
                 structure_mods: true,
                 astm_friendly: false,

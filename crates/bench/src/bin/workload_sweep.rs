@@ -51,6 +51,7 @@ fn main() {
                     backend,
                     workload: WorkloadType::Custom { update_pct },
                     threads,
+                    shards: None,
                     long_traversals: false,
                     structure_mods: true,
                     astm_friendly: false,

@@ -86,6 +86,7 @@ mod tests {
             backend: BackendChoice::Coarse,
             workload: WorkloadType::ReadWrite,
             threads: 1,
+            shards: None,
             long_traversals: false,
             structure_mods: true,
             astm_friendly: false,

@@ -14,7 +14,7 @@ use stmbench7_backend::{Backend, TxOperation};
 use stmbench7_data::{OpOutcome, Sb7Tx, StructureParams, TxR};
 
 use crate::histogram::Histogram;
-use crate::ops::{access_spec, run_op, OpCtx, OpKind};
+use crate::ops::{access_spec, run_op, shard_hint, OpCtx, OpKind};
 use crate::report::{OpReport, Report};
 use crate::workload::{OpFilter, WorkloadMix, WorkloadType};
 
@@ -150,9 +150,15 @@ pub fn run_benchmark<B: Backend>(
                         }
                     }
                     let op = mix.pick(&mut ctx.rng);
+                    // Per-instance spec: narrow the atomic shard set when
+                    // the operation's footprint is known from its pre-drawn
+                    // ids (sharded structures only; see `shard_hint`).
+                    let mut spec = specs[op.index()];
+                    if let Some(hint) = shard_hint(op, &ctx) {
+                        spec.atomic_shards = hint;
+                    }
                     let t0 = Instant::now();
-                    let outcome =
-                        backend.execute(&specs[op.index()], &mut Runner::new(op, &mut ctx));
+                    let outcome = backend.execute(&spec, &mut Runner::new(op, &mut ctx));
                     let dt = t0.elapsed().as_nanos() as u64;
                     let s = &mut stats[op.index()];
                     match outcome {

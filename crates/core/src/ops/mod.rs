@@ -17,8 +17,8 @@ pub mod traversals;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use stmbench7_data::spec::{AccessSpec, Mode};
-use stmbench7_data::{OpOutcome, Sb7Tx, StructureParams, TxR};
+use stmbench7_data::spec::{AccessSpec, Mode, ShardSet};
+use stmbench7_data::{OpOutcome, Sb7Tx, ShardKey, StructureParams, TxR};
 
 /// The paper's four operation categories.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -333,6 +333,41 @@ pub fn access_spec(op: OpKind, levels: u8) -> AccessSpec {
     }
 }
 
+/// The exact atomic-part shard set of one operation *instance*, when it
+/// can be known before execution: the OP1/OP9/OP15 family draws its ten
+/// candidate ids first thing (see [`short_ops::op1`]) and touches no
+/// other atomic part — and a date entry shares its part's shard — so
+/// replaying those draws against a clone of the operation's RNG yields
+/// the full footprint. Backends with per-shard atomic locks (the medium
+/// strategy) then skip every other shard.
+///
+/// Returns `None` for every operation whose footprint is data-dependent
+/// (range scans, traversals): those keep the conservative
+/// [`ShardSet::ALL`] declaration.
+pub fn shard_hint(op: OpKind, ctx: &OpCtx) -> Option<ShardSet> {
+    let shards = ctx.params.effective_shards();
+    if shards <= 1 {
+        return None;
+    }
+    match op {
+        OpKind::Op1 | OpKind::Op9 | OpKind::Op15 => {
+            // Replay the ten draws exactly as `op1_impl` will make them;
+            // `begin_attempt` restores this same RNG state for every
+            // execution attempt, so the replay is exact by construction.
+            let mut probe = OpCtx {
+                params: ctx.params.clone(),
+                rng: ctx.rng.clone(),
+            };
+            let mut set = ShardSet::EMPTY;
+            for _ in 0..10 {
+                set = set.with(probe.random_atomic_raw().shard(shards));
+            }
+            Some(set)
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +430,33 @@ mod tests {
             assert_eq!(spec.sm.is_write(), is_sm, "{} gate mode wrong", op.name());
             assert!(spec.sm.touched(), "{} must declare the gate", op.name());
         }
+    }
+
+    #[test]
+    fn shard_hints_cover_exactly_the_drawn_ids() {
+        let params = StructureParams::tiny().with_shards(8);
+        for op in [OpKind::Op1, OpKind::Op9, OpKind::Op15] {
+            for seed in 0..20 {
+                let ctx = OpCtx::new(params.clone(), seed);
+                let hint = shard_hint(op, &ctx).expect("op1 family is hintable");
+                // Replaying the same draws independently must land inside
+                // the hinted set, and the hint must contain nothing else.
+                let mut probe = OpCtx::new(params.clone(), seed);
+                let mut expect = ShardSet::EMPTY;
+                for _ in 0..10 {
+                    let raw = probe.random_atomic_raw();
+                    assert!(hint.contains(raw as usize % 8));
+                    expect = expect.with(raw as usize % 8);
+                }
+                assert_eq!(hint, expect);
+                assert!(!hint.is_all());
+            }
+        }
+        // Data-dependent footprints never get a hint; unsharded
+        // structures never do either.
+        assert!(shard_hint(OpKind::Op2, &OpCtx::new(params, 1)).is_none());
+        let unsharded = OpCtx::new(StructureParams::tiny(), 1);
+        assert!(shard_hint(OpKind::Op1, &unsharded).is_none());
     }
 
     #[test]

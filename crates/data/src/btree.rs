@@ -255,6 +255,38 @@ impl<K: Ord + Clone, V: Clone> Node<K, V> {
             Node::Internal { children, .. } => 1 + children[0].depth(),
         }
     }
+
+    fn collect<'a>(&'a self, out: &mut Vec<(&'a K, &'a V)>) {
+        match self {
+            Node::Leaf { entries } => out.extend(entries.iter().map(|(k, v)| (k, v))),
+            Node::Internal { children, .. } => {
+                for c in children {
+                    c.collect(out);
+                }
+            }
+        }
+    }
+
+    fn collect_range<'a>(&'a self, lo: &K, hi: &K, out: &mut Vec<(&'a K, &'a V)>) {
+        match self {
+            Node::Leaf { entries } => {
+                let start = entries.partition_point(|(k, _)| k < lo);
+                for (k, v) in &entries[start..] {
+                    if k > hi {
+                        break;
+                    }
+                    out.push((k, v));
+                }
+            }
+            Node::Internal { keys, children } => {
+                let first = Self::route(keys, lo);
+                let last = Self::route(keys, hi);
+                for c in &children[first..=last] {
+                    c.collect_range(lo, hi, out);
+                }
+            }
+        }
+    }
 }
 
 /// An ordered map with B+tree structure.
@@ -359,6 +391,24 @@ impl<K: Ord + Clone, V: Clone> BTree<K, V> {
             return;
         }
         self.root.for_range(lo, hi, &mut f);
+    }
+
+    /// All entries in key order, as borrows — the merge input of
+    /// [`crate::sharded::ShardedIndex`].
+    pub fn entries(&self) -> Vec<(&K, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        self.root.collect(&mut out);
+        out
+    }
+
+    /// Entries with keys in `[lo, hi]` (inclusive), in key order, as
+    /// borrows.
+    pub fn entries_in_range(&self, lo: &K, hi: &K) -> Vec<(&K, &V)> {
+        let mut out = Vec::new();
+        if lo <= hi {
+            self.root.collect_range(lo, hi, &mut out);
+        }
+        out
     }
 
     /// Tree depth (for diagnostics and tests).

@@ -18,6 +18,9 @@
 //! * [`params`] — structure-size presets (`paper_full`, `standard`,
 //!   `small`, `tiny`),
 //! * [`btree`] — the B+tree used for every index,
+//! * [`sharded`] — [`sharded::ShardedIndex`], N per-shard B+trees behind
+//!   one map API with order-preserving merged enumeration; the unit of
+//!   per-shard locking in the backends (`--shards`),
 //! * [`text`] — document/manual text generation and the search/replace
 //!   operations the paper specifies,
 //! * [`access`] — the `Sb7Tx` trait, transaction error types and the
@@ -35,6 +38,7 @@ pub mod builder;
 pub mod ids;
 pub mod objects;
 pub mod params;
+pub mod sharded;
 pub mod spec;
 pub mod text;
 pub mod validate;
@@ -49,6 +53,7 @@ pub use objects::{
     AtomicPart, BaseAssembly, ComplexAssembly, CompositePart, Connection, Document, Manual, Module,
 };
 pub use params::StructureParams;
-pub use spec::{AccessSpec, Mode};
+pub use sharded::{ShardKey, ShardedIndex};
+pub use spec::{AccessSpec, Mode, ShardSet};
 pub use validate::{validate, Census};
 pub use workspace::{DirectTx, Workspace};

@@ -44,6 +44,15 @@ pub struct StructureParams {
     /// Headroom factor (percent) for id pools over the initial population;
     /// structure modifications fail once a pool is exhausted.
     pub growth_percent: u32,
+    /// Number of shards each Table 1 index is split into (the CLI's
+    /// `--shards` axis; see [`crate::sharded`]). `0` — the preset
+    /// default — means *unset*: indexes are monolithic
+    /// ([`StructureParams::effective_shards`] = 1) and the sharded STM
+    /// granularity keeps its own historical bucket sizing. Any explicit
+    /// value (including 1) is exact for every backend, so `--shards 1`
+    /// really measures one bucket. Bounded by
+    /// [`crate::sharded::MAX_SHARDS`].
+    pub index_shards: usize,
 }
 
 impl StructureParams {
@@ -76,23 +85,27 @@ impl StructureParams {
     }
 
     /// Parses a preset name (`tiny`, `small`, `standard`/`medium-oo7`,
-    /// `paper-full`) — the `-s`/`--preset` vocabulary of the CLI, the
-    /// sweep binaries and the lab harness.
+    /// `paper-full`/`paper_full`) — the `-s`/`--preset` vocabulary of the
+    /// CLI, the sweep binaries and the lab harness.
     pub fn parse(s: &str) -> Option<Self> {
         Some(match s {
             "tiny" => StructureParams::tiny(),
             "small" => StructureParams::small(),
             "standard" | "medium-oo7" => StructureParams::standard(),
-            "paper-full" => StructureParams::paper_full(),
+            "paper-full" | "paper_full" => StructureParams::paper_full(),
             _ => return None,
         })
     }
 
-    /// The preset name whose sizing equals `self`, if any.
+    /// The preset name whose sizing equals `self`, if any. The shard
+    /// count is a contention axis, not a sizing axis, so it is ignored:
+    /// `small` at `--shards 8` is still the `small` preset.
     pub fn preset_name(&self) -> Option<&'static str> {
         ["tiny", "small", "standard", "paper-full"]
             .into_iter()
-            .find(|name| Self::parse(name).as_ref() == Some(self))
+            .find(|name| {
+                Self::parse(name).map(|p| p.with_shards(self.index_shards)) == Some(self.clone())
+            })
     }
 
     #[allow(clippy::too_many_arguments)] // Private constructor mirroring the preset table's columns.
@@ -119,7 +132,21 @@ impl StructureParams {
             min_date: 1000,
             max_date: 1999,
             growth_percent: 30,
+            index_shards: 0,
         }
+    }
+
+    /// This preset with an explicit index shard count (the `--shards`
+    /// override; sharding never changes results, only contention).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.index_shards = shards;
+        self
+    }
+
+    /// The shard count the in-memory indexes are actually built with:
+    /// the explicit `--shards` value, or 1 (monolithic) when unset.
+    pub fn effective_shards(&self) -> usize {
+        self.index_shards.max(1)
     }
 
     /// Initial number of base assemblies: `fanout^(levels-1)`.
@@ -189,6 +216,13 @@ impl StructureParams {
         if self.manual_chunks == 0 || self.manual_size == 0 || self.doc_size == 0 {
             return Err("text sizes and manual_chunks must be ≥ 1".into());
         }
+        if self.index_shards > crate::sharded::MAX_SHARDS {
+            return Err(format!(
+                "index_shards must be in 0..={} (0 = unset), got {}",
+                crate::sharded::MAX_SHARDS,
+                self.index_shards
+            ));
+        }
         Ok(())
     }
 
@@ -252,6 +286,26 @@ mod tests {
         let p = StructureParams::standard();
         assert_eq!(p.young_range(), (1990, 1999));
         assert_eq!(p.old_range(), (1900, 1999));
+    }
+
+    #[test]
+    fn shard_axis_parses_and_keeps_preset_identity() {
+        let p = StructureParams::small().with_shards(8);
+        p.check().unwrap();
+        assert_eq!(p.index_shards, 8);
+        assert_eq!(p.effective_shards(), 8);
+        assert_eq!(p.preset_name(), Some("small"));
+        // Both spellings of the paper preset parse to the same sizing.
+        assert_eq!(
+            StructureParams::parse("paper_full"),
+            StructureParams::parse("paper-full")
+        );
+        // Unset (0) builds monolithic indexes; explicit values are exact.
+        assert_eq!(StructureParams::tiny().effective_shards(), 1);
+        assert_eq!(StructureParams::tiny().with_shards(1).effective_shards(), 1);
+        assert!(StructureParams::tiny().with_shards(0).check().is_ok());
+        assert!(StructureParams::tiny().with_shards(65).check().is_err());
+        assert!(StructureParams::tiny().with_shards(64).check().is_ok());
     }
 
     #[test]

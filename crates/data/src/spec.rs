@@ -48,6 +48,66 @@ impl Mode {
 /// Maximum number of assembly levels supported by the lock tables.
 pub const MAX_LEVELS: usize = 7;
 
+/// A set of index shards, as a 64-bit mask (bit `s` = shard `s`; see
+/// [`crate::sharded::MAX_SHARDS`]).
+///
+/// Operations whose atomic-part footprint is known up front (the OP1/OP9/
+/// OP15 family draws its ten ids before the transaction begins) narrow
+/// their [`AccessSpec`] to the shards those ids route to; everything else
+/// declares [`ShardSet::ALL`]. Backends intersect the declared set with
+/// the configured shard count, so `ALL` means "every configured shard"
+/// regardless of how many there are.
+///
+/// As a bitmask the set is canonical by construction: unions cannot
+/// introduce duplicates and membership is order-free.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ShardSet(pub u64);
+
+impl ShardSet {
+    /// Every shard (the default: no narrowing).
+    pub const ALL: ShardSet = ShardSet(u64::MAX);
+    /// No shard.
+    pub const EMPTY: ShardSet = ShardSet(0);
+
+    /// The singleton set of one shard index (< 64).
+    pub fn of(shard: usize) -> ShardSet {
+        ShardSet(0).with(shard)
+    }
+
+    /// This set plus one shard.
+    pub fn with(self, shard: usize) -> ShardSet {
+        assert!(shard < 64, "shard index {shard} out of mask range");
+        ShardSet(self.0 | (1 << shard))
+    }
+
+    /// True when the shard is in the set.
+    pub fn contains(self, shard: usize) -> bool {
+        shard < 64 && self.0 & (1 << shard) != 0
+    }
+
+    /// Set union (bitwise or — canonical and duplicate-free).
+    pub fn union(self, other: ShardSet) -> ShardSet {
+        ShardSet(self.0 | other.0)
+    }
+
+    /// True when no narrowing is in effect.
+    pub fn is_all(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// Number of member shards among the first `shards` configured ones.
+    pub fn count(self, shards: usize) -> usize {
+        (0..shards.min(64)).filter(|&s| self.contains(s)).count()
+    }
+}
+
+impl Default for ShardSet {
+    /// The default is "every shard": an unnarrowed declaration.
+    fn default() -> Self {
+        ShardSet::ALL
+    }
+}
+
 /// Which lock groups an operation touches, and how.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub struct AccessSpec {
@@ -62,6 +122,10 @@ pub struct AccessSpec {
     pub composites: Mode,
     /// All atomic parts (stores, connections, both indexes).
     pub atomics: Mode,
+    /// Which atomic-part index shards the `atomics` mode applies to.
+    /// Meaningful only when `atomics` is touched; backends with per-shard
+    /// atomic locks (the medium strategy) acquire exactly these shards.
+    pub atomic_shards: ShardSet,
     /// All documents (store and title index).
     pub documents: Mode,
     /// The manual.
@@ -107,9 +171,18 @@ impl AccessSpec {
         self
     }
 
-    /// Sets the atomic-part group mode.
+    /// Sets the atomic-part group mode (over all shards).
     pub fn atomics(mut self, mode: Mode) -> Self {
         self.atomics = mode;
+        self
+    }
+
+    /// Narrows the atomic-part declaration to a shard set. Only sound
+    /// when the operation's atomic accesses provably route to those
+    /// shards (the engine narrows the OP1/OP9/OP15 family by replaying
+    /// their pre-drawn ids).
+    pub fn atomics_shards(mut self, shards: ShardSet) -> Self {
+        self.atomic_shards = shards;
         self
     }
 
@@ -135,11 +208,21 @@ impl AccessSpec {
         for (i, slot) in levels.iter_mut().enumerate() {
             *slot = self.levels[i].max(other.levels[i]);
         }
+        // Shard narrowing only means something while the group is
+        // touched: an untouched side contributes no shards, whatever its
+        // (defaulted) mask says.
+        let atomic_shards = match (self.atomics.touched(), other.atomics.touched()) {
+            (true, true) => self.atomic_shards.union(other.atomic_shards),
+            (true, false) => self.atomic_shards,
+            (false, true) => other.atomic_shards,
+            (false, false) => ShardSet::ALL,
+        };
         AccessSpec {
             sm: self.sm.max(other.sm),
             levels,
             composites: self.composites.max(other.composites),
             atomics: self.atomics.max(other.atomics),
+            atomic_shards,
             documents: self.documents.max(other.documents),
             manual: self.manual.max(other.manual),
         }
@@ -230,11 +313,126 @@ mod tests {
     }
 
     #[test]
+    fn shard_sets_are_canonical_masks() {
+        let a = ShardSet::of(3).with(5);
+        assert!(a.contains(3) && a.contains(5) && !a.contains(4));
+        assert_eq!(a.count(8), 2);
+        // Re-adding a member changes nothing (no duplicates possible).
+        assert_eq!(a.with(3), a);
+        // Union is commutative, associative-by-construction, idempotent.
+        let b = ShardSet::of(5).with(7);
+        assert_eq!(a.union(b), b.union(a));
+        assert_eq!(a.union(a), a);
+        assert_eq!(a.union(b).count(8), 3);
+        assert!(ShardSet::ALL.contains(63));
+        assert!(ShardSet::default().is_all());
+        assert_eq!(ShardSet::EMPTY.count(64), 0);
+    }
+
+    #[test]
+    fn union_merges_shard_sets_only_when_touched() {
+        let narrowed = AccessSpec::new()
+            .regular()
+            .atomics(Mode::Read)
+            .atomics_shards(ShardSet::of(2));
+        let other_narrowed = AccessSpec::new()
+            .regular()
+            .atomics(Mode::Write)
+            .atomics_shards(ShardSet::of(6));
+        let untouched = AccessSpec::new().regular().manual(Mode::Read);
+
+        let u = narrowed.union(&other_narrowed);
+        assert_eq!(u.atomics, Mode::Write);
+        assert_eq!(u.atomic_shards, ShardSet::of(2).with(6));
+
+        // An untouched side must not widen the narrowing to ALL through
+        // its defaulted mask.
+        let v = narrowed.union(&untouched);
+        assert_eq!(v.atomic_shards, ShardSet::of(2));
+        assert_eq!(untouched.union(&narrowed).atomic_shards, ShardSet::of(2));
+
+        // A genuinely unnarrowed toucher does widen.
+        let wide = AccessSpec::new().regular().atomics(Mode::Read);
+        assert!(narrowed.union(&wide).atomic_shards.is_all());
+    }
+
+    #[test]
     fn mode_predicates() {
         assert!(Mode::Read.touched());
         assert!(Mode::Write.touched());
         assert!(!Mode::None.touched());
         assert!(Mode::Write.is_write());
         assert!(!Mode::Read.is_write());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn set_of(shards: &[usize]) -> ShardSet {
+            shards.iter().fold(ShardSet::EMPTY, |s, &i| s.with(i))
+        }
+
+        proptest! {
+            /// Unions of per-shard lock sets stay canonical and
+            /// deduplicated: membership is exactly the set-union of the
+            /// inputs, independent of construction order or repetition,
+            /// and union is commutative, associative and idempotent.
+            #[test]
+            fn union_of_shard_sets_is_canonical(
+                a in proptest::collection::vec(0usize..64, 0..20),
+                b in proptest::collection::vec(0usize..64, 0..20),
+                c in proptest::collection::vec(0usize..64, 0..20),
+            ) {
+                let (sa, sb, sc) = (set_of(&a), set_of(&b), set_of(&c));
+                let u = sa.union(sb);
+                for s in 0..64 {
+                    prop_assert_eq!(u.contains(s), a.contains(&s) || b.contains(&s));
+                }
+                // Repetition in the input cannot inflate the set.
+                let doubled: Vec<usize> = a.iter().chain(a.iter()).copied().collect();
+                prop_assert_eq!(set_of(&doubled), sa);
+                prop_assert_eq!(u, sb.union(sa));
+                prop_assert_eq!(u.union(u), u);
+                prop_assert_eq!(sa.union(sb).union(sc), sa.union(sb.union(sc)));
+                prop_assert_eq!(u.count(64), {
+                    let mut all: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+                    all.sort_unstable();
+                    all.dedup();
+                    all.len()
+                });
+            }
+
+            /// Spec-level union respects shard narrowing: the merged
+            /// atomic shard set is the member union when both sides touch
+            /// atomics, the touching side's set when only one does, and
+            /// ALL when neither does (the default declaration).
+            #[test]
+            fn spec_union_narrows_exactly(
+                a in proptest::collection::vec(0usize..64, 1..10),
+                b in proptest::collection::vec(0usize..64, 1..10),
+                touch_a in any::<bool>(),
+                touch_b in any::<bool>(),
+            ) {
+                let mk = |touched: bool, shards: &[usize]| {
+                    let spec = AccessSpec::new().regular();
+                    if touched {
+                        spec.atomics(Mode::Read).atomics_shards(set_of(shards))
+                    } else {
+                        spec
+                    }
+                };
+                let u = mk(touch_a, &a).union(&mk(touch_b, &b));
+                let expect = match (touch_a, touch_b) {
+                    (true, true) => set_of(&a).union(set_of(&b)),
+                    (true, false) => set_of(&a),
+                    (false, true) => set_of(&b),
+                    (false, false) => ShardSet::ALL,
+                };
+                prop_assert_eq!(u.atomic_shards, expect);
+                // Union with itself is a fixpoint (canonical form).
+                prop_assert_eq!(u.union(&u), u);
+            }
+        }
     }
 }

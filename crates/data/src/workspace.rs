@@ -10,7 +10,6 @@
 //! sequential baseline and the coarse-grained strategy.
 
 use crate::access::{PoolKind, Sb7Tx, TxErr, TxR};
-use crate::btree::BTree;
 use crate::ids::{
     AtomicPartId, BaseAssemblyId, ComplexAssemblyId, CompositePartId, DocumentId, IdPool,
 };
@@ -18,6 +17,7 @@ use crate::objects::{
     AtomicPart, BaseAssembly, ComplexAssembly, CompositePart, Document, Manual, Module,
 };
 use crate::params::StructureParams;
+use crate::sharded::ShardedIndex;
 use crate::text;
 
 /// A dense slot store keyed directly by raw object id.
@@ -85,6 +85,16 @@ impl<T> Store<T> {
             .enumerate()
             .filter_map(|(i, s)| s.as_ref().map(|t| (i as u32, t)))
     }
+
+    /// Consumes the store, yielding owned `(raw_id, object)` pairs in id
+    /// order — lets backends repartition a workspace without cloning
+    /// every object (50 M atomic parts at paper scale).
+    pub fn into_entries(self) -> impl Iterator<Item = (u32, T)> {
+        self.slots
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|t| (i as u32, t)))
+    }
 }
 
 /// Group 1 of Figure 5: base assemblies (assembly level 1) and their id
@@ -92,14 +102,14 @@ impl<T> Store<T> {
 #[derive(Clone, Debug)]
 pub struct BaseGroup {
     pub store: Store<BaseAssembly>,
-    pub by_id: BTree<u32, ()>,
+    pub by_id: ShardedIndex<u32, ()>,
 }
 
 impl BaseGroup {
-    fn new(max_raw: u32) -> Self {
+    fn new(max_raw: u32, shards: usize) -> Self {
         BaseGroup {
             store: Store::new(max_raw),
-            by_id: BTree::new(),
+            by_id: ShardedIndex::new(shards),
         }
     }
 
@@ -128,14 +138,14 @@ pub struct ComplexLevelGroup {
 #[derive(Clone, Debug)]
 pub struct CompositeGroup {
     pub store: Store<CompositePart>,
-    pub by_id: BTree<u32, ()>,
+    pub by_id: ShardedIndex<u32, ()>,
 }
 
 impl CompositeGroup {
-    fn new(max_raw: u32) -> Self {
+    fn new(max_raw: u32, shards: usize) -> Self {
         CompositeGroup {
             store: Store::new(max_raw),
-            by_id: BTree::new(),
+            by_id: ShardedIndex::new(shards),
         }
     }
 
@@ -157,17 +167,20 @@ impl CompositeGroup {
 #[derive(Clone, Debug)]
 pub struct AtomicGroup {
     pub store: Store<AtomicPart>,
-    pub by_id: BTree<u32, ()>,
-    /// Duplicate dates are modeled with composite `(date, id)` keys.
-    pub by_date: BTree<(i32, u32), ()>,
+    pub by_id: ShardedIndex<u32, ()>,
+    /// Duplicate dates are modeled with composite `(date, id)` keys;
+    /// entries route by the *id* component (see [`crate::sharded`]), so
+    /// a part's date entry lives in its own shard.
+    pub by_date: ShardedIndex<(i32, u32), ()>,
 }
 
 impl AtomicGroup {
-    fn new(max_raw: u32) -> Self {
+    /// Creates an empty group with `shards`-way sharded indexes.
+    pub fn new(max_raw: u32, shards: usize) -> Self {
         AtomicGroup {
             store: Store::new(max_raw),
-            by_id: BTree::new(),
-            by_date: BTree::new(),
+            by_id: ShardedIndex::new(shards),
+            by_date: ShardedIndex::new(shards),
         }
     }
 
@@ -213,14 +226,14 @@ impl AtomicGroup {
 #[derive(Clone, Debug)]
 pub struct DocGroup {
     pub store: Store<Document>,
-    pub by_title: BTree<String, u32>,
+    pub by_title: ShardedIndex<String, u32>,
 }
 
 impl DocGroup {
-    fn new(max_raw: u32) -> Self {
+    fn new(max_raw: u32, shards: usize) -> Self {
         DocGroup {
             store: Store::new(max_raw),
-            by_title: BTree::new(),
+            by_title: ShardedIndex::new(shards),
         }
     }
 
@@ -258,7 +271,7 @@ pub struct Pools {
 pub struct SmState {
     pub pools: Pools,
     /// Complex-assembly raw id → level.
-    pub complex_index: BTree<u32, u8>,
+    pub complex_index: ShardedIndex<u32, u8>,
 }
 
 /// The entire STMBench7 structure, partitioned along Figure 5's lock
@@ -283,6 +296,7 @@ impl Workspace {
     pub fn new(params: StructureParams) -> Self {
         params.check().expect("invalid structure parameters");
         let levels = usize::from(params.assembly_levels);
+        let shards = params.effective_shards();
         let manual = Manual {
             title: "Manual for module #1".to_string(),
             text: text::manual_text(1, params.manual_size),
@@ -304,17 +318,17 @@ impl Workspace {
                     base: IdPool::new(params.max_bases()),
                     complex: IdPool::new(params.max_complexes()),
                 },
-                complex_index: BTree::new(),
+                complex_index: ShardedIndex::new(shards),
             },
-            bases: BaseGroup::new(params.max_bases()),
+            bases: BaseGroup::new(params.max_bases(), shards),
             complexes: (2..=levels)
                 .map(|_| ComplexLevelGroup {
                     store: Store::new(params.max_complexes()),
                 })
                 .collect(),
-            composites: CompositeGroup::new(params.max_comps()),
-            atomics: AtomicGroup::new(params.max_atomics()),
-            documents: DocGroup::new(params.max_comps()),
+            composites: CompositeGroup::new(params.max_comps(), shards),
+            atomics: AtomicGroup::new(params.max_atomics(), shards),
+            documents: DocGroup::new(params.max_comps(), shards),
             params,
         }
     }
@@ -737,7 +751,8 @@ mod tests {
 
     #[test]
     fn atomic_group_indexes_follow_dates() {
-        let mut g = AtomicGroup::new(100);
+        // Four-way sharded: the routing must be invisible to the group API.
+        let mut g = AtomicGroup::new(100, 4);
         for i in 1..=10u32 {
             g.create(AtomicPart {
                 id: AtomicPartId(i),

@@ -9,7 +9,7 @@ use stmbench7_data::StructureParams;
 use stmbench7_service::{Admission, Schedule};
 use stmbench7_stm::ContentionManager;
 
-use crate::spec::{grid, service_grid, ExperimentSpec, ServicePlan};
+use crate::spec::{grid, service_grid, sharded_grid, ExperimentSpec, ServicePlan};
 
 /// `(name, one-line description)` of every built-in spec, in display
 /// order.
@@ -50,6 +50,10 @@ pub fn catalog() -> Vec<(&'static str, &'static str)> {
         (
             "saturation",
             "offered-load sweep over the knee on medium locking, reject-on-full",
+        ),
+        (
+            "sharded_scaling",
+            "index-sharding axis: medium/fine/sharded-TL2 at 1/4/16 shards, 1-2 threads",
         ),
     ]
 }
@@ -281,6 +285,30 @@ pub fn build(name: &str) -> Option<ExperimentSpec> {
                 },
             ),
         ),
+        "sharded_scaling" => spec(
+            "sharded_scaling",
+            StructureParams::tiny(),
+            0.2,
+            0.05,
+            2,
+            // The backends whose lock/variable sets actually scale with
+            // the shard axis: medium (per-shard atomic locks), fine
+            // (per-shard date index), sharded TL2 (per-shard variables).
+            // Long traversals are off so the short-operation mix — where
+            // narrowing applies — dominates.
+            sharded_grid(
+                &[
+                    BackendChoice::Medium,
+                    BackendChoice::Fine,
+                    BackendChoice::Tl2 {
+                        granularity: Granularity::Sharded,
+                    },
+                ],
+                WorkloadType::ReadWrite,
+                &[1, 4, 16],
+                &[1, 2],
+            ),
+        ),
         _ => return None,
     })
 }
@@ -348,6 +376,19 @@ mod tests {
             .iter()
             .all(|c| c.service.as_ref().unwrap().admission == Admission::Block));
         assert_eq!(open.cells[0].key(), "medium/rw/2t/no-lt/open20000/q256");
+    }
+
+    #[test]
+    fn sharded_scaling_spans_the_shard_axis_and_stays_ci_sized() {
+        let spec = build("sharded_scaling").unwrap();
+        assert_eq!(spec.cells.len(), 18, "3 backends × 3 shard counts × 2t");
+        assert!(spec.cells.iter().all(|c| c.shards.is_some()));
+        let mut shard_counts: Vec<usize> = spec.cells.iter().filter_map(|c| c.shards).collect();
+        shard_counts.sort_unstable();
+        shard_counts.dedup();
+        assert_eq!(shard_counts, vec![1, 4, 16]);
+        assert_eq!(spec.cells[0].key(), "medium/rw/1t/s1/no-lt");
+        assert!(spec.measured_secs() < 10.0, "must stay CI-sized");
     }
 
     #[test]

@@ -149,6 +149,15 @@ impl CellResult {
             ("workload", JsonValue::str(self.cell.workload_key())),
             ("threads", JsonValue::num(self.cell.threads as f64)),
             (
+                // Additive (readers match cells by key): the shard-count
+                // axis, null when the cell inherits the preset's.
+                "shards",
+                match self.cell.shards {
+                    None => JsonValue::Null,
+                    Some(n) => JsonValue::num(n as f64),
+                },
+            ),
+            (
                 "long_traversals",
                 JsonValue::Bool(self.cell.long_traversals),
             ),
@@ -240,9 +249,11 @@ pub fn run_spec(spec: &ExperimentSpec, mut progress: impl FnMut(&str)) -> SpecRe
 }
 
 fn run_one_cell(spec: &ExperimentSpec, cell: &Cell) -> CellResult {
+    // The cell may override the preset's shard count (the sharding axis).
+    let params = cell.params(&spec.params);
     let mut reports: Vec<Report> = Vec::with_capacity(spec.repetitions as usize);
     for rep in 0..spec.repetitions.max(1) {
-        let ws = Workspace::build(spec.params.clone(), spec.seed);
+        let ws = Workspace::build(params.clone(), spec.seed);
         let backend = AnyBackend::build(cell.backend, ws);
         if spec.warmup_secs > 0.0 {
             // Discarded warmup on this repetition's fresh structure:
@@ -250,20 +261,19 @@ fn run_one_cell(spec: &ExperimentSpec, cell: &Cell) -> CellResult {
             // Service cells warm up closed-loop too — the structure and
             // code paths are shared; only the driving differs.
             let cfg = spec.bench_config(cell, spec.warmup_secs, u32::MAX);
-            let _ = run_benchmark(&backend, &spec.params, &cfg);
+            let _ = run_benchmark(&backend, &params, &cfg);
         }
         let seed = spec.seed.wrapping_add(u64::from(rep));
         match cell.serve_config(seed) {
             Some(serve_cfg) => {
                 let plan = cell.service.as_ref().expect("serve_config implies plan");
                 let requests = serve_cfg.generate(plan.requests);
-                let result =
-                    stmbench7_service::serve(&backend, &spec.params, &serve_cfg, &requests);
+                let result = stmbench7_service::serve(&backend, &params, &serve_cfg, &requests);
                 reports.push(result.report);
             }
             None => {
                 let cfg = spec.bench_config(cell, spec.secs_per_cell, rep);
-                reports.push(run_benchmark(&backend, &spec.params, &cfg));
+                reports.push(run_benchmark(&backend, &params, &cfg));
             }
         }
     }

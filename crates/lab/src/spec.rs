@@ -60,6 +60,10 @@ pub struct Cell {
     pub backend: BackendChoice,
     pub workload: WorkloadType,
     pub threads: usize,
+    /// Index shard count override (`StructureParams::index_shards`);
+    /// `None` inherits the spec preset's. The `--shards` axis of
+    /// `sharded_scaling`.
+    pub shards: Option<usize>,
     pub long_traversals: bool,
     pub structure_mods: bool,
     pub astm_friendly: bool,
@@ -76,10 +80,20 @@ impl Cell {
             backend,
             workload,
             threads,
+            shards: None,
             long_traversals: true,
             structure_mods: true,
             astm_friendly: false,
             service: None,
+        }
+    }
+
+    /// The structure parameters this cell builds with: the spec preset,
+    /// with the cell's shard override applied when present.
+    pub fn params(&self, preset: &StructureParams) -> StructureParams {
+        match self.shards {
+            Some(n) => preset.clone().with_shards(n),
+            None => preset.clone(),
         }
     }
 
@@ -120,6 +134,9 @@ impl Cell {
             self.workload_key(),
             self.threads
         );
+        if let Some(shards) = self.shards {
+            key.push_str(&format!("/s{shards}"));
+        }
         if !self.long_traversals {
             key.push_str("/no-lt");
         }
@@ -176,9 +193,40 @@ pub fn grid(
                     backend,
                     workload,
                     threads: t,
+                    shards: None,
                     long_traversals,
                     structure_mods,
                     astm_friendly,
+                    service: None,
+                });
+            }
+        }
+    }
+    cells
+}
+
+/// A grid over the sharding axis: backends × shard counts × thread
+/// counts, one workload, long traversals off (the short-operation mix is
+/// where per-shard locking shows) — the constructor behind
+/// `sharded_scaling`.
+pub fn sharded_grid(
+    backends: &[BackendChoice],
+    workload: WorkloadType,
+    shards: &[usize],
+    threads: &[usize],
+) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(backends.len() * shards.len() * threads.len());
+    for &backend in backends {
+        for &s in shards {
+            for &t in threads {
+                cells.push(Cell {
+                    backend,
+                    workload,
+                    threads: t,
+                    shards: Some(s),
+                    long_traversals: false,
+                    structure_mods: true,
+                    astm_friendly: false,
                     service: None,
                 });
             }
@@ -205,6 +253,7 @@ pub fn service_grid(
                 backend,
                 workload,
                 threads: workers,
+                shards: None,
                 long_traversals,
                 structure_mods: true,
                 astm_friendly: false,
@@ -340,10 +389,11 @@ impl SweepOpts {
 /// the single sweep engine behind both the lab runner and every
 /// figure/table binary.
 pub fn run_cell(opts: &SweepOpts, cell: &Cell) -> Report {
-    let ws = Workspace::build(opts.params.clone(), opts.seed);
+    let params = cell.params(&opts.params);
+    let ws = Workspace::build(params.clone(), opts.seed);
     let backend = AnyBackend::build(cell.backend, ws);
     let cfg = cell.bench_config(opts.secs_per_cell, opts.seed);
-    run_benchmark(&backend, &opts.params, &cfg)
+    run_benchmark(&backend, &params, &cfg)
 }
 
 #[cfg(test)]

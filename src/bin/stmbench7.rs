@@ -46,6 +46,9 @@ OPTIONS (paper Appendix A.1):
 EXTENSIONS:
     -s <preset>         structure size: tiny, small, standard, paper-full
                                                            [default: small]
+    --shards <num>      split every index into N shards (1..=64); backends
+                        with per-shard locks/variables scale their lock
+                        sets with it                       [default: 1]
     --ops <num>         run a fixed number of operations per thread
                         instead of a timed run
     --seed <num>        RNG seed                           [default: 1]
@@ -86,6 +89,7 @@ SCHEDULES:
 OPTIONS:
     -g, --backend <s>   synchronization strategy           [default: coarse]
     -s <preset>         structure size                     [default: small]
+    --shards <n>        split every index into N shards    [default: 1]
     -w r|rw|w|uNN       workload type                      [default: r]
     --workers <n>       worker threads                     [default: 2, or N
                         for closed:N]
@@ -118,6 +122,8 @@ versioned JSON results document, and optionally gates against a baseline.
 OPTIONS:
     --list              list the built-in specs and exit
     --preset <name>     override the spec's structure preset
+    --shards <n>        override the preset's index shard count (cells
+                        with their own shard axis keep it)
     --secs <f>          override seconds per measured repetition
     --warmup <f>        override discarded warmup seconds per repetition
     --reps <n>          override the repetition count
@@ -189,7 +195,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "-s" => {
                 let v = value(&mut i)?;
-                args.params = parse_preset(&v).ok_or(format!("unknown preset '{v}'"))?;
+                // Preserve a --shards that came first.
+                let shards = args.params.index_shards;
+                args.params = parse_preset(&v)
+                    .ok_or(format!("unknown preset '{v}'"))?
+                    .with_shards(shards);
+            }
+            "--shards" => {
+                let n: usize = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if n == 0 {
+                    return Err("--shards must be ≥ 1".into());
+                }
+                args.params = args.params.clone().with_shards(n);
+                args.params.check().map_err(|e| format!("--shards: {e}"))?;
             }
             "--cm" => {
                 let v = value(&mut i)?;
@@ -261,6 +281,7 @@ struct LabArgs {
     spec: Option<String>,
     list: bool,
     preset: Option<StructureParams>,
+    shards: Option<usize>,
     secs: Option<f64>,
     warmup: Option<f64>,
     reps: Option<u32>,
@@ -276,6 +297,7 @@ fn parse_lab_args(argv: &[String]) -> Result<LabArgs, String> {
         spec: None,
         list: false,
         preset: None,
+        shards: None,
         secs: None,
         warmup: None,
         reps: None,
@@ -298,6 +320,15 @@ fn parse_lab_args(argv: &[String]) -> Result<LabArgs, String> {
             "--preset" => {
                 let v = value(&mut i)?;
                 args.preset = Some(parse_preset(&v).ok_or(format!("unknown preset '{v}'"))?);
+            }
+            "--shards" => {
+                let n: usize = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if !(1..=stmbench7::data::sharded::MAX_SHARDS).contains(&n) {
+                    return Err(format!("--shards must be in 1..=64, got {n}"));
+                }
+                args.shards = Some(n);
             }
             "--secs" => {
                 let secs: f64 = value(&mut i)?.parse().map_err(|e| format!("--secs: {e}"))?;
@@ -384,6 +415,9 @@ fn lab_main(argv: &[String]) -> ExitCode {
     };
     if let Some(params) = args.preset {
         spec.params = params;
+    }
+    if let Some(shards) = args.shards {
+        spec.params = spec.params.with_shards(shards);
     }
     if let Some(secs) = args.secs {
         spec.secs_per_cell = secs;
@@ -546,7 +580,20 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
             }
             "-s" => {
                 let v = value(&mut i)?;
-                args.params = parse_preset(&v).ok_or(format!("unknown preset '{v}'"))?;
+                let shards = args.params.index_shards;
+                args.params = parse_preset(&v)
+                    .ok_or(format!("unknown preset '{v}'"))?
+                    .with_shards(shards);
+            }
+            "--shards" => {
+                let n: usize = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if n == 0 {
+                    return Err("--shards must be ≥ 1".into());
+                }
+                args.params = args.params.clone().with_shards(n);
+                args.params.check().map_err(|e| format!("--shards: {e}"))?;
             }
             "-w" => {
                 let v = value(&mut i)?;

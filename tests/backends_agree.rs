@@ -23,8 +23,10 @@ fn all_choices() -> Vec<(&'static str, BackendChoice)> {
 type Profile = (String, Vec<(u64, u64)>, stmbench7::data::Census);
 
 /// Runs the same deterministic workload on every backend and compares.
-fn check_equivalence(workload: WorkloadType, ops: u64, seed: u64) {
-    let params = StructureParams::tiny();
+/// `shards` exercises the sharded-index axis: routing and per-shard
+/// locking must never change a single outcome.
+fn check_equivalence(workload: WorkloadType, ops: u64, seed: u64, shards: usize) {
+    let params = StructureParams::tiny().with_shards(shards);
     let cfg = BenchConfig::deterministic(workload, ops, seed);
 
     let mut reference: Option<Profile> = None;
@@ -58,15 +60,25 @@ fn check_equivalence(workload: WorkloadType, ops: u64, seed: u64) {
 
 #[test]
 fn backends_agree_read_dominated() {
-    check_equivalence(WorkloadType::ReadDominated, 400, 11);
+    check_equivalence(WorkloadType::ReadDominated, 400, 11, 1);
 }
 
 #[test]
 fn backends_agree_read_write() {
-    check_equivalence(WorkloadType::ReadWrite, 400, 22);
+    check_equivalence(WorkloadType::ReadWrite, 400, 22, 1);
 }
 
 #[test]
 fn backends_agree_write_dominated() {
-    check_equivalence(WorkloadType::WriteDominated, 400, 33);
+    check_equivalence(WorkloadType::WriteDominated, 400, 33, 1);
+}
+
+#[test]
+fn backends_agree_read_write_sharded_8() {
+    check_equivalence(WorkloadType::ReadWrite, 400, 22, 8);
+}
+
+#[test]
+fn backends_agree_write_dominated_sharded_8() {
+    check_equivalence(WorkloadType::WriteDominated, 400, 33, 8);
 }

@@ -105,6 +105,38 @@ fn every_strategy_flag_runs_and_validates() {
 }
 
 #[test]
+fn shards_flag_runs_and_validates_across_strategies() {
+    // The shard axis must be result-invisible: a sharded run still
+    // completes and the exported structure still validates, for a lock
+    // strategy with per-shard locks and an STM whose variable sets scale
+    // with the axis.
+    for strategy in ["medium", "fine", "tl2-sharded"] {
+        let (stdout, stderr) = run_ok(&[
+            "-s",
+            "tiny",
+            "--shards",
+            "8",
+            "-g",
+            strategy,
+            "-w",
+            "rw",
+            "--ops",
+            "150",
+            "--validate",
+        ]);
+        assert!(stdout.contains("total throughput"), "{strategy}");
+        assert!(stderr.contains("structure valid"), "{strategy}:\n{stderr}");
+    }
+    // Out-of-range counts fail cleanly, order-independently.
+    let out = stmbench7()
+        .args(["--shards", "65", "-s", "tiny", "--ops", "10"])
+        .output()
+        .expect("binary must launch");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("index_shards"));
+}
+
+#[test]
 fn custom_workload_flag_runs() {
     let (stdout, _) = run_ok(&["-s", "tiny", "-w", "u25", "--ops", "150", "--validate"]);
     assert!(stdout.contains("workload:            custom (25% updates)"));
@@ -175,6 +207,52 @@ mod lab {
         ] {
             assert!(stdout.contains(name), "missing spec {name}");
         }
+    }
+
+    #[test]
+    fn sharded_scaling_runs_and_gates_against_the_committed_baseline() {
+        let dir = tmp_dir("sharded");
+        let out_path = dir.join("BENCH_sharded.json");
+        // The mechanism behind the CI gate, at a tolerance wide enough
+        // for this *debug* binary against the release-recorded baseline;
+        // the real 10x shape check runs in CI on the release build.
+        let out = stmbench7()
+            .args([
+                "lab",
+                "sharded_scaling",
+                "--secs",
+                "0.03",
+                "--warmup",
+                "0",
+                "--reps",
+                "1",
+                "--compare",
+                "results/BENCH_sharded_baseline.json",
+                "--tolerance",
+                "100x",
+                "--out",
+            ])
+            .arg(&out_path)
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .expect("binary must launch");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = std::fs::read_to_string(&out_path).expect("results written");
+        let doc = parse(&text).expect("results must be valid JSON");
+        let cells = doc.get("cells").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(cells.len(), 18, "3 backends × 3 shard counts × 2t");
+        // The shard axis is first-class in both the key and the cell body.
+        assert!(cells.iter().any(|c| {
+            c.get("key")
+                .and_then(JsonValue::as_str)
+                .is_some_and(|k| k.contains("/s16/"))
+                && c.get("shards").and_then(JsonValue::as_u64) == Some(16)
+        }));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

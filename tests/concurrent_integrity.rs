@@ -142,6 +142,26 @@ fn norec_sharded_concurrent_integrity() {
     );
 }
 
+/// Builds the full paper-scale structure (§2.2: 500 graphs × 100 000
+/// atomic parts — the "more than 50 millions of objects" of §5) at 16
+/// index shards and runs the structure validator over it. Needs several
+/// GiB of memory and minutes of wall clock, so it is excluded from the
+/// default suite and exercised by the nightly workflow alongside the
+/// soak below.
+#[test]
+#[ignore = "paper-scale build; minutes + GiB — run explicitly or nightly"]
+fn paper_full_builds_and_validates() {
+    use stmbench7::data::{validate, StructureParams, Workspace};
+    let params = StructureParams::paper_full().with_shards(16);
+    let ws = Workspace::build(params.clone(), 1);
+    let census = validate(&ws).expect("paper_full structure must validate");
+    assert_eq!(census.atomic_parts, params.initial_atomics());
+    assert_eq!(census.base_assemblies, params.initial_bases());
+    assert_eq!(census.composite_parts, params.library_size);
+    assert_eq!(ws.atomics.by_id.shard_count(), 16);
+    assert_eq!(ws.atomics.by_date.len(), census.atomic_parts);
+}
+
 /// Long soak over every backend — minutes, not milliseconds — for
 /// chasing rare interleavings. Excluded from the default suite; run it
 /// with `cargo test --test concurrent_integrity -- --ignored` (optionally

@@ -5,7 +5,9 @@
 //! `criterion_main!` macros — over a deliberately simple harness: warm
 //! up briefly, then split the measurement budget into `sample_size`
 //! timed samples and print mean, median and standard deviation of
-//! ns/iteration across them. No outlier rejection, plots, or saved
+//! ns/iteration across them, after Tukey IQR outlier rejection (samples
+//! outside `[Q1 - 1.5·IQR, Q3 + 1.5·IQR]` are dropped and reported,
+//! echoing real criterion's outlier classification). No plots or saved
 //! baselines; those arrive when the real crate can be fetched (the
 //! lab harness's `--compare` covers regression gating meanwhile).
 //! Honors a substring filter argument like the real CLI
@@ -170,39 +172,67 @@ fn run_one<F: FnMut(&mut Bencher)>(settings: &Settings, id: &str, mut f: F) {
     }
     let stats = SampleStats::from(&mut bencher.samples);
     println!(
-        "{id:<60} {:>12.1} ns/iter   median {:>12.1}   σ {:>10.1}   ({} samples, {} iters)",
+        "{id:<60} {:>12.1} ns/iter   median {:>12.1}   σ {:>10.1}   ({} samples, {} outliers, {} iters)",
         stats.mean,
         stats.median,
         stats.stddev,
         bencher.samples.len(),
+        stats.outliers,
         bencher.iters,
     );
 }
 
 /// Mean, median and population standard deviation of per-iteration
-/// nanosecond samples.
+/// nanosecond samples, computed after Tukey IQR outlier rejection.
 struct SampleStats {
     mean: f64,
     median: f64,
     stddev: f64,
+    /// Samples rejected by the IQR fences.
+    outliers: usize,
 }
 
 impl SampleStats {
     fn from(samples: &mut [f64]) -> SampleStats {
         samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
-        let n = samples.len();
-        let mean = samples.iter().sum::<f64>() / n as f64;
+        let kept = Self::reject_outliers(samples);
+        let n = kept.len();
+        let mean = kept.iter().sum::<f64>() / n as f64;
         let median = if n % 2 == 1 {
-            samples[n / 2]
+            kept[n / 2]
         } else {
-            (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+            (kept[n / 2 - 1] + kept[n / 2]) / 2.0
         };
-        let variance = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let variance = kept.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         SampleStats {
             mean,
             median,
             stddev: variance.sqrt(),
+            outliers: samples.len() - n,
         }
+    }
+
+    /// Tukey's rule over the *sorted* samples: keep the contiguous run
+    /// inside `[Q1 - 1.5·IQR, Q3 + 1.5·IQR]`. With fewer than four
+    /// samples the quartiles are meaningless and everything is kept.
+    fn reject_outliers(sorted: &[f64]) -> &[f64] {
+        if sorted.len() < 4 {
+            return sorted;
+        }
+        let quartile = |q: f64| -> f64 {
+            // Linear interpolation between closest ranks.
+            let pos = q * (sorted.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+        };
+        let q1 = quartile(0.25);
+        let q3 = quartile(0.75);
+        let iqr = q3 - q1;
+        let (lo_fence, hi_fence) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+        let start = sorted.partition_point(|&x| x < lo_fence);
+        let end = sorted.partition_point(|&x| x <= hi_fence);
+        &sorted[start..end]
     }
 }
 
@@ -326,15 +356,50 @@ mod tests {
         assert_eq!(s.median, 2.0);
         assert_eq!(s.mean, 2.0);
         assert!((s.stddev - (2.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        assert_eq!(s.outliers, 0);
 
         let mut even = vec![1.0, 2.0, 3.0, 4.0];
         let s = SampleStats::from(&mut even);
         assert_eq!(s.median, 2.5);
         assert_eq!(s.mean, 2.5);
+        assert_eq!(s.outliers, 0);
 
         let mut constant = vec![5.0; 8];
         let s = SampleStats::from(&mut constant);
         assert_eq!((s.mean, s.median, s.stddev), (5.0, 5.0, 0.0));
+    }
+
+    #[test]
+    fn iqr_rejection_drops_a_scheduler_spike_but_keeps_tight_samples() {
+        // Nineteen well-behaved samples plus one 100× spike (a GC pause /
+        // scheduler preemption): the spike must not drag the mean.
+        let mut spiky: Vec<f64> = (0..19).map(|i| 100.0 + f64::from(i)).collect();
+        spiky.push(10_000.0);
+        let s = SampleStats::from(&mut spiky);
+        assert_eq!(s.outliers, 1);
+        assert!(
+            (s.mean - 109.0).abs() < 1e-9,
+            "spike must be rejected, got mean {}",
+            s.mean
+        );
+        assert!(s.median < 110.0);
+
+        // Without the spike nothing is rejected from a uniform spread.
+        let mut clean: Vec<f64> = (0..19).map(|i| 100.0 + f64::from(i)).collect();
+        let s = SampleStats::from(&mut clean);
+        assert_eq!(s.outliers, 0);
+
+        // Low fences reject downward spikes symmetrically.
+        let mut low: Vec<f64> = (0..19).map(|i| 100.0 + f64::from(i)).collect();
+        low.push(1.0);
+        let s = SampleStats::from(&mut low);
+        assert_eq!(s.outliers, 1);
+        assert!(s.mean >= 100.0);
+
+        // Fewer than four samples: quartiles are meaningless, keep all.
+        let mut tiny = vec![1.0, 1000.0, 2.0];
+        let s = SampleStats::from(&mut tiny);
+        assert_eq!(s.outliers, 0);
     }
 
     #[test]
