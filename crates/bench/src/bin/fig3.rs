@@ -40,6 +40,7 @@ fn main() {
                         structure_mods: true,
                         astm_friendly: false,
                         service: None,
+                        net: None,
                     },
                 );
                 let lat = report.max_latency_ms(op);

@@ -43,6 +43,7 @@ fn main() {
                         structure_mods: true,
                         astm_friendly: true,
                         service: None,
+                        net: None,
                     },
                 );
                 let abort_ratio = report.stm.map(|s| s.abort_ratio()).unwrap_or(0.0);

@@ -35,6 +35,7 @@ fn main() {
                 structure_mods: true,
                 astm_friendly: false,
                 service: None,
+                net: None,
             };
             let lock = run_cell(&opts, &cell).throughput();
             cell.backend = astm_backend();

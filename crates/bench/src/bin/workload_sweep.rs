@@ -56,6 +56,7 @@ fn main() {
                     structure_mods: true,
                     astm_friendly: false,
                     service: None,
+                    net: None,
                 },
             );
             print_row(&[

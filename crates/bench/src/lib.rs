@@ -91,6 +91,7 @@ mod tests {
             structure_mods: true,
             astm_friendly: false,
             service: None,
+            net: None,
         };
         let report = run_cell(&opts, &cell);
         assert!(report.total_started() > 0);

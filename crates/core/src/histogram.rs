@@ -41,7 +41,10 @@ fn micro_bucket(us: u64) -> usize {
     if us == 0 {
         0
     } else {
-        64 - us.leading_zeros() as usize
+        // Clamped to the overflow sentinel: even a `u64::MAX` sample
+        // yields an index `record` routes to the overflow bucket instead
+        // of one past the bucket array.
+        (64 - us.leading_zeros() as usize).min(MICRO_BUCKETS)
     }
 }
 
@@ -381,6 +384,54 @@ mod tests {
         h.record(u64::MAX);
         assert_eq!(h.overflow(), 1);
         assert_eq!(h.percentile_us(100.0), Some(MAX_TRACKED_US));
+    }
+
+    #[test]
+    fn multi_second_samples_land_in_tracked_buckets() {
+        // Seconds-long latencies (a saturated service under overload) are
+        // far above the sub-millisecond regime the log2 scale was sized
+        // for, but still well inside the 2^32 µs tracked range: they must
+        // land in a high tracked bucket, not overflow.
+        let mut h = Histogram::micros();
+        h.record(3_000_000_000); // 3 s = 3·10^6 µs → bucket (2^21, 2^22]
+        h.record(45_000_000_000); // 45 s → bucket (2^25, 2^26]
+        assert_eq!(h.overflow(), 0, "multi-second samples are tracked");
+        assert_eq!(h.samples(), 2);
+        assert_eq!(h.percentile_us(1.0), Some((1 << 22) - 1));
+        assert_eq!(h.percentile_us(100.0), Some((1 << 26) - 1));
+        // The tracked+overflow accounting still balances.
+        let tracked: u64 = h.pairs().iter().map(|(_, c)| u64::from(*c)).sum();
+        assert_eq!(tracked, 2);
+    }
+
+    #[test]
+    fn beyond_the_top_bucket_saturates_instead_of_overflowing_the_index() {
+        // Samples beyond 2^32 µs (~71 min) exceed every log2 bucket; the
+        // clamped index must route them to the overflow bucket — never
+        // panic, never index past the bucket array.
+        let mut h = Histogram::micros();
+        for nanos in [
+            (1u64 << 33) * 1_000, // one bucket past the top
+            u64::MAX / 1_000,     // enormous but not the extreme
+            u64::MAX,             // the extreme
+        ] {
+            h.record(nanos);
+        }
+        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.samples(), 3);
+        assert!(h.pairs().is_empty(), "nothing lands in tracked buckets");
+        // Percentiles saturate at the cap rather than inventing values.
+        for p in [1.0, 50.0, 100.0] {
+            assert_eq!(h.percentile_us(p), Some(MAX_TRACKED_US), "p{p}");
+        }
+        // A merge carries the saturated counts along unchanged.
+        let mut other = Histogram::micros();
+        other.record(5_000); // 5 µs, tracked
+        other.merge(&h);
+        assert_eq!(other.samples(), 4);
+        assert_eq!(other.overflow(), 3);
+        assert_eq!(other.percentile_us(25.0), Some(7));
+        assert_eq!(other.percentile_us(100.0), Some(MAX_TRACKED_US));
     }
 
     #[test]

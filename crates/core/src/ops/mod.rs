@@ -49,6 +49,16 @@ impl Category {
             Category::StructureModification,
         ]
     }
+
+    /// Dense index into per-category tables ([`Category::all`] order).
+    pub fn index(self) -> usize {
+        match self {
+            Category::LongTraversal => 0,
+            Category::ShortTraversal => 1,
+            Category::ShortOperation => 2,
+            Category::StructureModification => 3,
+        }
+    }
 }
 
 macro_rules! ops {
@@ -334,35 +344,54 @@ pub fn access_spec(op: OpKind, levels: u8) -> AccessSpec {
 }
 
 /// The exact atomic-part shard set of one operation *instance*, when it
-/// can be known before execution: the OP1/OP9/OP15 family draws its ten
-/// candidate ids first thing (see [`short_ops::op1`]) and touches no
-/// other atomic part — and a date entry shares its part's shard — so
+/// can be known before execution: operations that draw their atomic-part
+/// ids first thing and touch no other atomic part have a footprint that
 /// replaying those draws against a clone of the operation's RNG yields
-/// the full footprint. Backends with per-shard atomic locks (the medium
-/// strategy) then skip every other shard.
+/// exactly. Backends with per-shard atomic locks (the medium strategy)
+/// then skip every other shard.
 ///
-/// Returns `None` for every operation whose footprint is data-dependent
-/// (range scans, traversals): those keep the conservative
-/// [`ShardSet::ALL`] declaration.
+/// Two families qualify:
+///
+/// * OP1/OP9/OP15 draw ten candidate ids up front (see
+///   [`short_ops::op1`]) — and a date entry shares its part's shard, so
+///   even OP15's index update stays inside the set;
+/// * ST3/ST8 draw exactly one id (see
+///   [`short_traversals::st3`]) and read only that part before walking
+///   *upward* through assemblies — groups the narrowing never touches.
+///
+/// Returns `None` for every operation whose atomic footprint is
+/// data-dependent: those keep the conservative [`ShardSet::ALL`]
+/// declaration. OP7/OP8 also draw an id first, but their footprint holds
+/// no atomic parts at all (assembly levels and composites are not
+/// shard-split), so there is nothing for a hint to narrow.
 pub fn shard_hint(op: OpKind, ctx: &OpCtx) -> Option<ShardSet> {
     let shards = ctx.params.effective_shards();
     if shards <= 1 {
         return None;
     }
+    // `begin_attempt` restores the pre-execution RNG state for every
+    // attempt, so replaying the leading draws against a clone is exact by
+    // construction. The probe is built inside the hintable arms only —
+    // this runs per operation dispatch, and most operations return None.
+    let probe = |ctx: &OpCtx| OpCtx {
+        params: ctx.params.clone(),
+        rng: ctx.rng.clone(),
+    };
     match op {
         OpKind::Op1 | OpKind::Op9 | OpKind::Op15 => {
-            // Replay the ten draws exactly as `op1_impl` will make them;
-            // `begin_attempt` restores this same RNG state for every
-            // execution attempt, so the replay is exact by construction.
-            let mut probe = OpCtx {
-                params: ctx.params.clone(),
-                rng: ctx.rng.clone(),
-            };
+            // Replay the ten draws exactly as `op1_impl` will make them.
+            let mut probe = probe(ctx);
             let mut set = ShardSet::EMPTY;
             for _ in 0..10 {
                 set = set.with(probe.random_atomic_raw().shard(shards));
             }
             Some(set)
+        }
+        OpKind::St3 | OpKind::St8 => {
+            // `ancestors_of_random_part` draws its single id first; the
+            // walk upward reads that one part's owner and then leaves the
+            // atomic group entirely.
+            Some(ShardSet::of(probe(ctx).random_atomic_raw().shard(shards)))
         }
         _ => None,
     }
@@ -457,6 +486,77 @@ mod tests {
         assert!(shard_hint(OpKind::Op2, &OpCtx::new(params, 1)).is_none());
         let unsharded = OpCtx::new(StructureParams::tiny(), 1);
         assert!(shard_hint(OpKind::Op1, &unsharded).is_none());
+    }
+
+    #[test]
+    fn st3_st8_hints_are_the_singleton_shard_of_the_first_draw() {
+        let params = StructureParams::tiny().with_shards(8);
+        for op in [OpKind::St3, OpKind::St8] {
+            for seed in 0..25 {
+                let ctx = OpCtx::new(params.clone(), seed);
+                let hint = shard_hint(op, &ctx).expect("st3/st8 are hintable");
+                // One id drawn ⇒ exactly one shard, and exactly the one
+                // the replayed draw routes to.
+                assert_eq!(hint.count(8), 1, "{} seed {seed}", op.name());
+                let mut probe = OpCtx::new(params.clone(), seed);
+                let raw = probe.random_atomic_raw();
+                assert_eq!(hint, ShardSet::of(raw as usize % 8));
+            }
+        }
+        // OP7/OP8 draw an id too, but touch no atomic parts: their specs
+        // have nothing a shard hint could narrow.
+        for op in [OpKind::Op7, OpKind::Op8] {
+            assert!(!access_spec(op, 7).atomics.touched());
+            assert!(shard_hint(op, &OpCtx::new(params.clone(), 1)).is_none());
+        }
+    }
+
+    #[test]
+    fn medium_backend_runs_st3_st8_under_their_narrowed_specs() {
+        use stmbench7_backend::{Backend, MediumBackend, SequentialBackend, TxOperation};
+        use stmbench7_data::{validate, OpOutcome, Workspace};
+
+        /// One operation instance with its own pinned RNG — the engine's
+        /// per-instance execution, reduced to a test harness.
+        struct OneOp {
+            op: OpKind,
+            params: StructureParams,
+            seed: u64,
+        }
+        impl TxOperation<OpOutcome> for OneOp {
+            fn run<T: Sb7Tx>(&mut self, tx: &mut T) -> TxR<OpOutcome> {
+                let mut ctx = OpCtx::new(self.params.clone(), self.seed);
+                run_op(self.op, tx, &mut ctx)
+            }
+        }
+
+        let params = StructureParams::tiny().with_shards(8);
+        let ws = Workspace::build(params.clone(), 7);
+        let medium = MediumBackend::new(ws.clone());
+        let sequential = SequentialBackend::new(ws);
+        for op in [OpKind::St3, OpKind::St8] {
+            for seed in 0..30 {
+                let hint = shard_hint(op, &OpCtx::new(params.clone(), seed)).unwrap();
+                let mut spec = access_spec(op, params.assembly_levels);
+                spec.atomic_shards = hint;
+                // The narrowed declaration suffices (no undeclared-shard
+                // panic) and computes exactly what sequential computes.
+                let mut a = OneOp {
+                    op,
+                    params: params.clone(),
+                    seed,
+                };
+                let mut b = OneOp {
+                    op,
+                    params: params.clone(),
+                    seed,
+                };
+                let narrowed = medium.execute(&spec, &mut a);
+                let oracle = sequential.execute(&spec, &mut b);
+                assert_eq!(narrowed, oracle, "{} seed {seed}", op.name());
+            }
+        }
+        validate(&medium.export()).expect("structure intact after narrowed runs");
     }
 
     #[test]

@@ -83,6 +83,49 @@ pub struct SampleError {
     pub f: f64,
 }
 
+/// Queue-wait and service-time lanes for one operation category — the
+/// per-category latency split of a service run. Long traversals, short
+/// traversals, short operations and structure modifications have latency
+/// distributions orders of magnitude apart; folding them into one
+/// histogram hides which class a tail belongs to.
+#[derive(Clone, Debug)]
+pub struct CategoryLatency {
+    pub category: Category,
+    /// Scheduled arrival → execution start for this category's requests
+    /// (microsecond resolution).
+    pub queue_wait: Histogram,
+    /// Execution start → completion for this category's requests
+    /// (microsecond resolution).
+    pub service_time: Histogram,
+}
+
+impl CategoryLatency {
+    /// An empty split for one category.
+    pub fn empty(category: Category) -> Self {
+        CategoryLatency {
+            category,
+            queue_wait: Histogram::micros(),
+            service_time: Histogram::micros(),
+        }
+    }
+
+    /// One empty split per category, in [`Category::all`] order — the
+    /// shape every harness fills and merges positionally.
+    pub fn all_empty() -> Vec<CategoryLatency> {
+        Category::all().into_iter().map(Self::empty).collect()
+    }
+
+    /// Folds another split of the same category in (thread merge).
+    pub fn merge(&mut self, other: &CategoryLatency) {
+        assert_eq!(
+            self.category, other.category,
+            "cannot merge latency splits of different categories"
+        );
+        self.queue_wait.merge(&other.queue_wait);
+        self.service_time.merge(&other.service_time);
+    }
+}
+
 /// Measurements specific to a service-layer run (`stmbench7 serve`):
 /// the offered-load accounting and the per-request latency decomposition
 /// the closed-loop engine cannot express.
@@ -111,6 +154,15 @@ pub struct ServiceStats {
     /// Scheduled arrival → completion, per admitted request (microsecond
     /// resolution).
     pub e2e: Histogram,
+    /// Client-measured transport overhead of a remote run: network round
+    /// trip minus the server-reported queue+service time (microsecond
+    /// resolution). `None` for in-process service runs, which have no
+    /// wire to cross.
+    pub network: Option<Histogram>,
+    /// The queue-wait/service-time split per operation category (one
+    /// entry per [`Category`], in [`Category::all`] order; categories the
+    /// run never drew hold empty histograms).
+    pub per_category: Vec<CategoryLatency>,
 }
 
 impl ServiceStats {
@@ -136,6 +188,28 @@ impl ServiceStats {
         ])
     }
 
+    /// The `{<category>: {queue_wait_us, service_time_us}}` JSON object
+    /// of a per-category split (categories with samples only) — shared by
+    /// report-level and lab cell-level service objects so the schema
+    /// cannot diverge.
+    pub fn categories_json(per_category: &[CategoryLatency]) -> JsonValue {
+        JsonValue::Obj(
+            per_category
+                .iter()
+                .filter(|c| c.queue_wait.samples() > 0)
+                .map(|c| {
+                    (
+                        c.category.name().to_string(),
+                        JsonValue::obj(vec![
+                            ("queue_wait_us", Self::latency_json(&c.queue_wait)),
+                            ("service_time_us", Self::latency_json(&c.service_time)),
+                        ]),
+                    )
+                })
+                .collect(),
+        )
+    }
+
     /// The `service` object embedded in the report's JSON form.
     pub fn to_json_value(&self) -> JsonValue {
         JsonValue::obj(vec![
@@ -149,6 +223,14 @@ impl ServiceStats {
             ("queue_wait_us", Self::latency_json(&self.queue_wait)),
             ("service_time_us", Self::latency_json(&self.service_time)),
             ("e2e_us", Self::latency_json(&self.e2e)),
+            (
+                "network_us",
+                match &self.network {
+                    None => JsonValue::Null,
+                    Some(h) => Self::latency_json(h),
+                },
+            ),
+            ("categories", Self::categories_json(&self.per_category)),
         ])
     }
 }
@@ -360,15 +442,31 @@ impl Report {
                 "  offered {}   rejected {}   batches {}",
                 svc.offered, svc.rejected, svc.batches,
             );
-            for (label, hist) in [
+            let mut lanes: Vec<(&str, &Histogram)> = vec![
                 ("queue wait", &svc.queue_wait),
                 ("service time", &svc.service_time),
                 ("end-to-end", &svc.e2e),
-            ] {
+            ];
+            if let Some(network) = &svc.network {
+                lanes.push(("network", network));
+            }
+            for (label, hist) in lanes {
                 let (p50, p95, p99) = ServiceStats::percentiles_us(hist);
                 let _ = writeln!(
                     out,
                     "  {label:<12} p50 {p50:>9} us   p95 {p95:>9} us   p99 {p99:>9} us",
+                );
+            }
+            for cat in &svc.per_category {
+                if cat.queue_wait.samples() == 0 {
+                    continue;
+                }
+                let (qw50, qw95, _) = ServiceStats::percentiles_us(&cat.queue_wait);
+                let (sv50, sv95, _) = ServiceStats::percentiles_us(&cat.service_time);
+                let _ = writeln!(
+                    out,
+                    "  {:<24} qwait p50 {qw50:>8} us p95 {qw95:>8} us   service p50 {sv50:>8} us p95 {sv95:>8} us",
+                    cat.category.name(),
                 );
             }
         }
@@ -531,6 +629,11 @@ mod tests {
             service_time.record(2 * us * 1_000);
             e2e.record(3 * us * 1_000);
         }
+        let mut per_category = CategoryLatency::all_empty();
+        for us in [5u64, 90] {
+            per_category[0].queue_wait.record(us * 1_000);
+            per_category[0].service_time.record(4 * us * 1_000);
+        }
         ServiceStats {
             schedule: "open2000".into(),
             workers: 2,
@@ -542,6 +645,8 @@ mod tests {
             queue_wait,
             service_time,
             e2e,
+            network: None,
+            per_category,
         }
     }
 
@@ -661,6 +766,59 @@ mod tests {
             assert!(p50 <= p99, "{key}: p50 {p50} > p99 {p99}");
             assert_eq!(lat.get("samples").and_then(JsonValue::as_u64), Some(3));
         }
+    }
+
+    #[test]
+    fn network_lane_and_category_split_render_and_serialize() {
+        let mut r = sample_report();
+        r.service = Some(sample_service_stats());
+
+        // Without a network lane: JSON null, no rendered row.
+        let doc = r.to_json_value();
+        let svc = doc.get("service").expect("service object");
+        assert_eq!(svc.get("network_us"), Some(&JsonValue::Null));
+        assert!(!r.render(false).contains("network"));
+
+        // The per-category split serializes only sampled categories.
+        let cats = svc.get("categories").expect("categories object");
+        let lt = cats
+            .get(Category::LongTraversal.name())
+            .expect("sampled category present");
+        assert_eq!(
+            lt.get("queue_wait_us")
+                .and_then(|l| l.get("samples"))
+                .and_then(JsonValue::as_u64),
+            Some(2)
+        );
+        assert!(
+            cats.get(Category::ShortOperation.name()).is_none(),
+            "unsampled categories are omitted"
+        );
+        let text = r.render(false);
+        assert!(text.contains("long traversals"), "category row rendered");
+        assert!(text.contains("qwait"), "split columns rendered:\n{text}");
+
+        // With a network lane: a fourth row and a populated JSON object.
+        let mut network = Histogram::micros();
+        for us in [12u64, 300] {
+            network.record(us * 1_000);
+        }
+        r.service.as_mut().unwrap().network = Some(network);
+        assert!(r.render(false).contains("network"));
+        let doc = r.to_json_value();
+        let net = doc.get("service").unwrap().get("network_us").unwrap();
+        assert_eq!(net.get("samples").and_then(JsonValue::as_u64), Some(2));
+        let p50 = net.get("p50").and_then(JsonValue::as_u64).unwrap();
+        let p99 = net.get("p99").and_then(JsonValue::as_u64).unwrap();
+        assert!(p50 <= p99);
+    }
+
+    #[test]
+    #[should_panic(expected = "different categories")]
+    fn merging_mismatched_category_splits_panics() {
+        let mut a = CategoryLatency::empty(Category::LongTraversal);
+        let b = CategoryLatency::empty(Category::ShortOperation);
+        a.merge(&b);
     }
 
     #[test]

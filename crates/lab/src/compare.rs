@@ -247,19 +247,22 @@ mod tests {
     }
 
     #[test]
-    fn v1_baselines_gate_v2_runs() {
-        // A committed baseline from before the service layer (format v1)
-        // must still gate fresh v2 documents.
-        let mut baseline = doc(&[("a/rw/1t", 1000.0)]);
-        if let JsonValue::Obj(pairs) = &mut baseline {
-            pairs[0].1 = JsonValue::str(crate::run::FORMAT_V1);
+    fn v1_and_v2_baselines_gate_v3_runs() {
+        // Committed baselines from before the service layer (v1) and
+        // before the network layer (v2) must still gate fresh v3
+        // documents.
+        for old_format in [crate::run::FORMAT_V1, crate::run::FORMAT_V2] {
+            let mut baseline = doc(&[("a/rw/1t", 1000.0)]);
+            if let JsonValue::Obj(pairs) = &mut baseline {
+                pairs[0].1 = JsonValue::str(old_format);
+            }
+            let current = doc(&[("a/rw/1t", 900.0)]);
+            let cmp = compare_documents(&baseline, &current, Tolerance(1.25)).unwrap();
+            assert!(cmp.ok(), "{old_format} baseline must gate");
+            // And the other direction (old binary's document as current).
+            let cmp = compare_documents(&current, &baseline, Tolerance(1.25)).unwrap();
+            assert!(cmp.ok(), "{old_format} current must compare");
         }
-        let current = doc(&[("a/rw/1t", 900.0)]);
-        let cmp = compare_documents(&baseline, &current, Tolerance(1.25)).unwrap();
-        assert!(cmp.ok());
-        // And the other direction (old binary's document as current).
-        let cmp = compare_documents(&current, &baseline, Tolerance(1.25)).unwrap();
-        assert!(cmp.ok());
     }
 
     #[test]

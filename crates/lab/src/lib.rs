@@ -31,6 +31,9 @@ pub mod stats;
 pub use compare::{compare_documents, Comparison, Tolerance};
 pub use run::{
     format_supported, run_spec, CellResult, RepResult, ServiceAgg, SpecResult, FORMAT, FORMAT_V1,
+    FORMAT_V2,
 };
-pub use spec::{grid, run_cell, service_grid, Cell, ExperimentSpec, ServicePlan, SweepOpts};
+pub use spec::{
+    grid, net_grid, run_cell, service_grid, Cell, ExperimentSpec, NetPlan, ServicePlan, SweepOpts,
+};
 pub use stats::Summary;

@@ -9,7 +9,9 @@ use stmbench7_data::StructureParams;
 use stmbench7_service::{Admission, Schedule};
 use stmbench7_stm::ContentionManager;
 
-use crate::spec::{grid, service_grid, sharded_grid, ExperimentSpec, ServicePlan};
+use crate::spec::{
+    grid, net_grid, service_grid, sharded_grid, ExperimentSpec, NetPlan, ServicePlan,
+};
 
 /// `(name, one-line description)` of every built-in spec, in display
 /// order.
@@ -54,6 +56,10 @@ pub fn catalog() -> Vec<(&'static str, &'static str)> {
         (
             "sharded_scaling",
             "index-sharding axis: medium/fine/sharded-TL2 at 1/4/16 shards, 1-2 threads",
+        ),
+        (
+            "net_loopback",
+            "loopback wire zero point: medium vs sharded TL2 behind net-serve, client/network/server lanes",
         ),
     ]
 }
@@ -309,6 +315,29 @@ pub fn build(name: &str) -> Option<ExperimentSpec> {
                 &[1, 2],
             ),
         ),
+        "net_loopback" => spec(
+            "net_loopback",
+            StructureParams::tiny(),
+            0.2,
+            0.05,
+            2,
+            net_grid(
+                &latency_backends(),
+                WorkloadType::ReadWrite,
+                2,
+                // The latency_open rate, now crossing a loopback socket
+                // over two connections: the delta against latency_open's
+                // lanes *is* the wire's price (see EXPERIMENTS.md).
+                &[Schedule::Open { rate: 20_000.0 }],
+                false,
+                |schedule| NetPlan {
+                    schedule,
+                    queue_cap: 256,
+                    connections: 2,
+                    requests: 4_000,
+                },
+            ),
+        ),
         _ => return None,
     })
 }
@@ -376,6 +405,28 @@ mod tests {
             .iter()
             .all(|c| c.service.as_ref().unwrap().admission == Admission::Block));
         assert_eq!(open.cells[0].key(), "medium/rw/2t/no-lt/open20000/q256");
+    }
+
+    #[test]
+    fn net_loopback_is_a_net_spec_and_stays_ci_sized() {
+        let spec = build("net_loopback").unwrap();
+        assert_eq!(spec.cells.len(), 2, "medium + tl2-sharded");
+        assert!(
+            spec.cells
+                .iter()
+                .all(|c| c.net.is_some() && c.service.is_none()),
+            "every cell crosses the wire"
+        );
+        let offered: u64 = spec
+            .cells
+            .iter()
+            .map(|c| c.net.as_ref().unwrap().requests * u64::from(spec.repetitions))
+            .sum();
+        assert!(offered <= 100_000, "must stay CI-sized: {offered}");
+        assert_eq!(
+            spec.cells[0].key(),
+            "medium/rw/2t/no-lt/open20000/q256/net2c"
+        );
     }
 
     #[test]

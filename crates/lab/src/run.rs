@@ -4,25 +4,30 @@
 //! serializes to the versioned `results/BENCH_<spec>.json` document.
 
 use stmbench7_backend::AnyBackend;
-use stmbench7_core::{run_benchmark, Histogram, JsonValue, Report, ServiceStats};
+use stmbench7_core::{run_benchmark, CategoryLatency, Histogram, JsonValue, Report, ServiceStats};
 use stmbench7_data::Workspace;
 
 use crate::spec::{Cell, ExperimentSpec};
 use crate::stats::Summary;
 
 /// The version tag every results document leads with; bump on any
-/// incompatible schema change. Version 2 adds the optional per-cell
-/// `service` object (queue-wait / service-time percentiles, reject
-/// counts); readers accept [`FORMAT_V1`] documents unchanged.
-pub const FORMAT: &str = "stmbench7-lab/2";
+/// incompatible schema change. Version 3 adds the `network_us` lane
+/// (non-null for net cells) and the per-category `categories` split to
+/// every cell's `service` object; readers accept [`FORMAT_V2`] and
+/// [`FORMAT_V1`] documents unchanged.
+pub const FORMAT: &str = "stmbench7-lab/3";
 
-/// The previous document version, still accepted by every reader
-/// (version 1 documents simply have no `service` objects).
+/// Version 2 (the service layer's format: per-cell `service` objects,
+/// no network lane or category split), still accepted by every reader.
+pub const FORMAT_V2: &str = "stmbench7-lab/2";
+
+/// Version 1 (no `service` objects at all), still accepted by every
+/// reader.
 pub const FORMAT_V1: &str = "stmbench7-lab/1";
 
 /// True for every document version this crate can read.
 pub fn format_supported(format: &str) -> bool {
-    format == FORMAT || format == FORMAT_V1
+    format == FORMAT || format == FORMAT_V2 || format == FORMAT_V1
 }
 
 /// One measured repetition, condensed.
@@ -73,7 +78,8 @@ pub struct CellResult {
     pub service: Option<ServiceAgg>,
 }
 
-/// Service-cell measurements aggregated across repetitions.
+/// Service-cell measurements aggregated across repetitions (also the
+/// client-side aggregate of net cells, whose `network` lane is present).
 #[derive(Clone, Debug)]
 pub struct ServiceAgg {
     pub offered: u64,
@@ -82,6 +88,12 @@ pub struct ServiceAgg {
     pub queue_wait: Histogram,
     pub service_time: Histogram,
     pub e2e: Histogram,
+    /// Transport overhead lane; present exactly when every repetition
+    /// crossed a wire.
+    pub network: Option<Histogram>,
+    /// Per-category queue-wait/service-time split, merged across
+    /// repetitions.
+    pub per_category: Vec<CategoryLatency>,
 }
 
 impl ServiceAgg {
@@ -99,6 +111,17 @@ impl ServiceAgg {
                 ServiceStats::latency_json(&self.service_time),
             ),
             ("e2e_us", ServiceStats::latency_json(&self.e2e)),
+            (
+                "network_us",
+                match &self.network {
+                    None => JsonValue::Null,
+                    Some(h) => ServiceStats::latency_json(h),
+                },
+            ),
+            (
+                "categories",
+                ServiceStats::categories_json(&self.per_category),
+            ),
         ])
     }
 }
@@ -264,6 +287,37 @@ fn run_one_cell(spec: &ExperimentSpec, cell: &Cell) -> CellResult {
             let _ = run_benchmark(&backend, &params, &cfg);
         }
         let seed = spec.seed.wrapping_add(u64::from(rep));
+        if let Some((server_cfg, drive_cfg)) = cell.net_configs(seed) {
+            // Net cell: this backend behind a real (loopback) socket on
+            // an ephemeral port, measured from the client side.
+            let plan = cell.net.as_ref().expect("net_configs implies plan");
+            let requests = drive_cfg.generate(plan.requests);
+            let listener =
+                std::net::TcpListener::bind("127.0.0.1:0").expect("ephemeral loopback port");
+            let addr = listener.local_addr().expect("bound socket has an address");
+            let client = std::thread::scope(|scope| {
+                let backend = &backend;
+                let params = &params;
+                let server_cfg = &server_cfg;
+                let server = scope
+                    .spawn(move || stmbench7_net::serve_net(backend, params, server_cfg, listener));
+                // Shut the server down even when the drive failed —
+                // panicking first would leave the scope joining a server
+                // blocked in accept(), hanging the run instead of
+                // reporting the error.
+                let client = stmbench7_net::drive(addr, &drive_cfg, &requests);
+                let shutdown = stmbench7_net::shutdown(addr);
+                server
+                    .join()
+                    .expect("net cell server panicked")
+                    .expect("net cell server exits cleanly");
+                let client = client.expect("net cell drive");
+                shutdown.expect("net cell shutdown");
+                client
+            });
+            reports.push(client.report);
+            continue;
+        }
         match cell.serve_config(seed) {
             Some(serve_cfg) => {
                 let plan = cell.service.as_ref().expect("serve_config implies plan");
@@ -306,6 +360,8 @@ fn aggregate(cell: &Cell, reports: &[Report]) -> CellResult {
             queue_wait: Histogram::micros(),
             service_time: Histogram::micros(),
             e2e: Histogram::micros(),
+            network: None,
+            per_category: CategoryLatency::all_empty(),
         };
         for svc in per_rep_service {
             agg.offered += svc.offered;
@@ -314,6 +370,14 @@ fn aggregate(cell: &Cell, reports: &[Report]) -> CellResult {
             agg.queue_wait.merge(&svc.queue_wait);
             agg.service_time.merge(&svc.service_time);
             agg.e2e.merge(&svc.e2e);
+            if let Some(network) = &svc.network {
+                agg.network
+                    .get_or_insert_with(Histogram::micros)
+                    .merge(network);
+            }
+            for (merged, rep) in agg.per_category.iter_mut().zip(&svc.per_category) {
+                merged.merge(rep);
+            }
         }
         agg
     });
@@ -434,11 +498,80 @@ mod tests {
     }
 
     #[test]
-    fn both_format_versions_are_supported() {
+    fn all_format_versions_are_supported() {
         assert!(format_supported(FORMAT));
+        assert!(format_supported(FORMAT_V2));
         assert!(format_supported(FORMAT_V1));
-        assert!(!format_supported("stmbench7-lab/3"));
+        assert!(!format_supported("stmbench7-lab/4"));
         assert!(!format_supported("other/1"));
+    }
+
+    #[test]
+    fn net_cells_run_over_loopback_and_serialize_the_network_lane() {
+        use crate::spec::NetPlan;
+        use stmbench7_service::Schedule;
+
+        let mut spec = tiny_spec();
+        spec.repetitions = 2;
+        spec.cells[0].net = Some(NetPlan {
+            schedule: Schedule::Open { rate: 100_000.0 },
+            queue_cap: 64,
+            connections: 2,
+            requests: 200,
+        });
+        let result = run_spec(&spec, |_| {});
+        let cell = &result.cells[0];
+        let agg = cell
+            .service
+            .as_ref()
+            .expect("net cells aggregate service stats");
+        assert_eq!(agg.offered, 400, "200 requests × 2 repetitions");
+        assert_eq!(agg.queue_wait.samples(), 400);
+        let network = agg.network.as_ref().expect("net cells have a network lane");
+        assert_eq!(network.samples(), 400);
+        let per_cat: u64 = agg
+            .per_category
+            .iter()
+            .map(|c| c.queue_wait.samples())
+            .sum();
+        assert_eq!(per_cat, 400);
+
+        let doc = result.to_json();
+        let json_cell = &doc.get("cells").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            json_cell.get("key").and_then(JsonValue::as_str),
+            Some("coarse/rw/1t/open100000/q64/net2c")
+        );
+        let svc = json_cell.get("service").expect("service object");
+        let net = svc.get("network_us").expect("network lane serialized");
+        assert_eq!(net.get("samples").and_then(JsonValue::as_u64), Some(400));
+        assert!(
+            svc.get("categories")
+                .and_then(|c| c.get("short operations"))
+                .is_some(),
+            "category split serialized"
+        );
+    }
+
+    #[test]
+    fn service_cells_serialize_a_null_network_lane() {
+        use crate::spec::ServicePlan;
+        use stmbench7_service::Schedule;
+
+        let mut spec = tiny_spec();
+        spec.cells[0].service = Some(ServicePlan::open_loop(
+            Schedule::Open { rate: 100_000.0 },
+            64,
+            150,
+        ));
+        let result = run_spec(&spec, |_| {});
+        assert!(result.cells[0].service.as_ref().unwrap().network.is_none());
+        let doc = result.to_json();
+        let json_cell = &doc.get("cells").unwrap().as_array().unwrap()[0];
+        assert_eq!(
+            json_cell.get("service").unwrap().get("network_us"),
+            Some(&JsonValue::Null)
+        );
     }
 
     #[test]

@@ -53,6 +53,36 @@ impl ServicePlan {
     }
 }
 
+/// Network protocol of one cell: the cell's backend runs behind
+/// `stmbench7-net`'s TCP server on an ephemeral loopback port, and the
+/// remote load driver replays the schedule over sockets. `threads` on
+/// the owning [`Cell`] becomes the *server* worker-pool size; the
+/// measured report is the *client's*, so the cell's throughput and
+/// latency include the wire.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetPlan {
+    pub schedule: Schedule,
+    /// Bound of the server-side request queue (blocking admission).
+    pub queue_cap: usize,
+    /// Client connections the stream is striped over.
+    pub connections: usize,
+    /// Length of the request stream (see [`ServicePlan::requests`] for
+    /// why lab runs are deterministic in work, not wall time).
+    pub requests: u64,
+}
+
+impl NetPlan {
+    /// The key suffix identifying this plan inside a cell key.
+    fn key_suffix(&self) -> String {
+        format!(
+            "/{}/q{}/net{}c",
+            self.schedule.key(),
+            self.queue_cap,
+            self.connections
+        )
+    }
+}
+
 /// One sweep cell: a backend × workload × thread-count configuration,
 /// optionally run through the service layer ([`ServicePlan`]).
 #[derive(Clone, Debug, PartialEq)]
@@ -70,6 +100,10 @@ pub struct Cell {
     /// When set, the cell runs open-loop through `stmbench7-service`
     /// (`threads` = worker-pool size) instead of the closed-loop engine.
     pub service: Option<ServicePlan>,
+    /// When set, the cell runs over a loopback socket through
+    /// `stmbench7-net` (`threads` = server worker-pool size); mutually
+    /// exclusive with `service`.
+    pub net: Option<NetPlan>,
 }
 
 impl Cell {
@@ -85,6 +119,7 @@ impl Cell {
             structure_mods: true,
             astm_friendly: false,
             service: None,
+            net: None,
         }
     }
 
@@ -146,7 +181,14 @@ impl Cell {
         if self.astm_friendly {
             key.push_str("/astm-friendly");
         }
+        debug_assert!(
+            self.service.is_none() || self.net.is_none(),
+            "a cell is either a service cell or a net cell, not both"
+        );
         if let Some(plan) = &self.service {
+            key.push_str(&plan.key_suffix());
+        }
+        if let Some(plan) = &self.net {
             key.push_str(&plan.key_suffix());
         }
         key
@@ -173,6 +215,44 @@ impl Cell {
             seed,
         })
     }
+
+    /// The server and driver configurations for running this cell's
+    /// network plan with the given seed; `None` for cells without one.
+    pub fn net_configs(
+        &self,
+        seed: u64,
+    ) -> Option<(stmbench7_service::ServeConfig, stmbench7_net::DriveConfig)> {
+        let plan = self.net.as_ref()?;
+        let filter = if self.astm_friendly {
+            OpFilter::astm_friendly()
+        } else {
+            OpFilter::none()
+        };
+        let server = stmbench7_service::ServeConfig {
+            // The server takes arrivals off the wire; its schedule field
+            // is inert and overwritten with `net:<addr>` in its report.
+            schedule: plan.schedule,
+            workers: self.threads,
+            queue_cap: plan.queue_cap,
+            admission: Admission::Block,
+            batch_max: 1,
+            workload: self.workload,
+            long_traversals: self.long_traversals,
+            structure_mods: self.structure_mods,
+            filter: filter.clone(),
+            seed,
+        };
+        let driver = stmbench7_net::DriveConfig {
+            schedule: plan.schedule,
+            connections: plan.connections,
+            workload: self.workload,
+            long_traversals: self.long_traversals,
+            structure_mods: self.structure_mods,
+            filter,
+            seed,
+        };
+        Some((server, driver))
+    }
 }
 
 /// The full cross product of backends × workloads × thread counts with
@@ -198,6 +278,7 @@ pub fn grid(
                     structure_mods,
                     astm_friendly,
                     service: None,
+                    net: None,
                 });
             }
         }
@@ -228,6 +309,7 @@ pub fn sharded_grid(
                     structure_mods: true,
                     astm_friendly: false,
                     service: None,
+                    net: None,
                 });
             }
         }
@@ -258,6 +340,37 @@ pub fn service_grid(
                 structure_mods: true,
                 astm_friendly: false,
                 service: Some(plan_of(schedule)),
+                net: None,
+            });
+        }
+    }
+    cells
+}
+
+/// A grid of *network* cells: backends × arrival schedules × one server
+/// worker count, each driven over loopback sockets by `plan_of(schedule)`
+/// — the constructor behind `net_loopback`.
+pub fn net_grid(
+    backends: &[BackendChoice],
+    workload: WorkloadType,
+    workers: usize,
+    schedules: &[Schedule],
+    long_traversals: bool,
+    plan_of: impl Fn(Schedule) -> NetPlan,
+) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(backends.len() * schedules.len());
+    for &schedule in schedules {
+        for &backend in backends {
+            cells.push(Cell {
+                backend,
+                workload,
+                threads: workers,
+                shards: None,
+                long_traversals,
+                structure_mods: true,
+                astm_friendly: false,
+                service: None,
+                net: Some(plan_of(schedule)),
             });
         }
     }

@@ -1,0 +1,355 @@
+//! The remote load driver: replays a deterministic arrival schedule over
+//! N persistent TCP connections and decomposes what each request
+//! experienced into *client queue wait* (scheduled arrival → send),
+//! *network* (round trip minus the server-reported time), and
+//! *server-reported service time* — the three lanes the in-process
+//! service layer cannot distinguish because it has no wire.
+//!
+//! The stream is the same one `stmbench7 serve` would replay in-process:
+//! identical `(schedule, workload, seed)` triples materialize identical
+//! requests, request `i` rides connection `i % N`, and each request's
+//! `rng_seed` pins its random choices server-side — which is what the
+//! remote-vs-local oracle test leans on.
+
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use stmbench7_core::{
+    CategoryLatency, Histogram, OpFilter, OpKind, OpReport, Report, ServiceStats, WorkloadMix,
+    WorkloadType,
+};
+use stmbench7_service::{Request, Schedule};
+
+use crate::wire::{self, Frame, NetRequest, WireOutcome};
+
+/// Full configuration of a remote drive.
+#[derive(Clone, Debug)]
+pub struct DriveConfig {
+    pub schedule: Schedule,
+    /// Persistent connections the stream is striped over (request `i`
+    /// rides connection `i % connections`).
+    pub connections: usize,
+    pub workload: WorkloadType,
+    pub long_traversals: bool,
+    pub structure_mods: bool,
+    pub filter: OpFilter,
+    pub seed: u64,
+}
+
+impl DriveConfig {
+    /// A deterministic single-connection drive, all operations on.
+    pub fn new(schedule: Schedule, workload: WorkloadType, seed: u64) -> Self {
+        DriveConfig {
+            schedule,
+            connections: 1,
+            workload,
+            long_traversals: true,
+            structure_mods: true,
+            filter: OpFilter::none(),
+            seed,
+        }
+    }
+
+    /// The operation mix requests are drawn from — the same pool the
+    /// in-process service and the closed-loop engine share.
+    pub fn mix(&self) -> WorkloadMix {
+        WorkloadMix::compute(
+            self.workload,
+            self.long_traversals,
+            self.structure_mods,
+            &self.filter,
+        )
+    }
+
+    /// The first `n` requests of this configuration's schedule —
+    /// byte-identical to the in-process service's stream for the same
+    /// `(schedule, workload, seed)`.
+    pub fn generate(&self, n: u64) -> Vec<Request> {
+        self.schedule.generate(&self.mix(), self.seed, n)
+    }
+
+    /// Every request arriving before `horizon` (`None` for closed
+    /// schedules, whose request count is not duration-bounded).
+    pub fn generate_for(&self, horizon: Duration) -> Option<Vec<Request>> {
+        self.schedule.generate_for(&self.mix(), self.seed, horizon)
+    }
+}
+
+/// A completed remote drive: the client-side [`Report`] (per-operation
+/// round-trip latencies plus the three-lane [`ServiceStats`] with the
+/// network histogram populated) and the per-request outcomes as they
+/// crossed the wire, indexed by request id (`None` = no response, which
+/// [`drive`] treats as an error).
+pub struct DriveResult {
+    pub report: Report,
+    pub outcomes: Vec<Option<WireOutcome>>,
+}
+
+/// Client-side accounting of one connection.
+struct ConnStats {
+    completed: Vec<u64>,
+    failed: Vec<u64>,
+    max_ns: Vec<u64>,
+    sum_ns: Vec<u64>,
+    hist: Vec<Histogram>,
+    queue_wait: Histogram,
+    service_time: Histogram,
+    e2e: Histogram,
+    network: Histogram,
+    per_category: Vec<CategoryLatency>,
+    rejected: u64,
+    outcomes: Vec<(u64, WireOutcome)>,
+}
+
+impl ConnStats {
+    fn new() -> Self {
+        ConnStats {
+            completed: vec![0; 45],
+            failed: vec![0; 45],
+            max_ns: vec![0; 45],
+            sum_ns: vec![0; 45],
+            hist: (0..45).map(|_| Histogram::new()).collect(),
+            queue_wait: Histogram::micros(),
+            service_time: Histogram::micros(),
+            e2e: Histogram::micros(),
+            network: Histogram::micros(),
+            per_category: CategoryLatency::all_empty(),
+            rejected: 0,
+            outcomes: Vec::new(),
+        }
+    }
+
+    fn record(
+        &mut self,
+        op: OpKind,
+        arrival_ns: u64,
+        send_ns: u64,
+        recv_ns: u64,
+        resp: &wire::NetResponse,
+    ) {
+        match &resp.outcome {
+            WireOutcome::Rejected => {
+                // Never executed: counted, but no latency to decompose.
+                self.rejected += 1;
+                self.outcomes.push((resp.id, resp.outcome.clone()));
+                return;
+            }
+            WireOutcome::Done(_) => {
+                let i = op.index();
+                let rtt_ns = recv_ns.saturating_sub(send_ns);
+                self.completed[i] += 1;
+                self.max_ns[i] = self.max_ns[i].max(rtt_ns);
+                self.sum_ns[i] += rtt_ns;
+                self.hist[i].record(rtt_ns);
+            }
+            WireOutcome::Fail(_) => self.failed[op.index()] += 1,
+        }
+        let client_queue_ns = send_ns.saturating_sub(arrival_ns);
+        let rtt_ns = recv_ns.saturating_sub(send_ns);
+        // The transport's share: everything between send and receive the
+        // server does not account for (syscalls, the loopback or real
+        // network, frame codec). Server-side queueing is deliberately
+        // excluded — it shows up in the server's own report.
+        let network_ns = rtt_ns.saturating_sub(resp.queue_ns.saturating_add(resp.service_ns));
+        self.queue_wait.record(client_queue_ns);
+        self.service_time.record(resp.service_ns);
+        self.network.record(network_ns);
+        self.e2e.record(recv_ns.saturating_sub(arrival_ns));
+        let cat = &mut self.per_category[op.category().index()];
+        cat.queue_wait.record(client_queue_ns);
+        cat.service_time.record(resp.service_ns);
+        self.outcomes.push((resp.id, resp.outcome.clone()));
+    }
+}
+
+/// Replays `requests` (see [`DriveConfig::generate`]) against a running
+/// `stmbench7 net-serve` at `addr`, over `cfg.connections` persistent
+/// connections, honoring scheduled arrival times. Returns when every
+/// request has been answered.
+pub fn drive(
+    addr: impl ToSocketAddrs,
+    cfg: &DriveConfig,
+    requests: &[Request],
+) -> io::Result<DriveResult> {
+    assert!(cfg.connections >= 1, "at least one connection required");
+    let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolves to nothing")
+    })?;
+    let mix = cfg.mix();
+
+    // Stripe the stream: connection c carries requests i ≡ c (mod N), in
+    // stream order within the connection.
+    let mut slices: Vec<Vec<Request>> = vec![Vec::new(); cfg.connections];
+    for (i, req) in requests.iter().enumerate() {
+        slices[i % cfg.connections].push(*req);
+    }
+    let streams: Vec<TcpStream> = (0..cfg.connections)
+        .map(|_| TcpStream::connect(addr))
+        .collect::<io::Result<_>>()?;
+
+    // Send timestamps cross from writer to reader threads by request id.
+    let send_ns: Vec<AtomicU64> = (0..requests.len()).map(|_| AtomicU64::new(0)).collect();
+
+    let epoch = Instant::now();
+    let all_stats: io::Result<Vec<ConnStats>> = std::thread::scope(|scope| {
+        let mut readers = Vec::with_capacity(cfg.connections);
+        for (slice, stream) in slices.iter().zip(&streams) {
+            let send_ns = &send_ns;
+            // Writer: replay this connection's share of the schedule.
+            let write_half = stream.try_clone()?;
+            scope.spawn(move || -> io::Result<()> {
+                let mut write_half = write_half;
+                for req in slice {
+                    let target = epoch + Duration::from_nanos(req.arrival_ns);
+                    let now = Instant::now();
+                    if now < target {
+                        std::thread::sleep(target - now);
+                    }
+                    // Release: the socket round trip is not a formal
+                    // happens-before edge for this atomic; pair with the
+                    // reader's Acquire so it never observes the initial 0.
+                    send_ns[req.id as usize]
+                        .store(epoch.elapsed().as_nanos() as u64, Ordering::Release);
+                    wire::write_frame(
+                        &mut write_half,
+                        &Frame::Request(NetRequest {
+                            id: req.id,
+                            op: req.op,
+                            rng_seed: req.rng_seed,
+                        }),
+                    )?;
+                }
+                Ok(())
+            });
+            // Reader: collect exactly this connection's responses.
+            let read_half = stream.try_clone()?;
+            readers.push(scope.spawn(move || -> io::Result<ConnStats> {
+                let mut reader = BufReader::new(read_half);
+                let mut stats = ConnStats::new();
+                for _ in 0..slice.len() {
+                    let frame = wire::read_frame(&mut reader)?.ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed with responses outstanding",
+                        )
+                    })?;
+                    let Frame::Response(resp) = frame else {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            "server sent a non-response frame mid-stream",
+                        ));
+                    };
+                    let recv_ns = epoch.elapsed().as_nanos() as u64;
+                    let req = requests
+                        .get(resp.id as usize)
+                        .filter(|r| r.id == resp.id)
+                        .ok_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidData,
+                                format!("response for unknown request id {}", resp.id),
+                            )
+                        })?;
+                    let sent = send_ns[req.id as usize].load(Ordering::Acquire);
+                    stats.record(req.op, req.arrival_ns, sent, recv_ns, &resp);
+                }
+                Ok(stats)
+            }));
+        }
+        readers
+            .into_iter()
+            .map(|h| h.join().expect("reader panicked"))
+            .collect()
+    });
+    let all_stats = all_stats?;
+    let elapsed = epoch.elapsed();
+    drop(streams); // hang up: the server's connection readers see EOF
+
+    Ok(merge(cfg, &mix, requests, elapsed, all_stats))
+}
+
+/// Sends the graceful-shutdown control frame on a fresh connection and
+/// waits for the acknowledgement.
+pub fn shutdown(addr: impl ToSocketAddrs) -> io::Result<()> {
+    let mut stream = TcpStream::connect(addr.to_socket_addrs()?.next().ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidInput, "address resolves to nothing")
+    })?)?;
+    wire::write_frame(&mut stream, &Frame::Shutdown)?;
+    match wire::read_frame(&mut BufReader::new(stream))? {
+        Some(Frame::ShutdownAck) => Ok(()),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected shutdown ack, got {other:?}"),
+        )),
+    }
+}
+
+fn merge(
+    cfg: &DriveConfig,
+    mix: &WorkloadMix,
+    requests: &[Request],
+    elapsed: Duration,
+    all_stats: Vec<ConnStats>,
+) -> DriveResult {
+    let mut per_op: Vec<OpReport> = OpKind::ALL
+        .iter()
+        .map(|op| OpReport::empty(*op, mix.expected(*op)))
+        .collect();
+    let mut queue_wait = Histogram::micros();
+    let mut service_time = Histogram::micros();
+    let mut e2e = Histogram::micros();
+    let mut network = Histogram::micros();
+    let mut per_category = CategoryLatency::all_empty();
+    let mut rejected = 0;
+    let mut outcomes: Vec<Option<WireOutcome>> = vec![None; requests.len()];
+    for stats in &all_stats {
+        for (i, r) in per_op.iter_mut().enumerate() {
+            r.completed += stats.completed[i];
+            r.failed += stats.failed[i];
+            r.max_ns = r.max_ns.max(stats.max_ns[i]);
+            r.sum_ns += stats.sum_ns[i];
+            r.hist.merge(&stats.hist[i]);
+        }
+        queue_wait.merge(&stats.queue_wait);
+        service_time.merge(&stats.service_time);
+        e2e.merge(&stats.e2e);
+        network.merge(&stats.network);
+        for (merged, conn) in per_category.iter_mut().zip(&stats.per_category) {
+            merged.merge(conn);
+        }
+        rejected += stats.rejected;
+        for (id, outcome) in &stats.outcomes {
+            outcomes[*id as usize] = Some(outcome.clone());
+        }
+    }
+    let executed = queue_wait.samples();
+    let report = Report {
+        backend: "net".to_string(),
+        threads: cfg.connections,
+        workload: cfg.workload,
+        long_traversals: cfg.long_traversals,
+        structure_mods: cfg.structure_mods,
+        seed: cfg.seed,
+        elapsed,
+        per_op,
+        stm: None,
+        service: Some(ServiceStats {
+            schedule: cfg.schedule.key(),
+            // The client's "workers" are its connections; it has no
+            // bounded queue or batching of its own (cap 0, batch 1).
+            workers: cfg.connections,
+            queue_cap: 0,
+            batch_max: 1,
+            offered: requests.len() as u64,
+            rejected,
+            batches: executed,
+            queue_wait,
+            service_time,
+            e2e,
+            network: Some(network),
+            per_category,
+        }),
+    };
+    DriveResult { report, outcomes }
+}

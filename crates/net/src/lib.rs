@@ -1,0 +1,36 @@
+//! `stmbench7-net` — a real network boundary in front of every STMBench7
+//! backend, built on `std::net` alone (the build environment is offline;
+//! loopback is the reference transport).
+//!
+//! The service layer (PR 3) made the benchmark request-driven but kept
+//! driver and executor in one process — one address space, one clock, no
+//! transport. This crate splits them:
+//!
+//! * [`wire`] — the versioned, length-prefixed binary protocol
+//!   ([`wire::Frame`]): request = id + op + rng seed, response = outcome
+//!   plus server-side queue/service timings, plus a graceful-shutdown
+//!   control frame. Hand-rolled encode/decode in the no-serde style of
+//!   the JSON writer, pinned by golden-bytes tests; decoding is total
+//!   (arbitrary bytes yield `Err`, never a panic).
+//! * [`server`] — [`serve_net`]: a multi-threaded TCP server feeding
+//!   decoded requests into the existing `stmbench7-service` queue/worker
+//!   pool through [`stmbench7_service::serve_source`], so admission,
+//!   batching and latency decomposition are reused rather than
+//!   reimplemented. CLI: `stmbench7 net-serve`.
+//! * [`driver`] — [`drive`]: the remote load driver replaying the same
+//!   deterministic arrival schedules (`closed:`/`open:`/`bursty:`) over
+//!   N persistent connections, decomposing per-request latency into
+//!   client queue wait, network round trip, and server-reported service
+//!   time. CLI: `stmbench7 net-drive`.
+//!
+//! The wire adds transport, never semantics: the remote-vs-local oracle
+//! test drives the identical schedule in-process and over a loopback
+//! socket and asserts identical operation outcomes.
+
+pub mod driver;
+pub mod server;
+pub mod wire;
+
+pub use driver::{drive, shutdown, DriveConfig, DriveResult};
+pub use server::serve_net;
+pub use wire::{Frame, NetRequest, NetResponse, WireError, WireOutcome, WIRE_VERSION};

@@ -1,0 +1,232 @@
+//! The TCP front end: accepts connections, decodes request frames, and
+//! feeds them into the `stmbench7-service` queue/worker pool — so
+//! admission control, read-only batching and the latency decomposition
+//! are exactly the in-process service's, with a wire in front.
+//!
+//! One reader thread per connection decodes frames and offers requests
+//! through the service [`Ingress`]; the pool's observer hook routes each
+//! completed request's response to a per-connection *writer thread*
+//! through a channel, so a client that stops reading stalls only its own
+//! writer — never the shared worker pool. A [`Frame::Shutdown`] control
+//! frame stops the acceptor, force-closes every other connection's
+//! socket (an idle client cannot hold the server open), drains the
+//! queue, and lets [`serve_net`] return the merged [`ServeResult`] — the
+//! graceful-shutdown path the CI smoke test exercises.
+
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::{io, thread};
+
+use stmbench7_backend::Backend;
+use stmbench7_data::{OpOutcome, StructureParams};
+use stmbench7_service::{serve_source, Ingress, Request, ServeConfig, ServeResult};
+
+use crate::wire::{self, Frame, NetResponse, WireOutcome};
+
+/// Where to send the response of one in-flight request: the originating
+/// connection's writer-thread channel and the id the client knows it by.
+struct Route {
+    resp_tx: mpsc::Sender<NetResponse>,
+    client_id: u64,
+}
+
+/// State shared between the acceptor, the connection readers and the
+/// worker-pool observer.
+struct Shared {
+    /// In-flight requests by server-assigned id.
+    routes: Mutex<HashMap<u64, Route>>,
+    /// One read-half clone per live connection, so shutdown can
+    /// force-close sockets whose clients would otherwise hold the
+    /// server open forever.
+    conns: Mutex<Vec<TcpStream>>,
+    shutting_down: AtomicBool,
+}
+
+/// Handles one client connection: decode frames, offer requests, honor
+/// the shutdown control frame. Returns when the client disconnects, the
+/// stream corrupts, or shutdown begins.
+fn handle_connection(
+    stream: TcpStream,
+    ingress: &Ingress<'_>,
+    shared: &Shared,
+    local_addr: SocketAddr,
+) {
+    let (Ok(write_half), Ok(read_clone)) = (stream.try_clone(), stream.try_clone()) else {
+        return;
+    };
+    // The writer thread owns the write half: responses (from whichever
+    // worker executed the request) and control acks go through its
+    // channel, so a stalled client blocks only this thread. Detached on
+    // purpose — it drains until every route holding a sender is gone.
+    // The ack is handshaked (`ack_done`): the shutdown handler must not
+    // let the server exit — closing the socket — before the ack is on
+    // the wire.
+    let (resp_tx, resp_rx) = mpsc::channel::<NetResponse>();
+    let (ack_tx, ack_rx) = mpsc::channel::<()>();
+    let (ack_done_tx, ack_done_rx) = mpsc::channel::<()>();
+    thread::spawn(move || {
+        let mut write_half = write_half;
+        loop {
+            // Control acks first: a shutdown ack must not queue behind
+            // a backlog of responses.
+            let frame = if ack_rx.try_recv().is_ok() {
+                Frame::ShutdownAck
+            } else {
+                match resp_rx.recv_timeout(std::time::Duration::from_millis(20)) {
+                    Ok(resp) => Frame::Response(resp),
+                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => match ack_rx.recv() {
+                        Ok(()) => Frame::ShutdownAck,
+                        Err(_) => return, // connection fully released
+                    },
+                }
+            };
+            if frame == Frame::ShutdownAck {
+                let _ = wire::write_frame(&mut write_half, &frame);
+                let _ = ack_done_tx.send(());
+                return;
+            }
+            if wire::write_frame(&mut write_half, &frame).is_err() {
+                return; // client gone: drop this connection's responses
+            }
+        }
+    });
+    shared
+        .conns
+        .lock()
+        .expect("connection registry poisoned")
+        .push(read_clone);
+    // Re-check after registering: either the shutdowner sees this
+    // connection in the registry, or this load sees the flag — a
+    // connection racing the shutdown frame cannot slip through and hold
+    // the server open.
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        let _ = stream.shutdown(Shutdown::Both);
+        return;
+    }
+
+    let mut reader = BufReader::new(stream);
+    loop {
+        match wire::read_frame(&mut reader) {
+            Ok(Some(Frame::Request(net_req))) => {
+                let id = ingress.claim_id();
+                shared.routes.lock().expect("routes poisoned").insert(
+                    id,
+                    Route {
+                        resp_tx: resp_tx.clone(),
+                        client_id: net_req.id,
+                    },
+                );
+                let req = Request {
+                    id,
+                    arrival_ns: ingress.now_ns(),
+                    op: net_req.op,
+                    rng_seed: net_req.rng_seed,
+                };
+                if !ingress.offer(req) {
+                    // Reject-on-full admission: answer immediately so the
+                    // client's accounting stays complete.
+                    shared.routes.lock().expect("routes poisoned").remove(&id);
+                    let _ = resp_tx.send(NetResponse {
+                        id: net_req.id,
+                        outcome: WireOutcome::Rejected,
+                        queue_ns: 0,
+                        service_ns: 0,
+                    });
+                }
+            }
+            Ok(Some(Frame::Shutdown)) => {
+                shared.shutting_down.store(true, Ordering::SeqCst);
+                let _ = ack_tx.send(());
+                // Wait until the ack is on the wire (Err = the writer
+                // died earlier; nothing to wait for): the acceptor
+                // unblocks next, and the server may exit right after.
+                let _ = ack_done_rx.recv();
+                // Force-close every registered connection (including this
+                // one): readers blocked on idle clients see EOF and exit
+                // instead of holding the server open.
+                for conn in shared
+                    .conns
+                    .lock()
+                    .expect("connection registry poisoned")
+                    .iter()
+                {
+                    let _ = conn.shutdown(Shutdown::Read);
+                }
+                // Wake the acceptor out of its blocking accept.
+                let _ = TcpStream::connect(local_addr);
+                return;
+            }
+            // A client sending server-only frames is violating the
+            // protocol; drop the connection. EOF and corrupt streams end
+            // the connection the same way.
+            Ok(Some(Frame::Response(_) | Frame::ShutdownAck)) | Ok(None) | Err(_) => return,
+        }
+    }
+}
+
+/// Serves STMBench7 over TCP until a client sends the shutdown control
+/// frame: every decoded request flows through the service pool of
+/// `cfg.workers` workers (schedule in `cfg` is ignored — arrivals come
+/// off the wire), and the merged report carries the same
+/// queue-wait/service-time decomposition an in-process run produces,
+/// with `schedule` set to `net:<addr>`.
+pub fn serve_net<B: Backend>(
+    backend: &B,
+    params: &StructureParams,
+    cfg: &ServeConfig,
+    listener: TcpListener,
+) -> io::Result<ServeResult> {
+    let local_addr = listener.local_addr()?;
+    let shared = Shared {
+        routes: Mutex::new(HashMap::new()),
+        conns: Mutex::new(Vec::new()),
+        shutting_down: AtomicBool::new(false),
+    };
+
+    let observe = |req: &Request, outcome: &OpOutcome, start_ns: u64, end_ns: u64| {
+        let route = shared
+            .routes
+            .lock()
+            .expect("routes poisoned")
+            .remove(&req.id);
+        if let Some(route) = route {
+            // A vanished client is not a server error: its writer thread
+            // is gone and the send just fails.
+            let _ = route.resp_tx.send(NetResponse {
+                id: route.client_id,
+                outcome: WireOutcome::from(*outcome),
+                queue_ns: start_ns.saturating_sub(req.arrival_ns),
+                service_ns: end_ns.saturating_sub(start_ns),
+            });
+        }
+    };
+
+    let feed = |ingress: &Ingress<'_>| -> io::Result<()> {
+        thread::scope(|scope| {
+            loop {
+                let (stream, _) = listener.accept()?;
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    // The wake-up connection (or a late client); stop
+                    // accepting. Remaining readers were unblocked by the
+                    // shutdown handler's socket close.
+                    return Ok(());
+                }
+                let shared = &shared;
+                scope.spawn(move || {
+                    handle_connection(stream, ingress, shared, local_addr);
+                });
+            }
+        })
+    };
+
+    let (mut result, fed) = serve_source(backend, params, cfg, feed, observe);
+    fed?;
+    if let Some(service) = result.report.service.as_mut() {
+        service.schedule = format!("net:{local_addr}");
+    }
+    Ok(result)
+}

@@ -1,0 +1,492 @@
+//! The STMBench7 wire protocol: versioned, length-prefixed binary
+//! frames.
+//!
+//! Every frame on the wire is a 4-byte big-endian payload length followed
+//! by the payload; every payload opens with the protocol version and a
+//! frame tag. All multi-byte integers are big-endian. The encoding is
+//! hand-rolled (the build is offline — no serde), mirrors the JSON
+//! writer's philosophy, and is pinned by golden-bytes tests: a byte
+//! change is a protocol change and must bump [`WIRE_VERSION`].
+//!
+//! ```text
+//! frame     := len:u32 payload             (len = payload byte count)
+//! payload   := version:u8 tag:u8 body
+//! request   := tag 0x01  id:u64 op:u8 rng_seed:u64
+//! response  := tag 0x02  id:u64 outcome queue_ns:u64 service_ns:u64
+//! outcome   := 0x00 value:i64             (done)
+//!            | 0x01 len:u16 reason:bytes  (benign failure)
+//!            | 0x02                       (rejected by admission)
+//! shutdown  := tag 0x03                   (client → server, graceful)
+//! ack       := tag 0x04                   (server → client, then close)
+//! ```
+//!
+//! Decoding is total: any byte sequence either yields a frame or a
+//! [`WireError`] — never a panic — which the fuzz-ish proptest suite
+//! pins down.
+
+use std::io::{self, Read, Write};
+
+use stmbench7_core::OpKind;
+use stmbench7_data::OpOutcome;
+
+/// Protocol version; bumped on any incompatible frame change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on a payload length. Real frames are tens of bytes; a
+/// length prefix beyond this is a corrupt or hostile stream, rejected
+/// before any allocation.
+pub const MAX_FRAME_LEN: u32 = 64 * 1024;
+
+const TAG_REQUEST: u8 = 0x01;
+const TAG_RESPONSE: u8 = 0x02;
+const TAG_SHUTDOWN: u8 = 0x03;
+const TAG_SHUTDOWN_ACK: u8 = 0x04;
+
+const OUTCOME_DONE: u8 = 0x00;
+const OUTCOME_FAIL: u8 = 0x01;
+const OUTCOME_REJECTED: u8 = 0x02;
+
+/// One operation request as it crosses the wire: the client-assigned
+/// stream id, the operation, and the seed pinning the operation's random
+/// choices — the same triple an in-process
+/// [`stmbench7_service::Request`] carries, minus the arrival timestamp
+/// (timing is measured on each side of the wire, never transmitted).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetRequest {
+    pub id: u64,
+    pub op: OpKind,
+    pub rng_seed: u64,
+}
+
+/// An operation outcome as it crosses the wire. [`OpOutcome`] borrows
+/// its failure reason from static benchmark strings; the wire cannot,
+/// so responses carry the reason by value — and add the
+/// admission-control rejection an in-process caller observes as a queue
+/// error instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireOutcome {
+    Done(i64),
+    Fail(String),
+    /// Dropped by reject-on-full admission before execution.
+    Rejected,
+}
+
+impl From<OpOutcome> for WireOutcome {
+    fn from(outcome: OpOutcome) -> WireOutcome {
+        match outcome {
+            OpOutcome::Done(v) => WireOutcome::Done(v),
+            OpOutcome::Fail(reason) => WireOutcome::Fail(reason.to_string()),
+        }
+    }
+}
+
+/// One response: the echoed request id, the outcome, and the
+/// server-side latency decomposition (receive → execution start, and
+/// execution start → completion) in nanoseconds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetResponse {
+    pub id: u64,
+    pub outcome: WireOutcome,
+    pub queue_ns: u64,
+    pub service_ns: u64,
+}
+
+/// Every frame of the protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    Request(NetRequest),
+    Response(NetResponse),
+    /// Graceful-shutdown control frame: the server stops accepting,
+    /// drains its queue, acknowledges and exits.
+    Shutdown,
+    ShutdownAck,
+}
+
+/// Why a payload failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before its frame was complete.
+    Truncated,
+    /// Unknown protocol version.
+    BadVersion(u8),
+    /// Unknown frame tag.
+    BadTag(u8),
+    /// Unknown outcome tag inside a response.
+    BadOutcome(u8),
+    /// Operation index beyond the 45 operations.
+    BadOp(u8),
+    /// A failure reason that is not UTF-8.
+    BadUtf8,
+    /// Bytes left over after a complete frame.
+    TrailingBytes,
+    /// Length prefix beyond [`MAX_FRAME_LEN`].
+    Oversized(u32),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame"),
+            WireError::BadVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::BadTag(t) => write!(f, "unknown frame tag {t:#04x}"),
+            WireError::BadOutcome(t) => write!(f, "unknown outcome tag {t:#04x}"),
+            WireError::BadOp(i) => write!(f, "operation index {i} out of range"),
+            WireError::BadUtf8 => write!(f, "failure reason is not UTF-8"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after frame"),
+            WireError::Oversized(n) => write!(f, "frame length {n} exceeds {MAX_FRAME_LEN}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<WireError> for io::Error {
+    fn from(e: WireError) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// A cursor over a payload, every read bounds-checked.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.at.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, WireError> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.at == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes)
+        }
+    }
+}
+
+/// Encodes a frame as its payload bytes (without the length prefix).
+pub fn encode(frame: &Frame) -> Vec<u8> {
+    let mut out = vec![WIRE_VERSION];
+    match frame {
+        Frame::Request(req) => {
+            out.push(TAG_REQUEST);
+            out.extend_from_slice(&req.id.to_be_bytes());
+            out.push(req.op.index() as u8);
+            out.extend_from_slice(&req.rng_seed.to_be_bytes());
+        }
+        Frame::Response(resp) => {
+            out.push(TAG_RESPONSE);
+            out.extend_from_slice(&resp.id.to_be_bytes());
+            match &resp.outcome {
+                WireOutcome::Done(v) => {
+                    out.push(OUTCOME_DONE);
+                    out.extend_from_slice(&v.to_be_bytes());
+                }
+                WireOutcome::Fail(reason) => {
+                    out.push(OUTCOME_FAIL);
+                    let bytes = reason.as_bytes();
+                    let len = u16::try_from(bytes.len()).expect("failure reasons are short");
+                    out.extend_from_slice(&len.to_be_bytes());
+                    out.extend_from_slice(bytes);
+                }
+                WireOutcome::Rejected => out.push(OUTCOME_REJECTED),
+            }
+            out.extend_from_slice(&resp.queue_ns.to_be_bytes());
+            out.extend_from_slice(&resp.service_ns.to_be_bytes());
+        }
+        Frame::Shutdown => out.push(TAG_SHUTDOWN),
+        Frame::ShutdownAck => out.push(TAG_SHUTDOWN_ACK),
+    }
+    out
+}
+
+/// Decodes one payload into a frame. Total: every byte sequence yields a
+/// frame or a [`WireError`], never a panic.
+pub fn decode(payload: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Reader {
+        bytes: payload,
+        at: 0,
+    };
+    let version = r.u8()?;
+    if version != WIRE_VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let tag = r.u8()?;
+    let frame = match tag {
+        TAG_REQUEST => {
+            let id = r.u64()?;
+            let op_idx = r.u8()?;
+            let op = OpKind::ALL
+                .get(usize::from(op_idx))
+                .copied()
+                .ok_or(WireError::BadOp(op_idx))?;
+            let rng_seed = r.u64()?;
+            Frame::Request(NetRequest { id, op, rng_seed })
+        }
+        TAG_RESPONSE => {
+            let id = r.u64()?;
+            let outcome = match r.u8()? {
+                OUTCOME_DONE => WireOutcome::Done(r.i64()?),
+                OUTCOME_FAIL => {
+                    let len = usize::from(r.u16()?);
+                    let bytes = r.take(len)?;
+                    WireOutcome::Fail(
+                        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadUtf8)?,
+                    )
+                }
+                OUTCOME_REJECTED => WireOutcome::Rejected,
+                other => return Err(WireError::BadOutcome(other)),
+            };
+            let queue_ns = r.u64()?;
+            let service_ns = r.u64()?;
+            Frame::Response(NetResponse {
+                id,
+                outcome,
+                queue_ns,
+                service_ns,
+            })
+        }
+        TAG_SHUTDOWN => Frame::Shutdown,
+        TAG_SHUTDOWN_ACK => Frame::ShutdownAck,
+        other => return Err(WireError::BadTag(other)),
+    };
+    r.finish()?;
+    Ok(frame)
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let payload = encode(frame);
+    let len = u32::try_from(payload.len()).expect("payloads are tiny");
+    debug_assert!(len <= MAX_FRAME_LEN);
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` on a clean end of stream
+/// (EOF before any length byte); EOF *inside* the length prefix is a
+/// torn frame and errors as `UnexpectedEof`; decode and framing errors
+/// surface as `InvalidData`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    // The first byte distinguishes a graceful close from a peer dying
+    // mid-prefix: `read_exact` reports both as UnexpectedEof.
+    let mut first = [0u8; 1];
+    match r.read(&mut first) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => return read_frame(r),
+        Err(e) => return Err(e),
+    }
+    let mut rest = [0u8; 3];
+    r.read_exact(&mut rest)?;
+    let len = u32::from_be_bytes([first[0], rest[0], rest[1], rest[2]]);
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Oversized(len).into());
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(decode(&payload)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_request_bytes() {
+        // The exact on-wire payload of a known request is part of the
+        // protocol: if these bytes change, WIRE_VERSION must change.
+        let req = Frame::Request(NetRequest {
+            id: 0x0102_0304_0506_0708,
+            op: OpKind::T1, // index 0
+            rng_seed: 0x1122_3344_5566_7788,
+        });
+        #[rustfmt::skip]
+        let golden: Vec<u8> = vec![
+            1,    // version
+            0x01, // request tag
+            0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, // id
+            0x00, // op index (T1)
+            0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, // rng seed
+        ];
+        assert_eq!(encode(&req), golden);
+        assert_eq!(decode(&golden), Ok(req));
+    }
+
+    #[test]
+    fn golden_response_bytes() {
+        let resp = Frame::Response(NetResponse {
+            id: 7,
+            outcome: WireOutcome::Done(-2),
+            queue_ns: 1_000,
+            service_ns: 2_000,
+        });
+        #[rustfmt::skip]
+        let golden: Vec<u8> = vec![
+            1,    // version
+            0x02, // response tag
+            0, 0, 0, 0, 0, 0, 0, 7,  // id
+            0x00, // done
+            0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFE, // -2
+            0, 0, 0, 0, 0, 0, 0x03, 0xE8, // queue 1000 ns
+            0, 0, 0, 0, 0, 0, 0x07, 0xD0, // service 2000 ns
+        ];
+        assert_eq!(encode(&resp), golden);
+        assert_eq!(decode(&golden), Ok(resp));
+    }
+
+    #[test]
+    fn control_frames_round_trip_and_are_minimal() {
+        assert_eq!(encode(&Frame::Shutdown), vec![1, 0x03]);
+        assert_eq!(encode(&Frame::ShutdownAck), vec![1, 0x04]);
+        assert_eq!(decode(&[1, 0x03]), Ok(Frame::Shutdown));
+        assert_eq!(decode(&[1, 0x04]), Ok(Frame::ShutdownAck));
+    }
+
+    #[test]
+    fn failure_and_rejection_outcomes_round_trip() {
+        for outcome in [
+            WireOutcome::Fail("atomic part id not found in index".into()),
+            WireOutcome::Fail(String::new()),
+            WireOutcome::Rejected,
+            WireOutcome::Done(i64::MIN),
+            WireOutcome::Done(i64::MAX),
+        ] {
+            let frame = Frame::Response(NetResponse {
+                id: u64::MAX,
+                outcome,
+                queue_ns: u64::MAX,
+                service_ns: 0,
+            });
+            assert_eq!(decode(&encode(&frame)), Ok(frame));
+        }
+    }
+
+    #[test]
+    fn every_op_kind_crosses_the_wire() {
+        for &op in OpKind::ALL {
+            let frame = Frame::Request(NetRequest {
+                id: 3,
+                op,
+                rng_seed: 9,
+            });
+            assert_eq!(decode(&encode(&frame)), Ok(frame), "{}", op.name());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_payloads() {
+        assert_eq!(decode(&[]), Err(WireError::Truncated));
+        assert_eq!(decode(&[9, 0x01]), Err(WireError::BadVersion(9)));
+        assert_eq!(decode(&[1]), Err(WireError::Truncated));
+        assert_eq!(decode(&[1, 0x77]), Err(WireError::BadTag(0x77)));
+        // A request cut off mid-id.
+        assert_eq!(decode(&[1, 0x01, 0, 0]), Err(WireError::Truncated));
+        // Operation index 45 is one past the table.
+        let mut bad_op = encode(&Frame::Request(NetRequest {
+            id: 0,
+            op: OpKind::T1,
+            rng_seed: 0,
+        }));
+        bad_op[10] = 45;
+        assert_eq!(decode(&bad_op), Err(WireError::BadOp(45)));
+        // Trailing garbage after a complete frame.
+        let mut long = encode(&Frame::Shutdown);
+        long.push(0);
+        assert_eq!(decode(&long), Err(WireError::TrailingBytes));
+        // A failure reason whose length prefix overruns the payload.
+        let resp = [1, 0x02, 0, 0, 0, 0, 0, 0, 0, 1, 0x01, 0xFF, 0xFF];
+        assert_eq!(decode(&resp), Err(WireError::Truncated));
+        // A failure reason that is not UTF-8.
+        let mut non_utf8 = vec![1, 0x02, 0, 0, 0, 0, 0, 0, 0, 1, 0x01, 0, 2, 0xC3, 0x28];
+        non_utf8.extend_from_slice(&[0; 16]); // queue_ns + service_ns
+        assert_eq!(decode(&non_utf8), Err(WireError::BadUtf8));
+        // An unknown outcome tag.
+        let mut bad_outcome = vec![1, 0x02, 0, 0, 0, 0, 0, 0, 0, 1, 0x09];
+        bad_outcome.extend_from_slice(&[0; 16]);
+        assert_eq!(decode(&bad_outcome), Err(WireError::BadOutcome(0x09)));
+    }
+
+    #[test]
+    fn framed_io_round_trips_over_a_byte_stream() {
+        let frames = vec![
+            Frame::Request(NetRequest {
+                id: 0,
+                op: OpKind::Op9,
+                rng_seed: 42,
+            }),
+            Frame::Response(NetResponse {
+                id: 0,
+                outcome: WireOutcome::Done(10),
+                queue_ns: 5,
+                service_ns: 6,
+            }),
+            Frame::Shutdown,
+            Frame::ShutdownAck,
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            write_frame(&mut stream, f).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(stream);
+        for f in &frames {
+            assert_eq!(read_frame(&mut cursor).unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&u32::MAX.to_be_bytes());
+        stream.extend_from_slice(&[0; 8]);
+        let err = read_frame(&mut std::io::Cursor::new(stream)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn truncated_stream_mid_frame_is_an_error_not_a_clean_eof() {
+        let payload = encode(&Frame::Shutdown);
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        stream.push(payload[0]); // half the payload, then EOF
+        let err = read_frame(&mut std::io::Cursor::new(stream)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncated_length_prefix_is_an_error_not_a_clean_eof() {
+        // A peer dying 1-3 bytes into the length prefix is a torn frame,
+        // distinguishable from the clean close before any byte.
+        for n in 1..4usize {
+            let err = read_frame(&mut std::io::Cursor::new(vec![0u8; n])).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "{n}-byte prefix");
+        }
+    }
+}

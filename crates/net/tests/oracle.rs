@@ -1,0 +1,242 @@
+//! The remote-vs-local oracle: driving the identical request stream
+//! in-process and over a loopback socket must produce identical
+//! operation outcomes — the wire adds transport, never semantics.
+
+use std::net::TcpListener;
+
+use stmbench7_backend::{AnyBackend, Backend, BackendChoice};
+use stmbench7_core::WorkloadType;
+use stmbench7_data::{validate, StructureParams, Workspace};
+use stmbench7_net::{drive, serve_net, shutdown, DriveConfig, WireOutcome};
+use stmbench7_service::{run_stream_closed, Schedule, ServeConfig, ServeResult};
+
+fn build(choice: BackendChoice) -> (StructureParams, AnyBackend) {
+    let params = StructureParams::tiny();
+    let ws = Workspace::build(params.clone(), 7);
+    (params.clone(), AnyBackend::build(choice, ws))
+}
+
+/// Runs a loopback server for `backend` on an ephemeral port, drives it,
+/// shuts it down, and returns both sides' results.
+fn drive_loopback(
+    backend: &AnyBackend,
+    params: &StructureParams,
+    server_cfg: &ServeConfig,
+    drive_cfg: &DriveConfig,
+    requests: &[stmbench7_service::Request],
+) -> (stmbench7_net::DriveResult, ServeResult) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral loopback port");
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let server = scope.spawn(move || serve_net(backend, params, server_cfg, listener));
+        // Shut down before unwrapping: a failed drive must not leave the
+        // scope joining a server blocked in accept().
+        let client = drive(addr, drive_cfg, requests);
+        let shutdown = shutdown(addr);
+        let served = server
+            .join()
+            .expect("server thread panicked")
+            .expect("server must exit cleanly");
+        let client = client.expect("drive must succeed");
+        shutdown.expect("graceful shutdown must be acknowledged");
+        (client, served)
+    })
+}
+
+#[test]
+fn remote_drive_matches_the_local_sequential_oracle() {
+    // One worker + one connection: stream order end to end, so the
+    // sequential backend is deterministic and the oracle is exact.
+    let drive_cfg = DriveConfig::new(
+        Schedule::Open { rate: 500_000.0 },
+        WorkloadType::ReadWrite,
+        42,
+    );
+    let requests = drive_cfg.generate(400);
+
+    let mut server_cfg =
+        ServeConfig::new(Schedule::Closed { clients: 1 }, WorkloadType::ReadWrite, 42);
+    server_cfg.workers = 1;
+
+    let (params, remote_backend) = build(BackendChoice::Sequential);
+    let (client, served) =
+        drive_loopback(&remote_backend, &params, &server_cfg, &drive_cfg, &requests);
+
+    let (params, local_backend) = build(BackendChoice::Sequential);
+    let local_cfg = ServeConfig::new(drive_cfg.schedule, WorkloadType::ReadWrite, 42);
+    let local = run_stream_closed(&local_backend, &params, &local_cfg, &requests);
+
+    // Outcome-for-outcome identity across the wire.
+    assert_eq!(client.outcomes.len(), local.outcomes.len());
+    for (i, (remote, in_process)) in client.outcomes.iter().zip(&local.outcomes).enumerate() {
+        let in_process = in_process.expect("closed-loop run executes everything");
+        assert_eq!(
+            remote.as_ref(),
+            Some(&WireOutcome::from(in_process)),
+            "request {i} ({:?}) diverged between socket and in-process",
+            requests[i].op
+        );
+    }
+    // Both sides' per-op ledgers agree with the local run.
+    for ((c, s), l) in client
+        .report
+        .per_op
+        .iter()
+        .zip(&served.report.per_op)
+        .zip(&local.report.per_op)
+    {
+        assert_eq!(
+            c.completed,
+            l.completed,
+            "{} client completions",
+            c.op.name()
+        );
+        assert_eq!(
+            s.completed,
+            l.completed,
+            "{} server completions",
+            s.op.name()
+        );
+        assert_eq!(c.failed, l.failed, "{} client failures", c.op.name());
+        assert_eq!(s.failed, l.failed, "{} server failures", s.op.name());
+    }
+    // And the structures themselves are identical in census.
+    let census_remote = validate(&remote_backend.export()).expect("remote structure valid");
+    let census_local = validate(&local_backend.export()).expect("local structure valid");
+    assert_eq!(census_remote, census_local);
+
+    // The client report carries all three lanes plus end-to-end.
+    let svc = client
+        .report
+        .service
+        .as_ref()
+        .expect("client service stats");
+    assert_eq!(svc.offered, 400);
+    assert_eq!(svc.rejected, 0);
+    assert_eq!(svc.queue_wait.samples(), 400, "client queue-wait lane");
+    assert_eq!(svc.service_time.samples(), 400, "server service-time lane");
+    assert_eq!(
+        svc.network.as_ref().map(|h| h.samples()),
+        Some(400),
+        "network lane"
+    );
+    assert_eq!(svc.e2e.samples(), 400);
+    // The server side reused the service pool: its own decomposition is
+    // attached too, labeled as a net run.
+    let server_svc = served
+        .report
+        .service
+        .as_ref()
+        .expect("server service stats");
+    assert_eq!(server_svc.offered, 400);
+    assert!(server_svc.schedule.starts_with("net:127.0.0.1"));
+}
+
+#[test]
+fn multi_connection_drive_accounts_for_every_request() {
+    // Four connections and two workers: order is no longer deterministic
+    // (so no outcome oracle), but nothing may be lost, every lane must
+    // account for every request, and the structure must stay valid.
+    let mut drive_cfg = DriveConfig::new(
+        Schedule::Bursty {
+            rate: 400_000.0,
+            burst: 32,
+            period_ms: 1,
+        },
+        WorkloadType::ReadWrite,
+        11,
+    );
+    drive_cfg.connections = 4;
+    let requests = drive_cfg.generate(600);
+
+    let mut server_cfg =
+        ServeConfig::new(Schedule::Closed { clients: 2 }, WorkloadType::ReadWrite, 11);
+    server_cfg.workers = 2;
+
+    let (params, backend) = build(BackendChoice::Coarse);
+    let (client, served) = drive_loopback(&backend, &params, &server_cfg, &drive_cfg, &requests);
+
+    assert!(
+        client.outcomes.iter().all(Option::is_some),
+        "every request answered"
+    );
+    assert_eq!(client.report.total_started(), 600);
+    assert_eq!(served.report.total_started(), 600);
+    let svc = client.report.service.as_ref().unwrap();
+    let per_cat: u64 = svc
+        .per_category
+        .iter()
+        .map(|c| c.queue_wait.samples())
+        .sum();
+    assert_eq!(per_cat, 600, "category split covers the whole stream");
+    validate(&backend.export()).expect("structure intact after remote writes");
+}
+
+#[test]
+fn idle_connection_does_not_hold_the_server_open() {
+    // A client that connects and then goes silent must not keep the
+    // server alive past a shutdown frame: the shutdown handler
+    // force-closes registered connections, so serve_net returns (this
+    // test hangs if it regresses).
+    let drive_cfg = DriveConfig::new(Schedule::Closed { clients: 1 }, WorkloadType::ReadWrite, 5);
+    let requests = drive_cfg.generate(50);
+    let mut server_cfg =
+        ServeConfig::new(Schedule::Closed { clients: 1 }, WorkloadType::ReadWrite, 5);
+    server_cfg.workers = 1;
+
+    let (params, backend) = build(BackendChoice::Sequential);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral loopback port");
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let backend = &backend;
+        let params = &params;
+        let server_cfg = &server_cfg;
+        let server = scope.spawn(move || serve_net(backend, params, server_cfg, listener));
+        let idle = std::net::TcpStream::connect(addr).expect("idle connection");
+        let client = drive(addr, &drive_cfg, &requests).expect("drive alongside idle peer");
+        shutdown(addr).expect("shutdown acknowledged with idle peer connected");
+        let served = server
+            .join()
+            .expect("server thread panicked")
+            .expect("server exits despite the idle connection");
+        assert_eq!(served.report.total_started(), 50);
+        assert_eq!(client.report.total_started(), 50);
+        drop(idle);
+    });
+}
+
+#[test]
+fn reject_admission_crosses_the_wire() {
+    // A 1-slot queue, one worker, and a burst of simultaneous arrivals:
+    // the server must answer the overflow with explicit rejections, and
+    // the client must account executed + rejected = offered.
+    let mut drive_cfg =
+        DriveConfig::new(Schedule::Closed { clients: 1 }, WorkloadType::ReadWrite, 3);
+    drive_cfg.connections = 2;
+    let requests = drive_cfg.generate(200);
+
+    let mut server_cfg =
+        ServeConfig::new(Schedule::Closed { clients: 1 }, WorkloadType::ReadWrite, 3);
+    server_cfg.workers = 1;
+    server_cfg.queue_cap = 1;
+    server_cfg.admission = stmbench7_service::Admission::Reject;
+
+    let (params, backend) = build(BackendChoice::Sequential);
+    let (client, served) = drive_loopback(&backend, &params, &server_cfg, &drive_cfg, &requests);
+
+    let svc = client.report.service.as_ref().unwrap();
+    assert!(svc.rejected > 0, "a 1-slot queue must reject under burst");
+    assert_eq!(
+        client.report.total_started() + svc.rejected,
+        200,
+        "every request executed or rejected"
+    );
+    let n_rejected = client
+        .outcomes
+        .iter()
+        .filter(|o| matches!(o, Some(WireOutcome::Rejected)))
+        .count();
+    assert_eq!(n_rejected as u64, svc.rejected);
+    let server_svc = served.report.service.as_ref().unwrap();
+    assert_eq!(server_svc.rejected, svc.rejected, "both ledgers agree");
+}

@@ -1,0 +1,105 @@
+//! Fuzz-ish wire-protocol properties: the decoder is total (arbitrary
+//! byte soup yields `Err`, never a panic) and encode→decode is the
+//! identity on every representable frame.
+
+use proptest::prelude::*;
+use stmbench7_core::OpKind;
+use stmbench7_net::wire::{decode, encode, Frame, NetRequest, NetResponse, WireOutcome};
+
+/// Builds a frame from generated integers so every variant and every
+/// outcome shape is covered.
+fn frame(kind: u8, id: u64, op_idx: u8, a: u64, b: u64, reason_len: u8) -> Frame {
+    match kind % 6 {
+        0 => Frame::Request(NetRequest {
+            id,
+            op: OpKind::ALL[usize::from(op_idx) % 45],
+            rng_seed: a,
+        }),
+        1 => Frame::Response(NetResponse {
+            id,
+            outcome: WireOutcome::Done(a as i64),
+            queue_ns: b,
+            service_ns: a ^ b,
+        }),
+        2 => Frame::Response(NetResponse {
+            id,
+            // Reasons of every small length, including empty and
+            // multi-byte UTF-8.
+            outcome: WireOutcome::Fail("é".repeat(usize::from(reason_len) % 40)),
+            queue_ns: b,
+            service_ns: a,
+        }),
+        3 => Frame::Response(NetResponse {
+            id,
+            outcome: WireOutcome::Rejected,
+            queue_ns: b,
+            service_ns: a,
+        }),
+        4 => Frame::Shutdown,
+        _ => Frame::ShutdownAck,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Arbitrary byte prefixes never panic the decoder and never decode
+    /// to a frame unless they are exactly an encoded frame.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        // Returning anything at all (Ok or Err) is the property; a
+        // panic fails the test.
+        let _ = decode(&bytes);
+    }
+
+    /// Truncating a valid frame at every prefix length yields `Err`,
+    /// never a panic and never a bogus frame.
+    #[test]
+    fn truncated_valid_frames_are_errors(
+        kind in 0u8..6, id in any::<u64>(), op_idx in any::<u8>(),
+        a in any::<u64>(), b in any::<u64>(), reason_len in any::<u8>(),
+    ) {
+        let full = encode(&frame(kind, id, op_idx, a, b, reason_len));
+        for cut in 0..full.len() {
+            prop_assert!(decode(&full[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    /// Appending garbage to a valid frame is rejected: frames are
+    /// self-delimiting only through the outer length prefix.
+    #[test]
+    fn padded_valid_frames_are_errors(
+        kind in 0u8..6, id in any::<u64>(), op_idx in any::<u8>(),
+        a in any::<u64>(), b in any::<u64>(), pad in 1usize..8,
+    ) {
+        let mut bytes = encode(&frame(kind, id, op_idx, a, b, 3));
+        bytes.extend(std::iter::repeat_n(0xAB, pad));
+        prop_assert!(decode(&bytes).is_err());
+    }
+
+    /// encode → decode is the identity on every representable frame.
+    #[test]
+    fn encode_decode_is_identity(
+        kind in 0u8..6, id in any::<u64>(), op_idx in any::<u8>(),
+        a in any::<u64>(), b in any::<u64>(), reason_len in any::<u8>(),
+    ) {
+        let f = frame(kind, id, op_idx, a, b, reason_len);
+        let decoded = decode(&encode(&f));
+        prop_assert_eq!(decoded.as_ref(), Ok(&f));
+    }
+
+    /// Flipping any single byte of a valid frame either fails to decode
+    /// or decodes to a *different but well-formed* frame — never panics.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        kind in 0u8..6, id in any::<u64>(), op_idx in any::<u8>(),
+        a in any::<u64>(), b in any::<u64>(), flip in any::<u8>(),
+    ) {
+        let clean = encode(&frame(kind, id, op_idx, a, b, 5));
+        for pos in 0..clean.len() {
+            let mut corrupt = clean.clone();
+            corrupt[pos] ^= flip | 1; // guaranteed to change the byte
+            let _ = decode(&corrupt);
+        }
+    }
+}

@@ -33,4 +33,4 @@ pub mod server;
 
 pub use queue::{Admission, BoundedQueue};
 pub use schedule::{Request, Schedule};
-pub use server::{run_stream_closed, serve, ServeConfig, ServeResult};
+pub use server::{run_stream_closed, serve, serve_source, Ingress, ServeConfig, ServeResult};

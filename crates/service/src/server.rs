@@ -1,6 +1,15 @@
-//! The service core: a dispatcher replaying an arrival schedule into a
-//! bounded queue, a worker pool executing requests through a [`Backend`],
-//! and per-request latency decomposition (queue wait vs service time).
+//! The service core: a request source feeding a bounded queue, a worker
+//! pool executing requests through a [`Backend`], and per-request latency
+//! decomposition (queue wait vs service time).
+//!
+//! [`serve_source`] is the general engine: the *source* is any closure
+//! that offers requests through an [`Ingress`] — the in-process replay
+//! dispatcher ([`serve`]) and the network front end (`stmbench7-net`,
+//! which decodes requests off TCP connections) are both such sources, so
+//! admission control, batching and the latency decomposition are written
+//! once. An *observer* callback sees every completed request from the
+//! worker that ran it, which is how the network server sends responses
+//! without the pool knowing about sockets.
 //!
 //! The same request stream can also be run *closed-loop*
 //! ([`run_stream_closed`]): one thread, no queue, operations
@@ -8,6 +17,7 @@
 //! per-request random choices, which is what the sequential-oracle test
 //! leans on: serving a stream must not change any operation's outcome.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
@@ -15,8 +25,8 @@ use rand::SeedableRng;
 
 use stmbench7_backend::{Backend, TxOperation};
 use stmbench7_core::{
-    access_spec, run_op, Histogram, OpCtx, OpFilter, OpKind, OpReport, Report, ServiceStats,
-    WorkloadMix, WorkloadType,
+    access_spec, run_op, CategoryLatency, Histogram, OpCtx, OpFilter, OpKind, OpReport, Report,
+    ServiceStats, WorkloadMix, WorkloadType,
 };
 use stmbench7_data::{AccessSpec, OpOutcome, Sb7Tx, StructureParams, TxR};
 
@@ -91,6 +101,63 @@ pub struct ServeResult {
     pub outcomes: Vec<Option<OpOutcome>>,
 }
 
+/// The live front door of a running service: offers requests into the
+/// bounded queue under the configured admission policy, and hands out
+/// timestamps and dense request ids to dynamic sources (the network
+/// server) whose streams are not known up front.
+///
+/// Contract: request ids must be dense `0..offered` — either
+/// pre-assigned by a schedule and offered in order, or claimed through
+/// [`Ingress::claim_id`] and then offered exactly once. The outcome
+/// vector of the run is indexed by them.
+pub struct Ingress<'q> {
+    queue: &'q BoundedQueue<Request>,
+    admission: Admission,
+    epoch: Instant,
+    next_id: AtomicU64,
+    offered: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl Ingress<'_> {
+    /// Nanoseconds since the run's epoch — what a dynamic source stamps
+    /// `Request::arrival_ns` with at decode time.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// A fresh dense request id. Every claimed id must be offered.
+    pub fn claim_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Offers one request under the admission policy. Returns `false`
+    /// when reject-on-full dropped it (the drop is counted; the id stays
+    /// unexecuted in the outcome vector).
+    pub fn offer(&self, req: Request) -> bool {
+        self.offered.fetch_add(1, Ordering::Relaxed);
+        match self.admission {
+            Admission::Block => {
+                self.queue.push_blocking(req);
+                true
+            }
+            Admission::Reject => {
+                if self.queue.try_push(req).is_err() {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    false
+                } else {
+                    true
+                }
+            }
+        }
+    }
+
+    /// Requests offered so far (admitted or rejected).
+    pub fn offered(&self) -> u64 {
+        self.offered.load(Ordering::Relaxed)
+    }
+}
+
 /// Executes a batch of requests inside one transaction. Every request
 /// re-seeds the context RNG from its own `rng_seed`, so retries (STM) and
 /// re-executions (fine-grained discovery) replay identical choices, and
@@ -122,6 +189,7 @@ struct WorkerStats {
     queue_wait: Histogram,
     service_time: Histogram,
     e2e: Histogram,
+    per_category: Vec<CategoryLatency>,
     batches: u64,
     outcomes: Vec<(u64, OpOutcome)>,
 }
@@ -137,6 +205,7 @@ impl WorkerStats {
             queue_wait: Histogram::micros(),
             service_time: Histogram::micros(),
             e2e: Histogram::micros(),
+            per_category: CategoryLatency::all_empty(),
             batches: 0,
             outcomes: Vec::new(),
         }
@@ -144,6 +213,7 @@ impl WorkerStats {
 
     fn record(&mut self, req: &Request, outcome: OpOutcome, start_ns: u64, end_ns: u64) {
         let service_ns = end_ns - start_ns;
+        let queue_ns = start_ns.saturating_sub(req.arrival_ns);
         let i = req.op.index();
         match outcome {
             OpOutcome::Done(_) => {
@@ -154,10 +224,12 @@ impl WorkerStats {
             }
             OpOutcome::Fail(_) => self.failed[i] += 1,
         }
-        self.queue_wait
-            .record(start_ns.saturating_sub(req.arrival_ns));
+        self.queue_wait.record(queue_ns);
         self.service_time.record(service_ns);
         self.e2e.record(end_ns.saturating_sub(req.arrival_ns));
+        let cat = &mut self.per_category[req.op.category().index()];
+        cat.queue_wait.record(queue_ns);
+        cat.service_time.record(service_ns);
         self.outcomes.push((req.id, outcome));
     }
 }
@@ -184,6 +256,7 @@ fn execute_batch<B: Backend>(
     ctx: &mut OpCtx,
     epoch: Instant,
     stats: &mut WorkerStats,
+    observe: &(impl Fn(&Request, &OpOutcome, u64, u64) + ?Sized),
 ) {
     let spec = batch_spec(specs, batch);
     let t0 = Instant::now();
@@ -192,6 +265,7 @@ fn execute_batch<B: Backend>(
     let start_ns = (t0 - epoch).as_nanos() as u64;
     stats.batches += 1;
     for (req, outcome) in batch.iter().zip(outcomes) {
+        observe(req, &outcome, start_ns, end_ns);
         stats.record(req, outcome, start_ns, end_ns);
     }
 }
@@ -224,6 +298,7 @@ fn merge_into_report<B: Backend>(
     let mut queue_wait = Histogram::micros();
     let mut service_time = Histogram::micros();
     let mut e2e = Histogram::micros();
+    let mut per_category = CategoryLatency::all_empty();
     let mut batches = 0;
     let mut outcomes: Vec<Option<OpOutcome>> = vec![None; offered as usize];
     for stats in &all_stats {
@@ -237,6 +312,9 @@ fn merge_into_report<B: Backend>(
         queue_wait.merge(&stats.queue_wait);
         service_time.merge(&stats.service_time);
         e2e.merge(&stats.e2e);
+        for (merged, worker) in per_category.iter_mut().zip(&stats.per_category) {
+            merged.merge(worker);
+        }
         batches += stats.batches;
         for (id, outcome) in &stats.outcomes {
             outcomes[*id as usize] = Some(*outcome);
@@ -263,9 +341,108 @@ fn merge_into_report<B: Backend>(
             queue_wait,
             service_time,
             e2e,
+            network: None,
+            per_category,
         }),
     };
     ServeResult { report, outcomes }
+}
+
+/// Runs the queue/worker machinery over requests offered by an arbitrary
+/// *source*: `feed` runs on the calling thread with an [`Ingress`] handle
+/// and offers requests until its stream ends (return closes the queue;
+/// the workers drain what remains and stop). `observe` is invoked from
+/// the executing worker for every completed request — the hook the
+/// network server answers responses from; in-process callers pass a
+/// no-op.
+///
+/// Returns the merged [`ServeResult`] together with whatever `feed`
+/// returned.
+pub fn serve_source<B: Backend, R>(
+    backend: &B,
+    params: &StructureParams,
+    cfg: &ServeConfig,
+    feed: impl FnOnce(&Ingress<'_>) -> R,
+    observe: impl Fn(&Request, &OpOutcome, u64, u64) + Sync,
+) -> (ServeResult, R) {
+    assert!(cfg.workers >= 1, "at least one worker required");
+    assert!(cfg.batch_max >= 1, "batch_max must be at least 1");
+    let mix = cfg.mix();
+    let specs = op_specs(params);
+    let queue: BoundedQueue<Request> = BoundedQueue::new(cfg.queue_cap);
+    let batch_max = cfg.batch_max;
+    let compatible =
+        move |a: &Request, b: &Request| batch_max > 1 && a.op.is_read_only() && b.op.is_read_only();
+
+    let stm_before = backend.stm_stats();
+    let epoch = Instant::now();
+    let ingress = Ingress {
+        queue: &queue,
+        admission: cfg.admission,
+        epoch,
+        next_id: AtomicU64::new(0),
+        offered: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+    };
+
+    let (all_stats, fed): (Vec<WorkerStats>, R) = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for worker_id in 0..cfg.workers {
+            let queue = &queue;
+            let specs = &specs;
+            let compatible = &compatible;
+            let observe = &observe;
+            handles.push(scope.spawn(move || {
+                // The context RNG is re-seeded per request from the
+                // request itself; the worker seed only covers the (never
+                // drawn) idle state.
+                let mut ctx = OpCtx::new(
+                    params.clone(),
+                    cfg.seed ^ (worker_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                let mut stats = WorkerStats::new();
+                loop {
+                    let batch = queue.pop_batch(cfg.batch_max, compatible);
+                    if batch.is_empty() {
+                        break; // closed and drained
+                    }
+                    execute_batch(backend, specs, &batch, &mut ctx, epoch, &mut stats, observe);
+                }
+                stats
+            }));
+        }
+
+        // This thread is the source: offer until the stream ends.
+        let fed = feed(&ingress);
+        queue.close();
+
+        (
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("service worker panicked"))
+                .collect(),
+            fed,
+        )
+    });
+
+    let elapsed = epoch.elapsed();
+    let stm = match (stm_before, backend.stm_stats()) {
+        (Some(before), Some(after)) => Some(after.delta(&before)),
+        _ => None,
+    };
+    let result = merge_into_report(
+        backend,
+        cfg,
+        &mix,
+        all_stats,
+        RunTotals {
+            elapsed,
+            offered: ingress.offered.load(Ordering::Relaxed),
+            rejected: ingress.rejected.load(Ordering::Relaxed),
+            stm,
+        },
+    );
+    (result, fed)
 }
 
 /// Serves a request stream: replays the arrival schedule into the queue
@@ -281,86 +458,23 @@ pub fn serve<B: Backend>(
     cfg: &ServeConfig,
     requests: &[Request],
 ) -> ServeResult {
-    assert!(cfg.workers >= 1, "at least one worker required");
-    assert!(cfg.batch_max >= 1, "batch_max must be at least 1");
-    let mix = cfg.mix();
-    let specs = op_specs(params);
-    let queue: BoundedQueue<Request> = BoundedQueue::new(cfg.queue_cap);
-    let batch_max = cfg.batch_max;
-    let compatible =
-        move |a: &Request, b: &Request| batch_max > 1 && a.op.is_read_only() && b.op.is_read_only();
-
-    let stm_before = backend.stm_stats();
-    let epoch = Instant::now();
-    let mut rejected = 0u64;
-
-    let all_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(cfg.workers);
-        for worker_id in 0..cfg.workers {
-            let queue = &queue;
-            let specs = &specs;
-            let compatible = &compatible;
-            handles.push(scope.spawn(move || {
-                // The context RNG is re-seeded per request from the
-                // request itself; the worker seed only covers the (never
-                // drawn) idle state.
-                let mut ctx = OpCtx::new(
-                    params.clone(),
-                    cfg.seed ^ (worker_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                );
-                let mut stats = WorkerStats::new();
-                loop {
-                    let batch = queue.pop_batch(cfg.batch_max, compatible);
-                    if batch.is_empty() {
-                        break; // closed and drained
-                    }
-                    execute_batch(backend, specs, &batch, &mut ctx, epoch, &mut stats);
-                }
-                stats
-            }));
-        }
-
-        // This thread is the dispatcher: replay the arrival schedule.
-        for req in requests {
-            let target = epoch + Duration::from_nanos(req.arrival_ns);
-            let now = Instant::now();
-            if now < target {
-                std::thread::sleep(target - now);
-            }
-            match cfg.admission {
-                Admission::Block => queue.push_blocking(*req),
-                Admission::Reject => {
-                    if queue.try_push(*req).is_err() {
-                        rejected += 1;
-                    }
-                }
-            }
-        }
-        queue.close();
-
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("service worker panicked"))
-            .collect()
-    });
-
-    let elapsed = epoch.elapsed();
-    let stm = match (stm_before, backend.stm_stats()) {
-        (Some(before), Some(after)) => Some(after.delta(&before)),
-        _ => None,
-    };
-    merge_into_report(
+    serve_source(
         backend,
+        params,
         cfg,
-        &mix,
-        all_stats,
-        RunTotals {
-            elapsed,
-            offered: requests.len() as u64,
-            rejected,
-            stm,
+        |ingress| {
+            for req in requests {
+                let target = ingress.epoch + Duration::from_nanos(req.arrival_ns);
+                let now = Instant::now();
+                if now < target {
+                    std::thread::sleep(target - now);
+                }
+                ingress.offer(*req);
+            }
         },
+        |_, _, _, _| {},
     )
+    .0
 }
 
 /// Runs the same request stream closed-loop: one thread, no queue, no
@@ -380,6 +494,7 @@ pub fn run_stream_closed<B: Backend>(
     let epoch = Instant::now();
     let mut ctx = OpCtx::new(params.clone(), cfg.seed);
     let mut stats = WorkerStats::new();
+    let observe = |_: &Request, _: &OpOutcome, _: u64, _: u64| {};
     for req in requests {
         execute_batch(
             backend,
@@ -388,6 +503,7 @@ pub fn run_stream_closed<B: Backend>(
             &mut ctx,
             epoch,
             &mut stats,
+            &observe,
         );
     }
     let elapsed = epoch.elapsed();
@@ -488,6 +604,82 @@ mod tests {
             svc.batches
         );
         assert_eq!(result.report.total_started(), 250);
+    }
+
+    #[test]
+    fn serve_source_feeds_dynamically_and_observes_every_request() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let (params, ws) = tiny();
+        let backend = SequentialBackend::new(ws);
+        let cfg = ServeConfig::new(Schedule::Closed { clients: 1 }, WorkloadType::ReadWrite, 5);
+        // A dynamic source in the network server's shape: ops drawn on
+        // the fly, ids claimed from the ingress, arrivals stamped at
+        // offer time.
+        let mix = cfg.mix();
+        let observed = AtomicU64::new(0);
+        let (result, fed) = serve_source(
+            &backend,
+            &params,
+            &cfg,
+            |ingress| {
+                let mut rng = SmallRng::seed_from_u64(99);
+                for _ in 0..120 {
+                    use rand::Rng;
+                    let req = Request {
+                        id: ingress.claim_id(),
+                        arrival_ns: ingress.now_ns(),
+                        op: mix.pick(&mut rng),
+                        rng_seed: rng.gen(),
+                    };
+                    ingress.offer(req);
+                }
+                "stream-done"
+            },
+            |req, outcome, start_ns, end_ns| {
+                assert!(start_ns <= end_ns, "request {} ran backwards", req.id);
+                match outcome {
+                    OpOutcome::Done(_) | OpOutcome::Fail(_) => {
+                        observed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            },
+        );
+        assert_eq!(fed, "stream-done");
+        assert_eq!(observed.load(Ordering::Relaxed), 120);
+        assert_eq!(result.report.total_started(), 120);
+        assert_eq!(result.outcomes.len(), 120);
+        assert!(result.outcomes.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn per_category_split_accounts_for_every_request() {
+        let (params, ws) = tiny();
+        let backend = SequentialBackend::new(ws);
+        let cfg = ServeConfig::new(Schedule::Closed { clients: 2 }, WorkloadType::ReadWrite, 17);
+        let requests = cfg.generate(400);
+        let result = serve(&backend, &params, &cfg, &requests);
+        let svc = result.report.service.as_ref().expect("service stats");
+        // Each request lands in exactly one category lane.
+        let cat_samples: u64 = svc
+            .per_category
+            .iter()
+            .map(|c| c.queue_wait.samples())
+            .sum();
+        assert_eq!(cat_samples, 400);
+        let svc_samples: u64 = svc
+            .per_category
+            .iter()
+            .map(|c| c.service_time.samples())
+            .sum();
+        assert_eq!(svc_samples, 400);
+        // The rw mix draws all four categories over 400 requests.
+        assert!(
+            svc.per_category.iter().all(|c| c.queue_wait.samples() > 0),
+            "every category sampled"
+        );
+        // In-process runs carry no network lane.
+        assert!(svc.network.is_none());
     }
 
     #[test]

@@ -20,6 +20,7 @@ use stmbench7::backend::Backend;
 use stmbench7::core::{run_benchmark, BenchConfig, OpFilter, RunMode, WorkloadType};
 use stmbench7::data::{validate, StructureParams, Workspace};
 use stmbench7::lab::{compare_documents, registry, run_spec, Tolerance};
+use stmbench7::net::{drive, serve_net, DriveConfig};
 use stmbench7::service::{serve, Admission, Schedule, ServeConfig};
 use stmbench7::stm::ContentionManager;
 use stmbench7::{parse_preset, AnyBackend, BackendChoice};
@@ -65,6 +66,75 @@ SUBCOMMANDS:
                         (see `stmbench7 lab --help`)
     serve <schedule>    serve an open-loop request stream through a backend
                         (see `stmbench7 serve --help`)
+    net-serve           serve STMBench7 over TCP until a shutdown frame
+                        (see `stmbench7 net-serve --help`)
+    net-drive <sched>   replay a schedule against a net-serve over sockets
+                        (see `stmbench7 net-drive --help`)
+";
+
+const NET_SERVE_USAGE: &str = "\
+stmbench7 net-serve — the wire-protocol server
+
+USAGE:
+    stmbench7 net-serve [OPTIONS]
+
+Binds a TCP listener, decodes length-prefixed request frames, and feeds
+them into the service worker pool (admission control, batching and the
+queue-wait/service-time decomposition are the `serve` machinery). Runs
+until a client sends the graceful-shutdown control frame, then prints
+the server-side report and exits 0.
+
+OPTIONS:
+    --addr <host:port>  listen address; port 0 picks an ephemeral port
+                        (printed as `listening on <addr>`)
+                                                           [default: 127.0.0.1:7117]
+    -g, --backend <s>   synchronization strategy           [default: coarse]
+    -s <preset>         structure size                     [default: small]
+    --shards <n>        split every index into N shards    [default: 1]
+    -w r|rw|w|uNN       expected workload mix (report ratios only; clients
+                        pick the operations)               [default: r]
+    --workers <n>       worker threads                     [default: 2]
+    --queue-cap <n>     request queue bound                [default: 1024]
+    --admission <p>     block | reject (drop-on-full, answered with an
+                        explicit rejection frame)          [default: block]
+    --batch <k>         fold up to K read-only requests into one
+                        execution                          [default: 1]
+    --seed <num>        RNG seed (structure build)         [default: 1]
+    --validate          validate the structure after shutdown
+    -h, --help          this text
+";
+
+const NET_DRIVE_USAGE: &str = "\
+stmbench7 net-drive — the remote load driver
+
+USAGE:
+    stmbench7 net-drive <schedule> --addr <host:port> [OPTIONS]
+
+Replays a deterministic arrival schedule (the same closed:/open:/bursty:
+schedules `serve` replays in-process) over N persistent connections, and
+decomposes per-request latency into client queue wait, network round
+trip, and server-reported service time.
+
+SCHEDULES:
+    closed:N            everything arrives at t=0; requires --requests
+    open:RATE           fixed-rate arrivals (req/s) with slot jitter
+    bursty:RATE:BURST:PERIOD_MS
+                        clumped arrivals averaging RATE req/s
+
+OPTIONS:
+    --addr <host:port>  server address                     [required]
+    --connections <n>   persistent connections the stream is striped
+                        over (request i rides connection i mod N)
+                                                           [default: 2]
+    -w r|rw|w|uNN       workload type                      [default: r]
+    --requests <n>      length of the request stream
+    -l <seconds>        stream horizon (open/bursty)       [default: 5]
+    --seed <num>        RNG seed                           [default: 1]
+    --no-traversals     disable long traversals
+    --no-sms            disable structure modification operations
+    --astm-friendly     apply the paper's §5 operation filter
+    --shutdown          send the graceful-shutdown frame after the run
+    -h, --help          this text
 ";
 
 const SERVE_USAGE: &str = "\
@@ -750,6 +820,346 @@ fn serve_main(argv: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+struct NetServeArgs {
+    addr: String,
+    backend: BackendChoice,
+    params: StructureParams,
+    workload: WorkloadType,
+    workers: usize,
+    queue_cap: usize,
+    admission: Admission,
+    batch: usize,
+    seed: u64,
+    validate: bool,
+}
+
+fn parse_net_serve_args(argv: &[String]) -> Result<NetServeArgs, String> {
+    let mut args = NetServeArgs {
+        addr: "127.0.0.1:7117".to_string(),
+        backend: BackendChoice::Coarse,
+        params: StructureParams::small(),
+        workload: WorkloadType::ReadDominated,
+        workers: 2,
+        queue_cap: 1024,
+        admission: Admission::Block,
+        batch: 1,
+        seed: 1,
+        validate: false,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = value(&mut i)?,
+            "-g" | "--backend" => {
+                let v = value(&mut i)?;
+                args.backend = BackendChoice::parse(&v).ok_or(format!("unknown strategy '{v}'"))?;
+            }
+            "-s" => {
+                let v = value(&mut i)?;
+                let shards = args.params.index_shards;
+                args.params = parse_preset(&v)
+                    .ok_or(format!("unknown preset '{v}'"))?
+                    .with_shards(shards);
+            }
+            "--shards" => {
+                let n: usize = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if n == 0 {
+                    return Err("--shards must be ≥ 1".into());
+                }
+                args.params = args.params.clone().with_shards(n);
+                args.params.check().map_err(|e| format!("--shards: {e}"))?;
+            }
+            "-w" => {
+                let v = value(&mut i)?;
+                args.workload = WorkloadType::parse(&v).ok_or(format!("unknown workload '{v}'"))?;
+            }
+            "--workers" => {
+                let n: usize = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+                if n == 0 {
+                    return Err("--workers must be ≥ 1".into());
+                }
+                args.workers = n;
+            }
+            "--queue-cap" => {
+                let n: usize = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?;
+                if n == 0 {
+                    return Err("--queue-cap must be ≥ 1".into());
+                }
+                args.queue_cap = n;
+            }
+            "--admission" => {
+                let v = value(&mut i)?;
+                args.admission = Admission::parse(&v)
+                    .ok_or(format!("unknown admission policy '{v}' (block|reject)"))?;
+            }
+            "--batch" => {
+                let k: usize = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+                if k == 0 {
+                    return Err("--batch must be ≥ 1".into());
+                }
+                args.batch = k;
+            }
+            "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--validate" => args.validate = true,
+            "-h" | "--help" => {
+                print!("{NET_SERVE_USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn net_serve_main(argv: &[String]) -> ExitCode {
+    let args = match parse_net_serve_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{NET_SERVE_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let listener = match std::net::TcpListener::bind(&args.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "building structure (preset with {} atomic parts)...",
+        args.params.initial_atomics()
+    );
+    let ws = Workspace::build(args.params.clone(), args.seed);
+    let backend = AnyBackend::build(args.backend, ws);
+    let cfg = ServeConfig {
+        // The schedule is inert: arrivals come off the wire. The report
+        // overrides it with `net:<addr>`.
+        schedule: Schedule::Closed {
+            clients: args.workers,
+        },
+        workers: args.workers,
+        queue_cap: args.queue_cap,
+        admission: args.admission,
+        batch_max: args.batch,
+        workload: args.workload,
+        long_traversals: true,
+        structure_mods: true,
+        filter: OpFilter::none(),
+        seed: args.seed,
+    };
+    // The readiness line the shutdown smoke test (and any script driving
+    // `--addr host:0`) parses for the actual port.
+    match listener.local_addr() {
+        Ok(addr) => eprintln!("listening on {addr}"),
+        Err(e) => {
+            eprintln!("error: bound socket has no address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!(
+        "serving: backend={} workers={} queue={} admission={} batch={}",
+        backend.name(),
+        cfg.workers,
+        cfg.queue_cap,
+        cfg.admission.key(),
+        cfg.batch_max,
+    );
+    let result = match serve_net(&backend, &args.params, &cfg, listener) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: server failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("shutdown frame received; queue drained");
+    print!("{}", result.report.render(false));
+    if args.validate {
+        match validate(&backend.export()) {
+            Ok(census) => eprintln!(
+                "structure valid: {} atomic parts, {} assemblies",
+                census.atomic_parts,
+                census.base_assemblies + census.complex_assemblies
+            ),
+            Err(msg) => {
+                eprintln!("STRUCTURE CORRUPTED: {msg}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+struct NetDriveArgs {
+    schedule: Option<Schedule>,
+    addr: Option<String>,
+    connections: usize,
+    workload: WorkloadType,
+    requests: Option<u64>,
+    length: f64,
+    seed: u64,
+    no_traversals: bool,
+    no_sms: bool,
+    astm_friendly: bool,
+    shutdown: bool,
+}
+
+fn parse_net_drive_args(argv: &[String]) -> Result<NetDriveArgs, String> {
+    let mut args = NetDriveArgs {
+        schedule: None,
+        addr: None,
+        connections: 2,
+        workload: WorkloadType::ReadDominated,
+        requests: None,
+        length: 5.0,
+        seed: 1,
+        no_traversals: false,
+        no_sms: false,
+        astm_friendly: false,
+        shutdown: false,
+    };
+    let mut i = 0;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("missing value for {}", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => args.addr = Some(value(&mut i)?),
+            "--connections" => {
+                let n: usize = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?;
+                if n == 0 {
+                    return Err("--connections must be ≥ 1".into());
+                }
+                args.connections = n;
+            }
+            "-w" => {
+                let v = value(&mut i)?;
+                args.workload = WorkloadType::parse(&v).ok_or(format!("unknown workload '{v}'"))?;
+            }
+            "--requests" => {
+                args.requests = Some(
+                    value(&mut i)?
+                        .parse()
+                        .map_err(|e| format!("--requests: {e}"))?,
+                )
+            }
+            "-l" => {
+                let secs: f64 = value(&mut i)?.parse().map_err(|e| format!("-l: {e}"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(format!("-l must be a positive duration, got {secs}"));
+                }
+                args.length = secs;
+            }
+            "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--no-traversals" => args.no_traversals = true,
+            "--no-sms" => args.no_sms = true,
+            "--astm-friendly" => args.astm_friendly = true,
+            "--shutdown" => args.shutdown = true,
+            "-h" | "--help" => {
+                print!("{NET_DRIVE_USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && args.schedule.is_none() => {
+                args.schedule = Some(Schedule::parse(other).ok_or(format!(
+                    "bad schedule '{other}' (closed:N | open:RATE | bursty:RATE:BURST:PERIOD_MS)"
+                ))?);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn net_drive_main(argv: &[String]) -> ExitCode {
+    let args = match parse_net_drive_args(argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{NET_DRIVE_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(schedule) = args.schedule else {
+        eprintln!("error: no schedule named\n\n{NET_DRIVE_USAGE}");
+        return ExitCode::from(2);
+    };
+    let Some(addr) = args.addr else {
+        eprintln!("error: --addr is required\n\n{NET_DRIVE_USAGE}");
+        return ExitCode::from(2);
+    };
+    let cfg = DriveConfig {
+        schedule,
+        connections: args.connections,
+        workload: args.workload,
+        long_traversals: !args.no_traversals,
+        structure_mods: !args.no_sms,
+        filter: if args.astm_friendly {
+            OpFilter::astm_friendly()
+        } else {
+            OpFilter::none()
+        },
+        seed: args.seed,
+    };
+    let requests = match args.requests {
+        Some(n) => cfg.generate(n),
+        None => match cfg.generate_for(Duration::from_secs_f64(args.length)) {
+            Some(reqs) => reqs,
+            None => {
+                eprintln!("error: closed schedules need --requests\n\n{NET_DRIVE_USAGE}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    if requests.is_empty() {
+        eprintln!(
+            "error: the schedule offers no requests before the horizon; raise -l or the rate"
+        );
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "driving: schedule={} addr={addr} connections={} requests={}",
+        schedule.key(),
+        cfg.connections,
+        requests.len(),
+    );
+    let result = match drive(addr.as_str(), &cfg, &requests) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: drive failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", result.report.render(false));
+    if args.shutdown {
+        if let Err(e) = stmbench7::net::shutdown(addr.as_str()) {
+            eprintln!("error: shutdown not acknowledged: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("server shutdown acknowledged");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("lab") {
@@ -757,6 +1167,12 @@ fn main() -> ExitCode {
     }
     if argv.first().map(String::as_str) == Some("serve") {
         return serve_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("net-serve") {
+        return net_serve_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("net-drive") {
+        return net_drive_main(&argv[1..]);
     }
     let args = match parse_args() {
         Ok(a) => a,

@@ -204,6 +204,7 @@ mod lab {
             "scaling",
             "write_storm",
             "mixed_custom",
+            "net_loopback",
         ] {
             assert!(stdout.contains(name), "missing spec {name}");
         }
@@ -279,7 +280,7 @@ mod lab {
         let doc = parse(&text).expect("results must be valid JSON");
         assert_eq!(
             doc.get("format").and_then(JsonValue::as_str),
-            Some("stmbench7-lab/2")
+            Some("stmbench7-lab/3")
         );
         assert_eq!(doc.get("spec").and_then(JsonValue::as_str), Some("smoke"));
         let cells = doc.get("cells").and_then(JsonValue::as_array).unwrap();
@@ -518,6 +519,159 @@ mod serve {
                     .and_then(|l| l.get("p99"))
                     .is_some(),
                 "queue-wait percentiles in results"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+mod net {
+    use super::*;
+    use std::io::BufRead;
+    use std::process::Stdio;
+
+    /// Spawns `net-serve` on an ephemeral port and parses the readiness
+    /// line off its stderr. Returns the child and the bound address.
+    fn spawn_server(extra: &[&str]) -> (std::process::Child, String) {
+        let mut child = stmbench7()
+            .args(["net-serve", "--addr", "127.0.0.1:0", "-s", "tiny"])
+            .args(extra)
+            .stderr(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("server must launch");
+        let stderr = child.stderr.take().expect("stderr piped");
+        let mut lines = std::io::BufReader::new(stderr).lines();
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("server exited before listening")
+                .expect("stderr is UTF-8");
+            if let Some(addr) = line.strip_prefix("listening on ") {
+                break addr.to_string();
+            }
+        };
+        // Keep the pipe drained so the server can't block on stderr.
+        std::thread::spawn(move || for _ in lines {});
+        (child, addr)
+    }
+
+    #[test]
+    fn graceful_shutdown_smoke() {
+        // The CI-gated smoke: start net-serve, drive 100 requests over
+        // the wire, send the shutdown frame, and assert both processes
+        // exit cleanly with their reports.
+        let (mut server, addr) = spawn_server(&["-g", "coarse", "--workers", "2", "--validate"]);
+        let (stdout, stderr) = run_ok(&[
+            "net-drive",
+            "closed:2",
+            "--addr",
+            &addr,
+            "--connections",
+            "2",
+            "--requests",
+            "100",
+            "-w",
+            "rw",
+            "--shutdown",
+        ]);
+        assert!(stdout.contains("== Service =="), "client report:\n{stdout}");
+        assert!(stdout.contains("offered 100"), "all offered:\n{stdout}");
+        assert!(stdout.contains("network"), "network lane:\n{stdout}");
+        assert!(
+            stderr.contains("server shutdown acknowledged"),
+            "ack:\n{stderr}"
+        );
+
+        let status = server.wait().expect("server must exit after shutdown");
+        assert!(status.success(), "server exit must be clean: {status:?}");
+        let mut server_stdout = String::new();
+        use std::io::Read as _;
+        server
+            .stdout
+            .take()
+            .unwrap()
+            .read_to_string(&mut server_stdout)
+            .unwrap();
+        assert!(
+            server_stdout.contains("== Service =="),
+            "server report:\n{server_stdout}"
+        );
+        assert!(
+            server_stdout.contains("offered 100"),
+            "server saw the whole stream:\n{server_stdout}"
+        );
+        assert!(
+            server_stdout.contains("schedule:            net:"),
+            "net-labeled schedule:\n{server_stdout}"
+        );
+    }
+
+    #[test]
+    fn net_drive_requires_an_address() {
+        let out = stmbench7()
+            .args(["net-drive", "open:1000"])
+            .output()
+            .expect("binary must launch");
+        assert!(!out.status.success());
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--addr"), "{stderr}");
+        assert!(stderr.contains("USAGE"), "{stderr}");
+    }
+
+    #[test]
+    fn net_drive_rejects_bad_schedules() {
+        for bad in ["open:0", "warble:3"] {
+            let out = stmbench7()
+                .args(["net-drive", bad, "--addr", "127.0.0.1:1"])
+                .output()
+                .expect("binary must launch");
+            assert!(!out.status.success(), "'{bad}' must be rejected");
+        }
+    }
+
+    #[test]
+    fn lab_net_loopback_writes_the_network_lane() {
+        let dir = std::env::temp_dir().join(format!("sb7-net-lab-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("BENCH_net.json");
+        let out = stmbench7()
+            .args([
+                "lab",
+                "net_loopback",
+                "--reps",
+                "1",
+                "--warmup",
+                "0",
+                "--out",
+            ])
+            .arg(&out_path)
+            .output()
+            .expect("binary must launch");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let doc = stmbench7::lab::json::parse(&std::fs::read_to_string(&out_path).unwrap())
+            .expect("valid JSON");
+        use stmbench7::core::JsonValue;
+        let cells = doc.get("cells").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(cells.len(), 2, "medium + tl2-sharded");
+        for cell in cells {
+            let key = cell.get("key").and_then(JsonValue::as_str).unwrap();
+            assert!(key.ends_with("/net2c"), "net suffix in {key}");
+            let svc = cell.get("service").expect("service object");
+            let net = svc.get("network_us").expect("network lane");
+            assert!(
+                net.get("samples").and_then(JsonValue::as_u64).unwrap() > 0,
+                "network lane sampled in {key}"
+            );
+            assert!(
+                svc.get("categories")
+                    .and_then(|c| c.get("short operations"))
+                    .is_some(),
+                "category split in {key}"
             );
         }
         std::fs::remove_dir_all(&dir).ok();
