@@ -13,8 +13,9 @@ use stmbench7_stm::{ContentionManager, StatsSnapshot};
 
 use crate::stm::Granularity;
 use crate::{
-    AstmBackend, Backend, CoarseBackend, FineBackend, MediumBackend, NorecBackend,
-    SequentialBackend, StmBackend, Tl2Backend, TxOperation,
+    AstmBackend, Backend, CoarseBackend, CombiningStats, DedicatedServerBackend, FineBackend,
+    FlatCombiningBackend, MediumBackend, NorecBackend, SequentialBackend, StmBackend, Tl2Backend,
+    TxOperation,
 };
 
 /// Which synchronization strategy to construct.
@@ -26,6 +27,12 @@ pub enum BackendChoice {
     /// Per-object locking with the discover/sort/acquire cycle — the
     /// "ultimate baseline" the paper names as future work.
     Fine,
+    /// Flat combining: the workspace-lock holder executes every published
+    /// operation — one lock hand-off per batch, not per operation.
+    FlatCombining,
+    /// RCL-style delegation: a dedicated server thread drains a
+    /// submission queue; the combiner role never moves.
+    DedicatedServer,
     /// The paper's system under test.
     Astm {
         granularity: Granularity,
@@ -54,6 +61,8 @@ impl BackendChoice {
             "coarse" => BackendChoice::Coarse,
             "medium" => BackendChoice::Medium,
             "fine" => BackendChoice::Fine,
+            "flatcomb" => BackendChoice::FlatCombining,
+            "rcl" => BackendChoice::DedicatedServer,
             "astm" => BackendChoice::Astm {
                 granularity: Granularity::Monolithic,
                 cm: ContentionManager::Polka,
@@ -101,6 +110,8 @@ impl BackendChoice {
             BackendChoice::Coarse => "coarse",
             BackendChoice::Medium => "medium",
             BackendChoice::Fine => "fine",
+            BackendChoice::FlatCombining => "flatcomb",
+            BackendChoice::DedicatedServer => "rcl",
             BackendChoice::Astm {
                 granularity,
                 visible,
@@ -129,6 +140,8 @@ pub enum AnyBackend {
     Coarse(CoarseBackend),
     Medium(MediumBackend),
     Fine(FineBackend),
+    FlatCombining(FlatCombiningBackend),
+    Rcl(DedicatedServerBackend),
     Astm(AstmBackend),
     Tl2(Tl2Backend),
     Norec(NorecBackend),
@@ -142,6 +155,10 @@ impl AnyBackend {
             BackendChoice::Coarse => AnyBackend::Coarse(CoarseBackend::new(ws)),
             BackendChoice::Medium => AnyBackend::Medium(MediumBackend::new(ws)),
             BackendChoice::Fine => AnyBackend::Fine(FineBackend::new(ws)),
+            BackendChoice::FlatCombining => {
+                AnyBackend::FlatCombining(FlatCombiningBackend::new(ws))
+            }
+            BackendChoice::DedicatedServer => AnyBackend::Rcl(DedicatedServerBackend::new(ws)),
             BackendChoice::Astm {
                 granularity,
                 cm,
@@ -175,15 +192,26 @@ impl AnyBackend {
             _ => None,
         }
     }
+
+    /// Combiner counters, when this is a delegation backend.
+    pub fn combining_stats(&self) -> Option<CombiningStats> {
+        match self {
+            AnyBackend::FlatCombining(b) => Some(b.combining_stats()),
+            AnyBackend::Rcl(b) => Some(b.combining_stats()),
+            _ => None,
+        }
+    }
 }
 
 impl Backend for AnyBackend {
-    fn execute<R, O: TxOperation<R>>(&self, spec: &AccessSpec, op: &mut O) -> R {
+    fn execute<R: Send, O: TxOperation<R> + Send>(&self, spec: &AccessSpec, op: &mut O) -> R {
         match self {
             AnyBackend::Sequential(b) => b.execute(spec, op),
             AnyBackend::Coarse(b) => b.execute(spec, op),
             AnyBackend::Medium(b) => b.execute(spec, op),
             AnyBackend::Fine(b) => b.execute(spec, op),
+            AnyBackend::FlatCombining(b) => b.execute(spec, op),
+            AnyBackend::Rcl(b) => b.execute(spec, op),
             AnyBackend::Astm(b) => b.execute(spec, op),
             AnyBackend::Tl2(b) => b.execute(spec, op),
             AnyBackend::Norec(b) => b.execute(spec, op),
@@ -196,6 +224,8 @@ impl Backend for AnyBackend {
             AnyBackend::Coarse(b) => b.name(),
             AnyBackend::Medium(b) => b.name(),
             AnyBackend::Fine(b) => b.name(),
+            AnyBackend::FlatCombining(b) => b.name(),
+            AnyBackend::Rcl(b) => b.name(),
             AnyBackend::Astm(b) => b.name(),
             AnyBackend::Tl2(b) => b.name(),
             AnyBackend::Norec(b) => b.name(),
@@ -208,6 +238,8 @@ impl Backend for AnyBackend {
             AnyBackend::Coarse(b) => b.export(),
             AnyBackend::Medium(b) => b.export(),
             AnyBackend::Fine(b) => b.export(),
+            AnyBackend::FlatCombining(b) => b.export(),
+            AnyBackend::Rcl(b) => b.export(),
             AnyBackend::Astm(b) => b.export(),
             AnyBackend::Tl2(b) => b.export(),
             AnyBackend::Norec(b) => b.export(),
@@ -220,6 +252,8 @@ impl Backend for AnyBackend {
             AnyBackend::Coarse(b) => b.stm_stats(),
             AnyBackend::Medium(b) => b.stm_stats(),
             AnyBackend::Fine(b) => b.stm_stats(),
+            AnyBackend::FlatCombining(b) => b.stm_stats(),
+            AnyBackend::Rcl(b) => b.stm_stats(),
             AnyBackend::Astm(b) => b.stm_stats(),
             AnyBackend::Tl2(b) => b.stm_stats(),
             AnyBackend::Norec(b) => b.stm_stats(),
@@ -236,6 +270,8 @@ pub fn strategy_catalog() -> Vec<(&'static str, BackendChoice)> {
         "coarse",
         "medium",
         "fine",
+        "flatcomb",
+        "rcl",
         "astm",
         "astm-sharded",
         "astm-visible",
@@ -263,6 +299,14 @@ mod tests {
         assert_eq!(BackendChoice::parse("coarse"), Some(BackendChoice::Coarse));
         assert_eq!(BackendChoice::parse("medium"), Some(BackendChoice::Medium));
         assert_eq!(BackendChoice::parse("fine"), Some(BackendChoice::Fine));
+        assert_eq!(
+            BackendChoice::parse("flatcomb"),
+            Some(BackendChoice::FlatCombining)
+        );
+        assert_eq!(
+            BackendChoice::parse("rcl"),
+            Some(BackendChoice::DedicatedServer)
+        );
         assert!(matches!(
             BackendChoice::parse("astm"),
             Some(BackendChoice::Astm { .. })
@@ -283,6 +327,8 @@ mod tests {
             (BackendChoice::Coarse, "coarse"),
             (BackendChoice::Medium, "medium"),
             (BackendChoice::Fine, "fine"),
+            (BackendChoice::FlatCombining, "flatcomb"),
+            (BackendChoice::DedicatedServer, "rcl"),
         ] {
             let b = AnyBackend::build(choice, ws.clone());
             assert_eq!(b.name(), name);
@@ -292,7 +338,7 @@ mod tests {
     #[test]
     fn strategy_catalog_is_complete_and_distinct() {
         let catalog = strategy_catalog();
-        assert_eq!(catalog.len(), 11);
+        assert_eq!(catalog.len(), 13);
         for window in catalog.windows(2) {
             assert_ne!(window[0].1, window[1].1, "duplicate catalog entries");
         }

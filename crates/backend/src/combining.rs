@@ -1,0 +1,543 @@
+//! Delegation/combining synchronization strategies.
+//!
+//! The coarse lock's failure mode in the paper's Figures 3–6 is the
+//! convoy: every thread fights for one lock, and the lock's hand-off cost
+//! is paid once per operation. Delegation attacks exactly that hand-off:
+//! instead of moving the *lock* between threads, it moves the
+//! *operations* to wherever the lock already is.
+//!
+//! * [`FlatCombiningBackend`] — flat combining (Hendler, Incze, Shavit,
+//!   Tzafrir): threads publish their operation on a shared publication
+//!   list; whoever acquires the workspace lock becomes the *combiner* and
+//!   executes the whole published batch sequentially before releasing.
+//!   Uncontended, it degrades to exactly the sequential backend's cost.
+//! * [`DedicatedServerBackend`] — RCL-style (Remote Core Locking):
+//!   one dedicated server thread owns the workspace outright and drains a
+//!   bounded submission queue ([`crate::queue::BoundedQueue`] — the same
+//!   combiner loop the `stmbench7-service` worker pool runs); client
+//!   threads only publish and wait.
+//!
+//! Both execute every operation exclusively through `DirectTx::writing`
+//! (the access spec is ignored, as in the sequential backend), so a
+//! transaction can never abort and `TxErr::Invariant` is a benchmark bug.
+//!
+//! # Safety model
+//!
+//! `Backend::execute` is generic over the operation type, so operations
+//! cannot be stored in a homogeneous list. Instead each publisher erases
+//! its operation to a raw `dyn FnMut(&mut DirectTx)` pointer into its own
+//! stack frame, paired with a `done: AtomicBool`. The publisher *blocks*
+//! inside `execute` until `done` is set (store with `Release`, load with
+//! `Acquire`), so the frame — operation, result slot and closure — stays
+//! alive and unaliased for as long as any other thread may dereference
+//! the pointer. This is why [`crate::Backend::execute`] bounds `R` and
+//! the operation by `Send`: the operation genuinely crosses threads.
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+use stmbench7_data::spec::AccessSpec;
+use stmbench7_data::workspace::{DirectTx, Workspace};
+use stmbench7_data::TxR;
+
+use crate::locks::unwrap_lock_result;
+use crate::queue::BoundedQueue;
+use crate::{Backend, TxOperation};
+
+/// A type-erased, publishable operation: runs the real `TxOperation`
+/// against the executor's transaction and stores the result back into the
+/// publisher's stack frame.
+type Job<'e> = dyn for<'w> FnMut(&mut DirectTx<'w>) + Send + 'e;
+
+/// Erases a job closure to a publishable raw pointer.
+///
+/// The returned pointer is dereferenced by whichever thread executes the
+/// job; the caller must keep the closure alive (and otherwise untouched)
+/// until the accompanying `done` flag is set with `Release` and observed
+/// with `Acquire`.
+fn erase_job<'e, F>(job: &mut F) -> *mut Job<'static>
+where
+    F: for<'w> FnMut(&mut DirectTx<'w>) + Send + 'e,
+{
+    let job: &mut Job<'e> = job;
+    let job: *mut Job<'e> = job;
+    // Safety: lifetime erasure only — same pointer, same vtable. Validity
+    // is governed by the done-flag protocol documented above.
+    unsafe { std::mem::transmute::<*mut Job<'e>, *mut Job<'static>>(job) }
+}
+
+/// Counters shared by both delegation strategies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CombiningStats {
+    /// Non-empty combine passes (one pass = one workspace acquisition
+    /// executing a whole batch).
+    pub combines: u64,
+    /// Operations executed inside combine passes. Delegation executes
+    /// every operation exactly once, so after quiescence this equals the
+    /// number of `execute` calls ever made.
+    pub combined: u64,
+    /// Largest single combine pass.
+    pub max_batch: u64,
+    /// Combine passes whose combiner was a different thread than the
+    /// previous pass (the first pass counts). Always 1 for the dedicated
+    /// server; for flat combining it measures how often the combiner
+    /// role changed hands.
+    pub handoffs: u64,
+}
+
+/// Small dense per-thread token for combiner hand-off accounting
+/// (`std::thread::ThreadId` has no stable integer form).
+fn thread_token() -> u64 {
+    use std::cell::Cell;
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TOKEN: Cell<u64> = const { Cell::new(0) };
+    }
+    TOKEN.with(|t| {
+        let mut v = t.get();
+        if v == 0 {
+            v = NEXT.fetch_add(1, Ordering::Relaxed);
+            t.set(v);
+        }
+        v
+    })
+}
+
+/// One node of the publication list, allocated on the publisher's stack.
+struct PubRecord {
+    /// Erased pointer into the publisher's frame; valid until `done`.
+    job: *mut Job<'static>,
+    done: AtomicBool,
+    next: AtomicPtr<PubRecord>,
+}
+
+/// Flat combining over the STMBench7 workspace.
+///
+/// `execute` pushes a [`PubRecord`] onto a Treiber-style publication list
+/// and then alternates between checking its own `done` flag and trying
+/// the workspace lock. Whoever wins the lock becomes the combiner: it
+/// repeatedly swaps the whole list out and executes every published
+/// operation (oldest first) before releasing. Everyone else's operations
+/// complete without those threads ever touching the workspace lock —
+/// the convoy's per-operation hand-off is replaced by one hand-off per
+/// *batch*.
+pub struct FlatCombiningBackend {
+    ws: Mutex<Workspace>,
+    /// Publication list head; publishers CAS themselves on, the combiner
+    /// swaps the whole list off.
+    head: AtomicPtr<PubRecord>,
+    combines: AtomicU64,
+    combined: AtomicU64,
+    max_batch: AtomicU64,
+    handoffs: AtomicU64,
+    last_combiner: AtomicU64,
+}
+
+impl FlatCombiningBackend {
+    /// Wraps a built workspace.
+    pub fn new(ws: Workspace) -> Self {
+        FlatCombiningBackend {
+            ws: Mutex::new(ws),
+            head: AtomicPtr::new(ptr::null_mut()),
+            combines: AtomicU64::new(0),
+            combined: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            handoffs: AtomicU64::new(0),
+            last_combiner: AtomicU64::new(0),
+        }
+    }
+
+    /// Combiner counters so far. Exact only at quiescence.
+    pub fn combining_stats(&self) -> CombiningStats {
+        CombiningStats {
+            combines: self.combines.load(Ordering::Relaxed),
+            combined: self.combined.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed),
+            handoffs: self.handoffs.load(Ordering::Relaxed),
+        }
+    }
+
+    fn publish(&self, record: &PubRecord) {
+        let node = record as *const PubRecord as *mut PubRecord;
+        let mut head = self.head.load(Ordering::Relaxed);
+        loop {
+            record.next.store(head, Ordering::Relaxed);
+            match self
+                .head
+                .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => head = actual,
+            }
+        }
+    }
+
+    /// Spins until `record.done`, becoming the combiner whenever the
+    /// workspace lock is free. A published record is only ever completed
+    /// by a thread inside `combine`, and `combine` never returns with the
+    /// list non-empty, so this terminates: either some other combiner
+    /// executes our record, or we eventually win the lock and do it
+    /// ourselves.
+    fn wait(&self, record: &PubRecord) {
+        let mut spins: u32 = 0;
+        while !record.done.load(Ordering::Acquire) {
+            if let Some(mut ws) = self.ws.try_lock() {
+                self.combine(&mut ws);
+            } else if spins < 64 {
+                spins += 1;
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Executes every published operation, repeating the swap until the
+    /// list stays empty. Runs with the workspace lock held.
+    fn combine(&self, ws: &mut Workspace) {
+        let mut counted_pass = false;
+        loop {
+            let mut node = self.head.swap(ptr::null_mut(), Ordering::Acquire);
+            if node.is_null() {
+                return;
+            }
+            if !counted_pass {
+                counted_pass = true;
+                self.combines.fetch_add(1, Ordering::Relaxed);
+                let me = thread_token();
+                if self.last_combiner.swap(me, Ordering::Relaxed) != me {
+                    self.handoffs.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // The CAS list is newest-first; reverse it so the batch runs
+            // in publication order. (Fairness, not correctness: each
+            // publisher has at most one outstanding operation, so
+            // per-thread program order holds either way.)
+            let mut prev: *mut PubRecord = ptr::null_mut();
+            while !node.is_null() {
+                // Safety: records on the list are alive — their
+                // publishers are blocked in `wait` until we set `done`.
+                let next = unsafe { (*node).next.load(Ordering::Relaxed) };
+                unsafe { (*node).next.store(prev, Ordering::Relaxed) };
+                prev = node;
+                node = next;
+            }
+            let mut batch: u64 = 0;
+            let mut cur = prev;
+            while !cur.is_null() {
+                // Read everything out of the record *before* setting
+                // `done`: that store releases the record (and the job it
+                // points into) back to its publisher's stack frame.
+                let (job, next) = unsafe { ((*cur).job, (*cur).next.load(Ordering::Relaxed)) };
+                {
+                    // One transaction per operation, as in every other
+                    // backend.
+                    let mut tx = DirectTx::writing(ws);
+                    // Safety: see the module-level safety model.
+                    unsafe { (*job)(&mut tx) };
+                }
+                unsafe { (*cur).done.store(true, Ordering::Release) };
+                cur = next;
+                batch += 1;
+            }
+            self.combined.fetch_add(batch, Ordering::Relaxed);
+            self.max_batch.fetch_max(batch, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Backend for FlatCombiningBackend {
+    fn execute<R: Send, O: TxOperation<R> + Send>(&self, _spec: &AccessSpec, op: &mut O) -> R {
+        let mut result: Option<TxR<R>> = None;
+        {
+            let slot = &mut result;
+            let mut job = move |tx: &mut DirectTx<'_>| {
+                op.begin_attempt();
+                *slot = Some(op.run(tx));
+            };
+            let record = PubRecord {
+                job: erase_job(&mut job),
+                done: AtomicBool::new(false),
+                next: AtomicPtr::new(ptr::null_mut()),
+            };
+            self.publish(&record);
+            self.wait(&record);
+        }
+        unwrap_lock_result(result.expect("published operation must have executed"))
+    }
+
+    fn name(&self) -> &'static str {
+        "flatcomb"
+    }
+
+    fn export(&self) -> Workspace {
+        self.ws.lock().clone()
+    }
+}
+
+/// How many queued submissions the dedicated server folds into one
+/// workspace acquisition.
+const SERVER_BATCH: usize = 32;
+
+/// Submission-queue capacity: enough that clients only block when the
+/// server is genuinely behind.
+const SERVER_QUEUE_CAP: usize = 1024;
+
+/// One submitted operation; both pointers target the publisher's stack
+/// frame.
+struct Submission {
+    job: *mut Job<'static>,
+    done: *const AtomicBool,
+}
+
+// Safety: the pointers are dereferenced only by the server thread, and
+// the publisher keeps the pointees alive (blocked in `execute`) until the
+// server's `done` store is observed.
+unsafe impl Send for Submission {}
+
+struct ServerShared {
+    ws: Mutex<Workspace>,
+    queue: BoundedQueue<Submission>,
+    combines: AtomicU64,
+    combined: AtomicU64,
+    max_batch: AtomicU64,
+}
+
+/// RCL-style delegation: one dedicated server thread, spawned at
+/// construction, drains the submission queue for the backend's whole
+/// lifetime — the combiner role never moves. Client `execute` calls
+/// publish a type-erased job and wait for its completion flag.
+///
+/// The server consumes the queue through [`BoundedQueue::drain`] — the
+/// identical combiner loop the `stmbench7-service` worker pool runs —
+/// batching up to [`SERVER_BATCH`] submissions per workspace
+/// acquisition. Dropping the backend closes the queue and joins the
+/// server.
+pub struct DedicatedServerBackend {
+    shared: Arc<ServerShared>,
+    server: Option<JoinHandle<()>>,
+}
+
+impl DedicatedServerBackend {
+    /// Wraps a built workspace and spawns the server thread.
+    pub fn new(ws: Workspace) -> Self {
+        let shared = Arc::new(ServerShared {
+            ws: Mutex::new(ws),
+            queue: BoundedQueue::new(SERVER_QUEUE_CAP),
+            combines: AtomicU64::new(0),
+            combined: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+        });
+        let server = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("stmbench7-rcl-server".into())
+                .spawn(move || Self::serve(&shared))
+                .expect("failed to spawn the rcl server thread")
+        };
+        DedicatedServerBackend {
+            shared,
+            server: Some(server),
+        }
+    }
+
+    fn serve(shared: &ServerShared) {
+        shared.queue.drain(
+            SERVER_BATCH,
+            |_, _| true,
+            |batch| {
+                let mut ws = shared.ws.lock();
+                let n = batch.len() as u64;
+                for sub in batch {
+                    {
+                        let mut tx = DirectTx::writing(&mut ws);
+                        // Safety: see the module-level safety model.
+                        unsafe { (*sub.job)(&mut tx) };
+                    }
+                    // Safety: the flag lives in the (still blocked)
+                    // publisher's frame; this store is its release.
+                    unsafe { &*sub.done }.store(true, Ordering::Release);
+                }
+                shared.combines.fetch_add(1, Ordering::Relaxed);
+                shared.combined.fetch_add(n, Ordering::Relaxed);
+                shared.max_batch.fetch_max(n, Ordering::Relaxed);
+            },
+        );
+    }
+
+    /// Server counters so far. Exact only at quiescence.
+    pub fn combining_stats(&self) -> CombiningStats {
+        CombiningStats {
+            combines: self.shared.combines.load(Ordering::Relaxed),
+            combined: self.shared.combined.load(Ordering::Relaxed),
+            max_batch: self.shared.max_batch.load(Ordering::Relaxed),
+            // The server is the combiner from its first batch onward.
+            handoffs: u64::from(self.shared.combines.load(Ordering::Relaxed) > 0),
+        }
+    }
+}
+
+impl Drop for DedicatedServerBackend {
+    fn drop(&mut self) {
+        self.shared.queue.close();
+        if let Some(server) = self.server.take() {
+            let _ = server.join();
+        }
+    }
+}
+
+impl Backend for DedicatedServerBackend {
+    fn execute<R: Send, O: TxOperation<R> + Send>(&self, _spec: &AccessSpec, op: &mut O) -> R {
+        let mut result: Option<TxR<R>> = None;
+        let done = AtomicBool::new(false);
+        {
+            let slot = &mut result;
+            let mut job = move |tx: &mut DirectTx<'_>| {
+                op.begin_attempt();
+                *slot = Some(op.run(tx));
+            };
+            self.shared.queue.push_blocking(Submission {
+                job: erase_job(&mut job),
+                done: &done,
+            });
+            let mut spins: u32 = 0;
+            while !done.load(Ordering::Acquire) {
+                if spins < 64 {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        unwrap_lock_result(result.expect("submitted operation must have executed"))
+    }
+
+    fn name(&self) -> &'static str {
+        "rcl"
+    }
+
+    fn export(&self) -> Workspace {
+        self.ws().clone()
+    }
+}
+
+impl DedicatedServerBackend {
+    fn ws(&self) -> parking_lot::MutexGuard<'_, Workspace> {
+        self.shared.ws.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stmbench7_data::{Mode, Sb7Tx, StructureParams};
+
+    struct ReadRoot;
+    impl TxOperation<u32> for ReadRoot {
+        fn run<T: Sb7Tx>(&mut self, tx: &mut T) -> TxR<u32> {
+            tx.module(|m| m.design_root.raw())
+        }
+    }
+
+    struct SwapManual;
+    impl TxOperation<usize> for SwapManual {
+        fn run<T: Sb7Tx>(&mut self, tx: &mut T) -> TxR<usize> {
+            tx.manual_swap_case()
+        }
+    }
+
+    fn read_spec() -> AccessSpec {
+        AccessSpec::new().regular()
+    }
+
+    fn manual_write_spec() -> AccessSpec {
+        AccessSpec::new().regular().manual(Mode::Write)
+    }
+
+    #[test]
+    fn both_delegation_backends_run_simple_ops() {
+        let ws = Workspace::build(StructureParams::tiny(), 5);
+        let root = ws.module.design_root.raw();
+        let fc = FlatCombiningBackend::new(ws.clone());
+        let rcl = DedicatedServerBackend::new(ws);
+        assert_eq!(fc.execute(&read_spec(), &mut ReadRoot), root);
+        assert_eq!(rcl.execute(&read_spec(), &mut ReadRoot), root);
+        assert!(fc.execute(&manual_write_spec(), &mut SwapManual) > 0);
+        assert!(rcl.execute(&manual_write_spec(), &mut SwapManual) > 0);
+        stmbench7_data::validate(&fc.export()).unwrap();
+        stmbench7_data::validate(&rcl.export()).unwrap();
+    }
+
+    #[test]
+    fn flatcomb_counts_every_operation_exactly_once() {
+        let ws = Workspace::build(StructureParams::tiny(), 5);
+        let fc = FlatCombiningBackend::new(ws);
+        for _ in 0..10 {
+            fc.execute(&read_spec(), &mut ReadRoot);
+        }
+        let stats = fc.combining_stats();
+        assert_eq!(stats.combined, 10);
+        assert!(stats.combines >= 1 && stats.combines <= 10);
+        assert!(stats.max_batch >= 1);
+        // A single thread never hands the combiner role off.
+        assert_eq!(stats.handoffs, 1);
+    }
+
+    #[test]
+    fn rcl_counts_every_operation_exactly_once() {
+        let ws = Workspace::build(StructureParams::tiny(), 5);
+        let rcl = DedicatedServerBackend::new(ws);
+        for _ in 0..10 {
+            rcl.execute(&read_spec(), &mut ReadRoot);
+        }
+        let stats = rcl.combining_stats();
+        assert_eq!(stats.combined, 10);
+        assert_eq!(stats.handoffs, 1, "the server never yields the role");
+    }
+
+    #[test]
+    fn flatcomb_hands_the_combiner_role_between_threads() {
+        let ws = Workspace::build(StructureParams::tiny(), 5);
+        let fc = FlatCombiningBackend::new(ws);
+        // Two strictly sequential phases from two different threads: each
+        // phase's only active thread must combine its own operations, so
+        // the role provably changes hands.
+        std::thread::scope(|scope| {
+            scope
+                .spawn(|| fc.execute(&manual_write_spec(), &mut SwapManual))
+                .join()
+                .unwrap();
+            scope
+                .spawn(|| fc.execute(&manual_write_spec(), &mut SwapManual))
+                .join()
+                .unwrap();
+        });
+        let stats = fc.combining_stats();
+        assert_eq!(stats.combined, 2);
+        assert_eq!(stats.handoffs, 2, "two distinct combiner threads");
+    }
+
+    #[test]
+    #[should_panic(expected = "access spec")]
+    fn flatcomb_surfaces_invariant_violations_at_the_publisher() {
+        // Delegation executes everything exclusively, so a spec violation
+        // can only come from an operation breaking the DirectTx contract
+        // — and the panic must land on the publishing caller, not the
+        // combiner. A read-only *transaction* cannot be constructed here
+        // (combiners always write), so trip the invariant directly.
+        struct BadOp;
+        impl TxOperation<()> for BadOp {
+            fn run<T: Sb7Tx>(&mut self, _tx: &mut T) -> TxR<()> {
+                Err(stmbench7_data::TxErr::Invariant("test"))
+            }
+        }
+        let ws = Workspace::build(StructureParams::tiny(), 5);
+        let fc = FlatCombiningBackend::new(ws);
+        fc.execute(&read_spec(), &mut BadOp);
+    }
+}

@@ -355,7 +355,7 @@ impl FineBackend {
 }
 
 impl Backend for FineBackend {
-    fn execute<R, O: TxOperation<R>>(&self, spec: &AccessSpec, op: &mut O) -> R {
+    fn execute<R: Send, O: TxOperation<R> + Send>(&self, spec: &AccessSpec, op: &mut O) -> R {
         if spec.sm.is_write() {
             // Structure modifications run in isolation, exactly as under
             // the medium-grained strategy: the gate serializes them

@@ -16,11 +16,20 @@
 //! * [`stm::StmBackend`] — the STM adapter, generic over the runtimes of
 //!   `stmbench7-stm` (ASTM-like and TL2-like), with monolithic or sharded
 //!   representation of the indexes and the manual
-//!   ([`stm::Granularity`]).
+//!   ([`stm::Granularity`]),
+//! * [`combining::FlatCombiningBackend`] — flat combining: contending
+//!   threads publish operations and the lock holder executes the whole
+//!   batch — one lock hand-off per batch instead of per operation,
+//! * [`combining::DedicatedServerBackend`] — RCL-style delegation: one
+//!   dedicated server thread drains a submission queue
+//!   ([`queue::BoundedQueue`], the combiner loop `stmbench7-service`'s
+//!   worker pool also runs).
 
 pub mod choice;
+pub mod combining;
 pub mod fine;
 pub mod locks;
+pub mod queue;
 pub mod stm;
 
 use stmbench7_data::{AccessSpec, Sb7Tx, TxR, Workspace};
@@ -54,12 +63,17 @@ pub trait Backend: Send + Sync {
     /// lock groups the operation touches (ignored by optimistic
     /// backends).
     ///
+    /// The operation and its result are `Send` because delegation
+    /// backends (flat combining, dedicated server) may execute `op` on
+    /// whichever thread currently holds the combiner role; the caller
+    /// blocks until its result is back either way.
+    ///
     /// # Panics
     ///
     /// Panics if the operation violates its own `spec` (e.g. writes a
     /// group it declared read-only) — that is a bug in the benchmark, not
     /// a runtime condition.
-    fn execute<R, O: TxOperation<R>>(&self, spec: &AccessSpec, op: &mut O) -> R;
+    fn execute<R: Send, O: TxOperation<R> + Send>(&self, spec: &AccessSpec, op: &mut O) -> R;
 
     /// Strategy name for reports ("coarse", "medium", "astm", …).
     fn name(&self) -> &'static str;
@@ -75,8 +89,10 @@ pub trait Backend: Send + Sync {
 }
 
 pub use choice::{strategy_catalog, AnyBackend, BackendChoice};
+pub use combining::{CombiningStats, DedicatedServerBackend, FlatCombiningBackend};
 pub use fine::{FineBackend, FineStats};
 pub use locks::{CoarseBackend, MediumBackend, SequentialBackend};
+pub use queue::{Admission, BoundedQueue};
 pub use stm::{Granularity, StmBackend};
 
 /// Convenience alias: the ASTM-like backend the paper evaluates.

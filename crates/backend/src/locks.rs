@@ -50,7 +50,7 @@ impl SequentialBackend {
 }
 
 impl Backend for SequentialBackend {
-    fn execute<R, O: TxOperation<R>>(&self, _spec: &AccessSpec, op: &mut O) -> R {
+    fn execute<R: Send, O: TxOperation<R> + Send>(&self, _spec: &AccessSpec, op: &mut O) -> R {
         let mut ws = self.ws.lock();
         let mut tx = DirectTx::writing(&mut ws);
         op.begin_attempt();
@@ -81,7 +81,7 @@ impl CoarseBackend {
 }
 
 impl Backend for CoarseBackend {
-    fn execute<R, O: TxOperation<R>>(&self, spec: &AccessSpec, op: &mut O) -> R {
+    fn execute<R: Send, O: TxOperation<R> + Send>(&self, spec: &AccessSpec, op: &mut O) -> R {
         if spec.any_write() {
             let mut ws = self.ws.write();
             let mut tx = DirectTx::writing(&mut ws);
@@ -104,7 +104,7 @@ impl Backend for CoarseBackend {
     }
 }
 
-fn unwrap_lock_result<R>(r: TxR<R>) -> R {
+pub(crate) fn unwrap_lock_result<R>(r: TxR<R>) -> R {
     match r {
         Ok(v) => v,
         Err(TxErr::Abort) => unreachable!("lock-based transactions cannot abort"),
@@ -228,7 +228,7 @@ impl MediumBackend {
 }
 
 impl Backend for MediumBackend {
-    fn execute<R, O: TxOperation<R>>(&self, spec: &AccessSpec, op: &mut O) -> R {
+    fn execute<R: Send, O: TxOperation<R> + Send>(&self, spec: &AccessSpec, op: &mut O) -> R {
         // Canonical acquisition order (see module docs): the SM gate, then
         // assembly levels top-down, then composites, atomic shards
         // ascending, documents, manual. All operations declare the gate,

@@ -1,5 +1,12 @@
-//! A bounded MPMC request queue with two admission-control policies and
-//! head-of-line batch draining.
+//! A bounded MPMC submission queue with two admission-control policies
+//! and head-of-line batch draining.
+//!
+//! This lives in the backend crate because it is the combiner core shared
+//! by two layers: the service worker pool (`stmbench7-service` drains
+//! request batches through it) and the dedicated-server delegation
+//! backend ([`crate::combining::DedicatedServerBackend`] drains submitted
+//! operations through it). Both consume the queue via [`BoundedQueue::drain`],
+//! so batching and shutdown are written once.
 //!
 //! Built on `std::sync::{Mutex, Condvar}` — the vendored `parking_lot`
 //! stand-in has no condition variables, and the queue is not the hot path
@@ -43,8 +50,8 @@ struct State<T> {
     closed: bool,
 }
 
-/// A bounded FIFO shared between one producer (the dispatcher) and many
-/// consumers (the workers).
+/// A bounded FIFO shared between producers (dispatchers, publishers) and
+/// consumers (workers, the dedicated server).
 pub struct BoundedQueue<T> {
     state: Mutex<State<T>>,
     not_empty: Condvar,
@@ -120,6 +127,25 @@ impl<T> BoundedQueue<T> {
                 return Vec::new();
             }
             state = self.not_empty.wait(state).expect("queue poisoned");
+        }
+    }
+
+    /// The combiner loop: pops batches (via [`Self::pop_batch`]) and
+    /// hands each to `run` until the queue is closed and drained. The
+    /// service worker pool and the dedicated-server backend both consume
+    /// the queue through this one loop.
+    pub fn drain(
+        &self,
+        max: usize,
+        compatible: impl Fn(&T, &T) -> bool,
+        mut run: impl FnMut(Vec<T>),
+    ) {
+        loop {
+            let batch = self.pop_batch(max, &compatible);
+            if batch.is_empty() {
+                return; // closed and drained
+            }
+            run(batch);
         }
     }
 
@@ -219,5 +245,24 @@ mod tests {
         };
         q.close();
         assert!(consumer.join().expect("consumer must finish").is_empty());
+    }
+
+    #[test]
+    fn drain_consumes_everything_then_stops_on_close() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(16));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                q.drain(4, |_, _| true, |batch| seen.extend(batch));
+                seen
+            })
+        };
+        for x in 0..10 {
+            q.push_blocking(x);
+        }
+        q.close();
+        let seen = consumer.join().expect("drain must finish");
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
     }
 }

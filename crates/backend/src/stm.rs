@@ -592,7 +592,7 @@ impl<RT: StmRuntime + RtName> StmBackend<RT> {
 }
 
 impl<RT: StmRuntime + RtName> Backend for StmBackend<RT> {
-    fn execute<R, O: TxOperation<R>>(&self, spec: &AccessSpec, op: &mut O) -> R {
+    fn execute<R: Send, O: TxOperation<R> + Send>(&self, spec: &AccessSpec, op: &mut O) -> R {
         // Opacity should make `Invariant` unreachable; tolerate a bounded
         // number as conflict artifacts, then treat it as a benchmark bug.
         let strikes = StdCell::new(0u32);

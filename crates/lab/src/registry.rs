@@ -58,6 +58,10 @@ pub fn catalog() -> Vec<(&'static str, &'static str)> {
             "index-sharding axis: medium/fine/sharded-TL2 at 1/4/16 shards, 1-2 threads",
         ),
         (
+            "combining_scaling",
+            "delegation axis: flatcomb/rcl vs coarse/medium, rw, 1-4 threads",
+        ),
+        (
             "net_loopback",
             "loopback wire zero point: medium vs sharded TL2 behind net-serve, client/network/server lanes",
         ),
@@ -315,6 +319,31 @@ pub fn build(name: &str) -> Option<ExperimentSpec> {
                 &[1, 2],
             ),
         ),
+        "combining_scaling" => spec(
+            "combining_scaling",
+            StructureParams::tiny(),
+            0.2,
+            0.05,
+            2,
+            // The delegation question from the paper's Figures 3–6: does
+            // moving operations to the lock (flat combining, RCL) beat
+            // moving the lock between threads (coarse/medium)? Long
+            // traversals off, so the short-operation mix — where the
+            // convoy forms — dominates.
+            grid(
+                &[
+                    BackendChoice::Coarse,
+                    BackendChoice::Medium,
+                    BackendChoice::FlatCombining,
+                    BackendChoice::DedicatedServer,
+                ],
+                &[WorkloadType::ReadWrite],
+                &[1, 2, 4],
+                false,
+                true,
+                false,
+            ),
+        ),
         "net_loopback" => spec(
             "net_loopback",
             StructureParams::tiny(),
@@ -439,6 +468,18 @@ mod tests {
         shard_counts.dedup();
         assert_eq!(shard_counts, vec![1, 4, 16]);
         assert_eq!(spec.cells[0].key(), "medium/rw/1t/s1/no-lt");
+        assert!(spec.measured_secs() < 10.0, "must stay CI-sized");
+    }
+
+    #[test]
+    fn combining_scaling_sweeps_delegation_against_locks_and_stays_ci_sized() {
+        let spec = build("combining_scaling").unwrap();
+        assert_eq!(spec.cells.len(), 12, "4 backends × 3 thread counts");
+        let mut backends: Vec<&str> = spec.cells.iter().map(|c| c.backend.key()).collect();
+        backends.sort_unstable();
+        backends.dedup();
+        assert_eq!(backends, vec!["coarse", "flatcomb", "medium", "rcl"]);
+        assert_eq!(spec.cells[0].key(), "coarse/rw/1t/no-lt");
         assert!(spec.measured_secs() < 10.0, "must stay CI-sized");
     }
 

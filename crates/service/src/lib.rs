@@ -14,7 +14,10 @@
 //!   [`stmbench7_core::WorkloadMix`];
 //! * [`queue`] — [`BoundedQueue`]: a bounded MPMC request queue with
 //!   blocking or reject-on-full [`Admission`] control and head-of-line
-//!   batch draining;
+//!   batch draining. The queue itself lives in `stmbench7-backend`
+//!   (re-exported here): its `drain` loop is the combiner core shared
+//!   between this worker pool and the RCL-style
+//!   `DedicatedServerBackend`;
 //! * [`server`] — [`serve`]: dispatcher + worker pool executing requests
 //!   through any [`stmbench7_backend::Backend`], with opt-in read-only
 //!   batching (lock sets merged via `AccessSpec::union`) and per-request
@@ -27,7 +30,7 @@
 //! `latency_open`, `latency_bursty` and `saturation` drive the same path
 //! with gated JSON results.
 
-pub mod queue;
+pub use stmbench7_backend::queue;
 pub mod schedule;
 pub mod server;
 

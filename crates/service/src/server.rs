@@ -30,7 +30,8 @@ use stmbench7_core::{
 };
 use stmbench7_data::{AccessSpec, OpOutcome, Sb7Tx, StructureParams, TxR};
 
-use crate::queue::{Admission, BoundedQueue};
+use stmbench7_backend::queue::{Admission, BoundedQueue};
+
 use crate::schedule::{Request, Schedule};
 
 /// Full configuration of a service run.
@@ -401,13 +402,11 @@ pub fn serve_source<B: Backend, R>(
                     cfg.seed ^ (worker_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 );
                 let mut stats = WorkerStats::new();
-                loop {
-                    let batch = queue.pop_batch(cfg.batch_max, compatible);
-                    if batch.is_empty() {
-                        break; // closed and drained
-                    }
+                // The shared combiner loop (also the RCL backend's
+                // server loop): batches until closed and drained.
+                queue.drain(cfg.batch_max, compatible, |batch| {
                     execute_batch(backend, specs, &batch, &mut ctx, epoch, &mut stats, observe);
-                }
+                });
                 stats
             }));
         }

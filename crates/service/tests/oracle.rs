@@ -84,6 +84,8 @@ fn lock_and_stm_backends_agree_with_the_served_sequential_oracle() {
 
     for choice in [
         BackendChoice::Coarse,
+        BackendChoice::FlatCombining,
+        BackendChoice::DedicatedServer,
         BackendChoice::Tl2 {
             granularity: stmbench7_backend::Granularity::Monolithic,
         },
@@ -98,5 +100,19 @@ fn lock_and_stm_backends_agree_with_the_served_sequential_oracle() {
                 backend.name()
             );
         }
+    }
+}
+
+/// Both delegation backends under the served oracle, including read-only
+/// *batching*: a batch folds several requests into one `execute`, which
+/// the combiner then runs as one published job — outcomes must still be
+/// bit-identical to the closed loop.
+#[test]
+fn combining_backends_hold_the_served_oracle_batched_and_unbatched() {
+    for choice in [BackendChoice::FlatCombining, BackendChoice::DedicatedServer] {
+        assert_served_equals_closed(choice, &oracle_cfg(Schedule::Open { rate: 500_000.0 }), 300);
+        let mut batched = oracle_cfg(Schedule::Closed { clients: 1 });
+        batched.batch_max = 8;
+        assert_served_equals_closed(choice, &batched, 300);
     }
 }

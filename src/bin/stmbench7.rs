@@ -38,7 +38,7 @@ OPTIONS (paper Appendix A.1):
                         updates (extension)                [default: r]
     -g <strategy>       synchronization strategy           [default: coarse]
                         one of: sequential, coarse, medium, fine,
-                        astm, astm-sharded, astm-visible,
+                        flatcomb, rcl, astm, astm-sharded, astm-visible,
                         tl2, tl2-sharded, norec, norec-sharded
     --no-traversals     disable long traversals
     --no-sms            disable structure modification operations

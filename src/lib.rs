@@ -62,6 +62,6 @@ mod tests {
     #[test]
     fn facade_reexports_choice_types() {
         assert_eq!(BackendChoice::parse("coarse"), Some(BackendChoice::Coarse));
-        assert_eq!(strategy_catalog().len(), 11);
+        assert_eq!(strategy_catalog().len(), 13);
     }
 }

@@ -60,6 +60,88 @@ fn fine_concurrent_integrity() {
 }
 
 #[test]
+fn flatcomb_concurrent_integrity() {
+    hammer(BackendChoice::FlatCombining, "flatcomb");
+}
+
+#[test]
+fn rcl_concurrent_integrity() {
+    hammer(BackendChoice::DedicatedServer, "rcl");
+}
+
+/// Delegation-specific integrity: hammer both combining backends with
+/// the write-dominated mix and check the combiner ledger afterwards —
+/// every started operation was executed by some combiner, exactly once
+/// (lost or doubly-executed publications would show up as a count
+/// mismatch long before they corrupted the structure).
+#[test]
+fn combining_backends_lose_no_operation_under_contention() {
+    for choice in [BackendChoice::FlatCombining, BackendChoice::DedicatedServer] {
+        let params = StructureParams::tiny();
+        let ws = Workspace::build(params.clone(), 7);
+        let backend = AnyBackend::build(choice, ws);
+        let cfg = BenchConfig {
+            threads: 4,
+            mode: RunMode::Timed(Duration::from_millis(300)),
+            workload: WorkloadType::WriteDominated,
+            long_traversals: true,
+            structure_mods: true,
+            filter: OpFilter::none(),
+            seed: 99,
+            histograms: false,
+        };
+        let report = run_benchmark(&backend, &params, &cfg);
+        let stats = backend.combining_stats().expect("delegation backend");
+        assert_eq!(
+            stats.combined,
+            report.total_started(),
+            "{}: every started operation is combined exactly once",
+            backend.name()
+        );
+        assert!(stats.combines >= 1 && stats.combines <= stats.combined);
+        validate(&backend.export())
+            .unwrap_or_else(|e| panic!("{}: structure corrupted: {e}", backend.name()));
+    }
+}
+
+/// The combiner role must survive changing hands mid-run. Phase 1
+/// hammers from one thread pool (the combiner emerges there), phase 2
+/// hammers the *same* backend from a fresh pool — different OS threads,
+/// so the role provably moves — and a concurrent 4-thread phase in
+/// between exercises contended hand-offs. The structure must stay valid
+/// across all of it.
+#[test]
+fn flatcomb_combiner_handoff_mid_run() {
+    let params = StructureParams::tiny();
+    let ws = Workspace::build(params.clone(), 7);
+    let backend = AnyBackend::build(BackendChoice::FlatCombining, ws);
+    let mut total = 0u64;
+    for (phase, threads) in [(0u64, 1usize), (1, 4), (2, 1)] {
+        let cfg = BenchConfig {
+            threads,
+            mode: RunMode::Timed(Duration::from_millis(150)),
+            workload: WorkloadType::WriteDominated,
+            long_traversals: true,
+            structure_mods: true,
+            filter: OpFilter::none(),
+            seed: 4321 + phase,
+            histograms: false,
+        };
+        // run_benchmark spawns fresh worker threads per call, so each
+        // phase's combiner is a different OS thread from the last one's.
+        total += run_benchmark(&backend, &params, &cfg).total_started();
+    }
+    let stats = backend.combining_stats().expect("delegation backend");
+    assert_eq!(stats.combined, total, "no operation lost across hand-offs");
+    assert!(
+        stats.handoffs >= 3,
+        "the combiner role must change hands between phases: {} hand-offs",
+        stats.handoffs
+    );
+    validate(&backend.export()).expect("structure intact after combiner hand-offs");
+}
+
+#[test]
 fn astm_concurrent_integrity() {
     use stmbench7::backend::Granularity;
     hammer(

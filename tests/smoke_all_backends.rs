@@ -17,15 +17,18 @@ const OPS: u64 = 120;
 const OP_SEED: u64 = 2026;
 const BUILD_SEED: u64 = 7;
 
-/// The seven headline strategies: every lock backend and every STM
-/// runtime, one configuration each, drawn from the canonical catalog
-/// with `sequential` (the oracle) guaranteed first.
+/// The nine headline strategies: every lock backend, both delegation
+/// backends and every STM runtime, one configuration each, drawn from
+/// the canonical catalog with `sequential` (the oracle) guaranteed
+/// first.
 fn smoke_choices() -> Vec<(&'static str, BackendChoice)> {
     let headline = [
         "sequential",
         "coarse",
         "medium",
         "fine",
+        "flatcomb",
+        "rcl",
         "astm",
         "tl2",
         "norec",
