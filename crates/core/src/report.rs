@@ -143,6 +143,9 @@ pub struct ServiceStats {
     pub offered: u64,
     /// Requests dropped by reject-on-full admission control.
     pub rejected: u64,
+    /// Broken connections the remote driver re-established mid-drive
+    /// (0 for in-process service runs, which have no transport to lose).
+    pub reconnects: u64,
     /// Backend executions (batching folds several requests into one).
     pub batches: u64,
     /// Scheduled arrival → execution start, per admitted request
@@ -219,6 +222,7 @@ impl ServiceStats {
             ("batch_max", JsonValue::num(self.batch_max as f64)),
             ("offered", JsonValue::num(self.offered as f64)),
             ("rejected", JsonValue::num(self.rejected as f64)),
+            ("reconnects", JsonValue::num(self.reconnects as f64)),
             ("batches", JsonValue::num(self.batches as f64)),
             ("queue_wait_us", Self::latency_json(&self.queue_wait)),
             ("service_time_us", Self::latency_json(&self.service_time)),
@@ -437,10 +441,15 @@ impl Report {
                 "  schedule:            {}   workers {}   queue cap {}   batch {}",
                 svc.schedule, svc.workers, svc.queue_cap, svc.batch_max,
             );
+            let reconnects = if svc.reconnects > 0 {
+                format!("   reconnects {}", svc.reconnects)
+            } else {
+                String::new()
+            };
             let _ = writeln!(
                 out,
-                "  offered {}   rejected {}   batches {}",
-                svc.offered, svc.rejected, svc.batches,
+                "  offered {}   rejected {}   batches {}{}",
+                svc.offered, svc.rejected, svc.batches, reconnects,
             );
             let mut lanes: Vec<(&str, &Histogram)> = vec![
                 ("queue wait", &svc.queue_wait),
@@ -641,6 +650,7 @@ mod tests {
             batch_max: 8,
             offered: 100,
             rejected: 2,
+            reconnects: 0,
             batches: 40,
             queue_wait,
             service_time,
@@ -749,6 +759,13 @@ mod tests {
         assert!(text.contains("queue wait"));
         assert!(text.contains("service time"));
         assert!(text.contains("rejected 2"));
+        assert!(
+            !text.contains("reconnects"),
+            "a drive with zero reconnects should not render the counter"
+        );
+        let mut noisy = r.clone();
+        noisy.service.as_mut().unwrap().reconnects = 3;
+        assert!(noisy.render(false).contains("reconnects 3"));
 
         let doc = r.to_json_value();
         let svc = doc.get("service").expect("service object");
@@ -758,6 +775,7 @@ mod tests {
         );
         assert_eq!(svc.get("offered").and_then(JsonValue::as_u64), Some(100));
         assert_eq!(svc.get("rejected").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(svc.get("reconnects").and_then(JsonValue::as_u64), Some(0));
         assert_eq!(svc.get("batches").and_then(JsonValue::as_u64), Some(40));
         for key in ["queue_wait_us", "service_time_us", "e2e_us"] {
             let lat = svc.get(key).unwrap_or_else(|| panic!("missing {key}"));

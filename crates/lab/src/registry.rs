@@ -54,6 +54,10 @@ pub fn catalog() -> Vec<(&'static str, &'static str)> {
             "offered-load sweep over the knee on medium locking, reject-on-full",
         ),
         (
+            "latency_ramp",
+            "open-loop rate ladder on medium locking: latency vs offered load up to the saturation knee",
+        ),
+        (
             "sharded_scaling",
             "index-sharding axis: medium/fine/sharded-TL2 at 1/4/16 shards, 1-2 threads",
         ),
@@ -64,6 +68,10 @@ pub fn catalog() -> Vec<(&'static str, &'static str)> {
         (
             "net_loopback",
             "loopback wire zero point: medium vs sharded TL2 behind net-serve, client/network/server lanes",
+        ),
+        (
+            "net_c10k",
+            "connection scaling: thousands of idle connections plus a hot pipelined subset on the event-loop server",
         ),
     ]
 }
@@ -295,6 +303,38 @@ pub fn build(name: &str) -> Option<ExperimentSpec> {
                 },
             ),
         ),
+        "latency_ramp" => spec(
+            "latency_ramp",
+            StructureParams::tiny(),
+            0.2,
+            0.05,
+            2,
+            service_grid(
+                &[BackendChoice::Medium],
+                WorkloadType::ReadWrite,
+                2,
+                // A geometric ladder from ~1/40 to ~4/5 of the
+                // tiny-structure capacity: the p99 queue-wait knee along
+                // this axis *is* the saturation point. Each rung offers
+                // the same 100 ms of work (requests = rate / 10), so the
+                // ladder measures rate, not duration.
+                &[
+                    Schedule::Open { rate: 5_000.0 },
+                    Schedule::Open { rate: 10_000.0 },
+                    Schedule::Open { rate: 20_000.0 },
+                    Schedule::Open { rate: 40_000.0 },
+                    Schedule::Open { rate: 80_000.0 },
+                    Schedule::Open { rate: 160_000.0 },
+                ],
+                false,
+                |schedule| {
+                    let Schedule::Open { rate } = schedule else {
+                        unreachable!("the ramp axis is open-loop by construction");
+                    };
+                    ServicePlan::open_loop(schedule, 256, (rate / 10.0).round() as u64)
+                },
+            ),
+        ),
         "sharded_scaling" => spec(
             "sharded_scaling",
             StructureParams::tiny(),
@@ -359,11 +399,32 @@ pub fn build(name: &str) -> Option<ExperimentSpec> {
                 // lanes *is* the wire's price (see EXPERIMENTS.md).
                 &[Schedule::Open { rate: 20_000.0 }],
                 false,
+                |schedule| NetPlan::hot(schedule, 256, 2, 4_000),
+            ),
+        ),
+        "net_c10k" => spec(
+            "net_c10k",
+            StructureParams::tiny(),
+            0.2,
+            0.05,
+            2,
+            net_grid(
+                &[BackendChoice::Medium],
+                WorkloadType::ReadWrite,
+                2,
+                // The net_loopback rate concentrated on a hot subset of 8
+                // pipelined connections, while 5000 idle connections sit
+                // on the same event loop: the cell's lanes must match
+                // net_loopback's — idle readiness is not allowed to cost.
+                &[Schedule::Open { rate: 20_000.0 }],
+                false,
                 |schedule| NetPlan {
                     schedule,
                     queue_cap: 256,
-                    connections: 2,
+                    connections: 8,
                     requests: 4_000,
+                    inflight: 8,
+                    idle_conns: 5_000,
                 },
             ),
         ),
@@ -408,7 +469,12 @@ mod tests {
 
     #[test]
     fn latency_specs_are_service_cells() {
-        for name in ["latency_open", "latency_bursty", "saturation"] {
+        for name in [
+            "latency_open",
+            "latency_bursty",
+            "saturation",
+            "latency_ramp",
+        ] {
             let spec = build(name).unwrap();
             assert!(
                 spec.cells.iter().all(|c| c.service.is_some()),
@@ -456,6 +522,47 @@ mod tests {
             spec.cells[0].key(),
             "medium/rw/2t/no-lt/open20000/q256/net2c"
         );
+    }
+
+    #[test]
+    fn latency_ramp_climbs_a_geometric_rate_ladder() {
+        let spec = build("latency_ramp").unwrap();
+        assert_eq!(spec.cells.len(), 6, "one backend × six rungs");
+        let rates: Vec<f64> = spec
+            .cells
+            .iter()
+            .map(|c| match c.service.as_ref().unwrap().schedule {
+                Schedule::Open { rate } => rate,
+                other => panic!("ramp rung is not open-loop: {other:?}"),
+            })
+            .collect();
+        for pair in rates.windows(2) {
+            assert_eq!(pair[1], pair[0] * 2.0, "the ladder is geometric");
+        }
+        // Every rung offers the same wall-clock window of work.
+        for cell in &spec.cells {
+            let plan = cell.service.as_ref().unwrap();
+            let Schedule::Open { rate } = plan.schedule else {
+                unreachable!()
+            };
+            assert_eq!(plan.requests as f64, rate / 10.0);
+        }
+        assert_eq!(spec.cells[0].key(), "medium/rw/2t/no-lt/open5000/q256");
+    }
+
+    #[test]
+    fn net_c10k_holds_an_idle_herd_next_to_a_hot_pipelined_subset() {
+        let spec = build("net_c10k").unwrap();
+        assert_eq!(spec.cells.len(), 1);
+        let plan = spec.cells[0].net.as_ref().unwrap();
+        assert!(plan.idle_conns >= 5_000, "the c10k axis needs the herd");
+        assert_eq!(plan.inflight, 8, "the hot subset pipelines");
+        assert_eq!(
+            spec.cells[0].key(),
+            "medium/rw/2t/no-lt/open20000/q256/net8c/in8/idle5000"
+        );
+        let offered = plan.requests * u64::from(spec.repetitions);
+        assert!(offered <= 100_000, "must stay CI-sized: {offered}");
     }
 
     #[test]

@@ -11,11 +11,16 @@ use crate::spec::{Cell, ExperimentSpec};
 use crate::stats::Summary;
 
 /// The version tag every results document leads with; bump on any
-/// incompatible schema change. Version 3 adds the `network_us` lane
-/// (non-null for net cells) and the per-category `categories` split to
-/// every cell's `service` object; readers accept [`FORMAT_V2`] and
-/// [`FORMAT_V1`] documents unchanged.
-pub const FORMAT: &str = "stmbench7-lab/3";
+/// incompatible schema change. Version 4 adds the `reconnects` counter
+/// to every cell's `service` object (non-zero only for net cells whose
+/// drive survived a broken connection); readers accept [`FORMAT_V3`],
+/// [`FORMAT_V2`] and [`FORMAT_V1`] documents unchanged.
+pub const FORMAT: &str = "stmbench7-lab/4";
+
+/// Version 3 (adds the `network_us` lane and the per-category
+/// `categories` split to `service` objects), still accepted by every
+/// reader.
+pub const FORMAT_V3: &str = "stmbench7-lab/3";
 
 /// Version 2 (the service layer's format: per-cell `service` objects,
 /// no network lane or category split), still accepted by every reader.
@@ -27,7 +32,7 @@ pub const FORMAT_V1: &str = "stmbench7-lab/1";
 
 /// True for every document version this crate can read.
 pub fn format_supported(format: &str) -> bool {
-    format == FORMAT || format == FORMAT_V2 || format == FORMAT_V1
+    format == FORMAT || format == FORMAT_V3 || format == FORMAT_V2 || format == FORMAT_V1
 }
 
 /// One measured repetition, condensed.
@@ -84,6 +89,9 @@ pub struct CellResult {
 pub struct ServiceAgg {
     pub offered: u64,
     pub rejected: u64,
+    /// Broken connections the net driver re-established, summed across
+    /// repetitions (always 0 for in-process service cells).
+    pub reconnects: u64,
     pub batches: u64,
     pub queue_wait: Histogram,
     pub service_time: Histogram,
@@ -101,6 +109,7 @@ impl ServiceAgg {
         JsonValue::obj(vec![
             ("offered", JsonValue::num(self.offered as f64)),
             ("rejected", JsonValue::num(self.rejected as f64)),
+            ("reconnects", JsonValue::num(self.reconnects as f64)),
             ("batches", JsonValue::num(self.batches as f64)),
             (
                 "queue_wait_us",
@@ -291,6 +300,13 @@ fn run_one_cell(spec: &ExperimentSpec, cell: &Cell) -> CellResult {
             // Net cell: this backend behind a real (loopback) socket on
             // an ephemeral port, measured from the client side.
             let plan = cell.net.as_ref().expect("net_configs implies plan");
+            if plan.idle_conns > 0 {
+                // The herd needs file descriptors on both ends of the
+                // loopback plus headroom for the hot subset; CI runners
+                // default to a 1024 soft limit.
+                let want = (plan.idle_conns * 2 + plan.connections * 2 + 512) as u64;
+                stmbench7_poll::raise_nofile_limit(want).expect("raise RLIMIT_NOFILE");
+            }
             let requests = drive_cfg.generate(plan.requests);
             let listener =
                 std::net::TcpListener::bind("127.0.0.1:0").expect("ephemeral loopback port");
@@ -301,11 +317,19 @@ fn run_one_cell(spec: &ExperimentSpec, cell: &Cell) -> CellResult {
                 let server_cfg = &server_cfg;
                 let server = scope
                     .spawn(move || stmbench7_net::serve_net(backend, params, server_cfg, listener));
+                // The c10k axis: open the idle herd first and hold it for
+                // the whole drive — the event loop must carry these
+                // connections (registered, never speaking) without
+                // spawning threads or starving the hot subset.
+                let idle: Vec<std::net::TcpStream> = (0..plan.idle_conns)
+                    .map(|_| std::net::TcpStream::connect(addr).expect("idle connection"))
+                    .collect();
                 // Shut the server down even when the drive failed —
                 // panicking first would leave the scope joining a server
                 // blocked in accept(), hanging the run instead of
                 // reporting the error.
                 let client = stmbench7_net::drive(addr, &drive_cfg, &requests);
+                drop(idle); // hang up the herd before the shutdown drain
                 let shutdown = stmbench7_net::shutdown(addr);
                 server
                     .join()
@@ -356,6 +380,7 @@ fn aggregate(cell: &Cell, reports: &[Report]) -> CellResult {
         let mut agg = ServiceAgg {
             offered: 0,
             rejected: 0,
+            reconnects: 0,
             batches: 0,
             queue_wait: Histogram::micros(),
             service_time: Histogram::micros(),
@@ -366,6 +391,7 @@ fn aggregate(cell: &Cell, reports: &[Report]) -> CellResult {
         for svc in per_rep_service {
             agg.offered += svc.offered;
             agg.rejected += svc.rejected;
+            agg.reconnects += svc.reconnects;
             agg.batches += svc.batches;
             agg.queue_wait.merge(&svc.queue_wait);
             agg.service_time.merge(&svc.service_time);
@@ -500,9 +526,10 @@ mod tests {
     #[test]
     fn all_format_versions_are_supported() {
         assert!(format_supported(FORMAT));
+        assert!(format_supported(FORMAT_V3));
         assert!(format_supported(FORMAT_V2));
         assert!(format_supported(FORMAT_V1));
-        assert!(!format_supported("stmbench7-lab/4"));
+        assert!(!format_supported("stmbench7-lab/5"));
         assert!(!format_supported("other/1"));
     }
 
@@ -513,12 +540,7 @@ mod tests {
 
         let mut spec = tiny_spec();
         spec.repetitions = 2;
-        spec.cells[0].net = Some(NetPlan {
-            schedule: Schedule::Open { rate: 100_000.0 },
-            queue_cap: 64,
-            connections: 2,
-            requests: 200,
-        });
+        spec.cells[0].net = Some(NetPlan::hot(Schedule::Open { rate: 100_000.0 }, 64, 2, 200));
         let result = run_spec(&spec, |_| {});
         let cell = &result.cells[0];
         let agg = cell

@@ -69,17 +69,44 @@ pub struct NetPlan {
     /// Length of the request stream (see [`ServicePlan::requests`] for
     /// why lab runs are deterministic in work, not wall time).
     pub requests: u64,
+    /// Per-connection pipelining window of the driver (0 = unbounded —
+    /// requests are issued purely by schedule).
+    pub inflight: usize,
+    /// Extra mostly-idle connections the runner opens and holds for the
+    /// duration of the drive — the c10k axis: the event-loop server must
+    /// carry them without spawning threads or dropping frames.
+    pub idle_conns: usize,
 }
 
 impl NetPlan {
+    /// A hot-connections-only plan (no pipelining window, no idle herd) —
+    /// the shape every pre-c10k net cell had.
+    pub fn hot(schedule: Schedule, queue_cap: usize, connections: usize, requests: u64) -> NetPlan {
+        NetPlan {
+            schedule,
+            queue_cap,
+            connections,
+            requests,
+            inflight: 0,
+            idle_conns: 0,
+        }
+    }
+
     /// The key suffix identifying this plan inside a cell key.
     fn key_suffix(&self) -> String {
-        format!(
+        let mut key = format!(
             "/{}/q{}/net{}c",
             self.schedule.key(),
             self.queue_cap,
             self.connections
-        )
+        );
+        if self.inflight > 0 {
+            key.push_str(&format!("/in{}", self.inflight));
+        }
+        if self.idle_conns > 0 {
+            key.push_str(&format!("/idle{}", self.idle_conns));
+        }
+        key
     }
 }
 
@@ -245,6 +272,7 @@ impl Cell {
         let driver = stmbench7_net::DriveConfig {
             schedule: plan.schedule,
             connections: plan.connections,
+            inflight: plan.inflight,
             workload: self.workload,
             long_traversals: self.long_traversals,
             structure_mods: self.structure_mods,
@@ -424,6 +452,58 @@ impl ExperimentSpec {
                 })
             })
             .collect();
+        self
+    }
+
+    /// Replaces the arrival-rate axis: every unique open-loop cell modulo
+    /// its schedule's rate is re-crossed with `rates` (deduplicated,
+    /// order preserved), scaling each plan's request count with the rate
+    /// so every cell measures the same wall-clock window. Closed-loop
+    /// cells (no service/net plan, or a non-open schedule) pass through
+    /// unchanged.
+    pub fn with_rates(mut self, rates: &[f64]) -> Self {
+        let mut axis: Vec<f64> = Vec::new();
+        for &r in rates {
+            if !axis.contains(&r) {
+                axis.push(r);
+            }
+        }
+        let mut cells: Vec<Cell> = Vec::new();
+        for cell in &self.cells {
+            let old_rate = match (&cell.service, &cell.net) {
+                (Some(p), _) => match p.schedule {
+                    Schedule::Open { rate } => Some(rate),
+                    _ => None,
+                },
+                (_, Some(p)) => match p.schedule {
+                    Schedule::Open { rate } => Some(rate),
+                    _ => None,
+                },
+                _ => None,
+            };
+            let Some(old_rate) = old_rate else {
+                if !cells.contains(cell) {
+                    cells.push(cell.clone());
+                }
+                continue;
+            };
+            for &rate in &axis {
+                let mut c = cell.clone();
+                let scale = |requests: u64| ((requests as f64) * rate / old_rate).round() as u64;
+                if let Some(p) = &mut c.service {
+                    p.requests = scale(p.requests).max(1);
+                    p.schedule = Schedule::Open { rate };
+                }
+                if let Some(p) = &mut c.net {
+                    p.requests = scale(p.requests).max(1);
+                    p.schedule = Schedule::Open { rate };
+                }
+                if !cells.contains(&c) {
+                    cells.push(c);
+                }
+            }
+        }
+        self.cells = cells;
         self
     }
 

@@ -11,9 +11,11 @@
 //! `rng_seed` pins its random choices server-side — which is what the
 //! remote-vs-local oracle test leans on.
 
+use std::collections::HashMap;
 use std::io::{self, BufReader};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use stmbench7_core::{
@@ -31,6 +33,11 @@ pub struct DriveConfig {
     /// Persistent connections the stream is striped over (request `i`
     /// rides connection `i % connections`).
     pub connections: usize,
+    /// Pipelining window: at most this many requests in flight per
+    /// connection (the writer waits for responses past the cap, an
+    /// admission control of the client's own). `0` = unbounded — issue
+    /// purely by schedule, however far responses lag.
+    pub inflight: usize,
     pub workload: WorkloadType,
     pub long_traversals: bool,
     pub structure_mods: bool,
@@ -44,6 +51,7 @@ impl DriveConfig {
         DriveConfig {
             schedule,
             connections: 1,
+            inflight: 0,
             workload,
             long_traversals: true,
             structure_mods: true,
@@ -100,6 +108,8 @@ struct ConnStats {
     network: Histogram,
     per_category: Vec<CategoryLatency>,
     rejected: u64,
+    /// Times this connection was re-established after a mid-drive break.
+    reconnects: u64,
     outcomes: Vec<(u64, WireOutcome)>,
 }
 
@@ -117,6 +127,7 @@ impl ConnStats {
             network: Histogram::micros(),
             per_category: CategoryLatency::all_empty(),
             rejected: 0,
+            reconnects: 0,
             outcomes: Vec::new(),
         }
     }
@@ -164,10 +175,61 @@ impl ConnStats {
     }
 }
 
+/// Reconnect policy: a broken connection is re-established up to this
+/// many times per connection before the drive gives up …
+const RECONNECT_MAX: u64 = 8;
+/// … with exponential backoff between attempts, from here …
+const BACKOFF_START: Duration = Duration::from_millis(10);
+/// … capped here.
+const BACKOFF_CAP: Duration = Duration::from_millis(200);
+
+/// Transport-shaped errors worth a reconnect; protocol violations
+/// (`InvalidData`) are not — retrying a server that talks garbage only
+/// hides the bug.
+fn retryable(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::NotConnected
+            | io::ErrorKind::WriteZero
+            | io::ErrorKind::TimedOut
+    )
+}
+
+/// Connects with Nagle off: a pipelined writer waits on responses, so a
+/// small request lingering in Nagle's buffer behind a delayed ACK would
+/// stall the whole window.
+fn connect_nodelay(addr: SocketAddr) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// The per-connection pipelining window, shared between the writer (the
+/// session thread) and the response reader.
+struct Window {
+    state: Mutex<WindowState>,
+    drained: Condvar,
+}
+
+struct WindowState {
+    outstanding: usize,
+    failed: bool,
+}
+
 /// Replays `requests` (see [`DriveConfig::generate`]) against a running
 /// `stmbench7 net-serve` at `addr`, over `cfg.connections` persistent
-/// connections, honoring scheduled arrival times. Returns when every
-/// request has been answered.
+/// connections, honoring scheduled arrival times, with at most
+/// `cfg.inflight` requests in flight per connection (0 = unbounded).
+/// Returns when every request has been answered; a connection broken
+/// mid-drive is re-established with capped backoff and its unanswered
+/// requests are re-sent (counted in the report's `reconnects` — note the
+/// at-least-once caveat: a request whose response was lost executes
+/// again server-side).
 pub fn drive(
     addr: impl ToSocketAddrs,
     cfg: &DriveConfig,
@@ -185,8 +247,10 @@ pub fn drive(
     for (i, req) in requests.iter().enumerate() {
         slices[i % cfg.connections].push(*req);
     }
+    // Connect up-front (fail fast if the server is absent) so connection
+    // setup doesn't eat into the schedule.
     let streams: Vec<TcpStream> = (0..cfg.connections)
-        .map(|_| TcpStream::connect(addr))
+        .map(|_| connect_nodelay(addr))
         .collect::<io::Result<_>>()?;
 
     // Send timestamps cross from writer to reader threads by request id.
@@ -194,41 +258,118 @@ pub fn drive(
 
     let epoch = Instant::now();
     let all_stats: io::Result<Vec<ConnStats>> = std::thread::scope(|scope| {
-        let mut readers = Vec::with_capacity(cfg.connections);
-        for (slice, stream) in slices.iter().zip(&streams) {
+        let mut sessions = Vec::with_capacity(cfg.connections);
+        for (slice, stream) in slices.iter().zip(streams) {
             let send_ns = &send_ns;
-            // Writer: replay this connection's share of the schedule.
-            let write_half = stream.try_clone()?;
-            scope.spawn(move || -> io::Result<()> {
-                let mut write_half = write_half;
-                for req in slice {
-                    let target = epoch + Duration::from_nanos(req.arrival_ns);
-                    let now = Instant::now();
-                    if now < target {
-                        std::thread::sleep(target - now);
-                    }
-                    // Release: the socket round trip is not a formal
-                    // happens-before edge for this atomic; pair with the
-                    // reader's Acquire so it never observes the initial 0.
-                    send_ns[req.id as usize]
-                        .store(epoch.elapsed().as_nanos() as u64, Ordering::Release);
-                    wire::write_frame(
-                        &mut write_half,
-                        &Frame::Request(NetRequest {
-                            id: req.id,
-                            op: req.op,
-                            rng_seed: req.rng_seed,
-                        }),
-                    )?;
+            sessions.push(scope.spawn(move || -> io::Result<ConnStats> {
+                run_connection(addr, cfg.inflight, epoch, slice, stream, send_ns)
+            }));
+        }
+        sessions
+            .into_iter()
+            .map(|h| h.join().expect("connection session panicked"))
+            .collect()
+    });
+    let all_stats = all_stats?;
+    let elapsed = epoch.elapsed();
+
+    Ok(merge(cfg, &mix, requests, elapsed, all_stats))
+}
+
+/// One connection's session: replay its slice of the schedule, windowed
+/// by `inflight`, reconnecting (and re-sending whatever is still
+/// unanswered) on transport errors until the slice is fully answered.
+fn run_connection(
+    addr: SocketAddr,
+    inflight: usize,
+    epoch: Instant,
+    slice: &[Request],
+    first: TcpStream,
+    send_ns: &[AtomicU64],
+) -> io::Result<ConnStats> {
+    let mut stats = ConnStats::new();
+    let mut answered = vec![false; slice.len()];
+    let pos_of: HashMap<u64, usize> = slice.iter().enumerate().map(|(k, r)| (r.id, k)).collect();
+    let mut stream = Some(first);
+    loop {
+        if answered.iter().all(|a| *a) {
+            return Ok(stats);
+        }
+        let current = match stream.take() {
+            Some(s) => s,
+            None => match connect_nodelay(addr) {
+                Ok(s) => s,
+                Err(e) => {
+                    back_off_or_bail(&mut stats, e)?;
+                    continue;
                 }
-                Ok(())
-            });
-            // Reader: collect exactly this connection's responses.
-            let read_half = stream.try_clone()?;
-            readers.push(scope.spawn(move || -> io::Result<ConnStats> {
-                let mut reader = BufReader::new(read_half);
-                let mut stats = ConnStats::new();
-                for _ in 0..slice.len() {
+            },
+        };
+        match run_attempt(
+            &current,
+            inflight,
+            epoch,
+            slice,
+            &pos_of,
+            &mut answered,
+            &mut stats,
+            send_ns,
+        ) {
+            Ok(()) => return Ok(stats),
+            Err(e) => back_off_or_bail(&mut stats, e)?,
+        }
+    }
+}
+
+/// Counts a reconnect and sleeps the capped exponential backoff, or
+/// propagates the error once the budget is spent (or the error is not
+/// transport-shaped).
+fn back_off_or_bail(stats: &mut ConnStats, e: io::Error) -> io::Result<()> {
+    if !retryable(&e) || stats.reconnects >= RECONNECT_MAX {
+        return Err(e);
+    }
+    stats.reconnects += 1;
+    let exp = (stats.reconnects - 1).min(5) as u32;
+    std::thread::sleep((BACKOFF_START * 2u32.pow(exp)).min(BACKOFF_CAP));
+    Ok(())
+}
+
+/// One attempt over one live stream: write every still-unanswered
+/// request (in stream order, honoring arrivals and the window), while a
+/// scoped reader thread collects responses in whatever order the
+/// pipelined server completes them.
+#[allow(clippy::too_many_arguments)]
+fn run_attempt(
+    stream: &TcpStream,
+    inflight: usize,
+    epoch: Instant,
+    slice: &[Request],
+    pos_of: &HashMap<u64, usize>,
+    answered: &mut [bool],
+    stats: &mut ConnStats,
+    send_ns: &[AtomicU64],
+) -> io::Result<()> {
+    let cap = if inflight == 0 { usize::MAX } else { inflight };
+    let to_send: Vec<Request> = slice
+        .iter()
+        .zip(answered.iter())
+        .filter(|(_, done)| !**done)
+        .map(|(req, _)| *req)
+        .collect();
+    let expect = to_send.len();
+    let window = Window {
+        state: Mutex::new(WindowState {
+            outstanding: 0,
+            failed: false,
+        }),
+        drained: Condvar::new(),
+    };
+
+    std::thread::scope(|scope| {
+        let reader = scope.spawn(|| -> io::Result<()> {
+            let mut reader = BufReader::new(stream);
+            let result = (|| -> io::Result<()> {
+                for _ in 0..expect {
                     let frame = wire::read_frame(&mut reader)?.ok_or_else(|| {
                         io::Error::new(
                             io::ErrorKind::UnexpectedEof,
@@ -242,31 +383,78 @@ pub fn drive(
                         ));
                     };
                     let recv_ns = epoch.elapsed().as_nanos() as u64;
-                    let req = requests
-                        .get(resp.id as usize)
-                        .filter(|r| r.id == resp.id)
-                        .ok_or_else(|| {
-                            io::Error::new(
-                                io::ErrorKind::InvalidData,
-                                format!("response for unknown request id {}", resp.id),
-                            )
-                        })?;
+                    let &pos = pos_of.get(&resp.id).ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("response for unknown request id {}", resp.id),
+                        )
+                    })?;
+                    if answered[pos] {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("duplicate response for request id {}", resp.id),
+                        ));
+                    }
+                    let req = &slice[pos];
                     let sent = send_ns[req.id as usize].load(Ordering::Acquire);
                     stats.record(req.op, req.arrival_ns, sent, recv_ns, &resp);
+                    answered[pos] = true;
+                    let mut w = window.state.lock().expect("window poisoned");
+                    w.outstanding = w.outstanding.saturating_sub(1);
+                    drop(w);
+                    window.drained.notify_all();
                 }
-                Ok(stats)
-            }));
-        }
-        readers
-            .into_iter()
-            .map(|h| h.join().expect("reader panicked"))
-            .collect()
-    });
-    let all_stats = all_stats?;
-    let elapsed = epoch.elapsed();
-    drop(streams); // hang up: the server's connection readers see EOF
+                Ok(())
+            })();
+            if result.is_err() {
+                // Unblock a writer waiting on the window.
+                window.state.lock().expect("window poisoned").failed = true;
+                window.drained.notify_all();
+            }
+            result
+        });
 
-    Ok(merge(cfg, &mix, requests, elapsed, all_stats))
+        // Writer: this thread replays the unanswered share of the slice.
+        let mut writer_result: io::Result<()> = Ok(());
+        let mut write_half = stream;
+        for req in &to_send {
+            {
+                let mut w = window.state.lock().expect("window poisoned");
+                while !w.failed && w.outstanding >= cap {
+                    w = window.drained.wait(w).expect("window poisoned");
+                }
+                if w.failed {
+                    break; // the reader's error wins
+                }
+                w.outstanding += 1;
+            }
+            let target = epoch + Duration::from_nanos(req.arrival_ns);
+            let now = Instant::now();
+            if now < target {
+                std::thread::sleep(target - now);
+            }
+            // Release: the socket round trip is not a formal
+            // happens-before edge for this atomic; pair with the reader's
+            // Acquire so it never observes the initial 0.
+            send_ns[req.id as usize].store(epoch.elapsed().as_nanos() as u64, Ordering::Release);
+            if let Err(e) = wire::write_frame(
+                &mut write_half,
+                &Frame::Request(NetRequest {
+                    id: req.id,
+                    op: req.op,
+                    rng_seed: req.rng_seed,
+                }),
+            ) {
+                window.state.lock().expect("window poisoned").failed = true;
+                // Unblock the reader out of its blocking read.
+                let _ = stream.shutdown(Shutdown::Both);
+                writer_result = Err(e);
+                break;
+            }
+        }
+        let reader_result = reader.join().expect("response reader panicked");
+        reader_result.and(writer_result)
+    })
 }
 
 /// Sends the graceful-shutdown control frame on a fresh connection and
@@ -302,6 +490,7 @@ fn merge(
     let mut network = Histogram::micros();
     let mut per_category = CategoryLatency::all_empty();
     let mut rejected = 0;
+    let mut reconnects = 0;
     let mut outcomes: Vec<Option<WireOutcome>> = vec![None; requests.len()];
     for stats in &all_stats {
         for (i, r) in per_op.iter_mut().enumerate() {
@@ -319,6 +508,7 @@ fn merge(
             merged.merge(conn);
         }
         rejected += stats.rejected;
+        reconnects += stats.reconnects;
         for (id, outcome) in &stats.outcomes {
             outcomes[*id as usize] = Some(outcome.clone());
         }
@@ -343,6 +533,7 @@ fn merge(
             batch_max: 1,
             offered: requests.len() as u64,
             rejected,
+            reconnects,
             batches: executed,
             queue_wait,
             service_time,

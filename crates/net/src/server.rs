@@ -1,170 +1,543 @@
-//! The TCP front end: accepts connections, decodes request frames, and
-//! feeds them into the `stmbench7-service` queue/worker pool — so
-//! admission control, read-only batching and the latency decomposition
-//! are exactly the in-process service's, with a wire in front.
+//! The TCP front end: a single event-loop thread owns every connection
+//! and feeds decoded requests into the `stmbench7-service` queue/worker
+//! pool — so admission control, read-only batching and the latency
+//! decomposition are exactly the in-process service's, with a wire in
+//! front.
 //!
-//! One reader thread per connection decodes frames and offers requests
-//! through the service [`Ingress`]; the pool's observer hook routes each
-//! completed request's response to a per-connection *writer thread*
-//! through a channel, so a client that stops reading stalls only its own
-//! writer — never the shared worker pool. A [`Frame::Shutdown`] control
-//! frame stops the acceptor, force-closes every other connection's
-//! socket (an idle client cannot hold the server open), drains the
-//! queue, and lets [`serve_net`] return the merged [`ServeResult`] — the
-//! graceful-shutdown path the CI smoke test exercises.
+//! Architecture (PR 7, replacing the PR 5 thread-per-connection server):
+//! the calling thread runs an `epoll` readiness loop (`stmbench7-poll`)
+//! over a nonblocking listener and all client sockets, so holding 10k
+//! mostly-idle connections costs file descriptors, not threads — server
+//! threads are the I/O loop plus the `cfg.workers` pool, regardless of
+//! connection count. Per connection the loop keeps an incremental
+//! [`FrameDecoder`] and a write buffer:
+//!
+//! - **Pipelining** — a client may have any number of requests in
+//!   flight; responses are matched by request id on the client side, so
+//!   completion order doesn't matter.
+//! - **Backpressure, tied to admission** — when blocking admission finds
+//!   the queue full, the connection's decoded-but-unoffered requests
+//!   wait in its pending list and the loop *stops reading that socket*
+//!   (TCP pushes back on the client); reject-on-full instead answers an
+//!   explicit `Rejected` frame and keeps reading. A connection whose
+//!   responses aren't draining (write buffer past the high-water mark)
+//!   also stops being read until it drains below the low-water mark.
+//! - **Responses** — the worker-pool observer posts each completed
+//!   request to a shared outbox and wakes the poller via its wake token
+//!   (an `eventfd`, replacing the PR 5 self-connect hack); the loop
+//!   routes responses into per-connection write buffers by
+//!   (slot, generation), so a response for a vanished connection is
+//!   dropped, never sent to a reused slot.
+//! - **Graceful shutdown** — a [`Frame::Shutdown`] frame stops the
+//!   acceptor and begins draining: every request already on the wire
+//!   (including pipelined ones on *other* connections, verified with a
+//!   zero-timeout poll before completion) is executed and answered, then
+//!   the ack is flushed and [`serve_net`] returns the merged
+//!   [`ServeResult`]. An idle connection cannot hold the server open.
 
-use std::collections::HashMap;
-use std::io::BufReader;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Mutex};
-use std::{io, thread};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::Mutex;
+use std::time::Duration;
 
 use stmbench7_backend::Backend;
+use stmbench7_core::OpKind;
 use stmbench7_data::{OpOutcome, StructureParams};
-use stmbench7_service::{serve_source, Ingress, Request, ServeConfig, ServeResult};
+use stmbench7_poll::{Events, Interest, Poller, Token, Waker};
+use stmbench7_service::{serve_source, Ingress, Offer, Request, ServeConfig, ServeResult};
 
-use crate::wire::{self, Frame, NetResponse, WireOutcome};
+use crate::wire::{self, Frame, FrameDecoder, NetResponse, WireOutcome};
 
-/// Where to send the response of one in-flight request: the originating
-/// connection's writer-thread channel and the id the client knows it by.
-struct Route {
-    resp_tx: mpsc::Sender<NetResponse>,
+const LISTENER: Token = Token(0);
+/// Read granularity; also bounds how many requests one readiness event
+/// can decode before admission control gets a say.
+const READ_CHUNK: usize = 16 * 1024;
+/// A connection whose write buffer grows past this stops being read
+/// (its responses aren't draining) …
+const HIGH_WATER: usize = 256 * 1024;
+/// … until it drains back below this.
+const LOW_WATER: usize = 64 * 1024;
+/// Poll cap while requests wait for queue space, as a safety net under
+/// the observer wakes.
+const RETRY_TIMEOUT: Duration = Duration::from_millis(10);
+
+/// Where one in-flight request's response goes: connection slot +
+/// generation (stale after the connection dies) and the client's id.
+struct RouteEntry {
+    slot: usize,
+    gen: u64,
     client_id: u64,
 }
 
-/// State shared between the acceptor, the connection readers and the
-/// worker-pool observer.
-struct Shared {
-    /// In-flight requests by server-assigned id.
-    routes: Mutex<HashMap<u64, Route>>,
-    /// One read-half clone per live connection, so shutdown can
-    /// force-close sockets whose clients would otherwise hold the
-    /// server open forever.
-    conns: Mutex<Vec<TcpStream>>,
-    shutting_down: AtomicBool,
+/// Routes and completed-but-undelivered responses, under one lock so the
+/// drain check ("no in-flight request anywhere") is atomic: a request is
+/// always in `routes` or `outbox` until its response reaches a write
+/// buffer.
+#[derive(Default)]
+struct RouteTable {
+    routes: HashMap<u64, RouteEntry>,
+    outbox: Vec<(usize, u64, NetResponse)>,
 }
 
-/// Handles one client connection: decode frames, offer requests, honor
-/// the shutdown control frame. Returns when the client disconnects, the
-/// stream corrupts, or shutdown begins.
-fn handle_connection(
+/// State shared between the event loop and the worker-pool observer.
+struct Shared {
+    table: Mutex<RouteTable>,
+    waker: Waker,
+}
+
+/// A decoded request waiting for queue space (blocking admission found
+/// the queue full).
+#[derive(Clone, Copy)]
+struct PendingReq {
+    client_id: u64,
+    op: OpKind,
+    rng_seed: u64,
+    arrival_ns: u64,
+}
+
+/// One client connection, owned by the event loop.
+struct Conn {
     stream: TcpStream,
-    ingress: &Ingress<'_>,
-    shared: &Shared,
-    local_addr: SocketAddr,
-) {
-    let (Ok(write_half), Ok(read_clone)) = (stream.try_clone(), stream.try_clone()) else {
-        return;
-    };
-    // The writer thread owns the write half: responses (from whichever
-    // worker executed the request) and control acks go through its
-    // channel, so a stalled client blocks only this thread. Detached on
-    // purpose — it drains until every route holding a sender is gone.
-    // The ack is handshaked (`ack_done`): the shutdown handler must not
-    // let the server exit — closing the socket — before the ack is on
-    // the wire.
-    let (resp_tx, resp_rx) = mpsc::channel::<NetResponse>();
-    let (ack_tx, ack_rx) = mpsc::channel::<()>();
-    let (ack_done_tx, ack_done_rx) = mpsc::channel::<()>();
-    thread::spawn(move || {
-        let mut write_half = write_half;
-        loop {
-            // Control acks first: a shutdown ack must not queue behind
-            // a backlog of responses.
-            let frame = if ack_rx.try_recv().is_ok() {
-                Frame::ShutdownAck
-            } else {
-                match resp_rx.recv_timeout(std::time::Duration::from_millis(20)) {
-                    Ok(resp) => Frame::Response(resp),
-                    Err(mpsc::RecvTimeoutError::Timeout) => continue,
-                    Err(mpsc::RecvTimeoutError::Disconnected) => match ack_rx.recv() {
-                        Ok(()) => Frame::ShutdownAck,
-                        Err(_) => return, // connection fully released
-                    },
-                }
-            };
-            if frame == Frame::ShutdownAck {
-                let _ = wire::write_frame(&mut write_half, &frame);
-                let _ = ack_done_tx.send(());
-                return;
-            }
-            if wire::write_frame(&mut write_half, &frame).is_err() {
-                return; // client gone: drop this connection's responses
-            }
+    /// Distinguishes this connection from earlier users of its slot.
+    gen: u64,
+    decoder: FrameDecoder,
+    /// Encoded frames awaiting the socket; `out[sent..]` is unwritten.
+    out: Vec<u8>,
+    sent: usize,
+    /// Decoded requests awaiting queue space, in arrival order.
+    pending: VecDeque<PendingReq>,
+    /// Interest currently registered with the poller.
+    registered: Option<Interest>,
+    /// Write-buffer backpressure latch (high/low-water hysteresis).
+    read_paused: bool,
+    /// This connection sent the shutdown frame and gets the ack.
+    wants_ack: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, gen: u64) -> Conn {
+        Conn {
+            stream,
+            gen,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            sent: 0,
+            pending: VecDeque::new(),
+            registered: None,
+            read_paused: false,
+            wants_ack: false,
         }
-    });
-    shared
-        .conns
-        .lock()
-        .expect("connection registry poisoned")
-        .push(read_clone);
-    // Re-check after registering: either the shutdowner sees this
-    // connection in the registry, or this load sees the flag — a
-    // connection racing the shutdown frame cannot slip through and hold
-    // the server open.
-    if shared.shutting_down.load(Ordering::SeqCst) {
-        let _ = stream.shutdown(Shutdown::Both);
-        return;
     }
 
-    let mut reader = BufReader::new(stream);
-    loop {
-        match wire::read_frame(&mut reader) {
-            Ok(Some(Frame::Request(net_req))) => {
-                let id = ingress.claim_id();
-                shared.routes.lock().expect("routes poisoned").insert(
-                    id,
-                    Route {
-                        resp_tx: resp_tx.clone(),
-                        client_id: net_req.id,
-                    },
-                );
-                let req = Request {
-                    id,
-                    arrival_ns: ingress.now_ns(),
-                    op: net_req.op,
-                    rng_seed: net_req.rng_seed,
-                };
-                if !ingress.offer(req) {
-                    // Reject-on-full admission: answer immediately so the
-                    // client's accounting stays complete.
-                    shared.routes.lock().expect("routes poisoned").remove(&id);
-                    let _ = resp_tx.send(NetResponse {
-                        id: net_req.id,
-                        outcome: WireOutcome::Rejected,
-                        queue_ns: 0,
-                        service_ns: 0,
-                    });
-                }
-            }
-            Ok(Some(Frame::Shutdown)) => {
-                shared.shutting_down.store(true, Ordering::SeqCst);
-                let _ = ack_tx.send(());
-                // Wait until the ack is on the wire (Err = the writer
-                // died earlier; nothing to wait for): the acceptor
-                // unblocks next, and the server may exit right after.
-                let _ = ack_done_rx.recv();
-                // Force-close every registered connection (including this
-                // one): readers blocked on idle clients see EOF and exit
-                // instead of holding the server open.
-                for conn in shared
-                    .conns
-                    .lock()
-                    .expect("connection registry poisoned")
-                    .iter()
-                {
-                    let _ = conn.shutdown(Shutdown::Read);
-                }
-                // Wake the acceptor out of its blocking accept.
-                let _ = TcpStream::connect(local_addr);
-                return;
-            }
-            // A client sending server-only frames is violating the
-            // protocol; drop the connection. EOF and corrupt streams end
-            // the connection the same way.
-            Ok(Some(Frame::Response(_) | Frame::ShutdownAck)) | Ok(None) | Err(_) => return,
+    fn backlog(&self) -> usize {
+        self.out.len() - self.sent
+    }
+
+    fn desired_interest(&self) -> Option<Interest> {
+        let read = self.pending.is_empty() && !self.read_paused;
+        let write = self.backlog() > 0;
+        match (read, write) {
+            (true, true) => Some(Interest::BOTH),
+            (true, false) => Some(Interest::READABLE),
+            (false, true) => Some(Interest::WRITABLE),
+            (false, false) => None,
         }
+    }
+}
+
+fn append_frame(out: &mut Vec<u8>, frame: &Frame) {
+    let payload = wire::encode(frame);
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&payload);
+}
+
+fn would_block(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::WouldBlock
+}
+
+fn interrupted(e: &io::Error) -> bool {
+    e.kind() == io::ErrorKind::Interrupted
+}
+
+/// The event loop proper. Runs as the `serve_source` feed on the calling
+/// thread; returning closes the queue and stops the workers.
+struct EventLoop<'e, 'q> {
+    poller: &'e Poller,
+    listener: &'e TcpListener,
+    ingress: &'e Ingress<'q>,
+    shared: &'e Shared,
+    /// Connection slab; `Token(slot + 1)` maps events back to slots.
+    conns: Vec<Option<Conn>>,
+    /// Per-slot generation, bumped on close so stale responses die.
+    gens: Vec<u64>,
+    free: Vec<usize>,
+    /// Total decoded-but-unoffered requests across all connections.
+    pending_total: usize,
+    draining: bool,
+    listener_registered: bool,
+}
+
+impl EventLoop<'_, '_> {
+    fn run(mut self) -> io::Result<()> {
+        let mut events = Events::with_capacity(1024);
+        loop {
+            self.deliver_responses();
+            if self.pending_total > 0 {
+                self.retry_pending();
+            }
+            if self.drain_ready() {
+                // Bytes queued on a socket before the shutdown frame was
+                // written are visible to a zero-timeout poll (level
+                // triggered): only an empty one proves there is nothing
+                // left to serve.
+                let n = self.poll_once(&mut events, Some(Duration::ZERO))?;
+                self.deliver_responses();
+                if n == 0 && self.drain_ready() {
+                    return self.send_acks(&mut events);
+                }
+                continue;
+            }
+            let timeout = if self.pending_total > 0 {
+                Some(RETRY_TIMEOUT)
+            } else {
+                None
+            };
+            self.poll_once(&mut events, timeout)?;
+        }
+    }
+
+    /// One poll plus event handling; returns the number of events.
+    fn poll_once(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        self.poller.poll(events, timeout)?;
+        for ev in events.iter() {
+            let token = ev.token();
+            if token == Poller::WAKE {
+                continue; // outbox is drained at the top of the loop
+            }
+            if token == LISTENER {
+                self.accept_ready()?;
+                continue;
+            }
+            let slot = token.0 - 1;
+            if ev.is_readable() {
+                self.handle_readable(slot);
+            } else if ev.is_writable() {
+                self.flush_and_sync(slot);
+            }
+        }
+        Ok(events.len())
+    }
+
+    /// Accepts until the listener would block.
+    fn accept_ready(&mut self) -> io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.draining || stream.set_nonblocking(true).is_err() {
+                        continue; // late connection: closed by drop
+                    }
+                    // Pipelined clients wait on responses; Nagle would
+                    // stall each small response behind a delayed ACK.
+                    let _ = stream.set_nodelay(true);
+                    let slot = self.free.pop().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.gens.push(0);
+                        self.conns.len() - 1
+                    });
+                    let mut conn = Conn::new(stream, self.gens[slot]);
+                    if self
+                        .poller
+                        .register(conn.stream.as_raw_fd(), Token(slot + 1), Interest::READABLE)
+                        .is_ok()
+                    {
+                        conn.registered = Some(Interest::READABLE);
+                        self.conns[slot] = Some(conn);
+                    } else {
+                        self.free.push(slot);
+                    }
+                }
+                Err(e) if would_block(&e) => return Ok(()),
+                Err(e) if interrupted(&e) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Reads a connection until it would block, is paused by admission /
+    /// write backpressure, or dies.
+    fn handle_readable(&mut self, slot: usize) {
+        let Some(mut conn) = self.conns[slot].take() else {
+            return;
+        };
+        let mut buf = [0u8; READ_CHUNK];
+        let mut dead = false;
+        loop {
+            if !conn.pending.is_empty() || conn.read_paused {
+                break;
+            }
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.decoder.extend(&buf[..n]);
+                    if !self.process_frames(slot, &mut conn) {
+                        dead = true; // protocol violation or corrupt stream
+                        break;
+                    }
+                    if n < buf.len() {
+                        break; // drained the socket (probably)
+                    }
+                }
+                Err(e) if would_block(&e) => break,
+                Err(e) if interrupted(&e) => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            self.close(slot, conn);
+            return;
+        }
+        self.conns[slot] = Some(conn);
+        self.flush_and_sync(slot);
+    }
+
+    /// Decodes every complete frame buffered on `conn` and dispatches.
+    /// False = drop the connection.
+    fn process_frames(&mut self, slot: usize, conn: &mut Conn) -> bool {
+        loop {
+            match conn.decoder.next_frame() {
+                Ok(Some(Frame::Request(req))) => {
+                    conn.pending.push_back(PendingReq {
+                        client_id: req.id,
+                        op: req.op,
+                        rng_seed: req.rng_seed,
+                        arrival_ns: self.ingress.now_ns(),
+                    });
+                    self.pending_total += 1;
+                }
+                Ok(Some(Frame::Shutdown)) => {
+                    conn.wants_ack = true;
+                    self.draining = true;
+                    self.stop_accepting();
+                }
+                // Clients must not send server-only frames.
+                Ok(Some(Frame::Response(_) | Frame::ShutdownAck)) => return false,
+                Ok(None) => break,
+                Err(_) => return false,
+            }
+        }
+        self.dispatch(slot, conn);
+        true
+    }
+
+    /// Offers this connection's pending requests in order until the
+    /// queue saturates. The route is inserted *before* the offer: once a
+    /// worker can see the request, its response has somewhere to go.
+    fn dispatch(&mut self, slot: usize, conn: &mut Conn) {
+        while let Some(&p) = conn.pending.front() {
+            let id = self.ingress.claim_id();
+            self.lock_table().routes.insert(
+                id,
+                RouteEntry {
+                    slot,
+                    gen: conn.gen,
+                    client_id: p.client_id,
+                },
+            );
+            let req = Request {
+                id,
+                arrival_ns: p.arrival_ns,
+                op: p.op,
+                rng_seed: p.rng_seed,
+            };
+            match self.ingress.offer_nonblocking(req) {
+                Offer::Admitted => {
+                    conn.pending.pop_front();
+                    self.pending_total -= 1;
+                }
+                Offer::Rejected => {
+                    // Reject-on-full answers immediately so the client's
+                    // accounting stays complete.
+                    self.lock_table().routes.remove(&id);
+                    append_frame(
+                        &mut conn.out,
+                        &Frame::Response(NetResponse {
+                            id: p.client_id,
+                            outcome: WireOutcome::Rejected,
+                            queue_ns: 0,
+                            service_ns: 0,
+                        }),
+                    );
+                    conn.pending.pop_front();
+                    self.pending_total -= 1;
+                }
+                Offer::Saturated => {
+                    self.lock_table().routes.remove(&id);
+                    break; // intake pauses; retried on worker wakes
+                }
+            }
+        }
+    }
+
+    /// Retries saturated connections once queue space may exist.
+    fn retry_pending(&mut self) {
+        for slot in 0..self.conns.len() {
+            let Some(mut conn) = self.conns[slot].take() else {
+                continue;
+            };
+            if conn.pending.is_empty() {
+                self.conns[slot] = Some(conn);
+                continue;
+            }
+            self.dispatch(slot, &mut conn);
+            self.conns[slot] = Some(conn);
+            self.flush_and_sync(slot);
+        }
+    }
+
+    /// Moves completed responses from the shared outbox into their
+    /// connections' write buffers (dropping responses whose connection
+    /// died) and flushes.
+    fn deliver_responses(&mut self) {
+        let batch = std::mem::take(&mut self.lock_table().outbox);
+        if batch.is_empty() {
+            return;
+        }
+        let mut touched = Vec::new();
+        for (slot, gen, resp) in batch {
+            if self.gens.get(slot) == Some(&gen) {
+                if let Some(conn) = self.conns[slot].as_mut() {
+                    append_frame(&mut conn.out, &Frame::Response(resp));
+                    if !touched.contains(&slot) {
+                        touched.push(slot);
+                    }
+                }
+            }
+        }
+        for slot in touched {
+            self.flush_and_sync(slot);
+        }
+    }
+
+    /// Writes a connection's buffer until done or blocked, updates the
+    /// backpressure latch, and re-syncs its poller interest.
+    fn flush_and_sync(&mut self, slot: usize) {
+        let Some(mut conn) = self.conns[slot].take() else {
+            return;
+        };
+        let mut dead = false;
+        while conn.sent < conn.out.len() {
+            match conn.stream.write(&conn.out[conn.sent..]) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => conn.sent += n,
+                Err(e) if would_block(&e) => break,
+                Err(e) if interrupted(&e) => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if dead {
+            self.close(slot, conn);
+            return;
+        }
+        if conn.sent == conn.out.len() {
+            conn.out.clear();
+            conn.sent = 0;
+        }
+        if conn.backlog() >= HIGH_WATER {
+            conn.read_paused = true;
+        } else if conn.backlog() <= LOW_WATER {
+            conn.read_paused = false;
+        }
+        self.sync_interest(slot, &mut conn);
+        self.conns[slot] = Some(conn);
+    }
+
+    fn sync_interest(&self, slot: usize, conn: &mut Conn) {
+        let desired = conn.desired_interest();
+        if desired == conn.registered {
+            return;
+        }
+        let fd = conn.stream.as_raw_fd();
+        let token = Token(slot + 1);
+        let ok = match (conn.registered, desired) {
+            (None, Some(i)) => self.poller.register(fd, token, i).is_ok(),
+            (Some(_), Some(i)) => self.poller.reregister(fd, token, i).is_ok(),
+            (Some(_), None) => self.poller.deregister(fd).is_ok(),
+            (None, None) => true,
+        };
+        if ok {
+            conn.registered = desired;
+        }
+    }
+
+    /// Releases a connection: deregisters, bumps the slot generation (so
+    /// in-flight responses die in the outbox), forgets its pendings.
+    fn close(&mut self, slot: usize, conn: Conn) {
+        if conn.registered.is_some() {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        }
+        self.pending_total -= conn.pending.len();
+        self.gens[slot] += 1;
+        self.free.push(slot);
+    }
+
+    fn stop_accepting(&mut self) {
+        if self.listener_registered {
+            let _ = self.poller.deregister(self.listener.as_raw_fd());
+            self.listener_registered = false;
+        }
+    }
+
+    /// True once the drain is complete: shutdown requested, nothing
+    /// pending, nothing in flight, nothing undelivered, every write
+    /// buffer flushed.
+    fn drain_ready(&mut self) -> bool {
+        if !self.draining || self.pending_total > 0 {
+            return false;
+        }
+        if self.conns.iter().flatten().any(|c| c.backlog() > 0) {
+            return false;
+        }
+        let table = self.lock_table();
+        table.routes.is_empty() && table.outbox.is_empty()
+    }
+
+    /// Queues the shutdown ack(s) and returns once they are on the wire
+    /// (or their connections are gone).
+    fn send_acks(mut self, events: &mut Events) -> io::Result<()> {
+        for conn in self.conns.iter_mut().flatten() {
+            if conn.wants_ack {
+                append_frame(&mut conn.out, &Frame::ShutdownAck);
+            }
+        }
+        loop {
+            for slot in 0..self.conns.len() {
+                if self.conns[slot].as_ref().is_some_and(|c| c.backlog() > 0) {
+                    self.flush_and_sync(slot);
+                }
+            }
+            if !self.conns.iter().flatten().any(|c| c.backlog() > 0) {
+                return Ok(());
+            }
+            self.poll_once(events, Some(RETRY_TIMEOUT))?;
+        }
+    }
+
+    fn lock_table(&self) -> std::sync::MutexGuard<'_, RouteTable> {
+        self.shared.table.lock().expect("route table poisoned")
     }
 }
 
@@ -174,6 +547,9 @@ fn handle_connection(
 /// off the wire), and the merged report carries the same
 /// queue-wait/service-time decomposition an in-process run produces,
 /// with `schedule` set to `net:<addr>`.
+///
+/// The calling thread becomes the I/O event loop; total server threads
+/// are `1 + cfg.workers` regardless of connection count.
 pub fn serve_net<B: Backend>(
     backend: &B,
     params: &StructureParams,
@@ -181,46 +557,54 @@ pub fn serve_net<B: Backend>(
     listener: TcpListener,
 ) -> io::Result<ServeResult> {
     let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let poller = Poller::new()?;
+    poller.register(listener.as_raw_fd(), LISTENER, Interest::READABLE)?;
     let shared = Shared {
-        routes: Mutex::new(HashMap::new()),
-        conns: Mutex::new(Vec::new()),
-        shutting_down: AtomicBool::new(false),
+        table: Mutex::new(RouteTable::default()),
+        waker: poller.waker(),
     };
 
     let observe = |req: &Request, outcome: &OpOutcome, start_ns: u64, end_ns: u64| {
-        let route = shared
-            .routes
-            .lock()
-            .expect("routes poisoned")
-            .remove(&req.id);
-        if let Some(route) = route {
-            // A vanished client is not a server error: its writer thread
-            // is gone and the send just fails.
-            let _ = route.resp_tx.send(NetResponse {
-                id: route.client_id,
-                outcome: WireOutcome::from(*outcome),
-                queue_ns: start_ns.saturating_sub(req.arrival_ns),
-                service_ns: end_ns.saturating_sub(start_ns),
-            });
+        let wake = {
+            let mut table = shared.table.lock().expect("route table poisoned");
+            match table.routes.remove(&req.id) {
+                Some(route) => {
+                    let wake = table.outbox.is_empty();
+                    table.outbox.push((
+                        route.slot,
+                        route.gen,
+                        NetResponse {
+                            id: route.client_id,
+                            outcome: WireOutcome::from(*outcome),
+                            queue_ns: start_ns.saturating_sub(req.arrival_ns),
+                            service_ns: end_ns.saturating_sub(start_ns),
+                        },
+                    ));
+                    wake
+                }
+                None => false,
+            }
+        };
+        if wake {
+            let _ = shared.waker.wake();
         }
     };
 
     let feed = |ingress: &Ingress<'_>| -> io::Result<()> {
-        thread::scope(|scope| {
-            loop {
-                let (stream, _) = listener.accept()?;
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    // The wake-up connection (or a late client); stop
-                    // accepting. Remaining readers were unblocked by the
-                    // shutdown handler's socket close.
-                    return Ok(());
-                }
-                let shared = &shared;
-                scope.spawn(move || {
-                    handle_connection(stream, ingress, shared, local_addr);
-                });
-            }
-        })
+        EventLoop {
+            poller: &poller,
+            listener: &listener,
+            ingress,
+            shared: &shared,
+            conns: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            pending_total: 0,
+            draining: false,
+            listener_registered: true,
+        }
+        .run()
     };
 
     let (mut result, fed) = serve_source(backend, params, cfg, feed, observe);

@@ -313,6 +313,63 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
     Ok(Some(decode(&payload)?))
 }
 
+/// An incremental frame decoder for nonblocking sockets: accepts
+/// arbitrary byte fragments via [`FrameDecoder::extend`] and yields
+/// complete frames via [`FrameDecoder::next_frame`] as soon as their
+/// bytes are all in. Splitting a stream at any byte boundary yields
+/// exactly the frames of whole-buffer decoding (pinned by proptest).
+///
+/// Errors are terminal for the stream: the buffer is left as-is and the
+/// owner is expected to drop the connection.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    at: usize,
+}
+
+impl FrameDecoder {
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends freshly-read bytes, compacting consumed ones first so the
+    /// buffer never grows past the unconsumed tail plus one read.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        if self.at > 0 {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// The next complete frame, `Ok(None)` when more bytes are needed.
+    /// The oversized check runs as soon as the 4 length bytes are in —
+    /// before the payload arrives — like [`read_frame`]'s
+    /// pre-allocation check.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.at..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(avail[..4].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(WireError::Oversized(len));
+        }
+        let total = 4 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let frame = decode(&avail[4..total])?;
+        self.at += total;
+        Ok(Some(frame))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,6 +535,63 @@ mod tests {
         stream.push(payload[0]); // half the payload, then EOF
         let err = read_frame(&mut std::io::Cursor::new(stream)).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn incremental_decoder_yields_frames_across_arbitrary_fragments() {
+        let frames = vec![
+            Frame::Request(NetRequest {
+                id: 1,
+                op: OpKind::T1,
+                rng_seed: 2,
+            }),
+            Frame::Response(NetResponse {
+                id: 1,
+                outcome: WireOutcome::Fail("reason".into()),
+                queue_ns: 3,
+                service_ns: 4,
+            }),
+            Frame::Shutdown,
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            write_frame(&mut stream, f).unwrap();
+        }
+        // One byte at a time: each frame must pop the instant its last
+        // byte lands, never before.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            assert_eq!(dec.next_frame().unwrap(), None, "no frame before its bytes");
+            dec.extend(&[b]);
+            if let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(dec.buffered(), 0);
+
+        // Everything at once: all three pop back-to-back.
+        let mut dec = FrameDecoder::new();
+        dec.extend(&stream);
+        for f in &frames {
+            assert_eq!(dec.next_frame().unwrap().as_ref(), Some(f));
+        }
+        assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_oversized_and_malformed_frames() {
+        // Oversized length prefix errors before the payload arrives.
+        let mut dec = FrameDecoder::new();
+        dec.extend(&u32::MAX.to_be_bytes());
+        assert_eq!(dec.next_frame(), Err(WireError::Oversized(u32::MAX)));
+
+        // A malformed payload surfaces the decode error.
+        let mut dec = FrameDecoder::new();
+        dec.extend(&2u32.to_be_bytes());
+        dec.extend(&[9, 0x01]);
+        assert_eq!(dec.next_frame(), Err(WireError::BadVersion(9)));
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! The idle-connection soak: thousands of registered, silent
+//! connections held on the event loop for minutes while a hot pipelined
+//! subset keeps working. Ignored by default — nightly CI runs it with
+//! `C10K_SOAK_SECS=180 cargo test --release -p stmbench7-net --test
+//! c10k_soak -- --ignored --nocapture`.
+
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use stmbench7_backend::{AnyBackend, BackendChoice};
+use stmbench7_core::WorkloadType;
+use stmbench7_data::{StructureParams, Workspace};
+use stmbench7_net::{drive, serve_net, shutdown, DriveConfig};
+use stmbench7_service::{Schedule, ServeConfig};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// This process's resident set, in kilobytes, from `/proc/self/status`
+/// (the server and the herd live in this process, so it covers both
+/// ends of every connection).
+fn vm_rss_kb() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").expect("/proc/self/status");
+    status
+        .lines()
+        .find(|l| l.starts_with("VmRSS:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse().ok())
+        .expect("VmRSS line")
+}
+
+#[test]
+#[ignore = "multi-minute soak; opt in via --ignored (see module doc)"]
+fn idle_herd_survives_a_soak_with_zero_drops_and_bounded_rss() {
+    let soak_secs = env_u64("C10K_SOAK_SECS", 30);
+    let herd = env_u64("C10K_SOAK_CONNS", 5_000) as usize;
+    // Both ends of every loopback connection are fds in this process.
+    stmbench7_poll::raise_nofile_limit((herd * 2 + 1024) as u64).expect("raise RLIMIT_NOFILE");
+
+    let params = StructureParams::tiny();
+    let ws = Workspace::build(params.clone(), 7);
+    let backend = AnyBackend::build(BackendChoice::Medium, ws);
+    let mut server_cfg =
+        ServeConfig::new(Schedule::Closed { clients: 2 }, WorkloadType::ReadWrite, 7);
+    server_cfg.workers = 2;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral loopback port");
+    let addr = listener.local_addr().unwrap();
+    std::thread::scope(|scope| {
+        let backend = &backend;
+        let params = &params;
+        let server_cfg = &server_cfg;
+        let server = scope.spawn(move || serve_net(backend, params, server_cfg, listener));
+
+        let idle: Vec<TcpStream> = (0..herd)
+            .map(|_| TcpStream::connect(addr).expect("idle connection"))
+            .collect();
+        println!("herd of {herd} idle connections established");
+
+        let mut cfg = DriveConfig::new(
+            Schedule::Open { rate: 20_000.0 },
+            WorkloadType::ReadWrite,
+            11,
+        );
+        cfg.connections = 4;
+        cfg.inflight = 8;
+
+        // First burst warms allocator pools (slab, buffers, histograms)
+        // before the RSS baseline is taken.
+        let requests = cfg.generate(500);
+        let warm = drive(addr, &cfg, &requests).expect("warmup burst");
+        assert!(warm.outcomes.iter().all(Option::is_some));
+        let rss_start = vm_rss_kb();
+
+        let deadline = Instant::now() + Duration::from_secs(soak_secs);
+        let mut bursts = 0u64;
+        let mut seed = 12u64;
+        while Instant::now() < deadline {
+            let mut cfg = cfg.clone();
+            cfg.seed = seed;
+            seed += 1;
+            let requests = cfg.generate(500);
+            let result = drive(addr, &cfg, &requests).expect("soak burst");
+            assert!(
+                result.outcomes.iter().all(Option::is_some),
+                "burst {bursts}: dropped frames alongside the idle herd"
+            );
+            let svc = result.report.service.as_ref().expect("service stats");
+            assert_eq!(
+                svc.reconnects, 0,
+                "burst {bursts}: the loopback soak must not lose connections"
+            );
+            bursts += 1;
+            std::thread::sleep(Duration::from_millis(500));
+        }
+        let rss_end = vm_rss_kb();
+        println!("{bursts} bursts over {soak_secs}s, RSS {rss_start} -> {rss_end} kB");
+        assert!(bursts >= 1, "the soak must have done work");
+        // Bounded residency: the loop may warm buffers a little, but a
+        // herd held for minutes must not grow the process materially.
+        assert!(
+            rss_end <= rss_start + 64 * 1024,
+            "RSS grew by {} kB over the soak",
+            rss_end - rss_start
+        );
+
+        drop(idle);
+        shutdown(addr).expect("graceful shutdown after the soak");
+        server
+            .join()
+            .expect("server thread panicked")
+            .expect("server exits cleanly");
+    });
+}

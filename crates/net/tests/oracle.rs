@@ -133,6 +133,58 @@ fn remote_drive_matches_the_local_sequential_oracle() {
 }
 
 #[test]
+fn pipelined_drive_matches_the_local_sequential_oracle() {
+    // The pipelined variant of the oracle: an --inflight 8 window keeps
+    // up to eight requests in flight on the single connection, but a
+    // connection's requests are dispatched in arrival order and one
+    // worker completes them in order — pipelining changes pacing, never
+    // semantics.
+    let mut drive_cfg = DriveConfig::new(
+        Schedule::Open { rate: 500_000.0 },
+        WorkloadType::ReadWrite,
+        42,
+    );
+    drive_cfg.inflight = 8;
+    let requests = drive_cfg.generate(400);
+
+    let mut server_cfg =
+        ServeConfig::new(Schedule::Closed { clients: 1 }, WorkloadType::ReadWrite, 42);
+    server_cfg.workers = 1;
+
+    let (params, remote_backend) = build(BackendChoice::Sequential);
+    let (client, served) =
+        drive_loopback(&remote_backend, &params, &server_cfg, &drive_cfg, &requests);
+
+    let (params, local_backend) = build(BackendChoice::Sequential);
+    let local_cfg = ServeConfig::new(drive_cfg.schedule, WorkloadType::ReadWrite, 42);
+    let local = run_stream_closed(&local_backend, &params, &local_cfg, &requests);
+
+    assert_eq!(client.outcomes.len(), local.outcomes.len());
+    for (i, (remote, in_process)) in client.outcomes.iter().zip(&local.outcomes).enumerate() {
+        let in_process = in_process.expect("closed-loop run executes everything");
+        assert_eq!(
+            remote.as_ref(),
+            Some(&WireOutcome::from(in_process)),
+            "request {i} ({:?}) diverged under pipelining",
+            requests[i].op
+        );
+    }
+    let census_remote = validate(&remote_backend.export()).expect("remote structure valid");
+    let census_local = validate(&local_backend.export()).expect("local structure valid");
+    assert_eq!(census_remote, census_local);
+
+    let svc = client
+        .report
+        .service
+        .as_ref()
+        .expect("client service stats");
+    assert_eq!(svc.offered, 400);
+    assert_eq!(svc.reconnects, 0, "a healthy loopback drive never retries");
+    assert_eq!(svc.e2e.samples(), 400);
+    assert_eq!(served.report.total_started(), 400);
+}
+
+#[test]
 fn multi_connection_drive_accounts_for_every_request() {
     // Four connections and two workers: order is no longer deterministic
     // (so no outcome oracle), but nothing may be lost, every lane must

@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 use stmbench7_core::OpKind;
-use stmbench7_net::wire::{decode, encode, Frame, NetRequest, NetResponse, WireOutcome};
+use stmbench7_net::wire::{
+    decode, encode, Frame, FrameDecoder, NetRequest, NetResponse, WireOutcome,
+};
 
 /// Builds a frame from generated integers so every variant and every
 /// outcome shape is covered.
@@ -86,6 +88,45 @@ proptest! {
         let f = frame(kind, id, op_idx, a, b, reason_len);
         let decoded = decode(&encode(&f));
         prop_assert_eq!(decoded.as_ref(), Ok(&f));
+    }
+
+    /// Feeding a length-prefixed stream of frames to the incremental
+    /// decoder in arbitrary fragment sizes yields exactly the frames a
+    /// whole-buffer decode would, with nothing left buffered — TCP may
+    /// split the stream anywhere, including inside a length prefix.
+    #[test]
+    fn incremental_decoding_is_identical_at_random_split_points(
+        specs in proptest::collection::vec(
+            (0u8..6, any::<u64>(), any::<u8>(), any::<u64>(), any::<u64>(), any::<u8>()),
+            1..8,
+        ),
+        splits in proptest::collection::vec(1usize..16, 1..32),
+    ) {
+        let frames: Vec<Frame> = specs
+            .iter()
+            .map(|&(kind, id, op_idx, a, b, reason_len)| frame(kind, id, op_idx, a, b, reason_len))
+            .collect();
+        let mut stream = Vec::new();
+        for f in &frames {
+            let payload = encode(f);
+            stream.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            stream.extend_from_slice(&payload);
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut at = 0;
+        let mut turn = 0;
+        while at < stream.len() {
+            let end = (at + splits[turn % splits.len()]).min(stream.len());
+            turn += 1;
+            decoder.extend(&stream[at..end]);
+            while let Some(f) = decoder.next_frame().expect("a valid stream never errors") {
+                got.push(f);
+            }
+            at = end;
+        }
+        prop_assert_eq!(&got, &frames);
+        prop_assert_eq!(decoder.buffered(), 0, "nothing may linger after a whole stream");
     }
 
     /// Flipping any single byte of a valid frame either fails to decode

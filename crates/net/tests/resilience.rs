@@ -1,0 +1,176 @@
+//! Transport-fault behavior: the driver survives a server that drops
+//! connections mid-drive (reconnect + re-send, counted in the report),
+//! and the event-loop server drains pipelined in-flight requests before
+//! acknowledging a shutdown.
+
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+
+use stmbench7_backend::{AnyBackend, BackendChoice};
+use stmbench7_core::{OpKind, WorkloadType};
+use stmbench7_data::{StructureParams, Workspace};
+use stmbench7_net::wire::{read_frame, write_frame};
+use stmbench7_net::{drive, serve_net, DriveConfig, Frame, NetRequest, NetResponse, WireOutcome};
+use stmbench7_service::{Schedule, ServeConfig};
+
+/// A hand-rolled wire-speaking server that answers `flake_after`
+/// requests on its first connection and then drops it abruptly; every
+/// later connection is served faithfully until the client hangs up.
+fn flaky_server(listener: TcpListener, flake_after: usize) -> std::io::Result<()> {
+    let mut first = true;
+    loop {
+        let (stream, _) = listener.accept()?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut stream = stream;
+        let mut served = 0usize;
+        loop {
+            let frame = match read_frame(&mut reader) {
+                Ok(Some(f)) => f,
+                // Client hung up: the drive is complete.
+                Ok(None) => return Ok(()),
+                Err(e) => return Err(e),
+            };
+            let Frame::Request(req) = frame else {
+                return Ok(());
+            };
+            write_frame(
+                &mut stream,
+                &Frame::Response(NetResponse {
+                    id: req.id,
+                    outcome: WireOutcome::Done(0),
+                    queue_ns: 1_000,
+                    service_ns: 2_000,
+                }),
+            )?;
+            served += 1;
+            if first && served >= flake_after {
+                // Drop the connection with requests likely still in
+                // flight: the client must reconnect and re-send.
+                drop(stream);
+                drop(reader);
+                first = false;
+                break;
+            }
+        }
+    }
+}
+
+#[test]
+fn driver_reconnects_through_a_dropped_connection_and_counts_it() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral loopback port");
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || flaky_server(listener, 1));
+
+    let mut cfg = DriveConfig::new(Schedule::Closed { clients: 1 }, WorkloadType::ReadWrite, 9);
+    cfg.inflight = 4;
+    let requests = cfg.generate(12);
+    let result = drive(addr, &cfg, &requests).expect("drive survives the dropped connection");
+    server
+        .join()
+        .expect("flaky server panicked")
+        .expect("flaky server exits cleanly");
+
+    assert!(
+        result.outcomes.iter().all(Option::is_some),
+        "every request answered despite the drop"
+    );
+    let svc = result.report.service.as_ref().expect("service stats");
+    assert!(
+        svc.reconnects >= 1,
+        "the drop must be visible in the ledger, got {}",
+        svc.reconnects
+    );
+    assert_eq!(svc.offered, 12);
+    assert_eq!(svc.e2e.samples(), 12);
+}
+
+#[test]
+fn unreachable_server_exhausts_the_reconnect_budget() {
+    // Bind and immediately drop: nothing listens on the port, so every
+    // connect is refused and the budget (not a hang) ends the drive.
+    let addr = {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral loopback port");
+        listener.local_addr().unwrap()
+    };
+    let cfg = DriveConfig::new(Schedule::Closed { clients: 1 }, WorkloadType::ReadWrite, 9);
+    let requests = cfg.generate(4);
+    assert!(
+        drive(addr, &cfg, &requests).is_err(),
+        "a dead server must surface as an error, not a hang"
+    );
+}
+
+#[test]
+fn shutdown_waits_for_pipelined_requests_on_other_connections() {
+    // Connection B has eight pipelined requests in flight when
+    // connection A asks for shutdown: the ack may only be written after
+    // every one of B's responses — receiving the ack proves B's
+    // responses are already on the wire.
+    let params = StructureParams::tiny();
+    let ws = Workspace::build(params.clone(), 7);
+    let backend = AnyBackend::build(BackendChoice::Sequential, ws);
+    let mut server_cfg =
+        ServeConfig::new(Schedule::Closed { clients: 1 }, WorkloadType::ReadWrite, 7);
+    server_cfg.workers = 1;
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral loopback port");
+    let addr = listener.local_addr().unwrap();
+    let served = std::thread::scope(|scope| {
+        let backend = &backend;
+        let params = &params;
+        let server_cfg = &server_cfg;
+        let server = scope.spawn(move || serve_net(backend, params, server_cfg, listener));
+
+        let mut b = TcpStream::connect(addr).expect("connection B");
+        let mut b_reader = BufReader::new(b.try_clone().unwrap());
+        for client_id in 0..8u64 {
+            write_frame(
+                &mut b,
+                &Frame::Request(NetRequest {
+                    id: client_id,
+                    op: OpKind::ALL[client_id as usize % OpKind::ALL.len()],
+                    rng_seed: client_id,
+                }),
+            )
+            .expect("pipelined request");
+        }
+        // Wait for one response: the server has certainly started
+        // reading B, and B's remaining requests sit in its buffers.
+        let first = read_frame(&mut b_reader)
+            .expect("read B's first response")
+            .expect("B's first response");
+        assert!(matches!(first, Frame::Response(_)));
+
+        let mut a = TcpStream::connect(addr).expect("connection A");
+        let mut a_reader = BufReader::new(a.try_clone().unwrap());
+        write_frame(&mut a, &Frame::Shutdown).expect("shutdown frame");
+        let ack = read_frame(&mut a_reader)
+            .expect("read shutdown ack")
+            .expect("shutdown ack");
+        assert!(matches!(ack, Frame::ShutdownAck), "got {ack:?}");
+
+        // The ack is in hand: the remaining seven responses must already
+        // be readable, in B's request order.
+        for expected_id in 1..8u64 {
+            let frame = read_frame(&mut b_reader)
+                .expect("read drained response")
+                .expect("response drained before the ack");
+            let Frame::Response(resp) = frame else {
+                panic!("non-response on B after the ack: {frame:?}");
+            };
+            assert_eq!(resp.id, expected_id, "responses keep B's request order");
+        }
+
+        server
+            .join()
+            .expect("server thread panicked")
+            .expect("server exits cleanly")
+    });
+    let svc = served
+        .report
+        .service
+        .as_ref()
+        .expect("server service stats");
+    assert_eq!(svc.offered, 8, "all of B's pipelined requests executed");
+    assert_eq!(served.report.total_started(), 8);
+}

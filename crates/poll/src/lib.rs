@@ -1,0 +1,619 @@
+//! stmbench7-poll — a readiness-polling subset (mio-like) over raw Linux
+//! `epoll`.
+//!
+//! The build environment has no registry access, so this crate follows the
+//! same offline discipline as `vendor/`: it is a small, dependency-free
+//! stand-in for the part of `mio` the net server needs, not a fork of it.
+//! `std` already links libc, so the epoll/eventfd/rlimit symbols are
+//! declared directly with `extern "C"` — no `libc` crate required.
+//!
+//! Surface:
+//!
+//! - [`Poller`] — an epoll instance. [`Poller::register`] associates a raw
+//!   fd with a [`Token`] and an [`Interest`] (readable/writable);
+//!   [`Poller::poll`] blocks until something is ready and fills an
+//!   [`Events`] buffer.
+//! - [`Trigger`] — level- (default) or edge-triggered readiness, chosen
+//!   per poller at construction.
+//! - [`Waker`] — an `eventfd` registered at poller creation under
+//!   [`Poller::WAKE`]; any thread can [`Waker::wake`] a blocked `poll`.
+//!   This replaces the PR 5 self-connect shutdown hack.
+//! - [`raise_nofile_limit`] — lifts the soft `RLIMIT_NOFILE` toward the
+//!   hard limit so c10k-scale runs don't die on fd exhaustion (CI runners
+//!   default to a 1024 soft limit).
+//!
+//! Linux-only, like the CI runners and the benchmark container.
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::sync::Arc;
+use std::time::Duration;
+
+mod sys {
+    use std::os::raw::{c_int, c_void};
+
+    // The kernel packs epoll_event on x86-64 (12 bytes); other
+    // architectures use natural alignment.
+    #[cfg_attr(any(target_arch = "x86_64", target_arch = "x86"), repr(C, packed))]
+    #[cfg_attr(not(any(target_arch = "x86_64", target_arch = "x86")), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    pub struct rlimit {
+        pub rlim_cur: u64,
+        pub rlim_max: u64,
+    }
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+    pub const EPOLLET: u32 = 1 << 31;
+
+    pub const EFD_CLOEXEC: c_int = 0o2000000;
+    pub const EFD_NONBLOCK: c_int = 0o4000;
+
+    pub const RLIMIT_NOFILE: c_int = 7;
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn eventfd(initval: u32, flags: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+        pub fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+        pub fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+    }
+}
+
+/// Identifies a registration; returned inside each readiness [`Event`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Token(pub usize);
+
+/// Readable and/or writable interest for a registration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    pub const READABLE: Interest = Interest(1);
+    pub const WRITABLE: Interest = Interest(2);
+    pub const BOTH: Interest = Interest(3);
+
+    pub fn is_readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    pub fn is_writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    fn epoll_bits(self, trigger: Trigger) -> u32 {
+        let mut bits = sys::EPOLLRDHUP;
+        if self.is_readable() {
+            bits |= sys::EPOLLIN;
+        }
+        if self.is_writable() {
+            bits |= sys::EPOLLOUT;
+        }
+        if let Trigger::Edge = trigger {
+            bits |= sys::EPOLLET;
+        }
+        bits
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        Interest(self.0 | rhs.0)
+    }
+}
+
+/// Level-triggered readiness re-reports until the condition is consumed;
+/// edge-triggered reports each transition once.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trigger {
+    Level,
+    Edge,
+}
+
+/// One readiness notification.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    token: Token,
+    bits: u32,
+}
+
+impl Event {
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Readable — includes error/hang-up so the owner's next read
+    /// discovers the close.
+    pub fn is_readable(&self) -> bool {
+        self.bits & (sys::EPOLLIN | sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0
+    }
+
+    /// Writable — includes error/hang-up so the owner's next write
+    /// discovers the close.
+    pub fn is_writable(&self) -> bool {
+        self.bits & (sys::EPOLLOUT | sys::EPOLLERR | sys::EPOLLHUP) != 0
+    }
+
+    pub fn is_error(&self) -> bool {
+        self.bits & sys::EPOLLERR != 0
+    }
+
+    pub fn is_hangup(&self) -> bool {
+        self.bits & (sys::EPOLLHUP | sys::EPOLLRDHUP) != 0
+    }
+}
+
+/// Reusable buffer [`Poller::poll`] fills with ready [`Event`]s.
+pub struct Events {
+    buf: Vec<sys::epoll_event>,
+    len: usize,
+}
+
+impl Events {
+    pub fn with_capacity(cap: usize) -> Events {
+        assert!(cap >= 1, "events capacity must be at least 1");
+        Events {
+            buf: vec![sys::epoll_event { events: 0, data: 0 }; cap],
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|ev| {
+            // Copy out of the (possibly packed) struct before use.
+            let bits = ev.events;
+            let data = ev.data;
+            Event {
+                token: Token(data as usize),
+                bits,
+            }
+        })
+    }
+}
+
+/// The eventfd behind [`Waker`]; closed when the last handle drops.
+struct WakeFd {
+    fd: RawFd,
+}
+
+impl Drop for WakeFd {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.fd);
+        }
+    }
+}
+
+/// Wakes a [`Poller`] blocked in [`Poller::poll`] from any thread. The
+/// wake surfaces as an event carrying [`Poller::WAKE`].
+#[derive(Clone)]
+pub struct Waker {
+    fd: Arc<WakeFd>,
+}
+
+impl Waker {
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let n = unsafe {
+            sys::write(
+                self.fd.fd,
+                (&one as *const u64).cast(),
+                std::mem::size_of::<u64>(),
+            )
+        };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            // The counter being already at max still wakes the poller.
+            if err.kind() == io::ErrorKind::WouldBlock {
+                return Ok(());
+            }
+            return Err(err);
+        }
+        Ok(())
+    }
+}
+
+/// An epoll instance with an internal wake eventfd.
+pub struct Poller {
+    epfd: RawFd,
+    trigger: Trigger,
+    wake: Arc<WakeFd>,
+}
+
+impl Poller {
+    /// Token reserved for the internal wake eventfd; never use it for a
+    /// registration of your own.
+    pub const WAKE: Token = Token(usize::MAX);
+
+    /// A level-triggered poller.
+    pub fn new() -> io::Result<Poller> {
+        Poller::with_trigger(Trigger::Level)
+    }
+
+    /// A poller with an explicit trigger mode.
+    pub fn with_trigger(trigger: Trigger) -> io::Result<Poller> {
+        let epfd = unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let wake_fd = unsafe { sys::eventfd(0, sys::EFD_CLOEXEC | sys::EFD_NONBLOCK) };
+        if wake_fd < 0 {
+            let err = io::Error::last_os_error();
+            unsafe { sys::close(epfd) };
+            return Err(err);
+        }
+        let poller = Poller {
+            epfd,
+            trigger,
+            wake: Arc::new(WakeFd { fd: wake_fd }),
+        };
+        // The wake fd is always level-triggered readable-only; poll()
+        // drains it before reporting the WAKE event.
+        let mut ev = sys::epoll_event {
+            events: sys::EPOLLIN,
+            data: Poller::WAKE.0 as u64,
+        };
+        if unsafe { sys::epoll_ctl(poller.epfd, sys::EPOLL_CTL_ADD, wake_fd, &mut ev) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(poller)
+    }
+
+    /// A handle that wakes this poller from any thread.
+    pub fn waker(&self) -> Waker {
+        Waker {
+            fd: Arc::clone(&self.wake),
+        }
+    }
+
+    fn ctl(
+        &self,
+        op: std::os::raw::c_int,
+        fd: RawFd,
+        ev: Option<&mut sys::epoll_event>,
+    ) -> io::Result<()> {
+        let ptr = match ev {
+            Some(ev) => ev as *mut sys::epoll_event,
+            None => std::ptr::null_mut(),
+        };
+        if unsafe { sys::epoll_ctl(self.epfd, op, fd, ptr) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Starts watching `fd` under `token`.
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        assert!(
+            token != Poller::WAKE,
+            "Token(usize::MAX) is reserved for the waker"
+        );
+        let mut ev = sys::epoll_event {
+            events: interest.epoll_bits(self.trigger),
+            data: token.0 as u64,
+        };
+        self.ctl(sys::EPOLL_CTL_ADD, fd, Some(&mut ev))
+    }
+
+    /// Changes the token/interest of an already-registered `fd`.
+    pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        assert!(
+            token != Poller::WAKE,
+            "Token(usize::MAX) is reserved for the waker"
+        );
+        let mut ev = sys::epoll_event {
+            events: interest.epoll_bits(self.trigger),
+            data: token.0 as u64,
+        };
+        self.ctl(sys::EPOLL_CTL_MOD, fd, Some(&mut ev))
+    }
+
+    /// Stops watching `fd`.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Blocks until at least one registration is ready (or `timeout`
+    /// elapses; `None` waits forever), filling `events`. A wake via
+    /// [`Waker::wake`] is drained and surfaced as an event with
+    /// [`Poller::WAKE`].
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms: std::os::raw::c_int = match timeout {
+            None => -1,
+            Some(d) => {
+                // Round up so a nonzero timeout never becomes a busy spin.
+                let ms = d.as_millis();
+                if ms == 0 && d.as_nanos() > 0 {
+                    1
+                } else {
+                    ms.min(i32::MAX as u128) as std::os::raw::c_int
+                }
+            }
+        };
+        events.len = 0;
+        loop {
+            let n = unsafe {
+                sys::epoll_wait(
+                    self.epfd,
+                    events.buf.as_mut_ptr(),
+                    events.buf.len() as std::os::raw::c_int,
+                    timeout_ms,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    continue;
+                }
+                return Err(err);
+            }
+            events.len = n as usize;
+            break;
+        }
+        // Drain the wake counter so level-triggered polls don't spin on it.
+        for ev in events.buf[..events.len].iter() {
+            let data = ev.data;
+            if data as usize == Poller::WAKE.0 {
+                let mut counter: u64 = 0;
+                unsafe {
+                    sys::read(
+                        self.wake.fd,
+                        (&mut counter as *mut u64).cast(),
+                        std::mem::size_of::<u64>(),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            sys::close(self.epfd);
+        }
+    }
+}
+
+/// Raises the soft `RLIMIT_NOFILE` to at least `want` (capped at the hard
+/// limit) and returns the resulting soft limit. A no-op when the soft
+/// limit already suffices.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    unsafe {
+        let mut lim = sys::rlimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        if sys::getrlimit(sys::RLIMIT_NOFILE, &mut lim) != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if lim.rlim_cur >= want {
+            return Ok(lim.rlim_cur);
+        }
+        let raised = sys::rlimit {
+            rlim_cur: want.min(lim.rlim_max),
+            rlim_max: lim.rlim_max,
+        };
+        if sys::setrlimit(sys::RLIMIT_NOFILE, &raised) != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(raised.rlim_cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    const ACCEPT: Token = Token(1);
+    const CONN: Token = Token(2);
+
+    fn ready_tokens(poller: &Poller, events: &mut Events, timeout_ms: u64) -> Vec<Token> {
+        poller
+            .poll(events, Some(Duration::from_millis(timeout_ms)))
+            .expect("poll");
+        events.iter().map(|ev| ev.token()).collect()
+    }
+
+    #[test]
+    fn listener_and_stream_readiness_round_trip() {
+        let poller = Poller::new().expect("poller");
+        let mut events = Events::with_capacity(8);
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.set_nonblocking(true).expect("nonblocking");
+        poller
+            .register(listener.as_raw_fd(), ACCEPT, Interest::READABLE)
+            .expect("register listener");
+
+        // Nothing is ready yet.
+        assert!(ready_tokens(&poller, &mut events, 10).is_empty());
+
+        let mut client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let tokens = ready_tokens(&poller, &mut events, 2000);
+        assert_eq!(tokens, vec![ACCEPT], "pending accept is readable");
+
+        let (server_side, _) = listener.accept().expect("accept");
+        server_side.set_nonblocking(true).expect("nonblocking");
+        poller
+            .register(server_side.as_raw_fd(), CONN, Interest::READABLE)
+            .expect("register conn");
+
+        client.write_all(b"ping").expect("write");
+        let tokens = ready_tokens(&poller, &mut events, 2000);
+        assert!(tokens.contains(&CONN), "incoming bytes are readable");
+
+        let mut server_side = server_side;
+        let mut buf = [0u8; 8];
+        let n = server_side.read(&mut buf).expect("read");
+        assert_eq!(&buf[..n], b"ping");
+
+        poller
+            .deregister(server_side.as_raw_fd())
+            .expect("deregister");
+        client.write_all(b"more").expect("write");
+        assert!(
+            ready_tokens(&poller, &mut events, 50).is_empty(),
+            "deregistered fds report nothing"
+        );
+    }
+
+    #[test]
+    fn level_trigger_rereports_until_consumed_edge_reports_once() {
+        for (trigger, rereports) in [(Trigger::Level, true), (Trigger::Edge, false)] {
+            let poller = Poller::with_trigger(trigger).expect("poller");
+            let mut events = Events::with_capacity(8);
+
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            let mut client =
+                TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+            let (server_side, _) = listener.accept().expect("accept");
+            server_side.set_nonblocking(true).expect("nonblocking");
+            poller
+                .register(server_side.as_raw_fd(), CONN, Interest::READABLE)
+                .expect("register");
+
+            client.write_all(b"xx").expect("write");
+            assert_eq!(
+                ready_tokens(&poller, &mut events, 2000),
+                vec![CONN],
+                "{trigger:?}: first report"
+            );
+            // Data deliberately left unread.
+            let again = !ready_tokens(&poller, &mut events, 100).is_empty();
+            assert_eq!(again, rereports, "{trigger:?}: unread data re-report");
+
+            // A fresh arrival re-arms edge mode.
+            client.write_all(b"yy").expect("write");
+            assert_eq!(
+                ready_tokens(&poller, &mut events, 2000),
+                vec![CONN],
+                "{trigger:?}: new data reports again"
+            );
+        }
+    }
+
+    #[test]
+    fn writable_interest_and_reregister() {
+        let poller = Poller::new().expect("poller");
+        let mut events = Events::with_capacity(8);
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        client.set_nonblocking(true).expect("nonblocking");
+        let (_server_side, _) = listener.accept().expect("accept");
+
+        poller
+            .register(client.as_raw_fd(), CONN, Interest::READABLE)
+            .expect("register");
+        assert!(
+            ready_tokens(&poller, &mut events, 50).is_empty(),
+            "idle socket is not readable"
+        );
+
+        poller
+            .reregister(
+                client.as_raw_fd(),
+                Token(9),
+                Interest::READABLE | Interest::WRITABLE,
+            )
+            .expect("reregister");
+        poller
+            .poll(&mut events, Some(Duration::from_millis(2000)))
+            .expect("poll");
+        let ev = events.iter().next().expect("an event");
+        assert_eq!(ev.token(), Token(9), "reregister moves the token");
+        assert!(ev.is_writable(), "empty send buffer is writable");
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll_from_another_thread() {
+        let poller = Poller::new().expect("poller");
+        let waker = poller.waker();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.wake().expect("wake");
+        });
+        let mut events = Events::with_capacity(8);
+        poller
+            .poll(&mut events, Some(Duration::from_secs(30)))
+            .expect("poll");
+        let tokens: Vec<Token> = events.iter().map(|ev| ev.token()).collect();
+        assert_eq!(tokens, vec![Poller::WAKE]);
+        handle.join().expect("waker thread");
+
+        // The wake counter was drained: the next poll times out quietly.
+        poller
+            .poll(&mut events, Some(Duration::from_millis(20)))
+            .expect("poll");
+        assert!(events.is_empty(), "wake is consumed, not re-reported");
+    }
+
+    #[test]
+    fn hangup_is_surfaced_as_readable() {
+        let poller = Poller::new().expect("poller");
+        let mut events = Events::with_capacity(8);
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (server_side, _) = listener.accept().expect("accept");
+        server_side.set_nonblocking(true).expect("nonblocking");
+        poller
+            .register(server_side.as_raw_fd(), CONN, Interest::READABLE)
+            .expect("register");
+
+        drop(client);
+        poller
+            .poll(&mut events, Some(Duration::from_millis(2000)))
+            .expect("poll");
+        let ev = events.iter().next().expect("an event");
+        assert_eq!(ev.token(), CONN);
+        assert!(ev.is_readable(), "peer close must reach the reader");
+    }
+
+    #[test]
+    fn raise_nofile_limit_is_monotone_and_capped() {
+        let current = raise_nofile_limit(0).expect("query via no-op raise");
+        assert!(current >= 1);
+        let same = raise_nofile_limit(current).expect("no-op raise");
+        assert_eq!(same, current);
+        let raised = raise_nofile_limit(current.saturating_add(1)).expect("raise toward hard cap");
+        assert!(raised >= current, "soft limit never shrinks");
+    }
+}

@@ -36,4 +36,6 @@ pub mod server;
 
 pub use queue::{Admission, BoundedQueue};
 pub use schedule::{Request, Schedule};
-pub use server::{run_stream_closed, serve, serve_source, Ingress, ServeConfig, ServeResult};
+pub use server::{
+    run_stream_closed, serve, serve_source, Ingress, Offer, ServeConfig, ServeResult,
+};

@@ -102,6 +102,19 @@ pub struct ServeResult {
     pub outcomes: Vec<Option<OpOutcome>>,
 }
 
+/// The outcome of a non-blocking offer ([`Ingress::offer_nonblocking`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Offer {
+    /// Enqueued; the id is consumed.
+    Admitted,
+    /// Reject-on-full dropped it; the drop is counted and the id stays
+    /// unexecuted (`None`) in the outcome vector.
+    Rejected,
+    /// Blocking admission found the queue full. The id was rolled back —
+    /// the caller keeps the request and retries when the queue drains.
+    Saturated,
+}
+
 /// The live front door of a running service: offers requests into the
 /// bounded queue under the configured admission policy, and hands out
 /// timestamps and dense request ids to dynamic sources (the network
@@ -148,6 +161,42 @@ impl Ingress<'_> {
                     false
                 } else {
                     true
+                }
+            }
+        }
+    }
+
+    /// Offers one request without ever blocking the caller — the event
+    /// loop's front door. `req.id` must be the most recent
+    /// [`Self::claim_id`] (claiming first lets the caller route the
+    /// response *before* a worker can possibly complete the request). A
+    /// full queue under blocking admission returns [`Offer::Saturated`]
+    /// and rolls the id back, so ids stay dense; the caller keeps the
+    /// request, pauses intake, and retries when the queue drains.
+    ///
+    /// The rollback assumes a single offering thread (true for the
+    /// event-loop server); don't mix this with concurrent
+    /// [`Self::claim_id`] callers.
+    pub fn offer_nonblocking(&self, req: Request) -> Offer {
+        let id = req.id;
+        match self.admission {
+            Admission::Reject => {
+                self.offered.fetch_add(1, Ordering::Relaxed);
+                if self.queue.try_push(req).is_err() {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    Offer::Rejected
+                } else {
+                    Offer::Admitted
+                }
+            }
+            Admission::Block => {
+                if self.queue.try_push(req).is_err() {
+                    let next = self.next_id.fetch_sub(1, Ordering::Relaxed);
+                    debug_assert_eq!(next, id + 1, "rollback needs the latest claimed id");
+                    Offer::Saturated
+                } else {
+                    self.offered.fetch_add(1, Ordering::Relaxed);
+                    Offer::Admitted
                 }
             }
         }
@@ -338,6 +387,7 @@ fn merge_into_report<B: Backend>(
             batch_max: cfg.batch_max,
             offered,
             rejected,
+            reconnects: 0,
             batches,
             queue_wait,
             service_time,
@@ -649,6 +699,61 @@ mod tests {
         assert_eq!(result.report.total_started(), 120);
         assert_eq!(result.outcomes.len(), 120);
         assert!(result.outcomes.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn offer_nonblocking_rolls_back_ids_on_saturation() {
+        let op = OpKind::ALL[0];
+        let req = |id: u64| Request {
+            id,
+            arrival_ns: 0,
+            op,
+            rng_seed: id,
+        };
+        let queue: BoundedQueue<Request> = BoundedQueue::new(1);
+        let ingress = Ingress {
+            queue: &queue,
+            admission: Admission::Block,
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(0),
+            offered: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        };
+        assert_eq!(
+            ingress.offer_nonblocking(req(ingress.claim_id())),
+            Offer::Admitted
+        );
+        assert_eq!(
+            ingress.offer_nonblocking(req(ingress.claim_id())),
+            Offer::Saturated,
+            "blocking admission must not block the event loop"
+        );
+        assert_eq!(ingress.offered(), 1, "a saturated offer is not counted");
+        assert_eq!(queue.pop_batch(1, |_, _| true)[0].id, 0);
+        let id = ingress.claim_id();
+        assert_eq!(id, 1, "the rolled-back id is reused, keeping ids dense");
+        assert_eq!(ingress.offer_nonblocking(req(id)), Offer::Admitted);
+
+        let queue: BoundedQueue<Request> = BoundedQueue::new(1);
+        let ingress = Ingress {
+            queue: &queue,
+            admission: Admission::Reject,
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(0),
+            offered: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        };
+        assert_eq!(
+            ingress.offer_nonblocking(req(ingress.claim_id())),
+            Offer::Admitted
+        );
+        assert_eq!(
+            ingress.offer_nonblocking(req(ingress.claim_id())),
+            Offer::Rejected,
+            "reject-on-full consumes the id: the slot stays None"
+        );
+        assert_eq!(ingress.offered(), 2);
+        assert_eq!(ingress.rejected.load(Ordering::Relaxed), 1);
     }
 
     #[test]

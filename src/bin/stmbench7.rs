@@ -126,6 +126,10 @@ OPTIONS:
     --connections <n>   persistent connections the stream is striped
                         over (request i rides connection i mod N)
                                                            [default: 2]
+    --inflight <n>      per-connection pipelining window: at most n
+                        requests awaiting responses on a connection
+                        (0 = unbounded, issue purely by schedule)
+                                                           [default: 0]
     -w r|rw|w|uNN       workload type                      [default: r]
     --requests <n>      length of the request stream
     -l <seconds>        stream horizon (open/bursty)       [default: 5]
@@ -198,6 +202,9 @@ OPTIONS:
     --warmup <f>        override discarded warmup seconds per repetition
     --reps <n>          override the repetition count
     --threads <a,b,c>   override the thread axis (re-grids the cells)
+    --rates <a,b,c>     override the arrival-rate axis of open-loop
+                        cells (re-grids, scaling request counts so every
+                        rung measures the same wall-clock window)
     --seed <n>          override the RNG seed
     --out <path>        results path    [default: results/BENCH_<spec>.json]
     --compare <path>    compare against a baseline results document;
@@ -356,6 +363,7 @@ struct LabArgs {
     warmup: Option<f64>,
     reps: Option<u32>,
     threads: Option<Vec<usize>>,
+    rates: Option<Vec<f64>>,
     seed: Option<u64>,
     out: Option<String>,
     compare: Option<String>,
@@ -372,6 +380,7 @@ fn parse_lab_args(argv: &[String]) -> Result<LabArgs, String> {
         warmup: None,
         reps: None,
         threads: None,
+        rates: None,
         seed: None,
         out: None,
         compare: None,
@@ -432,6 +441,16 @@ fn parse_lab_args(argv: &[String]) -> Result<LabArgs, String> {
                     return Err("--threads needs positive thread counts".into());
                 }
                 args.threads = Some(list);
+            }
+            "--rates" => {
+                let list = value(&mut i)?
+                    .split(',')
+                    .map(|r| r.parse().map_err(|e| format!("--rates: {e}")))
+                    .collect::<Result<Vec<f64>, String>>()?;
+                if list.is_empty() || list.iter().any(|r| !r.is_finite() || *r <= 0.0) {
+                    return Err("--rates needs positive arrival rates".into());
+                }
+                args.rates = Some(list);
             }
             "--seed" => {
                 args.seed = Some(value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?)
@@ -503,6 +522,9 @@ fn lab_main(argv: &[String]) -> ExitCode {
     }
     if let Some(threads) = &args.threads {
         spec = spec.with_threads(threads);
+    }
+    if let Some(rates) = &args.rates {
+        spec = spec.with_rates(rates);
     }
 
     // Load the baseline before running anything: a mistyped path or a
@@ -1009,6 +1031,7 @@ struct NetDriveArgs {
     schedule: Option<Schedule>,
     addr: Option<String>,
     connections: usize,
+    inflight: usize,
     workload: WorkloadType,
     requests: Option<u64>,
     length: f64,
@@ -1024,6 +1047,7 @@ fn parse_net_drive_args(argv: &[String]) -> Result<NetDriveArgs, String> {
         schedule: None,
         addr: None,
         connections: 2,
+        inflight: 0,
         workload: WorkloadType::ReadDominated,
         requests: None,
         length: 5.0,
@@ -1051,6 +1075,11 @@ fn parse_net_drive_args(argv: &[String]) -> Result<NetDriveArgs, String> {
                     return Err("--connections must be ≥ 1".into());
                 }
                 args.connections = n;
+            }
+            "--inflight" => {
+                args.inflight = value(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--inflight: {e}"))?;
             }
             "-w" => {
                 let v = value(&mut i)?;
@@ -1110,6 +1139,7 @@ fn net_drive_main(argv: &[String]) -> ExitCode {
     let cfg = DriveConfig {
         schedule,
         connections: args.connections,
+        inflight: args.inflight,
         workload: args.workload,
         long_traversals: !args.no_traversals,
         structure_mods: !args.no_sms,

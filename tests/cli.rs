@@ -280,7 +280,7 @@ mod lab {
         let doc = parse(&text).expect("results must be valid JSON");
         assert_eq!(
             doc.get("format").and_then(JsonValue::as_str),
-            Some("stmbench7-lab/3")
+            Some("stmbench7-lab/4")
         );
         assert_eq!(doc.get("spec").and_then(JsonValue::as_str), Some("smoke"));
         let cells = doc.get("cells").and_then(JsonValue::as_array).unwrap();
@@ -604,6 +604,53 @@ mod net {
         assert!(
             server_stdout.contains("schedule:            net:"),
             "net-labeled schedule:\n{server_stdout}"
+        );
+    }
+
+    #[test]
+    fn graceful_shutdown_smoke_with_pipelining() {
+        // The graceful-shutdown smoke again, but with an --inflight 8
+        // window: the event-loop server must drain pipelined in-flight
+        // requests before acknowledging shutdown.
+        let (mut server, addr) = spawn_server(&["-g", "coarse", "--workers", "2"]);
+        let (stdout, stderr) = run_ok(&[
+            "net-drive",
+            "closed:2",
+            "--addr",
+            &addr,
+            "--connections",
+            "2",
+            "--inflight",
+            "8",
+            "--requests",
+            "100",
+            "-w",
+            "rw",
+            "--shutdown",
+        ]);
+        assert!(stdout.contains("== Service =="), "client report:\n{stdout}");
+        assert!(stdout.contains("offered 100"), "all offered:\n{stdout}");
+        assert!(
+            !stdout.contains("reconnects"),
+            "a healthy loopback drive must not reconnect:\n{stdout}"
+        );
+        assert!(
+            stderr.contains("server shutdown acknowledged"),
+            "ack:\n{stderr}"
+        );
+        let status = server.wait().expect("server must exit after shutdown");
+        assert!(status.success(), "server exit must be clean: {status:?}");
+        let mut server_stdout = String::new();
+        use std::io::Read as _;
+        server
+            .stdout
+            .take()
+            .unwrap()
+            .read_to_string(&mut server_stdout)
+            .unwrap();
+        assert!(
+            server_stdout.contains("offered 100"),
+            "server drained every pipelined request:\n{server_stdout}"
         );
     }
 
