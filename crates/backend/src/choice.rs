@@ -7,6 +7,7 @@
 //! vocabulary without depending on each other.
 
 use stmbench7_data::{AccessSpec, Workspace};
+use stmbench7_obs::{ContentionSnapshot, Recorder};
 use stmbench7_stm::astm::AstmConfig;
 use stmbench7_stm::tl2::Tl2Config;
 use stmbench7_stm::{ContentionManager, StatsSnapshot};
@@ -150,38 +151,57 @@ pub enum AnyBackend {
 impl AnyBackend {
     /// Builds the chosen strategy around a freshly built workspace.
     pub fn build(choice: BackendChoice, ws: Workspace) -> AnyBackend {
+        Self::build_traced(choice, ws, Recorder::default())
+    }
+
+    /// As [`AnyBackend::build`], attaching a trace recorder to backends
+    /// that record lifecycle events (lock waits, STM retries, combiner
+    /// batches). A disabled recorder — `Recorder::default()` — makes
+    /// this identical to `build`.
+    pub fn build_traced(choice: BackendChoice, ws: Workspace, recorder: Recorder) -> AnyBackend {
         match choice {
             BackendChoice::Sequential => AnyBackend::Sequential(SequentialBackend::new(ws)),
-            BackendChoice::Coarse => AnyBackend::Coarse(CoarseBackend::new(ws)),
-            BackendChoice::Medium => AnyBackend::Medium(MediumBackend::new(ws)),
+            BackendChoice::Coarse => {
+                AnyBackend::Coarse(CoarseBackend::new(ws).with_recorder(recorder))
+            }
+            BackendChoice::Medium => {
+                AnyBackend::Medium(MediumBackend::new(ws).with_recorder(recorder))
+            }
             BackendChoice::Fine => AnyBackend::Fine(FineBackend::new(ws)),
             BackendChoice::FlatCombining => {
-                AnyBackend::FlatCombining(FlatCombiningBackend::new(ws))
+                AnyBackend::FlatCombining(FlatCombiningBackend::new(ws).with_recorder(recorder))
             }
-            BackendChoice::DedicatedServer => AnyBackend::Rcl(DedicatedServerBackend::new(ws)),
+            BackendChoice::DedicatedServer => {
+                AnyBackend::Rcl(DedicatedServerBackend::with_recorder(ws, recorder))
+            }
             BackendChoice::Astm {
                 granularity,
                 cm,
                 visible,
-            } => AnyBackend::Astm(StmBackend::from_workspace(
-                &ws,
-                stmbench7_stm::AstmRuntime::new(AstmConfig {
-                    cm,
-                    incremental_validation: true,
-                    visible_reads: visible,
-                }),
-                granularity,
-            )),
-            BackendChoice::Tl2 { granularity } => AnyBackend::Tl2(StmBackend::from_workspace(
-                &ws,
-                stmbench7_stm::Tl2Runtime::new(Tl2Config::default()),
-                granularity,
-            )),
-            BackendChoice::Norec { granularity } => AnyBackend::Norec(StmBackend::from_workspace(
-                &ws,
-                stmbench7_stm::NorecRuntime::new(),
-                granularity,
-            )),
+            } => AnyBackend::Astm(
+                StmBackend::from_workspace(
+                    &ws,
+                    stmbench7_stm::AstmRuntime::new(AstmConfig {
+                        cm,
+                        incremental_validation: true,
+                        visible_reads: visible,
+                    }),
+                    granularity,
+                )
+                .with_recorder(recorder),
+            ),
+            BackendChoice::Tl2 { granularity } => AnyBackend::Tl2(
+                StmBackend::from_workspace(
+                    &ws,
+                    stmbench7_stm::Tl2Runtime::new(Tl2Config::default()),
+                    granularity,
+                )
+                .with_recorder(recorder),
+            ),
+            BackendChoice::Norec { granularity } => AnyBackend::Norec(
+                StmBackend::from_workspace(&ws, stmbench7_stm::NorecRuntime::new(), granularity)
+                    .with_recorder(recorder),
+            ),
         }
     }
 
@@ -257,6 +277,20 @@ impl Backend for AnyBackend {
             AnyBackend::Astm(b) => b.stm_stats(),
             AnyBackend::Tl2(b) => b.stm_stats(),
             AnyBackend::Norec(b) => b.stm_stats(),
+        }
+    }
+
+    fn contention(&self) -> Option<ContentionSnapshot> {
+        match self {
+            AnyBackend::Sequential(b) => b.contention(),
+            AnyBackend::Coarse(b) => b.contention(),
+            AnyBackend::Medium(b) => b.contention(),
+            AnyBackend::Fine(b) => b.contention(),
+            AnyBackend::FlatCombining(b) => b.contention(),
+            AnyBackend::Rcl(b) => b.contention(),
+            AnyBackend::Astm(b) => b.contention(),
+            AnyBackend::Tl2(b) => b.contention(),
+            AnyBackend::Norec(b) => b.contention(),
         }
     }
 }

@@ -40,11 +40,13 @@ use std::thread::JoinHandle;
 
 use parking_lot::Mutex;
 
+use stmbench7_obs::{ContentionSnapshot, EventKind, Layer, Recorder};
+
 use stmbench7_data::spec::AccessSpec;
 use stmbench7_data::workspace::{DirectTx, Workspace};
 use stmbench7_data::TxR;
 
-use crate::locks::unwrap_lock_result;
+use crate::locks::{unwrap_lock_result, LockObs};
 use crate::queue::BoundedQueue;
 use crate::{Backend, TxOperation};
 
@@ -135,6 +137,7 @@ pub struct FlatCombiningBackend {
     max_batch: AtomicU64,
     handoffs: AtomicU64,
     last_combiner: AtomicU64,
+    obs: LockObs,
 }
 
 impl FlatCombiningBackend {
@@ -148,7 +151,14 @@ impl FlatCombiningBackend {
             max_batch: AtomicU64::new(0),
             handoffs: AtomicU64::new(0),
             last_combiner: AtomicU64::new(0),
+            obs: LockObs::default(),
         }
+    }
+
+    /// Attaches a trace recorder (builder style, before sharing).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.obs.recorder = recorder;
+        self
     }
 
     /// Combiner counters so far. Exact only at quiescence.
@@ -171,7 +181,15 @@ impl FlatCombiningBackend {
                 .compare_exchange_weak(head, node, Ordering::Release, Ordering::Relaxed)
             {
                 Ok(_) => return,
-                Err(actual) => head = actual,
+                Err(actual) => {
+                    // A lost publication race is this backend's unit of
+                    // contention.
+                    self.obs
+                        .counters
+                        .cas_retries
+                        .fetch_add(1, Ordering::Relaxed);
+                    head = actual;
+                }
             }
         }
     }
@@ -246,6 +264,9 @@ impl FlatCombiningBackend {
             }
             self.combined.fetch_add(batch, Ordering::Relaxed);
             self.max_batch.fetch_max(batch, Ordering::Relaxed);
+            self.obs
+                .recorder
+                .instant(Layer::Backend, EventKind::CombineBatch, "flatcomb", batch);
         }
     }
 }
@@ -277,6 +298,10 @@ impl Backend for FlatCombiningBackend {
     fn export(&self) -> Workspace {
         self.ws.lock().clone()
     }
+
+    fn contention(&self) -> Option<ContentionSnapshot> {
+        Some(self.obs.counters.snapshot())
+    }
 }
 
 /// How many queued submissions the dedicated server folds into one
@@ -305,6 +330,7 @@ struct ServerShared {
     combines: AtomicU64,
     combined: AtomicU64,
     max_batch: AtomicU64,
+    recorder: Recorder,
 }
 
 /// RCL-style delegation: one dedicated server thread, spawned at
@@ -325,12 +351,21 @@ pub struct DedicatedServerBackend {
 impl DedicatedServerBackend {
     /// Wraps a built workspace and spawns the server thread.
     pub fn new(ws: Workspace) -> Self {
+        Self::with_recorder(ws, Recorder::default())
+    }
+
+    /// As [`DedicatedServerBackend::new`], with a trace recorder the
+    /// server thread records its batches into. The server's ring only
+    /// flushes when the server exits, so traces containing its events
+    /// must be collected after the backend is dropped.
+    pub fn with_recorder(ws: Workspace, recorder: Recorder) -> Self {
         let shared = Arc::new(ServerShared {
             ws: Mutex::new(ws),
             queue: BoundedQueue::new(SERVER_QUEUE_CAP),
             combines: AtomicU64::new(0),
             combined: AtomicU64::new(0),
             max_batch: AtomicU64::new(0),
+            recorder,
         });
         let server = {
             let shared = Arc::clone(&shared);
@@ -365,6 +400,9 @@ impl DedicatedServerBackend {
                 shared.combines.fetch_add(1, Ordering::Relaxed);
                 shared.combined.fetch_add(n, Ordering::Relaxed);
                 shared.max_batch.fetch_max(n, Ordering::Relaxed);
+                shared
+                    .recorder
+                    .instant(Layer::Backend, EventKind::CombineBatch, "rcl", n);
             },
         );
     }

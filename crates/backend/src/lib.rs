@@ -33,6 +33,7 @@ pub mod queue;
 pub mod stm;
 
 use stmbench7_data::{AccessSpec, Sb7Tx, TxR, Workspace};
+use stmbench7_obs::ContentionSnapshot;
 use stmbench7_stm::StatsSnapshot;
 
 /// An operation that can run under any backend.
@@ -84,6 +85,13 @@ pub trait Backend: Send + Sync {
 
     /// STM statistics, if this backend is transactional.
     fn stm_stats(&self) -> Option<StatsSnapshot> {
+        None
+    }
+
+    /// Always-on contention counters, if this backend maintains them
+    /// (lock waits, CAS retries, shard conflicts; see
+    /// [`stmbench7_obs::ContentionCounters`]).
+    fn contention(&self) -> Option<ContentionSnapshot> {
         None
     }
 }

@@ -20,7 +20,11 @@
 //!   ascending, documents, manual — so deadlock is impossible by
 //!   construction.
 
+use std::time::Instant;
+
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use stmbench7_obs::{ContentionCounters, ContentionSnapshot, EventKind, Layer, Recorder};
 
 use stmbench7_data::access::PoolKind;
 use stmbench7_data::btree::BTree;
@@ -36,6 +40,92 @@ use stmbench7_data::{
 };
 
 use crate::{Backend, TxOperation};
+
+/// The observability pair a lock backend owns: always-on contention
+/// counters plus an (off by default) trace recorder handle.
+#[derive(Debug, Default)]
+pub(crate) struct LockObs {
+    pub recorder: Recorder,
+    pub counters: ContentionCounters,
+}
+
+impl LockObs {
+    /// Timed read acquisition: the uncontended try-path pays no clock
+    /// read; a blocked one is counted and traced as a lock-wait span.
+    /// `shard` marks atomic-shard locks for conflict attribution.
+    fn read<'a, T>(
+        &self,
+        lock: &'a RwLock<T>,
+        name: &'static str,
+        shard: bool,
+    ) -> RwLockReadGuard<'a, T> {
+        match lock.try_read() {
+            Some(g) => {
+                self.counters.lock_acquired(0, false);
+                g
+            }
+            None => self.read_slow(lock, name, shard),
+        }
+    }
+
+    #[cold]
+    fn read_slow<'a, T>(
+        &self,
+        lock: &'a RwLock<T>,
+        name: &'static str,
+        shard: bool,
+    ) -> RwLockReadGuard<'a, T> {
+        let t0 = Instant::now();
+        let g = lock.read();
+        self.waited(t0, name, shard);
+        g
+    }
+
+    /// Timed write acquisition (see [`LockObs::read`]).
+    fn write<'a, T>(
+        &self,
+        lock: &'a RwLock<T>,
+        name: &'static str,
+        shard: bool,
+    ) -> RwLockWriteGuard<'a, T> {
+        match lock.try_write() {
+            Some(g) => {
+                self.counters.lock_acquired(0, false);
+                g
+            }
+            None => self.write_slow(lock, name, shard),
+        }
+    }
+
+    #[cold]
+    fn write_slow<'a, T>(
+        &self,
+        lock: &'a RwLock<T>,
+        name: &'static str,
+        shard: bool,
+    ) -> RwLockWriteGuard<'a, T> {
+        let t0 = Instant::now();
+        let g = lock.write();
+        self.waited(t0, name, shard);
+        g
+    }
+
+    fn waited(&self, t0: Instant, name: &'static str, shard: bool) {
+        let wait_ns = (t0.elapsed().as_nanos() as u64).max(1);
+        self.counters.lock_acquired(wait_ns, shard);
+        if self.recorder.is_enabled() {
+            let now = self.recorder.now_ns();
+            self.recorder.push(
+                Layer::Backend,
+                EventKind::LockWait,
+                name,
+                now.saturating_sub(wait_ns),
+                wait_ns,
+                0,
+            );
+        }
+    }
+}
 
 /// Single-mutex backend: fully serialized execution.
 pub struct SequentialBackend {
@@ -69,6 +159,7 @@ impl Backend for SequentialBackend {
 /// The paper's coarse-grained strategy: one read-write lock.
 pub struct CoarseBackend {
     ws: RwLock<Workspace>,
+    obs: LockObs,
 }
 
 impl CoarseBackend {
@@ -76,22 +167,48 @@ impl CoarseBackend {
     pub fn new(ws: Workspace) -> Self {
         CoarseBackend {
             ws: RwLock::new(ws),
+            obs: LockObs::default(),
         }
+    }
+
+    /// Attaches a trace recorder (builder style, before sharing).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.obs.recorder = recorder;
+        self
     }
 }
 
 impl Backend for CoarseBackend {
     fn execute<R: Send, O: TxOperation<R> + Send>(&self, spec: &AccessSpec, op: &mut O) -> R {
+        let rec = &self.obs.recorder;
+        let sampled = rec.sampled();
+        let t0 = if sampled { rec.now_ns() } else { 0 };
         if spec.any_write() {
-            let mut ws = self.ws.write();
+            let mut ws = self.obs.write(&self.ws, "coarse", false);
+            if sampled {
+                rec.span(Layer::Backend, EventKind::Phase, "lock-plan", t0, 0);
+            }
+            let t1 = if sampled { rec.now_ns() } else { 0 };
             let mut tx = DirectTx::writing(&mut ws);
             op.begin_attempt();
-            unwrap_lock_result(op.run(&mut tx))
+            let r = op.run(&mut tx);
+            if sampled {
+                rec.span(Layer::Backend, EventKind::Phase, "execute", t1, 0);
+            }
+            unwrap_lock_result(r)
         } else {
-            let ws = self.ws.read();
+            let ws = self.obs.read(&self.ws, "coarse", false);
+            if sampled {
+                rec.span(Layer::Backend, EventKind::Phase, "lock-plan", t0, 0);
+            }
+            let t1 = if sampled { rec.now_ns() } else { 0 };
             let mut tx = DirectTx::reading(&ws);
             op.begin_attempt();
-            unwrap_lock_result(op.run(&mut tx))
+            let r = op.run(&mut tx);
+            if sampled {
+                rec.span(Layer::Backend, EventKind::Phase, "execute", t1, 0);
+            }
+            unwrap_lock_result(r)
         }
     }
 
@@ -101,6 +218,10 @@ impl Backend for CoarseBackend {
 
     fn export(&self) -> Workspace {
         self.ws.read().clone()
+    }
+
+    fn contention(&self) -> Option<ContentionSnapshot> {
+        Some(self.obs.counters.snapshot())
     }
 }
 
@@ -185,6 +306,7 @@ pub struct MediumBackend {
     atomics: Vec<RwLock<AtomicLockShard>>,
     documents: RwLock<DocGroup>,
     manual: RwLock<Manual>,
+    obs: LockObs,
 }
 
 impl MediumBackend {
@@ -218,7 +340,14 @@ impl MediumBackend {
             atomics: atomics.into_iter().map(RwLock::new).collect(),
             documents: RwLock::new(ws.documents),
             manual: RwLock::new(ws.manual),
+            obs: LockObs::default(),
         }
+    }
+
+    /// Attaches a trace recorder (builder style, before sharing).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.obs.recorder = recorder;
+        self
     }
 
     /// Number of assembly levels configured.
@@ -234,19 +363,34 @@ impl Backend for MediumBackend {
         // ascending, documents, manual. All operations declare the gate,
         // so it always comes first, which is what isolates SM operations
         // from everything.
-        let sm = Guard::acquire(&self.sm, spec.sm);
+        let rec = &self.obs.recorder;
+        let sampled = rec.sampled();
+        let t0 = if sampled { rec.now_ns() } else { 0 };
+        let sm = Guard::acquire(&self.sm, spec.sm, &self.obs, "sm-gate", false);
         let mut complexes: Vec<Guard<'_, ComplexLevelGroup>> =
             (0..self.complexes.len()).map(|_| Guard::None).collect();
         let mut bases = Guard::None;
         for level in (1..=self.levels()).rev() {
             let mode = spec.levels[level - 1];
             if level == 1 {
-                bases = Guard::acquire(&self.bases, mode);
+                bases = Guard::acquire(&self.bases, mode, &self.obs, "bases", false);
             } else {
-                complexes[level - 2] = Guard::acquire(&self.complexes[level - 2], mode);
+                complexes[level - 2] = Guard::acquire(
+                    &self.complexes[level - 2],
+                    mode,
+                    &self.obs,
+                    "complex",
+                    false,
+                );
             }
         }
-        let composites = Guard::acquire(&self.composites, spec.composites);
+        let composites = Guard::acquire(
+            &self.composites,
+            spec.composites,
+            &self.obs,
+            "composites",
+            false,
+        );
         // Per-shard atomic locks: only the declared shards are taken, so
         // narrowed operations on different shards run concurrently.
         let atomics: Vec<Guard<'_, AtomicLockShard>> = self
@@ -255,14 +399,24 @@ impl Backend for MediumBackend {
             .enumerate()
             .map(|(s, lock)| {
                 if spec.atomic_shards.contains(s) {
-                    Guard::acquire(lock, spec.atomics)
+                    Guard::acquire(lock, spec.atomics, &self.obs, "shard", true)
                 } else {
                     Guard::None
                 }
             })
             .collect();
-        let documents = Guard::acquire(&self.documents, spec.documents);
-        let manual = Guard::acquire(&self.manual, spec.manual);
+        let documents = Guard::acquire(
+            &self.documents,
+            spec.documents,
+            &self.obs,
+            "documents",
+            false,
+        );
+        let manual = Guard::acquire(&self.manual, spec.manual, &self.obs, "manual", false);
+        if sampled {
+            rec.span(Layer::Backend, EventKind::Phase, "lock-plan", t0, 0);
+        }
+        let t1 = if sampled { rec.now_ns() } else { 0 };
 
         let mut tx = MediumTx {
             module: &self.module,
@@ -275,7 +429,16 @@ impl Backend for MediumBackend {
             manual,
         };
         op.begin_attempt();
-        unwrap_lock_result(op.run(&mut tx))
+        let r = op.run(&mut tx);
+        if sampled {
+            rec.span(Layer::Backend, EventKind::Phase, "execute", t1, 0);
+        }
+        let t2 = if sampled { rec.now_ns() } else { 0 };
+        drop(tx);
+        if sampled {
+            rec.span(Layer::Backend, EventKind::Phase, "commit", t2, 0);
+        }
+        unwrap_lock_result(r)
     }
 
     fn name(&self) -> &'static str {
@@ -303,6 +466,10 @@ impl Backend for MediumBackend {
             documents: self.documents.read().clone(),
         }
     }
+
+    fn contention(&self) -> Option<ContentionSnapshot> {
+        Some(self.obs.counters.snapshot())
+    }
 }
 
 /// A possibly-held read-write lock guard.
@@ -313,11 +480,17 @@ enum Guard<'a, T> {
 }
 
 impl<'a, T> Guard<'a, T> {
-    fn acquire(lock: &'a RwLock<T>, mode: Mode) -> Self {
+    fn acquire(
+        lock: &'a RwLock<T>,
+        mode: Mode,
+        obs: &LockObs,
+        name: &'static str,
+        shard: bool,
+    ) -> Self {
         match mode {
             Mode::None => Guard::None,
-            Mode::Read => Guard::Read(lock.read()),
-            Mode::Write => Guard::Write(lock.write()),
+            Mode::Read => Guard::Read(obs.read(lock, name, shard)),
+            Mode::Write => Guard::Write(obs.write(lock, name, shard)),
         }
     }
 

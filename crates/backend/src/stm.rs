@@ -18,6 +18,8 @@
 
 use std::cell::Cell as StdCell;
 
+use stmbench7_obs::{EventKind, Layer, Recorder};
+
 use stmbench7_data::access::PoolKind;
 use stmbench7_data::btree::BTree;
 use stmbench7_data::sharded::{shard_of_str, ShardedIndex};
@@ -496,6 +498,7 @@ pub struct StmBackend<RT: StmRuntime + RtName> {
     doc_titles: TitleIndex<RT>,
     base_ids: MapIndex<RT, ()>,
     complex_levels: MapIndex<RT, u8>,
+    recorder: Recorder,
 }
 
 fn store_to_vars<RT: StmRuntime, T: TxVal>(
@@ -577,7 +580,14 @@ impl<RT: StmRuntime + RtName> StmBackend<RT> {
                 &ws.sm.complex_index,
             ),
             rt,
+            recorder: Recorder::default(),
         }
+    }
+
+    /// Attaches a trace recorder (builder style, before sharing).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The underlying runtime (for stats and diagnostics).
@@ -596,8 +606,20 @@ impl<RT: StmRuntime + RtName> Backend for StmBackend<RT> {
         // Opacity should make `Invariant` unreachable; tolerate a bounded
         // number as conflict artifacts, then treat it as a benchmark bug.
         let strikes = StdCell::new(0u32);
+        let attempts = StdCell::new(0u64);
         let body = |tx: &mut RT::Tx<'_>| {
             let mut stx = StmTx { ws: self, tx };
+            // Every re-entry of the body is an aborted-and-retried
+            // attempt; trace it so abort storms are visible per op.
+            attempts.set(attempts.get() + 1);
+            if attempts.get() > 1 {
+                self.recorder.instant(
+                    Layer::Stm,
+                    EventKind::StmRetry,
+                    self.name(),
+                    attempts.get() - 1,
+                );
+            }
             op.begin_attempt();
             match op.run(&mut stx) {
                 Ok(r) => Ok(r),

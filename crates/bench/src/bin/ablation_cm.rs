@@ -43,6 +43,7 @@ fn main() {
             filter: OpFilter::astm_friendly(),
             seed: opts.seed,
             histograms: false,
+            recorder: stmbench7::obs::Recorder::default(),
         };
         let report = run_benchmark(&backend, &opts.params, &cfg);
         let stm = report.stm.unwrap_or_default();

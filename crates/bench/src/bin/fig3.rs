@@ -41,6 +41,7 @@ fn main() {
                         astm_friendly: false,
                         service: None,
                         net: None,
+                        trace: false,
                     },
                 );
                 let lat = report.max_latency_ms(op);

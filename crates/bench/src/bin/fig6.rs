@@ -44,6 +44,7 @@ fn main() {
                         astm_friendly: true,
                         service: None,
                         net: None,
+                        trace: false,
                     },
                 );
                 let abort_ratio = report.stm.map(|s| s.abort_ratio()).unwrap_or(0.0);

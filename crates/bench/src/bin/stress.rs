@@ -127,6 +127,7 @@ fn main() {
                 filter: OpFilter::none(),
                 seed: opts.seed.wrapping_add(u64::from(round)),
                 histograms: false,
+                recorder: stmbench7::obs::Recorder::default(),
             };
             let report = run_benchmark(&backend, &opts.params, &cfg);
             total_ops += report.total_started();

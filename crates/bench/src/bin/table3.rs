@@ -36,6 +36,7 @@ fn main() {
                 astm_friendly: false,
                 service: None,
                 net: None,
+                trace: false,
             };
             let lock = run_cell(&opts, &cell).throughput();
             cell.backend = astm_backend();

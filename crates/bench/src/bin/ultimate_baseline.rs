@@ -64,6 +64,7 @@ fn main() {
                         astm_friendly: false,
                         service: None,
                         net: None,
+                        trace: false,
                     },
                 );
                 print_row(&[

@@ -92,6 +92,7 @@ mod tests {
             astm_friendly: false,
             service: None,
             net: None,
+            trace: false,
         };
         let report = run_cell(&opts, &cell);
         assert!(report.total_started() > 0);

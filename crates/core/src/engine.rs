@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 
 use stmbench7_backend::{Backend, TxOperation};
 use stmbench7_data::{OpOutcome, Sb7Tx, StructureParams, TxR};
+use stmbench7_obs::{EventKind, Layer, Recorder};
 
 use crate::histogram::Histogram;
 use crate::ops::{access_spec, run_op, shard_hint, OpCtx, OpKind};
@@ -42,6 +43,9 @@ pub struct BenchConfig {
     pub seed: u64,
     /// Collect TTC histograms (`--ttc-histograms`).
     pub histograms: bool,
+    /// Lifecycle trace recorder (`--trace`). Disabled by default — a
+    /// disabled recorder costs one branch per probe site.
+    pub recorder: Recorder,
 }
 
 impl BenchConfig {
@@ -56,6 +60,7 @@ impl BenchConfig {
             filter: OpFilter::none(),
             seed,
             histograms: true,
+            recorder: Recorder::default(),
         }
     }
 }
@@ -65,6 +70,7 @@ impl BenchConfig {
 struct ThreadOpStats {
     completed: u64,
     failed: u64,
+    aborts: u64,
     max_ns: u64,
     sum_ns: u64,
     hist: Histogram,
@@ -77,6 +83,9 @@ struct Runner<'c> {
     /// from here so retries (STM) and re-executions (fine-grained
     /// discovery + execution) replay identical random choices.
     attempt_rng: rand::rngs::SmallRng,
+    /// Execution attempts the backend made for this operation; anything
+    /// past the first is an abort-and-retry.
+    attempts: u64,
 }
 
 impl<'c> Runner<'c> {
@@ -85,6 +94,7 @@ impl<'c> Runner<'c> {
             op,
             attempt_rng: ctx.rng.clone(),
             ctx,
+            attempts: 0,
         }
     }
 }
@@ -95,6 +105,7 @@ impl TxOperation<OpOutcome> for Runner<'_> {
     }
 
     fn begin_attempt(&mut self) {
+        self.attempts += 1;
         self.ctx.rng = self.attempt_rng.clone();
     }
 }
@@ -120,6 +131,7 @@ pub fn run_benchmark<B: Backend>(
     let stop = AtomicBool::new(false);
     let started_at = Instant::now();
     let stm_before = backend.stm_stats();
+    let contention_before = backend.contention();
 
     let all_stats: Vec<Vec<ThreadOpStats>> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.threads);
@@ -149,6 +161,10 @@ pub fn run_benchmark<B: Backend>(
                             break;
                         }
                     }
+                    // Sampling dispatch profiler: 1-in-N iterations get a
+                    // "discovery" phase span around pick + spec narrowing.
+                    let sampled = cfg.recorder.sampled();
+                    let td = if sampled { cfg.recorder.now_ns() } else { 0 };
                     let op = mix.pick(&mut ctx.rng);
                     // Per-instance spec: narrow the atomic shard set when
                     // the operation's footprint is known from its pre-drawn
@@ -157,10 +173,32 @@ pub fn run_benchmark<B: Backend>(
                     if let Some(hint) = shard_hint(op, &ctx) {
                         spec.atomic_shards = hint;
                     }
+                    if sampled {
+                        cfg.recorder
+                            .span(Layer::Engine, EventKind::Phase, "discovery", td, 0);
+                    }
+                    let trace_t0 = cfg.recorder.now_ns();
                     let t0 = Instant::now();
-                    let outcome = backend.execute(&spec, &mut Runner::new(op, &mut ctx));
+                    let mut runner = Runner::new(op, &mut ctx);
+                    let outcome = backend.execute(&spec, &mut runner);
+                    let attempts = runner.attempts;
                     let dt = t0.elapsed().as_nanos() as u64;
+                    if cfg.recorder.is_enabled() {
+                        cfg.recorder.push(
+                            Layer::Engine,
+                            EventKind::Op,
+                            op.name(),
+                            trace_t0,
+                            dt,
+                            attempts,
+                        );
+                        if matches!(outcome, OpOutcome::Fail(_)) {
+                            cfg.recorder
+                                .instant(Layer::Engine, EventKind::OpFail, op.name(), 0);
+                        }
+                    }
                     let s = &mut stats[op.index()];
+                    s.aborts += attempts.saturating_sub(1);
                     match outcome {
                         OpOutcome::Done(_) => {
                             s.completed += 1;
@@ -190,6 +228,10 @@ pub fn run_benchmark<B: Backend>(
         (Some(before), Some(after)) => Some(after.delta(&before)),
         _ => None,
     };
+    let contention = match (contention_before, backend.contention()) {
+        (Some(before), Some(after)) => Some(after.delta(&before)),
+        _ => None,
+    };
 
     let mut per_op: Vec<OpReport> = OpKind::ALL
         .iter()
@@ -200,6 +242,7 @@ pub fn run_benchmark<B: Backend>(
             let r = &mut per_op[i];
             r.completed += s.completed;
             r.failed += s.failed;
+            r.aborts += s.aborts;
             r.max_ns = r.max_ns.max(s.max_ns);
             r.sum_ns += s.sum_ns;
             r.hist.merge(&s.hist);
@@ -216,6 +259,7 @@ pub fn run_benchmark<B: Backend>(
         elapsed,
         per_op,
         stm,
+        contention,
         service: None,
     }
 }
@@ -294,6 +338,7 @@ mod tests {
             filter: OpFilter::none(),
             seed: 3,
             histograms: false,
+            recorder: Recorder::default(),
         };
         let report = run_benchmark(&backend, &params, &cfg);
         assert!(report.total_started() > 0);

@@ -6,6 +6,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
+use stmbench7_obs::ContentionSnapshot;
 use stmbench7_stm::StatsSnapshot;
 
 use crate::histogram::Histogram;
@@ -21,6 +22,9 @@ pub struct OpReport {
     pub expected_ratio: f64,
     pub completed: u64,
     pub failed: u64,
+    /// Aborted-and-retried execution attempts (attempts beyond the
+    /// first; STM conflicts, lock-plan re-executions).
+    pub aborts: u64,
     pub max_ns: u64,
     pub sum_ns: u64,
     pub hist: Histogram,
@@ -35,6 +39,7 @@ impl OpReport {
             expected_ratio,
             completed: 0,
             failed: 0,
+            aborts: 0,
             max_ns: 0,
             sum_ns: 0,
             hist: Histogram::new(),
@@ -146,6 +151,13 @@ pub struct ServiceStats {
     /// Broken connections the remote driver re-established mid-drive
     /// (0 for in-process service runs, which have no transport to lose).
     pub reconnects: u64,
+    /// Total worker time spent executing batches, summed over workers.
+    pub busy_ns: u64,
+    /// Total worker time spent waiting for work, summed over workers.
+    pub idle_ns: u64,
+    /// Trace events dropped by full per-thread rings during the run
+    /// (0 when tracing is off).
+    pub trace_dropped: u64,
     /// Backend executions (batching folds several requests into one).
     pub batches: u64,
     /// Scheduled arrival → execution start, per admitted request
@@ -223,6 +235,9 @@ impl ServiceStats {
             ("offered", JsonValue::num(self.offered as f64)),
             ("rejected", JsonValue::num(self.rejected as f64)),
             ("reconnects", JsonValue::num(self.reconnects as f64)),
+            ("busy_ns", JsonValue::num(self.busy_ns as f64)),
+            ("idle_ns", JsonValue::num(self.idle_ns as f64)),
+            ("trace_dropped", JsonValue::num(self.trace_dropped as f64)),
             ("batches", JsonValue::num(self.batches as f64)),
             ("queue_wait_us", Self::latency_json(&self.queue_wait)),
             ("service_time_us", Self::latency_json(&self.service_time)),
@@ -251,6 +266,9 @@ pub struct Report {
     pub elapsed: Duration,
     pub per_op: Vec<OpReport>,
     pub stm: Option<StatsSnapshot>,
+    /// Always-on contention counters, if the backend maintains them
+    /// (delta over the measured window).
+    pub contention: Option<ContentionSnapshot>,
     /// Present when the run went through the service layer.
     pub service: Option<ServiceStats>,
 }
@@ -269,6 +287,20 @@ impl Report {
     /// Total operations started.
     pub fn total_started(&self) -> u64 {
         self.total_completed() + self.total_failed()
+    }
+
+    /// Total aborted-and-retried execution attempts.
+    pub fn total_aborts(&self) -> u64 {
+        self.per_op.iter().map(|o| o.aborts).sum()
+    }
+
+    /// Aborted-and-retried attempts for one category's operations.
+    pub fn category_aborts(&self, cat: Category) -> u64 {
+        self.per_op
+            .iter()
+            .filter(|o| o.op.category() == cat)
+            .map(|o| o.aborts)
+            .sum()
     }
 
     /// Successful operations per second — the paper's headline
@@ -412,11 +444,12 @@ impl Report {
             let (completed, failed, max_ms) = self.category_rollup(cat);
             let _ = writeln!(
                 out,
-                "  {:<24} completed {:>9}   max {:>10.3} ms   failed {:>7}   started {:>9}",
+                "  {:<24} completed {:>9}   max {:>10.3} ms   failed {:>7}   aborts {:>7}   started {:>9}",
                 cat.name(),
                 completed,
                 max_ms,
                 failed,
+                self.category_aborts(cat),
                 completed + failed,
             );
         }
@@ -441,15 +474,19 @@ impl Report {
                 "  schedule:            {}   workers {}   queue cap {}   batch {}",
                 svc.schedule, svc.workers, svc.queue_cap, svc.batch_max,
             );
-            let reconnects = if svc.reconnects > 0 {
-                format!("   reconnects {}", svc.reconnects)
-            } else {
-                String::new()
-            };
+            // Counters render unconditionally — zero included — so the
+            // output shape is stable across runs and greppable.
             let _ = writeln!(
                 out,
-                "  offered {}   rejected {}   batches {}{}",
-                svc.offered, svc.rejected, svc.batches, reconnects,
+                "  offered {}   rejected {}   batches {}   reconnects {}",
+                svc.offered, svc.rejected, svc.batches, svc.reconnects,
+            );
+            let _ = writeln!(
+                out,
+                "  workers busy {:.3} s   idle {:.3} s   trace drops {}",
+                svc.busy_ns as f64 / 1e9,
+                svc.idle_ns as f64 / 1e9,
+                svc.trace_dropped,
             );
             let mut lanes: Vec<(&str, &Histogram)> = vec![
                 ("queue wait", &svc.queue_wait),
@@ -478,6 +515,23 @@ impl Report {
                     cat.category.name(),
                 );
             }
+        }
+
+        if let Some(c) = &self.contention {
+            let _ = writeln!(out, "\n== Contention ==");
+            let _ = writeln!(
+                out,
+                "  lock acquires {}  contended {}  contention-ratio {:.4}  wait {:.3} ms",
+                c.lock_acquires,
+                c.lock_contended,
+                c.contention_ratio(),
+                c.lock_wait_ns as f64 / 1e6,
+            );
+            let _ = writeln!(
+                out,
+                "  cas retries {}  shard conflicts {}",
+                c.cas_retries, c.shard_conflicts,
+            );
         }
 
         if let Some(stm) = &self.stm {
@@ -514,6 +568,7 @@ impl Report {
                     ("op", JsonValue::str(o.op.name())),
                     ("completed", JsonValue::num(o.completed as f64)),
                     ("failed", JsonValue::num(o.failed as f64)),
+                    ("aborts", JsonValue::num(o.aborts as f64)),
                     ("max_ms", JsonValue::num(o.max_ms())),
                     ("mean_ms", JsonValue::num(o.mean_ms())),
                 ])
@@ -528,6 +583,7 @@ impl Report {
                     JsonValue::obj(vec![
                         ("completed", JsonValue::num(completed as f64)),
                         ("failed", JsonValue::num(failed as f64)),
+                        ("aborts", JsonValue::num(self.category_aborts(cat) as f64)),
                         ("max_ms", JsonValue::num(max_ms)),
                     ]),
                 )
@@ -548,6 +604,17 @@ impl Report {
                 ("clones", JsonValue::num(s.clones as f64)),
                 ("extensions", JsonValue::num(s.extensions as f64)),
                 ("enemy_aborts", JsonValue::num(s.enemy_aborts as f64)),
+            ]),
+        };
+        let contention = match &self.contention {
+            None => JsonValue::Null,
+            Some(c) => JsonValue::obj(vec![
+                ("lock_acquires", JsonValue::num(c.lock_acquires as f64)),
+                ("lock_contended", JsonValue::num(c.lock_contended as f64)),
+                ("lock_wait_ns", JsonValue::num(c.lock_wait_ns as f64)),
+                ("cas_retries", JsonValue::num(c.cas_retries as f64)),
+                ("shard_conflicts", JsonValue::num(c.shard_conflicts as f64)),
+                ("contention_ratio", JsonValue::num(c.contention_ratio())),
             ]),
         };
         let service = match &self.service {
@@ -571,9 +638,11 @@ impl Report {
                 "throughput_attempted",
                 JsonValue::num(self.throughput_attempted()),
             ),
+            ("aborts", JsonValue::num(self.total_aborts() as f64)),
             ("per_op", JsonValue::Arr(per_op)),
             ("categories", JsonValue::Obj(categories)),
             ("stm", stm),
+            ("contention", contention),
             ("service", service),
         ])
     }
@@ -615,6 +684,7 @@ mod tests {
         per_op[OpKind::T1.index()].sum_ns = 8_000_000;
         per_op[OpKind::St1.index()].completed = 90;
         per_op[OpKind::St1.index()].failed = 10;
+        per_op[OpKind::St1.index()].aborts = 4;
         Report {
             backend: "test".into(),
             threads: 2,
@@ -625,6 +695,7 @@ mod tests {
             elapsed: Duration::from_secs(2),
             per_op,
             stm: None,
+            contention: None,
             service: None,
         }
     }
@@ -651,6 +722,9 @@ mod tests {
             offered: 100,
             rejected: 2,
             reconnects: 0,
+            busy_ns: 1_500_000_000,
+            idle_ns: 500_000_000,
+            trace_dropped: 0,
             batches: 40,
             queue_wait,
             service_time,
@@ -760,9 +834,12 @@ mod tests {
         assert!(text.contains("service time"));
         assert!(text.contains("rejected 2"));
         assert!(
-            !text.contains("reconnects"),
-            "a drive with zero reconnects should not render the counter"
+            text.contains("reconnects 0"),
+            "zero counters render too — shape-stable output:\n{text}"
         );
+        assert!(text.contains("workers busy 1.500 s"));
+        assert!(text.contains("idle 0.500 s"));
+        assert!(text.contains("trace drops 0"));
         let mut noisy = r.clone();
         noisy.service.as_mut().unwrap().reconnects = 3;
         assert!(noisy.render(false).contains("reconnects 3"));
@@ -776,6 +853,18 @@ mod tests {
         assert_eq!(svc.get("offered").and_then(JsonValue::as_u64), Some(100));
         assert_eq!(svc.get("rejected").and_then(JsonValue::as_u64), Some(2));
         assert_eq!(svc.get("reconnects").and_then(JsonValue::as_u64), Some(0));
+        assert_eq!(
+            svc.get("busy_ns").and_then(JsonValue::as_u64),
+            Some(1_500_000_000)
+        );
+        assert_eq!(
+            svc.get("idle_ns").and_then(JsonValue::as_u64),
+            Some(500_000_000)
+        );
+        assert_eq!(
+            svc.get("trace_dropped").and_then(JsonValue::as_u64),
+            Some(0)
+        );
         assert_eq!(svc.get("batches").and_then(JsonValue::as_u64), Some(40));
         for key in ["queue_wait_us", "service_time_us", "e2e_us"] {
             let lat = svc.get(key).unwrap_or_else(|| panic!("missing {key}"));
@@ -847,6 +936,56 @@ mod tests {
         assert_eq!(
             doc.get("seed").and_then(JsonValue::as_str),
             Some("18446744073709551615")
+        );
+    }
+
+    #[test]
+    fn abort_counts_roll_up_and_serialize() {
+        let r = sample_report();
+        assert_eq!(r.total_aborts(), 4);
+        assert_eq!(r.category_aborts(Category::ShortTraversal), 4);
+        assert_eq!(r.category_aborts(Category::LongTraversal), 0);
+        let text = r.render(false);
+        assert!(text.contains("aborts"), "summary renders abort column");
+        let doc = r.to_json_value();
+        assert_eq!(doc.get("aborts").and_then(JsonValue::as_u64), Some(4));
+        let st = doc
+            .get("categories")
+            .and_then(|c| c.get(Category::ShortTraversal.name()))
+            .expect("short-traversal rollup");
+        assert_eq!(st.get("aborts").and_then(JsonValue::as_u64), Some(4));
+    }
+
+    #[test]
+    fn contention_section_renders_and_serializes() {
+        let mut r = sample_report();
+        assert_eq!(r.to_json_value().get("contention"), Some(&JsonValue::Null));
+        assert!(!r.render(false).contains("== Contention =="));
+        r.contention = Some(ContentionSnapshot {
+            lock_acquires: 100,
+            lock_contended: 25,
+            lock_wait_ns: 3_000_000,
+            cas_retries: 7,
+            shard_conflicts: 2,
+        });
+        let text = r.render(false);
+        assert!(text.contains("== Contention =="));
+        assert!(text.contains("lock acquires 100"));
+        assert!(text.contains("contention-ratio 0.2500"));
+        assert!(text.contains("cas retries 7"));
+        let doc = r.to_json_value();
+        let c = doc.get("contention").expect("contention object");
+        assert_eq!(
+            c.get("lock_acquires").and_then(JsonValue::as_u64),
+            Some(100)
+        );
+        assert_eq!(
+            c.get("lock_wait_ns").and_then(JsonValue::as_u64),
+            Some(3_000_000)
+        );
+        assert_eq!(
+            c.get("contention_ratio").and_then(JsonValue::as_f64),
+            Some(0.25)
         );
     }
 

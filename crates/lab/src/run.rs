@@ -6,16 +6,22 @@
 use stmbench7_backend::AnyBackend;
 use stmbench7_core::{run_benchmark, CategoryLatency, Histogram, JsonValue, Report, ServiceStats};
 use stmbench7_data::Workspace;
+use stmbench7_obs::{ContentionSnapshot, Recorder, Trace};
 
 use crate::spec::{Cell, ExperimentSpec};
 use crate::stats::Summary;
 
 /// The version tag every results document leads with; bump on any
-/// incompatible schema change. Version 4 adds the `reconnects` counter
-/// to every cell's `service` object (non-zero only for net cells whose
-/// drive survived a broken connection); readers accept [`FORMAT_V3`],
-/// [`FORMAT_V2`] and [`FORMAT_V1`] documents unchanged.
-pub const FORMAT: &str = "stmbench7-lab/4";
+/// incompatible schema change. Version 5 adds the per-cell `contention`
+/// object (always-on lock/CAS counters, null for backends without them)
+/// and the `busy_ns`/`idle_ns`/`trace_dropped` counters to `service`
+/// objects; readers accept [`FORMAT_V4`], [`FORMAT_V3`], [`FORMAT_V2`]
+/// and [`FORMAT_V1`] documents unchanged.
+pub const FORMAT: &str = "stmbench7-lab/5";
+
+/// Version 4 (adds the `reconnects` counter to `service` objects), still
+/// accepted by every reader.
+pub const FORMAT_V4: &str = "stmbench7-lab/4";
 
 /// Version 3 (adds the `network_us` lane and the per-category
 /// `categories` split to `service` objects), still accepted by every
@@ -32,7 +38,11 @@ pub const FORMAT_V1: &str = "stmbench7-lab/1";
 
 /// True for every document version this crate can read.
 pub fn format_supported(format: &str) -> bool {
-    format == FORMAT || format == FORMAT_V3 || format == FORMAT_V2 || format == FORMAT_V1
+    format == FORMAT
+        || format == FORMAT_V4
+        || format == FORMAT_V3
+        || format == FORMAT_V2
+        || format == FORMAT_V1
 }
 
 /// One measured repetition, condensed.
@@ -81,6 +91,13 @@ pub struct CellResult {
     /// Latency decomposition, present for service cells: histograms
     /// merged across repetitions, counters summed.
     pub service: Option<ServiceAgg>,
+    /// Always-on contention counters summed over repetitions (`None`
+    /// for backends that keep none).
+    pub contention: Option<ContentionSnapshot>,
+    /// The lifecycle trace of a traced cell (all repetitions merged);
+    /// written to a per-cell file by the CLI, never embedded in the
+    /// results document.
+    pub trace: Option<Trace>,
 }
 
 /// Service-cell measurements aggregated across repetitions (also the
@@ -92,6 +109,11 @@ pub struct ServiceAgg {
     /// Broken connections the net driver re-established, summed across
     /// repetitions (always 0 for in-process service cells).
     pub reconnects: u64,
+    /// Worker busy/idle time summed across workers and repetitions.
+    pub busy_ns: u64,
+    pub idle_ns: u64,
+    /// Trace-ring drops summed across repetitions (0 when untraced).
+    pub trace_dropped: u64,
     pub batches: u64,
     pub queue_wait: Histogram,
     pub service_time: Histogram,
@@ -110,6 +132,9 @@ impl ServiceAgg {
             ("offered", JsonValue::num(self.offered as f64)),
             ("rejected", JsonValue::num(self.rejected as f64)),
             ("reconnects", JsonValue::num(self.reconnects as f64)),
+            ("busy_ns", JsonValue::num(self.busy_ns as f64)),
+            ("idle_ns", JsonValue::num(self.idle_ns as f64)),
+            ("trace_dropped", JsonValue::num(self.trace_dropped as f64)),
             ("batches", JsonValue::num(self.batches as f64)),
             (
                 "queue_wait_us",
@@ -205,6 +230,20 @@ impl CellResult {
             ("categories", JsonValue::Obj(categories)),
             ("reps", JsonValue::Arr(reps)),
             (
+                "contention",
+                match &self.contention {
+                    None => JsonValue::Null,
+                    Some(c) => JsonValue::obj(vec![
+                        ("lock_acquires", JsonValue::num(c.lock_acquires as f64)),
+                        ("lock_contended", JsonValue::num(c.lock_contended as f64)),
+                        ("lock_wait_ns", JsonValue::num(c.lock_wait_ns as f64)),
+                        ("cas_retries", JsonValue::num(c.cas_retries as f64)),
+                        ("shard_conflicts", JsonValue::num(c.shard_conflicts as f64)),
+                        ("contention_ratio", JsonValue::num(c.contention_ratio())),
+                    ]),
+                },
+            ),
+            (
                 "service",
                 match &self.service {
                     None => JsonValue::Null,
@@ -283,10 +322,17 @@ pub fn run_spec(spec: &ExperimentSpec, mut progress: impl FnMut(&str)) -> SpecRe
 fn run_one_cell(spec: &ExperimentSpec, cell: &Cell) -> CellResult {
     // The cell may override the preset's shard count (the sharding axis).
     let params = cell.params(&spec.params);
+    // One recorder for the whole cell: repetitions accumulate into the
+    // same trace, which the CLI writes to one file per cell.
+    let recorder = if cell.trace {
+        Recorder::enabled()
+    } else {
+        Recorder::off()
+    };
     let mut reports: Vec<Report> = Vec::with_capacity(spec.repetitions as usize);
     for rep in 0..spec.repetitions.max(1) {
         let ws = Workspace::build(params.clone(), spec.seed);
-        let backend = AnyBackend::build(cell.backend, ws);
+        let backend = AnyBackend::build_traced(cell.backend, ws, recorder.clone());
         if spec.warmup_secs > 0.0 {
             // Discarded warmup on this repetition's fresh structure:
             // fills caches and pre-faults the heap before measurement.
@@ -296,7 +342,8 @@ fn run_one_cell(spec: &ExperimentSpec, cell: &Cell) -> CellResult {
             let _ = run_benchmark(&backend, &params, &cfg);
         }
         let seed = spec.seed.wrapping_add(u64::from(rep));
-        if let Some((server_cfg, drive_cfg)) = cell.net_configs(seed) {
+        if let Some((mut server_cfg, drive_cfg)) = cell.net_configs(seed) {
+            server_cfg.recorder = recorder.clone();
             // Net cell: this backend behind a real (loopback) socket on
             // an ephemeral port, measured from the client side.
             let plan = cell.net.as_ref().expect("net_configs implies plan");
@@ -343,22 +390,27 @@ fn run_one_cell(spec: &ExperimentSpec, cell: &Cell) -> CellResult {
             continue;
         }
         match cell.serve_config(seed) {
-            Some(serve_cfg) => {
+            Some(mut serve_cfg) => {
+                serve_cfg.recorder = recorder.clone();
                 let plan = cell.service.as_ref().expect("serve_config implies plan");
                 let requests = serve_cfg.generate(plan.requests);
                 let result = stmbench7_service::serve(&backend, &params, &serve_cfg, &requests);
                 reports.push(result.report);
             }
             None => {
-                let cfg = spec.bench_config(cell, spec.secs_per_cell, rep);
+                let mut cfg = spec.bench_config(cell, spec.secs_per_cell, rep);
+                cfg.recorder = recorder.clone();
                 reports.push(run_benchmark(&backend, &params, &cfg));
             }
         }
     }
-    aggregate(cell, &reports)
+    // Every backend (including the RCL server thread, whose ring flushes
+    // at backend drop) is gone by now, so the trace is complete.
+    let trace = cell.trace.then(|| recorder.take_trace());
+    aggregate(cell, &reports, trace)
 }
 
-fn aggregate(cell: &Cell, reports: &[Report]) -> CellResult {
+fn aggregate(cell: &Cell, reports: &[Report], trace: Option<Trace>) -> CellResult {
     let throughputs: Vec<f64> = reports.iter().map(Report::throughput).collect();
     let attempted: Vec<f64> = reports.iter().map(Report::throughput_attempted).collect();
     let mut categories: Vec<(String, u64, u64, f64)> = Vec::new();
@@ -381,6 +433,9 @@ fn aggregate(cell: &Cell, reports: &[Report]) -> CellResult {
             offered: 0,
             rejected: 0,
             reconnects: 0,
+            busy_ns: 0,
+            idle_ns: 0,
+            trace_dropped: 0,
             batches: 0,
             queue_wait: Histogram::micros(),
             service_time: Histogram::micros(),
@@ -392,6 +447,9 @@ fn aggregate(cell: &Cell, reports: &[Report]) -> CellResult {
             agg.offered += svc.offered;
             agg.rejected += svc.rejected;
             agg.reconnects += svc.reconnects;
+            agg.busy_ns += svc.busy_ns;
+            agg.idle_ns += svc.idle_ns;
+            agg.trace_dropped = agg.trace_dropped.max(svc.trace_dropped);
             agg.batches += svc.batches;
             agg.queue_wait.merge(&svc.queue_wait);
             agg.service_time.merge(&svc.service_time);
@@ -429,6 +487,16 @@ fn aggregate(cell: &Cell, reports: &[Report]) -> CellResult {
         categories,
         reps: reports.iter().map(RepResult::from_report).collect(),
         service,
+        contention: reports.iter().filter_map(|r| r.contention.as_ref()).fold(
+            None,
+            |acc: Option<ContentionSnapshot>, c| {
+                Some(match acc {
+                    None => *c,
+                    Some(sum) => sum.merge(c),
+                })
+            },
+        ),
+        trace,
     }
 }
 
@@ -526,10 +594,11 @@ mod tests {
     #[test]
     fn all_format_versions_are_supported() {
         assert!(format_supported(FORMAT));
+        assert!(format_supported(FORMAT_V4));
         assert!(format_supported(FORMAT_V3));
         assert!(format_supported(FORMAT_V2));
         assert!(format_supported(FORMAT_V1));
-        assert!(!format_supported("stmbench7-lab/5"));
+        assert!(!format_supported("stmbench7-lab/6"));
         assert!(!format_supported("other/1"));
     }
 

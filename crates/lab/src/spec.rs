@@ -131,6 +131,11 @@ pub struct Cell {
     /// `stmbench7-net` (`threads` = server worker-pool size); mutually
     /// exclusive with `service`.
     pub net: Option<NetPlan>,
+    /// Record a lifecycle trace while running this cell. Deliberately
+    /// NOT part of [`Cell::key`]: a traced run is the *same* experiment
+    /// (only observed), so baseline comparison can put a traced run
+    /// against an untraced one — exactly what the overhead gate does.
+    pub trace: bool,
 }
 
 impl Cell {
@@ -147,6 +152,7 @@ impl Cell {
             astm_friendly: false,
             service: None,
             net: None,
+            trace: false,
         }
     }
 
@@ -184,6 +190,7 @@ impl Cell {
             },
             seed,
             histograms: false,
+            recorder: stmbench7_obs::Recorder::default(),
         }
     }
 
@@ -240,6 +247,7 @@ impl Cell {
                 OpFilter::none()
             },
             seed,
+            recorder: stmbench7_obs::Recorder::default(),
         })
     }
 
@@ -268,6 +276,7 @@ impl Cell {
             structure_mods: self.structure_mods,
             filter: filter.clone(),
             seed,
+            recorder: stmbench7_obs::Recorder::default(),
         };
         let driver = stmbench7_net::DriveConfig {
             schedule: plan.schedule,
@@ -307,6 +316,7 @@ pub fn grid(
                     astm_friendly,
                     service: None,
                     net: None,
+                    trace: false,
                 });
             }
         }
@@ -338,6 +348,7 @@ pub fn sharded_grid(
                     astm_friendly: false,
                     service: None,
                     net: None,
+                    trace: false,
                 });
             }
         }
@@ -369,6 +380,7 @@ pub fn service_grid(
                 astm_friendly: false,
                 service: Some(plan_of(schedule)),
                 net: None,
+                trace: false,
             });
         }
     }
@@ -399,6 +411,7 @@ pub fn net_grid(
                 astm_friendly: false,
                 service: None,
                 net: Some(plan_of(schedule)),
+                trace: false,
             });
         }
     }

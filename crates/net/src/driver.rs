@@ -524,6 +524,7 @@ fn merge(
         elapsed,
         per_op,
         stm: None,
+        contention: None,
         service: Some(ServiceStats {
             schedule: cfg.schedule.key(),
             // The client's "workers" are its connections; it has no
@@ -534,6 +535,9 @@ fn merge(
             offered: requests.len() as u64,
             rejected,
             reconnects,
+            busy_ns: 0,
+            idle_ns: 0,
+            trace_dropped: 0,
             batches: executed,
             queue_wait,
             service_time,

@@ -45,6 +45,7 @@ use std::time::Duration;
 use stmbench7_backend::Backend;
 use stmbench7_core::OpKind;
 use stmbench7_data::{OpOutcome, StructureParams};
+use stmbench7_obs::{EventKind, Layer, Recorder};
 use stmbench7_poll::{Events, Interest, Poller, Token, Waker};
 use stmbench7_service::{serve_source, Ingress, Offer, Request, ServeConfig, ServeResult};
 
@@ -177,6 +178,7 @@ struct EventLoop<'e, 'q> {
     pending_total: usize,
     draining: bool,
     listener_registered: bool,
+    recorder: Recorder,
 }
 
 impl EventLoop<'_, '_> {
@@ -314,6 +316,8 @@ impl EventLoop<'_, '_> {
         loop {
             match conn.decoder.next_frame() {
                 Ok(Some(Frame::Request(req))) => {
+                    self.recorder
+                        .instant(Layer::Net, EventKind::FrameDecode, "frame", req.id);
                     conn.pending.push_back(PendingReq {
                         client_id: req.id,
                         op: req.op,
@@ -432,6 +436,13 @@ impl EventLoop<'_, '_> {
         let Some(mut conn) = self.conns[slot].take() else {
             return;
         };
+        let had_backlog = conn.backlog() > 0;
+        let flush_t0 = if had_backlog {
+            self.recorder.now_ns()
+        } else {
+            0
+        };
+        let sent_before = conn.sent;
         let mut dead = false;
         while conn.sent < conn.out.len() {
             match conn.stream.write(&conn.out[conn.sent..]) {
@@ -447,6 +458,11 @@ impl EventLoop<'_, '_> {
                     break;
                 }
             }
+        }
+        if had_backlog && self.recorder.is_enabled() {
+            let written = (conn.sent.saturating_sub(sent_before)) as u64;
+            self.recorder
+                .span(Layer::Net, EventKind::NetFlush, "flush", flush_t0, written);
         }
         if dead {
             self.close(slot, conn);
@@ -603,6 +619,7 @@ pub fn serve_net<B: Backend>(
             pending_total: 0,
             draining: false,
             listener_registered: true,
+            recorder: cfg.recorder.clone(),
         }
         .run()
     };

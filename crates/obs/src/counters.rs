@@ -1,0 +1,144 @@
+//! Always-on contention counters.
+//!
+//! Unlike the trace recorder these are never switched off: a backend
+//! owns one [`ContentionCounters`] and bumps it with relaxed atomics on
+//! the slow paths only (a lock that had to wait, a CAS that had to
+//! retry), so the common uncontended path pays nothing and every run —
+//! lab cells included — gets a contention column for free.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared atomic contention counters owned by a backend.
+#[derive(Debug, Default)]
+pub struct ContentionCounters {
+    /// Lock acquisitions that went through a timed slow path.
+    pub lock_acquires: AtomicU64,
+    /// Acquisitions that found the lock held and had to wait.
+    pub lock_contended: AtomicU64,
+    /// Total nanoseconds spent waiting in contended acquisitions.
+    pub lock_wait_ns: AtomicU64,
+    /// CAS loop iterations beyond the first (combiner publication
+    /// lists, combiner-lock handoffs).
+    pub cas_retries: AtomicU64,
+    /// Atomic-part shard lock acquisitions that hit contention — the
+    /// sharding axis' conflict measure.
+    pub shard_conflicts: AtomicU64,
+}
+
+impl ContentionCounters {
+    /// Counts one lock acquisition; `wait_ns > 0` means it had to wait.
+    /// `shard` marks atomic-part shard locks for conflict attribution.
+    #[inline]
+    pub fn lock_acquired(&self, wait_ns: u64, shard: bool) {
+        self.lock_acquires.fetch_add(1, Ordering::Relaxed);
+        if wait_ns > 0 {
+            self.lock_contended.fetch_add(1, Ordering::Relaxed);
+            self.lock_wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+            if shard {
+                self.shard_conflicts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Takes a reporting snapshot (counters are read independently;
+    /// cross-counter exactness is not required for statistics).
+    pub fn snapshot(&self) -> ContentionSnapshot {
+        ContentionSnapshot {
+            lock_acquires: self.lock_acquires.load(Ordering::Relaxed),
+            lock_contended: self.lock_contended.load(Ordering::Relaxed),
+            lock_wait_ns: self.lock_wait_ns.load(Ordering::Relaxed),
+            cas_retries: self.cas_retries.load(Ordering::Relaxed),
+            shard_conflicts: self.shard_conflicts.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`ContentionCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ContentionSnapshot {
+    pub lock_acquires: u64,
+    pub lock_contended: u64,
+    pub lock_wait_ns: u64,
+    pub cas_retries: u64,
+    pub shard_conflicts: u64,
+}
+
+impl ContentionSnapshot {
+    /// Difference of two snapshots (for measuring a window).
+    pub fn delta(&self, earlier: &ContentionSnapshot) -> ContentionSnapshot {
+        ContentionSnapshot {
+            lock_acquires: self.lock_acquires - earlier.lock_acquires,
+            lock_contended: self.lock_contended - earlier.lock_contended,
+            lock_wait_ns: self.lock_wait_ns - earlier.lock_wait_ns,
+            cas_retries: self.cas_retries - earlier.cas_retries,
+            shard_conflicts: self.shard_conflicts - earlier.shard_conflicts,
+        }
+    }
+
+    /// Element-wise sum (for aggregating repetitions in the lab).
+    pub fn merge(&self, other: &ContentionSnapshot) -> ContentionSnapshot {
+        ContentionSnapshot {
+            lock_acquires: self.lock_acquires + other.lock_acquires,
+            lock_contended: self.lock_contended + other.lock_contended,
+            lock_wait_ns: self.lock_wait_ns + other.lock_wait_ns,
+            cas_retries: self.cas_retries + other.cas_retries,
+            shard_conflicts: self.shard_conflicts + other.shard_conflicts,
+        }
+    }
+
+    /// Fraction of timed acquisitions that had to wait.
+    pub fn contention_ratio(&self) -> f64 {
+        if self.lock_acquires == 0 {
+            0.0
+        } else {
+            self.lock_contended as f64 / self.lock_acquires as f64
+        }
+    }
+
+    /// True when nothing was counted (e.g. a pure-STM backend).
+    pub fn is_zero(&self) -> bool {
+        *self == ContentionSnapshot::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_acquired_routes_waits_to_the_contended_counters() {
+        let c = ContentionCounters::default();
+        c.lock_acquired(0, false);
+        c.lock_acquired(150, false);
+        c.lock_acquired(50, true);
+        let s = c.snapshot();
+        assert_eq!(s.lock_acquires, 3);
+        assert_eq!(s.lock_contended, 2);
+        assert_eq!(s.lock_wait_ns, 200);
+        assert_eq!(s.shard_conflicts, 1);
+        assert!((s.contention_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delta_and_merge() {
+        let c = ContentionCounters::default();
+        c.lock_acquired(100, false);
+        let a = c.snapshot();
+        c.lock_acquired(100, true);
+        c.cas_retries.fetch_add(5, Ordering::Relaxed);
+        let b = c.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.lock_acquires, 1);
+        assert_eq!(d.lock_wait_ns, 100);
+        assert_eq!(d.cas_retries, 5);
+        let m = d.merge(&d);
+        assert_eq!(m.lock_acquires, 2);
+        assert_eq!(m.cas_retries, 10);
+    }
+
+    #[test]
+    fn zero_snapshot_reports_as_zero() {
+        assert!(ContentionSnapshot::default().is_zero());
+        assert_eq!(ContentionSnapshot::default().contention_ratio(), 0.0);
+    }
+}

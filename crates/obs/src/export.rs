@@ -1,0 +1,235 @@
+//! Trace export: Chrome `trace_event` JSON and a compact text summary.
+//!
+//! The JSON flavor is the "JSON array format" every Chromium-family
+//! viewer accepts (`chrome://tracing`, Perfetto's legacy loader): a
+//! flat array of event objects with microsecond timestamps. Spans
+//! export as complete events (`"ph":"X"`), instants as `"ph":"i"`, and
+//! the trace-wide drop count rides along as one counter event so the
+//! viewer shows whether the window is complete.
+
+use std::fmt::Write as _;
+
+use crate::event::{Event, EventKind, Layer};
+use crate::recorder::Trace;
+
+/// Writes `s` into `out` as a JSON string body (no surrounding
+/// quotes), escaping quotes, backslashes and control characters.
+pub fn write_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_micros(out: &mut String, ns: u64) {
+    // Microseconds with nanosecond precision kept as decimals.
+    let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
+}
+
+fn push_event(out: &mut String, ev: &Event) {
+    out.push_str("{\"name\":\"");
+    write_json_escaped(out, ev.name);
+    out.push_str("\",\"cat\":\"");
+    out.push_str(ev.layer.name());
+    out.push_str("\",\"ph\":\"");
+    if ev.kind.is_span() {
+        out.push_str("X\",\"ts\":");
+        push_micros(out, ev.t_ns);
+        out.push_str(",\"dur\":");
+        push_micros(out, ev.dur_ns);
+    } else {
+        out.push_str("i\",\"s\":\"t\",\"ts\":");
+        push_micros(out, ev.t_ns);
+    }
+    let _ = write!(
+        out,
+        ",\"pid\":1,\"tid\":{},\"args\":{{\"kind\":\"{}\",\"arg\":{}}}}}",
+        ev.tid,
+        ev.kind.name(),
+        ev.arg
+    );
+}
+
+/// Renders a trace as Chrome `trace_event` JSON (array format).
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    // ~150 bytes per event once rendered.
+    let mut out = String::with_capacity(trace.events.len() * 150 + 256);
+    out.push('[');
+    let mut first = true;
+    for ev in &trace.events {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        push_event(&mut out, ev);
+    }
+    if !first {
+        out.push_str(",\n");
+    }
+    // The drop count as a counter event: visible in the viewer, and a
+    // machine-readable completeness marker for `trace-summary`.
+    let _ = write!(
+        out,
+        "{{\"name\":\"trace_dropped\",\"cat\":\"obs\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":0,\
+         \"args\":{{\"dropped\":{}}}}}",
+        trace.dropped
+    );
+    out.push(']');
+    out
+}
+
+/// Renders a compact per-(layer, name) table of a trace: event counts
+/// and, for span kinds, total and maximum duration.
+pub fn summarize(trace: &Trace) -> String {
+    struct Row {
+        layer: Layer,
+        kind: EventKind,
+        name: &'static str,
+        count: u64,
+        total_ns: u64,
+        max_ns: u64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+    for ev in &trace.events {
+        match rows
+            .iter_mut()
+            .find(|r| r.layer == ev.layer && r.kind == ev.kind && r.name == ev.name)
+        {
+            Some(row) => {
+                row.count += 1;
+                // Saturate: a trace of pathological durations must
+                // still summarize, not overflow.
+                row.total_ns = row.total_ns.saturating_add(ev.dur_ns);
+                row.max_ns = row.max_ns.max(ev.dur_ns);
+            }
+            None => rows.push(Row {
+                layer: ev.layer,
+                kind: ev.kind,
+                name: ev.name,
+                count: 1,
+                total_ns: ev.dur_ns,
+                max_ns: ev.dur_ns,
+            }),
+        }
+    }
+    rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(b.count.cmp(&a.count)));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} events across {} layers, {} dropped",
+        trace.events.len(),
+        trace.layers().len(),
+        trace.dropped
+    );
+    let _ = writeln!(
+        out,
+        "  {:<8} {:<14} {:<12} {:>9} {:>12} {:>12}",
+        "layer", "kind", "name", "count", "total ms", "max us"
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "  {:<8} {:<14} {:<12} {:>9} {:>12.3} {:>12.1}",
+            r.layer.name(),
+            r.kind.name(),
+            r.name,
+            r.count,
+            r.total_ns as f64 / 1e6,
+            r.max_ns as f64 / 1e3
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(layer: Layer, kind: EventKind, name: &'static str, t: u64, dur: u64) -> Event {
+        Event {
+            layer,
+            kind,
+            name,
+            t_ns: t,
+            dur_ns: dur,
+            arg: 3,
+            tid: 1,
+        }
+    }
+
+    #[test]
+    fn spans_and_instants_render_with_microsecond_timestamps() {
+        let trace = Trace {
+            events: vec![
+                ev(Layer::Engine, EventKind::Op, "T1", 1_500, 2_250),
+                ev(Layer::Service, EventKind::QueueAdmit, "admit", 3_000, 0),
+            ],
+            dropped: 4,
+        };
+        let json = chrome_trace_json(&trace);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"ph\":\"X\",\"ts\":1.500,\"dur\":2.250"));
+        assert!(json.contains("\"ph\":\"i\",\"s\":\"t\",\"ts\":3.000"));
+        assert!(json.contains("\"cat\":\"engine\""));
+        assert!(json.contains("\"dropped\":4"));
+    }
+
+    #[test]
+    fn empty_trace_still_renders_the_drop_marker() {
+        let json = chrome_trace_json(&Trace::default());
+        assert!(json.contains("trace_dropped"));
+        assert!(json.contains("\"dropped\":0"));
+    }
+
+    #[test]
+    fn names_are_json_escaped() {
+        let name: &'static str = Box::leak(String::from("a\"b\\c\nd\u{1}e").into_boxed_str());
+        let trace = Trace {
+            events: vec![ev(Layer::Backend, EventKind::LockWait, name, 0, 1)],
+            dropped: 0,
+        };
+        let json = chrome_trace_json(&trace);
+        assert!(json.contains("a\\\"b\\\\c\\nd\\u0001e"));
+        assert!(
+            !json.contains('\n') || json.matches('\n').count() == 0 || {
+                // Newlines between events are fine; none may appear inside
+                // a string value.
+                !json.contains("d\ne")
+            }
+        );
+    }
+
+    #[test]
+    fn escape_helper_covers_the_control_range() {
+        let mut out = String::new();
+        write_json_escaped(&mut out, "\t\r\n\u{0}\u{1f}ok");
+        assert_eq!(out, "\\t\\r\\n\\u0000\\u001fok");
+    }
+
+    #[test]
+    fn summary_aggregates_per_name_and_orders_by_total_time() {
+        let trace = Trace {
+            events: vec![
+                ev(Layer::Engine, EventKind::Op, "T1", 0, 5_000_000),
+                ev(Layer::Engine, EventKind::Op, "T1", 10, 5_000_000),
+                ev(Layer::Backend, EventKind::LockWait, "coarse", 20, 1_000),
+            ],
+            dropped: 1,
+        };
+        let text = summarize(&trace);
+        assert!(text.contains("3 events across 2 layers, 1 dropped"));
+        let t1 = text.find("T1").unwrap();
+        let coarse = text.find("coarse").unwrap();
+        assert!(t1 < coarse, "heaviest row first");
+        assert!(text.contains("10.000"), "total ms of the two T1 spans");
+    }
+}

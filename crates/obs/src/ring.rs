@@ -1,0 +1,166 @@
+//! A fixed-capacity wraparound event buffer with drop accounting.
+//!
+//! Each recording thread owns one ring privately, so pushes are plain
+//! stores — no atomics, no locking. When the ring is full the oldest
+//! event is overwritten and counted as dropped: a trace is a *recent
+//! window*, never a reason to stall the benchmark.
+
+use crate::event::Event;
+
+/// Fixed-capacity ring of [`Event`]s (single-owner, not thread-safe —
+/// sharing is the [`Recorder`](crate::Recorder)'s job).
+#[derive(Debug)]
+pub struct Ring {
+    buf: Vec<Event>,
+    /// Next write position.
+    head: usize,
+    /// Live events (≤ capacity).
+    len: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    /// An empty ring holding at most `capacity` events. A zero capacity
+    /// ring drops everything (useful as a counting-only sink).
+    pub fn new(capacity: usize) -> Ring {
+        Ring {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            len: 0,
+            dropped: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Events overwritten (or refused, for a zero-capacity ring) since
+    /// the last [`Ring::drain`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends an event, overwriting the oldest one when full.
+    pub fn push(&mut self, ev: Event) {
+        let cap = self.buf.capacity();
+        if cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() < cap {
+            self.buf.push(ev);
+        } else {
+            if self.len == cap {
+                self.dropped += 1;
+            }
+            self.buf[self.head] = ev;
+        }
+        self.head = (self.head + 1) % cap;
+        self.len = (self.len + 1).min(cap);
+    }
+
+    /// Takes every live event oldest-first and the drop count, leaving
+    /// the ring empty.
+    pub fn drain(&mut self) -> (Vec<Event>, u64) {
+        let cap = self.buf.capacity();
+        let mut out = Vec::with_capacity(self.len);
+        if self.len > 0 {
+            // Oldest event sits `len` slots behind the write head.
+            let start = (self.head + cap - self.len) % cap;
+            for i in 0..self.len {
+                out.push(self.buf[(start + i) % cap]);
+            }
+        }
+        let dropped = self.dropped;
+        self.buf.clear();
+        self.head = 0;
+        self.len = 0;
+        self.dropped = 0;
+        (out, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Layer};
+
+    fn ev(t: u64) -> Event {
+        Event {
+            layer: Layer::Engine,
+            kind: EventKind::Op,
+            name: "t",
+            t_ns: t,
+            dur_ns: 0,
+            arg: 0,
+            tid: 0,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps_and_counts_drops() {
+        let mut r = Ring::new(4);
+        for t in 0..4 {
+            r.push(ev(t));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 0);
+        // Two more overwrite the two oldest.
+        r.push(ev(4));
+        r.push(ev(5));
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 2);
+        let (evs, dropped) = r.drain();
+        let ts: Vec<u64> = evs.iter().map(|e| e.t_ns).collect();
+        assert_eq!(ts, vec![2, 3, 4, 5], "oldest-first after wraparound");
+        assert_eq!(dropped, 2);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0, "drain resets the drop count");
+    }
+
+    #[test]
+    fn drain_before_wrap_preserves_order() {
+        let mut r = Ring::new(8);
+        for t in 0..5 {
+            r.push(ev(t));
+        }
+        let (evs, dropped) = r.drain();
+        assert_eq!(evs.len(), 5);
+        assert!(evs.windows(2).all(|w| w[0].t_ns < w[1].t_ns));
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn ring_is_reusable_after_drain() {
+        let mut r = Ring::new(2);
+        r.push(ev(0));
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.drain().1, 1);
+        r.push(ev(9));
+        let (evs, dropped) = r.drain();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].t_ns, 9);
+        assert_eq!(dropped, 0);
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut r = Ring::new(0);
+        r.push(ev(0));
+        r.push(ev(1));
+        assert_eq!(r.len(), 0);
+        let (evs, dropped) = r.drain();
+        assert!(evs.is_empty());
+        assert_eq!(dropped, 2);
+    }
+}

@@ -29,6 +29,7 @@ use stmbench7_core::{
     ServiceStats, WorkloadMix, WorkloadType,
 };
 use stmbench7_data::{AccessSpec, OpOutcome, Sb7Tx, StructureParams, TxR};
+use stmbench7_obs::{ContentionSnapshot, EventKind, Layer, Recorder};
 
 use stmbench7_backend::queue::{Admission, BoundedQueue};
 
@@ -51,6 +52,8 @@ pub struct ServeConfig {
     pub structure_mods: bool,
     pub filter: OpFilter,
     pub seed: u64,
+    /// Lifecycle trace recorder (`--trace`); disabled by default.
+    pub recorder: Recorder,
 }
 
 impl ServeConfig {
@@ -68,6 +71,7 @@ impl ServeConfig {
             structure_mods: true,
             filter: OpFilter::none(),
             seed,
+            recorder: Recorder::default(),
         }
     }
 
@@ -131,6 +135,7 @@ pub struct Ingress<'q> {
     next_id: AtomicU64,
     offered: AtomicU64,
     rejected: AtomicU64,
+    recorder: Recorder,
 }
 
 impl Ingress<'_> {
@@ -149,17 +154,24 @@ impl Ingress<'_> {
     /// when reject-on-full dropped it (the drop is counted; the id stays
     /// unexecuted in the outcome vector).
     pub fn offer(&self, req: Request) -> bool {
+        let id = req.id;
         self.offered.fetch_add(1, Ordering::Relaxed);
         match self.admission {
             Admission::Block => {
                 self.queue.push_blocking(req);
+                self.recorder
+                    .instant(Layer::Service, EventKind::QueueAdmit, "queue", id);
                 true
             }
             Admission::Reject => {
                 if self.queue.try_push(req).is_err() {
                     self.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.recorder
+                        .instant(Layer::Service, EventKind::QueueReject, "queue", id);
                     false
                 } else {
+                    self.recorder
+                        .instant(Layer::Service, EventKind::QueueAdmit, "queue", id);
                     true
                 }
             }
@@ -184,8 +196,12 @@ impl Ingress<'_> {
                 self.offered.fetch_add(1, Ordering::Relaxed);
                 if self.queue.try_push(req).is_err() {
                     self.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.recorder
+                        .instant(Layer::Service, EventKind::QueueReject, "queue", id);
                     Offer::Rejected
                 } else {
+                    self.recorder
+                        .instant(Layer::Service, EventKind::QueueAdmit, "queue", id);
                     Offer::Admitted
                 }
             }
@@ -196,6 +212,8 @@ impl Ingress<'_> {
                     Offer::Saturated
                 } else {
                     self.offered.fetch_add(1, Ordering::Relaxed);
+                    self.recorder
+                        .instant(Layer::Service, EventKind::QueueAdmit, "queue", id);
                     Offer::Admitted
                 }
             }
@@ -215,6 +233,9 @@ impl Ingress<'_> {
 struct BatchRunner<'a> {
     batch: &'a [Request],
     ctx: &'a mut OpCtx,
+    /// Execution attempts the backend made for this batch; anything past
+    /// the first is an abort-and-retry.
+    attempts: u64,
 }
 
 impl TxOperation<Vec<OpOutcome>> for BatchRunner<'_> {
@@ -226,6 +247,10 @@ impl TxOperation<Vec<OpOutcome>> for BatchRunner<'_> {
         }
         Ok(outcomes)
     }
+
+    fn begin_attempt(&mut self) {
+        self.attempts += 1;
+    }
 }
 
 /// Per-worker, per-operation measurements (mirrors the engine's thread
@@ -233,6 +258,7 @@ impl TxOperation<Vec<OpOutcome>> for BatchRunner<'_> {
 struct WorkerStats {
     completed: Vec<u64>,
     failed: Vec<u64>,
+    aborts: Vec<u64>,
     max_ns: Vec<u64>,
     sum_ns: Vec<u64>,
     hist: Vec<Histogram>,
@@ -241,6 +267,10 @@ struct WorkerStats {
     e2e: Histogram,
     per_category: Vec<CategoryLatency>,
     batches: u64,
+    /// Time this worker spent executing batches.
+    busy_ns: u64,
+    /// Time this worker spent waiting for work (wall time minus busy).
+    idle_ns: u64,
     outcomes: Vec<(u64, OpOutcome)>,
 }
 
@@ -249,6 +279,7 @@ impl WorkerStats {
         WorkerStats {
             completed: vec![0; 45],
             failed: vec![0; 45],
+            aborts: vec![0; 45],
             max_ns: vec![0; 45],
             sum_ns: vec![0; 45],
             hist: (0..45).map(|_| Histogram::new()).collect(),
@@ -257,6 +288,8 @@ impl WorkerStats {
             e2e: Histogram::micros(),
             per_category: CategoryLatency::all_empty(),
             batches: 0,
+            busy_ns: 0,
+            idle_ns: 0,
             outcomes: Vec::new(),
         }
     }
@@ -299,22 +332,48 @@ fn batch_spec(specs: &[AccessSpec], batch: &[Request]) -> AccessSpec {
     spec
 }
 
+#[allow(clippy::too_many_arguments)] // Worker-loop plumbing, not an API.
 fn execute_batch<B: Backend>(
     backend: &B,
     specs: &[AccessSpec],
     batch: &[Request],
     ctx: &mut OpCtx,
     epoch: Instant,
+    recorder: &Recorder,
     stats: &mut WorkerStats,
     observe: &(impl Fn(&Request, &OpOutcome, u64, u64) + ?Sized),
 ) {
     let spec = batch_spec(specs, batch);
+    let trace_t0 = recorder.now_ns();
     let t0 = Instant::now();
-    let outcomes = backend.execute(&spec, &mut BatchRunner { batch, ctx });
+    let mut runner = BatchRunner {
+        batch,
+        ctx,
+        attempts: 0,
+    };
+    let outcomes = backend.execute(&spec, &mut runner);
+    let attempts = runner.attempts;
     let end_ns = epoch.elapsed().as_nanos() as u64;
     let start_ns = (t0 - epoch).as_nanos() as u64;
     stats.batches += 1;
+    stats.busy_ns += end_ns.saturating_sub(start_ns);
+    // A retried batch is one abort; attribute it to the batch head's
+    // operation (batches are homogeneous-enough: read-only runs).
+    stats.aborts[batch[0].op.index()] += attempts.saturating_sub(1);
     for (req, outcome) in batch.iter().zip(outcomes) {
+        if recorder.is_enabled() {
+            recorder.push(
+                Layer::Engine,
+                EventKind::Op,
+                req.op.name(),
+                trace_t0,
+                end_ns.saturating_sub(start_ns),
+                attempts,
+            );
+            if matches!(outcome, OpOutcome::Fail(_)) {
+                recorder.instant(Layer::Engine, EventKind::OpFail, req.op.name(), req.id);
+            }
+        }
         observe(req, &outcome, start_ns, end_ns);
         stats.record(req, outcome, start_ns, end_ns);
     }
@@ -326,6 +385,7 @@ struct RunTotals {
     offered: u64,
     rejected: u64,
     stm: Option<stmbench7_stm::StatsSnapshot>,
+    contention: Option<ContentionSnapshot>,
 }
 
 fn merge_into_report<B: Backend>(
@@ -340,6 +400,7 @@ fn merge_into_report<B: Backend>(
         offered,
         rejected,
         stm,
+        contention,
     } = totals;
     let mut per_op: Vec<OpReport> = OpKind::ALL
         .iter()
@@ -350,11 +411,14 @@ fn merge_into_report<B: Backend>(
     let mut e2e = Histogram::micros();
     let mut per_category = CategoryLatency::all_empty();
     let mut batches = 0;
+    let mut busy_ns = 0u64;
+    let mut idle_ns = 0u64;
     let mut outcomes: Vec<Option<OpOutcome>> = vec![None; offered as usize];
     for stats in &all_stats {
         for (i, r) in per_op.iter_mut().enumerate() {
             r.completed += stats.completed[i];
             r.failed += stats.failed[i];
+            r.aborts += stats.aborts[i];
             r.max_ns = r.max_ns.max(stats.max_ns[i]);
             r.sum_ns += stats.sum_ns[i];
             r.hist.merge(&stats.hist[i]);
@@ -366,6 +430,8 @@ fn merge_into_report<B: Backend>(
             merged.merge(worker);
         }
         batches += stats.batches;
+        busy_ns += stats.busy_ns;
+        idle_ns += stats.idle_ns;
         for (id, outcome) in &stats.outcomes {
             outcomes[*id as usize] = Some(*outcome);
         }
@@ -380,6 +446,7 @@ fn merge_into_report<B: Backend>(
         elapsed,
         per_op,
         stm,
+        contention,
         service: Some(ServiceStats {
             schedule: cfg.schedule.key(),
             workers: cfg.workers,
@@ -388,6 +455,9 @@ fn merge_into_report<B: Backend>(
             offered,
             rejected,
             reconnects: 0,
+            busy_ns,
+            idle_ns,
+            trace_dropped: cfg.recorder.dropped(),
             batches,
             queue_wait,
             service_time,
@@ -426,6 +496,7 @@ pub fn serve_source<B: Backend, R>(
         move |a: &Request, b: &Request| batch_max > 1 && a.op.is_read_only() && b.op.is_read_only();
 
     let stm_before = backend.stm_stats();
+    let contention_before = backend.contention();
     let epoch = Instant::now();
     let ingress = Ingress {
         queue: &queue,
@@ -434,6 +505,7 @@ pub fn serve_source<B: Backend, R>(
         next_id: AtomicU64::new(0),
         offered: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
+        recorder: cfg.recorder.clone(),
     };
 
     let (all_stats, fed): (Vec<WorkerStats>, R) = std::thread::scope(|scope| {
@@ -452,11 +524,25 @@ pub fn serve_source<B: Backend, R>(
                     cfg.seed ^ (worker_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 );
                 let mut stats = WorkerStats::new();
+                let worker_t0 = Instant::now();
                 // The shared combiner loop (also the RCL backend's
                 // server loop): batches until closed and drained.
                 queue.drain(cfg.batch_max, compatible, |batch| {
-                    execute_batch(backend, specs, &batch, &mut ctx, epoch, &mut stats, observe);
+                    execute_batch(
+                        backend,
+                        specs,
+                        &batch,
+                        &mut ctx,
+                        epoch,
+                        &cfg.recorder,
+                        &mut stats,
+                        observe,
+                    );
                 });
+                // Whatever wall time was not spent in a batch, the worker
+                // spent waiting on the queue.
+                let total_ns = worker_t0.elapsed().as_nanos() as u64;
+                stats.idle_ns = total_ns.saturating_sub(stats.busy_ns);
                 stats
             }));
         }
@@ -479,6 +565,10 @@ pub fn serve_source<B: Backend, R>(
         (Some(before), Some(after)) => Some(after.delta(&before)),
         _ => None,
     };
+    let contention = match (contention_before, backend.contention()) {
+        (Some(before), Some(after)) => Some(after.delta(&before)),
+        _ => None,
+    };
     let result = merge_into_report(
         backend,
         cfg,
@@ -489,6 +579,7 @@ pub fn serve_source<B: Backend, R>(
             offered: ingress.offered.load(Ordering::Relaxed),
             rejected: ingress.rejected.load(Ordering::Relaxed),
             stm,
+            contention,
         },
     );
     (result, fed)
@@ -540,6 +631,7 @@ pub fn run_stream_closed<B: Backend>(
     let mix = cfg.mix();
     let specs = op_specs(params);
     let stm_before = backend.stm_stats();
+    let contention_before = backend.contention();
     let epoch = Instant::now();
     let mut ctx = OpCtx::new(params.clone(), cfg.seed);
     let mut stats = WorkerStats::new();
@@ -551,12 +643,17 @@ pub fn run_stream_closed<B: Backend>(
             std::slice::from_ref(req),
             &mut ctx,
             epoch,
+            &cfg.recorder,
             &mut stats,
             &observe,
         );
     }
     let elapsed = epoch.elapsed();
     let stm = match (stm_before, backend.stm_stats()) {
+        (Some(before), Some(after)) => Some(after.delta(&before)),
+        _ => None,
+    };
+    let contention = match (contention_before, backend.contention()) {
         (Some(before), Some(after)) => Some(after.delta(&before)),
         _ => None,
     };
@@ -570,6 +667,7 @@ pub fn run_stream_closed<B: Backend>(
             offered: requests.len() as u64,
             rejected: 0,
             stm,
+            contention,
         },
     );
     // Closed-loop runs are not service runs: threads reflect the single
@@ -718,6 +816,7 @@ mod tests {
             next_id: AtomicU64::new(0),
             offered: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            recorder: Recorder::default(),
         };
         assert_eq!(
             ingress.offer_nonblocking(req(ingress.claim_id())),
@@ -742,6 +841,7 @@ mod tests {
             next_id: AtomicU64::new(0),
             offered: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            recorder: Recorder::default(),
         };
         assert_eq!(
             ingress.offer_nonblocking(req(ingress.claim_id())),

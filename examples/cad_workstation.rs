@@ -34,6 +34,7 @@ fn main() {
         filter: OpFilter::none(),
         seed: 9,
         histograms: true,
+        recorder: stmbench7::obs::Recorder::default(),
     };
     let report = run_benchmark(&backend, &params, &cfg);
 

@@ -33,6 +33,7 @@ fn bench<B: Backend>(backend: &B, params: &StructureParams) {
         filter: OpFilter::none(),
         seed: 7,
         histograms: false,
+        recorder: stmbench7::obs::Recorder::default(),
     };
     let t0 = Instant::now();
     let report = run_benchmark(backend, params, &cfg);

@@ -21,6 +21,7 @@ use stmbench7::core::{run_benchmark, BenchConfig, OpFilter, RunMode, WorkloadTyp
 use stmbench7::data::{validate, StructureParams, Workspace};
 use stmbench7::lab::{compare_documents, registry, run_spec, Tolerance};
 use stmbench7::net::{drive, serve_net, DriveConfig};
+use stmbench7::obs::{chrome_trace_json, summarize, Event, EventKind, Layer, Recorder, Trace};
 use stmbench7::service::{serve, Admission, Schedule, ServeConfig};
 use stmbench7::stm::ContentionManager;
 use stmbench7::{parse_preset, AnyBackend, BackendChoice};
@@ -58,6 +59,9 @@ EXTENSIONS:
     --astm-friendly     apply the paper's §5 operation filter
     --validate          validate the structure after the run
     --csv <file>        append per-operation CSV rows to <file>
+    --trace <file>      record a transaction-lifecycle trace and write it
+                        as Chrome trace_event JSON (open in Perfetto or
+                        chrome://tracing; summarize with `trace-summary`)
     --describe          print the structure census and indexes, then exit
     -h, --help          this text
 
@@ -70,6 +74,7 @@ SUBCOMMANDS:
                         (see `stmbench7 net-serve --help`)
     net-drive <sched>   replay a schedule against a net-serve over sockets
                         (see `stmbench7 net-drive --help`)
+    trace-summary <f>   aggregate a --trace file into a per-event table
 ";
 
 const NET_SERVE_USAGE: &str = "\
@@ -101,6 +106,8 @@ OPTIONS:
                         execution                          [default: 1]
     --seed <num>        RNG seed (structure build)         [default: 1]
     --validate          validate the structure after shutdown
+    --trace <file>      record a lifecycle trace and write Chrome
+                        trace_event JSON after shutdown
     -h, --help          this text
 ";
 
@@ -179,6 +186,8 @@ OPTIONS:
     --no-sms            disable structure modification operations
     --astm-friendly     apply the paper's §5 operation filter
     --validate          validate the structure after the run
+    --trace <file>      record a lifecycle trace and write Chrome
+                        trace_event JSON after the run
     -h, --help          this text
 ";
 
@@ -211,7 +220,22 @@ OPTIONS:
                         exit nonzero on regression
     --tolerance <t>     allowed slowdown vs baseline: NN% or NNx
                         [default: 25%]
+    --trace <dir>       run every cell with a live trace recorder and
+                        write one Chrome trace_event JSON file per cell
+                        into <dir> (traced cells keep their keys, so
+                        --compare still matches an untraced baseline)
     -h, --help          this text
+";
+
+const TRACE_SUMMARY_USAGE: &str = "\
+stmbench7 trace-summary — aggregate a recorded trace
+
+USAGE:
+    stmbench7 trace-summary <file>
+
+Reads a Chrome trace_event JSON file written by `--trace` and prints a
+per-(layer, kind, name) table: event counts and, for span kinds, total
+and maximum duration, heaviest row first.
 ";
 
 struct Args {
@@ -228,6 +252,7 @@ struct Args {
     validate: bool,
     seed: u64,
     csv: Option<String>,
+    trace: Option<String>,
     describe: bool,
 }
 
@@ -246,6 +271,7 @@ fn parse_args() -> Result<Args, String> {
         validate: false,
         seed: 1,
         csv: None,
+        trace: None,
         describe: false,
     };
     let mut cm = ContentionManager::Polka;
@@ -295,6 +321,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--csv" => args.csv = Some(value(&mut i)?),
+            "--trace" => args.trace = Some(value(&mut i)?),
             "--no-traversals" => args.no_traversals = true,
             "--no-sms" => args.no_sms = true,
             "--ttc-histograms" => args.histograms = true,
@@ -368,6 +395,7 @@ struct LabArgs {
     out: Option<String>,
     compare: Option<String>,
     tolerance: Tolerance,
+    trace: Option<String>,
 }
 
 fn parse_lab_args(argv: &[String]) -> Result<LabArgs, String> {
@@ -385,6 +413,7 @@ fn parse_lab_args(argv: &[String]) -> Result<LabArgs, String> {
         out: None,
         compare: None,
         tolerance: Tolerance(1.25),
+        trace: None,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -462,6 +491,7 @@ fn parse_lab_args(argv: &[String]) -> Result<LabArgs, String> {
                 args.tolerance =
                     Tolerance::parse(&v).ok_or(format!("bad tolerance '{v}' (use NN% or NNx)"))?;
             }
+            "--trace" => args.trace = Some(value(&mut i)?),
             "-h" | "--help" => {
                 print!("{LAB_USAGE}");
                 std::process::exit(0);
@@ -525,6 +555,11 @@ fn lab_main(argv: &[String]) -> ExitCode {
     }
     if let Some(rates) = &args.rates {
         spec = spec.with_rates(rates);
+    }
+    if args.trace.is_some() {
+        for cell in &mut spec.cells {
+            cell.trace = true;
+        }
     }
 
     // Load the baseline before running anything: a mistyped path or a
@@ -604,6 +639,25 @@ fn lab_main(argv: &[String]) -> ExitCode {
     }
     eprintln!("wrote {out_path}");
 
+    if let Some(dir) = &args.trace {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+        let mut written = 0usize;
+        for cell in &result.cells {
+            if let Some(trace) = &cell.trace {
+                let file = format!("{dir}/{}.trace.json", trace_file_stem(&cell.cell.key()));
+                if let Err(e) = std::fs::write(&file, chrome_trace_json(trace)) {
+                    eprintln!("error: cannot write {file}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                written += 1;
+            }
+        }
+        eprintln!("wrote {written} trace files to {dir}");
+    }
+
     if let Some(baseline) = &baseline {
         match compare_documents(baseline, &document, args.tolerance) {
             Err(e) => {
@@ -637,6 +691,7 @@ struct ServeArgs {
     no_sms: bool,
     astm_friendly: bool,
     validate: bool,
+    trace: Option<String>,
 }
 
 fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
@@ -656,6 +711,7 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
         no_sms: false,
         astm_friendly: false,
         validate: false,
+        trace: None,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -742,6 +798,7 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
             "--no-sms" => args.no_sms = true,
             "--astm-friendly" => args.astm_friendly = true,
             "--validate" => args.validate = true,
+            "--trace" => args.trace = Some(value(&mut i)?),
             "-h" | "--help" => {
                 print!("{SERVE_USAGE}");
                 std::process::exit(0);
@@ -774,6 +831,10 @@ fn serve_main(argv: &[String]) -> ExitCode {
         Schedule::Closed { clients } => clients,
         _ => 2,
     });
+    let recorder = match &args.trace {
+        Some(_) => Recorder::enabled(),
+        None => Recorder::off(),
+    };
     let cfg = ServeConfig {
         schedule,
         workers,
@@ -789,6 +850,7 @@ fn serve_main(argv: &[String]) -> ExitCode {
             OpFilter::none()
         },
         seed: args.seed,
+        recorder: recorder.clone(),
     };
     let requests = match args.requests {
         Some(n) => cfg.generate(n),
@@ -812,7 +874,7 @@ fn serve_main(argv: &[String]) -> ExitCode {
         args.params.initial_atomics()
     );
     let ws = Workspace::build(args.params.clone(), args.seed);
-    let backend = AnyBackend::build(args.backend, ws);
+    let backend = AnyBackend::build_traced(args.backend, ws, recorder.clone());
     eprintln!(
         "serving: schedule={} backend={} workers={} queue={} admission={} batch={} requests={}",
         schedule.key(),
@@ -839,6 +901,15 @@ fn serve_main(argv: &[String]) -> ExitCode {
             }
         }
     }
+    if let Some(path) = &args.trace {
+        // Drop first: the RCL backend's server thread only flushes its
+        // trace lane when the thread exits at backend drop.
+        drop(backend);
+        if let Err(msg) = write_trace(path, &recorder.take_trace()) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
@@ -853,6 +924,7 @@ struct NetServeArgs {
     batch: usize,
     seed: u64,
     validate: bool,
+    trace: Option<String>,
 }
 
 fn parse_net_serve_args(argv: &[String]) -> Result<NetServeArgs, String> {
@@ -867,6 +939,7 @@ fn parse_net_serve_args(argv: &[String]) -> Result<NetServeArgs, String> {
         batch: 1,
         seed: 1,
         validate: false,
+        trace: None,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -937,6 +1010,7 @@ fn parse_net_serve_args(argv: &[String]) -> Result<NetServeArgs, String> {
             }
             "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--validate" => args.validate = true,
+            "--trace" => args.trace = Some(value(&mut i)?),
             "-h" | "--help" => {
                 print!("{NET_SERVE_USAGE}");
                 std::process::exit(0);
@@ -968,7 +1042,11 @@ fn net_serve_main(argv: &[String]) -> ExitCode {
         args.params.initial_atomics()
     );
     let ws = Workspace::build(args.params.clone(), args.seed);
-    let backend = AnyBackend::build(args.backend, ws);
+    let recorder = match &args.trace {
+        Some(_) => Recorder::enabled(),
+        None => Recorder::off(),
+    };
+    let backend = AnyBackend::build_traced(args.backend, ws, recorder.clone());
     let cfg = ServeConfig {
         // The schedule is inert: arrivals come off the wire. The report
         // overrides it with `net:<addr>`.
@@ -984,6 +1062,7 @@ fn net_serve_main(argv: &[String]) -> ExitCode {
         structure_mods: true,
         filter: OpFilter::none(),
         seed: args.seed,
+        recorder: recorder.clone(),
     };
     // The readiness line the shutdown smoke test (and any script driving
     // `--addr host:0`) parses for the actual port.
@@ -1022,6 +1101,15 @@ fn net_serve_main(argv: &[String]) -> ExitCode {
                 eprintln!("STRUCTURE CORRUPTED: {msg}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if let Some(path) = &args.trace {
+        // Drop first: the RCL backend's server thread only flushes its
+        // trace lane when the thread exits at backend drop.
+        drop(backend);
+        if let Err(msg) = write_trace(path, &recorder.take_trace()) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS
@@ -1190,10 +1278,139 @@ fn net_drive_main(argv: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Writes a trace as Chrome `trace_event` JSON, creating parent
+/// directories as needed.
+fn write_trace(path: &str, trace: &Trace) -> Result<(), String> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, chrome_trace_json(trace))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    eprintln!(
+        "wrote {path} ({} events, {} dropped)",
+        trace.events.len(),
+        trace.dropped
+    );
+    Ok(())
+}
+
+/// Flattens a cell key (`coarse/rw/4t/...`) into a filename stem.
+fn trace_file_stem(key: &str) -> String {
+    key.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Parses a Chrome `trace_event` JSON file written by `--trace` back
+/// into a [`Trace`] (the inverse of `chrome_trace_json`).
+fn parse_trace_file(text: &str) -> Result<Trace, String> {
+    let doc = stmbench7::lab::json::parse(text)?;
+    let events = doc.as_array().ok_or("trace is not a JSON array")?;
+    let mut trace = Trace::default();
+    // Event names come from a small static vocabulary (operation names,
+    // lock names, phases), so leaking one copy per distinct name to get
+    // back to `&'static str` is bounded.
+    let mut names: Vec<&'static str> = Vec::new();
+    for ev in events {
+        let name = ev
+            .get("name")
+            .and_then(|v| v.as_str())
+            .ok_or("event without a name")?;
+        if name == "trace_dropped" {
+            trace.dropped = ev
+                .get("args")
+                .and_then(|a| a.get("dropped"))
+                .and_then(|d| d.as_u64())
+                .unwrap_or(0);
+            continue;
+        }
+        let Some(layer) = ev
+            .get("cat")
+            .and_then(|v| v.as_str())
+            .and_then(Layer::parse)
+        else {
+            continue; // foreign category; not one of ours
+        };
+        let kind = ev
+            .get("args")
+            .and_then(|a| a.get("kind"))
+            .and_then(|k| k.as_str())
+            .and_then(EventKind::parse)
+            .ok_or_else(|| format!("event '{name}' has no recognizable kind"))?;
+        let static_name = match names.iter().find(|n| **n == name) {
+            Some(n) => *n,
+            None => {
+                let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+                names.push(leaked);
+                leaked
+            }
+        };
+        let micros = |key: &str| {
+            ev.get(key)
+                .and_then(|v| v.as_f64())
+                .map_or(0, |us| (us * 1_000.0).round() as u64)
+        };
+        trace.events.push(Event {
+            layer,
+            kind,
+            name: static_name,
+            t_ns: micros("ts"),
+            dur_ns: micros("dur"),
+            arg: ev
+                .get("args")
+                .and_then(|a| a.get("arg"))
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0),
+            tid: ev.get("tid").and_then(|v| v.as_u64()).unwrap_or(0) as u32,
+        });
+    }
+    Ok(trace)
+}
+
+fn trace_summary_main(argv: &[String]) -> ExitCode {
+    if argv.iter().any(|a| a == "-h" || a == "--help") {
+        print!("{TRACE_SUMMARY_USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let [path] = argv else {
+        eprintln!("error: expected exactly one trace file\n\n{TRACE_SUMMARY_USAGE}");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match parse_trace_file(&text) {
+        Ok(trace) => {
+            print!("{}", summarize(&trace));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("lab") {
         return lab_main(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("trace-summary") {
+        return trace_summary_main(&argv[1..]);
     }
     if argv.first().map(String::as_str) == Some("serve") {
         return serve_main(&argv[1..]);
@@ -1221,7 +1438,11 @@ fn main() -> ExitCode {
         describe(&args.params, &ws);
         return ExitCode::SUCCESS;
     }
-    let backend = AnyBackend::build(args.backend, ws);
+    let recorder = match &args.trace {
+        Some(_) => Recorder::enabled(),
+        None => Recorder::off(),
+    };
+    let backend = AnyBackend::build_traced(args.backend, ws, recorder.clone());
 
     let cfg = BenchConfig {
         threads: args.threads,
@@ -1239,6 +1460,7 @@ fn main() -> ExitCode {
         },
         seed: args.seed,
         histograms: args.histograms,
+        recorder: recorder.clone(),
     };
     eprintln!(
         "running: backend={} threads={} workload={} ...",
@@ -1273,6 +1495,15 @@ fn main() -> ExitCode {
                 eprintln!("STRUCTURE CORRUPTED: {msg}");
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if let Some(path) = &args.trace {
+        // Drop first: the RCL backend's server thread only flushes its
+        // trace lane when the thread exits at backend drop.
+        drop(backend);
+        if let Err(msg) = write_trace(path, &recorder.take_trace()) {
+            eprintln!("error: {msg}");
+            return ExitCode::FAILURE;
         }
     }
     ExitCode::SUCCESS

@@ -28,6 +28,7 @@ pub use stmbench7_core as core;
 pub use stmbench7_data as data;
 pub use stmbench7_lab as lab;
 pub use stmbench7_net as net;
+pub use stmbench7_obs as obs;
 pub use stmbench7_service as service;
 pub use stmbench7_stm as stm;
 

@@ -280,7 +280,7 @@ mod lab {
         let doc = parse(&text).expect("results must be valid JSON");
         assert_eq!(
             doc.get("format").and_then(JsonValue::as_str),
-            Some("stmbench7-lab/4")
+            Some("stmbench7-lab/5")
         );
         assert_eq!(doc.get("spec").and_then(JsonValue::as_str), Some("smoke"));
         let cells = doc.get("cells").and_then(JsonValue::as_array).unwrap();
@@ -631,7 +631,7 @@ mod net {
         assert!(stdout.contains("== Service =="), "client report:\n{stdout}");
         assert!(stdout.contains("offered 100"), "all offered:\n{stdout}");
         assert!(
-            !stdout.contains("reconnects"),
+            stdout.contains("reconnects 0"),
             "a healthy loopback drive must not reconnect:\n{stdout}"
         );
         assert!(
@@ -652,6 +652,72 @@ mod net {
             server_stdout.contains("offered 100"),
             "server drained every pipelined request:\n{server_stdout}"
         );
+    }
+
+    #[test]
+    fn traced_net_run_round_trips_with_events_from_four_layers() {
+        // The whole-stack observability smoke: a traced net-serve run
+        // must produce valid Chrome trace_event JSON whose events span
+        // the engine, backend, service, and net layers, and the
+        // trace-summary subcommand must digest it.
+        let dir = std::env::temp_dir().join(format!("sb7-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("net.trace.json");
+        // flatcomb: its combiner emits a Backend-layer event per batch,
+        // so backend coverage doesn't depend on winning a lock race.
+        let (mut server, addr) = spawn_server(&[
+            "-g",
+            "flatcomb",
+            "--workers",
+            "2",
+            "--trace",
+            trace_path.to_str().unwrap(),
+        ]);
+        run_ok(&[
+            "net-drive",
+            "closed:2",
+            "--addr",
+            &addr,
+            "--connections",
+            "2",
+            "--requests",
+            "200",
+            "-w",
+            "rw",
+            "--shutdown",
+        ]);
+        let status = server.wait().expect("server must exit after shutdown");
+        assert!(status.success(), "server exit must be clean: {status:?}");
+
+        let text = std::fs::read_to_string(&trace_path).expect("trace file written");
+        let doc = stmbench7::lab::json::parse(&text).expect("trace must be valid JSON");
+        let events = doc.as_array().expect("Chrome trace array format");
+        assert!(events.len() > 10, "expected a populated trace");
+        let mut layers: Vec<String> = events
+            .iter()
+            .filter_map(|e| e.get("cat"))
+            .filter_map(|c| c.as_str().map(str::to_string))
+            .collect();
+        layers.sort();
+        layers.dedup();
+        for layer in ["engine", "backend", "service", "net"] {
+            assert!(
+                layers.iter().any(|l| l == layer),
+                "no {layer} events in trace; layers present: {layers:?}"
+            );
+        }
+        assert!(
+            text.contains("trace_dropped"),
+            "completeness marker must ride along"
+        );
+
+        let (summary, _) = run_ok(&["trace-summary", trace_path.to_str().unwrap()]);
+        assert!(
+            summary.contains("events across") && summary.contains("layers"),
+            "summary header:\n{summary}"
+        );
+        assert!(summary.contains("queue-admit"), "summary rows:\n{summary}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -27,6 +27,7 @@ fn hammer_for(choice: BackendChoice, name: &str, duration: Duration) {
         filter: OpFilter::none(),
         seed: 1234,
         histograms: false,
+        recorder: stmbench7::obs::Recorder::default(),
     };
     let report = run_benchmark(&backend, &params, &cfg);
     assert!(report.total_started() > 0, "{name}: nothing ran");
@@ -89,6 +90,7 @@ fn combining_backends_lose_no_operation_under_contention() {
             filter: OpFilter::none(),
             seed: 99,
             histograms: false,
+            recorder: stmbench7::obs::Recorder::default(),
         };
         let report = run_benchmark(&backend, &params, &cfg);
         let stats = backend.combining_stats().expect("delegation backend");
@@ -126,6 +128,7 @@ fn flatcomb_combiner_handoff_mid_run() {
             filter: OpFilter::none(),
             seed: 4321 + phase,
             histograms: false,
+            recorder: stmbench7::obs::Recorder::default(),
         };
         // run_benchmark spawns fresh worker threads per call, so each
         // phase's combiner is a different OS thread from the last one's.
