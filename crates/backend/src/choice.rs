@@ -22,8 +22,11 @@ use crate::{
 /// Which synchronization strategy to construct.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BackendChoice {
+    /// One mutex, one thread at a time — the determinism oracle.
     Sequential,
+    /// One read-write lock over everything (the paper's coarse strategy).
     Coarse,
+    /// SM gate + per-group read-write locks (the paper's Figure 5).
     Medium,
     /// Per-object locking with the discover/sort/acquire cycle — the
     /// "ultimate baseline" the paper names as future work.
@@ -36,7 +39,9 @@ pub enum BackendChoice {
     DedicatedServer,
     /// The paper's system under test.
     Astm {
+        /// Monolithic or sharded transactional-variable representation.
         granularity: Granularity,
+        /// The contention manager arbitrating conflicting transactions.
         cm: ContentionManager,
         /// DSTM-style visible reads (ablation of the invisible-read
         /// pathology); the paper's configuration is `false`.
@@ -44,11 +49,13 @@ pub enum BackendChoice {
     },
     /// The §5 remedy class (TL2/LSA-style).
     Tl2 {
+        /// Monolithic or sharded transactional-variable representation.
         granularity: Granularity,
     },
     /// The metadata-free remedy class (NOrec-style: global sequence
     /// lock, value-based validation).
     Norec {
+        /// Monolithic or sharded transactional-variable representation.
         granularity: Granularity,
     },
 }
@@ -136,6 +143,7 @@ impl BackendChoice {
 }
 
 /// A backend chosen at runtime (the CLI's `-g` flag).
+#[allow(missing_docs)] // Variants mirror BackendChoice, documented there.
 pub enum AnyBackend {
     Sequential(SequentialBackend),
     Coarse(CoarseBackend),

@@ -119,7 +119,7 @@ struct PubRecord {
 
 /// Flat combining over the STMBench7 workspace.
 ///
-/// `execute` pushes a [`PubRecord`] onto a Treiber-style publication list
+/// `execute` pushes a publication record onto a Treiber-style list
 /// and then alternates between checking its own `done` flag and trying
 /// the workspace lock. Whoever wins the lock becomes the combiner: it
 /// repeatedly swaps the whole list out and executes every published
@@ -340,7 +340,7 @@ struct ServerShared {
 ///
 /// The server consumes the queue through [`BoundedQueue::drain`] — the
 /// identical combiner loop the `stmbench7-service` worker pool runs —
-/// batching up to [`SERVER_BATCH`] submissions per workspace
+/// batching up to `SERVER_BATCH` submissions per workspace
 /// acquisition. Dropping the backend closes the queue and joins the
 /// server.
 pub struct DedicatedServerBackend {

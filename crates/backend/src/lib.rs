@@ -25,6 +25,8 @@
 //!   ([`queue::BoundedQueue`], the combiner loop `stmbench7-service`'s
 //!   worker pool also runs).
 
+#![warn(missing_docs)]
+
 pub mod choice;
 pub mod combining;
 pub mod fine;

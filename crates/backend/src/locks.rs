@@ -28,7 +28,8 @@ use stmbench7_obs::{ContentionCounters, ContentionSnapshot, EventKind, Layer, Re
 
 use stmbench7_data::access::PoolKind;
 use stmbench7_data::btree::BTree;
-use stmbench7_data::spec::{AccessSpec, Mode};
+use stmbench7_data::sharded::MAX_SHARDS;
+use stmbench7_data::spec::{AccessSpec, Mode, MAX_LEVELS};
 use stmbench7_data::workspace::{
     AtomicGroup, BaseGroup, ComplexLevelGroup, CompositeGroup, DirectTx, DocGroup, SmState, Store,
     Workspace,
@@ -367,8 +368,10 @@ impl Backend for MediumBackend {
         let sampled = rec.sampled();
         let t0 = if sampled { rec.now_ns() } else { 0 };
         let sm = Guard::acquire(&self.sm, spec.sm, &self.obs, "sm-gate", false);
-        let mut complexes: Vec<Guard<'_, ComplexLevelGroup>> =
-            (0..self.complexes.len()).map(|_| Guard::None).collect();
+        // Fixed-size guard arrays: the lock plan lives entirely on the
+        // stack, so the hot path allocates nothing per execute.
+        let mut complexes: [Guard<'_, ComplexLevelGroup>; MAX_LEVELS - 1] =
+            std::array::from_fn(|_| Guard::None);
         let mut bases = Guard::None;
         for level in (1..=self.levels()).rev() {
             let mode = spec.levels[level - 1];
@@ -393,18 +396,13 @@ impl Backend for MediumBackend {
         );
         // Per-shard atomic locks: only the declared shards are taken, so
         // narrowed operations on different shards run concurrently.
-        let atomics: Vec<Guard<'_, AtomicLockShard>> = self
-            .atomics
-            .iter()
-            .enumerate()
-            .map(|(s, lock)| {
-                if spec.atomic_shards.contains(s) {
-                    Guard::acquire(lock, spec.atomics, &self.obs, "shard", true)
-                } else {
-                    Guard::None
-                }
-            })
-            .collect();
+        let mut atomics: [Guard<'_, AtomicLockShard>; MAX_SHARDS] =
+            std::array::from_fn(|_| Guard::None);
+        for (s, lock) in self.atomics.iter().enumerate() {
+            if spec.atomic_shards.contains(s) {
+                atomics[s] = Guard::acquire(lock, spec.atomics, &self.obs, "shard", true);
+            }
+        }
         let documents = Guard::acquire(
             &self.documents,
             spec.documents,
@@ -423,8 +421,10 @@ impl Backend for MediumBackend {
             sm,
             bases,
             complexes,
+            complex_levels: self.complexes.len(),
             composites,
             atomics,
+            shards: self.atomics.len(),
             documents,
             manual,
         };
@@ -512,14 +512,18 @@ impl<'a, T> Guard<'a, T> {
 }
 
 /// The medium-grained transaction: a set of held guards (one per atomic
-/// shard for the atomic-part group).
+/// shard for the atomic-part group). The guard sets are fixed-capacity
+/// stack arrays sized for the workspace maxima; `complex_levels` and
+/// `shards` record how many slots are actually configured.
 pub struct MediumTx<'a> {
     module: &'a Module,
     sm: Guard<'a, SmState>,
     bases: Guard<'a, BaseGroup>,
-    complexes: Vec<Guard<'a, ComplexLevelGroup>>,
+    complexes: [Guard<'a, ComplexLevelGroup>; MAX_LEVELS - 1],
+    complex_levels: usize,
     composites: Guard<'a, CompositeGroup>,
-    atomics: Vec<Guard<'a, AtomicLockShard>>,
+    atomics: [Guard<'a, AtomicLockShard>; MAX_SHARDS],
+    shards: usize,
     documents: Guard<'a, DocGroup>,
     manual: Guard<'a, Manual>,
 }
@@ -531,24 +535,24 @@ impl MediumTx<'_> {
     /// operation did not declare that shard (a narrowing bug — the
     /// backend panics on it, exactly as for undeclared groups).
     fn atomic_shard(&self, raw: u32) -> TxR<&AtomicLockShard> {
-        self.atomics[raw as usize % self.atomics.len()].get()
+        self.atomics[raw as usize % self.shards].get()
     }
 
     /// Mutable variant of [`MediumTx::atomic_shard`].
     fn atomic_shard_mut(&mut self, raw: u32) -> TxR<&mut AtomicLockShard> {
-        let shard = raw as usize % self.atomics.len();
+        let shard = raw as usize % self.shards;
         self.atomics[shard].get_mut()
     }
 
     fn complex_group(&self, level: u8) -> TxR<&ComplexLevelGroup> {
-        self.complexes
+        self.complexes[..self.complex_levels]
             .get(usize::from(level) - 2)
             .ok_or(TxErr::Invariant("assembly level out of range"))?
             .get()
     }
 
     fn complex_group_mut(&mut self, level: u8) -> TxR<&mut ComplexLevelGroup> {
-        self.complexes
+        self.complexes[..self.complex_levels]
             .get_mut(usize::from(level) - 2)
             .ok_or(TxErr::Invariant("assembly level out of range"))?
             .get_mut()
@@ -751,7 +755,7 @@ impl Sb7Tx for MediumTx<'_> {
         // Range scans span all shards; each per-shard slice is sorted, so
         // one global sort restores the monolithic `(date, id)` order.
         let mut entries: Vec<(i32, u32)> = Vec::new();
-        for shard in &self.atomics {
+        for shard in &self.atomics[..self.shards] {
             shard
                 .get()?
                 .by_date
@@ -762,7 +766,7 @@ impl Sb7Tx for MediumTx<'_> {
 
     fn all_atomic_ids(&mut self) -> TxR<Vec<AtomicPartId>> {
         let mut out = Vec::new();
-        for shard in &self.atomics {
+        for shard in &self.atomics[..self.shards] {
             shard.get()?.by_id.for_each(|raw, _| out.push(*raw));
         }
         out.sort_unstable();

@@ -130,6 +130,81 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Like [`Self::pop_batch`], but never blocks: returns an empty
+    /// vector immediately when nothing is queued (whether or not the
+    /// queue is closed). The shard-affine worker loop uses this to try
+    /// its own sub-queue and then steal from peers without sleeping on
+    /// any single queue's condvar.
+    pub fn try_pop_batch(&self, max: usize, compatible: impl Fn(&T, &T) -> bool) -> Vec<T> {
+        let mut state = self.state.lock().expect("queue poisoned");
+        let Some(first) = state.items.pop_front() else {
+            return Vec::new();
+        };
+        let mut batch = vec![first];
+        while batch.len() < max {
+            match state.items.front() {
+                Some(next) if compatible(&batch[0], next) => {
+                    let next = state.items.pop_front().expect("peeked");
+                    batch.push(next);
+                }
+                _ => break,
+            }
+        }
+        drop(state);
+        self.not_full.notify_all();
+        batch
+    }
+
+    /// Like [`Self::pop_batch`], but waits at most `timeout` for the
+    /// first item. Returns an empty vector on timeout *or* once the
+    /// queue is closed and drained — callers that need to distinguish
+    /// the two check [`Self::is_finished`].
+    pub fn pop_batch_timeout(
+        &self,
+        max: usize,
+        compatible: impl Fn(&T, &T) -> bool,
+        timeout: std::time::Duration,
+    ) -> Vec<T> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut state = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(first) = state.items.pop_front() {
+                let mut batch = vec![first];
+                while batch.len() < max {
+                    match state.items.front() {
+                        Some(next) if compatible(&batch[0], next) => {
+                            let next = state.items.pop_front().expect("peeked");
+                            batch.push(next);
+                        }
+                        _ => break,
+                    }
+                }
+                drop(state);
+                self.not_full.notify_all();
+                return batch;
+            }
+            if state.closed {
+                return Vec::new();
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Vec::new();
+            }
+            let (next_state, _timed_out) = self
+                .not_empty
+                .wait_timeout(state, deadline - now)
+                .expect("queue poisoned");
+            state = next_state;
+        }
+    }
+
+    /// True once the queue is closed *and* fully drained: the stream has
+    /// ended and no future pop can return anything.
+    pub fn is_finished(&self) -> bool {
+        let state = self.state.lock().expect("queue poisoned");
+        state.closed && state.items.is_empty()
+    }
+
     /// The combiner loop: pops batches (via [`Self::pop_batch`]) and
     /// hands each to `run` until the queue is closed and drained. The
     /// service worker pool and the dedicated-server backend both consume
@@ -245,6 +320,41 @@ mod tests {
         };
         q.close();
         assert!(consumer.join().expect("consumer must finish").is_empty());
+    }
+
+    #[test]
+    fn try_pop_never_blocks_and_respects_compatibility() {
+        let q = BoundedQueue::new(8);
+        assert!(q.try_pop_batch(4, |_, _| true).is_empty(), "empty queue");
+        for x in [2, 4, 5] {
+            q.push_blocking(x);
+        }
+        assert_eq!(q.try_pop_batch(4, |a, b| a % 2 == b % 2), vec![2, 4]);
+        assert_eq!(q.try_pop_batch(4, |_, _| true), vec![5]);
+        assert!(!q.is_finished(), "open queues are never finished");
+        q.close();
+        assert!(q.try_pop_batch(4, |_, _| true).is_empty());
+        assert!(q.is_finished(), "closed and drained");
+    }
+
+    #[test]
+    fn pop_batch_timeout_returns_empty_on_deadline_and_on_close() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let t0 = std::time::Instant::now();
+        let batch = q.pop_batch_timeout(4, |_, _| true, std::time::Duration::from_millis(5));
+        assert!(batch.is_empty());
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(4));
+        assert!(!q.is_finished(), "timeout is not end-of-stream");
+        q.push_blocking(9);
+        assert_eq!(
+            q.pop_batch_timeout(4, |_, _| true, std::time::Duration::from_secs(1)),
+            vec![9]
+        );
+        q.close();
+        assert!(q
+            .pop_batch_timeout(4, |_, _| true, std::time::Duration::from_secs(1))
+            .is_empty());
+        assert!(q.is_finished());
     }
 
     #[test]

@@ -32,14 +32,19 @@ pub enum RunMode {
 /// Full benchmark configuration.
 #[derive(Clone, Debug)]
 pub struct BenchConfig {
+    /// Worker thread count (the paper's `-t`).
     pub threads: usize,
+    /// Timed or fixed-operation-count run.
     pub mode: RunMode,
+    /// Read-dominated / read-write / write-dominated mix (`-w`).
     pub workload: WorkloadType,
     /// The paper's `--no-traversals` switch, inverted.
     pub long_traversals: bool,
     /// The paper's `--no-sms` switch, inverted.
     pub structure_mods: bool,
+    /// The §5 operation filter (e.g. `--astm-friendly`).
     pub filter: OpFilter,
+    /// Root RNG seed; every thread and operation derives from it.
     pub seed: u64,
     /// Collect TTC histograms (`--ttc-histograms`).
     pub histograms: bool,

@@ -13,6 +13,7 @@ use std::fmt::Write as _;
 /// One JSON value. Object keys keep insertion order so rendered
 /// documents are stable and diffable.
 #[derive(Clone, Debug, PartialEq)]
+#[allow(missing_docs)] // The six JSON value kinds; names are the docs.
 pub enum JsonValue {
     Null,
     Bool(bool),

@@ -13,6 +13,8 @@
 //! * [`json`] — the hand-rolled JSON document model backing the lab
 //!   harness's machine-readable results (the build is offline, no serde).
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod histogram;
 pub mod json;
@@ -23,6 +25,6 @@ pub mod workload;
 pub use engine::{run_benchmark, BenchConfig, RunMode};
 pub use histogram::{Histogram, Resolution};
 pub use json::JsonValue;
-pub use ops::{access_spec, run_op, Category, OpCtx, OpKind};
+pub use ops::{access_spec, primary_shard, run_op, Category, OpCtx, OpKind};
 pub use report::{CategoryLatency, OpReport, Report, SampleError, ServiceStats};
 pub use workload::{OpFilter, WorkloadMix, WorkloadType};

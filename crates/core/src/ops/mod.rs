@@ -23,9 +23,13 @@ use stmbench7_data::{OpOutcome, Sb7Tx, ShardKey, StructureParams, TxR};
 /// The paper's four operation categories.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Category {
+    /// T1–T6, CT1–CT14: whole-graph traversals.
     LongTraversal,
+    /// ST1–ST10: index-assisted partial traversals.
     ShortTraversal,
+    /// OP1–OP15: few-object lookups and updates.
     ShortOperation,
+    /// SM1–SM8: inserts/deletes that reshape the structure.
     StructureModification,
 }
 
@@ -66,7 +70,7 @@ macro_rules! ops {
         /// One of the 45 STMBench7 operations.
         #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
         pub enum OpKind {
-            $( $name, )+
+            $( #[doc = $label] $name, )+
         }
 
         impl OpKind {
@@ -153,7 +157,10 @@ ops! {
 /// Per-execution context: the structure parameters (for random id ranges
 /// and date ranges) and the operation's random number generator.
 pub struct OpCtx {
+    /// The structure sizing the ids and dates are drawn against.
     pub params: StructureParams,
+    /// The operation's own generator; reseeding it per request makes
+    /// outcomes independent of scheduling.
     pub rng: SmallRng,
 }
 
@@ -370,20 +377,18 @@ pub fn shard_hint(op: OpKind, ctx: &OpCtx) -> Option<ShardSet> {
         return None;
     }
     // `begin_attempt` restores the pre-execution RNG state for every
-    // attempt, so replaying the leading draws against a clone is exact by
-    // construction. The probe is built inside the hintable arms only —
-    // this runs per operation dispatch, and most operations return None.
-    let probe = |ctx: &OpCtx| OpCtx {
-        params: ctx.params.clone(),
-        rng: ctx.rng.clone(),
-    };
+    // attempt, so replaying the leading draws against a clone of the
+    // generator is exact by construction. Only the generator is cloned —
+    // this runs on every operation dispatch, so the probe must not
+    // rebuild a context (the draw itself needs nothing but the id range).
+    let max = ctx.params.max_atomics();
     match op {
         OpKind::Op1 | OpKind::Op9 | OpKind::Op15 => {
             // Replay the ten draws exactly as `op1_impl` will make them.
-            let mut probe = probe(ctx);
+            let mut rng = ctx.rng.clone();
             let mut set = ShardSet::EMPTY;
             for _ in 0..10 {
-                set = set.with(probe.random_atomic_raw().shard(shards));
+                set = set.with(rng.gen_range(1..=max).shard(shards));
             }
             Some(set)
         }
@@ -391,7 +396,38 @@ pub fn shard_hint(op: OpKind, ctx: &OpCtx) -> Option<ShardSet> {
             // `ancestors_of_random_part` draws its single id first; the
             // walk upward reads that one part's owner and then leaves the
             // atomic group entirely.
-            Some(ShardSet::of(probe(ctx).random_atomic_raw().shard(shards)))
+            Some(ShardSet::of(
+                ctx.rng.clone().gen_range(1..=max).shard(shards),
+            ))
+        }
+        _ => None,
+    }
+}
+
+/// The shard a request's *first* atomic-part draw routes to, computed
+/// from the request's seed alone — the affinity router's key.
+///
+/// The service layer re-seeds each request's generator from
+/// `Request::rng_seed` before execution, so the first draw any hintable
+/// operation makes is fully determined by `(op, params, rng_seed)`; a
+/// dispatcher can therefore route the request to the worker that owns
+/// that shard without building a context or touching the structure.
+/// Returns `None` for unhintable operations and single-shard structures
+/// (no affinity signal; route however balances load).
+///
+/// For OP1/OP9/OP15 the first of the ten drawn ids stands in for the
+/// whole footprint: a 10-draw set usually spans several shards, and a
+/// router needs one owner, not a set — the remaining shards are covered
+/// by the lock plan ([`shard_hint`]), not by placement.
+pub fn primary_shard(op: OpKind, params: &StructureParams, rng_seed: u64) -> Option<usize> {
+    let shards = params.effective_shards();
+    if shards <= 1 {
+        return None;
+    }
+    match op {
+        OpKind::Op1 | OpKind::Op9 | OpKind::Op15 | OpKind::St3 | OpKind::St8 => {
+            let mut rng = SmallRng::seed_from_u64(rng_seed);
+            Some(rng.gen_range(1..=params.max_atomics()).shard(shards))
         }
         _ => None,
     }
@@ -509,6 +545,33 @@ mod tests {
             assert!(!access_spec(op, 7).atomics.touched());
             assert!(shard_hint(op, &OpCtx::new(params.clone(), 1)).is_none());
         }
+    }
+
+    #[test]
+    fn primary_shard_is_the_first_draw_of_every_hintable_op() {
+        let params = StructureParams::tiny().with_shards(8);
+        for op in [
+            OpKind::Op1,
+            OpKind::Op9,
+            OpKind::Op15,
+            OpKind::St3,
+            OpKind::St8,
+        ] {
+            for seed in 0..25u64 {
+                let primary =
+                    primary_shard(op, &params, seed).expect("hintable ops have a primary shard");
+                // The router key is the first replayed draw — and is
+                // therefore always inside the lock plan's hinted set.
+                let mut probe = OpCtx::new(params.clone(), seed);
+                assert_eq!(primary, probe.random_atomic_raw() as usize % 8);
+                let hint = shard_hint(op, &OpCtx::new(params.clone(), seed)).unwrap();
+                assert!(hint.contains(primary), "{} seed {seed}", op.name());
+            }
+        }
+        // No signal for unhintable ops or unsharded structures.
+        assert!(primary_shard(OpKind::T1, &params, 1).is_none());
+        assert!(primary_shard(OpKind::Op2, &params, 1).is_none());
+        assert!(primary_shard(OpKind::Op1, &StructureParams::tiny(), 1).is_none());
     }
 
     #[test]

@@ -17,16 +17,22 @@ use crate::workload::WorkloadType;
 /// Merged measurements for one operation.
 #[derive(Clone, Debug)]
 pub struct OpReport {
+    /// Which operation this row measures.
     pub op: OpKind,
     /// The configured ratio `C_T`.
     pub expected_ratio: f64,
+    /// Successful executions.
     pub completed: u64,
+    /// Benign failures (e.g. a drawn id that no longer exists).
     pub failed: u64,
     /// Aborted-and-retried execution attempts (attempts beyond the
     /// first; STM conflicts, lock-plan re-executions).
     pub aborts: u64,
+    /// Slowest single execution, nanoseconds.
     pub max_ns: u64,
+    /// Total time spent in this operation, nanoseconds.
     pub sum_ns: u64,
+    /// TTC histogram (populated when `--ttc-histograms` is on).
     pub hist: Histogram,
 }
 
@@ -95,6 +101,7 @@ pub struct SampleError {
 /// histogram hides which class a tail belongs to.
 #[derive(Clone, Debug)]
 pub struct CategoryLatency {
+    /// Which of the four categories this row covers.
     pub category: Category,
     /// Scheduled arrival → execution start for this category's requests
     /// (microsecond resolution).
@@ -142,8 +149,10 @@ pub struct ServiceStats {
     pub workers: usize,
     /// Bound of the request queue.
     pub queue_cap: usize,
-    /// Maximum read-only batch size (1 = batching off).
+    /// Maximum batch size (1 = batching off).
     pub batch_max: usize,
+    /// Worker-affinity routing key (`none` or `shard`).
+    pub affinity: String,
     /// Requests offered by the arrival schedule.
     pub offered: u64,
     /// Requests dropped by reject-on-full admission control.
@@ -160,6 +169,14 @@ pub struct ServiceStats {
     pub trace_dropped: u64,
     /// Backend executions (batching folds several requests into one).
     pub batches: u64,
+    /// Multi-request batches that carried at least one writing request
+    /// (group commit; 0 when batching is off or write-free).
+    pub write_batches: u64,
+    /// Largest group-committed write batch observed (requests).
+    pub max_write_batch: u64,
+    /// Requests taken from another worker's sub-queue under shard
+    /// affinity (0 when affinity is off).
+    pub steals: u64,
     /// Scheduled arrival → execution start, per admitted request
     /// (microsecond resolution).
     pub queue_wait: Histogram,
@@ -232,6 +249,7 @@ impl ServiceStats {
             ("workers", JsonValue::num(self.workers as f64)),
             ("queue_cap", JsonValue::num(self.queue_cap as f64)),
             ("batch_max", JsonValue::num(self.batch_max as f64)),
+            ("affinity", JsonValue::str(&self.affinity)),
             ("offered", JsonValue::num(self.offered as f64)),
             ("rejected", JsonValue::num(self.rejected as f64)),
             ("reconnects", JsonValue::num(self.reconnects as f64)),
@@ -239,6 +257,12 @@ impl ServiceStats {
             ("idle_ns", JsonValue::num(self.idle_ns as f64)),
             ("trace_dropped", JsonValue::num(self.trace_dropped as f64)),
             ("batches", JsonValue::num(self.batches as f64)),
+            ("write_batches", JsonValue::num(self.write_batches as f64)),
+            (
+                "max_write_batch",
+                JsonValue::num(self.max_write_batch as f64),
+            ),
+            ("steals", JsonValue::num(self.steals as f64)),
             ("queue_wait_us", Self::latency_json(&self.queue_wait)),
             ("service_time_us", Self::latency_json(&self.service_time)),
             ("e2e_us", Self::latency_json(&self.e2e)),
@@ -257,14 +281,23 @@ impl ServiceStats {
 /// A complete benchmark result.
 #[derive(Clone, Debug)]
 pub struct Report {
+    /// The strategy's canonical `-g` name.
     pub backend: String,
+    /// Worker thread count of the run.
     pub threads: usize,
+    /// The workload mix the run drew from.
     pub workload: WorkloadType,
+    /// Whether long traversals were enabled (`--no-traversals` off).
     pub long_traversals: bool,
+    /// Whether structure modifications were enabled (`--no-sms` off).
     pub structure_mods: bool,
+    /// Root RNG seed of the run.
     pub seed: u64,
+    /// Measured wall-clock window.
     pub elapsed: Duration,
+    /// One row per operation, specification order.
     pub per_op: Vec<OpReport>,
+    /// STM runtime statistics, for the STM backends.
     pub stm: Option<StatsSnapshot>,
     /// Always-on contention counters, if the backend maintains them
     /// (delta over the measured window).
@@ -471,8 +504,8 @@ impl Report {
             let _ = writeln!(out, "\n== Service ==");
             let _ = writeln!(
                 out,
-                "  schedule:            {}   workers {}   queue cap {}   batch {}",
-                svc.schedule, svc.workers, svc.queue_cap, svc.batch_max,
+                "  schedule:            {}   workers {}   queue cap {}   batch {}   affinity {}",
+                svc.schedule, svc.workers, svc.queue_cap, svc.batch_max, svc.affinity,
             );
             // Counters render unconditionally — zero included — so the
             // output shape is stable across runs and greppable.
@@ -480,6 +513,11 @@ impl Report {
                 out,
                 "  offered {}   rejected {}   batches {}   reconnects {}",
                 svc.offered, svc.rejected, svc.batches, svc.reconnects,
+            );
+            let _ = writeln!(
+                out,
+                "  write batches {}   max write batch {}   steals {}",
+                svc.write_batches, svc.max_write_batch, svc.steals,
             );
             let _ = writeln!(
                 out,
@@ -719,6 +757,7 @@ mod tests {
             workers: 2,
             queue_cap: 64,
             batch_max: 8,
+            affinity: "none".into(),
             offered: 100,
             rejected: 2,
             reconnects: 0,
@@ -726,6 +765,9 @@ mod tests {
             idle_ns: 500_000_000,
             trace_dropped: 0,
             batches: 40,
+            write_batches: 4,
+            max_write_batch: 3,
+            steals: 0,
             queue_wait,
             service_time,
             e2e,

@@ -18,12 +18,16 @@ use crate::ops::{Category, OpKind};
 /// the "more workloads need to be explored" extension its §6 calls for.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum WorkloadType {
+    /// 90% reads (`-w r`).
     ReadDominated,
+    /// 60% reads (`-w rw`).
     ReadWrite,
+    /// 10% reads (`-w w`).
     WriteDominated,
     /// An arbitrary update percentage in `0..=100` (`-w uNN`); the
     /// category weights of Table 2 are unchanged.
     Custom {
+        /// The percentage of operations that update, `0..=100`.
         update_pct: u8,
     },
 }

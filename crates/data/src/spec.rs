@@ -228,6 +228,52 @@ impl AccessSpec {
         }
     }
 
+    /// True when two operations may share one merged acquisition (group
+    /// commit) without either losing concurrency it was entitled to.
+    ///
+    /// Per lock group the pair is compatible when at most one side
+    /// touches it, or both touch it in the *same* mode — merging two
+    /// writers turns two exclusive acquisitions into one (the group
+    /// commit), while a read/write mix would force the reader to an
+    /// exclusive lock it never asked for. The atomic-part group also
+    /// accepts **disjoint** shard sets: those route to different
+    /// physical locks under per-shard backends, so the merged plan
+    /// (union of sets, stronger mode) still covers each member without
+    /// creating a conflict between them. Symmetric by construction.
+    ///
+    /// The merged batch executes under [`AccessSpec::union`], which is a
+    /// superset of every member's plan (see the `props` tests), so a
+    /// batch admitted by this predicate is always lock-safe; the
+    /// predicate only decides when merging is *profitable* rather than
+    /// over-serializing.
+    pub fn compatible_for_group_commit(&self, other: &AccessSpec) -> bool {
+        fn group_ok(a: Mode, b: Mode) -> bool {
+            !(a.touched() && b.touched()) || a == b
+        }
+        let atomics_ok = if self.atomics.touched() && other.atomics.touched() {
+            if self.atomics == Mode::Read && other.atomics == Mode::Read {
+                // Shared locks never conflict; any shard sets may merge.
+                true
+            } else {
+                let disjoint = self.atomic_shards.0 & other.atomic_shards.0 == 0;
+                disjoint
+                    || (self.atomics == other.atomics && self.atomic_shards == other.atomic_shards)
+            }
+        } else {
+            true
+        };
+        group_ok(self.sm, other.sm)
+            && self
+                .levels
+                .iter()
+                .zip(&other.levels)
+                .all(|(&a, &b)| group_ok(a, b))
+            && group_ok(self.composites, other.composites)
+            && atomics_ok
+            && group_ok(self.documents, other.documents)
+            && group_ok(self.manual, other.manual)
+    }
+
     /// Whether any group (or the gate) is requested in write mode; the
     /// coarse strategy takes its single lock in write mode iff this holds.
     pub fn any_write(&self) -> bool {
@@ -357,6 +403,59 @@ mod tests {
     }
 
     #[test]
+    fn group_commit_pairs_read_only_operations() {
+        // The PR 3 read-only batching rule is a special case: two
+        // read-only declarations are always compatible.
+        let t1 = AccessSpec::new()
+            .regular()
+            .levels(1, 7, Mode::Read)
+            .composites(Mode::Read)
+            .atomics(Mode::Read);
+        let st = AccessSpec::new()
+            .regular()
+            .atomics(Mode::Read)
+            .atomics_shards(ShardSet::of(3));
+        assert!(t1.compatible_for_group_commit(&st));
+        assert!(st.compatible_for_group_commit(&t1));
+    }
+
+    #[test]
+    fn group_commit_merges_identical_writers_and_disjoint_shards() {
+        let w = AccessSpec::new()
+            .regular()
+            .atomics(Mode::Write)
+            .atomics_shards(ShardSet::of(2));
+        // Identical write plans group-commit.
+        assert!(w.compatible_for_group_commit(&w));
+        // Disjoint shard sets route to different locks: mergeable even
+        // though both write.
+        let other_shard = AccessSpec::new()
+            .regular()
+            .atomics(Mode::Write)
+            .atomics_shards(ShardSet::of(5));
+        assert!(w.compatible_for_group_commit(&other_shard));
+        // Overlapping but non-identical write sets are not merged.
+        let overlapping = AccessSpec::new()
+            .regular()
+            .atomics(Mode::Write)
+            .atomics_shards(ShardSet::of(2).with(5));
+        assert!(!w.compatible_for_group_commit(&overlapping));
+    }
+
+    #[test]
+    fn group_commit_rejects_read_write_mixes_and_sm_pairs() {
+        let reader = AccessSpec::new().regular().composites(Mode::Read);
+        let writer = AccessSpec::new().regular().composites(Mode::Write);
+        assert!(!reader.compatible_for_group_commit(&writer));
+        // The SM gate is Write for SM ops and Read for everything else,
+        // so an SM op never batches with a regular one.
+        let sm = AccessSpec::new().sm_op().composites(Mode::Write);
+        assert!(!sm.compatible_for_group_commit(&writer));
+        // ... but two SM ops with the same plan do.
+        assert!(sm.compatible_for_group_commit(&sm));
+    }
+
+    #[test]
     fn mode_predicates() {
         assert!(Mode::Read.touched());
         assert!(Mode::Write.touched());
@@ -433,6 +532,84 @@ mod tests {
                 // Union with itself is a fixpoint (canonical form).
                 prop_assert_eq!(u.union(&u), u);
             }
+
+            /// The group-commit predicate is symmetric, and the merged
+            /// plan of ANY pair — compatible or not — is a superset of
+            /// each member's: every group at least as strong a mode, and
+            /// the atomic shard set covering each toucher's set (no lost
+            /// acquisition).
+            #[test]
+            fn group_commit_is_symmetric_and_unions_lose_no_locks(
+                a in arb_spec(),
+                b in arb_spec(),
+            ) {
+                prop_assert_eq!(
+                    a.compatible_for_group_commit(&b),
+                    b.compatible_for_group_commit(&a)
+                );
+                let u = a.union(&b);
+                for member in [&a, &b] {
+                    prop_assert!(mode_geq(u.sm, member.sm));
+                    for (mu, mm) in u.levels.iter().zip(&member.levels) {
+                        prop_assert!(mode_geq(*mu, *mm));
+                    }
+                    prop_assert!(mode_geq(u.composites, member.composites));
+                    prop_assert!(mode_geq(u.atomics, member.atomics));
+                    prop_assert!(mode_geq(u.documents, member.documents));
+                    prop_assert!(mode_geq(u.manual, member.manual));
+                    if member.atomics.touched() {
+                        // Shard coverage: every shard the member declared
+                        // is in the merged set.
+                        prop_assert_eq!(
+                            u.atomic_shards.0 & member.atomic_shards.0,
+                            member.atomic_shards.0
+                        );
+                    }
+                }
+                // Reflexivity: every plan can group-commit with itself.
+                prop_assert!(a.compatible_for_group_commit(&a));
+            }
+        }
+
+        /// `b` is satisfied by holding `a` (None < Read < Write).
+        fn mode_geq(a: Mode, b: Mode) -> bool {
+            a.max(b) == a
+        }
+
+        fn arb_mode() -> impl Strategy<Value = Mode> {
+            prop_oneof![Just(Mode::None), Just(Mode::Read), Just(Mode::Write)]
+        }
+
+        fn arb_spec() -> impl Strategy<Value = AccessSpec> {
+            (
+                arb_mode(),
+                proptest::collection::vec(arb_mode(), MAX_LEVELS..MAX_LEVELS + 1),
+                arb_mode(),
+                (arb_mode(), any::<u64>()),
+                arb_mode(),
+                arb_mode(),
+            )
+                .prop_map(
+                    |(sm, levels, composites, (atomics, mask), documents, manual)| {
+                        let mut level_arr = [Mode::None; MAX_LEVELS];
+                        level_arr.copy_from_slice(&levels);
+                        AccessSpec {
+                            sm,
+                            levels: level_arr,
+                            composites,
+                            atomics,
+                            // Touchers carry an arbitrary mask; untouched
+                            // sides keep the defaulted ALL, as real specs do.
+                            atomic_shards: if atomics.touched() {
+                                ShardSet(mask)
+                            } else {
+                                ShardSet::ALL
+                            },
+                            documents,
+                            manual,
+                        }
+                    },
+                )
         }
     }
 }

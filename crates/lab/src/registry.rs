@@ -6,11 +6,11 @@
 use stmbench7_backend::{BackendChoice, Granularity};
 use stmbench7_core::WorkloadType;
 use stmbench7_data::StructureParams;
-use stmbench7_service::{Admission, Schedule};
+use stmbench7_service::{Admission, Affinity, Schedule};
 use stmbench7_stm::ContentionManager;
 
 use crate::spec::{
-    grid, net_grid, service_grid, sharded_grid, ExperimentSpec, NetPlan, ServicePlan,
+    grid, net_grid, service_grid, sharded_grid, Cell, ExperimentSpec, NetPlan, ServicePlan,
 };
 
 /// `(name, one-line description)` of every built-in spec, in display
@@ -72,6 +72,10 @@ pub fn catalog() -> Vec<(&'static str, &'static str)> {
         (
             "net_c10k",
             "connection scaling: thousands of idle connections plus a hot pipelined subset on the event-loop server",
+        ),
+        (
+            "affinity_batching",
+            "group-commit batching + shard-affine workers vs the plain shared queue, medium/sharded-TL2 at 8 shards",
         ),
     ]
 }
@@ -299,6 +303,7 @@ pub fn build(name: &str) -> Option<ExperimentSpec> {
                     queue_cap: 128,
                     admission: Admission::Reject,
                     batch_max: 8,
+                    affinity: Affinity::None,
                     requests: 10_000,
                 },
             ),
@@ -428,6 +433,47 @@ pub fn build(name: &str) -> Option<ExperimentSpec> {
                 },
             ),
         ),
+        "affinity_batching" => {
+            // The before/after pair for the hot-path engine work: each
+            // backend runs the same open-loop stream through the plain
+            // shared queue (batch 1, no affinity) and through
+            // group-commit batching + shard-affine workers. 8 index
+            // shards so the shard router has real spread; long
+            // traversals off so the short, narrowable operations — the
+            // ones batching and affinity help — dominate.
+            let mut cells = Vec::new();
+            for &backend in &latency_backends() {
+                for (batch_max, affinity) in [(1, Affinity::None), (8, Affinity::Shard)] {
+                    cells.push(Cell {
+                        backend,
+                        workload: WorkloadType::ReadWrite,
+                        threads: 2,
+                        shards: Some(8),
+                        long_traversals: false,
+                        structure_mods: true,
+                        astm_friendly: false,
+                        service: Some(ServicePlan {
+                            schedule: Schedule::Open { rate: 20_000.0 },
+                            queue_cap: 256,
+                            admission: Admission::Block,
+                            batch_max,
+                            affinity,
+                            requests: 4_000,
+                        }),
+                        net: None,
+                        trace: false,
+                    });
+                }
+            }
+            spec(
+                "affinity_batching",
+                StructureParams::tiny(),
+                0.2,
+                0.05,
+                2,
+                cells,
+            )
+        }
         _ => return None,
     })
 }

@@ -12,12 +12,17 @@ use crate::spec::{Cell, ExperimentSpec};
 use crate::stats::Summary;
 
 /// The version tag every results document leads with; bump on any
-/// incompatible schema change. Version 5 adds the per-cell `contention`
-/// object (always-on lock/CAS counters, null for backends without them)
-/// and the `busy_ns`/`idle_ns`/`trace_dropped` counters to `service`
-/// objects; readers accept [`FORMAT_V4`], [`FORMAT_V3`], [`FORMAT_V2`]
-/// and [`FORMAT_V1`] documents unchanged.
-pub const FORMAT: &str = "stmbench7-lab/5";
+/// incompatible schema change. Version 6 adds the
+/// `write_batches`/`max_write_batch`/`steals` counters to `service`
+/// objects (group-commit batching and shard-affine work stealing);
+/// readers accept [`FORMAT_V5`], [`FORMAT_V4`], [`FORMAT_V3`],
+/// [`FORMAT_V2`] and [`FORMAT_V1`] documents unchanged.
+pub const FORMAT: &str = "stmbench7-lab/6";
+
+/// Version 5 (adds the per-cell `contention` object and the
+/// `busy_ns`/`idle_ns`/`trace_dropped` counters to `service` objects),
+/// still accepted by every reader.
+pub const FORMAT_V5: &str = "stmbench7-lab/5";
 
 /// Version 4 (adds the `reconnects` counter to `service` objects), still
 /// accepted by every reader.
@@ -39,6 +44,7 @@ pub const FORMAT_V1: &str = "stmbench7-lab/1";
 /// True for every document version this crate can read.
 pub fn format_supported(format: &str) -> bool {
     format == FORMAT
+        || format == FORMAT_V5
         || format == FORMAT_V4
         || format == FORMAT_V3
         || format == FORMAT_V2
@@ -106,6 +112,9 @@ pub struct CellResult {
 pub struct ServiceAgg {
     pub offered: u64,
     pub rejected: u64,
+    /// Worker-affinity routing key of the repetitions (`none` or
+    /// `shard`; also encoded in the cell key's `/affS` suffix).
+    pub affinity: String,
     /// Broken connections the net driver re-established, summed across
     /// repetitions (always 0 for in-process service cells).
     pub reconnects: u64,
@@ -115,6 +124,14 @@ pub struct ServiceAgg {
     /// Trace-ring drops summed across repetitions (0 when untraced).
     pub trace_dropped: u64,
     pub batches: u64,
+    /// Multi-request batches with at least one writer, summed across
+    /// repetitions (group commit; 0 when batching is off).
+    pub write_batches: u64,
+    /// Largest group-committed write batch across repetitions.
+    pub max_write_batch: u64,
+    /// Work-stealing pulls under shard affinity, summed across
+    /// repetitions (0 when affinity is off).
+    pub steals: u64,
     pub queue_wait: Histogram,
     pub service_time: Histogram,
     pub e2e: Histogram,
@@ -131,11 +148,18 @@ impl ServiceAgg {
         JsonValue::obj(vec![
             ("offered", JsonValue::num(self.offered as f64)),
             ("rejected", JsonValue::num(self.rejected as f64)),
+            ("affinity", JsonValue::str(&self.affinity)),
             ("reconnects", JsonValue::num(self.reconnects as f64)),
             ("busy_ns", JsonValue::num(self.busy_ns as f64)),
             ("idle_ns", JsonValue::num(self.idle_ns as f64)),
             ("trace_dropped", JsonValue::num(self.trace_dropped as f64)),
             ("batches", JsonValue::num(self.batches as f64)),
+            ("write_batches", JsonValue::num(self.write_batches as f64)),
+            (
+                "max_write_batch",
+                JsonValue::num(self.max_write_batch as f64),
+            ),
+            ("steals", JsonValue::num(self.steals as f64)),
             (
                 "queue_wait_us",
                 ServiceStats::latency_json(&self.queue_wait),
@@ -432,11 +456,15 @@ fn aggregate(cell: &Cell, reports: &[Report], trace: Option<Trace>) -> CellResul
         let mut agg = ServiceAgg {
             offered: 0,
             rejected: 0,
+            affinity: per_rep_service[0].affinity.clone(),
             reconnects: 0,
             busy_ns: 0,
             idle_ns: 0,
             trace_dropped: 0,
             batches: 0,
+            write_batches: 0,
+            max_write_batch: 0,
+            steals: 0,
             queue_wait: Histogram::micros(),
             service_time: Histogram::micros(),
             e2e: Histogram::micros(),
@@ -451,6 +479,9 @@ fn aggregate(cell: &Cell, reports: &[Report], trace: Option<Trace>) -> CellResul
             agg.idle_ns += svc.idle_ns;
             agg.trace_dropped = agg.trace_dropped.max(svc.trace_dropped);
             agg.batches += svc.batches;
+            agg.write_batches += svc.write_batches;
+            agg.max_write_batch = agg.max_write_batch.max(svc.max_write_batch);
+            agg.steals += svc.steals;
             agg.queue_wait.merge(&svc.queue_wait);
             agg.service_time.merge(&svc.service_time);
             agg.e2e.merge(&svc.e2e);
@@ -594,11 +625,12 @@ mod tests {
     #[test]
     fn all_format_versions_are_supported() {
         assert!(format_supported(FORMAT));
+        assert!(format_supported(FORMAT_V5));
         assert!(format_supported(FORMAT_V4));
         assert!(format_supported(FORMAT_V3));
         assert!(format_supported(FORMAT_V2));
         assert!(format_supported(FORMAT_V1));
-        assert!(!format_supported("stmbench7-lab/6"));
+        assert!(!format_supported("stmbench7-lab/7"));
         assert!(!format_supported("other/1"));
     }
 

@@ -9,7 +9,7 @@ use std::time::Duration;
 use stmbench7_backend::{AnyBackend, BackendChoice};
 use stmbench7_core::{run_benchmark, BenchConfig, OpFilter, Report, RunMode, WorkloadType};
 use stmbench7_data::{StructureParams, Workspace};
-use stmbench7_service::{Admission, Schedule};
+use stmbench7_service::{Admission, Affinity, Schedule};
 
 /// Service-layer protocol of one cell: run through `stmbench7-service`'s
 /// open-loop queue instead of the closed-loop engine. `threads` on the
@@ -20,8 +20,10 @@ pub struct ServicePlan {
     /// Bound of the request queue.
     pub queue_cap: usize,
     pub admission: Admission,
-    /// Maximum read-only batch size (1 = batching off).
+    /// Maximum group-commit batch size (1 = batching off).
     pub batch_max: usize,
+    /// Worker routing policy (shared queue vs shard-affine sub-queues).
+    pub affinity: Affinity,
     /// Length of the request stream; duration follows from the schedule
     /// (`requests / rate` for open arrivals), keeping lab runs
     /// deterministic in work rather than wall time.
@@ -29,13 +31,15 @@ pub struct ServicePlan {
 }
 
 impl ServicePlan {
-    /// An open-loop plan with blocking admission and no batching.
+    /// An open-loop plan with blocking admission, no batching, no
+    /// affinity routing.
     pub fn open_loop(schedule: Schedule, queue_cap: usize, requests: u64) -> ServicePlan {
         ServicePlan {
             schedule,
             queue_cap,
             admission: Admission::Block,
             batch_max: 1,
+            affinity: Affinity::None,
             requests,
         }
     }
@@ -48,6 +52,9 @@ impl ServicePlan {
         }
         if self.batch_max > 1 {
             key.push_str(&format!("/b{}", self.batch_max));
+        }
+        if self.affinity == Affinity::Shard {
+            key.push_str("/affS");
         }
         key
     }
@@ -238,6 +245,7 @@ impl Cell {
             queue_cap: plan.queue_cap,
             admission: plan.admission,
             batch_max: plan.batch_max,
+            affinity: plan.affinity,
             workload: self.workload,
             long_traversals: self.long_traversals,
             structure_mods: self.structure_mods,
@@ -271,6 +279,7 @@ impl Cell {
             queue_cap: plan.queue_cap,
             admission: Admission::Block,
             batch_max: 1,
+            affinity: Affinity::None,
             workload: self.workload,
             long_traversals: self.long_traversals,
             structure_mods: self.structure_mods,

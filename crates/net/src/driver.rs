@@ -532,6 +532,7 @@ fn merge(
             workers: cfg.connections,
             queue_cap: 0,
             batch_max: 1,
+            affinity: "none".to_string(),
             offered: requests.len() as u64,
             rejected,
             reconnects,
@@ -539,6 +540,9 @@ fn merge(
             idle_ns: 0,
             trace_dropped: 0,
             batches: executed,
+            write_batches: 0,
+            max_write_batch: 0,
+            steals: 0,
             queue_wait,
             service_time,
             e2e,

@@ -130,6 +130,12 @@ pub fn summarize(trace: &Trace) -> String {
         trace.layers().len(),
         trace.dropped
     );
+    if rows.is_empty() {
+        // A trace can legitimately hold only counter events (e.g. the
+        // drop marker); an empty table header would read as a bug.
+        let _ = writeln!(out, "  no span/instant events");
+        return out;
+    }
     let _ = writeln!(
         out,
         "  {:<8} {:<14} {:<12} {:>9} {:>12} {:>12}",
@@ -231,5 +237,16 @@ mod tests {
         let coarse = text.find("coarse").unwrap();
         assert!(t1 < coarse, "heaviest row first");
         assert!(text.contains("10.000"), "total ms of the two T1 spans");
+    }
+
+    #[test]
+    fn summary_of_a_counter_only_trace_says_so_instead_of_an_empty_table() {
+        let text = summarize(&Trace {
+            events: vec![],
+            dropped: 7,
+        });
+        assert!(text.contains("0 events across 0 layers, 7 dropped"));
+        assert!(text.contains("no span/instant events"));
+        assert!(!text.contains("total ms"), "no empty table header");
     }
 }

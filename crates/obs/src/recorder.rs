@@ -137,7 +137,7 @@ impl Recorder {
     }
 
     /// The sampling gate of the dispatch profiler: true for one in
-    /// [`SAMPLE_PERIOD`] calls per thread, always false when disabled.
+    /// `SAMPLE_PERIOD` (32) calls per thread, always false when disabled.
     #[inline]
     pub fn sampled(&self) -> bool {
         if self.shared.is_none() {

@@ -19,16 +19,19 @@
 //!   between this worker pool and the RCL-style
 //!   `DedicatedServerBackend`;
 //! * [`server`] — [`serve`]: dispatcher + worker pool executing requests
-//!   through any [`stmbench7_backend::Backend`], with opt-in read-only
-//!   batching (lock sets merged via `AccessSpec::union`) and per-request
-//!   latency decomposition (queue wait vs service time, microsecond
-//!   histograms) surfaced as [`stmbench7_core::ServiceStats`];
-//!   [`run_stream_closed`] runs the identical stream closed-loop — the
-//!   sequential-oracle counterpart.
+//!   through any [`stmbench7_backend::Backend`], with opt-in group-commit
+//!   batching (lock-compatible requests merged under one acquisition via
+//!   `AccessSpec::union`), shard-affine worker routing with work stealing
+//!   ([`Affinity`]), and per-request latency decomposition (queue wait vs
+//!   service time, microsecond histograms) surfaced as
+//!   [`stmbench7_core::ServiceStats`]; [`run_stream_closed`] runs the
+//!   identical stream closed-loop — the sequential-oracle counterpart.
 //!
 //! The CLI front door is `stmbench7 serve <schedule>`; the lab specs
 //! `latency_open`, `latency_bursty` and `saturation` drive the same path
 //! with gated JSON results.
+
+#![warn(missing_docs)]
 
 pub use stmbench7_backend::queue;
 pub mod schedule;
@@ -37,5 +40,5 @@ pub mod server;
 pub use queue::{Admission, BoundedQueue};
 pub use schedule::{Request, Schedule};
 pub use server::{
-    run_stream_closed, serve, serve_source, Ingress, Offer, ServeConfig, ServeResult,
+    run_stream_closed, serve, serve_source, Affinity, Ingress, Offer, ServeConfig, ServeResult,
 };

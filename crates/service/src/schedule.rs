@@ -29,6 +29,7 @@ pub struct Request {
     pub id: u64,
     /// Scheduled arrival, in nanoseconds after the stream's epoch.
     pub arrival_ns: u64,
+    /// The operation to execute.
     pub op: OpKind,
     /// Seed of the operation's private random number generator.
     pub rng_seed: u64,
@@ -40,20 +41,29 @@ pub struct Request {
 pub enum Schedule {
     /// Everything arrives at t=0: the queue is permanently backlogged and
     /// the worker pool runs flat out — the request-driven rendering of
-    /// the paper's closed loop. `clients` is the suggested worker count.
-    Closed { clients: usize },
+    /// the paper's closed loop.
+    Closed {
+        /// The suggested worker count.
+        clients: usize,
+    },
     /// Fixed-rate arrivals (requests per second) with deterministic
     /// jitter: request `i` lands uniformly inside its own interval slot
     /// `[i/rate, (i+1)/rate)`, so offered load is exact per slot but not
     /// metronomic.
-    Open { rate: f64 },
+    Open {
+        /// Offered load, requests per second.
+        rate: f64,
+    },
     /// Bursty arrivals averaging `rate` requests per second: each period
     /// of `period_ms` opens with a back-to-back burst of up to `burst`
     /// requests, and the period's remaining requests spread evenly over
     /// the rest of it.
     Bursty {
+        /// Average offered load, requests per second.
         rate: f64,
+        /// Maximum requests in each period-opening burst.
         burst: u64,
+        /// Burst period, milliseconds.
         period_ms: u64,
     },
 }

@@ -25,8 +25,8 @@ use rand::SeedableRng;
 
 use stmbench7_backend::{Backend, TxOperation};
 use stmbench7_core::{
-    access_spec, run_op, CategoryLatency, Histogram, OpCtx, OpFilter, OpKind, OpReport, Report,
-    ServiceStats, WorkloadMix, WorkloadType,
+    access_spec, primary_shard, run_op, CategoryLatency, Histogram, OpCtx, OpFilter, OpKind,
+    OpReport, Report, ServiceStats, WorkloadMix, WorkloadType,
 };
 use stmbench7_data::{AccessSpec, OpOutcome, Sb7Tx, StructureParams, TxR};
 use stmbench7_obs::{ContentionSnapshot, EventKind, Layer, Recorder};
@@ -35,22 +35,66 @@ use stmbench7_backend::queue::{Admission, BoundedQueue};
 
 use crate::schedule::{Request, Schedule};
 
+/// How the service routes queued requests to workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Affinity {
+    /// One shared queue; any idle worker takes the next request.
+    #[default]
+    None,
+    /// Per-worker sub-queues keyed by the request's declared primary
+    /// shard ([`primary_shard`]), with work stealing as the fallback, so
+    /// a shard's index nodes stay hot in one worker's cache. Requests
+    /// without a shard declaration spread round-robin by id.
+    Shard,
+}
+
+impl Affinity {
+    /// Parses a CLI/spec value (`none` | `shard`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "none" => Some(Affinity::None),
+            "shard" => Some(Affinity::Shard),
+            _ => None,
+        }
+    }
+
+    /// The stable key used in reports and lab cell names.
+    pub fn key(self) -> &'static str {
+        match self {
+            Affinity::None => "none",
+            Affinity::Shard => "shard",
+        }
+    }
+}
+
 /// Full configuration of a service run.
 #[derive(Clone, Debug)]
 pub struct ServeConfig {
+    /// The arrival schedule requests are replayed from.
     pub schedule: Schedule,
     /// Worker threads draining the queue.
     pub workers: usize,
-    /// Bound of the request queue.
+    /// Bound of the request queue (split across sub-queues under shard
+    /// affinity).
     pub queue_cap: usize,
+    /// What happens when the queue is full (block or reject).
     pub admission: Admission,
-    /// Maximum number of read-only requests folded into one backend
-    /// execution (1 = batching off).
+    /// Maximum number of lock-compatible requests folded into one
+    /// backend execution (1 = batching off). Read-only runs always
+    /// merge; writers merge when their access specs are group-commit
+    /// compatible ([`AccessSpec::compatible_for_group_commit`]).
     pub batch_max: usize,
+    /// Worker routing policy (shared queue vs shard-affine sub-queues).
+    pub affinity: Affinity,
+    /// The mix requests are drawn from.
     pub workload: WorkloadType,
+    /// Whether long traversals are in the mix.
     pub long_traversals: bool,
+    /// Whether structure modifications are in the mix.
     pub structure_mods: bool,
+    /// The §5 operation filter.
     pub filter: OpFilter,
+    /// Seed of the request stream (and, derived, of every request).
     pub seed: u64,
     /// Lifecycle trace recorder (`--trace`); disabled by default.
     pub recorder: Recorder,
@@ -66,6 +110,7 @@ impl ServeConfig {
             queue_cap: 1024,
             admission: Admission::Block,
             batch_max: 1,
+            affinity: Affinity::None,
             workload,
             long_traversals: true,
             structure_mods: true,
@@ -102,7 +147,9 @@ impl ServeConfig {
 /// [`ServiceStats`] attached) plus the per-request outcomes, indexed by
 /// request id (`None` = rejected by admission control).
 pub struct ServeResult {
+    /// The merged run report, service stats attached.
     pub report: Report,
+    /// Per-request outcomes, indexed by request id.
     pub outcomes: Vec<Option<OpOutcome>>,
 }
 
@@ -129,7 +176,11 @@ pub enum Offer {
 /// [`Ingress::claim_id`] and then offered exactly once. The outcome
 /// vector of the run is indexed by them.
 pub struct Ingress<'q> {
-    queue: &'q BoundedQueue<Request>,
+    /// One queue under [`Affinity::None`]; one per worker under
+    /// [`Affinity::Shard`].
+    queues: &'q [BoundedQueue<Request>],
+    affinity: Affinity,
+    params: StructureParams,
     admission: Admission,
     epoch: Instant,
     next_id: AtomicU64,
@@ -145,6 +196,20 @@ impl Ingress<'_> {
         self.epoch.elapsed().as_nanos() as u64
     }
 
+    /// The sub-queue a request routes to: its declared primary shard's
+    /// worker under shard affinity, round-robin by id for requests
+    /// without a shard declaration, queue 0 otherwise.
+    fn route(&self, req: &Request) -> &BoundedQueue<Request> {
+        let idx = match self.affinity {
+            Affinity::None => 0,
+            Affinity::Shard => primary_shard(req.op, &self.params, req.rng_seed)
+                .map_or(req.id as usize % self.queues.len(), |s| {
+                    s % self.queues.len()
+                }),
+        };
+        &self.queues[idx]
+    }
+
     /// A fresh dense request id. Every claimed id must be offered.
     pub fn claim_id(&self) -> u64 {
         self.next_id.fetch_add(1, Ordering::Relaxed)
@@ -155,16 +220,17 @@ impl Ingress<'_> {
     /// unexecuted in the outcome vector).
     pub fn offer(&self, req: Request) -> bool {
         let id = req.id;
+        let queue = self.route(&req);
         self.offered.fetch_add(1, Ordering::Relaxed);
         match self.admission {
             Admission::Block => {
-                self.queue.push_blocking(req);
+                queue.push_blocking(req);
                 self.recorder
                     .instant(Layer::Service, EventKind::QueueAdmit, "queue", id);
                 true
             }
             Admission::Reject => {
-                if self.queue.try_push(req).is_err() {
+                if queue.try_push(req).is_err() {
                     self.rejected.fetch_add(1, Ordering::Relaxed);
                     self.recorder
                         .instant(Layer::Service, EventKind::QueueReject, "queue", id);
@@ -191,10 +257,11 @@ impl Ingress<'_> {
     /// [`Self::claim_id`] callers.
     pub fn offer_nonblocking(&self, req: Request) -> Offer {
         let id = req.id;
+        let queue = self.route(&req);
         match self.admission {
             Admission::Reject => {
                 self.offered.fetch_add(1, Ordering::Relaxed);
-                if self.queue.try_push(req).is_err() {
+                if queue.try_push(req).is_err() {
                     self.rejected.fetch_add(1, Ordering::Relaxed);
                     self.recorder
                         .instant(Layer::Service, EventKind::QueueReject, "queue", id);
@@ -206,7 +273,7 @@ impl Ingress<'_> {
                 }
             }
             Admission::Block => {
-                if self.queue.try_push(req).is_err() {
+                if queue.try_push(req).is_err() {
                     let next = self.next_id.fetch_sub(1, Ordering::Relaxed);
                     debug_assert_eq!(next, id + 1, "rollback needs the latest claimed id");
                     Offer::Saturated
@@ -267,6 +334,12 @@ struct WorkerStats {
     e2e: Histogram,
     per_category: Vec<CategoryLatency>,
     batches: u64,
+    /// Multi-request batches carrying at least one writing request.
+    write_batches: u64,
+    /// Largest group-committed write batch this worker executed.
+    max_write_batch: u64,
+    /// Requests this worker stole from peers' sub-queues.
+    steals: u64,
     /// Time this worker spent executing batches.
     busy_ns: u64,
     /// Time this worker spent waiting for work (wall time minus busy).
@@ -288,6 +361,9 @@ impl WorkerStats {
             e2e: Histogram::micros(),
             per_category: CategoryLatency::all_empty(),
             batches: 0,
+            write_batches: 0,
+            max_write_batch: 0,
+            steals: 0,
             busy_ns: 0,
             idle_ns: 0,
             outcomes: Vec::new(),
@@ -332,6 +408,22 @@ fn batch_spec(specs: &[AccessSpec], batch: &[Request]) -> AccessSpec {
     spec
 }
 
+/// Pre-computed group-commit compatibility between every pair of
+/// operation types: bit `j` of entry `i` says ops `i` and `j` may share
+/// a batch. Declared access specs are per-op-type constants, so the
+/// whole predicate flattens to one table lookup on the queue's hot path.
+fn op_compat_table(specs: &[AccessSpec]) -> [u64; 45] {
+    let mut table = [0u64; 45];
+    for (i, a) in specs.iter().enumerate() {
+        for (j, b) in specs.iter().enumerate() {
+            if a.compatible_for_group_commit(b) {
+                table[i] |= 1 << j;
+            }
+        }
+    }
+    table
+}
+
 #[allow(clippy::too_many_arguments)] // Worker-loop plumbing, not an API.
 fn execute_batch<B: Backend>(
     backend: &B,
@@ -356,9 +448,14 @@ fn execute_batch<B: Backend>(
     let end_ns = epoch.elapsed().as_nanos() as u64;
     let start_ns = (t0 - epoch).as_nanos() as u64;
     stats.batches += 1;
+    if batch.len() > 1 && batch.iter().any(|r| !r.op.is_read_only()) {
+        stats.write_batches += 1;
+        stats.max_write_batch = stats.max_write_batch.max(batch.len() as u64);
+    }
     stats.busy_ns += end_ns.saturating_sub(start_ns);
     // A retried batch is one abort; attribute it to the batch head's
-    // operation (batches are homogeneous-enough: read-only runs).
+    // operation (batches are homogeneous-enough: group-commit merges
+    // only lock-compatible specs).
     stats.aborts[batch[0].op.index()] += attempts.saturating_sub(1);
     for (req, outcome) in batch.iter().zip(outcomes) {
         if recorder.is_enabled() {
@@ -411,6 +508,9 @@ fn merge_into_report<B: Backend>(
     let mut e2e = Histogram::micros();
     let mut per_category = CategoryLatency::all_empty();
     let mut batches = 0;
+    let mut write_batches = 0u64;
+    let mut max_write_batch = 0u64;
+    let mut steals = 0u64;
     let mut busy_ns = 0u64;
     let mut idle_ns = 0u64;
     let mut outcomes: Vec<Option<OpOutcome>> = vec![None; offered as usize];
@@ -430,6 +530,9 @@ fn merge_into_report<B: Backend>(
             merged.merge(worker);
         }
         batches += stats.batches;
+        write_batches += stats.write_batches;
+        max_write_batch = max_write_batch.max(stats.max_write_batch);
+        steals += stats.steals;
         busy_ns += stats.busy_ns;
         idle_ns += stats.idle_ns;
         for (id, outcome) in &stats.outcomes {
@@ -452,6 +555,7 @@ fn merge_into_report<B: Backend>(
             workers: cfg.workers,
             queue_cap: cfg.queue_cap,
             batch_max: cfg.batch_max,
+            affinity: cfg.affinity.key().to_string(),
             offered,
             rejected,
             reconnects: 0,
@@ -459,6 +563,9 @@ fn merge_into_report<B: Backend>(
             idle_ns,
             trace_dropped: cfg.recorder.dropped(),
             batches,
+            write_batches,
+            max_write_batch,
+            steals,
             queue_wait,
             service_time,
             e2e,
@@ -490,16 +597,29 @@ pub fn serve_source<B: Backend, R>(
     assert!(cfg.batch_max >= 1, "batch_max must be at least 1");
     let mix = cfg.mix();
     let specs = op_specs(params);
-    let queue: BoundedQueue<Request> = BoundedQueue::new(cfg.queue_cap);
+    // Shard affinity gives each worker its own sub-queue (the shared cap
+    // split between them); otherwise one shared queue keeps the original
+    // any-worker semantics.
+    let nqueues = match cfg.affinity {
+        Affinity::None => 1,
+        Affinity::Shard => cfg.workers,
+    };
+    let queues: Vec<BoundedQueue<Request>> = (0..nqueues)
+        .map(|_| BoundedQueue::new((cfg.queue_cap / nqueues).max(1)))
+        .collect();
     let batch_max = cfg.batch_max;
-    let compatible =
-        move |a: &Request, b: &Request| batch_max > 1 && a.op.is_read_only() && b.op.is_read_only();
+    let compat = op_compat_table(&specs);
+    let compatible = move |a: &Request, b: &Request| {
+        batch_max > 1 && compat[a.op.index()] >> b.op.index() & 1 == 1
+    };
 
     let stm_before = backend.stm_stats();
     let contention_before = backend.contention();
     let epoch = Instant::now();
     let ingress = Ingress {
-        queue: &queue,
+        queues: &queues,
+        affinity: cfg.affinity,
+        params: params.clone(),
         admission: cfg.admission,
         epoch,
         next_id: AtomicU64::new(0),
@@ -511,7 +631,7 @@ pub fn serve_source<B: Backend, R>(
     let (all_stats, fed): (Vec<WorkerStats>, R) = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(cfg.workers);
         for worker_id in 0..cfg.workers {
-            let queue = &queue;
+            let queues = &queues;
             let specs = &specs;
             let compatible = &compatible;
             let observe = &observe;
@@ -524,21 +644,60 @@ pub fn serve_source<B: Backend, R>(
                     cfg.seed ^ (worker_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 );
                 let mut stats = WorkerStats::new();
+                let mut steals = 0u64;
                 let worker_t0 = Instant::now();
-                // The shared combiner loop (also the RCL backend's
-                // server loop): batches until closed and drained.
-                queue.drain(cfg.batch_max, compatible, |batch| {
-                    execute_batch(
-                        backend,
-                        specs,
-                        &batch,
-                        &mut ctx,
-                        epoch,
-                        &cfg.recorder,
-                        &mut stats,
-                        observe,
-                    );
-                });
+                {
+                    let mut run = |batch: Vec<Request>| {
+                        execute_batch(
+                            backend,
+                            specs,
+                            &batch,
+                            &mut ctx,
+                            epoch,
+                            &cfg.recorder,
+                            &mut stats,
+                            observe,
+                        );
+                    };
+                    match cfg.affinity {
+                        // The shared combiner loop (also the RCL
+                        // backend's server loop): batches until closed
+                        // and drained.
+                        Affinity::None => queues[0].drain(cfg.batch_max, compatible, &mut run),
+                        // Shard-affine loop: drain the worker's own
+                        // sub-queue, steal from peers when it runs dry,
+                        // park briefly when everything is empty.
+                        Affinity::Shard => loop {
+                            let batch = queues[worker_id].try_pop_batch(cfg.batch_max, compatible);
+                            if !batch.is_empty() {
+                                run(batch);
+                                continue;
+                            }
+                            let stolen = (1..queues.len()).find_map(|i| {
+                                let peer = (worker_id + i) % queues.len();
+                                let b = queues[peer].try_pop_batch(cfg.batch_max, compatible);
+                                (!b.is_empty()).then_some(b)
+                            });
+                            if let Some(batch) = stolen {
+                                steals += batch.len() as u64;
+                                run(batch);
+                                continue;
+                            }
+                            if queues.iter().all(BoundedQueue::is_finished) {
+                                break;
+                            }
+                            let batch = queues[worker_id].pop_batch_timeout(
+                                cfg.batch_max,
+                                compatible,
+                                Duration::from_millis(1),
+                            );
+                            if !batch.is_empty() {
+                                run(batch);
+                            }
+                        },
+                    }
+                }
+                stats.steals = steals;
                 // Whatever wall time was not spent in a batch, the worker
                 // spent waiting on the queue.
                 let total_ns = worker_t0.elapsed().as_nanos() as u64;
@@ -549,7 +708,9 @@ pub fn serve_source<B: Backend, R>(
 
         // This thread is the source: offer until the stream ends.
         let fed = feed(&ingress);
-        queue.close();
+        for queue in &queues {
+            queue.close();
+        }
 
         (
             handles
@@ -810,7 +971,9 @@ mod tests {
         };
         let queue: BoundedQueue<Request> = BoundedQueue::new(1);
         let ingress = Ingress {
-            queue: &queue,
+            queues: std::slice::from_ref(&queue),
+            affinity: Affinity::None,
+            params: StructureParams::tiny(),
             admission: Admission::Block,
             epoch: Instant::now(),
             next_id: AtomicU64::new(0),
@@ -835,7 +998,9 @@ mod tests {
 
         let queue: BoundedQueue<Request> = BoundedQueue::new(1);
         let ingress = Ingress {
-            queue: &queue,
+            queues: std::slice::from_ref(&queue),
+            affinity: Affinity::None,
+            params: StructureParams::tiny(),
             admission: Admission::Reject,
             epoch: Instant::now(),
             next_id: AtomicU64::new(0),

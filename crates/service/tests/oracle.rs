@@ -4,10 +4,10 @@
 //! identical stream closed-loop — serving changes *when* operations run,
 //! never *what* they compute.
 
-use stmbench7_backend::{AnyBackend, Backend, BackendChoice};
+use stmbench7_backend::{strategy_catalog, AnyBackend, Backend, BackendChoice};
 use stmbench7_core::WorkloadType;
 use stmbench7_data::{validate, StructureParams, Workspace};
-use stmbench7_service::{run_stream_closed, serve, Admission, Schedule, ServeConfig};
+use stmbench7_service::{run_stream_closed, serve, Admission, Affinity, Schedule, ServeConfig};
 
 fn oracle_cfg(schedule: Schedule) -> ServeConfig {
     let mut cfg = ServeConfig::new(schedule, WorkloadType::ReadWrite, 42);
@@ -17,20 +17,33 @@ fn oracle_cfg(schedule: Schedule) -> ServeConfig {
     cfg
 }
 
-fn build(choice: BackendChoice) -> (StructureParams, AnyBackend) {
-    let params = StructureParams::tiny();
+fn build_with(choice: BackendChoice, params: &StructureParams) -> (StructureParams, AnyBackend) {
     let ws = Workspace::build(params.clone(), 7);
     (params.clone(), AnyBackend::build(choice, ws))
 }
 
+fn build(choice: BackendChoice) -> (StructureParams, AnyBackend) {
+    build_with(choice, &StructureParams::tiny())
+}
+
 /// Runs the oracle for one backend choice and one service configuration.
 fn assert_served_equals_closed(choice: BackendChoice, cfg: &ServeConfig, n: u64) {
+    assert_served_equals_closed_on(choice, &StructureParams::tiny(), cfg, n);
+}
+
+/// The oracle on an explicit structure (e.g. a sharded build).
+fn assert_served_equals_closed_on(
+    choice: BackendChoice,
+    params: &StructureParams,
+    cfg: &ServeConfig,
+    n: u64,
+) {
     let requests = cfg.generate(n);
 
-    let (params, served_backend) = build(choice);
+    let (params, served_backend) = build_with(choice, params);
     let served = serve(&served_backend, &params, cfg, &requests);
 
-    let (params, closed_backend) = build(choice);
+    let (params, closed_backend) = build_with(choice, &params);
     let closed = run_stream_closed(&closed_backend, &params, cfg, &requests);
 
     assert_eq!(served.outcomes.len(), closed.outcomes.len());
@@ -114,5 +127,70 @@ fn combining_backends_hold_the_served_oracle_batched_and_unbatched() {
         let mut batched = oracle_cfg(Schedule::Closed { clients: 1 });
         batched.batch_max = 8;
         assert_served_equals_closed(choice, &batched, 300);
+    }
+}
+
+/// The acceptance gate for group commit + shard affinity: every one of
+/// the 13 catalog strategies must agree with its own closed-loop run at
+/// `--shards 8` with write batching AND shard-affine dispatch both on.
+/// One worker keeps stream order (shard routing collapses to the only
+/// sub-queue), so outcome-for-outcome equality is required — merging
+/// writers into one acquisition may change *when* transactions run,
+/// never *what* they compute.
+#[test]
+fn all_catalog_strategies_hold_the_oracle_with_batching_and_affinity() {
+    let params = StructureParams::tiny().with_shards(8);
+    for (name, choice) in strategy_catalog() {
+        let mut cfg = oracle_cfg(Schedule::Closed { clients: 1 });
+        cfg.batch_max = 8;
+        cfg.affinity = Affinity::Shard;
+        eprintln!("oracle: {name} with group commit + shard affinity");
+        assert_served_equals_closed_on(choice, &params, &cfg, 250);
+    }
+}
+
+/// Multi-worker shard affinity with group commit: outcomes are no
+/// longer stream-order deterministic, but block admission must still
+/// complete every request, the final structure must validate, and the
+/// run must report its routing (`affinity: shard` surfaces in stats).
+#[test]
+fn multi_worker_affinity_with_batching_preserves_structure_validity() {
+    let params = StructureParams::tiny().with_shards(8);
+    for choice in [
+        BackendChoice::Medium,
+        BackendChoice::Tl2 {
+            granularity: stmbench7_backend::Granularity::Sharded,
+        },
+    ] {
+        let mut cfg = ServeConfig::new(
+            Schedule::Open { rate: 400_000.0 },
+            WorkloadType::ReadWrite,
+            99,
+        );
+        cfg.workers = 4;
+        cfg.queue_cap = 64;
+        cfg.admission = Admission::Block;
+        cfg.batch_max = 8;
+        cfg.affinity = Affinity::Shard;
+        let requests = cfg.generate(600);
+
+        let (params, backend) = build_with(choice, &params);
+        let result = serve(&backend, &params, &cfg, &requests);
+
+        let answered = result.outcomes.iter().filter(|o| o.is_some()).count();
+        assert_eq!(answered, 600, "block admission answers every request");
+        validate(&backend.export()).expect("structure valid under multi-worker affinity");
+        let svc = result
+            .report
+            .service
+            .as_ref()
+            .expect("service stats present");
+        assert_eq!(svc.affinity, "shard");
+        // Batching is on and the stream has writers, so group commits
+        // should have formed (4 workers × 600 requests at a hot rate).
+        assert!(
+            svc.batches > 0,
+            "at least one batch must have been executed"
+        );
     }
 }

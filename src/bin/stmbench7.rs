@@ -22,7 +22,7 @@ use stmbench7::data::{validate, StructureParams, Workspace};
 use stmbench7::lab::{compare_documents, registry, run_spec, Tolerance};
 use stmbench7::net::{drive, serve_net, DriveConfig};
 use stmbench7::obs::{chrome_trace_json, summarize, Event, EventKind, Layer, Recorder, Trace};
-use stmbench7::service::{serve, Admission, Schedule, ServeConfig};
+use stmbench7::service::{serve, Admission, Affinity, Schedule, ServeConfig};
 use stmbench7::stm::ContentionManager;
 use stmbench7::{parse_preset, AnyBackend, BackendChoice};
 
@@ -102,8 +102,11 @@ OPTIONS:
     --queue-cap <n>     request queue bound                [default: 1024]
     --admission <p>     block | reject (drop-on-full, answered with an
                         explicit rejection frame)          [default: block]
-    --batch <k>         fold up to K read-only requests into one
-                        execution                          [default: 1]
+    --batch <k>         fold up to K lock-compatible requests into one
+                        execution (group commit)           [default: 1]
+    --affinity <a>      none | shard (route requests to workers by
+                        declared primary shard, steal when idle)
+                                                           [default: none]
     --seed <num>        RNG seed (structure build)         [default: 1]
     --validate          validate the structure after shutdown
     --trace <file>      record a lifecycle trace and write Chrome
@@ -176,8 +179,11 @@ OPTIONS:
                         for closed:N]
     --queue-cap <n>     request queue bound                [default: 1024]
     --admission <p>     block | reject (drop-on-full)      [default: block]
-    --batch <k>         fold up to K read-only requests into one
-                        execution                          [default: 1]
+    --batch <k>         fold up to K lock-compatible requests into one
+                        execution (group commit)           [default: 1]
+    --affinity <a>      none | shard (route requests to workers by
+                        declared primary shard, steal when idle)
+                                                           [default: none]
     --requests <n>      length of the request stream
     -l <seconds>        stream horizon (open/bursty): offer rate x seconds
                         requests                           [default: 5]
@@ -684,6 +690,7 @@ struct ServeArgs {
     queue_cap: usize,
     admission: Admission,
     batch: usize,
+    affinity: Affinity,
     requests: Option<u64>,
     length: f64,
     seed: u64,
@@ -704,6 +711,7 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
         queue_cap: 1024,
         admission: Admission::Block,
         batch: 1,
+        affinity: Affinity::None,
         requests: None,
         length: 5.0,
         seed: 1,
@@ -779,6 +787,11 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
                 }
                 args.batch = k;
             }
+            "--affinity" => {
+                let v = value(&mut i)?;
+                args.affinity =
+                    Affinity::parse(&v).ok_or(format!("unknown affinity '{v}' (none|shard)"))?;
+            }
             "--requests" => {
                 args.requests = Some(
                     value(&mut i)?
@@ -841,6 +854,7 @@ fn serve_main(argv: &[String]) -> ExitCode {
         queue_cap: args.queue_cap,
         admission: args.admission,
         batch_max: args.batch,
+        affinity: args.affinity,
         workload: args.workload,
         long_traversals: !args.no_traversals,
         structure_mods: !args.no_sms,
@@ -876,13 +890,14 @@ fn serve_main(argv: &[String]) -> ExitCode {
     let ws = Workspace::build(args.params.clone(), args.seed);
     let backend = AnyBackend::build_traced(args.backend, ws, recorder.clone());
     eprintln!(
-        "serving: schedule={} backend={} workers={} queue={} admission={} batch={} requests={}",
+        "serving: schedule={} backend={} workers={} queue={} admission={} batch={} affinity={} requests={}",
         schedule.key(),
         backend.name(),
         cfg.workers,
         cfg.queue_cap,
         cfg.admission.key(),
         cfg.batch_max,
+        cfg.affinity.key(),
         requests.len(),
     );
     let result = serve(&backend, &args.params, &cfg, &requests);
@@ -922,6 +937,7 @@ struct NetServeArgs {
     queue_cap: usize,
     admission: Admission,
     batch: usize,
+    affinity: Affinity,
     seed: u64,
     validate: bool,
     trace: Option<String>,
@@ -937,6 +953,7 @@ fn parse_net_serve_args(argv: &[String]) -> Result<NetServeArgs, String> {
         queue_cap: 1024,
         admission: Admission::Block,
         batch: 1,
+        affinity: Affinity::None,
         seed: 1,
         validate: false,
         trace: None,
@@ -1008,6 +1025,11 @@ fn parse_net_serve_args(argv: &[String]) -> Result<NetServeArgs, String> {
                 }
                 args.batch = k;
             }
+            "--affinity" => {
+                let v = value(&mut i)?;
+                args.affinity =
+                    Affinity::parse(&v).ok_or(format!("unknown affinity '{v}' (none|shard)"))?;
+            }
             "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--validate" => args.validate = true,
             "--trace" => args.trace = Some(value(&mut i)?),
@@ -1057,6 +1079,7 @@ fn net_serve_main(argv: &[String]) -> ExitCode {
         queue_cap: args.queue_cap,
         admission: args.admission,
         batch_max: args.batch,
+        affinity: args.affinity,
         workload: args.workload,
         long_traversals: true,
         structure_mods: true,
@@ -1074,12 +1097,13 @@ fn net_serve_main(argv: &[String]) -> ExitCode {
         }
     }
     eprintln!(
-        "serving: backend={} workers={} queue={} admission={} batch={}",
+        "serving: backend={} workers={} queue={} admission={} batch={} affinity={}",
         backend.name(),
         cfg.workers,
         cfg.queue_cap,
         cfg.admission.key(),
         cfg.batch_max,
+        cfg.affinity.key(),
     );
     let result = match serve_net(&backend, &args.params, &cfg, listener) {
         Ok(r) => r,

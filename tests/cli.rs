@@ -280,7 +280,7 @@ mod lab {
         let doc = parse(&text).expect("results must be valid JSON");
         assert_eq!(
             doc.get("format").and_then(JsonValue::as_str),
-            Some("stmbench7-lab/5")
+            Some("stmbench7-lab/6")
         );
         assert_eq!(doc.get("spec").and_then(JsonValue::as_str), Some("smoke"));
         let cells = doc.get("cells").and_then(JsonValue::as_array).unwrap();
@@ -717,6 +717,32 @@ mod net {
             "summary header:\n{summary}"
         );
         assert!(summary.contains("queue-admit"), "summary rows:\n{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_summary_of_a_counter_only_trace_exits_zero_and_says_so() {
+        // A run can record zero span/instant events and still write a
+        // valid trace (just the drop-counter marker); summarizing it
+        // must not fail or print an empty table.
+        let dir = std::env::temp_dir().join(format!("sb7-ctrace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("counters.trace.json");
+        std::fs::write(
+            &path,
+            "[{\"name\":\"trace_dropped\",\"cat\":\"obs\",\"ph\":\"C\",\"ts\":0,\
+             \"pid\":1,\"tid\":0,\"args\":{\"dropped\":3}}]",
+        )
+        .unwrap();
+        let (summary, _) = run_ok(&["trace-summary", path.to_str().unwrap()]);
+        assert!(
+            summary.contains("0 events across 0 layers, 3 dropped"),
+            "summary header:\n{summary}"
+        );
+        assert!(
+            summary.contains("no span/instant events"),
+            "summary body:\n{summary}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 
