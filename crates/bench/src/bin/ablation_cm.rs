@@ -44,6 +44,8 @@ fn main() {
             seed: opts.seed,
             histograms: false,
             recorder: stmbench7::obs::Recorder::default(),
+
+            window_ms: None,
         };
         let report = run_benchmark(&backend, &opts.params, &cfg);
         let stm = report.stm.unwrap_or_default();

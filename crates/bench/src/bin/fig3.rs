@@ -42,6 +42,8 @@ fn main() {
                         service: None,
                         net: None,
                         trace: false,
+                        window_ms: None,
+                        slo: None,
                     },
                 );
                 let lat = report.max_latency_ms(op);

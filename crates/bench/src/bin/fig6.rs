@@ -45,6 +45,8 @@ fn main() {
                         service: None,
                         net: None,
                         trace: false,
+                        window_ms: None,
+                        slo: None,
                     },
                 );
                 let abort_ratio = report.stm.map(|s| s.abort_ratio()).unwrap_or(0.0);

@@ -128,6 +128,8 @@ fn main() {
                 seed: opts.seed.wrapping_add(u64::from(round)),
                 histograms: false,
                 recorder: stmbench7::obs::Recorder::default(),
+
+                window_ms: None,
             };
             let report = run_benchmark(&backend, &opts.params, &cfg);
             total_ops += report.total_started();

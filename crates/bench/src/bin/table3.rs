@@ -37,6 +37,8 @@ fn main() {
                 service: None,
                 net: None,
                 trace: false,
+                window_ms: None,
+                slo: None,
             };
             let lock = run_cell(&opts, &cell).throughput();
             cell.backend = astm_backend();

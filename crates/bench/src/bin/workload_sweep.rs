@@ -58,6 +58,8 @@ fn main() {
                     service: None,
                     net: None,
                     trace: false,
+                    window_ms: None,
+                    slo: None,
                 },
             );
             print_row(&[

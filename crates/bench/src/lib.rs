@@ -93,6 +93,8 @@ mod tests {
             service: None,
             net: None,
             trace: false,
+            window_ms: None,
+            slo: None,
         };
         let report = run_cell(&opts, &cell);
         assert!(report.total_started() > 0);

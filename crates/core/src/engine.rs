@@ -8,15 +8,16 @@
 //! the benchmark."
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use stmbench7_backend::{Backend, TxOperation};
 use stmbench7_data::{OpOutcome, Sb7Tx, StructureParams, TxR};
-use stmbench7_obs::{EventKind, Layer, Recorder};
+use stmbench7_obs::{EventKind, FlightProbes, FlightRecorder, Layer, Recorder};
 
 use crate::histogram::Histogram;
 use crate::ops::{access_spec, run_op, shard_hint, OpCtx, OpKind};
-use crate::report::{OpReport, Report};
+use crate::report::{OpReport, Report, Timeseries};
 use crate::workload::{OpFilter, WorkloadMix, WorkloadType};
 
 /// How long the benchmark runs.
@@ -51,6 +52,9 @@ pub struct BenchConfig {
     /// Lifecycle trace recorder (`--trace`). Disabled by default — a
     /// disabled recorder costs one branch per probe site.
     pub recorder: Recorder,
+    /// Flight-recorder sampling window (`--window`), milliseconds.
+    /// `None` disables windowed telemetry entirely.
+    pub window_ms: Option<u64>,
 }
 
 impl BenchConfig {
@@ -66,6 +70,7 @@ impl BenchConfig {
             seed,
             histograms: true,
             recorder: Recorder::default(),
+            window_ms: None,
         }
     }
 }
@@ -79,6 +84,50 @@ struct ThreadOpStats {
     max_ns: u64,
     sum_ns: u64,
     hist: Histogram,
+}
+
+/// A worker's not-yet-flushed flight-recorder chunk. Measurements
+/// batch locally and flush every [`FLUSH_EVERY`] operations, so
+/// windowed sampling costs a few atomic adds per chunk rather than
+/// per operation.
+struct WindowAcc {
+    completed: u64,
+    failed: u64,
+    aborts: u64,
+    busy_ns: u64,
+    lat_sum_ns: u64,
+    hist: Histogram,
+}
+
+/// Operations per chunk flush — small against even a 1 ms window at
+/// realistic throughputs, so windows stay sharp.
+const FLUSH_EVERY: u64 = 64;
+
+impl WindowAcc {
+    fn new() -> Self {
+        WindowAcc {
+            completed: 0,
+            failed: 0,
+            aborts: 0,
+            busy_ns: 0,
+            lat_sum_ns: 0,
+            hist: Histogram::micros(),
+        }
+    }
+
+    fn flush(&mut self, flight: &FlightRecorder, window_lat: &Mutex<Histogram>) {
+        if self.completed == 0 && self.aborts == 0 {
+            return;
+        }
+        flight.add_ops(self.completed, self.failed, self.aborts);
+        flight.add_busy_ns(self.busy_ns);
+        flight.add_latency_us(self.lat_sum_ns / 1_000, self.hist.samples());
+        window_lat
+            .lock()
+            .expect("window histogram poisoned")
+            .merge(&self.hist);
+        *self = WindowAcc::new();
+    }
 }
 
 struct Runner<'c> {
@@ -138,12 +187,41 @@ pub fn run_benchmark<B: Backend>(
     let stm_before = backend.stm_stats();
     let contention_before = backend.contention();
 
+    // Flight recorder: workers chunk-flush their measurements into it,
+    // a scoped sampler thread cuts windows. The closed loop has no
+    // admission queue, so the depth gauge reads zero.
+    let flight = match cfg.window_ms {
+        Some(ms) => FlightRecorder::new(ms),
+        None => FlightRecorder::off(),
+    };
+    let window_lat = Mutex::new(Histogram::micros());
+    let depth_probe = || 0u64;
+    let latency_probe = || {
+        let window = std::mem::replace(
+            &mut *window_lat.lock().expect("window histogram poisoned"),
+            Histogram::micros(),
+        );
+        window.latency_cut()
+    };
+    let contention_probe = || backend.contention();
+
     let all_stats: Vec<Vec<ThreadOpStats>> = std::thread::scope(|scope| {
+        if flight.enabled() {
+            let flight = &flight;
+            let probes = FlightProbes {
+                queue_depth: &depth_probe,
+                latency_cut: &latency_probe,
+                contention: &contention_probe,
+            };
+            scope.spawn(move || flight.run_sampler(probes));
+        }
         let mut handles = Vec::with_capacity(cfg.threads);
         for thread_id in 0..cfg.threads {
             let mix = &mix;
             let specs = &specs;
             let stop = &stop;
+            let flight = &flight;
+            let window_lat = &window_lat;
             handles.push(scope.spawn(move || {
                 let mut ctx = OpCtx::new(
                     params.clone(),
@@ -160,6 +238,8 @@ pub fn run_benchmark<B: Backend>(
                     RunMode::Timed(_) => u64::MAX,
                 };
                 let mut executed = 0u64;
+                let windowed = flight.enabled();
+                let mut win = WindowAcc::new();
                 while executed < budget {
                     if let Some(deadline) = deadline {
                         if Instant::now() >= deadline || stop.load(Ordering::Relaxed) {
@@ -202,6 +282,21 @@ pub fn run_benchmark<B: Backend>(
                                 .instant(Layer::Engine, EventKind::OpFail, op.name(), 0);
                         }
                     }
+                    if windowed {
+                        win.completed += 1;
+                        win.aborts += attempts.saturating_sub(1);
+                        win.busy_ns += dt;
+                        match &outcome {
+                            OpOutcome::Done(_) => {
+                                win.lat_sum_ns += dt;
+                                win.hist.record(dt);
+                            }
+                            OpOutcome::Fail(_) => win.failed += 1,
+                        }
+                        if win.completed >= FLUSH_EVERY {
+                            win.flush(flight, window_lat);
+                        }
+                    }
                     let s = &mut stats[op.index()];
                     s.aborts += attempts.saturating_sub(1);
                     match outcome {
@@ -217,14 +312,21 @@ pub fn run_benchmark<B: Backend>(
                     }
                     executed += 1;
                 }
+                if windowed {
+                    win.flush(flight, window_lat);
+                }
                 stop.store(true, Ordering::Relaxed);
                 stats
             }));
         }
-        handles
+        let stats = handles
             .into_iter()
             .map(|h| h.join().expect("benchmark thread panicked"))
-            .collect()
+            .collect();
+        // Cut the final partial window and release the sampler before
+        // the scope joins it.
+        flight.stop();
+        stats
     });
 
     let elapsed = started_at.elapsed();
@@ -254,6 +356,11 @@ pub fn run_benchmark<B: Backend>(
         }
     }
 
+    let timeseries = flight.window_ms().map(|window_ms| Timeseries {
+        window_ms,
+        windows: flight.take_samples(),
+    });
+
     Report {
         backend: backend.name().to_string(),
         threads: cfg.threads,
@@ -266,6 +373,7 @@ pub fn run_benchmark<B: Backend>(
         stm,
         contention,
         service: None,
+        timeseries,
     }
 }
 
@@ -330,6 +438,31 @@ mod tests {
     }
 
     #[test]
+    fn windowed_run_produces_a_timeseries_that_sums_to_the_totals() {
+        let params = StructureParams::tiny();
+        let ws = Workspace::build(params.clone(), 7);
+        let backend = SequentialBackend::new(ws);
+        let mut cfg = BenchConfig::deterministic(WorkloadType::ReadWrite, 400, 11);
+        cfg.window_ms = Some(1);
+        let report = run_benchmark(&backend, &params, &cfg);
+        let ts = report.timeseries.as_ref().expect("sampled run");
+        assert_eq!(ts.window_ms, 1);
+        assert!(!ts.windows.is_empty());
+        let completed: u64 = ts.windows.iter().map(|w| w.completed).sum();
+        let failed: u64 = ts.windows.iter().map(|w| w.failed).sum();
+        assert_eq!(completed, report.total_started());
+        assert_eq!(failed, report.total_failed());
+        let samples: u64 = ts.windows.iter().map(|w| w.latency.samples).sum();
+        assert_eq!(samples, report.total_completed());
+
+        // And the same run unsampled carries no timeseries.
+        cfg.window_ms = None;
+        let ws = Workspace::build(params.clone(), 7);
+        let plain = run_benchmark(&SequentialBackend::new(ws), &params, &cfg);
+        assert!(plain.timeseries.is_none());
+    }
+
+    #[test]
     fn timed_mode_stops() {
         let params = StructureParams::tiny();
         let ws = Workspace::build(params.clone(), 7);
@@ -344,6 +477,7 @@ mod tests {
             seed: 3,
             histograms: false,
             recorder: Recorder::default(),
+            window_ms: None,
         };
         let report = run_benchmark(&backend, &params, &cfg);
         assert!(report.total_started() > 0);

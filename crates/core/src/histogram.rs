@@ -199,6 +199,18 @@ impl Histogram {
             Resolution::LogMicros => bucket.map_or(MAX_TRACKED_US, micro_bucket_upper),
         })
     }
+
+    /// The flight recorder's percentile summary of this histogram —
+    /// what a window's swapped-out histogram reduces to at the cut
+    /// (all-zero when the window saw no samples).
+    pub fn latency_cut(&self) -> stmbench7_obs::LatencyCut {
+        stmbench7_obs::LatencyCut {
+            p50_us: self.percentile_us(50.0).unwrap_or(0),
+            p95_us: self.percentile_us(95.0).unwrap_or(0),
+            p99_us: self.percentile_us(99.0).unwrap_or(0),
+            samples: self.samples(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +273,26 @@ mod tests {
                 prop_assert_eq!(merged.samples(), (a.len() + b.len()) as u64);
                 let tracked: u64 = merged.pairs().iter().map(|(_, c)| u64::from(*c)).sum();
                 prop_assert_eq!(tracked + u64::from(merged.overflow()), merged.samples());
+            }
+
+            /// Splitting a sample stream into two histograms and merging
+            /// them yields the same percentiles as one histogram — the
+            /// flight recorder's window-swap correctness condition.
+            #[test]
+            fn merged_percentiles_equal_single_histogram(
+                a in proptest::collection::vec(0u64..2_000_000, 0..60),
+                b in proptest::collection::vec(0u64..2_000_000, 0..60),
+            ) {
+                let mut whole = Histogram::micros();
+                let mut ha = Histogram::micros();
+                let mut hb = Histogram::micros();
+                for us in &a { whole.record(us * 1_000); ha.record(us * 1_000); }
+                for us in &b { whole.record(us * 1_000); hb.record(us * 1_000); }
+                ha.merge(&hb);
+                prop_assert_eq!(ha.pairs(), whole.pairs());
+                for p in [1.0, 50.0, 95.0, 99.0, 100.0] {
+                    prop_assert_eq!(ha.percentile_us(p), whole.percentile_us(p), "p{}", p);
+                }
             }
 
             /// Percentiles are monotone in p and bounded by the extremes.
@@ -479,6 +511,60 @@ mod tests {
         let mut b = Histogram::micros();
         b.record(MS);
         a.merge(&b);
+    }
+
+    #[test]
+    fn merge_is_bucket_wise_addition_at_micros_resolution() {
+        let mut a = Histogram::micros();
+        let mut b = Histogram::micros();
+        for us in [5u64, 80] {
+            a.record(us * 1_000);
+        }
+        for us in [5u64, 900] {
+            b.record(us * 1_000);
+        }
+        a.merge(&b);
+        // 5 µs → (4,8] twice, 80 µs → (64,128], 900 µs → (512,1024].
+        assert_eq!(a.pairs(), vec![(7, 2), (127, 1), (1023, 1)]);
+        assert_eq!(a.samples(), 4);
+    }
+
+    /// The window-swap totals path (flight recorder): recording into
+    /// per-window histograms and merging them must be indistinguishable
+    /// from recording everything into one histogram — same counts, same
+    /// buckets, same percentiles.
+    #[test]
+    fn merged_windows_equal_one_histogram() {
+        let samples_ns: Vec<u64> = (0..200u64).map(|i| (i * 37 + 3) * 1_000).collect();
+        for resolution in ["millis", "micros"] {
+            let fresh = || match resolution {
+                "millis" => Histogram::new(),
+                _ => Histogram::micros(),
+            };
+            let mut whole = fresh();
+            let mut totals = fresh();
+            let mut window = fresh();
+            for (i, &ns) in samples_ns.iter().enumerate() {
+                whole.record(ns);
+                window.record(ns);
+                // Cut a "window" every 13 samples, as the sampler does.
+                if i % 13 == 12 {
+                    let cut = std::mem::replace(&mut window, fresh());
+                    totals.merge(&cut);
+                }
+            }
+            totals.merge(&window); // the final partial window
+            assert_eq!(totals.samples(), whole.samples(), "{resolution}");
+            assert_eq!(totals.overflow(), whole.overflow(), "{resolution}");
+            assert_eq!(totals.pairs(), whole.pairs(), "{resolution}");
+            for p in [1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0] {
+                assert_eq!(
+                    totals.percentile_us(p),
+                    whole.percentile_us(p),
+                    "{resolution} p{p}"
+                );
+            }
+        }
     }
 
     #[test]

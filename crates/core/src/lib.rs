@@ -26,5 +26,5 @@ pub use engine::{run_benchmark, BenchConfig, RunMode};
 pub use histogram::{Histogram, Resolution};
 pub use json::JsonValue;
 pub use ops::{access_spec, primary_shard, run_op, Category, OpCtx, OpKind};
-pub use report::{CategoryLatency, OpReport, Report, SampleError, ServiceStats};
+pub use report::{CategoryLatency, OpReport, Report, SampleError, ServiceStats, Timeseries};
 pub use workload::{OpFilter, WorkloadMix, WorkloadType};

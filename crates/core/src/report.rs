@@ -6,7 +6,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use stmbench7_obs::ContentionSnapshot;
+use stmbench7_obs::{ContentionSnapshot, WindowSample};
 use stmbench7_stm::StatsSnapshot;
 
 use crate::histogram::Histogram;
@@ -164,6 +164,11 @@ pub struct ServiceStats {
     pub busy_ns: u64,
     /// Total worker time spent waiting for work, summed over workers.
     pub idle_ns: u64,
+    /// Busy time attributed per worker, in worker order. Work executes
+    /// on the worker that *drains* it: a batch stolen from worker A's
+    /// sub-queue counts toward the thief's entry, not A's — so under
+    /// shard affinity this vector shows who actually carried the load.
+    pub worker_busy_ns: Vec<u64>,
     /// Trace events dropped by full per-thread rings during the run
     /// (0 when tracing is off).
     pub trace_dropped: u64,
@@ -255,6 +260,15 @@ impl ServiceStats {
             ("reconnects", JsonValue::num(self.reconnects as f64)),
             ("busy_ns", JsonValue::num(self.busy_ns as f64)),
             ("idle_ns", JsonValue::num(self.idle_ns as f64)),
+            (
+                "worker_busy_ns",
+                JsonValue::Arr(
+                    self.worker_busy_ns
+                        .iter()
+                        .map(|ns| JsonValue::num(*ns as f64))
+                        .collect(),
+                ),
+            ),
             ("trace_dropped", JsonValue::num(self.trace_dropped as f64)),
             ("batches", JsonValue::num(self.batches as f64)),
             ("write_batches", JsonValue::num(self.write_batches as f64)),
@@ -275,6 +289,100 @@ impl ServiceStats {
             ),
             ("categories", Self::categories_json(&self.per_category)),
         ])
+    }
+}
+
+/// The flight recorder's windowed time-series: per-window throughput,
+/// latency percentiles and gauge readings over the run (see
+/// `stmbench7_obs::FlightRecorder`). Present when the run was sampled
+/// (`--window`); the lab's windowed SLO gates read it back.
+#[derive(Clone, Debug, Default)]
+pub struct Timeseries {
+    /// The sampling window length in milliseconds.
+    pub window_ms: u64,
+    /// The closed windows, in time order.
+    pub windows: Vec<WindowSample>,
+}
+
+impl Timeseries {
+    /// The `timeseries` JSON object shared by report-level and lab
+    /// cell-level documents, so the schema cannot diverge.
+    pub fn to_json_value(&self) -> JsonValue {
+        let windows = self
+            .windows
+            .iter()
+            .map(|w| {
+                let contention = match &w.contention {
+                    None => JsonValue::Null,
+                    Some(c) => JsonValue::obj(vec![
+                        ("lock_acquires", JsonValue::num(c.lock_acquires as f64)),
+                        ("lock_contended", JsonValue::num(c.lock_contended as f64)),
+                        ("lock_wait_ns", JsonValue::num(c.lock_wait_ns as f64)),
+                        ("cas_retries", JsonValue::num(c.cas_retries as f64)),
+                        ("shard_conflicts", JsonValue::num(c.shard_conflicts as f64)),
+                    ]),
+                };
+                JsonValue::obj(vec![
+                    ("index", JsonValue::num(w.index as f64)),
+                    ("start_ms", JsonValue::num(w.start_ms as f64)),
+                    ("end_ms", JsonValue::num(w.end_ms as f64)),
+                    ("completed", JsonValue::num(w.completed as f64)),
+                    ("failed", JsonValue::num(w.failed as f64)),
+                    ("aborts", JsonValue::num(w.aborts as f64)),
+                    ("rejected", JsonValue::num(w.rejected as f64)),
+                    ("batches", JsonValue::num(w.batches as f64)),
+                    ("write_batches", JsonValue::num(w.write_batches as f64)),
+                    ("steals", JsonValue::num(w.steals as f64)),
+                    ("reconnects", JsonValue::num(w.reconnects as f64)),
+                    ("busy_ns", JsonValue::num(w.busy_ns as f64)),
+                    ("queue_depth", JsonValue::num(w.queue_depth as f64)),
+                    (
+                        "latency",
+                        JsonValue::obj(vec![
+                            ("p50_us", JsonValue::num(w.latency.p50_us as f64)),
+                            ("p95_us", JsonValue::num(w.latency.p95_us as f64)),
+                            ("p99_us", JsonValue::num(w.latency.p99_us as f64)),
+                            ("samples", JsonValue::num(w.latency.samples as f64)),
+                        ]),
+                    ),
+                    ("contention", contention),
+                ])
+            })
+            .collect();
+        JsonValue::obj(vec![
+            ("window_ms", JsonValue::num(self.window_ms as f64)),
+            ("windows", JsonValue::Arr(windows)),
+        ])
+    }
+
+    /// The rendered `== Timeseries ==` rows.
+    fn render_into(&self, out: &mut String) {
+        let _ = writeln!(out, "\n== Timeseries ({} ms windows) ==", self.window_ms);
+        for w in &self.windows {
+            let lat = if w.latency.samples > 0 {
+                format!(
+                    "p50 {:>7} us   p99 {:>7} us",
+                    w.latency.p50_us, w.latency.p99_us
+                )
+            } else {
+                format!("{:>29}", "no samples")
+            };
+            let _ = writeln!(
+                out,
+                "  #{:<4} {:>6}-{:<6} ms   ops {:>7}   fail {:>5}   aborts {:>5}   rej {:>5}   {}   queue {:>5}   steals {:>4}   busy {:>8.1} ms",
+                w.index,
+                w.start_ms,
+                w.end_ms,
+                w.completed,
+                w.failed,
+                w.aborts,
+                w.rejected,
+                lat,
+                w.queue_depth,
+                w.steals,
+                w.busy_ns as f64 / 1e6,
+            );
+        }
     }
 }
 
@@ -304,6 +412,9 @@ pub struct Report {
     pub contention: Option<ContentionSnapshot>,
     /// Present when the run went through the service layer.
     pub service: Option<ServiceStats>,
+    /// Windowed flight-recorder samples, when sampling was on
+    /// (`--window`).
+    pub timeseries: Option<Timeseries>,
 }
 
 impl Report {
@@ -555,6 +666,10 @@ impl Report {
             }
         }
 
+        if let Some(ts) = &self.timeseries {
+            ts.render_into(&mut out);
+        }
+
         if let Some(c) = &self.contention {
             let _ = writeln!(out, "\n== Contention ==");
             let _ = writeln!(
@@ -659,6 +774,10 @@ impl Report {
             None => JsonValue::Null,
             Some(svc) => svc.to_json_value(),
         };
+        let timeseries = match &self.timeseries {
+            None => JsonValue::Null,
+            Some(ts) => ts.to_json_value(),
+        };
         JsonValue::obj(vec![
             ("backend", JsonValue::str(&self.backend)),
             ("threads", JsonValue::num(self.threads as f64)),
@@ -682,6 +801,7 @@ impl Report {
             ("stm", stm),
             ("contention", contention),
             ("service", service),
+            ("timeseries", timeseries),
         ])
     }
 
@@ -711,6 +831,7 @@ impl Report {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stmbench7_obs::LatencyCut;
 
     fn sample_report() -> Report {
         let mut per_op: Vec<OpReport> = OpKind::ALL
@@ -735,6 +856,7 @@ mod tests {
             stm: None,
             contention: None,
             service: None,
+            timeseries: None,
         }
     }
 
@@ -763,6 +885,7 @@ mod tests {
             reconnects: 0,
             busy_ns: 1_500_000_000,
             idle_ns: 500_000_000,
+            worker_busy_ns: vec![1_000_000_000, 500_000_000],
             trace_dropped: 0,
             batches: 40,
             write_batches: 4,
@@ -915,6 +1038,110 @@ mod tests {
             assert!(p50 <= p99, "{key}: p50 {p50} > p99 {p99}");
             assert_eq!(lat.get("samples").and_then(JsonValue::as_u64), Some(3));
         }
+    }
+
+    #[test]
+    fn worker_busy_ns_serializes_in_worker_order() {
+        let mut r = sample_report();
+        r.service = Some(sample_service_stats());
+        let doc = r.to_json_value();
+        let lanes = doc
+            .get("service")
+            .and_then(|s| s.get("worker_busy_ns"))
+            .and_then(JsonValue::as_array)
+            .expect("worker_busy_ns array");
+        let ns: Vec<u64> = lanes.iter().filter_map(JsonValue::as_u64).collect();
+        assert_eq!(ns, vec![1_000_000_000, 500_000_000]);
+    }
+
+    fn sample_timeseries() -> Timeseries {
+        let windows = (0..2u64)
+            .map(|i| WindowSample {
+                index: i,
+                start_ms: i * 250,
+                end_ms: (i + 1) * 250,
+                completed: 100 + i,
+                failed: 1,
+                aborts: 2,
+                rejected: 0,
+                batches: 10,
+                write_batches: 1,
+                steals: i,
+                reconnects: 0,
+                busy_ns: 200_000_000,
+                queue_depth: 7,
+                latency: LatencyCut {
+                    p50_us: 40,
+                    p95_us: 400,
+                    p99_us: 900,
+                    samples: 100,
+                },
+                contention: if i == 0 {
+                    None
+                } else {
+                    Some(ContentionSnapshot {
+                        lock_acquires: 50,
+                        lock_contended: 5,
+                        lock_wait_ns: 1_000,
+                        cas_retries: 3,
+                        shard_conflicts: 1,
+                    })
+                },
+            })
+            .collect();
+        Timeseries {
+            window_ms: 250,
+            windows,
+        }
+    }
+
+    #[test]
+    fn timeseries_section_renders_and_serializes() {
+        let mut r = sample_report();
+        assert_eq!(
+            r.to_json_value().get("timeseries"),
+            Some(&JsonValue::Null),
+            "unsampled reports carry no timeseries"
+        );
+        assert!(!r.render(false).contains("== Timeseries"));
+
+        r.timeseries = Some(sample_timeseries());
+        let text = r.render(false);
+        assert!(text.contains("== Timeseries (250 ms windows) =="));
+        assert!(text.contains("#0"), "window rows rendered:\n{text}");
+        assert!(text.contains("900 us"), "p99 rendered:\n{text}");
+
+        let doc = r.to_json_value();
+        let ts = doc.get("timeseries").expect("timeseries object");
+        assert_eq!(ts.get("window_ms").and_then(JsonValue::as_u64), Some(250));
+        let windows = ts
+            .get("windows")
+            .and_then(JsonValue::as_array)
+            .expect("windows array");
+        assert_eq!(windows.len(), 2);
+        let w0 = &windows[0];
+        assert_eq!(w0.get("completed").and_then(JsonValue::as_u64), Some(100));
+        assert_eq!(w0.get("end_ms").and_then(JsonValue::as_u64), Some(250));
+        assert_eq!(w0.get("queue_depth").and_then(JsonValue::as_u64), Some(7));
+        assert_eq!(
+            w0.get("latency")
+                .and_then(|l| l.get("p99_us"))
+                .and_then(JsonValue::as_u64),
+            Some(900)
+        );
+        assert_eq!(
+            w0.get("contention"),
+            Some(&JsonValue::Null),
+            "a window without a contention probe serializes null"
+        );
+        let w1 = &windows[1];
+        assert_eq!(w1.get("steals").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(
+            w1.get("contention")
+                .and_then(|c| c.get("lock_contended"))
+                .and_then(JsonValue::as_u64),
+            Some(5)
+        );
     }
 
     #[test]

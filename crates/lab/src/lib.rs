@@ -30,10 +30,11 @@ pub mod stats;
 
 pub use compare::{compare_documents, Comparison, Tolerance};
 pub use run::{
-    format_supported, run_spec, CellResult, RepResult, ServiceAgg, SpecResult, FORMAT, FORMAT_V1,
-    FORMAT_V2,
+    check_slos, format_supported, run_spec, CellResult, RepResult, ServiceAgg, SloCheck,
+    SpecResult, FORMAT, FORMAT_V1, FORMAT_V2,
 };
 pub use spec::{
-    grid, net_grid, run_cell, service_grid, Cell, ExperimentSpec, NetPlan, ServicePlan, SweepOpts,
+    grid, net_grid, run_cell, service_grid, Cell, ExperimentSpec, NetPlan, ServicePlan, Slo,
+    SweepOpts,
 };
 pub use stats::Summary;

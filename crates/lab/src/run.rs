@@ -4,7 +4,9 @@
 //! serializes to the versioned `results/BENCH_<spec>.json` document.
 
 use stmbench7_backend::AnyBackend;
-use stmbench7_core::{run_benchmark, CategoryLatency, Histogram, JsonValue, Report, ServiceStats};
+use stmbench7_core::{
+    run_benchmark, CategoryLatency, Histogram, JsonValue, Report, ServiceStats, Timeseries,
+};
 use stmbench7_data::Workspace;
 use stmbench7_obs::{ContentionSnapshot, Recorder, Trace};
 
@@ -12,12 +14,17 @@ use crate::spec::{Cell, ExperimentSpec};
 use crate::stats::Summary;
 
 /// The version tag every results document leads with; bump on any
-/// incompatible schema change. Version 6 adds the
-/// `write_batches`/`max_write_batch`/`steals` counters to `service`
-/// objects (group-commit batching and shard-affine work stealing);
-/// readers accept [`FORMAT_V5`], [`FORMAT_V4`], [`FORMAT_V3`],
-/// [`FORMAT_V2`] and [`FORMAT_V1`] documents unchanged.
-pub const FORMAT: &str = "stmbench7-lab/6";
+/// incompatible schema change. Version 7 adds the per-cell `timeseries`
+/// array (one flight-recorder window series per repetition, null for
+/// unwindowed cells) and the `slo` object echoing the cell's windowed
+/// latency objective; readers accept [`FORMAT_V6`], [`FORMAT_V5`],
+/// [`FORMAT_V4`], [`FORMAT_V3`], [`FORMAT_V2`] and [`FORMAT_V1`]
+/// documents unchanged.
+pub const FORMAT: &str = "stmbench7-lab/7";
+
+/// Version 6 (adds the `write_batches`/`max_write_batch`/`steals`
+/// counters to `service` objects), still accepted by every reader.
+pub const FORMAT_V6: &str = "stmbench7-lab/6";
 
 /// Version 5 (adds the per-cell `contention` object and the
 /// `busy_ns`/`idle_ns`/`trace_dropped` counters to `service` objects),
@@ -44,6 +51,7 @@ pub const FORMAT_V1: &str = "stmbench7-lab/1";
 /// True for every document version this crate can read.
 pub fn format_supported(format: &str) -> bool {
     format == FORMAT
+        || format == FORMAT_V6
         || format == FORMAT_V5
         || format == FORMAT_V4
         || format == FORMAT_V3
@@ -104,6 +112,11 @@ pub struct CellResult {
     /// written to a per-cell file by the CLI, never embedded in the
     /// results document.
     pub trace: Option<Trace>,
+    /// Flight-recorder window series, one per repetition that produced
+    /// one (empty for unwindowed cells). Unlike `trace`, these ARE
+    /// embedded in the results document — they are what the windowed
+    /// SLO gate reads.
+    pub timeseries: Vec<Timeseries>,
 }
 
 /// Service-cell measurements aggregated across repetitions (also the
@@ -274,8 +287,96 @@ impl CellResult {
                     Some(agg) => agg.to_json(),
                 },
             ),
+            (
+                "timeseries",
+                if self.timeseries.is_empty() {
+                    JsonValue::Null
+                } else {
+                    JsonValue::Arr(
+                        self.timeseries
+                            .iter()
+                            .map(Timeseries::to_json_value)
+                            .collect(),
+                    )
+                },
+            ),
+            (
+                "slo",
+                match &self.cell.slo {
+                    None => JsonValue::Null,
+                    Some(slo) => JsonValue::obj(vec![
+                        ("p99_us", JsonValue::num(slo.p99_us as f64)),
+                        (
+                            "max_violation_windows",
+                            JsonValue::num(slo.max_violation_windows as f64),
+                        ),
+                    ]),
+                },
+            ),
         ])
     }
+}
+
+/// The verdict of one cell's windowed SLO: how many windows breached the
+/// per-window p99 bound, across every repetition's series.
+#[derive(Clone, Debug)]
+pub struct SloCheck {
+    /// The cell's key.
+    pub key: String,
+    /// The declared objective.
+    pub slo: crate::spec::Slo,
+    /// Windows (with at least one latency sample) whose p99 exceeded
+    /// the bound.
+    pub violations: u64,
+    /// Worst per-window p99 observed, in microseconds.
+    pub worst_p99_us: u64,
+    /// The run's aggregate p99 (µs) over the `e2e` lane, when the cell
+    /// kept one — shown so a failure report can say "aggregate fine,
+    /// windows not".
+    pub aggregate_p99_us: Option<u64>,
+}
+
+impl SloCheck {
+    /// True when the cell met its objective.
+    pub fn pass(&self) -> bool {
+        self.violations <= self.slo.max_violation_windows
+    }
+}
+
+/// Evaluates every cell that declares a windowed SLO against its own
+/// flight-recorder series. Cells without an SLO are skipped; a cell
+/// with an SLO but no timeseries (mis-specified: no `window_ms`) counts
+/// every repetition as violating nothing but reports `worst_p99_us` 0 —
+/// the caller should treat an empty series as a spec bug.
+pub fn check_slos(result: &SpecResult) -> Vec<SloCheck> {
+    result
+        .cells
+        .iter()
+        .filter_map(|cell| {
+            let slo = cell.cell.slo?;
+            let mut violations = 0u64;
+            let mut worst = 0u64;
+            for window in cell.timeseries.iter().flat_map(|ts| &ts.windows) {
+                if window.latency.samples == 0 {
+                    continue;
+                }
+                worst = worst.max(window.latency.p99_us);
+                if window.latency.p99_us > slo.p99_us {
+                    violations += 1;
+                }
+            }
+            Some(SloCheck {
+                key: cell.cell.key(),
+                slo,
+                violations,
+                worst_p99_us: worst,
+                aggregate_p99_us: cell
+                    .service
+                    .as_ref()
+                    .and_then(|s| s.e2e.percentile_us(99.0)),
+            })
+        })
+        .collect()
 }
 
 /// A completed spec run: protocol echo plus one [`CellResult`] per cell.
@@ -386,8 +487,9 @@ fn run_one_cell(spec: &ExperimentSpec, cell: &Cell) -> CellResult {
                 let backend = &backend;
                 let params = &params;
                 let server_cfg = &server_cfg;
-                let server = scope
-                    .spawn(move || stmbench7_net::serve_net(backend, params, server_cfg, listener));
+                let server = scope.spawn(move || {
+                    stmbench7_net::serve_net(backend, params, server_cfg, listener, None)
+                });
                 // The c10k axis: open the idle herd first and hold it for
                 // the whole drive — the event loop must carry these
                 // connections (registered, never speaking) without
@@ -528,6 +630,10 @@ fn aggregate(cell: &Cell, reports: &[Report], trace: Option<Trace>) -> CellResul
             },
         ),
         trace,
+        timeseries: reports
+            .iter()
+            .filter_map(|r| r.timeseries.clone())
+            .collect(),
     }
 }
 
@@ -625,12 +731,13 @@ mod tests {
     #[test]
     fn all_format_versions_are_supported() {
         assert!(format_supported(FORMAT));
+        assert!(format_supported(FORMAT_V6));
         assert!(format_supported(FORMAT_V5));
         assert!(format_supported(FORMAT_V4));
         assert!(format_supported(FORMAT_V3));
         assert!(format_supported(FORMAT_V2));
         assert!(format_supported(FORMAT_V1));
-        assert!(!format_supported("stmbench7-lab/7"));
+        assert!(!format_supported("stmbench7-lab/8"));
         assert!(!format_supported("other/1"));
     }
 
@@ -695,6 +802,79 @@ mod tests {
             json_cell.get("service").unwrap().get("network_us"),
             Some(&JsonValue::Null)
         );
+    }
+
+    #[test]
+    fn windowed_service_cells_embed_their_timeseries_and_the_slo_gate_reads_it() {
+        use crate::spec::{ServicePlan, Slo};
+        use stmbench7_service::Schedule;
+
+        let mut spec = tiny_spec();
+        spec.repetitions = 1;
+        spec.cells[0].service = Some(ServicePlan::open_loop(
+            Schedule::Open { rate: 100_000.0 },
+            64,
+            400,
+        ));
+        spec.cells[0].window_ms = Some(1);
+        // An objective nothing real can meet: every sampled window
+        // violates, so the gate must fail the cell …
+        spec.cells[0].slo = Some(Slo {
+            p99_us: 0,
+            max_violation_windows: 0,
+        });
+        let result = run_spec(&spec, |_| {});
+        let cell = &result.cells[0];
+        assert_eq!(cell.timeseries.len(), 1, "one series per repetition");
+        let ts = &cell.timeseries[0];
+        assert_eq!(ts.window_ms, 1);
+        let completed: u64 = ts.windows.iter().map(|w| w.completed).sum();
+        assert_eq!(completed, 400);
+
+        let checks = check_slos(&result);
+        assert_eq!(checks.len(), 1);
+        assert!(checks[0].violations > 0);
+        assert!(!checks[0].pass());
+        assert!(checks[0].worst_p99_us > 0);
+
+        // … while an unreachable bound passes.
+        let mut relaxed = result.clone();
+        relaxed.cells[0].cell.slo = Some(Slo {
+            p99_us: u64::MAX,
+            max_violation_windows: 0,
+        });
+        let checks = check_slos(&relaxed);
+        assert!(checks[0].pass());
+
+        // The document embeds the series and echoes the objective.
+        let doc = result.to_json();
+        let json_cell = &doc.get("cells").unwrap().as_array().unwrap()[0];
+        let series = json_cell
+            .get("timeseries")
+            .and_then(JsonValue::as_array)
+            .expect("timeseries array");
+        assert_eq!(series.len(), 1);
+        assert_eq!(
+            series[0].get("window_ms").and_then(JsonValue::as_u64),
+            Some(1)
+        );
+        assert!(series[0]
+            .get("windows")
+            .and_then(JsonValue::as_array)
+            .is_some_and(|w| !w.is_empty()));
+        assert_eq!(
+            json_cell
+                .get("slo")
+                .and_then(|s| s.get("max_violation_windows"))
+                .and_then(JsonValue::as_u64),
+            Some(0)
+        );
+        // Unwindowed cells stay null.
+        let plain = run_spec(&tiny_spec(), |_| {});
+        let doc = plain.to_json();
+        let json_cell = &doc.get("cells").unwrap().as_array().unwrap()[0];
+        assert_eq!(json_cell.get("timeseries"), Some(&JsonValue::Null));
+        assert_eq!(json_cell.get("slo"), Some(&JsonValue::Null));
     }
 
     #[test]

@@ -117,6 +117,20 @@ impl NetPlan {
     }
 }
 
+/// A windowed service-level objective on one cell: the run's
+/// [`Timeseries`](stmbench7_core::Timeseries) windows are checked
+/// individually against `p99_us`, and the cell fails its SLO when more
+/// than `max_violation_windows` windows breach it. This is the gate the
+/// aggregate p99 cannot express: a run that is fine on average but
+/// stalls for a few windows during bursts fails here and nowhere else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Slo {
+    /// Per-window p99 latency bound, in microseconds.
+    pub p99_us: u64,
+    /// Number of breaching windows tolerated before the cell fails.
+    pub max_violation_windows: u64,
+}
+
 /// One sweep cell: a backend × workload × thread-count configuration,
 /// optionally run through the service layer ([`ServicePlan`]).
 #[derive(Clone, Debug, PartialEq)]
@@ -143,6 +157,15 @@ pub struct Cell {
     /// (only observed), so baseline comparison can put a traced run
     /// against an untraced one — exactly what the overhead gate does.
     pub trace: bool,
+    /// Flight-recorder window for this cell, in milliseconds. Like
+    /// `trace`, NOT part of [`Cell::key`]: a windowed run is the same
+    /// experiment observed, so the sampler-overhead gate can compare a
+    /// windowed run against an unwindowed baseline.
+    pub window_ms: Option<u64>,
+    /// Windowed SLO this cell must meet (requires `window_ms`). Also
+    /// excluded from [`Cell::key`]: the SLO judges the run, it does not
+    /// change what runs.
+    pub slo: Option<Slo>,
 }
 
 impl Cell {
@@ -160,6 +183,8 @@ impl Cell {
             service: None,
             net: None,
             trace: false,
+            window_ms: None,
+            slo: None,
         }
     }
 
@@ -198,6 +223,7 @@ impl Cell {
             seed,
             histograms: false,
             recorder: stmbench7_obs::Recorder::default(),
+            window_ms: self.window_ms,
         }
     }
 
@@ -256,6 +282,7 @@ impl Cell {
             },
             seed,
             recorder: stmbench7_obs::Recorder::default(),
+            window_ms: self.window_ms,
         })
     }
 
@@ -286,6 +313,7 @@ impl Cell {
             filter: filter.clone(),
             seed,
             recorder: stmbench7_obs::Recorder::default(),
+            window_ms: self.window_ms,
         };
         let driver = stmbench7_net::DriveConfig {
             schedule: plan.schedule,
@@ -326,6 +354,8 @@ pub fn grid(
                     service: None,
                     net: None,
                     trace: false,
+                    window_ms: None,
+                    slo: None,
                 });
             }
         }
@@ -358,6 +388,8 @@ pub fn sharded_grid(
                     service: None,
                     net: None,
                     trace: false,
+                    window_ms: None,
+                    slo: None,
                 });
             }
         }
@@ -390,6 +422,8 @@ pub fn service_grid(
                 service: Some(plan_of(schedule)),
                 net: None,
                 trace: false,
+                window_ms: None,
+                slo: None,
             });
         }
     }
@@ -421,6 +455,8 @@ pub fn net_grid(
                 service: None,
                 net: Some(plan_of(schedule)),
                 trace: false,
+                window_ms: None,
+                slo: None,
             });
         }
     }

@@ -538,6 +538,7 @@ fn merge(
             reconnects,
             busy_ns: 0,
             idle_ns: 0,
+            worker_busy_ns: Vec::new(),
             trace_dropped: 0,
             batches: executed,
             write_batches: 0,
@@ -549,6 +550,7 @@ fn merge(
             network: Some(network),
             per_category,
         }),
+        timeseries: None,
     };
     DriveResult { report, outcomes }
 }

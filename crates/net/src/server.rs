@@ -52,6 +52,11 @@ use stmbench7_service::{serve_source, Ingress, Offer, Request, ServeConfig, Serv
 use crate::wire::{self, Frame, FrameDecoder, NetResponse, WireOutcome};
 
 const LISTENER: Token = Token(0);
+/// The live-metrics listener (`--metrics`). Metrics tokens grow *down*
+/// from the top of the token space (the waker owns `usize::MAX`), so
+/// they can never collide with data-connection tokens growing up from
+/// 1; `token.0 > usize::MAX / 2` is the dispatch divider.
+const METRICS_LISTENER: Token = Token(usize::MAX - 1);
 /// Read granularity; also bounds how many requests one readiness event
 /// can decode before admission control gets a say.
 const READ_CHUNK: usize = 16 * 1024;
@@ -162,6 +167,28 @@ fn interrupted(e: &io::Error) -> bool {
     e.kind() == io::ErrorKind::Interrupted
 }
 
+fn metrics_token(slot: usize) -> Token {
+    Token(usize::MAX - 2 - slot)
+}
+
+fn metrics_slot(token: Token) -> usize {
+    usize::MAX - 2 - token.0
+}
+
+/// One metrics scraper connection: minimal HTTP/1.0, one request per
+/// connection (`Connection: close`), body rendered at read time so the
+/// scrape reflects that instant.
+struct MetricsConn {
+    stream: TcpStream,
+    /// Request bytes until the blank line ends the header block.
+    buf: Vec<u8>,
+    /// Encoded response; `out[sent..]` is unwritten.
+    out: Vec<u8>,
+    sent: usize,
+    /// The response has been generated; once flushed, close.
+    responded: bool,
+}
+
 /// The event loop proper. Runs as the `serve_source` feed on the calling
 /// thread; returning closes the queue and stops the workers.
 struct EventLoop<'e, 'q> {
@@ -179,6 +206,12 @@ struct EventLoop<'e, 'q> {
     draining: bool,
     listener_registered: bool,
     recorder: Recorder,
+    /// Live-metrics listener (`--metrics`), polled alongside the data
+    /// listener but never holding a drain open.
+    metrics_listener: Option<&'e TcpListener>,
+    /// Metrics connection slab; `metrics_token(slot)` maps events back.
+    mconns: Vec<Option<MetricsConn>>,
+    mfree: Vec<usize>,
 }
 
 impl EventLoop<'_, '_> {
@@ -218,6 +251,14 @@ impl EventLoop<'_, '_> {
             if token == Poller::WAKE {
                 continue; // outbox is drained at the top of the loop
             }
+            if token == METRICS_LISTENER {
+                self.accept_metrics();
+                continue;
+            }
+            if token.0 > usize::MAX / 2 {
+                self.handle_metrics(metrics_slot(token));
+                continue;
+            }
             if token == LISTENER {
                 self.accept_ready()?;
                 continue;
@@ -243,11 +284,20 @@ impl EventLoop<'_, '_> {
                     // Pipelined clients wait on responses; Nagle would
                     // stall each small response behind a delayed ACK.
                     let _ = stream.set_nodelay(true);
-                    let slot = self.free.pop().unwrap_or_else(|| {
-                        self.conns.push(None);
-                        self.gens.push(0);
-                        self.conns.len() - 1
-                    });
+                    let slot = match self.free.pop() {
+                        Some(slot) => {
+                            // A freed slot being reused means a client
+                            // already came and went here — the server-side
+                            // proxy for a driver reconnect.
+                            self.ingress.note_reconnect();
+                            slot
+                        }
+                        None => {
+                            self.conns.push(None);
+                            self.gens.push(0);
+                            self.conns.len() - 1
+                        }
+                    };
                     let mut conn = Conn::new(stream, self.gens[slot]);
                     if self
                         .poller
@@ -265,6 +315,124 @@ impl EventLoop<'_, '_> {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Accepts metrics scrapers until the listener would block. Errors
+    /// here never take the benchmark down — a scrape is best-effort.
+    fn accept_metrics(&mut self) {
+        let Some(listener) = self.metrics_listener else {
+            return;
+        };
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let slot = self.mfree.pop().unwrap_or_else(|| {
+                        self.mconns.push(None);
+                        self.mconns.len() - 1
+                    });
+                    let conn = MetricsConn {
+                        stream,
+                        buf: Vec::new(),
+                        out: Vec::new(),
+                        sent: 0,
+                        responded: false,
+                    };
+                    if self
+                        .poller
+                        .register(
+                            conn.stream.as_raw_fd(),
+                            metrics_token(slot),
+                            Interest::READABLE,
+                        )
+                        .is_ok()
+                    {
+                        self.mconns[slot] = Some(conn);
+                    } else {
+                        self.mfree.push(slot);
+                    }
+                }
+                Err(e) if interrupted(&e) => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Drives one metrics connection: read until the header block ends,
+    /// render the exposition at that instant, flush, close.
+    fn handle_metrics(&mut self, slot: usize) {
+        let Some(mut conn) = self.mconns.get_mut(slot).and_then(Option::take) else {
+            return;
+        };
+        let mut buf = [0u8; READ_CHUNK];
+        let mut dead = false;
+        while !conn.responded {
+            match conn.stream.read(&mut buf) {
+                Ok(0) => {
+                    dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.buf.extend_from_slice(&buf[..n]);
+                    if conn.buf.windows(4).any(|w| w == b"\r\n\r\n")
+                        || conn.buf.windows(2).any(|w| w == b"\n\n")
+                    {
+                        let body = self.ingress.metrics_text();
+                        conn.out = format!(
+                            "HTTP/1.0 200 OK\r\n\
+                             Content-Type: text/plain; version=0.0.4\r\n\
+                             Content-Length: {}\r\n\
+                             Connection: close\r\n\r\n{body}",
+                            body.len()
+                        )
+                        .into_bytes();
+                        conn.responded = true;
+                    } else if conn.buf.len() > READ_CHUNK {
+                        dead = true; // never a real scrape request
+                        break;
+                    }
+                }
+                Err(e) if would_block(&e) => break,
+                Err(e) if interrupted(&e) => continue,
+                Err(_) => {
+                    dead = true;
+                    break;
+                }
+            }
+        }
+        if !dead {
+            while conn.sent < conn.out.len() {
+                match conn.stream.write(&conn.out[conn.sent..]) {
+                    Ok(0) => {
+                        dead = true;
+                        break;
+                    }
+                    Ok(n) => conn.sent += n,
+                    Err(e) if would_block(&e) => break,
+                    Err(e) if interrupted(&e) => continue,
+                    Err(_) => {
+                        dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if dead || (conn.responded && conn.sent == conn.out.len()) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.mfree.push(slot);
+            return;
+        }
+        // Response built but the socket is full: wait for writability.
+        if conn.responded {
+            let _ = self.poller.reregister(
+                conn.stream.as_raw_fd(),
+                metrics_token(slot),
+                Interest::WRITABLE,
+            );
+        }
+        self.mconns[slot] = Some(conn);
     }
 
     /// Reads a connection until it would block, is paused by admission /
@@ -566,16 +734,28 @@ impl EventLoop<'_, '_> {
 ///
 /// The calling thread becomes the I/O event loop; total server threads
 /// are `1 + cfg.workers` regardless of connection count.
+///
+/// `metrics`, when given, is a second listener the same event loop
+/// serves: each accepted connection gets one Prometheus text exposition
+/// of the flight recorder's live counters
+/// ([`stmbench7_service::render_prometheus`]) and is closed — scrapeable
+/// mid-run with any HTTP/1.0 client. Pair it with
+/// `cfg.window_ms = Some(_)` so the recorder is actually on.
 pub fn serve_net<B: Backend>(
     backend: &B,
     params: &StructureParams,
     cfg: &ServeConfig,
     listener: TcpListener,
+    metrics: Option<TcpListener>,
 ) -> io::Result<ServeResult> {
     let local_addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
     let poller = Poller::new()?;
     poller.register(listener.as_raw_fd(), LISTENER, Interest::READABLE)?;
+    if let Some(m) = &metrics {
+        m.set_nonblocking(true)?;
+        poller.register(m.as_raw_fd(), METRICS_LISTENER, Interest::READABLE)?;
+    }
     let shared = Shared {
         table: Mutex::new(RouteTable::default()),
         waker: poller.waker(),
@@ -620,6 +800,9 @@ pub fn serve_net<B: Backend>(
             draining: false,
             listener_registered: true,
             recorder: cfg.recorder.clone(),
+            metrics_listener: metrics.as_ref(),
+            mconns: Vec::new(),
+            mfree: Vec::new(),
         }
         .run()
     };

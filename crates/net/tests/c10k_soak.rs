@@ -54,7 +54,7 @@ fn idle_herd_survives_a_soak_with_zero_drops_and_bounded_rss() {
         let backend = &backend;
         let params = &params;
         let server_cfg = &server_cfg;
-        let server = scope.spawn(move || serve_net(backend, params, server_cfg, listener));
+        let server = scope.spawn(move || serve_net(backend, params, server_cfg, listener, None));
 
         let idle: Vec<TcpStream> = (0..herd)
             .map(|_| TcpStream::connect(addr).expect("idle connection"))

@@ -1,0 +1,117 @@
+//! The live metrics endpoint: while `serve_net` is running with a
+//! `--metrics` listener, any HTTP/1.0 client can scrape a Prometheus
+//! text exposition of the flight recorder's counters — and scrapes are
+//! served by the same event loop as the benchmark traffic, so they work
+//! mid-run without extra threads.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+
+use stmbench7_backend::{AnyBackend, BackendChoice};
+use stmbench7_core::WorkloadType;
+use stmbench7_data::{StructureParams, Workspace};
+use stmbench7_net::{drive, serve_net, shutdown, DriveConfig};
+use stmbench7_service::{Schedule, ServeConfig};
+
+/// One full scrape: request, read to EOF, split off the header block.
+/// Returns (status line, body).
+fn scrape(addr: std::net::SocketAddr) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics endpoint");
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n")
+        .expect("write scrape request");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read full response");
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .expect("response has a header block");
+    let status = head.lines().next().unwrap_or_default().to_string();
+    (status, body.to_string())
+}
+
+fn counter_value(body: &str, name: &str) -> u64 {
+    body.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} present in:\n{body}"))
+}
+
+#[test]
+fn metrics_endpoint_scrapes_mid_run_and_ops_total_is_monotonic() {
+    let params = StructureParams::tiny();
+    let ws = Workspace::build(params.clone(), 7);
+    let backend = AnyBackend::build(BackendChoice::Coarse, ws);
+
+    let mut server_cfg =
+        ServeConfig::new(Schedule::Closed { clients: 1 }, WorkloadType::ReadWrite, 9);
+    server_cfg.workers = 2;
+    server_cfg.window_ms = Some(50);
+
+    let drive_cfg = DriveConfig::new(
+        Schedule::Open { rate: 500_000.0 },
+        WorkloadType::ReadWrite,
+        9,
+    );
+    let requests = drive_cfg.generate(300);
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("data listener");
+    let addr = listener.local_addr().unwrap();
+    let metrics = TcpListener::bind("127.0.0.1:0").expect("metrics listener");
+    let metrics_addr = metrics.local_addr().unwrap();
+
+    // Scrape + drive inside the scope, but hold every assertion until
+    // the server has been shut down and joined — a panic mid-scope
+    // would otherwise hang the scope join on a server still serving.
+    let (before, driven, after, served) = std::thread::scope(|scope| {
+        let backend = &backend;
+        let params = &params;
+        let server_cfg = &server_cfg;
+        let server =
+            scope.spawn(move || serve_net(backend, params, server_cfg, listener, Some(metrics)));
+
+        let before = scrape(metrics_addr);
+        let driven = drive(addr, &drive_cfg, &requests).expect("drive succeeds");
+        let after = scrape(metrics_addr);
+
+        shutdown(addr).expect("graceful shutdown");
+        let served = server
+            .join()
+            .expect("server thread panicked")
+            .expect("server exits cleanly");
+        (before, driven, after, served)
+    });
+
+    // First scrape (before any benchmark traffic): a well-formed
+    // document with the families the spec gates on.
+    assert_eq!(before.0, "HTTP/1.0 200 OK");
+    assert!(before.1.contains("# TYPE stmbench7_ops_total counter"));
+    assert!(before.1.contains("# TYPE stmbench7_queue_depth gauge"));
+    assert!(before.1.contains("stmbench7_latency_us_bucket"));
+    let ops_before = counter_value(&before.1, "stmbench7_ops_total");
+
+    // Second scrape, taken after the client held all its responses but
+    // while the server was still running: every response the client saw
+    // is already counted (the worker publishes flight counters before
+    // answering), so the counter is exact, not just monotonic.
+    assert_eq!(driven.report.total_started(), 300);
+    assert_eq!(after.0, "HTTP/1.0 200 OK");
+    let ops_after = counter_value(&after.1, "stmbench7_ops_total");
+    assert!(
+        ops_after > ops_before,
+        "ops_total must increase across scrapes ({ops_before} -> {ops_after})"
+    );
+    assert_eq!(ops_after, 300);
+    assert_eq!(counter_value(&after.1, "stmbench7_latency_us_count"), 300);
+
+    // The windowed run also attaches a timeseries to the report, and its
+    // windows sum to the totals the scrape reported.
+    let ts = served
+        .report
+        .timeseries
+        .as_ref()
+        .expect("windowed net run attaches a timeseries");
+    assert_eq!(ts.window_ms, 50);
+    let completed: u64 = ts.windows.iter().map(|w| w.completed).sum();
+    assert_eq!(completed, 300);
+}

@@ -28,7 +28,7 @@ fn drive_loopback(
     let listener = TcpListener::bind("127.0.0.1:0").expect("ephemeral loopback port");
     let addr = listener.local_addr().unwrap();
     std::thread::scope(|scope| {
-        let server = scope.spawn(move || serve_net(backend, params, server_cfg, listener));
+        let server = scope.spawn(move || serve_net(backend, params, server_cfg, listener, None));
         // Shut down before unwrapping: a failed drive must not leave the
         // scope joining a server blocked in accept().
         let client = drive(addr, drive_cfg, requests);
@@ -243,7 +243,7 @@ fn idle_connection_does_not_hold_the_server_open() {
         let backend = &backend;
         let params = &params;
         let server_cfg = &server_cfg;
-        let server = scope.spawn(move || serve_net(backend, params, server_cfg, listener));
+        let server = scope.spawn(move || serve_net(backend, params, server_cfg, listener, None));
         let idle = std::net::TcpStream::connect(addr).expect("idle connection");
         let client = drive(addr, &drive_cfg, &requests).expect("drive alongside idle peer");
         shutdown(addr).expect("shutdown acknowledged with idle peer connected");

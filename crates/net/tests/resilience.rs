@@ -119,7 +119,7 @@ fn shutdown_waits_for_pipelined_requests_on_other_connections() {
         let backend = &backend;
         let params = &params;
         let server_cfg = &server_cfg;
-        let server = scope.spawn(move || serve_net(backend, params, server_cfg, listener));
+        let server = scope.spawn(move || serve_net(backend, params, server_cfg, listener, None));
 
         let mut b = TcpStream::connect(addr).expect("connection B");
         let mut b_reader = BufReader::new(b.try_clone().unwrap());

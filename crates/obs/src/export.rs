@@ -156,6 +156,44 @@ pub fn summarize(trace: &Trace) -> String {
     out
 }
 
+/// Renders the `n` slowest span events per layer, longest first — the
+/// `trace-summary --top N` view. Aggregate means (see [`summarize`])
+/// hide a single pathological span; this lists the individuals.
+pub fn top_spans(trace: &Trace, n: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "top {n} slowest spans per layer:");
+    let mut any = false;
+    for layer in Layer::all() {
+        let mut spans: Vec<&Event> = trace
+            .events
+            .iter()
+            .filter(|ev| ev.layer == layer && ev.kind.is_span())
+            .collect();
+        if spans.is_empty() {
+            continue;
+        }
+        any = true;
+        spans.sort_by(|a, b| b.dur_ns.cmp(&a.dur_ns).then(a.t_ns.cmp(&b.t_ns)));
+        spans.truncate(n);
+        let _ = writeln!(out, "  {}:", layer.name());
+        for ev in spans {
+            let _ = writeln!(
+                out,
+                "    {:<14} {:<12} dur {:>12.1} us   at {:>12.1} us   tid {}",
+                ev.kind.name(),
+                ev.name,
+                ev.dur_ns as f64 / 1e3,
+                ev.t_ns as f64 / 1e3,
+                ev.tid
+            );
+        }
+    }
+    if !any {
+        let _ = writeln!(out, "  no span events");
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,6 +275,40 @@ mod tests {
         let coarse = text.find("coarse").unwrap();
         assert!(t1 < coarse, "heaviest row first");
         assert!(text.contains("10.000"), "total ms of the two T1 spans");
+    }
+
+    #[test]
+    fn top_spans_lists_the_slowest_individuals_per_layer() {
+        let trace = Trace {
+            events: vec![
+                ev(Layer::Engine, EventKind::Op, "T1", 0, 1_000),
+                ev(Layer::Engine, EventKind::Op, "T2", 10, 9_000_000),
+                ev(Layer::Engine, EventKind::Op, "OP3", 20, 5_000),
+                // Instants never rank: duration-less by definition.
+                ev(Layer::Engine, EventKind::OpFail, "T1", 30, 0),
+                ev(Layer::Backend, EventKind::LockWait, "coarse", 40, 2_000),
+            ],
+            dropped: 0,
+        };
+        let text = top_spans(&trace, 2);
+        assert!(text.contains("top 2 slowest spans per layer"));
+        assert!(text.contains("engine:"));
+        assert!(text.contains("backend:"));
+        let t2 = text.find("T2").unwrap();
+        let op3 = text.find("OP3").unwrap();
+        assert!(t2 < op3, "slowest span first");
+        assert!(!text.contains("T1"), "truncated to the top 2, no instants");
+        assert!(text.contains("9000.0"), "T2's duration in microseconds");
+    }
+
+    #[test]
+    fn top_spans_of_a_spanless_trace_says_so() {
+        let trace = Trace {
+            events: vec![ev(Layer::Service, EventKind::QueueAdmit, "admit", 0, 0)],
+            dropped: 0,
+        };
+        let text = top_spans(&trace, 3);
+        assert!(text.contains("no span events"));
     }
 
     #[test]

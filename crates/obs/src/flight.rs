@@ -1,0 +1,505 @@
+//! The flight recorder: always-cheap windowed time-series telemetry.
+//!
+//! Where the trace recorder captures individual lifecycle *events*, the
+//! flight recorder captures *rates*: a sampler thread wakes once per
+//! window (default 250 ms), cuts the cumulative counters into
+//! per-window deltas, probes the gauges (queue depth, latency
+//! percentiles, contention) and appends one [`WindowSample`] to an
+//! in-memory series. Off (the default) every probe site is one branch
+//! on an `Option`; on, the hot paths pay a relaxed atomic add per bump
+//! — cheap enough to leave on for a whole run, which is the point: a
+//! transient stall that an end-of-run aggregate averages away is
+//! visible as one bad window.
+//!
+//! Latency percentiles arrive through a probe closure
+//! ([`FlightProbes::latency_cut`]) rather than a histogram owned here:
+//! `stmbench7-core` depends on this crate, so core's `Histogram` type
+//! cannot appear in this API. The owning layer keeps a per-window
+//! histogram, swaps it out at each cut, merges it into its running
+//! totals (so end-of-run aggregates lose nothing), and hands back the
+//! precomputed [`LatencyCut`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::counters::ContentionSnapshot;
+
+/// The default sampling window when `--window` is given no value.
+pub const DEFAULT_WINDOW_MS: u64 = 250;
+
+/// Per-window latency percentiles, precomputed by the layer that owns
+/// the histogram (see the module doc for why the histogram itself
+/// cannot live here). `samples == 0` means the window saw no requests
+/// and the percentile fields are meaningless.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencyCut {
+    /// Median latency in microseconds (bucket upper bound).
+    pub p50_us: u64,
+    /// 95th-percentile latency in microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: u64,
+    /// Latency samples recorded in the window.
+    pub samples: u64,
+}
+
+/// One closed sampling window: counter *deltas* over the window plus
+/// gauges read at the cut.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WindowSample {
+    /// Zero-based window index.
+    pub index: u64,
+    /// Window start, milliseconds since the sampler's epoch.
+    pub start_ms: u64,
+    /// Window end (the cut instant), milliseconds since the epoch.
+    pub end_ms: u64,
+    /// Operations that executed to an outcome (committed or benignly
+    /// failed) in this window.
+    pub completed: u64,
+    /// Of [`Self::completed`], how many ended in a benign failure.
+    pub failed: u64,
+    /// STM/lock attempts that aborted and re-ran in this window.
+    pub aborts: u64,
+    /// Requests rejected by admission control in this window.
+    pub rejected: u64,
+    /// Worker batches drained in this window.
+    pub batches: u64,
+    /// Of [`Self::batches`], how many contained a writer.
+    pub write_batches: u64,
+    /// Batches stolen from a peer's sub-queue in this window.
+    pub steals: u64,
+    /// Driver reconnects observed in this window.
+    pub reconnects: u64,
+    /// Worker busy nanoseconds accumulated in this window (across all
+    /// workers; divide by `window * workers` for a busy fraction).
+    pub busy_ns: u64,
+    /// Requests sitting in the admission queue(s) at the cut (gauge).
+    pub queue_depth: u64,
+    /// Latency percentiles over the window's own samples.
+    pub latency: LatencyCut,
+    /// Contention counter deltas over the window, when the backend
+    /// exposes counters.
+    pub contention: Option<ContentionSnapshot>,
+}
+
+/// A point-in-time read of the cumulative counters — what a live
+/// metrics scrape exports (Prometheus counters must be cumulative,
+/// never windowed).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlightTotals {
+    /// Operations executed to an outcome since the run started.
+    pub completed: u64,
+    /// Of [`Self::completed`], benign failures.
+    pub failed: u64,
+    /// Aborted attempts.
+    pub aborts: u64,
+    /// Admission rejections.
+    pub rejected: u64,
+    /// Worker batches drained.
+    pub batches: u64,
+    /// Batches containing a writer.
+    pub write_batches: u64,
+    /// Stolen batches.
+    pub steals: u64,
+    /// Driver reconnects.
+    pub reconnects: u64,
+    /// Worker busy nanoseconds.
+    pub busy_ns: u64,
+    /// Sum of all recorded latencies, microseconds.
+    pub latency_sum_us: u64,
+    /// Number of recorded latencies.
+    pub latency_count: u64,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    completed: AtomicU64,
+    failed: AtomicU64,
+    aborts: AtomicU64,
+    rejected: AtomicU64,
+    batches: AtomicU64,
+    write_batches: AtomicU64,
+    steals: AtomicU64,
+    reconnects: AtomicU64,
+    busy_ns: AtomicU64,
+    latency_sum_us: AtomicU64,
+    latency_count: AtomicU64,
+}
+
+#[derive(Debug)]
+struct FlightInner {
+    window: Duration,
+    counters: Counters,
+    samples: Mutex<Vec<WindowSample>>,
+    stop: Mutex<bool>,
+    stopped: Condvar,
+}
+
+/// Gauge probes the sampler calls at every window cut. Borrowed
+/// closures, so the sampler can run inside the owning layer's
+/// `thread::scope` and read stack-local state (queues, histograms,
+/// backend counters) without `'static` gymnastics.
+pub struct FlightProbes<'a> {
+    /// Requests currently queued (gauge).
+    pub queue_depth: &'a (dyn Fn() -> u64 + Sync),
+    /// Swap out the window histogram, fold it into the totals, return
+    /// the window's percentiles.
+    pub latency_cut: &'a (dyn Fn() -> LatencyCut + Sync),
+    /// Cumulative contention snapshot (the sampler differences
+    /// consecutive reads itself); `None` when the backend has none.
+    pub contention: &'a (dyn Fn() -> Option<ContentionSnapshot> + Sync),
+}
+
+impl<'a> FlightProbes<'a> {
+    /// Probes that report nothing — for layers without queues or
+    /// per-request latencies (the closed-loop engine supplies its own
+    /// latency probe but no queue).
+    pub fn none() -> FlightProbes<'static> {
+        FlightProbes {
+            queue_depth: &|| 0,
+            latency_cut: &LatencyCut::default,
+            contention: &|| None,
+        }
+    }
+}
+
+/// The windowed sampler handle. `Clone` is a reference clone; a
+/// disabled recorder ([`FlightRecorder::off`], the default) makes
+/// every bump a single predictable branch.
+#[derive(Clone, Debug, Default)]
+pub struct FlightRecorder(Option<Arc<FlightInner>>);
+
+impl FlightRecorder {
+    /// A disabled recorder: all bumps are no-ops, no sampler runs.
+    pub fn off() -> FlightRecorder {
+        FlightRecorder(None)
+    }
+
+    /// An enabled recorder cutting windows every `window_ms`
+    /// milliseconds (clamped to at least 1 ms).
+    pub fn new(window_ms: u64) -> FlightRecorder {
+        FlightRecorder(Some(Arc::new(FlightInner {
+            window: Duration::from_millis(window_ms.max(1)),
+            counters: Counters::default(),
+            samples: Mutex::new(Vec::new()),
+            stop: Mutex::new(false),
+            stopped: Condvar::new(),
+        })))
+    }
+
+    /// True when sampling is on.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// The configured window length in milliseconds (`None` when off).
+    pub fn window_ms(&self) -> Option<u64> {
+        self.0.as_ref().map(|i| i.window.as_millis() as u64)
+    }
+
+    /// Counts `completed` executed operations, of which `failed`
+    /// benignly failed, plus `aborts` aborted attempts.
+    #[inline]
+    pub fn add_ops(&self, completed: u64, failed: u64, aborts: u64) {
+        if let Some(i) = &self.0 {
+            i.counters.completed.fetch_add(completed, Ordering::Relaxed);
+            if failed > 0 {
+                i.counters.failed.fetch_add(failed, Ordering::Relaxed);
+            }
+            if aborts > 0 {
+                i.counters.aborts.fetch_add(aborts, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Counts admission rejections.
+    #[inline]
+    pub fn add_rejected(&self, n: u64) {
+        if let Some(i) = &self.0 {
+            i.counters.rejected.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts one drained batch; `write` marks a batch containing a
+    /// writer.
+    #[inline]
+    pub fn add_batch(&self, write: bool) {
+        if let Some(i) = &self.0 {
+            i.counters.batches.fetch_add(1, Ordering::Relaxed);
+            if write {
+                i.counters.write_batches.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Counts one stolen batch.
+    #[inline]
+    pub fn add_steal(&self) {
+        if let Some(i) = &self.0 {
+            i.counters.steals.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Counts reconnects.
+    #[inline]
+    pub fn add_reconnects(&self, n: u64) {
+        if let Some(i) = &self.0 {
+            i.counters.reconnects.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Accumulates worker busy time.
+    #[inline]
+    pub fn add_busy_ns(&self, ns: u64) {
+        if let Some(i) = &self.0 {
+            i.counters.busy_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Accumulates `count` latency samples summing to `sum_us`
+    /// microseconds (feeds the exposition's `_sum`/`_count`; the
+    /// bucketed histogram lives with the owning layer).
+    #[inline]
+    pub fn add_latency_us(&self, sum_us: u64, count: u64) {
+        if let Some(i) = &self.0 {
+            i.counters
+                .latency_sum_us
+                .fetch_add(sum_us, Ordering::Relaxed);
+            i.counters.latency_count.fetch_add(count, Ordering::Relaxed);
+        }
+    }
+
+    /// Reads the cumulative counters (a live scrape's view). All zeros
+    /// when disabled.
+    pub fn totals(&self) -> FlightTotals {
+        match &self.0 {
+            None => FlightTotals::default(),
+            Some(i) => {
+                let c = &i.counters;
+                let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+                FlightTotals {
+                    completed: load(&c.completed),
+                    failed: load(&c.failed),
+                    aborts: load(&c.aborts),
+                    rejected: load(&c.rejected),
+                    batches: load(&c.batches),
+                    write_batches: load(&c.write_batches),
+                    steals: load(&c.steals),
+                    reconnects: load(&c.reconnects),
+                    busy_ns: load(&c.busy_ns),
+                    latency_sum_us: load(&c.latency_sum_us),
+                    latency_count: load(&c.latency_count),
+                }
+            }
+        }
+    }
+
+    /// The sampler loop: cuts one [`WindowSample`] per window until
+    /// [`Self::stop`], then cuts the final partial window (unless it is
+    /// zero-length). Run this on a dedicated (scoped) thread; returns
+    /// immediately when the recorder is off.
+    pub fn run_sampler(&self, probes: FlightProbes<'_>) {
+        let Some(inner) = &self.0 else { return };
+        let epoch = Instant::now();
+        let mut prev = FlightTotals::default();
+        let mut prev_contention = (probes.contention)();
+        let mut prev_end_ms = 0u64;
+        let mut index = 0u64;
+        loop {
+            let deadline = inner.window * u32::try_from(index + 1).unwrap_or(u32::MAX);
+            let stopping = {
+                let mut stop = inner.stop.lock().expect("flight stop poisoned");
+                loop {
+                    if *stop {
+                        break true;
+                    }
+                    let now = epoch.elapsed();
+                    if now >= deadline {
+                        break false;
+                    }
+                    let (guard, _) = inner
+                        .stopped
+                        .wait_timeout(stop, deadline - now)
+                        .expect("flight stop poisoned");
+                    stop = guard;
+                }
+            };
+            let end_ms = epoch.elapsed().as_millis() as u64;
+            let totals = self.totals();
+            // The final cut is skipped only when it would be both
+            // zero-length and empty — a same-millisecond stop with new
+            // counts still emits, so no tail measurement is lost.
+            if !(stopping && end_ms == prev_end_ms && totals == prev) {
+                let contention_now = (probes.contention)();
+                let contention = match (contention_now, prev_contention) {
+                    (Some(now), Some(prev)) => Some(now.delta(&prev)),
+                    (now, _) => now,
+                };
+                let sample = WindowSample {
+                    index,
+                    start_ms: prev_end_ms,
+                    end_ms,
+                    completed: totals.completed - prev.completed,
+                    failed: totals.failed - prev.failed,
+                    aborts: totals.aborts - prev.aborts,
+                    rejected: totals.rejected - prev.rejected,
+                    batches: totals.batches - prev.batches,
+                    write_batches: totals.write_batches - prev.write_batches,
+                    steals: totals.steals - prev.steals,
+                    reconnects: totals.reconnects - prev.reconnects,
+                    busy_ns: totals.busy_ns - prev.busy_ns,
+                    queue_depth: (probes.queue_depth)(),
+                    latency: (probes.latency_cut)(),
+                    contention,
+                };
+                inner
+                    .samples
+                    .lock()
+                    .expect("flight samples poisoned")
+                    .push(sample);
+                prev = totals;
+                prev_contention = contention_now;
+                prev_end_ms = end_ms;
+                index += 1;
+            }
+            if stopping {
+                return;
+            }
+        }
+    }
+
+    /// Asks the sampler to cut its final window and exit.
+    pub fn stop(&self) {
+        if let Some(inner) = &self.0 {
+            *inner.stop.lock().expect("flight stop poisoned") = true;
+            inner.stopped.notify_all();
+        }
+    }
+
+    /// A copy of the windows closed so far (a live view; the series
+    /// keeps growing until [`Self::stop`]).
+    pub fn samples(&self) -> Vec<WindowSample> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(i) => i.samples.lock().expect("flight samples poisoned").clone(),
+        }
+    }
+
+    /// Takes the finished series (call after the sampler thread has
+    /// been joined).
+    pub fn take_samples(&self) -> Vec<WindowSample> {
+        match &self.0 {
+            None => Vec::new(),
+            Some(i) => std::mem::take(&mut *i.samples.lock().expect("flight samples poisoned")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let f = FlightRecorder::off();
+        assert!(!f.enabled());
+        assert_eq!(f.window_ms(), None);
+        f.add_ops(5, 1, 2);
+        f.add_batch(true);
+        assert_eq!(f.totals(), FlightTotals::default());
+        f.run_sampler(FlightProbes::none()); // returns immediately
+        f.stop();
+        assert!(f.take_samples().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_windows_hold_deltas() {
+        let f = FlightRecorder::new(5);
+        assert_eq!(f.window_ms(), Some(5));
+        f.add_ops(10, 2, 3);
+        f.add_rejected(1);
+        f.add_batch(true);
+        f.add_batch(false);
+        f.add_steal();
+        f.add_busy_ns(1_000);
+        f.add_latency_us(500, 10);
+        let t = f.totals();
+        assert_eq!(t.completed, 10);
+        assert_eq!(t.failed, 2);
+        assert_eq!(t.aborts, 3);
+        assert_eq!(t.rejected, 1);
+        assert_eq!(t.batches, 2);
+        assert_eq!(t.write_batches, 1);
+        assert_eq!(t.steals, 1);
+        assert_eq!(t.latency_sum_us, 500);
+        assert_eq!(t.latency_count, 10);
+
+        let sampler = {
+            let f = f.clone();
+            std::thread::spawn(move || {
+                f.run_sampler(FlightProbes {
+                    queue_depth: &|| 7,
+                    latency_cut: &|| LatencyCut {
+                        p50_us: 10,
+                        p95_us: 20,
+                        p99_us: 30,
+                        samples: 4,
+                    },
+                    contention: &|| None,
+                })
+            })
+        };
+        std::thread::sleep(Duration::from_millis(12));
+        f.add_ops(5, 0, 0);
+        f.stop();
+        sampler.join().expect("sampler");
+        let windows = f.take_samples();
+        assert!(windows.len() >= 2, "several 5 ms windows closed");
+        let total: u64 = windows.iter().map(|w| w.completed).sum();
+        assert_eq!(total, 15, "window deltas sum to the cumulative count");
+        assert_eq!(windows[0].completed, 10, "first window holds the prefix");
+        assert_eq!(windows[0].queue_depth, 7);
+        assert_eq!(windows[0].latency.p99_us, 30);
+        for (i, w) in windows.iter().enumerate() {
+            assert_eq!(w.index, i as u64);
+            assert!(w.end_ms >= w.start_ms);
+        }
+        for pair in windows.windows(2) {
+            assert_eq!(pair[0].end_ms, pair[1].start_ms, "windows abut");
+        }
+    }
+
+    #[test]
+    fn contention_windows_are_deltas_of_cumulative_snapshots() {
+        let f = FlightRecorder::new(1);
+        let calls = AtomicU64::new(0);
+        // A cumulative snapshot that grows by 10 acquisitions per read:
+        // every window's delta must therefore be exactly 10.
+        let probe = || {
+            let n = calls.fetch_add(1, Ordering::Relaxed) + 1;
+            Some(ContentionSnapshot {
+                lock_acquires: 10 * n,
+                ..ContentionSnapshot::default()
+            })
+        };
+        std::thread::scope(|s| {
+            let h = s.spawn(|| {
+                f.run_sampler(FlightProbes {
+                    queue_depth: &|| 0,
+                    latency_cut: &LatencyCut::default,
+                    contention: &probe,
+                })
+            });
+            std::thread::sleep(Duration::from_millis(6));
+            f.stop();
+            h.join().expect("sampler");
+        });
+        let windows = f.take_samples();
+        assert!(!windows.is_empty());
+        for w in &windows {
+            let c = w.contention.expect("probe always answers");
+            assert_eq!(c.lock_acquires, 10, "each window sees its own delta");
+        }
+    }
+}

@@ -22,15 +22,26 @@
 //! * A sampling gate ([`Recorder::sampled`]) behind which the engine
 //!   and backends time `run_op` dispatch phases (discovery /
 //!   lock-plan / execute / commit) as [`EventKind::Phase`] spans.
+//! * [`FlightRecorder`] — the windowed flight recorder: a sampler
+//!   thread cuts cumulative counters into per-window deltas
+//!   ([`WindowSample`]: throughput, latency percentiles, queue depth,
+//!   busy time, steals, contention deltas), feeding the `timeseries`
+//!   report section, the live Prometheus endpoint, and the lab's
+//!   windowed SLO gates. Like the trace recorder it costs one branch
+//!   per probe site when off.
 
 mod counters;
 mod event;
 mod export;
+mod flight;
 mod recorder;
 mod ring;
 
 pub use counters::{ContentionCounters, ContentionSnapshot};
 pub use event::{Event, EventKind, Layer};
-pub use export::{chrome_trace_json, summarize, write_json_escaped};
+pub use export::{chrome_trace_json, summarize, top_spans, write_json_escaped};
+pub use flight::{
+    FlightProbes, FlightRecorder, FlightTotals, LatencyCut, WindowSample, DEFAULT_WINDOW_MS,
+};
 pub use recorder::{Recorder, Trace, DEFAULT_RING_CAPACITY};
 pub use ring::Ring;

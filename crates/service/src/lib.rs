@@ -34,9 +34,11 @@
 #![warn(missing_docs)]
 
 pub use stmbench7_backend::queue;
+pub mod metrics;
 pub mod schedule;
 pub mod server;
 
+pub use metrics::render_prometheus;
 pub use queue::{Admission, BoundedQueue};
 pub use schedule::{Request, Schedule};
 pub use server::{

@@ -1,0 +1,216 @@
+//! Prometheus text exposition of the flight recorder's live counters.
+//!
+//! The `net-serve --metrics` endpoint serves this document per scrape
+//! (text format version 0.0.4): one `# HELP`/`# TYPE` header per
+//! family, counters cumulative since the run started (`_total`), the
+//! queue depth as a gauge, and the end-to-end latency as a classic
+//! cumulative-bucket histogram. Counters being cumulative is the
+//! contract that makes mid-run scrapes meaningful — two scrapes
+//! difference to a rate without the server keeping scrape state.
+
+use std::fmt::Write as _;
+
+use stmbench7_core::Histogram;
+use stmbench7_obs::FlightTotals;
+
+fn header(out: &mut String, name: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    header(out, name, "counter", help);
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Renders the exposition document: `totals` are the cumulative flight
+/// counters, `latency` the run-so-far end-to-end histogram (µs
+/// resolution), `queue_depth` the admission queue gauge at scrape time.
+pub fn render_prometheus(totals: &FlightTotals, latency: &Histogram, queue_depth: u64) -> String {
+    let mut out = String::with_capacity(2048);
+    counter(
+        &mut out,
+        "stmbench7_ops_total",
+        "Operations executed to an outcome (committed or benignly failed).",
+        totals.completed,
+    );
+    counter(
+        &mut out,
+        "stmbench7_ops_failed_total",
+        "Of the executed operations, benign failures.",
+        totals.failed,
+    );
+    counter(
+        &mut out,
+        "stmbench7_aborts_total",
+        "Aborted-and-retried execution attempts.",
+        totals.aborts,
+    );
+    counter(
+        &mut out,
+        "stmbench7_rejected_total",
+        "Requests dropped by admission control.",
+        totals.rejected,
+    );
+    counter(
+        &mut out,
+        "stmbench7_batches_total",
+        "Worker batches drained from the queue.",
+        totals.batches,
+    );
+    counter(
+        &mut out,
+        "stmbench7_write_batches_total",
+        "Drained batches that group-committed at least one writer.",
+        totals.write_batches,
+    );
+    counter(
+        &mut out,
+        "stmbench7_steals_total",
+        "Batches stolen from a peer worker's sub-queue.",
+        totals.steals,
+    );
+    counter(
+        &mut out,
+        "stmbench7_reconnects_total",
+        "Driver connections accepted beyond the first per slot.",
+        totals.reconnects,
+    );
+    header(
+        &mut out,
+        "stmbench7_worker_busy_seconds_total",
+        "counter",
+        "Total time workers spent executing batches.",
+    );
+    let _ = writeln!(
+        out,
+        "stmbench7_worker_busy_seconds_total {}",
+        totals.busy_ns as f64 / 1e9
+    );
+    header(
+        &mut out,
+        "stmbench7_queue_depth",
+        "gauge",
+        "Requests sitting in the admission queue(s) right now.",
+    );
+    let _ = writeln!(out, "stmbench7_queue_depth {queue_depth}");
+
+    header(
+        &mut out,
+        "stmbench7_latency_us",
+        "histogram",
+        "End-to-end request latency in microseconds.",
+    );
+    let mut cumulative = 0u64;
+    for (upper_us, count) in latency.pairs() {
+        cumulative += u64::from(count);
+        let _ = writeln!(
+            out,
+            "stmbench7_latency_us_bucket{{le=\"{upper_us}\"}} {cumulative}"
+        );
+    }
+    // `+Inf` picks up the overflow bucket too, so it always equals
+    // `_count` — the invariant scrapers validate.
+    let _ = writeln!(
+        out,
+        "stmbench7_latency_us_bucket{{le=\"+Inf\"}} {}",
+        latency.samples()
+    );
+    let _ = writeln!(out, "stmbench7_latency_us_sum {}", totals.latency_sum_us);
+    let _ = writeln!(out, "stmbench7_latency_us_count {}", latency.samples());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (FlightTotals, Histogram) {
+        let totals = FlightTotals {
+            completed: 120,
+            failed: 5,
+            aborts: 3,
+            rejected: 2,
+            batches: 40,
+            write_batches: 4,
+            steals: 1,
+            reconnects: 0,
+            busy_ns: 2_500_000_000,
+            latency_sum_us: 6_000,
+            latency_count: 120,
+        };
+        let mut latency = Histogram::micros();
+        for us in [3u64, 3, 40, 700] {
+            latency.record(us * 1_000);
+        }
+        (totals, latency)
+    }
+
+    #[test]
+    fn families_render_with_help_and_type_lines() {
+        let (totals, latency) = sample();
+        let text = render_prometheus(&totals, &latency, 7);
+        for family in [
+            ("stmbench7_ops_total", "counter"),
+            ("stmbench7_queue_depth", "gauge"),
+            ("stmbench7_latency_us", "histogram"),
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {} {}", family.0, family.1)),
+                "missing TYPE for {}:\n{text}",
+                family.0
+            );
+            assert!(
+                text.contains(&format!("# HELP {} ", family.0)),
+                "missing HELP for {}",
+                family.0
+            );
+        }
+        assert!(text.contains("stmbench7_ops_total 120"));
+        assert!(text.contains("stmbench7_ops_failed_total 5"));
+        assert!(text.contains("stmbench7_queue_depth 7"));
+        assert!(text.contains("stmbench7_worker_busy_seconds_total 2.5"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_inf_equals_count() {
+        let (totals, latency) = sample();
+        let text = render_prometheus(&totals, &latency, 0);
+        // Two 3 µs samples share the first bucket; each later bucket
+        // includes everything before it.
+        let buckets: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("stmbench7_latency_us_bucket"))
+            .collect();
+        assert!(buckets.len() >= 3, "bucket lines present:\n{text}");
+        let counts: Vec<u64> = buckets
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] <= w[1]),
+            "cumulative buckets never decrease: {counts:?}"
+        );
+        assert_eq!(*counts.last().unwrap(), 4, "+Inf equals the sample count");
+        assert!(text.contains("stmbench7_latency_us_count 4"));
+        assert!(text.contains("stmbench7_latency_us_sum 6000"));
+    }
+
+    #[test]
+    fn every_sample_line_parses_as_name_value() {
+        let (totals, latency) = sample();
+        let text = render_prometheus(&totals, &latency, 3);
+        assert!(text.ends_with('\n'));
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split(' ');
+            let name = parts.next().expect("metric name");
+            let value = parts.next().expect("metric value");
+            assert!(parts.next().is_none(), "extra tokens in {line:?}");
+            assert!(
+                name.starts_with("stmbench7_"),
+                "namespaced metric: {line:?}"
+            );
+            assert!(value.parse::<f64>().is_ok(), "numeric value: {line:?}");
+        }
+    }
+}

@@ -18,6 +18,7 @@
 //! leans on: serving a stream must not change any operation's outcome.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
@@ -26,10 +27,10 @@ use rand::SeedableRng;
 use stmbench7_backend::{Backend, TxOperation};
 use stmbench7_core::{
     access_spec, primary_shard, run_op, CategoryLatency, Histogram, OpCtx, OpFilter, OpKind,
-    OpReport, Report, ServiceStats, WorkloadMix, WorkloadType,
+    OpReport, Report, ServiceStats, Timeseries, WorkloadMix, WorkloadType,
 };
 use stmbench7_data::{AccessSpec, OpOutcome, Sb7Tx, StructureParams, TxR};
-use stmbench7_obs::{ContentionSnapshot, EventKind, Layer, Recorder};
+use stmbench7_obs::{ContentionSnapshot, EventKind, FlightProbes, FlightRecorder, Layer, Recorder};
 
 use stmbench7_backend::queue::{Admission, BoundedQueue};
 
@@ -98,6 +99,10 @@ pub struct ServeConfig {
     pub seed: u64,
     /// Lifecycle trace recorder (`--trace`); disabled by default.
     pub recorder: Recorder,
+    /// Flight-recorder sampling window (`--window`), milliseconds.
+    /// `None` disables windowed telemetry (and the live counters the
+    /// metrics endpoint reads).
+    pub window_ms: Option<u64>,
 }
 
 impl ServeConfig {
@@ -117,6 +122,7 @@ impl ServeConfig {
             filter: OpFilter::none(),
             seed,
             recorder: Recorder::default(),
+            window_ms: None,
         }
     }
 
@@ -187,6 +193,14 @@ pub struct Ingress<'q> {
     offered: AtomicU64,
     rejected: AtomicU64,
     recorder: Recorder,
+    /// The run's flight recorder (off when `window_ms` is unset).
+    flight: FlightRecorder,
+    /// The current window's end-to-end latency histogram — the sampler
+    /// swaps it out at every cut.
+    lat_window: &'q Mutex<Histogram>,
+    /// The run-so-far latency histogram (closed windows merged in) —
+    /// what a live scrape's histogram is built from.
+    lat_totals: &'q Mutex<Histogram>,
 }
 
 impl Ingress<'_> {
@@ -232,6 +246,7 @@ impl Ingress<'_> {
             Admission::Reject => {
                 if queue.try_push(req).is_err() {
                     self.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.flight.add_rejected(1);
                     self.recorder
                         .instant(Layer::Service, EventKind::QueueReject, "queue", id);
                     false
@@ -263,6 +278,7 @@ impl Ingress<'_> {
                 self.offered.fetch_add(1, Ordering::Relaxed);
                 if queue.try_push(req).is_err() {
                     self.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.flight.add_rejected(1);
                     self.recorder
                         .instant(Layer::Service, EventKind::QueueReject, "queue", id);
                     Offer::Rejected
@@ -290,6 +306,36 @@ impl Ingress<'_> {
     /// Requests offered so far (admitted or rejected).
     pub fn offered(&self) -> u64 {
         self.offered.load(Ordering::Relaxed)
+    }
+
+    /// Requests sitting in the admission queue(s) right now. Racy by
+    /// nature — an observation gauge, never a synchronization input.
+    pub fn queue_depth(&self) -> u64 {
+        self.queues.iter().map(|q| q.len() as u64).sum()
+    }
+
+    /// Counts one driver reconnect on the flight recorder (the network
+    /// server calls this when an accepted connection reuses a slot a
+    /// previous connection died in).
+    pub fn note_reconnect(&self) {
+        self.flight.add_reconnects(1);
+    }
+
+    /// The Prometheus text exposition of the run's live counters —
+    /// what the `net-serve --metrics` endpoint serves per scrape. The
+    /// latency histogram is the closed-window totals plus the open
+    /// window, so a scrape always sees every sample recorded so far.
+    /// All-zero (but well-formed) when the flight recorder is off.
+    pub fn metrics_text(&self) -> String {
+        // One lock at a time — the sampler's cut takes these in the
+        // same singly-held fashion, so no ordering deadlock exists.
+        let mut latency = self
+            .lat_totals
+            .lock()
+            .expect("latency totals poisoned")
+            .clone();
+        latency.merge(&self.lat_window.lock().expect("latency window poisoned"));
+        crate::metrics::render_prometheus(&self.flight.totals(), &latency, self.queue_depth())
     }
 }
 
@@ -432,6 +478,8 @@ fn execute_batch<B: Backend>(
     ctx: &mut OpCtx,
     epoch: Instant,
     recorder: &Recorder,
+    flight: &FlightRecorder,
+    lat_window: &Mutex<Histogram>,
     stats: &mut WorkerStats,
     observe: &(impl Fn(&Request, &OpOutcome, u64, u64) + ?Sized),
 ) {
@@ -448,7 +496,8 @@ fn execute_batch<B: Backend>(
     let end_ns = epoch.elapsed().as_nanos() as u64;
     let start_ns = (t0 - epoch).as_nanos() as u64;
     stats.batches += 1;
-    if batch.len() > 1 && batch.iter().any(|r| !r.op.is_read_only()) {
+    let write_batch = batch.len() > 1 && batch.iter().any(|r| !r.op.is_read_only());
+    if write_batch {
         stats.write_batches += 1;
         stats.max_write_batch = stats.max_write_batch.max(batch.len() as u64);
     }
@@ -457,6 +506,26 @@ fn execute_batch<B: Backend>(
     // operation (batches are homogeneous-enough: group-commit merges
     // only lock-compatible specs).
     stats.aborts[batch[0].op.index()] += attempts.saturating_sub(1);
+    if flight.enabled() {
+        // Publish the batch's whole footprint in one go — a handful of
+        // relaxed adds plus one histogram lock per batch — and do it
+        // *before* `observe` hands out responses: once a client holds a
+        // response, a live scrape is guaranteed to count it.
+        let win_failed = outcomes
+            .iter()
+            .filter(|o| matches!(o, OpOutcome::Fail(_)))
+            .count() as u64;
+        flight.add_ops(batch.len() as u64, win_failed, attempts.saturating_sub(1));
+        flight.add_batch(write_batch);
+        flight.add_busy_ns(end_ns.saturating_sub(start_ns));
+        let win_e2e = batch.iter().map(|r| end_ns.saturating_sub(r.arrival_ns));
+        let sum_us: u64 = win_e2e.clone().map(|ns| ns / 1_000).sum();
+        flight.add_latency_us(sum_us, batch.len() as u64);
+        let mut window = lat_window.lock().expect("latency window poisoned");
+        for ns in win_e2e {
+            window.record(ns);
+        }
+    }
     for (req, outcome) in batch.iter().zip(outcomes) {
         if recorder.is_enabled() {
             recorder.push(
@@ -483,6 +552,7 @@ struct RunTotals {
     rejected: u64,
     stm: Option<stmbench7_stm::StatsSnapshot>,
     contention: Option<ContentionSnapshot>,
+    timeseries: Option<Timeseries>,
 }
 
 fn merge_into_report<B: Backend>(
@@ -498,6 +568,7 @@ fn merge_into_report<B: Backend>(
         rejected,
         stm,
         contention,
+        timeseries,
     } = totals;
     let mut per_op: Vec<OpReport> = OpKind::ALL
         .iter()
@@ -514,6 +585,10 @@ fn merge_into_report<B: Backend>(
     let mut busy_ns = 0u64;
     let mut idle_ns = 0u64;
     let mut outcomes: Vec<Option<OpOutcome>> = vec![None; offered as usize];
+    // Busy time per worker, in worker order. Stolen batches execute on
+    // the thief's thread and accrue into the thief's stats, so this is
+    // genuinely "who did the work", not "whose queue it sat in".
+    let worker_busy_ns: Vec<u64> = all_stats.iter().map(|s| s.busy_ns).collect();
     for stats in &all_stats {
         for (i, r) in per_op.iter_mut().enumerate() {
             r.completed += stats.completed[i];
@@ -550,6 +625,7 @@ fn merge_into_report<B: Backend>(
         per_op,
         stm,
         contention,
+        timeseries,
         service: Some(ServiceStats {
             schedule: cfg.schedule.key(),
             workers: cfg.workers,
@@ -561,6 +637,7 @@ fn merge_into_report<B: Backend>(
             reconnects: 0,
             busy_ns,
             idle_ns,
+            worker_busy_ns,
             trace_dropped: cfg.recorder.dropped(),
             batches,
             write_batches,
@@ -615,6 +692,30 @@ pub fn serve_source<B: Backend, R>(
 
     let stm_before = backend.stm_stats();
     let contention_before = backend.contention();
+
+    // Flight recorder state: workers publish per-batch measurements,
+    // the scoped sampler thread cuts windows, live scrapes read the
+    // cumulative side through `Ingress::metrics_text`.
+    let flight = match cfg.window_ms {
+        Some(ms) => FlightRecorder::new(ms),
+        None => FlightRecorder::off(),
+    };
+    let lat_window = Mutex::new(Histogram::micros());
+    let lat_totals = Mutex::new(Histogram::micros());
+    let depth_probe = || queues.iter().map(|q| q.len() as u64).sum();
+    let latency_probe = || {
+        let window = std::mem::replace(
+            &mut *lat_window.lock().expect("latency window poisoned"),
+            Histogram::micros(),
+        );
+        lat_totals
+            .lock()
+            .expect("latency totals poisoned")
+            .merge(&window);
+        window.latency_cut()
+    };
+    let contention_probe = || backend.contention();
+
     let epoch = Instant::now();
     let ingress = Ingress {
         queues: &queues,
@@ -626,15 +727,29 @@ pub fn serve_source<B: Backend, R>(
         offered: AtomicU64::new(0),
         rejected: AtomicU64::new(0),
         recorder: cfg.recorder.clone(),
+        flight: flight.clone(),
+        lat_window: &lat_window,
+        lat_totals: &lat_totals,
     };
 
     let (all_stats, fed): (Vec<WorkerStats>, R) = std::thread::scope(|scope| {
+        if flight.enabled() {
+            let flight = &flight;
+            let probes = FlightProbes {
+                queue_depth: &depth_probe,
+                latency_cut: &latency_probe,
+                contention: &contention_probe,
+            };
+            scope.spawn(move || flight.run_sampler(probes));
+        }
         let mut handles = Vec::with_capacity(cfg.workers);
         for worker_id in 0..cfg.workers {
             let queues = &queues;
             let specs = &specs;
             let compatible = &compatible;
             let observe = &observe;
+            let flight = &flight;
+            let lat_window = &lat_window;
             handles.push(scope.spawn(move || {
                 // The context RNG is re-seeded per request from the
                 // request itself; the worker seed only covers the (never
@@ -655,6 +770,8 @@ pub fn serve_source<B: Backend, R>(
                             &mut ctx,
                             epoch,
                             &cfg.recorder,
+                            flight,
+                            lat_window,
                             &mut stats,
                             observe,
                         );
@@ -680,6 +797,7 @@ pub fn serve_source<B: Backend, R>(
                             });
                             if let Some(batch) = stolen {
                                 steals += batch.len() as u64;
+                                flight.add_steal();
                                 run(batch);
                                 continue;
                             }
@@ -712,16 +830,21 @@ pub fn serve_source<B: Backend, R>(
             queue.close();
         }
 
-        (
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("service worker panicked"))
-                .collect(),
-            fed,
-        )
+        let stats: Vec<WorkerStats> = handles
+            .into_iter()
+            .map(|h| h.join().expect("service worker panicked"))
+            .collect();
+        // Cut the final partial window and release the sampler before
+        // the scope joins it.
+        flight.stop();
+        (stats, fed)
     });
 
     let elapsed = epoch.elapsed();
+    let timeseries = flight.window_ms().map(|window_ms| Timeseries {
+        window_ms,
+        windows: flight.take_samples(),
+    });
     let stm = match (stm_before, backend.stm_stats()) {
         (Some(before), Some(after)) => Some(after.delta(&before)),
         _ => None,
@@ -741,6 +864,7 @@ pub fn serve_source<B: Backend, R>(
             rejected: ingress.rejected.load(Ordering::Relaxed),
             stm,
             contention,
+            timeseries,
         },
     );
     (result, fed)
@@ -797,6 +921,9 @@ pub fn run_stream_closed<B: Backend>(
     let mut ctx = OpCtx::new(params.clone(), cfg.seed);
     let mut stats = WorkerStats::new();
     let observe = |_: &Request, _: &OpOutcome, _: u64, _: u64| {};
+    // Closed-loop oracle runs are never sampled: no queue, no windows.
+    let flight = FlightRecorder::off();
+    let lat_window = Mutex::new(Histogram::micros());
     for req in requests {
         execute_batch(
             backend,
@@ -805,6 +932,8 @@ pub fn run_stream_closed<B: Backend>(
             &mut ctx,
             epoch,
             &cfg.recorder,
+            &flight,
+            &lat_window,
             &mut stats,
             &observe,
         );
@@ -829,6 +958,7 @@ pub fn run_stream_closed<B: Backend>(
             rejected: 0,
             stm,
             contention,
+            timeseries: None,
         },
     );
     // Closed-loop runs are not service runs: threads reflect the single
@@ -970,6 +1100,8 @@ mod tests {
             rng_seed: id,
         };
         let queue: BoundedQueue<Request> = BoundedQueue::new(1);
+        let lat_window = Mutex::new(Histogram::micros());
+        let lat_totals = Mutex::new(Histogram::micros());
         let ingress = Ingress {
             queues: std::slice::from_ref(&queue),
             affinity: Affinity::None,
@@ -980,6 +1112,9 @@ mod tests {
             offered: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             recorder: Recorder::default(),
+            flight: FlightRecorder::off(),
+            lat_window: &lat_window,
+            lat_totals: &lat_totals,
         };
         assert_eq!(
             ingress.offer_nonblocking(req(ingress.claim_id())),
@@ -997,6 +1132,8 @@ mod tests {
         assert_eq!(ingress.offer_nonblocking(req(id)), Offer::Admitted);
 
         let queue: BoundedQueue<Request> = BoundedQueue::new(1);
+        let lat_window = Mutex::new(Histogram::micros());
+        let lat_totals = Mutex::new(Histogram::micros());
         let ingress = Ingress {
             queues: std::slice::from_ref(&queue),
             affinity: Affinity::None,
@@ -1007,6 +1144,9 @@ mod tests {
             offered: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             recorder: Recorder::default(),
+            flight: FlightRecorder::off(),
+            lat_window: &lat_window,
+            lat_totals: &lat_totals,
         };
         assert_eq!(
             ingress.offer_nonblocking(req(ingress.claim_id())),
@@ -1049,6 +1189,98 @@ mod tests {
         );
         // In-process runs carry no network lane.
         assert!(svc.network.is_none());
+    }
+
+    #[test]
+    fn stolen_work_counts_toward_the_thief() {
+        // Two workers under shard affinity, every request declaring a
+        // shard that routes to worker 0's sub-queue. Worker 1 can only
+        // ever obtain work by stealing — so any busy time it reports is
+        // stolen work attributed to the executing worker, not the queue
+        // owner.
+        let params = StructureParams::tiny().with_shards(2);
+        let ws = Workspace::build(params.clone(), 7);
+        let backend = CoarseBackend::new(ws);
+        let op = OpKind::Op1;
+        let seeds: Vec<u64> = (0u64..)
+            .filter(|s| primary_shard(op, &params, *s) == Some(0))
+            .take(400)
+            .collect();
+        let requests: Vec<Request> = seeds
+            .iter()
+            .enumerate()
+            .map(|(id, seed)| Request {
+                id: id as u64,
+                arrival_ns: 0,
+                op,
+                rng_seed: *seed,
+            })
+            .collect();
+        let mut cfg = ServeConfig::new(Schedule::Closed { clients: 2 }, WorkloadType::ReadWrite, 5);
+        cfg.workers = 2;
+        cfg.affinity = Affinity::Shard;
+        cfg.queue_cap = 8;
+        let result = serve(&backend, &params, &cfg, &requests);
+        assert_eq!(result.report.total_started(), 400);
+        let svc = result.report.service.as_ref().expect("service stats");
+        assert_eq!(svc.worker_busy_ns.len(), 2, "one lane per worker");
+        assert_eq!(
+            svc.worker_busy_ns.iter().sum::<u64>(),
+            svc.busy_ns,
+            "per-worker lanes sum to the total"
+        );
+        assert!(svc.steals > 0, "worker 1 found work only by stealing");
+        assert!(
+            svc.worker_busy_ns[1] > 0,
+            "stolen batches execute on — and are billed to — the thief"
+        );
+    }
+
+    #[test]
+    fn windowed_serve_attaches_a_timeseries_and_serves_metrics() {
+        let (params, ws) = tiny();
+        let backend = SequentialBackend::new(ws);
+        let mut cfg =
+            ServeConfig::new(Schedule::Closed { clients: 2 }, WorkloadType::ReadWrite, 21);
+        cfg.window_ms = Some(1);
+        let requests = cfg.generate(300);
+        // The feed doubles as a mid-run scraper: the exposition must be
+        // servable while workers are still draining.
+        let (result, scrape) = serve_source(
+            &backend,
+            &params,
+            &cfg,
+            |ingress| {
+                for req in &requests {
+                    ingress.offer(*req);
+                }
+                ingress.metrics_text()
+            },
+            |_, _, _, _| {},
+        );
+        assert!(scrape.contains("# TYPE stmbench7_ops_total counter"));
+        assert!(scrape.contains("# TYPE stmbench7_queue_depth gauge"));
+        assert!(scrape.contains("stmbench7_latency_us_bucket"));
+
+        let ts = result.report.timeseries.as_ref().expect("sampled run");
+        assert_eq!(ts.window_ms, 1);
+        assert!(!ts.windows.is_empty());
+        let completed: u64 = ts.windows.iter().map(|w| w.completed).sum();
+        assert_eq!(completed, 300, "window deltas sum to the run total");
+        let samples: u64 = ts.windows.iter().map(|w| w.latency.samples).sum();
+        assert_eq!(samples, 300, "every e2e sample lands in some window");
+        let svc = result.report.service.as_ref().expect("service stats");
+        let batches: u64 = ts.windows.iter().map(|w| w.batches).sum();
+        assert_eq!(batches, svc.batches);
+
+        // Unsampled runs carry no timeseries at all.
+        let plain = serve(
+            &backend,
+            &params,
+            &ServeConfig::new(Schedule::Closed { clients: 1 }, WorkloadType::ReadWrite, 21),
+            &cfg.generate(50),
+        );
+        assert!(plain.report.timeseries.is_none());
     }
 
     #[test]

@@ -35,6 +35,8 @@ fn main() {
         seed: 9,
         histograms: true,
         recorder: stmbench7::obs::Recorder::default(),
+
+        window_ms: None,
     };
     let report = run_benchmark(&backend, &params, &cfg);
 

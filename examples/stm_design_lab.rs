@@ -34,6 +34,8 @@ fn bench<B: Backend>(backend: &B, params: &StructureParams) {
         seed: 7,
         histograms: false,
         recorder: stmbench7::obs::Recorder::default(),
+
+        window_ms: None,
     };
     let t0 = Instant::now();
     let report = run_benchmark(backend, params, &cfg);

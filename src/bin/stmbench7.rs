@@ -19,9 +19,11 @@ use std::time::Duration;
 use stmbench7::backend::Backend;
 use stmbench7::core::{run_benchmark, BenchConfig, OpFilter, RunMode, WorkloadType};
 use stmbench7::data::{validate, StructureParams, Workspace};
-use stmbench7::lab::{compare_documents, registry, run_spec, Tolerance};
+use stmbench7::lab::{check_slos, compare_documents, registry, run_spec, Tolerance};
 use stmbench7::net::{drive, serve_net, DriveConfig};
-use stmbench7::obs::{chrome_trace_json, summarize, Event, EventKind, Layer, Recorder, Trace};
+use stmbench7::obs::{
+    chrome_trace_json, summarize, top_spans, Event, EventKind, Layer, Recorder, Trace,
+};
 use stmbench7::service::{serve, Admission, Affinity, Schedule, ServeConfig};
 use stmbench7::stm::ContentionManager;
 use stmbench7::{parse_preset, AnyBackend, BackendChoice};
@@ -62,6 +64,9 @@ EXTENSIONS:
     --trace <file>      record a transaction-lifecycle trace and write it
                         as Chrome trace_event JSON (open in Perfetto or
                         chrome://tracing; summarize with `trace-summary`)
+    --window <ms>       sample the flight recorder every <ms> ms and
+                        attach a per-window timeseries (throughput,
+                        latency percentiles, queue depth) to the report
     --describe          print the structure census and indexes, then exit
     -h, --help          this text
 
@@ -75,6 +80,7 @@ SUBCOMMANDS:
     net-drive <sched>   replay a schedule against a net-serve over sockets
                         (see `stmbench7 net-drive --help`)
     trace-summary <f>   aggregate a --trace file into a per-event table
+                        (`--top N` lists the N slowest spans per layer)
 ";
 
 const NET_SERVE_USAGE: &str = "\
@@ -111,6 +117,15 @@ OPTIONS:
     --validate          validate the structure after shutdown
     --trace <file>      record a lifecycle trace and write Chrome
                         trace_event JSON after shutdown
+    --window <ms>       flight-recorder sampling window; attaches a
+                        per-window timeseries to the server report
+    --metrics <h:p>     also serve a Prometheus text exposition of the
+                        live flight-recorder counters at
+                        http://<h:p>/metrics, scrapeable mid-run (the
+                        scrape rides the same event loop as the
+                        benchmark traffic); implies --window 250 unless
+                        --window is given; port 0 picks an ephemeral
+                        port (printed as `metrics on <addr>`)
     -h, --help          this text
 ";
 
@@ -194,6 +209,8 @@ OPTIONS:
     --validate          validate the structure after the run
     --trace <file>      record a lifecycle trace and write Chrome
                         trace_event JSON after the run
+    --window <ms>       flight-recorder sampling window; attaches a
+                        per-window timeseries to the report
     -h, --help          this text
 ";
 
@@ -230,19 +247,41 @@ OPTIONS:
                         write one Chrome trace_event JSON file per cell
                         into <dir> (traced cells keep their keys, so
                         --compare still matches an untraced baseline)
+    --window <ms>       run every cell with a flight-recorder sampling
+                        window of <ms> ms; each cell's result embeds a
+                        per-window timeseries (windowed cells keep their
+                        keys, like --trace)
     -h, --help          this text
+
+Cells that declare an `slo` (a windowed p99 objective) are checked after
+the run: a window breaches when its p99 exceeds the objective, and the
+cell fails when more windows breach than the objective allows. Under
+--compare, any failed SLO check fails the gate alongside throughput
+regressions.
 ";
 
 const TRACE_SUMMARY_USAGE: &str = "\
 stmbench7 trace-summary — aggregate a recorded trace
 
 USAGE:
-    stmbench7 trace-summary <file>
+    stmbench7 trace-summary <file> [--top N]
 
 Reads a Chrome trace_event JSON file written by `--trace` and prints a
 per-(layer, kind, name) table: event counts and, for span kinds, total
 and maximum duration, heaviest row first.
+
+With `--top N`, also lists the N slowest individual spans per layer —
+the concrete worst-case operations, not aggregates.
 ";
+
+/// Parses a `--window <ms>` value: the flight-recorder sampling window.
+fn parse_window(v: &str) -> Result<u64, String> {
+    let ms: u64 = v.parse().map_err(|e| format!("--window: {e}"))?;
+    if ms == 0 {
+        return Err("--window must be ≥ 1 ms".into());
+    }
+    Ok(ms)
+}
 
 struct Args {
     threads: usize,
@@ -259,6 +298,7 @@ struct Args {
     seed: u64,
     csv: Option<String>,
     trace: Option<String>,
+    window: Option<u64>,
     describe: bool,
 }
 
@@ -278,6 +318,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 1,
         csv: None,
         trace: None,
+        window: None,
         describe: false,
     };
     let mut cm = ContentionManager::Polka;
@@ -328,6 +369,7 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--csv" => args.csv = Some(value(&mut i)?),
             "--trace" => args.trace = Some(value(&mut i)?),
+            "--window" => args.window = Some(parse_window(&value(&mut i)?)?),
             "--no-traversals" => args.no_traversals = true,
             "--no-sms" => args.no_sms = true,
             "--ttc-histograms" => args.histograms = true,
@@ -402,6 +444,7 @@ struct LabArgs {
     compare: Option<String>,
     tolerance: Tolerance,
     trace: Option<String>,
+    window: Option<u64>,
 }
 
 fn parse_lab_args(argv: &[String]) -> Result<LabArgs, String> {
@@ -420,6 +463,7 @@ fn parse_lab_args(argv: &[String]) -> Result<LabArgs, String> {
         compare: None,
         tolerance: Tolerance(1.25),
         trace: None,
+        window: None,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -498,6 +542,7 @@ fn parse_lab_args(argv: &[String]) -> Result<LabArgs, String> {
                     Tolerance::parse(&v).ok_or(format!("bad tolerance '{v}' (use NN% or NNx)"))?;
             }
             "--trace" => args.trace = Some(value(&mut i)?),
+            "--window" => args.window = Some(parse_window(&value(&mut i)?)?),
             "-h" | "--help" => {
                 print!("{LAB_USAGE}");
                 std::process::exit(0);
@@ -567,6 +612,11 @@ fn lab_main(argv: &[String]) -> ExitCode {
             cell.trace = true;
         }
     }
+    if let Some(window) = args.window {
+        for cell in &mut spec.cells {
+            cell.window_ms = Some(window);
+        }
+    }
 
     // Load the baseline before running anything: a mistyped path or a
     // malformed document must not waste a multi-minute grid run.
@@ -626,6 +676,29 @@ fn lab_main(argv: &[String]) -> ExitCode {
         );
     }
 
+    // Windowed SLO checks: printed for every run so the per-window tail
+    // is visible, but they only *gate* (exit nonzero) under --compare,
+    // mirroring the throughput regression gate.
+    let slo_checks = check_slos(&result);
+    if !slo_checks.is_empty() {
+        println!("\nwindowed SLO checks (p99 per window):");
+        for check in &slo_checks {
+            let aggregate = check
+                .aggregate_p99_us
+                .map_or_else(|| "n/a".to_string(), |us| format!("{us} us"));
+            println!(
+                "  {} {}: {} breaching windows (allowed {}) against p99 ≤ {} us; worst window p99 {} us, aggregate p99 {aggregate}",
+                if check.pass() { "PASS" } else { "FAIL" },
+                check.key,
+                check.violations,
+                check.slo.max_violation_windows,
+                check.slo.p99_us,
+                check.worst_p99_us,
+            );
+        }
+    }
+    let slo_failed = slo_checks.iter().any(|c| !c.pass());
+
     let out_path = args
         .out
         .clone()
@@ -677,6 +750,10 @@ fn lab_main(argv: &[String]) -> ExitCode {
                 }
             }
         }
+        if slo_failed {
+            eprintln!("SLO gate failed: a cell breached its windowed p99 objective");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }
@@ -699,6 +776,7 @@ struct ServeArgs {
     astm_friendly: bool,
     validate: bool,
     trace: Option<String>,
+    window: Option<u64>,
 }
 
 fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
@@ -720,6 +798,7 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
         astm_friendly: false,
         validate: false,
         trace: None,
+        window: None,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -812,6 +891,7 @@ fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
             "--astm-friendly" => args.astm_friendly = true,
             "--validate" => args.validate = true,
             "--trace" => args.trace = Some(value(&mut i)?),
+            "--window" => args.window = Some(parse_window(&value(&mut i)?)?),
             "-h" | "--help" => {
                 print!("{SERVE_USAGE}");
                 std::process::exit(0);
@@ -865,6 +945,7 @@ fn serve_main(argv: &[String]) -> ExitCode {
         },
         seed: args.seed,
         recorder: recorder.clone(),
+        window_ms: args.window,
     };
     let requests = match args.requests {
         Some(n) => cfg.generate(n),
@@ -941,6 +1022,8 @@ struct NetServeArgs {
     seed: u64,
     validate: bool,
     trace: Option<String>,
+    window: Option<u64>,
+    metrics: Option<String>,
 }
 
 fn parse_net_serve_args(argv: &[String]) -> Result<NetServeArgs, String> {
@@ -957,6 +1040,8 @@ fn parse_net_serve_args(argv: &[String]) -> Result<NetServeArgs, String> {
         seed: 1,
         validate: false,
         trace: None,
+        window: None,
+        metrics: None,
     };
     let mut i = 0;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -1033,6 +1118,8 @@ fn parse_net_serve_args(argv: &[String]) -> Result<NetServeArgs, String> {
             "--seed" => args.seed = value(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--validate" => args.validate = true,
             "--trace" => args.trace = Some(value(&mut i)?),
+            "--window" => args.window = Some(parse_window(&value(&mut i)?)?),
+            "--metrics" => args.metrics = Some(value(&mut i)?),
             "-h" | "--help" => {
                 print!("{NET_SERVE_USAGE}");
                 std::process::exit(0);
@@ -1059,6 +1146,22 @@ fn net_serve_main(argv: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let metrics = match &args.metrics {
+        None => None,
+        Some(addr) => match std::net::TcpListener::bind(addr) {
+            Ok(l) => Some(l),
+            Err(e) => {
+                eprintln!("error: cannot bind metrics endpoint {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    // A metrics endpoint without a sampler would expose frozen gauges;
+    // scraping implies windowing at the default cadence.
+    let mut window = args.window;
+    if metrics.is_some() {
+        window.get_or_insert(stmbench7::obs::DEFAULT_WINDOW_MS);
+    }
     eprintln!(
         "building structure (preset with {} atomic parts)...",
         args.params.initial_atomics()
@@ -1086,7 +1189,19 @@ fn net_serve_main(argv: &[String]) -> ExitCode {
         filter: OpFilter::none(),
         seed: args.seed,
         recorder: recorder.clone(),
+        window_ms: window,
     };
+    // `metrics on` precedes `listening on`: scripts that break at the
+    // readiness line see both addresses once it appears.
+    if let Some(m) = &metrics {
+        match m.local_addr() {
+            Ok(addr) => eprintln!("metrics on {addr}"),
+            Err(e) => {
+                eprintln!("error: bound metrics socket has no address: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     // The readiness line the shutdown smoke test (and any script driving
     // `--addr host:0`) parses for the actual port.
     match listener.local_addr() {
@@ -1105,7 +1220,7 @@ fn net_serve_main(argv: &[String]) -> ExitCode {
         cfg.batch_max,
         cfg.affinity.key(),
     );
-    let result = match serve_net(&backend, &args.params, &cfg, listener) {
+    let result = match serve_net(&backend, &args.params, &cfg, listener, metrics) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: server failed: {e}");
@@ -1405,8 +1520,35 @@ fn trace_summary_main(argv: &[String]) -> ExitCode {
         print!("{TRACE_SUMMARY_USAGE}");
         return ExitCode::SUCCESS;
     }
-    let [path] = argv else {
-        eprintln!("error: expected exactly one trace file\n\n{TRACE_SUMMARY_USAGE}");
+    let mut path: Option<&String> = None;
+    let mut top: Option<usize> = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--top" => {
+                i += 1;
+                let Some(v) = argv.get(i) else {
+                    eprintln!("error: missing value for --top\n\n{TRACE_SUMMARY_USAGE}");
+                    return ExitCode::from(2);
+                };
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => top = Some(n),
+                    _ => {
+                        eprintln!("error: --top needs a count ≥ 1, got '{v}'");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            _ if path.is_none() && !argv[i].starts_with('-') => path = Some(&argv[i]),
+            other => {
+                eprintln!("error: unknown argument '{other}'\n\n{TRACE_SUMMARY_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = path else {
+        eprintln!("error: expected a trace file\n\n{TRACE_SUMMARY_USAGE}");
         return ExitCode::from(2);
     };
     let text = match std::fs::read_to_string(path) {
@@ -1419,6 +1561,10 @@ fn trace_summary_main(argv: &[String]) -> ExitCode {
     match parse_trace_file(&text) {
         Ok(trace) => {
             print!("{}", summarize(&trace));
+            if let Some(n) = top {
+                println!();
+                print!("{}", top_spans(&trace, n));
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -1485,6 +1631,7 @@ fn main() -> ExitCode {
         seed: args.seed,
         histograms: args.histograms,
         recorder: recorder.clone(),
+        window_ms: args.window,
     };
     eprintln!(
         "running: backend={} threads={} workload={} ...",

@@ -205,6 +205,7 @@ mod lab {
             "write_storm",
             "mixed_custom",
             "net_loopback",
+            "slo_burst",
         ] {
             assert!(stdout.contains(name), "missing spec {name}");
         }
@@ -280,7 +281,7 @@ mod lab {
         let doc = parse(&text).expect("results must be valid JSON");
         assert_eq!(
             doc.get("format").and_then(JsonValue::as_str),
-            Some("stmbench7-lab/6")
+            Some("stmbench7-lab/7")
         );
         assert_eq!(doc.get("spec").and_then(JsonValue::as_str), Some("smoke"));
         let cells = doc.get("cells").and_then(JsonValue::as_array).unwrap();
@@ -556,6 +557,113 @@ mod net {
         (child, addr)
     }
 
+    /// Like [`spawn_server`], but with `--metrics 127.0.0.1:0`; also
+    /// parses the `metrics on <addr>` line (printed before the
+    /// readiness line). Returns (child, data addr, metrics addr).
+    fn spawn_server_with_metrics(extra: &[&str]) -> (std::process::Child, String, String) {
+        let mut child = stmbench7()
+            .args([
+                "net-serve",
+                "--addr",
+                "127.0.0.1:0",
+                "--metrics",
+                "127.0.0.1:0",
+                "-s",
+                "tiny",
+            ])
+            .args(extra)
+            .stderr(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("server must launch");
+        let stderr = child.stderr.take().expect("stderr piped");
+        let mut lines = std::io::BufReader::new(stderr).lines();
+        let mut metrics_addr = None;
+        let addr = loop {
+            let line = lines
+                .next()
+                .expect("server exited before listening")
+                .expect("stderr is UTF-8");
+            if let Some(addr) = line.strip_prefix("metrics on ") {
+                metrics_addr = Some(addr.to_string());
+            }
+            if let Some(addr) = line.strip_prefix("listening on ") {
+                break addr.to_string();
+            }
+        };
+        std::thread::spawn(move || for _ in lines {});
+        let metrics_addr = metrics_addr.expect("metrics line precedes the readiness line");
+        (child, addr, metrics_addr)
+    }
+
+    /// One metrics scrape over plain HTTP/1.0: returns (status line, body).
+    fn scrape(addr: &str) -> (String, String) {
+        use std::io::{Read as _, Write as _};
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect to metrics");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\nHost: t\r\n\r\n")
+            .expect("write scrape request");
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header block");
+        let status = head.lines().next().unwrap_or_default().to_string();
+        (status, body.to_string())
+    }
+
+    fn counter_value(body: &str, name: &str) -> u64 {
+        body.lines()
+            .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("metric {name} present in:\n{body}"))
+    }
+
+    #[test]
+    fn metrics_endpoint_is_scrapeable_mid_run() {
+        // The CI-gated metrics smoke: scrape before and after a drive,
+        // both while the server is live — the exposition must parse and
+        // stmbench7_ops_total must be exact across the two scrapes.
+        let (mut server, addr, metrics_addr) =
+            spawn_server_with_metrics(&["-g", "coarse", "--workers", "2"]);
+
+        let before = scrape(&metrics_addr);
+        run_ok(&[
+            "net-drive",
+            "closed:2",
+            "--addr",
+            &addr,
+            "--connections",
+            "2",
+            "--requests",
+            "100",
+            "-w",
+            "rw",
+        ]);
+        let after = scrape(&metrics_addr);
+        stmbench7::net::shutdown(&addr).expect("shutdown acknowledged");
+        let status = server.wait().expect("server must exit after shutdown");
+        assert!(status.success(), "server exit must be clean: {status:?}");
+
+        assert_eq!(before.0, "HTTP/1.0 200 OK");
+        for family in [
+            "# TYPE stmbench7_ops_total counter",
+            "# TYPE stmbench7_queue_depth gauge",
+            "stmbench7_latency_us_bucket",
+        ] {
+            assert!(before.1.contains(family), "missing {family}:\n{}", before.1);
+        }
+        let ops_before = counter_value(&before.1, "stmbench7_ops_total");
+        let ops_after = counter_value(&after.1, "stmbench7_ops_total");
+        assert!(
+            ops_after > ops_before,
+            "ops_total must increase across scrapes ({ops_before} -> {ops_after})"
+        );
+        // The client held all 100 responses before the second scrape,
+        // and workers publish counters before answering: exact, not
+        // merely monotonic.
+        assert_eq!(ops_after, 100);
+    }
+
     #[test]
     fn graceful_shutdown_smoke() {
         // The CI-gated smoke: start net-serve, drive 100 requests over
@@ -744,6 +852,37 @@ mod net {
             "summary body:\n{summary}"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_summary_top_lists_slowest_spans_from_the_fixture() {
+        // A committed fixture trace pins the --top contract: per-layer
+        // sections, slowest span first, instants excluded.
+        let fixture = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/fixtures/top_spans.trace.json"
+        );
+        let (out, _) = run_ok(&["trace-summary", fixture, "--top", "2"]);
+        assert!(
+            out.contains("top 2 slowest spans per layer:"),
+            "top header:\n{out}"
+        );
+        assert!(out.contains("engine:") && out.contains("backend:"));
+        // Engine: T1 (500 us) outranks OP3 (120 us); ST2 (80 us) is cut
+        // by the truncation and the op-fail instant never qualifies.
+        let t1 = out.find("op             T1").expect("T1 listed");
+        let op3 = out.find("op             OP3").expect("OP3 listed");
+        assert!(t1 < op3, "slowest span first:\n{out}");
+        let top = &out[out.find("top 2 slowest").unwrap()..];
+        assert!(!top.contains("ST2"), "third span truncated:\n{top}");
+        assert!(!top.contains("SM4"), "instants are not spans:\n{top}");
+        assert!(
+            top.contains("lock-wait      coarse"),
+            "backend span:\n{top}"
+        );
+        // Without --top the section is absent entirely.
+        let (plain, _) = run_ok(&["trace-summary", fixture]);
+        assert!(!plain.contains("slowest spans"), "no --top, no section");
     }
 
     #[test]

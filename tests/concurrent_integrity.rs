@@ -28,6 +28,8 @@ fn hammer_for(choice: BackendChoice, name: &str, duration: Duration) {
         seed: 1234,
         histograms: false,
         recorder: stmbench7::obs::Recorder::default(),
+
+        window_ms: None,
     };
     let report = run_benchmark(&backend, &params, &cfg);
     assert!(report.total_started() > 0, "{name}: nothing ran");
@@ -91,6 +93,8 @@ fn combining_backends_lose_no_operation_under_contention() {
             seed: 99,
             histograms: false,
             recorder: stmbench7::obs::Recorder::default(),
+
+            window_ms: None,
         };
         let report = run_benchmark(&backend, &params, &cfg);
         let stats = backend.combining_stats().expect("delegation backend");
@@ -129,6 +133,8 @@ fn flatcomb_combiner_handoff_mid_run() {
             seed: 4321 + phase,
             histograms: false,
             recorder: stmbench7::obs::Recorder::default(),
+
+            window_ms: None,
         };
         // run_benchmark spawns fresh worker threads per call, so each
         // phase's combiner is a different OS thread from the last one's.
